@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure plus library hot paths.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table and figure, side by side with the
+# published values.
+experiments:
+	$(GO) run ./cmd/ratbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pdf1d
+	$(GO) run ./examples/pdf2d
+	$(GO) run ./examples/md
+	$(GO) run ./examples/sweep
+	$(GO) run ./examples/multifpga
+	$(GO) run ./examples/convolution
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,152 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run the ratbench command for the rendered side-by-side
+// output), plus micro-benchmarks of the library's hot paths.
+package rat_test
+
+import (
+	"testing"
+
+	rat "github.com/chrec/rat"
+	"github.com/chrec/rat/internal/harness"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFigure1Methodology(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFigure2Overlap(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFigure3Architecture(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkTable1Schema(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2PDF1DInputs(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkTable3PDF1DPerformance(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4PDF1DResources(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable5PDF2DInputs(b *testing.B)      { benchExperiment(b, "table5") }
+func BenchmarkTable6PDF2DPerformance(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7PDF2DResources(b *testing.B)   { benchExperiment(b, "table7") }
+func BenchmarkTable8MDInputs(b *testing.B)         { benchExperiment(b, "table8") }
+func BenchmarkTable9MDPerformance(b *testing.B)    { benchExperiment(b, "table9") }
+func BenchmarkTable10MDResources(b *testing.B)     { benchExperiment(b, "table10") }
+func BenchmarkPrecisionTradeStudy(b *testing.B)    { benchExperiment(b, "precision") }
+func BenchmarkInverseSolver(b *testing.B)          { benchExperiment(b, "solver") }
+func BenchmarkAlphaMicrobenchmark(b *testing.B)    { benchExperiment(b, "alphatable") }
+func BenchmarkExtMultiFPGA(b *testing.B)           { benchExperiment(b, "ext-multifpga") }
+func BenchmarkExtBounds(b *testing.B)              { benchExperiment(b, "ext-bounds") }
+func BenchmarkExtAccuracy(b *testing.B)            { benchExperiment(b, "ext-accuracy") }
+func BenchmarkExtPower(b *testing.B)               { benchExperiment(b, "ext-power") }
+
+// Micro-benchmarks of the library's hot paths.
+
+// BenchmarkPredict times one full throughput-test evaluation — the
+// operation a design-space search calls millions of times.
+func BenchmarkPredict(b *testing.B) {
+	p := paper.PDF1DParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.Predict(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveThroughputProc times the inverse solver.
+func BenchmarkSolveThroughputProc(b *testing.B) {
+	p := paper.MDParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.SolveThroughputProc(p, 10, rat.SingleBuffered); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatePDF1D times a full 400-iteration simulated-platform
+// run (single-buffered, ~2400 discrete events).
+func BenchmarkSimulatePDF1D(b *testing.B) {
+	sc, err := rat.CaseStudyScenario(rat.PDF1D, rat.MHz(150), rat.SingleBuffered)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatePDF1DDouble times the double-buffered discipline,
+// which exercises the buffer-dependency scheduling paths.
+func BenchmarkSimulatePDF1DDouble(b *testing.B) {
+	sc, err := rat.CaseStudyScenario(rat.PDF1D, rat.MHz(150), rat.DoubleBuffered)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateStreaming times the streaming-discipline simulation
+// of the 2-D PDF scenario.
+func BenchmarkSimulateStreaming(b *testing.B) {
+	sc, err := rat.CaseStudyScenario(rat.PDF2D, rat.MHz(150), rat.SingleBuffered)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.SimulateStreaming(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorksheetRoundTrip times encode+decode of a worksheet file.
+func BenchmarkWorksheetRoundTrip(b *testing.B) {
+	p := paper.PDF2DParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := worksheet.EncodeString(p)
+		if _, err := worksheet.DecodeString(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepClock times a 100-point clock sweep.
+func BenchmarkSweepClock(b *testing.B) {
+	p := paper.PDF1DParams()
+	clocks := make([]float64, 100)
+	for i := range clocks {
+		clocks[i] = rat.MHz(50 + float64(i)*2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rat.SweepClock(p, clocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command ratbench regenerates the paper's tables and figures,
+// printing published values side by side with this reproduction's
+// predictions and simulated measurements.
+//
+// Usage:
+//
+//	ratbench            # run every experiment
+//	ratbench -list      # list experiment identifiers
+//	ratbench -exp table3 -exp fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/chrec/rat/internal/harness"
+)
+
+type expList []string
+
+func (e *expList) String() string     { return strings.Join(*e, ",") }
+func (e *expList) Set(v string) error { *e = append(*e, v); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("ratbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list bool
+		exps expList
+	)
+	fs.BoolVar(&list, "list", false, "list experiment identifiers and exit")
+	fs.Var(&exps, "exp", "experiment identifier to run (repeatable; default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(out, "%-14s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	selected := harness.All()
+	if len(exps) > 0 {
+		selected = selected[:0]
+		for _, id := range exps {
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(errOut, "ratbench: unknown experiment %q (use -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "=== %s — %s ===\n", e.ID, e.Title)
+		text, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(errOut, "ratbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Fprint(out, text)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "table1", "table10", "precision", "solver", "ext-multifpga", "ext-bounds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelectedExperiments(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "table3", "-exp", "fig3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "=== table3") || !strings.Contains(out, "=== fig3") {
+		t.Errorf("headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.31E-4") || !strings.Contains(out, "20850") {
+		t.Errorf("experiment content missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runBench(t, "-exp", "table42")
+	if code != 2 || !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("exit %d, %q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runBench(t, "-frequency", "11"); code != 2 {
+		t.Errorf("bad flag exit %d", code)
+	}
+}

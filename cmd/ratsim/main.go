@@ -1,0 +1,241 @@
+// Command ratsim runs the simulated RC platforms directly: case-study
+// scenarios with timelines, interconnect microbenchmarks, and ad-hoc
+// synthetic scenarios — the reproduction's stand-in for putting a
+// design on the bench.
+//
+// Usage:
+//
+//	ratsim run -case pdf1d [-mhz 150] [-double] [-devices 2] [-gantt]
+//	ratsim microbench [-platform nallatech] [-sizes 256,2048,262144]
+//	ratsim synth -elements 4096 -out 4096 -bytes 4 -iters 10 -cycles 20000 [-mhz 100] [-double] [-gantt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/chrec/rat/internal/apps/md"
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/apps/pdf2d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/report"
+	"github.com/chrec/rat/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, out, errOut io.Writer) int {
+	if len(args) < 1 {
+		usage(errOut)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdRun(args[1:], out, errOut)
+	case "microbench":
+		err = cmdMicrobench(args[1:], out)
+	case "synth":
+		err = cmdSynth(args[1:], out)
+	case "-h", "-help", "--help", "help":
+		usage(out)
+	default:
+		fmt.Fprintf(errOut, "ratsim: unknown command %q\n", args[0])
+		usage(errOut)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(errOut, "ratsim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  ratsim run -case pdf1d|pdf2d|md [-mhz 150] [-double] [-gantt]
+  ratsim microbench [-platform nallatech|xd1000] [-sizes 256,2048,262144]
+  ratsim synth -elements N -out N -bytes N -iters N -cycles N [-mhz 100] [-double] [-devices N] [-gantt]
+`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func buffering(double bool) core.Buffering {
+	if double {
+		return core.DoubleBuffered
+	}
+	return core.SingleBuffered
+}
+
+func printMeasurement(out io.Writer, m rcsim.Measurement, tSoft float64, rec *trace.Recorder, gantt bool) {
+	fmt.Fprintf(out, "t_comm  = %s s/iter\n", report.FormatSci(m.TComm()))
+	fmt.Fprintf(out, "t_comp  = %s s/iter\n", report.FormatSci(m.TComp()))
+	fmt.Fprintf(out, "t_RC    = %s s (%d iterations, %s)\n", report.FormatSci(m.TRC()), m.Scenario.Iterations, m.Scenario.Buffering)
+	fmt.Fprintf(out, "util    = %s comm / %s comp\n", report.FormatPercent(m.UtilComm()), report.FormatPercent(m.UtilComp()))
+	if tSoft > 0 {
+		fmt.Fprintf(out, "speedup = %.2f over t_soft %.3g s\n", m.Speedup(tSoft), tSoft)
+	}
+	if gantt && rec != nil {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rec.Gantt(96))
+	}
+}
+
+func cmdRun(args []string, out, errOut io.Writer) error {
+	fs := newFlagSet("run")
+	study := fs.String("case", "pdf1d", "case study: pdf1d, pdf2d or md")
+	mhz := fs.Float64("mhz", 150, "FPGA clock (MHz)")
+	double := fs.Bool("double", false, "double-buffered overlap")
+	gantt := fs.Bool("gantt", false, "print the activity timeline (first iterations)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := buffering(*double)
+	var (
+		sc    rcsim.Scenario
+		tSoft float64
+		err   error
+	)
+	switch *study {
+	case "pdf1d":
+		sc = pdf1d.Scenario(core.MHz(*mhz), b)
+		tSoft = paper.PDF1DParams().Soft.TSoft
+	case "pdf2d":
+		sc = pdf2d.Scenario(core.MHz(*mhz), b)
+		tSoft = paper.PDF2DParams().Soft.TSoft
+	case "md":
+		fmt.Fprintln(errOut, "ratsim: generating the 16384-molecule dataset...")
+		sys := md.GenerateSystem(md.Molecules, 1)
+		sc, err = md.Scenario(sys, core.MHz(*mhz), b)
+		if err != nil {
+			return err
+		}
+		tSoft = paper.MDTSoft
+	default:
+		return fmt.Errorf("unknown case study %q", *study)
+	}
+	var rec *trace.Recorder
+	if *gantt {
+		// Tracing 400 iterations is unreadable; run a short prefix
+		// for the picture, then the full scenario for numbers.
+		short := sc
+		if short.Iterations > 4 {
+			short.Iterations = 4
+		}
+		rec = &trace.Recorder{}
+		short.Trace = rec
+		if _, err := rcsim.Run(short); err != nil {
+			return err
+		}
+	}
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "case %s on %s at %g MHz\n\n", *study, sc.Platform.Name, *mhz)
+	printMeasurement(out, m, tSoft, rec, *gantt)
+	return nil
+}
+
+func cmdMicrobench(args []string, out io.Writer) error {
+	fs := newFlagSet("microbench")
+	plat := fs.String("platform", "nallatech", "platform name")
+	sizesArg := fs.String("sizes", "256,512,1024,2048,4096,16384,65536,262144,1048576", "transfer sizes in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, ok := platform.ByName(*plat)
+	if !ok {
+		return fmt.Errorf("unknown platform %q", *plat)
+	}
+	var sizes []int64
+	for _, s := range strings.Split(*sizesArg, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad size %q", s)
+		}
+		sizes = append(sizes, v)
+	}
+	ic := p.Interconnect
+	tbl := report.Table{
+		Title:   fmt.Sprintf("%s: %s (ideal %g MB/s)", p.Name, ic.Name, ic.IdealBps/1e6),
+		Headers: []string{"Bytes", "write time", "alpha_write", "read time", "alpha_read"},
+	}
+	for _, s := range sizes {
+		tbl.AddRow(fmt.Sprintf("%d", s),
+			report.FormatSci(ic.TransferTime(platform.Write, s, false).Seconds()),
+			fmt.Sprintf("%.3f", ic.MeasureAlpha(platform.Write, s)),
+			report.FormatSci(ic.TransferTime(platform.Read, s, false).Seconds()),
+			fmt.Sprintf("%.3f", ic.MeasureAlpha(platform.Read, s)))
+	}
+	return tbl.Render(out)
+}
+
+func cmdSynth(args []string, out io.Writer) error {
+	fs := newFlagSet("synth")
+	elements := fs.Int("elements", 4096, "input elements per iteration")
+	outEls := fs.Int("out", 4096, "output elements per iteration")
+	bytesPer := fs.Int("bytes", 4, "bytes per element")
+	iters := fs.Int("iters", 10, "iterations")
+	cycles := fs.Int64("cycles", 20000, "kernel cycles per iteration")
+	mhz := fs.Float64("mhz", 100, "FPGA clock (MHz)")
+	plat := fs.String("platform", "nallatech", "platform name")
+	double := fs.Bool("double", false, "double-buffered overlap")
+	devices := fs.Int("devices", 1, "FPGA count (multi-device fan-out)")
+	gantt := fs.Bool("gantt", false, "print the activity timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, ok := platform.ByName(*plat)
+	if !ok {
+		return fmt.Errorf("unknown platform %q", *plat)
+	}
+	sc := rcsim.Scenario{
+		Name:            "synthetic",
+		Platform:        p,
+		ClockHz:         core.MHz(*mhz),
+		Buffering:       buffering(*double),
+		Iterations:      *iters,
+		ElementsIn:      *elements,
+		ElementsOut:     *outEls,
+		BytesPerElement: *bytesPer,
+		KernelCycles:    func(int, int) int64 { return *cycles },
+	}
+	var rec *trace.Recorder
+	if *gantt {
+		rec = &trace.Recorder{}
+		sc.Trace = rec
+	}
+	var (
+		m   rcsim.Measurement
+		err error
+	)
+	if *devices > 1 {
+		m, err = rcsim.RunMulti(rcsim.MultiScenario{
+			Scenario: sc, Devices: *devices, Topology: core.SharedChannel,
+		})
+	} else {
+		m, err = rcsim.Run(sc)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "synthetic scenario on %s at %g MHz (%d device(s))\n\n", p.Name, *mhz, *devices)
+	printMeasurement(out, m, 0, rec, *gantt)
+	return nil
+}

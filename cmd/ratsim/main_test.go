@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestRunPDF1D(t *testing.T) {
+	code, out, errOut := runSim(t, "run", "-case", "pdf1d", "-gantt")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Nallatech", "t_comm  = 2.50E-5", "t_comp  = 1.39E-4", "speedup", "Comm |", "Comp |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPDF2DDouble(t *testing.T) {
+	code, out, _ := runSim(t, "run", "-case", "pdf2d", "-double")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "double-buffered") {
+		t.Errorf("missing discipline:\n%s", out)
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	code, _, errOut := runSim(t, "run", "-case", "fft")
+	if code != 1 || !strings.Contains(errOut, "unknown case study") {
+		t.Errorf("exit %d, %s", code, errOut)
+	}
+}
+
+func TestMicrobench(t *testing.T) {
+	code, out, _ := runSim(t, "microbench", "-platform", "nallatech", "-sizes", "2048,262144")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"PCI-X", "0.369", "0.160", "0.025"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("microbench missing %q:\n%s", want, out)
+		}
+	}
+	if code, _, _ := runSim(t, "microbench", "-platform", "skynet"); code != 1 {
+		t.Error("unknown platform accepted")
+	}
+	if code, _, _ := runSim(t, "microbench", "-sizes", "big"); code != 1 {
+		t.Error("bad sizes accepted")
+	}
+	if code, _, _ := runSim(t, "microbench", "-sizes", "-4"); code != 1 {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSynth(t *testing.T) {
+	code, out, _ := runSim(t, "synth", "-elements", "1000", "-out", "1000", "-iters", "5",
+		"-cycles", "5000", "-mhz", "100", "-gantt")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "synthetic scenario") || !strings.Contains(out, "t_RC") {
+		t.Errorf("synth output:\n%s", out)
+	}
+	// Multi-device fan-out path.
+	code, out, _ = runSim(t, "synth", "-elements", "1024", "-out", "1024", "-devices", "4")
+	if code != 0 || !strings.Contains(out, "4 device(s)") {
+		t.Errorf("multi synth: exit %d\n%s", code, out)
+	}
+	// Indivisible fan-out is rejected by the scenario validator.
+	if code, _, _ := runSim(t, "synth", "-elements", "1000", "-devices", "3"); code != 1 {
+		t.Error("indivisible multi accepted")
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if code, _, errOut := runSim(t); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Error("no args must print usage")
+	}
+	if code, _, errOut := runSim(t, "teleport"); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Error("unknown command must exit 2")
+	}
+	if code, out, _ := runSim(t, "help"); code != 0 || !strings.Contains(out, "usage") {
+		t.Error("help must print usage")
+	}
+	if code, _, _ := runSim(t, "run", "-bogus"); code != 1 {
+		t.Error("bad flag must fail")
+	}
+}

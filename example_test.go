@@ -1,0 +1,141 @@
+package rat_test
+
+import (
+	"fmt"
+	"log"
+
+	rat "github.com/chrec/rat"
+)
+
+// The paper's Section 4 walkthrough: predict the 1-D PDF estimation
+// design's performance from its worksheet.
+func ExamplePredict() {
+	design := rat.Parameters{
+		Dataset: rat.DatasetParams{ElementsIn: 512, ElementsOut: 1, BytesPerElement: 4},
+		Comm:    rat.CommParams{IdealThroughput: rat.MBps(1000), AlphaWrite: 0.37, AlphaRead: 0.16},
+		Comp:    rat.CompParams{OpsPerElement: 768, ThroughputProc: 20, ClockHz: rat.MHz(150)},
+		Soft:    rat.SoftwareParams{TSoft: 0.578, Iterations: 400},
+	}
+	pr, err := rat.Predict(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t_comp = %.2e s\n", pr.TComp)
+	fmt.Printf("speedup = %.1f\n", pr.SpeedupSingle)
+	// Output:
+	// t_comp = 1.31e-04 s
+	// speedup = 10.6
+}
+
+// The molecular-dynamics tuning-parameter usage (Section 5.2): solve
+// for the parallelism a 10x goal demands instead of predicting forward.
+func ExampleSolveThroughputProc() {
+	design, err := rat.CaseStudy(rat.MD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	need, err := rat.SolveThroughputProc(design.WithClock(rat.MHz(100)), 10, rat.SingleBuffered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("required: %.1f ops/cycle (the paper rounds up to 50)\n", need)
+	// Output:
+	// required: 46.7 ops/cycle (the paper rounds up to 50)
+}
+
+// Interval prediction: the paper sweeps clock values to bracket the
+// unknown; PredictBounds generalizes that to every estimated input.
+func ExamplePredictBounds() {
+	design, err := rat.CaseStudy(rat.PDF1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := rat.PredictBounds(design.WithClock(rat.MHz(112.5)), rat.Uncertainty{Clock: 1.0 / 3.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := b.SpeedupRange(rat.SingleBuffered)
+	fmt.Printf("speedup in [%.1f, %.1f]\n", lo, hi)
+	fmt.Println("10x goal:", b.MeetsTarget(10, rat.SingleBuffered))
+	// Output:
+	// speedup in [5.4, 10.6]
+	// 10x goal: uncertain
+}
+
+// Multi-FPGA scaling (Section 6): the shared host channel caps how far
+// added devices help.
+func ExamplePredictMulti() {
+	design, err := rat.CaseStudy(rat.PDF2D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	knee, err := rat.ScalingKnee(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knee at %.0f devices\n", knee)
+	mp, err := rat.PredictMulti(design, rat.MultiConfig{Devices: 64, Topology: rat.SharedChannel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("64 shared devices: efficiency %.2f\n", mp.ScalingEfficiency)
+	// Output:
+	// knee at 34 devices
+	// 64 shared devices: efficiency 0.53
+}
+
+// The resource test (Section 3.3): check a demand estimate against a
+// device from the database.
+func ExampleCheckResources() {
+	dev, ok := rat.LookupDevice("Virtex-4 LX100")
+	if !ok {
+		log.Fatal("unknown device")
+	}
+	rep := rat.CheckResources(dev, rat.Demand{DSP: 8, BRAM: 25, Logic: 6800})
+	fmt.Println("fits:", rep.Fits)
+	fmt.Printf("limiting: %s at %.0f%%\n", dev.KindName(rep.Limiting), rep.Utilization(rep.Limiting)*100)
+	// Output:
+	// fits: true
+	// limiting: Slices at 14%
+}
+
+// The full Figure 1 methodology in one call.
+func ExampleEvaluate() {
+	design, err := rat.CaseStudy(rat.PDF1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, _ := rat.LookupDevice("Virtex-4 LX100")
+	out, err := rat.Evaluate(
+		rat.Requirements{TargetSpeedup: 10, Buffering: rat.SingleBuffered},
+		rat.Design{Params: design, Demand: rat.Demand{DSP: 8, BRAM: 25, Logic: 6800}, Device: dev},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verdict:", out.Verdict)
+	// Output:
+	// verdict: PROCEED
+}
+
+// Post-measurement validation (Section 4.3): diagnose a prediction
+// against the numbers read off the hardware.
+func ExampleCompareMeasured() {
+	design, err := rat.CaseStudy(rat.PDF1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := rat.MustPredict(design)
+	// The paper's measured 1-D PDF values.
+	a, err := rat.CompareMeasured(pr, rat.Measured{TComm: 2.50e-5, TComp: 1.39e-4, TRC: 7.45e-2}, rat.SingleBuffered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm, _ := a.Term("t_comm")
+	comp, _ := a.Term("t_comp")
+	fmt.Println("t_comm:", comm.Verdict)
+	fmt.Println("t_comp:", comp.Verdict)
+	// Output:
+	// t_comm: optimistic
+	// t_comp: accurate
+}

@@ -1,0 +1,76 @@
+// Multi-FPGA scaling analysis (the Section 6 extension): how many
+// devices is the 2-D PDF design worth, and what does the interconnect
+// topology cost? Includes the uncertainty-interval view: given how
+// rough the inputs are, is a 50x goal on 8 devices credible?
+//
+// Run with: go run ./examples/multifpga
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rat "github.com/chrec/rat"
+)
+
+func main() {
+	design, err := rat.CaseStudy(rat.PDF2D)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Where does a shared host channel stop helping?
+	knee, err := rat.ScalingKnee(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared-channel scaling knee: %.1f devices\n\n", knee)
+
+	fmt.Println("devices  shared-speedup  independent-speedup  shared-efficiency")
+	for _, nd := range []int{1, 2, 4, 8, 16, 32, 64} {
+		sh, err := rat.PredictMulti(design, rat.MultiConfig{Devices: nd, Topology: rat.SharedChannel})
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := rat.PredictMulti(design, rat.MultiConfig{Devices: nd, Topology: rat.IndependentChannels})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %14.1f  %19.1f  %17.2f\n",
+			nd, sh.SpeedupDouble, in.SpeedupDouble, sh.ScalingEfficiency)
+	}
+
+	// An 8-device shared-channel system against a 50x goal, honestly:
+	// the worksheet inputs are estimates, so bracket them.
+	eight := design
+	// Fold the 8-way split into the worksheet: each device computes
+	// an eighth of the block (the multi model does this internally;
+	// here we bracket the single-device inputs first).
+	bounds, err := rat.PredictBounds(eight, rat.Uncertainty{
+		Alpha: 0.2, OpsPerElement: 0.1, ThroughputProc: 0.25, Clock: 1.0 / 3.0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n8-device shared-channel system, 50x goal:")
+	for _, corner := range []struct {
+		label  string
+		params rat.Parameters
+	}{
+		{"worst case", bounds.Worst.Params},
+		{"nominal   ", bounds.Nominal.Params},
+		{"best case ", bounds.Best.Params},
+	} {
+		mp, err := rat.PredictMulti(corner.params, rat.MultiConfig{Devices: 8, Topology: rat.SharedChannel})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "misses"
+		if mp.SpeedupDouble >= 50 {
+			verdict = "meets"
+		}
+		fmt.Printf("  %s: speedup %6.1f -> %s the goal\n", corner.label, mp.SpeedupDouble, verdict)
+	}
+	fmt.Println("\nverdict: uncertain — refine the throughput_proc and alpha estimates")
+	fmt.Println("(microbenchmark the real link at the real transfer size) before buying hardware.")
+}

@@ -1,0 +1,150 @@
+// The paper's walkthrough, end to end: analyze the 1-D PDF estimation
+// design (Section 4) with all three RAT tests, then "build" it on the
+// simulated Nallatech platform and compare prediction with measurement.
+//
+// Run with: go run ./examples/pdf1d
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	rat "github.com/chrec/rat"
+)
+
+func main() {
+	// The Table 2 worksheet, exactly as published.
+	design, err := rat.CaseStudy(rat.PDF1D)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("worksheet (Table 2):")
+	if err := rat.EncodeWorksheet(os.Stdout, design); err != nil {
+		log.Fatal(err)
+	}
+
+	// Throughput test across the paper's clock bracket.
+	fmt.Println("\nthroughput test (Table 3 predicted columns):")
+	for _, mhz := range []float64{75, 100, 150} {
+		pr := rat.MustPredict(design.WithClock(rat.MHz(mhz)))
+		fmt.Printf("  %3.0f MHz: t_comm %.2e  t_comp %.2e  t_RC %.2e  speedup %.1f\n",
+			mhz, pr.TComm, pr.TComp, pr.TRCSingle, pr.SpeedupSingle)
+	}
+
+	// Precision test: the candidates the designers weighed. The
+	// errors here are the published study's character (measure your
+	// own with your kernel against a float64 reference).
+	dev, _ := rat.LookupDevice("Virtex-4 LX100")
+	mul18, _ := rat.OperatorCost(dev, rat.OpMul, 18)
+	mul32, _ := rat.OperatorCost(dev, rat.OpMul, 32)
+	candidates := []rat.PrecisionCandidate{
+		{Label: "18-bit fixed", Width: 18, MaxError: 0.02, MulCost: mul18},
+		{Label: "32-bit fixed", Width: 32, MaxError: 0.002, MulCost: mul32},
+		{Label: "32-bit float", Width: 0, MaxError: 1e-6, MulCost: rat.Demand{DSP: 4, Logic: 600}},
+	}
+	chosen, notes, err := rat.RecommendPrecision(candidates, 0.03)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprecision test: chose %s\n", chosen.Label)
+	for _, n := range notes {
+		fmt.Println("  " + n)
+	}
+
+	// Resource test: a first-order demand estimate for the 8-pipeline
+	// design (one MAC each, Gaussian tables, buffers, wrapper).
+	demand := rat.Demand{DSP: 8, BRAM: 25, Logic: 6800}
+	rep := rat.CheckResources(dev, demand)
+	fmt.Printf("\nresource test on %s: fits=%v, limiting=%s (%.0f%%)\n",
+		dev.Name, rep.Fits, dev.KindName(rep.Limiting), rep.Utilization(rep.Limiting)*100)
+
+	// The full Figure 1 flow in one call.
+	out, err := rat.Evaluate(rat.Requirements{
+		TargetSpeedup:  10,
+		Buffering:      rat.SingleBuffered,
+		ErrorTolerance: 0.03,
+	}, rat.Design{Params: design, Candidates: candidates, Demand: demand, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmethodology verdict: %v\n", out.Verdict)
+
+	// Now "build" it: run the simulated Nallatech platform, the
+	// reproduction's stand-in for the paper's measured hardware.
+	sc, err := rat.CaseStudyScenario(rat.PDF1D, rat.MHz(150), rat.SingleBuffered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rat.Simulate(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := rat.MustPredict(design)
+	fmt.Printf("\npredicted vs simulated hardware at 150 MHz:\n")
+	fmt.Printf("  t_comm: %.2e predicted, %.2e measured (%.1fx under)\n",
+		pr.TComm, m.TComm(), m.TComm()/pr.TComm)
+	fmt.Printf("  t_comp: %.2e predicted, %.2e measured (%+.0f%%)\n",
+		pr.TComp, m.TComp(), (m.TComp()/pr.TComp-1)*100)
+	fmt.Printf("  speedup: %.1f predicted, %.1f measured (paper: 10.6 predicted, 7.8 measured)\n",
+		pr.SpeedupSingle, m.Speedup(design.Soft.TSoft))
+
+	// Finally, the part a real user does with their own code: measure
+	// a live t_soft on this machine. The application here is a small
+	// inline Parzen estimator — your kernel goes in its place.
+	samples := syntheticSamples(16384)
+	bins := make([]float64, 256)
+	for i := range bins {
+		bins[i] = -1 + (float64(i)+0.5)/128
+	}
+	start := time.Now()
+	density := parzen(samples, bins, 0.12)
+	elapsed := time.Since(start).Seconds()
+	scaled := elapsed * 204800 / float64(len(samples)) // scale to the paper's dataset
+	fmt.Printf("\nlive software baseline on this host: %.3f s for the full dataset\n", scaled)
+	fmt.Printf("(the paper's 2007 Xeon took 0.578 s; feed your own t_soft into the worksheet)\n\n")
+	fmt.Println("estimated density:")
+	fmt.Print(rat.Histogram(density, 72, 8))
+}
+
+// syntheticSamples draws a deterministic two-mode dataset.
+func syntheticSamples(n int) []float64 {
+	out := make([]float64, n)
+	s := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / float64(1<<53)
+	}
+	for i := range out {
+		u1, u2 := next(), next()
+		for u1 == 0 {
+			u1 = next()
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		x := -0.35 + 0.18*z
+		if next() < 0.4 {
+			x = 0.45 + 0.10*z
+		}
+		out[i] = math.Max(-0.999, math.Min(0.999, x))
+	}
+	return out
+}
+
+// parzen is the user-side software kernel: a plain Gaussian
+// Parzen-window estimate.
+func parzen(samples, bins []float64, h float64) []float64 {
+	out := make([]float64, len(bins))
+	inv := 1 / (2 * h * h)
+	scale := 1 / (float64(len(samples)) * h * math.Sqrt(2*math.Pi))
+	for _, x := range samples {
+		for b, c := range bins {
+			d := x - c
+			out[b] += scale * math.Exp(-d*d*inv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Quickstart: predict whether your application design is worth
+// migrating to an FPGA, before writing any hardware code.
+//
+// The scenario: you have a software kernel that processes 64k-element
+// blocks (4 bytes each) at 0.9 s for the whole 100-block problem, and
+// you sketch an FPGA design that should sustain 16 operations per
+// cycle somewhere between 100 and 200 MHz, behind a PCIe-class link.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rat "github.com/chrec/rat"
+)
+
+func main() {
+	design := rat.Parameters{
+		Name: "block transform",
+		Dataset: rat.DatasetParams{
+			ElementsIn:      65536,
+			ElementsOut:     65536,
+			BytesPerElement: 4,
+		},
+		Comm: rat.CommParams{
+			IdealThroughput: rat.GBps(2),
+			AlphaWrite:      0.6, // from your interconnect microbenchmark
+			AlphaRead:       0.6,
+		},
+		Comp: rat.CompParams{
+			OpsPerElement:  96, // counted from the algorithm structure
+			ThroughputProc: 16, // the parallelism your design sustains
+			ClockHz:        rat.MHz(150),
+		},
+		Soft: rat.SoftwareParams{
+			TSoft:      0.9, // measured software baseline
+			Iterations: 100,
+		},
+	}
+
+	pr, err := rat.Predict(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-iteration: t_comm = %.3g s, t_comp = %.3g s\n", pr.TComm, pr.TComp)
+	fmt.Printf("single-buffered: t_RC = %.3g s -> speedup %.1f\n", pr.TRCSingle, pr.SpeedupSingle)
+	fmt.Printf("double-buffered: t_RC = %.3g s -> speedup %.1f\n", pr.TRCDouble, pr.SpeedupDouble)
+	fmt.Printf("communication-bound? %v (comm utilization %.0f%%)\n",
+		pr.CommunicationBound(), pr.UtilCommSB*100)
+
+	// How good could it get? The asymptotic limit as parallelism
+	// grows, and what the design would need for a 10x goal.
+	fmt.Printf("\nspeedup limit (infinite parallelism): %.1f\n", pr.MaxSpeedup())
+	need, err := rat.SolveThroughputProc(design, 10, rat.DoubleBuffered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("for a 10x goal (double-buffered): sustain %.1f ops/cycle\n", need)
+
+	// Bracket the unknown routed clock, as the paper does.
+	fmt.Println("\nclock sweep:")
+	preds, err := rat.SweepClock(design, []float64{rat.MHz(100), rat.MHz(150), rat.MHz(200)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range preds {
+		fmt.Printf("  %3.0f MHz: speedup %.1f (SB) / %.1f (DB)\n",
+			p.Params.Comp.ClockHz/1e6, p.SpeedupSingle, p.SpeedupDouble)
+	}
+}

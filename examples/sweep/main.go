@@ -1,0 +1,105 @@
+// Design-space exploration with RAT: sweeps, crossovers and the
+// composite multi-kernel model. The scenario is a two-stage pipeline —
+// a filter kernel followed by a reduction — examined for block-size
+// and clock trade-offs before any hardware exists.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rat "github.com/chrec/rat"
+)
+
+func main() {
+	filter := rat.Parameters{
+		Name: "filter stage",
+		Dataset: rat.DatasetParams{
+			ElementsIn: 32768, ElementsOut: 32768, BytesPerElement: 4,
+		},
+		Comm: rat.CommParams{IdealThroughput: rat.GBps(1), AlphaWrite: 0.4, AlphaRead: 0.2},
+		Comp: rat.CompParams{OpsPerElement: 48, ThroughputProc: 12, ClockHz: rat.MHz(125)},
+		Soft: rat.SoftwareParams{TSoft: 1.8, Iterations: 64},
+	}
+	reduce := filter
+	reduce.Name = "reduction stage"
+	reduce.Dataset.ElementsOut = 1
+	reduce.Comp.OpsPerElement = 6
+	reduce.Comp.ThroughputProc = 8
+	reduce.Soft.TSoft = 0.2
+
+	// Where does the filter stage flip from compute-bound to
+	// communication-bound as the clock rises?
+	fc, err := rat.CrossoverClock(filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filter stage crossover clock: %.0f MHz\n", fc/1e6)
+
+	clocks := []float64{rat.MHz(50), rat.MHz(100), rat.MHz(200), rat.MHz(400), rat.MHz(800)}
+	pts, err := rat.SweepPoints(filter, clocks, func(p rat.Parameters, v float64) rat.Parameters {
+		return p.WithClock(v)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclock sweep (double-buffered):")
+	for _, pt := range pts {
+		regime := "compute-bound"
+		if pt.Prediction.CommunicationBound() {
+			regime = "comm-bound"
+		}
+		fmt.Printf("  %4.0f MHz: t_RC %.4f s, speedup %5.1f  [%s]\n",
+			pt.Value/1e6, pt.Prediction.TRCDouble, pt.Prediction.SpeedupDouble, regime)
+	}
+	if bracket, ok := rat.FindCrossover(pts); ok {
+		fmt.Printf("  -> regime flips between %.0f and %.0f MHz\n",
+			bracket[0].Value/1e6, bracket[1].Value/1e6)
+	}
+
+	// Block-size sweep: bigger blocks amortize per-transfer costs in
+	// the analytic model only through N_iter; the total work is
+	// constant (the model is linear), so this is a buffering-memory
+	// trade, not a speed trade — worth knowing before sizing BRAM.
+	fmt.Println("\nblock-size sweep (total work constant):")
+	blocks := []float64{8192, 16384, 32768, 65536}
+	bpts, err := rat.SweepPoints(filter, blocks, func(p rat.Parameters, v float64) rat.Parameters {
+		scale := v / float64(p.Dataset.ElementsIn)
+		p.Soft.Iterations = int64(float64(p.Soft.Iterations)/scale + 0.5)
+		p.Dataset.ElementsIn = int64(v)
+		p.Dataset.ElementsOut = int64(v)
+		return p
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range bpts {
+		fmt.Printf("  %5.0f elements x %3d iters: t_RC %.4f s\n",
+			pt.Value, pt.Prediction.Params.Soft.Iterations, pt.Prediction.TRCSingle)
+	}
+
+	// Composite analysis: both stages on one FPGA, sequentially.
+	comp, err := rat.PredictComposite([]rat.Stage{
+		{Name: filter.Name, Params: filter, Buffering: rat.DoubleBuffered},
+		{Name: reduce.Name, Params: reduce, Buffering: rat.SingleBuffered},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomposite application: t_RC %.4f s, speedup %.1f\n", comp.TRC, comp.Speedup)
+	for _, st := range comp.Stages {
+		fmt.Printf("  %-16s %5.1f%% of execution\n", st.Stage.Name, st.Share*100)
+	}
+	fmt.Printf("bottleneck: %s — reformulate that one first\n", comp.Bottleneck().Stage.Name)
+
+	// Streaming variant: what if the stages stream instead of
+	// block-transferring?
+	sp, err := rat.PredictStreaming(filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming the filter stage: t_RC %.4f s vs %.4f double-buffered (%.2fx)\n",
+		sp.TRCStream, sp.TRCDouble, sp.TRCDouble/sp.TRCStream)
+}

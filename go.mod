@@ -1,0 +1,3 @@
+module github.com/chrec/rat
+
+go 1.22

@@ -1,0 +1,141 @@
+package md
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+// Fixed-point evaluation of the Lennard-Jones pair interaction — the
+// numerical model of one force-pipeline lane, mirroring the 32-bit
+// datapath Design() describes: squared distance from three
+// subtract/square stages, the reciprocal via the iterative divider,
+// the r^-6/r^-12 power chain on multipliers, and the force scalar.
+// It exists for the precision test: MD's "precision choices" are one
+// of the design axes the paper names for the wildly varying published
+// MD speedups (0.29x / 2x / 46x), and this lets them be evaluated
+// empirically against the float64 reference, exactly as the PDF
+// studies evaluate theirs.
+
+// ForceConfig selects the datapath's number formats: positions and
+// displacements in Pos, the internal reciprocal/power chain in Inner
+// (which needs more integer headroom — r^-12 spans a huge dynamic
+// range), and the force output in Out.
+type ForceConfig struct {
+	Pos   fixed.Format
+	Inner fixed.Format
+	Out   fixed.Format
+}
+
+// ForceConfig32 is the as-built 32-bit datapath: Q8.24 positions
+// (box coordinates to ~6e-8), a Q12.20 inner chain and Q12.20 output.
+func ForceConfig32() ForceConfig {
+	return ForceConfig{
+		Pos:   fixed.Q(8, 24),
+		Inner: fixed.Q(12, 20),
+		Out:   fixed.Q(12, 20),
+	}
+}
+
+// ForceConfigForWidth scales the datapath to an arbitrary width in
+// [16, 32], keeping the same integer allocations.
+func ForceConfigForWidth(width int) (ForceConfig, error) {
+	if width < 16 || width > 32 {
+		return ForceConfig{}, fmt.Errorf("md: datapath width %d outside [16, 32]", width)
+	}
+	return ForceConfig{
+		Pos:   fixed.Q(8, width-8),
+		Inner: fixed.Q(12, width-12),
+		Out:   fixed.Q(12, width-12),
+	}, nil
+}
+
+// PairForceFixed evaluates the LJ force scalar F(r)/r = 24 r^-8 (2
+// r^-6 - 1) for the displacement (dx, dy, dz) through the fixed-point
+// datapath, returning the quantized scalar and whether any stage
+// saturated. Pairs beyond the format's representable r^-2 dynamic
+// range saturate exactly as the hardware would.
+func PairForceFixed(dx, dy, dz float64, cfg ForceConfig) (fOverR float64, saturated bool) {
+	pos, inner, out := cfg.Pos, cfg.Inner, cfg.Out
+	or := func(b bool, ov bool) bool { return b || ov }
+
+	qdx, ov := fixed.FromFloat(dx, pos, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	qdy, ov := fixed.FromFloat(dy, pos, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	qdz, ov := fixed.FromFloat(dz, pos, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+
+	// r^2 = dx^2 + dy^2 + dz^2 in the inner format.
+	sq := func(v fixed.Value) fixed.Value {
+		p, ov := fixed.Mul(v, v, inner, fixed.Nearest, fixed.Saturate)
+		saturated = or(saturated, ov)
+		return p
+	}
+	r2, ov := fixed.Add(sq(qdx), sq(qdy), fixed.Saturate)
+	saturated = or(saturated, ov)
+	r2, ov = fixed.Add(r2, sq(qdz), fixed.Saturate)
+	saturated = or(saturated, ov)
+	if r2.IsZero() {
+		return 0, true // coincident molecules: the hardware flags and skips
+	}
+
+	one := fixed.MustFromFloat(1, inner, fixed.Nearest)
+	inv2, ov := fixed.Div(one, r2, inner, fixed.Nearest, fixed.Saturate) // r^-2
+	saturated = or(saturated, ov)
+	inv4, ov := fixed.Mul(inv2, inv2, inner, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	inv6, ov := fixed.Mul(inv4, inv2, inner, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	inv8, ov := fixed.Mul(inv6, inv2, inner, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+
+	// 24 * inv8 * (2*inv6 - 1)
+	two6, ov := fixed.Add(inv6, inv6, fixed.Saturate)
+	saturated = or(saturated, ov)
+	bracket, ov := fixed.Sub(two6, one, fixed.Saturate)
+	saturated = or(saturated, ov)
+	prod, ov := fixed.Mul(inv8, bracket, inner, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	k24 := fixed.MustFromFloat(24, fixed.Q(12, 8), fixed.Nearest)
+	res, ov := fixed.Mul(prod, k24, out, fixed.Nearest, fixed.Saturate)
+	saturated = or(saturated, ov)
+	return res.Float(), saturated
+}
+
+// ForceDatapathError measures the maximum relative error of the
+// fixed-point force datapath against float64 over pair distances in
+// [rMin, rMax], normalized by the largest force magnitude in the range
+// — the MD analogue of the PDF studies' precision measurement. Samples
+// are spread uniformly over the range.
+func ForceDatapathError(cfg ForceConfig, rMin, rMax float64, samples int) (float64, error) {
+	if rMin <= 0 || rMax <= rMin || samples < 2 {
+		return 0, fmt.Errorf("md: bad error-scan range [%g, %g] x %d", rMin, rMax, samples)
+	}
+	var peak float64
+	refs := make([]float64, samples)
+	rs := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		r := rMin + (rMax-rMin)*float64(i)/float64(samples-1)
+		ref, _ := ljPair(r * r)
+		rs[i], refs[i] = r, ref
+		if a := abs(ref); a > peak {
+			peak = a
+		}
+	}
+	var worst float64
+	for i, r := range rs {
+		got, _ := PairForceFixed(r, 0, 0, cfg)
+		if d := abs(got - refs[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / peak, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,129 @@
+package md_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/md"
+)
+
+// reference force scalar for a separation r.
+func refForce(r float64) float64 {
+	r2 := r * r
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	return 24 * inv2 * inv6 * (2*inv6 - 1)
+}
+
+// TestPairForceFixedAccuracy: the 32-bit datapath tracks float64
+// through the physically interesting range (repulsive wall through the
+// attractive tail).
+func TestPairForceFixedAccuracy(t *testing.T) {
+	cfg := md.ForceConfig32()
+	for _, r := range []float64{0.95, 1.0, 1.1, 1.122, 1.3, 1.7, 2.2, 3.0} {
+		got, sat := md.PairForceFixed(r, 0, 0, cfg)
+		want := refForce(r)
+		tol := 1e-3 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("r=%.3f: fixed %.6f vs float %.6f", r, got, want)
+		}
+		if sat {
+			t.Errorf("r=%.3f: unexpected saturation", r)
+		}
+	}
+}
+
+// TestPairForceFixedSign: repulsive inside the LJ minimum, attractive
+// outside, ~zero at 2^(1/6).
+func TestPairForceFixedSign(t *testing.T) {
+	cfg := md.ForceConfig32()
+	if f, _ := md.PairForceFixed(1.0, 0, 0, cfg); f <= 0 {
+		t.Errorf("r=1: force scalar %g, want repulsive (positive)", f)
+	}
+	if f, _ := md.PairForceFixed(1.5, 0, 0, cfg); f >= 0 {
+		t.Errorf("r=1.5: force scalar %g, want attractive (negative)", f)
+	}
+	if f, _ := md.PairForceFixed(math.Pow(2, 1.0/6), 0, 0, cfg); math.Abs(f) > 0.05 {
+		t.Errorf("at the LJ minimum: force scalar %g, want ~0", f)
+	}
+}
+
+// TestPairForceFixedVectorDisplacement: the datapath accepts full 3-D
+// displacements.
+func TestPairForceFixedVectorDisplacement(t *testing.T) {
+	cfg := md.ForceConfig32()
+	// |(0.6, 0.8, 0)| = 1.0.
+	got, _ := md.PairForceFixed(0.6, 0.8, 0, cfg)
+	want := refForce(1.0)
+	if math.Abs(got-want) > 1e-3*(1+math.Abs(want)) {
+		t.Errorf("3-D displacement: %g vs %g", got, want)
+	}
+}
+
+// TestPairForceFixedSaturation: deeply overlapping pairs exceed the
+// datapath's dynamic range and must flag saturation; coincident pairs
+// flag and return zero.
+func TestPairForceFixedSaturation(t *testing.T) {
+	cfg := md.ForceConfig32()
+	if _, sat := md.PairForceFixed(0.3, 0, 0, cfg); !sat {
+		t.Error("r=0.3 (r^-12 ~ 2^20+) should saturate the inner chain")
+	}
+	f, sat := md.PairForceFixed(0, 0, 0, cfg)
+	if !sat || f != 0 {
+		t.Errorf("coincident pair: f=%g sat=%v, want 0 and flagged", f, sat)
+	}
+}
+
+// TestForceDatapathErrorByWidth: the datapath error shrinks with
+// width; 32 bits is comfortably inside 0.1%, 16 bits is visibly worse.
+func TestForceDatapathErrorByWidth(t *testing.T) {
+	prev := math.Inf(1)
+	for _, w := range []int{16, 20, 24, 32} {
+		cfg, err := md.ForceConfigForWidth(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := md.ForceDatapathError(cfg, 0.95, 3.0, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev*1.5 {
+			t.Errorf("width %d error %.2e worse than narrower %.2e", w, e, prev)
+		}
+		prev = e
+	}
+	cfg := md.ForceConfig32()
+	e, err := md.ForceDatapathError(cfg, 0.95, 3.0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-3 {
+		t.Errorf("32-bit datapath error = %.2e, want under 0.1%%", e)
+	}
+	cfg16, _ := md.ForceConfigForWidth(16)
+	e16, err := md.ForceDatapathError(cfg16, 0.95, 3.0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e16 <= e {
+		t.Errorf("16-bit error %.2e not worse than 32-bit %.2e", e16, e)
+	}
+}
+
+func TestForceConfigValidation(t *testing.T) {
+	if _, err := md.ForceConfigForWidth(15); err == nil {
+		t.Error("width 15 accepted")
+	}
+	if _, err := md.ForceConfigForWidth(33); err == nil {
+		t.Error("width 33 accepted")
+	}
+	if _, err := md.ForceDatapathError(md.ForceConfig32(), 0, 1, 10); err == nil {
+		t.Error("zero rMin accepted")
+	}
+	if _, err := md.ForceDatapathError(md.ForceConfig32(), 2, 1, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := md.ForceDatapathError(md.ForceConfig32(), 1, 2, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+}

@@ -1,0 +1,323 @@
+package md_test
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/md"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// canonical caches the full 16384-molecule dataset and its neighbour
+// profile; building it costs a second or two, so tests share it.
+var canonical = struct {
+	once      sync.Once
+	sys       *md.System
+	neighbors []int
+}{}
+
+func canonicalSystem(t *testing.T) (*md.System, []int) {
+	t.Helper()
+	canonical.once.Do(func() {
+		canonical.sys = md.GenerateSystem(md.Molecules, 1)
+		canonical.neighbors = md.NeighborCounts(canonical.sys)
+	})
+	return canonical.sys, canonical.neighbors
+}
+
+func TestWorksheetReproducesTable8(t *testing.T) {
+	got := md.Worksheet()
+	want := paper.MDParams()
+	if got.Dataset != want.Dataset {
+		t.Errorf("dataset params %+v, want %+v", got.Dataset, want.Dataset)
+	}
+	if got.Comm != want.Comm {
+		t.Errorf("comm params %+v, want %+v", got.Comm, want.Comm)
+	}
+	if got.Comp != want.Comp {
+		t.Errorf("comp params %+v, want %+v", got.Comp, want.Comp)
+	}
+	if got.Soft != want.Soft {
+		t.Errorf("soft params %+v, want %+v", got.Soft, want.Soft)
+	}
+}
+
+func TestGenerateSystemDeterministic(t *testing.T) {
+	a := md.GenerateSystem(100, 5)
+	b := md.GenerateSystem(100, 5)
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	for _, p := range a.Pos {
+		if p.X < 0 || p.X >= a.Box || p.Y < 0 || p.Y >= a.Box || p.Z < 0 || p.Z >= a.Box {
+			t.Fatalf("position %+v outside box", p)
+		}
+	}
+	if z := md.GenerateSystem(10, 0); z.N() != 10 {
+		t.Error("zero seed broken")
+	}
+}
+
+// TestForceEnginesAgree: all-pairs and cell-list must produce
+// identical physics (same pairs, potential and accelerations) — the
+// cell list is an optimization, not an approximation.
+func TestForceEnginesAgree(t *testing.T) {
+	s := md.GenerateSystem(500, 9)
+	ap := md.ForcesAllPairs(s)
+	cl := md.ForcesCellList(s)
+	if ap.Pairs != cl.Pairs {
+		t.Fatalf("pair counts differ: all-pairs %d, cell-list %d", ap.Pairs, cl.Pairs)
+	}
+	if math.Abs(ap.Potential-cl.Potential) > 1e-9*math.Abs(ap.Potential) {
+		t.Errorf("potentials differ: %g vs %g", ap.Potential, cl.Potential)
+	}
+	for i := range ap.Acc {
+		d := ap.Acc[i].Sub(cl.Acc[i])
+		// Uniform placement creates near-overlapping pairs with
+		// enormous forces, so summation order costs a few ULPs:
+		// compare relatively.
+		if math.Sqrt(d.Dot(d)) > 1e-9*(1+math.Sqrt(ap.Acc[i].Dot(ap.Acc[i]))) {
+			t.Fatalf("acceleration %d differs: %+v vs %+v", i, ap.Acc[i], cl.Acc[i])
+		}
+	}
+}
+
+// TestNewtonThirdLaw: total force sums to zero.
+func TestNewtonThirdLaw(t *testing.T) {
+	s := md.GenerateSystem(300, 4)
+	f := md.ForcesAllPairs(s)
+	var total md.Vec3
+	for _, a := range f.Acc {
+		total = total.Add(a)
+	}
+	if math.Abs(total.X)+math.Abs(total.Y)+math.Abs(total.Z) > 1e-8 {
+		t.Errorf("net force %+v, want ~0", total)
+	}
+}
+
+// TestLJPairSign: strongly overlapping molecules repel; molecules near
+// the potential minimum attract.
+func TestLJPairSign(t *testing.T) {
+	s := &md.System{Box: 100, Cutoff: 5,
+		Pos: []md.Vec3{{X: 1, Y: 1, Z: 1}, {X: 1.9, Y: 1, Z: 1}},
+		Vel: make([]md.Vec3, 2), Acc: make([]md.Vec3, 2)}
+	f := md.ForcesAllPairs(s)
+	if f.Acc[0].X >= 0 || f.Acc[1].X <= 0 {
+		t.Errorf("r=0.9: expected repulsion, got %+v", f.Acc)
+	}
+	s.Pos[1].X = 2.3 // r = 1.3 > 2^(1/6): attractive branch
+	f = md.ForcesAllPairs(s)
+	if f.Acc[0].X <= 0 || f.Acc[1].X >= 0 {
+		t.Errorf("r=1.3: expected attraction, got %+v", f.Acc)
+	}
+}
+
+// TestMinimumImage: a pair straddling the periodic boundary interacts
+// as if adjacent.
+func TestMinimumImage(t *testing.T) {
+	s := &md.System{Box: 32, Cutoff: 5,
+		Pos: []md.Vec3{{X: 0.2, Y: 16, Z: 16}, {X: 31.8, Y: 16, Z: 16}},
+		Vel: make([]md.Vec3, 2), Acc: make([]md.Vec3, 2)}
+	f := md.ForcesAllPairs(s)
+	if f.Pairs != 1 {
+		t.Fatalf("periodic pair not found: %d pairs", f.Pairs)
+	}
+	// Separation is 0.4 through the boundary: strong repulsion
+	// pushing molecule 0 in +X.
+	if f.Acc[0].X <= 0 {
+		t.Errorf("boundary pair force wrong: %+v", f.Acc[0])
+	}
+}
+
+// TestVerletEnergyConservation: a short NVE run conserves total energy
+// to a loose tolerance.
+func TestVerletEnergyConservation(t *testing.T) {
+	s := md.GenerateSystem(200, 12)
+	// Relax overlaps from uniform placement first: a few tiny steps.
+	for i := 0; i < 20; i++ {
+		md.Step(s, 1e-5, md.ForcesCellList)
+	}
+	f := md.ForcesCellList(s)
+	e0 := s.KineticEnergy() + f.Potential
+	var drift float64
+	for i := 0; i < 100; i++ {
+		ff := md.Step(s, 1e-4, md.ForcesCellList)
+		e := s.KineticEnergy() + ff.Potential
+		if d := math.Abs(e - e0); d > drift {
+			drift = d
+		}
+	}
+	scale := math.Max(math.Abs(e0), s.KineticEnergy())
+	if drift > 0.05*scale {
+		t.Errorf("energy drift %g exceeds 5%% of %g", drift, scale)
+	}
+}
+
+func TestNeighborCountsSane(t *testing.T) {
+	s := md.GenerateSystem(2000, 3)
+	counts := md.NeighborCounts(s)
+	var sum int
+	for _, c := range counts {
+		sum += c
+	}
+	// Density 2000/32768 with cutoff 5: expect ~32 mean neighbours.
+	mean := float64(sum) / float64(len(counts))
+	expect := 2000.0 / (32 * 32 * 32) * (4.0 / 3.0) * math.Pi * 125
+	if mean < 0.8*expect || mean > 1.2*expect {
+		t.Errorf("mean neighbours %.1f, expect ~%.1f", mean, expect)
+	}
+	// Directed neighbour total is twice the pair count.
+	f := md.ForcesCellList(s)
+	if int64(sum) != 2*f.Pairs {
+		t.Errorf("neighbour total %d != 2 x pairs %d", sum, f.Pairs)
+	}
+}
+
+// TestKernelCyclesCalibration: the data-dependent hardware model lands
+// on the paper's measured t_comp = 8.79E-1 s at 100 MHz for the
+// canonical dataset.
+func TestKernelCyclesCalibration(t *testing.T) {
+	_, neighbors := canonicalSystem(t)
+	cycles := md.KernelCycles(neighbors)
+	tComp := float64(cycles) / 100e6
+	if math.Abs(tComp-8.79e-1) > 0.02*8.79e-1 {
+		t.Errorf("simulated t_comp = %.4e s at 100 MHz, paper measured 8.79e-1", tComp)
+	}
+	// Effective ops/cycle against the worksheet's estimated scope:
+	// well below the solved 50 — the design fell short of its goal,
+	// which is why the measured speedup is 6.6, not 10.
+	eff := float64(md.Molecules) * 164000 / float64(cycles)
+	if eff < 25 || eff > 40 {
+		t.Errorf("effective ops/cycle = %.1f, want ~31", eff)
+	}
+}
+
+// TestSimulatedHardwareReproducesTable9Actual: the full simulated
+// XD1000 run at 100 MHz reproduces the measured column of Table 9.
+func TestSimulatedHardwareReproducesTable9Actual(t *testing.T) {
+	s, _ := canonicalSystem(t)
+	sc, err := md.Scenario(s, core.MHz(100), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rcsim.MustRun(sc)
+	actual := paper.ActualRow(paper.MD)
+	if got := m.TComm(); math.Abs(got-actual.TComm) > 0.02*actual.TComm {
+		t.Errorf("simulated t_comm = %.4e, paper measured %.3e", got, actual.TComm)
+	}
+	if got := m.TComp(); math.Abs(got-actual.TComp) > 0.02*actual.TComp {
+		t.Errorf("simulated t_comp = %.4e, paper measured %.3e", got, actual.TComp)
+	}
+	if got := m.TRC(); math.Abs(got-actual.TRC) > 0.02*actual.TRC {
+		t.Errorf("simulated t_RC = %.4e, paper measured %.3e", got, actual.TRC)
+	}
+	speedup := m.Speedup(md.Worksheet().Soft.TSoft)
+	if math.Abs(speedup-actual.Speedup) > 0.15 {
+		t.Errorf("simulated speedup = %.2f, paper measured %.1f", speedup, actual.Speedup)
+	}
+}
+
+// TestPredictionErrorShape: the Section 5.2 narrative — communication
+// prediction pessimistic (actual beats it), computation prediction
+// optimistic (actual misses the solved target), both the same order of
+// magnitude as measured.
+func TestPredictionErrorShape(t *testing.T) {
+	s, _ := canonicalSystem(t)
+	pr := core.MustPredict(md.Worksheet().WithClock(core.MHz(100)))
+	sc, err := md.Scenario(s, core.MHz(100), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rcsim.MustRun(sc)
+	if m.TComm() >= pr.TComm {
+		t.Errorf("measured comm %.3e should beat the conservative prediction %.3e", m.TComm(), pr.TComm)
+	}
+	if m.TComp() <= pr.TComp {
+		t.Errorf("measured comp %.3e should exceed the tuned prediction %.3e", m.TComp(), pr.TComp)
+	}
+	for _, ratio := range []float64{m.TComm() / pr.TComm, m.TComp() / pr.TComp} {
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("ratio %.2f breaks the same-order-of-magnitude property", ratio)
+		}
+	}
+}
+
+func TestScenarioRejectsWrongSize(t *testing.T) {
+	s := md.GenerateSystem(100, 1)
+	if _, err := md.Scenario(s, core.MHz(100), core.SingleBuffered); !errors.Is(err, md.ErrSystemSize) {
+		t.Errorf("error = %v, want ErrSystemSize", err)
+	}
+}
+
+// TestInverseSolverStory: the worksheet's throughput_proc = 50 comes
+// from solving the 10x goal at 100 MHz (46.7, rounded up).
+func TestInverseSolverStory(t *testing.T) {
+	p := md.Worksheet().WithClock(core.MHz(100))
+	got, err := core.SolveThroughputProc(p, 10, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 46 || got > 48 {
+		t.Errorf("solved throughput_proc = %.1f, want ~46.7", got)
+	}
+}
+
+// TestResourceReportShape: Table 10's picture — the 9-bit DSP elements
+// fully consumed (the multiplier wall that capped parallelism), a
+// large fraction of the ALUTs, and roughly half the block memory.
+func TestResourceReportShape(t *testing.T) {
+	rep, err := md.ResourceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fits {
+		t.Fatalf("MD design must (just) fit the EP2S180: %+v", rep)
+	}
+	if got := rep.Utilization(resource.DSP); math.Abs(got-1.0) > 0.01 {
+		t.Errorf("DSP utilization = %.3f, want ~1.00 (multiplier-limited)", got)
+	}
+	if rep.Limiting != resource.DSP {
+		t.Errorf("limiting resource = %v, want DSP", rep.Limiting)
+	}
+	if got := rep.Utilization(resource.Logic); got < 0.5 || got > 0.85 {
+		t.Errorf("ALUT utilization = %.3f, want a large fraction (~0.7)", got)
+	}
+	if got := rep.Utilization(resource.BRAM); got < 0.3 || got > 0.75 {
+		t.Errorf("BRAM utilization = %.3f, want ~0.5", got)
+	}
+	// A fifth pipeline must NOT fit: DSPs are exhausted.
+	dev := rep.Device
+	fiveWide := md.Design()
+	fiveWide.Pipelines = md.Pipelines + 1
+	d5, err := fiveWide.ResourceDemand(dev, md.Molecules, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resource.Check(dev, d5).Fits {
+		t.Error("adding a fifth force pipeline should exceed the DSP inventory")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	a := md.Vec3{X: 1, Y: 2, Z: 3}
+	b := md.Vec3{X: -1, Y: 0.5, Z: 2}
+	if got := a.Add(b); got != (md.Vec3{X: 0, Y: 2.5, Z: 5}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got != (md.Vec3{X: 2, Y: 1.5, Z: 1}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got != (md.Vec3{X: 2, Y: 4, Z: 6}) {
+		t.Errorf("Scale = %+v", got)
+	}
+	if got := a.Dot(b); got != -1+1+6 {
+		t.Errorf("Dot = %g", got)
+	}
+}

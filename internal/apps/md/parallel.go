@@ -1,0 +1,87 @@
+package md
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForcesParallel evaluates the same forces as ForcesCellList across
+// all CPU cores. The one-sided accumulation (each molecule sums its
+// own incoming interactions) makes rows independent, so molecules
+// partition across workers with no locking on the hot path; each
+// worker keeps a private potential/pair tally merged at the end.
+//
+// The result is bit-identical to ForcesCellList for every molecule's
+// acceleration (same per-row summation order) and for the pair count;
+// only the global potential may differ in the last few ULPs because
+// per-worker partial sums merge in a different order.
+//
+// This is the baseline a library user would actually time t_soft
+// against on a modern multicore host; the paper's serial ORNL code
+// predates that concern.
+func ForcesParallel(s *System) Forces {
+	n := s.N()
+	f := Forces{Acc: make([]Vec3, n)}
+	rc2 := s.Cutoff * s.Cutoff
+	cells, bins := buildCells(s)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type tally struct {
+		potential float64
+		pairs     int64
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := &tallies[w]
+			seen := map[int]bool{}
+			for i := lo; i < hi; i++ {
+				p := s.Pos[i]
+				cx := cellIndex(p.X, cells, s.Box)
+				cy := cellIndex(p.Y, cells, s.Box)
+				cz := cellIndex(p.Z, cells, s.Box)
+				clear(seen)
+				forEachNeighborCell(cells, cx, cy, cz, func(c int) {
+					if seen[c] {
+						return
+					}
+					seen[c] = true
+					for _, j32 := range bins[c] {
+						j := int(j32)
+						if j == i {
+							continue
+						}
+						d := s.displacement(i, j)
+						r2 := d.Dot(d)
+						if r2 >= rc2 || r2 == 0 {
+							continue
+						}
+						fr, u := s.pairInteraction(i, j, r2)
+						f.Acc[i] = f.Acc[i].Add(d.Scale(fr))
+						t.potential += u / 2
+						t.pairs++
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, t := range tallies {
+		f.Potential += t.potential
+		f.Pairs += t.pairs
+	}
+	f.Pairs /= 2
+	return f
+}

@@ -1,0 +1,94 @@
+package md_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/md"
+)
+
+// TestParallelMatchesSerial: the parallel force engine is bit-identical
+// to the cell-list engine on accelerations and pair counts, and agrees
+// on the potential to merge-order ULPs.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, sys := range []*md.System{
+		md.GenerateSystem(700, 9),
+		md.GenerateIonicSystem(500, 4, 0.4),
+	} {
+		serial := md.ForcesCellList(sys)
+		parallel := md.ForcesParallel(sys)
+		if serial.Pairs != parallel.Pairs {
+			t.Fatalf("pairs differ: %d vs %d", serial.Pairs, parallel.Pairs)
+		}
+		for i := range serial.Acc {
+			if serial.Acc[i] != parallel.Acc[i] {
+				t.Fatalf("acceleration %d differs: %+v vs %+v", i, serial.Acc[i], parallel.Acc[i])
+			}
+		}
+		if d := math.Abs(serial.Potential - parallel.Potential); d > 1e-9*(1+math.Abs(serial.Potential)) {
+			t.Errorf("potentials differ beyond merge-order noise: %g vs %g", serial.Potential, parallel.Potential)
+		}
+	}
+}
+
+// TestParallelSmallSystems: worker partitioning handles systems
+// smaller than the core count.
+func TestParallelSmallSystems(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		sys := md.GenerateSystem(n, 7)
+		serial := md.ForcesCellList(sys)
+		parallel := md.ForcesParallel(sys)
+		if serial.Pairs != parallel.Pairs {
+			t.Errorf("n=%d: pairs differ", n)
+		}
+		for i := range serial.Acc {
+			if serial.Acc[i] != parallel.Acc[i] {
+				t.Errorf("n=%d: acceleration %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestStepWithParallelEngine: the integrator accepts the parallel
+// engine interchangeably.
+func TestStepWithParallelEngine(t *testing.T) {
+	a := md.GenerateSystem(300, 11)
+	b := md.GenerateSystem(300, 11)
+	for i := 0; i < 10; i++ {
+		md.Step(a, 1e-5, md.ForcesCellList)
+		md.Step(b, 1e-5, md.ForcesParallel)
+	}
+	for i := range a.Pos {
+		d := a.Pos[i].Sub(b.Pos[i])
+		if math.Sqrt(d.Dot(d)) > 1e-12 {
+			t.Fatalf("trajectories diverged at molecule %d", i)
+		}
+	}
+}
+
+func BenchmarkForcesCellList(b *testing.B) {
+	sys := md.GenerateSystem(2000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md.ForcesCellList(sys)
+	}
+}
+
+func BenchmarkForcesParallel(b *testing.B) {
+	sys := md.GenerateSystem(2000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md.ForcesParallel(sys)
+	}
+}
+
+func BenchmarkForcesAllPairs(b *testing.B) {
+	sys := md.GenerateSystem(1000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md.ForcesAllPairs(sys)
+	}
+}

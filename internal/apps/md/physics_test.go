@@ -1,0 +1,229 @@
+package md_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/md"
+)
+
+func TestSetCharges(t *testing.T) {
+	s := md.GenerateSystem(10, 1)
+	if err := s.SetCharges(make([]float64, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetCharges(make([]float64, 9)); err == nil {
+		t.Error("mismatched charge count accepted")
+	}
+	if err := s.SetCharges(nil); err != nil || s.Charge != nil {
+		t.Error("nil charges should clear")
+	}
+}
+
+// TestCoulombSigns: like charges repel, opposite charges attract, on
+// top of the LJ baseline.
+func TestCoulombSigns(t *testing.T) {
+	// Two molecules near the LJ zero-force distance so the Coulomb
+	// term dominates the sign.
+	base := func() *md.System {
+		return &md.System{Box: 100, Cutoff: 10,
+			Pos: []md.Vec3{{X: 10, Y: 10, Z: 10}, {X: 10 + math.Pow(2, 1.0/6), Y: 10, Z: 10}},
+			Vel: make([]md.Vec3, 2), Acc: make([]md.Vec3, 2)}
+	}
+	neutral := md.ForcesAllPairs(base())
+	if math.Abs(neutral.Acc[0].X) > 1e-9 {
+		t.Fatalf("LJ force at the minimum should vanish, got %g", neutral.Acc[0].X)
+	}
+	like := base()
+	if err := like.SetCharges([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	f := md.ForcesAllPairs(like)
+	if f.Acc[0].X >= 0 || f.Acc[1].X <= 0 {
+		t.Errorf("like charges must repel: %+v", f.Acc)
+	}
+	opposite := base()
+	if err := opposite.SetCharges([]float64{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	f = md.ForcesAllPairs(opposite)
+	if f.Acc[0].X <= 0 || f.Acc[1].X >= 0 {
+		t.Errorf("opposite charges must attract: %+v", f.Acc)
+	}
+	if f.Potential >= 0 {
+		t.Errorf("opposite-charge potential %g should be negative", f.Potential)
+	}
+}
+
+// TestChargedEnginesAgree: the electrostatic path is identical in both
+// force engines.
+func TestChargedEnginesAgree(t *testing.T) {
+	s := md.GenerateIonicSystem(400, 9, 0.5)
+	ap := md.ForcesAllPairs(s)
+	cl := md.ForcesCellList(s)
+	if ap.Pairs != cl.Pairs {
+		t.Fatalf("pairs differ: %d vs %d", ap.Pairs, cl.Pairs)
+	}
+	if math.Abs(ap.Potential-cl.Potential) > 1e-9*(1+math.Abs(ap.Potential)) {
+		t.Errorf("potentials differ: %g vs %g", ap.Potential, cl.Potential)
+	}
+	for i := range ap.Acc {
+		d := ap.Acc[i].Sub(cl.Acc[i])
+		if math.Sqrt(d.Dot(d)) > 1e-9*(1+math.Sqrt(ap.Acc[i].Dot(ap.Acc[i]))) {
+			t.Fatalf("acceleration %d differs", i)
+		}
+	}
+}
+
+func TestGenerateIonicSystemNeutral(t *testing.T) {
+	s := md.GenerateIonicSystem(100, 3, 0.8)
+	var total float64
+	for _, q := range s.Charge {
+		total += q
+	}
+	if total != 0 {
+		t.Errorf("net charge %g, want 0", total)
+	}
+	if s.Charge[0] != 0.8 || s.Charge[1] != -0.8 {
+		t.Errorf("charge pattern wrong: %g, %g", s.Charge[0], s.Charge[1])
+	}
+}
+
+func TestTemperatureAndThermostat(t *testing.T) {
+	s := md.GenerateSystem(500, 4)
+	t0 := s.Temperature()
+	if t0 <= 0 {
+		t.Fatalf("generated system temperature %g", t0)
+	}
+	s.RescaleTemperature(2 * t0)
+	if got := s.Temperature(); math.Abs(got-2*t0) > 1e-9*t0 {
+		t.Errorf("rescaled temperature %g, want %g", got, 2*t0)
+	}
+	// No-ops.
+	s.RescaleTemperature(0)
+	if got := s.Temperature(); math.Abs(got-2*t0) > 1e-9*t0 {
+		t.Error("zero-target rescale must be a no-op")
+	}
+	frozen := md.GenerateSystem(10, 1)
+	for i := range frozen.Vel {
+		frozen.Vel[i] = md.Vec3{}
+	}
+	frozen.RescaleTemperature(1) // must not divide by zero
+	if frozen.Temperature() != 0 {
+		t.Error("motionless system must stay motionless")
+	}
+	empty := &md.System{Box: 10, Cutoff: 2}
+	if empty.Temperature() != 0 {
+		t.Error("empty system temperature")
+	}
+}
+
+func TestRemoveDrift(t *testing.T) {
+	s := md.GenerateSystem(200, 8)
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Add(md.Vec3{X: 3}) // inject drift
+	}
+	s.RemoveDrift()
+	p := s.TotalMomentum()
+	if math.Abs(p.X)+math.Abs(p.Y)+math.Abs(p.Z) > 1e-9 {
+		t.Errorf("residual momentum %+v", p)
+	}
+	empty := &md.System{Box: 10, Cutoff: 2}
+	empty.RemoveDrift() // must not panic
+}
+
+// TestMomentumConservation: Verlet steps conserve momentum (forces sum
+// to zero pairwise).
+func TestMomentumConservation(t *testing.T) {
+	s := md.GenerateSystem(300, 11)
+	s.RemoveDrift()
+	for i := 0; i < 20; i++ {
+		md.Step(s, 1e-5, md.ForcesCellList)
+	}
+	p := s.TotalMomentum()
+	if math.Abs(p.X)+math.Abs(p.Y)+math.Abs(p.Z) > 1e-7 {
+		t.Errorf("momentum drifted to %+v", p)
+	}
+}
+
+func TestRDF(t *testing.T) {
+	s := md.GenerateSystem(1500, 5)
+	g, err := md.RDF(s, 50, s.Box/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 50 {
+		t.Fatalf("bins = %d", len(g))
+	}
+	// Uniform random placement: g(r) ~ 1 beyond short range.
+	var tail float64
+	for _, v := range g[25:] {
+		tail += v
+	}
+	tail /= 25
+	if tail < 0.9 || tail > 1.1 {
+		t.Errorf("uniform-system g(r) tail = %.3f, want ~1", tail)
+	}
+	for i, v := range g {
+		if v < 0 {
+			t.Fatalf("negative g at bin %d", i)
+		}
+	}
+}
+
+func TestRDFOnLattice(t *testing.T) {
+	// Two molecules at a known separation: g spikes in exactly that
+	// bin.
+	s := &md.System{Box: 20, Cutoff: 5,
+		Pos: []md.Vec3{{X: 5, Y: 5, Z: 5}, {X: 8, Y: 5, Z: 5}},
+		Vel: make([]md.Vec3, 2), Acc: make([]md.Vec3, 2)}
+	g, err := md.RDF(s, 10, 10) // dr = 1; separation 3 -> bin 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g {
+		if i == 3 && v == 0 {
+			t.Error("separation bin empty")
+		}
+		if i != 3 && v != 0 {
+			t.Errorf("unexpected density in bin %d", i)
+		}
+	}
+}
+
+func TestRDFErrors(t *testing.T) {
+	s := md.GenerateSystem(10, 1)
+	if _, err := md.RDF(s, 0, 5); !errors.Is(err, md.ErrBadBins) {
+		t.Errorf("zero bins: %v", err)
+	}
+	if _, err := md.RDF(s, 10, 0); !errors.Is(err, md.ErrBadBins) {
+		t.Errorf("zero range: %v", err)
+	}
+	if _, err := md.RDF(s, 10, s.Box); err == nil {
+		t.Error("range beyond half-box accepted")
+	}
+}
+
+// TestChargedEnergyConservation: the combined LJ+Coulomb integrator
+// still conserves energy.
+func TestChargedEnergyConservation(t *testing.T) {
+	s := md.GenerateIonicSystem(150, 12, 0.3)
+	for i := 0; i < 20; i++ {
+		md.Step(s, 1e-5, md.ForcesCellList)
+	}
+	f := md.ForcesCellList(s)
+	e0 := s.KineticEnergy() + f.Potential
+	var drift float64
+	for i := 0; i < 80; i++ {
+		ff := md.Step(s, 1e-4, md.ForcesCellList)
+		e := s.KineticEnergy() + ff.Potential
+		if d := math.Abs(e - e0); d > drift {
+			drift = d
+		}
+	}
+	scale := math.Max(math.Abs(e0), s.KineticEnergy())
+	if drift > 0.08*scale {
+		t.Errorf("charged-system energy drift %g exceeds 8%% of %g", drift, scale)
+	}
+}

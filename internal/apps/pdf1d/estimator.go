@@ -1,0 +1,107 @@
+package pdf1d
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+// FixedEstimator mirrors the hardware's execution structure: batches
+// of samples stream in iteration by iteration while per-bin running
+// totals accumulate on chip ("internal registering for each bin keeps
+// a running total of the impact of all processed elements"); the
+// estimate reads out once at the end, exactly like the 1-D design's
+// single final result transfer.
+//
+// Feeding the full dataset through ProcessBatch in 512-element batches
+// produces bit-identical results to the monolithic EstimateFixed call
+// — the numerical property that lets the paper treat batching as a
+// pure communication-scheduling decision.
+type FixedEstimator struct {
+	cfg      HWConfig
+	params   Params
+	lut      []fixed.Value
+	scaleFx  fixed.Value
+	preScale float64
+	qbins    []fixed.Value
+	accs     []*fixed.Acc
+	batches  int
+	samples  int
+}
+
+// NewFixedEstimator prepares the datapath for the given bin centers.
+func NewFixedEstimator(bins []float64, p Params, cfg HWConfig) (*FixedEstimator, error) {
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("pdf1d: estimator needs at least one bin")
+	}
+	if !cfg.Format.Valid() || cfg.LUTBits < 1 || cfg.LUTBits >= cfg.Format.Width() {
+		return nil, fmt.Errorf("pdf1d: invalid hardware configuration %+v", cfg)
+	}
+	e := &FixedEstimator{
+		cfg:      cfg,
+		params:   p,
+		lut:      gaussianLUT(cfg, p),
+		preScale: math.Exp2(math.Floor(math.Log2(1 / p.Scale))),
+		qbins:    make([]fixed.Value, len(bins)),
+		accs:     make([]*fixed.Acc, len(bins)),
+	}
+	e.scaleFx = fixed.MustFromFloat(p.Scale*e.preScale, cfg.Format, fixed.Nearest)
+	for i, c := range bins {
+		e.qbins[i] = fixed.MustFromFloat(c, cfg.Format, fixed.Nearest)
+	}
+	for i := range e.accs {
+		e.accs[i] = fixed.MustNewAcc(cfg.Format.Frac, cfg.Format.Frac+22)
+	}
+	return e, nil
+}
+
+// ProcessBatch streams one iteration's samples through the datapath.
+func (e *FixedEstimator) ProcessBatch(samples []float64) {
+	for _, x := range samples {
+		qx, _ := fixed.FromFloat(x, e.cfg.Format, fixed.Nearest, fixed.Saturate)
+		for b, c := range e.qbins {
+			d, _ := fixed.Sub(qx, c, fixed.Saturate)
+			g := e.lut[lutIndex(d, e.cfg)]
+			prod, _ := fixed.Mul(g, e.scaleFx, e.cfg.Format, fixed.Nearest, fixed.Saturate)
+			e.accs[b].AddValue(prod)
+		}
+	}
+	e.batches++
+	e.samples += len(samples)
+}
+
+// Estimate reads out the accumulated per-bin totals (the final result
+// transfer), without disturbing the accumulators.
+func (e *FixedEstimator) Estimate() []float64 {
+	out := make([]float64, len(e.accs))
+	for i, a := range e.accs {
+		out[i] = a.Float() / e.preScale
+	}
+	return out
+}
+
+// Reset clears the running totals for a fresh run.
+func (e *FixedEstimator) Reset() {
+	for _, a := range e.accs {
+		a.Reset()
+	}
+	e.batches, e.samples = 0, 0
+}
+
+// Batches returns how many batches have streamed through.
+func (e *FixedEstimator) Batches() int { return e.batches }
+
+// Samples returns how many samples have streamed through.
+func (e *FixedEstimator) Samples() int { return e.samples }
+
+// Overflowed reports whether any bin accumulator has wrapped — the
+// saturation check a real design would surface as a status flag.
+func (e *FixedEstimator) Overflowed() bool {
+	for _, a := range e.accs {
+		if a.Overflowed() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,121 @@
+package pdf1d_test
+
+import (
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+)
+
+// TestBatchedEqualsMonolithic: streaming the dataset through in
+// 512-element batches (the hardware's execution structure) produces
+// bit-identical results to one monolithic call — batching is purely a
+// communication-scheduling decision, as the paper treats it.
+func TestBatchedEqualsMonolithic(t *testing.T) {
+	samples := pdf1d.GenerateSamples(4096, 3)
+	bins := pdf1d.BinCenters(pdf1d.Bins)
+	p := pdf1d.DefaultParams()
+	cfg := pdf1d.HW18()
+
+	mono := pdf1d.EstimateFixed(samples, bins, p, cfg)
+
+	e, err := pdf1d.NewFixedEstimator(bins, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(samples); i += pdf1d.BatchElements {
+		e.ProcessBatch(samples[i : i+pdf1d.BatchElements])
+	}
+	batched := e.Estimate()
+
+	for i := range mono {
+		if mono[i] != batched[i] {
+			t.Fatalf("bin %d: monolithic %g != batched %g", i, mono[i], batched[i])
+		}
+	}
+	if e.Batches() != 4096/pdf1d.BatchElements {
+		t.Errorf("Batches = %d", e.Batches())
+	}
+	if e.Samples() != 4096 {
+		t.Errorf("Samples = %d", e.Samples())
+	}
+	if e.Overflowed() {
+		t.Error("canonical workload must not overflow the accumulators")
+	}
+}
+
+// TestEstimateIsNonDestructive: reading the estimate twice yields the
+// same values, and more batches keep accumulating.
+func TestEstimateIsNonDestructive(t *testing.T) {
+	bins := pdf1d.BinCenters(64)
+	p := pdf1d.DefaultParams()
+	e, err := pdf1d.NewFixedEstimator(bins, p, pdf1d.HW18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := pdf1d.GenerateSamples(512, 5)
+	e.ProcessBatch(batch)
+	a := e.Estimate()
+	b := e.Estimate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Estimate mutated state")
+		}
+	}
+	e.ProcessBatch(batch)
+	c := e.Estimate()
+	var grew bool
+	for i := range c {
+		if c[i] > a[i] {
+			grew = true
+		}
+		if c[i] < a[i] {
+			t.Fatalf("bin %d shrank after more data", i)
+		}
+	}
+	if !grew {
+		t.Error("totals did not grow with a second batch")
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	bins := pdf1d.BinCenters(32)
+	e, err := pdf1d.NewFixedEstimator(bins, pdf1d.DefaultParams(), pdf1d.HW18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ProcessBatch(pdf1d.GenerateSamples(256, 7))
+	e.Reset()
+	if e.Batches() != 0 || e.Samples() != 0 {
+		t.Error("counters not cleared")
+	}
+	for i, v := range e.Estimate() {
+		if v != 0 {
+			t.Fatalf("bin %d = %g after reset", i, v)
+		}
+	}
+}
+
+func TestNewFixedEstimatorValidation(t *testing.T) {
+	p := pdf1d.DefaultParams()
+	if _, err := pdf1d.NewFixedEstimator(nil, p, pdf1d.HW18()); err == nil {
+		t.Error("no bins accepted")
+	}
+	bad := pdf1d.HWConfig{LUTBits: 10} // zero Format
+	if _, err := pdf1d.NewFixedEstimator(pdf1d.BinCenters(8), p, bad); err == nil {
+		t.Error("invalid format accepted")
+	}
+	worse := pdf1d.HW18()
+	worse.LUTBits = 25 // wider than the format
+	if _, err := pdf1d.NewFixedEstimator(pdf1d.BinCenters(8), p, worse); err == nil {
+		t.Error("oversized LUT accepted")
+	}
+}
+
+func TestEstimateFixedPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EstimateFixed with invalid config must panic")
+		}
+	}()
+	pdf1d.EstimateFixed([]float64{0}, []float64{0}, pdf1d.DefaultParams(), pdf1d.HWConfig{})
+}

@@ -1,0 +1,57 @@
+package pdf1d_test
+
+import (
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+)
+
+// TestParallelEstimateBitIdentical: bins are independent sums, so the
+// parallel estimate is bit-identical to the serial one.
+func TestParallelEstimateBitIdentical(t *testing.T) {
+	samples := pdf1d.GenerateSamples(8192, 3)
+	p := pdf1d.DefaultParams()
+	for _, nbins := range []int{1, 3, 64, 256} {
+		bins := pdf1d.BinCenters(nbins)
+		serial := pdf1d.EstimateFloat(samples, bins, p)
+		parallel := pdf1d.EstimateFloatParallel(samples, bins, p)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("nbins=%d bin %d: %g vs %g", nbins, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func BenchmarkEstimateFloatSerial(b *testing.B) {
+	samples := pdf1d.GenerateSamples(4096, 3)
+	bins := pdf1d.BinCenters(pdf1d.Bins)
+	p := pdf1d.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdf1d.EstimateFloat(samples, bins, p)
+	}
+}
+
+func BenchmarkEstimateFloatParallel(b *testing.B) {
+	samples := pdf1d.GenerateSamples(4096, 3)
+	bins := pdf1d.BinCenters(pdf1d.Bins)
+	p := pdf1d.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdf1d.EstimateFloatParallel(samples, bins, p)
+	}
+}
+
+func BenchmarkEstimateFixed18(b *testing.B) {
+	samples := pdf1d.GenerateSamples(1024, 3)
+	bins := pdf1d.BinCenters(pdf1d.Bins)
+	p := pdf1d.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdf1d.EstimateFixed(samples, bins, p, pdf1d.HW18())
+	}
+}

@@ -1,0 +1,357 @@
+// Package pdf1d implements the paper's walkthrough case study (Section
+// 4): one-dimensional probability-density-function estimation with the
+// Parzen-window technique, in both a float64 software baseline and a
+// bit-exact model of the fixed-point hardware design of Figure 3 —
+// eight parallel pipelines, each evaluating one data sample against
+// one probability bin per cycle through a subtract / table-lookup /
+// multiply-accumulate datapath in 18-bit fixed point.
+//
+// The package supplies everything the three RAT tests consume:
+//
+//   - the algorithm itself (software baseline, for t_soft and as the
+//     precision-test reference);
+//   - the hardware design description (kernel.Design), from which the
+//     worksheet's N_ops/element = 768 and throughput_proc = 20 derive;
+//   - a cycle-accurate timing model for the simulated Nallatech
+//     platform, calibrated to the paper's measured 1.39E-4 s per
+//     batch at 150 MHz; and
+//   - the numerical fixed-point evaluation used by the precision test
+//     (the paper's "maximum error percentage was only ~2% for 18-bit
+//     fixed point").
+package pdf1d
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fixed"
+	"github.com/chrec/rat/internal/kernel"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// Canonical problem geometry from Table 2 and Figure 3.
+const (
+	TotalSamples  = 204800 // full dataset
+	BatchElements = 512    // elements per FPGA iteration
+	Bins          = 256    // discrete probability levels
+	Iterations    = TotalSamples / BatchElements
+	Pipelines     = 8
+	BinsPerPipe   = Bins / Pipelines
+)
+
+// Params holds the Parzen-window estimation parameters.
+type Params struct {
+	// Bandwidth is the Gaussian kernel bandwidth h; contributions
+	// are exp(-d^2 / (2 h^2)).
+	Bandwidth float64
+	// Scale is the per-sample weight folded into every
+	// contribution (1/(n*h*sqrt(2*pi)) for a normalized estimate).
+	Scale float64
+}
+
+// DefaultParams returns the parameters used throughout the case study:
+// a bandwidth wide enough to smooth across neighbouring bins and the
+// normalizing scale for the full dataset.
+func DefaultParams() Params {
+	h := 0.12
+	return Params{
+		Bandwidth: h,
+		Scale:     1 / (float64(TotalSamples) * h * math.Sqrt(2*math.Pi)),
+	}
+}
+
+// GenerateSamples produces a deterministic synthetic dataset: n draws
+// from a two-component Gaussian mixture, clamped to (-1, 1). The
+// generator is a hand-rolled xorshift so results are identical across
+// Go versions (math/rand's stream is not guaranteed stable).
+func GenerateSamples(n int, seed uint64) []float64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	s := seed
+	next := func() float64 { // uniform in [0, 1)
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return float64(s>>11) / float64(1<<53)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		// Box-Muller from two uniforms.
+		u1, u2 := next(), next()
+		for u1 == 0 {
+			u1 = next()
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		x := -0.35 + 0.18*z // component A
+		if next() < 0.4 {
+			x = 0.45 + 0.10*z // component B
+		}
+		out[i] = math.Max(-0.999, math.Min(0.999, x))
+	}
+	return out
+}
+
+// BinCenters returns the discrete probability levels: bins points
+// evenly spread over [-1, 1).
+func BinCenters(bins int) []float64 {
+	out := make([]float64, bins)
+	step := 2.0 / float64(bins)
+	for i := range out {
+		out[i] = -1 + (float64(i)+0.5)*step
+	}
+	return out
+}
+
+// EstimateFloat is the software baseline: the float64 Parzen-window
+// estimate over all samples, the code path whose measured runtime is
+// the worksheet's t_soft and whose output is the precision-test
+// reference.
+func EstimateFloat(samples, bins []float64, p Params) []float64 {
+	out := make([]float64, len(bins))
+	inv := 1 / (2 * p.Bandwidth * p.Bandwidth)
+	for _, x := range samples {
+		for b, c := range bins {
+			d := x - c
+			out[b] += p.Scale * math.Exp(-d*d*inv)
+		}
+	}
+	return out
+}
+
+// EstimateFloat32 evaluates the estimate in single precision — the
+// "32-bit floating point" row of the Section 4.2 format trade study,
+// computed for real rather than assumed: every operand, intermediate
+// and accumulator is a float32, as an FPGA floating-point datapath
+// would hold them.
+func EstimateFloat32(samples, bins []float64, p Params) []float64 {
+	acc := make([]float32, len(bins))
+	inv := float32(1 / (2 * p.Bandwidth * p.Bandwidth))
+	scale := float32(p.Scale)
+	qbins := make([]float32, len(bins))
+	for i, c := range bins {
+		qbins[i] = float32(c)
+	}
+	for _, x := range samples {
+		qx := float32(x)
+		for b, c := range qbins {
+			d := qx - c
+			acc[b] += scale * float32(math.Exp(float64(-d*d*inv)))
+		}
+	}
+	out := make([]float64, len(bins))
+	for i, v := range acc {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// HWConfig selects the numerical configuration of the hardware
+// datapath: the fixed-point data format and the Gaussian lookup-table
+// depth. The paper's trade study compares 18-bit fixed, 32-bit fixed
+// and 32-bit floating point (Section 4.2).
+type HWConfig struct {
+	// Format is the datapath fixed-point format. The shipped design
+	// uses Q2.16: 18 bits, matching one Xilinx 18x18 MAC per
+	// multiplication.
+	Format fixed.Format
+	// LUTBits is the Gaussian table's address width; the table
+	// holds 2^LUTBits entries spanning the format's full range,
+	// each holding the kernel value at the cell's lower edge (the
+	// cheap hardware choice; its one-sided error dominates the
+	// fixed-point design's total error).
+	LUTBits int
+}
+
+// HW18 returns the as-built configuration: 18-bit fixed point with a
+// 1024-entry Gaussian table.
+func HW18() HWConfig { return HWConfig{Format: fixed.Q(2, 16), LUTBits: 10} }
+
+// HW32 returns the 32-bit fixed-point alternative considered during
+// formulation: wider datapath and a 4096-entry table, costing two MAC
+// units per multiply (Section 3.3's vendor rule).
+func HW32() HWConfig { return HWConfig{Format: fixed.Q(2, 30), LUTBits: 12} }
+
+// ConfigForWidth returns a configuration for an arbitrary datapath
+// width between 10 and 32 bits, scaling the table depth with the
+// width as a real design would (clamped to [8, 12] address bits).
+func ConfigForWidth(width int) (HWConfig, error) {
+	if width < 10 || width > 32 {
+		return HWConfig{}, fmt.Errorf("pdf1d: datapath width %d outside [10, 32]", width)
+	}
+	lut := width - 8
+	if lut > 12 {
+		lut = 12
+	}
+	if lut < 8 {
+		lut = 8
+	}
+	return HWConfig{Format: fixed.Q(2, width-2), LUTBits: lut}, nil
+}
+
+// gaussianLUT builds the table the hardware holds in BRAM: 2^bits
+// entries over the format's representable range, each the kernel value
+// at its cell's lower edge, quantized to the data format.
+func gaussianLUT(cfg HWConfig, p Params) []fixed.Value {
+	n := 1 << cfg.LUTBits
+	lut := make([]fixed.Value, n)
+	span := cfg.Format.MaxFloat() - cfg.Format.MinFloat()
+	inv := 1 / (2 * p.Bandwidth * p.Bandwidth)
+	for i := range lut {
+		d := cfg.Format.MinFloat() + span*float64(i)/float64(n)
+		lut[i] = fixed.MustFromFloat(math.Exp(-d*d*inv), cfg.Format, fixed.Nearest)
+	}
+	return lut
+}
+
+// lutIndex maps a fixed-point difference to its table cell: the top
+// LUTBits of the raw two's-complement value, offset to unsigned.
+func lutIndex(d fixed.Value, cfg HWConfig) int {
+	shift := uint(cfg.Format.Width() - cfg.LUTBits)
+	return int((d.Raw() - cfg.Format.MinRaw()) >> shift)
+}
+
+// EstimateFixed evaluates the estimate exactly as the hardware does:
+// samples and bin centers quantized to the datapath format, the
+// Gaussian read from the table, the scale applied through an 18x18
+// (or wider) multiply, and per-bin running totals kept in 48-bit MAC
+// accumulators. The returned values are the accumulator read-outs
+// converted to float64 for comparison against EstimateFloat.
+// The per-sample scale applied by the datapath is tiny (~1e-5);
+// applying it per term would waste the dynamic range, so the hardware
+// folds a power-of-two pre-scale into the multiplier operand and the
+// host divides it back out of the final read-out — standard
+// fixed-point practice. Running totals live in per-bin accumulators at
+// the datapath's fraction width with 22 integer bits of headroom (the
+// pre-scaled totals reach ~2^17); the multiplier output is rounded
+// back to the datapath format before accumulation, and its unbiased
+// rounding noise sits orders of magnitude below the table's one-sided
+// error. See FixedEstimator for the streaming form.
+func EstimateFixed(samples, bins []float64, p Params, cfg HWConfig) []float64 {
+	e, err := NewFixedEstimator(bins, p, cfg)
+	if err != nil {
+		panic(err) // invalid configurations are programming errors here
+	}
+	e.ProcessBatch(samples)
+	return e.Estimate()
+}
+
+// MaxError returns the maximum absolute difference between got and ref
+// normalized by the reference peak — the "maximum error percentage"
+// figure of Section 4.2.
+func MaxError(ref, got []float64) float64 {
+	var peak, worst float64
+	for _, v := range ref {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / peak
+}
+
+// Design returns the Figure 3 architecture as a kernel description.
+// The timing constants (fill depth, inter-element stall, batch control
+// overhead) are calibrated to the measured hardware: 20850 cycles per
+// 512-element batch, i.e. 1.39E-4 s at 150 MHz (Table 3's actual
+// column), an effective 18.9 ops/cycle against the worksheet's
+// conservative 20 and the ideal 24.
+func Design() kernel.Design {
+	return kernel.Design{
+		Name:      "1-D PDF estimation (Parzen windows)",
+		Pipelines: Pipelines,
+		Units: []kernel.Unit{
+			{Op: resource.OpAdd, Width: 18}, // compare (subtract)
+			{Op: resource.OpLUT, Width: 18}, // Gaussian table (not an "op" in the paper's count)
+			{Op: resource.OpMAC, Width: 18}, // multiply + accumulate
+		},
+		CountedOps:      3, // compare, multiply, add (Section 4.2)
+		ItemsPerElement: Bins,
+		ItemsPerCycle:   1,
+		PipelineDepth:   18,
+		ElementStall:    8,
+		BatchOverhead:   352,
+		Derating:        20.0 / 24.0,
+		ElementBits:     32, // interconnect word, wider than the 18-bit datapath
+		StateBits:       48, // MAC accumulator per bin
+	}
+}
+
+// opsPerElement counts only the paper's three arithmetic operations
+// per (element, bin) — compare, multiply, add — excluding the table
+// lookup, matching Table 2's N_ops/element = 768.
+const opsPerItem = 3
+
+// Worksheet assembles the RAT input worksheet the way Section 4.2
+// does: geometry from the dataset, alphas from the 2 KB interconnect
+// microbenchmark (rounded to two decimals, as tabulated), operation
+// counts from the design, the conservative throughput_proc, and the
+// published software baseline. It reproduces Table 2 exactly.
+func Worksheet() core.Parameters {
+	ic := platform.NallatechH101().Interconnect
+	round2 := func(x float64) float64 { return math.Round(x*100) / 100 }
+	d := Design()
+	return core.Parameters{
+		Name: "1-D PDF estimation",
+		Dataset: core.DatasetParams{
+			ElementsIn:      BatchElements,
+			ElementsOut:     1,
+			BytesPerElement: 4,
+		},
+		Comm: core.CommParams{
+			IdealThroughput: ic.IdealBps,
+			AlphaWrite:      round2(ic.MeasureAlpha(platform.Write, BatchElements*4)),
+			AlphaRead:       round2(ic.MeasureAlpha(platform.Read, BatchElements*4)),
+		},
+		Comp: core.CompParams{
+			OpsPerElement:  float64(Bins * opsPerItem),
+			ThroughputProc: d.WorksheetThroughputProc(),
+			ClockHz:        core.MHz(150),
+		},
+		Soft: core.SoftwareParams{
+			TSoft:      paper.PDF1DParams().Soft.TSoft, // 3.2 GHz Xeon measurement published with the study
+			Iterations: Iterations,
+		},
+	}
+}
+
+// Scenario builds the simulated-platform run that stands in for the
+// paper's hardware measurement at the given clock and buffering.
+func Scenario(clockHz float64, b core.Buffering) rcsim.Scenario {
+	d := Design()
+	return rcsim.Scenario{
+		Name:            "pdf1d",
+		Platform:        platform.NallatechH101(),
+		ClockHz:         clockHz,
+		Buffering:       b,
+		Iterations:      Iterations,
+		ElementsIn:      BatchElements,
+		ElementsOut:     1,
+		BytesPerElement: 4,
+		KernelCycles: func(_, elements int) int64 {
+			return d.CyclesForBatch(elements)
+		},
+	}
+}
+
+// ResourceReport runs the resource test for the design on the
+// platform's Virtex-4 LX100, single-buffered (Table 4).
+func ResourceReport() (resource.Report, error) {
+	dev := platform.NallatechH101().Device
+	demand, err := Design().ResourceDemand(dev, BatchElements, false)
+	if err != nil {
+		return resource.Report{}, err
+	}
+	return resource.Check(dev, demand), nil
+}

@@ -1,0 +1,119 @@
+package pdf2d
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+// FixedEstimator2D mirrors the 2-D design's execution structure, which
+// differs from the 1-D case in exactly the way Section 5.1 stresses:
+// "In contrast to the 1-D case, the PDF values computed over each
+// iteration are sent back to the host processor." Each ProcessBatch
+// call computes one iteration's grid on the (simulated) chip, drains
+// it to the host — the 65536-element transfer whose real cost
+// surprised the designers — and the host accumulates across
+// iterations.
+type FixedEstimator2D struct {
+	cfg      HWConfig
+	r2fmt    fixed.Format
+	lut      []fixed.Value
+	shift    uint
+	scaleFx  fixed.Value
+	preScale float64
+	qgx, qgy []fixed.Value
+	accs     []*fixed.Acc
+	host     []float64
+	batches  int
+}
+
+// NewFixedEstimator2D prepares the datapath for a grid (row-major).
+func NewFixedEstimator2D(grid []Point, p Params, cfg HWConfig) (*FixedEstimator2D, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("pdf2d: estimator needs at least one grid cell")
+	}
+	if !cfg.Format.Valid() || cfg.LUTBits < 1 || cfg.LUTBits >= cfg.Format.Width() {
+		return nil, fmt.Errorf("pdf2d: invalid hardware configuration %+v", cfg)
+	}
+	f := cfg.Format
+	e := &FixedEstimator2D{
+		cfg:      cfg,
+		r2fmt:    fixed.Q(4, f.Width()-4),
+		preScale: math.Exp2(math.Floor(math.Log2(1 / p.Scale))),
+		qgx:      make([]fixed.Value, len(grid)),
+		qgy:      make([]fixed.Value, len(grid)),
+		accs:     make([]*fixed.Acc, len(grid)),
+		host:     make([]float64, len(grid)),
+	}
+	e.scaleFx = fixed.MustFromFloat(p.Scale*e.preScale, f, fixed.Nearest)
+
+	inv := 1 / (2 * p.Bandwidth * p.Bandwidth)
+	n := 1 << cfg.LUTBits
+	span := math.Exp2(math.Ceil(math.Log2(float64(f.Frac) * math.Ln2 / inv)))
+	shift := e.r2fmt.Frac + int(math.Log2(span)) - cfg.LUTBits
+	if shift < 0 {
+		shift = 0
+		span = math.Exp2(float64(cfg.LUTBits - e.r2fmt.Frac))
+	}
+	e.shift = uint(shift)
+	e.lut = make([]fixed.Value, n)
+	for i := range e.lut {
+		r2 := span * float64(i) / float64(n)
+		e.lut[i] = fixed.MustFromFloat(math.Exp(-r2*inv), f, fixed.Nearest)
+	}
+	for i, g := range grid {
+		e.qgx[i] = fixed.MustFromFloat(g.X, f, fixed.Nearest)
+		e.qgy[i] = fixed.MustFromFloat(g.Y, f, fixed.Nearest)
+	}
+	for i := range e.accs {
+		e.accs[i] = fixed.MustNewAcc(f.Frac, f.Frac+22)
+	}
+	return e, nil
+}
+
+// ProcessBatch computes one iteration's grid from the given points and
+// returns the drained per-iteration values (what crosses the
+// interconnect), accumulating them host-side.
+func (e *FixedEstimator2D) ProcessBatch(points []Point) []float64 {
+	f := e.cfg.Format
+	n := len(e.lut)
+	for i := range e.accs {
+		e.accs[i].Reset() // fresh on-chip totals per iteration
+	}
+	for _, pt := range points {
+		qx, _ := fixed.FromFloat(pt.X, f, fixed.Nearest, fixed.Saturate)
+		qy, _ := fixed.FromFloat(pt.Y, f, fixed.Nearest, fixed.Saturate)
+		for i := range e.accs {
+			dx, _ := fixed.Sub(qx, e.qgx[i], fixed.Saturate)
+			dy, _ := fixed.Sub(qy, e.qgy[i], fixed.Saturate)
+			sx, _ := fixed.Mul(dx, dx, e.r2fmt, fixed.Truncate, fixed.Saturate)
+			sy, _ := fixed.Mul(dy, dy, e.r2fmt, fixed.Truncate, fixed.Saturate)
+			r2, _ := fixed.Add(sx, sy, fixed.Saturate)
+			idx := int(r2.Raw() >> e.shift)
+			if idx >= n {
+				idx = n - 1
+			}
+			g := e.lut[idx]
+			prod, _ := fixed.Mul(g, e.scaleFx, f, fixed.Nearest, fixed.Saturate)
+			e.accs[i].AddValue(prod)
+		}
+	}
+	drained := make([]float64, len(e.accs))
+	for i, a := range e.accs {
+		drained[i] = a.Float() / e.preScale
+		e.host[i] += drained[i]
+	}
+	e.batches++
+	return drained
+}
+
+// Estimate returns the host-side accumulated grid.
+func (e *FixedEstimator2D) Estimate() []float64 {
+	out := make([]float64, len(e.host))
+	copy(out, e.host)
+	return out
+}
+
+// Batches returns how many iterations have drained.
+func (e *FixedEstimator2D) Batches() int { return e.batches }

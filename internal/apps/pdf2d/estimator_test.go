@@ -1,0 +1,70 @@
+package pdf2d_test
+
+import (
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf2d"
+)
+
+// TestBatched2DEqualsMonolithic: per-iteration drain plus host
+// accumulation equals the monolithic evaluation exactly (every drained
+// value is a multiple of the accumulator step and well inside float64
+// exactness, so host-side summation loses nothing).
+func TestBatched2DEqualsMonolithic(t *testing.T) {
+	pts := pdf2d.GeneratePoints(1024, 3)
+	grid := pdf2d.GridCenters(16)
+	p := pdf2d.DefaultParams()
+	cfg := pdf2d.HW18()
+
+	mono := pdf2d.EstimateFixed(pts, grid, p, cfg)
+
+	e, err := pdf2d.NewFixedEstimator2D(grid, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i += pdf2d.BatchPoints {
+		e.ProcessBatch(pts[i : i+pdf2d.BatchPoints])
+	}
+	batched := e.Estimate()
+	for i := range mono {
+		if mono[i] != batched[i] {
+			t.Fatalf("cell %d: monolithic %g != batched %g", i, mono[i], batched[i])
+		}
+	}
+	if e.Batches() != len(pts)/pdf2d.BatchPoints {
+		t.Errorf("Batches = %d", e.Batches())
+	}
+}
+
+// TestDrainedBatchesSumToEstimate: the per-iteration transfers sum to
+// the host total — what the interconnect carries is the whole answer.
+func TestDrainedBatchesSumToEstimate(t *testing.T) {
+	pts := pdf2d.GeneratePoints(512, 9)
+	grid := pdf2d.GridCenters(8)
+	e, err := pdf2d.NewFixedEstimator2D(grid, pdf2d.DefaultParams(), pdf2d.HW18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, len(grid))
+	for i := 0; i < len(pts); i += 128 {
+		for j, v := range e.ProcessBatch(pts[i : i+128]) {
+			sums[j] += v
+		}
+	}
+	est := e.Estimate()
+	for i := range est {
+		if sums[i] != est[i] {
+			t.Fatalf("cell %d: drained sum %g != estimate %g", i, sums[i], est[i])
+		}
+	}
+}
+
+func TestNewFixedEstimator2DValidation(t *testing.T) {
+	p := pdf2d.DefaultParams()
+	if _, err := pdf2d.NewFixedEstimator2D(nil, p, pdf2d.HW18()); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := pdf2d.NewFixedEstimator2D(pdf2d.GridCenters(4), p, pdf2d.HWConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

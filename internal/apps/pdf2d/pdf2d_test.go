@@ -1,0 +1,217 @@
+package pdf2d_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/apps/pdf2d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/resource"
+)
+
+func TestWorksheetReproducesTable5(t *testing.T) {
+	got := pdf2d.Worksheet()
+	want := paper.PDF2DParams()
+	if got.Dataset != want.Dataset {
+		t.Errorf("dataset params %+v, want %+v", got.Dataset, want.Dataset)
+	}
+	if got.Comm != want.Comm {
+		t.Errorf("comm params %+v, want %+v", got.Comm, want.Comm)
+	}
+	if got.Comp != want.Comp {
+		t.Errorf("comp params %+v, want %+v", got.Comp, want.Comp)
+	}
+	if got.Soft != want.Soft {
+		t.Errorf("soft params %+v, want %+v", got.Soft, want.Soft)
+	}
+}
+
+func TestDesignDerivations(t *testing.T) {
+	d := pdf2d.Design()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design invalid: %v", err)
+	}
+	if got := d.OpsPerElement(); got != 393216 {
+		t.Errorf("OpsPerElement = %g, want 393216", got)
+	}
+	if got := d.WorksheetThroughputProc(); got != 48 {
+		t.Errorf("worksheet throughput = %g, want 48 (8 pipelines x 6 ops)", got)
+	}
+	ab := pdf2d.AsBuiltDesign()
+	if ab.Pipelines != 10 {
+		t.Errorf("as-built pipelines = %d, want 10", ab.Pipelines)
+	}
+	// As-built batch: 6,716,416 cycles -> 4.48E-2 s at 150 MHz.
+	cyc := ab.CyclesForBatch(pdf2d.BatchElements)
+	if got := float64(cyc) / 150e6; math.Abs(got-4.48e-2) > 2e-4 {
+		t.Errorf("as-built batch time = %.4e s, want ~4.48e-2", got)
+	}
+	// The as-built hardware beats the conservative worksheet rate.
+	if eff := ab.EffectiveThroughputProc(pdf2d.BatchElements); eff <= 48 {
+		t.Errorf("as-built effective ops/cycle = %.1f, want above the worksheet's 48", eff)
+	}
+}
+
+// TestSimulatedHardwareReproducesTable6Actual: the simulated run at
+// 150 MHz must land on the reconstructed actual column: t_comm ~
+// 1.05E-2 s (six times the prediction), t_comp ~ 4.48E-2 s, comm
+// utilization ~19%, speedup ~7.2.
+func TestSimulatedHardwareReproducesTable6Actual(t *testing.T) {
+	m := rcsim.MustRun(pdf2d.Scenario(core.MHz(150), core.SingleBuffered))
+	actual := paper.ActualRow(paper.PDF2D)
+
+	if got := m.TComp(); math.Abs(got-actual.TComp) > 0.01*actual.TComp {
+		t.Errorf("simulated t_comp = %.4e, reconstructed actual %.3e", got, actual.TComp)
+	}
+	if got := m.TComm(); math.Abs(got-actual.TComm) > 0.02*actual.TComm {
+		t.Errorf("simulated t_comm = %.4e, reconstructed actual %.3e", got, actual.TComm)
+	}
+	if got := m.UtilComm(); math.Abs(got-actual.UtilComm) > 0.015 {
+		t.Errorf("simulated util_comm = %.3f, want ~%.2f", got, actual.UtilComm)
+	}
+	if got := m.TRC(); math.Abs(got-actual.TRC) > 0.02*actual.TRC {
+		t.Errorf("simulated t_RC = %.4e, reconstructed actual %.3e", got, actual.TRC)
+	}
+	speedup := m.Speedup(pdf2d.Worksheet().Soft.TSoft)
+	if math.Abs(speedup-actual.Speedup) > 0.15 {
+		t.Errorf("simulated speedup = %.2f, want ~%.1f", speedup, actual.Speedup)
+	}
+}
+
+// TestPredictionErrorShape reproduces the Section 5.1 narrative: the
+// communication prediction misses by ~6x, the computation prediction
+// is conservative (overestimates), the two partially cancel, and the
+// measured speedup stays below the 1-D case's measured 7.8.
+func TestPredictionErrorShape(t *testing.T) {
+	pr := core.MustPredict(pdf2d.Worksheet())
+	m := rcsim.MustRun(pdf2d.Scenario(core.MHz(150), core.SingleBuffered))
+
+	commRatio := m.TComm() / pr.TComm
+	if commRatio < 5.5 || commRatio > 7 {
+		t.Errorf("measured/predicted comm = %.2f, paper reports ~6x", commRatio)
+	}
+	if m.TComp() >= pr.TComp {
+		t.Error("computation prediction should be conservative (overestimate)")
+	}
+	compErr := (pr.TComp - m.TComp()) / m.TComp()
+	if compErr < 0.10 {
+		t.Errorf("computation overestimate %.1f%%, expected a clearly larger error than 1-D's ~6%%", compErr*100)
+	}
+	sp := m.Speedup(pdf2d.Worksheet().Soft.TSoft)
+	if sp >= 7.8 {
+		t.Errorf("2-D measured speedup %.2f must stay below the 1-D actual 7.8", sp)
+	}
+	// Comm utilization grows from the predicted ~3% to ~19%.
+	if pr.UtilCommSB > 0.04 || m.UtilComm() < 0.15 {
+		t.Errorf("utilization shift: predicted %.3f, measured %.3f", pr.UtilCommSB, m.UtilComm())
+	}
+}
+
+func TestGeneratePointsDeterministicAndBounded(t *testing.T) {
+	a := pdf2d.GeneratePoints(500, 7)
+	b := pdf2d.GeneratePoints(500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+		if a[i].X <= -1 || a[i].X >= 1 || a[i].Y <= -1 || a[i].Y >= 1 {
+			t.Fatalf("point %+v outside (-1,1)^2", a[i])
+		}
+	}
+	if z := pdf2d.GeneratePoints(10, 0); len(z) != 10 {
+		t.Error("zero seed broken")
+	}
+}
+
+func TestGridCenters(t *testing.T) {
+	g := pdf2d.GridCenters(16)
+	if len(g) != 256 {
+		t.Fatalf("len = %d", len(g))
+	}
+	// Row-major: first row shares Y, X increases.
+	if g[0].Y != g[15].Y || g[0].X >= g[1].X {
+		t.Errorf("grid layout wrong: %+v %+v %+v", g[0], g[1], g[15])
+	}
+	if g[0].X != -1+1.0/16 || g[255].Y != 1-1.0/16 {
+		t.Errorf("corner centers wrong: %+v %+v", g[0], g[255])
+	}
+}
+
+func TestEstimateFloatFindsModes(t *testing.T) {
+	pts := pdf2d.GeneratePoints(2000, 11)
+	grid := pdf2d.GridCenters(32)
+	est := pdf2d.EstimateFloat(pts, grid, pdf2d.DefaultParams())
+	var peak float64
+	peakIdx := 0
+	for i, v := range est {
+		if v < 0 {
+			t.Fatal("negative density")
+		}
+		if v > peak {
+			peak, peakIdx = v, i
+		}
+	}
+	// The dominant mode is near (-0.4, -0.3): grid cell (x ~ 9, y ~ 11).
+	px := peakIdx % 32
+	py := peakIdx / 32
+	if px < 6 || px > 13 || py < 8 || py > 14 {
+		t.Errorf("peak at cell (%d,%d), want near (9,11)", px, py)
+	}
+}
+
+// TestFixedPointError2D: the 18-bit datapath stays within a few
+// percent of the float reference, like the 1-D study.
+func TestFixedPointError2D(t *testing.T) {
+	pts := pdf2d.GeneratePoints(1024, 3)
+	grid := pdf2d.GridCenters(32)
+	p := pdf2d.DefaultParams()
+	ref := pdf2d.EstimateFloat(pts, grid, p)
+	got := pdf2d.EstimateFixed(pts, grid, p, pdf2d.HW18())
+	e := pdf2d.MaxError(ref, got)
+	if e <= 0 || e > 0.06 {
+		t.Errorf("18-bit 2-D max error = %.4f, want small but nonzero", e)
+	}
+}
+
+func TestMaxError2DEdgeCases(t *testing.T) {
+	if pdf2d.MaxError([]float64{0}, []float64{0}) != 0 {
+		t.Error("zero reference should yield zero error")
+	}
+}
+
+// TestResourceReportShape: Table 7's picture — DSP utilization ~21%
+// (the scan's one intact cell), everything fitting with clear
+// headroom ("has not nearly exhausted the resources").
+func TestResourceReportShape(t *testing.T) {
+	rep, err := pdf2d.ResourceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fits {
+		t.Fatalf("design must fit the LX100: %+v", rep)
+	}
+	// 10 pipelines x 2 multiplies and 1 MAC at 18 bits = 30 DSP48s
+	// of 96: within a few points of the printed 21%.
+	dsp := rep.Utilization(resource.DSP)
+	if dsp < 0.15 || dsp > 0.35 {
+		t.Errorf("DSP utilization = %.3f, want in the vicinity of Table 7's 0.21", dsp)
+	}
+	for _, l := range rep.Lines {
+		if l.Utilization > 0.8 {
+			t.Errorf("%s at %.0f%%: the paper stresses ample headroom", l.DisplayName, l.Utilization*100)
+		}
+	}
+	// Strictly more of every resource than the 1-D design.
+	rep1, err := pdf1d.ResourceReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []resource.Kind{resource.DSP, resource.BRAM, resource.Logic} {
+		if rep.Utilization(k) <= rep1.Utilization(k) {
+			t.Errorf("%s: 2-D utilization %.3f not above 1-D %.3f", k, rep.Utilization(k), rep1.Utilization(k))
+		}
+	}
+}

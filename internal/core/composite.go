@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Stage is one kernel of a multi-kernel application, carrying its own
+// complete RAT parameter set and buffering discipline. Section 6 of the
+// paper notes the methodology "was designed to support applications
+// involving several algorithms, each with their own separate RAT
+// analysis"; Composite realizes that composition.
+type Stage struct {
+	Name      string
+	Params    Parameters
+	Buffering Buffering
+}
+
+// CompositeResult aggregates the per-stage predictions of a
+// multi-kernel application executed stage after stage on one FPGA (the
+// stages are reconfigured or co-resident; either way their execution
+// times add, as do their software baselines).
+type CompositeResult struct {
+	Stages []StageResult
+
+	// TRC is the summed RC execution time of all stages.
+	TRC float64
+	// TSoft is the summed software baseline of all stages.
+	TSoft float64
+	// Speedup is TSoft / TRC (zero if no stage supplied a baseline).
+	Speedup float64
+}
+
+// StageResult pairs a stage with its prediction and its share of the
+// composite execution time.
+type StageResult struct {
+	Stage      Stage
+	Prediction Prediction
+	// TRC is this stage's contribution under its own discipline.
+	TRC float64
+	// Share is TRC divided by the composite total, in [0, 1]; the
+	// Amdahl weight of the stage.
+	Share float64
+}
+
+// PredictComposite runs a RAT analysis per stage and combines them. An
+// error in any stage aborts the analysis and names the stage.
+func PredictComposite(stages []Stage) (CompositeResult, error) {
+	if len(stages) == 0 {
+		return CompositeResult{}, fmt.Errorf("%w: composite application needs at least one stage", ErrInvalidParameters)
+	}
+	res := CompositeResult{Stages: make([]StageResult, 0, len(stages))}
+	for i, st := range stages {
+		pr, err := Predict(st.Params)
+		if err != nil {
+			return CompositeResult{}, fmt.Errorf("stage %d (%s): %w", i, st.Name, err)
+		}
+		trc := pr.TRC(st.Buffering)
+		res.Stages = append(res.Stages, StageResult{Stage: st, Prediction: pr, TRC: trc})
+		res.TRC += trc
+		res.TSoft += st.Params.Soft.TSoft
+	}
+	for i := range res.Stages {
+		res.Stages[i].Share = res.Stages[i].TRC / res.TRC
+	}
+	if res.TSoft > 0 {
+		res.Speedup = res.TSoft / res.TRC
+	}
+	return res, nil
+}
+
+// Bottleneck returns the stage with the largest share of the composite
+// execution time — the first candidate for reformulation when the
+// composite speedup misses its target.
+func (c CompositeResult) Bottleneck() StageResult {
+	best := c.Stages[0]
+	for _, s := range c.Stages[1:] {
+		if s.TRC > best.TRC {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+func TestPredictComposite(t *testing.T) {
+	stages := []core.Stage{
+		{Name: "pdf-1d", Params: paper.PDF1DParams(), Buffering: core.SingleBuffered},
+		{Name: "pdf-2d", Params: paper.PDF2DParams(), Buffering: core.SingleBuffered},
+	}
+	res, err := core.PredictComposite(stages)
+	if err != nil {
+		t.Fatalf("PredictComposite: %v", err)
+	}
+	a := core.MustPredict(stages[0].Params)
+	b := core.MustPredict(stages[1].Params)
+	if want := a.TRCSingle + b.TRCSingle; math.Abs(res.TRC-want) > 1e-12*want {
+		t.Errorf("composite TRC = %g, want sum of stages %g", res.TRC, want)
+	}
+	if want := 0.578 + 158.8; math.Abs(res.TSoft-want) > 1e-12 {
+		t.Errorf("composite TSoft = %g, want %g", res.TSoft, want)
+	}
+	if want := res.TSoft / res.TRC; math.Abs(res.Speedup-want) > 1e-12 {
+		t.Errorf("composite speedup = %g, want %g", res.Speedup, want)
+	}
+	// Shares sum to one; the 2-D stage dominates overwhelmingly.
+	var sum float64
+	for _, s := range res.Stages {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("shares sum to %g, want 1", sum)
+	}
+	if bn := res.Bottleneck(); bn.Stage.Name != "pdf-2d" {
+		t.Errorf("bottleneck = %q, want pdf-2d", bn.Stage.Name)
+	}
+	if res.Stages[1].Share < 0.99 {
+		t.Errorf("pdf-2d share = %g, want > 0.99 (it is ~400x slower)", res.Stages[1].Share)
+	}
+}
+
+// TestCompositeAmdahl: even making the dominant stage infinitely fast,
+// the composite speedup is capped by the untouched stage — the Amdahl
+// behaviour that motivates per-stage RAT analyses.
+func TestCompositeAmdahl(t *testing.T) {
+	// Make the 2-D stage cheap on both axes: infinite parallelism
+	// and a trivial result transfer (its 65536-element output would
+	// otherwise keep it communication-bound and still dominant).
+	fast2d := paper.PDF2DParams().WithThroughputProc(1e12)
+	fast2d.Dataset.ElementsOut = 1
+	res, err := core.PredictComposite([]core.Stage{
+		{Name: "pdf-1d", Params: paper.PDF1DParams(), Buffering: core.SingleBuffered},
+		{Name: "pdf-2d", Params: fast2d, Buffering: core.DoubleBuffered},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneD := core.MustPredict(paper.PDF1DParams())
+	cap := res.TSoft / oneD.TRCSingle
+	if res.Speedup > cap {
+		t.Errorf("composite speedup %g exceeds Amdahl cap %g set by the 1-D stage", res.Speedup, cap)
+	}
+	if res.Bottleneck().Stage.Name != "pdf-1d" {
+		t.Errorf("bottleneck should shift to pdf-1d, got %q", res.Bottleneck().Stage.Name)
+	}
+}
+
+func TestCompositeMixedBuffering(t *testing.T) {
+	p := paper.MDParams()
+	res, err := core.PredictComposite([]core.Stage{
+		{Name: "sb", Params: p, Buffering: core.SingleBuffered},
+		{Name: "db", Params: p, Buffering: core.DoubleBuffered},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := core.MustPredict(p)
+	want := pr.TRCSingle + pr.TRCDouble
+	if math.Abs(res.TRC-want) > 1e-12*want {
+		t.Errorf("mixed-discipline TRC = %g, want %g", res.TRC, want)
+	}
+}
+
+func TestCompositeErrors(t *testing.T) {
+	if _, err := core.PredictComposite(nil); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("empty composite: error = %v, want ErrInvalidParameters", err)
+	}
+	_, err := core.PredictComposite([]core.Stage{
+		{Name: "ok", Params: paper.PDF1DParams()},
+		{Name: "broken", Params: core.Parameters{}},
+	})
+	if !errors.Is(err, core.ErrInvalidParameters) {
+		t.Fatalf("invalid stage: error = %v, want ErrInvalidParameters", err)
+	}
+}

@@ -1,0 +1,31 @@
+// Package core implements the analytic heart of the RC Amenability Test
+// (RAT): the throughput test of Holland et al., "RAT: A Methodology for
+// Predicting Performance in Application Design Migration to FPGAs"
+// (HPRCTA'07).
+//
+// The throughput test predicts the wall-clock execution time of an
+// application design on a reconfigurable-computing (RC) platform from a
+// small set of parameters (Table 1 of the paper) before any hardware
+// code is written. The prediction is built from two quantities:
+//
+//   - communication time between CPU and FPGA (Eqs. 1-3), and
+//   - FPGA computation time (Eq. 4),
+//
+// combined under a buffering discipline (Eqs. 5-6) into the RC execution
+// time, from which speedup over a software baseline (Eq. 7) and
+// communication/computation utilizations (Eqs. 8-11) follow.
+//
+// Beyond the forward prediction the package provides the inverse
+// solvers the paper applies to the molecular-dynamics case study
+// (treating throughput_proc as a tuning parameter and solving for the
+// value that achieves a desired speedup), parameter sweeps over clock
+// frequency and other inputs, a composition model for applications made
+// of several kernels each with its own RAT analysis (Section 6), and
+// the streaming-model adjustment sketched in Section 3.1.
+//
+// Units are SI throughout: bytes, bytes per second, hertz, seconds.
+// Helper functions (MBps, MHz, ...) convert from the paper's customary
+// units. Following the paper, "MB" is decimal (1 MB/s = 1e6 bytes/s),
+// so the 133 MHz 64-bit PCI-X bus has throughput_ideal = 1000 MB/s =
+// 1e9 B/s.
+package core

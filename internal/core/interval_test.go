@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+func TestPredictBoundsContainNominal(t *testing.T) {
+	u := core.Uncertainty{Alpha: 0.2, OpsPerElement: 0.1, ThroughputProc: 0.15, Clock: 0.3, TSoft: 0.05}
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		b, err := core.PredictBounds(paper.Params(c), u)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		for _, buf := range []core.Buffering{core.SingleBuffered, core.DoubleBuffered} {
+			lo, hi := b.SpeedupRange(buf)
+			if !(lo <= b.Nominal.Speedup(buf) && b.Nominal.Speedup(buf) <= hi) {
+				t.Errorf("%s/%v: nominal speedup %.2f outside [%.2f, %.2f]", c, buf, b.Nominal.Speedup(buf), lo, hi)
+			}
+			tlo, thi := b.TRCRange(buf)
+			if !(tlo <= b.Nominal.TRC(buf) && b.Nominal.TRC(buf) <= thi) {
+				t.Errorf("%s/%v: nominal t_RC outside bounds", c, buf)
+			}
+			if lo >= hi {
+				t.Errorf("%s/%v: degenerate interval [%.2f, %.2f] with nonzero uncertainty", c, buf, lo, hi)
+			}
+		}
+	}
+}
+
+func TestZeroUncertaintyCollapses(t *testing.T) {
+	b, err := core.PredictBounds(paper.PDF1DParams(), core.Uncertainty{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Worst != b.Nominal || b.Best != b.Nominal {
+		t.Error("zero uncertainty must collapse to the point prediction")
+	}
+}
+
+// TestBoundsAreSound: random interior parameter draws never fall
+// outside the corner bounds (the monotonicity argument, checked
+// empirically).
+func TestBoundsAreSound(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p := paper.PDF2DParams()
+	u := core.Uncertainty{Alpha: 0.3, OpsPerElement: 0.25, ThroughputProc: 0.4, Clock: 0.5, TSoft: 0.2}
+	b, err := core.PredictBounds(p, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := func(half float64) float64 { return 1 + half*(2*r.Float64()-1) }
+	for i := 0; i < 2000; i++ {
+		q := p
+		q.Comm.AlphaWrite = math.Min(1, p.Comm.AlphaWrite*in(u.Alpha))
+		q.Comm.AlphaRead = math.Min(1, p.Comm.AlphaRead*in(u.Alpha))
+		q.Comp.OpsPerElement = p.Comp.OpsPerElement * in(u.OpsPerElement)
+		q.Comp.ThroughputProc = p.Comp.ThroughputProc * in(u.ThroughputProc)
+		q.Comp.ClockHz = p.Comp.ClockHz * in(u.Clock)
+		q.Soft.TSoft = p.Soft.TSoft * in(u.TSoft)
+		pr := core.MustPredict(q)
+		for _, buf := range []core.Buffering{core.SingleBuffered, core.DoubleBuffered} {
+			lo, hi := b.SpeedupRange(buf)
+			if s := pr.Speedup(buf); s < lo*(1-1e-12) || s > hi*(1+1e-12) {
+				t.Fatalf("draw %d: speedup %.4f outside [%.4f, %.4f]", i, s, lo, hi)
+			}
+			tlo, thi := b.TRCRange(buf)
+			if trc := pr.TRC(buf); trc < tlo*(1-1e-12) || trc > thi*(1+1e-12) {
+				t.Fatalf("draw %d: t_RC outside bounds", i)
+			}
+		}
+	}
+}
+
+// TestPropertyWiderUncertaintyWiderBounds: growing any half-width can
+// only widen the interval.
+func TestPropertyWiderUncertaintyWiderBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genParams(r))
+			vals[1] = reflect.ValueOf(r.Float64() * 0.4)
+		},
+	}
+	f := func(p core.Parameters, half float64) bool {
+		narrow := core.Uncertainty{Alpha: half / 2, ThroughputProc: half / 2, Clock: half / 2}
+		wide := core.Uncertainty{Alpha: half, ThroughputProc: half, Clock: half}
+		bn, err := core.PredictBounds(p, narrow)
+		if err != nil {
+			return false
+		}
+		bw, err := core.PredictBounds(p, wide)
+		if err != nil {
+			return false
+		}
+		ln, hn := bn.SpeedupRange(core.SingleBuffered)
+		lw, hw := bw.SpeedupRange(core.SingleBuffered)
+		return lw <= ln*(1+1e-12) && hw >= hn*(1-1e-12)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetsTarget(t *testing.T) {
+	p := paper.PDF1DParams() // nominal speedup 10.58
+	u := core.Uncertainty{Clock: 0.3}
+	b, err := core.PredictBounds(p, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := b.SpeedupRange(core.SingleBuffered)
+	if got := b.MeetsTarget(lo*0.9, core.SingleBuffered); got != core.TargetCertain {
+		t.Errorf("target below lo: %v, want certain", got)
+	}
+	if got := b.MeetsTarget(hi*1.1, core.SingleBuffered); got != core.TargetImpossible {
+		t.Errorf("target above hi: %v, want impossible", got)
+	}
+	if got := b.MeetsTarget((lo+hi)/2, core.SingleBuffered); got != core.TargetUncertain {
+		t.Errorf("target inside: %v, want uncertain", got)
+	}
+	if core.TargetCertain.String() != "certain" || core.TargetUncertain.String() != "uncertain" ||
+		core.TargetImpossible.String() != "impossible" || core.TargetVerdict(9).String() != "TargetVerdict(9)" {
+		t.Error("TargetVerdict strings wrong")
+	}
+}
+
+func TestPredictBoundsErrors(t *testing.T) {
+	p := paper.PDF1DParams()
+	for _, u := range []core.Uncertainty{
+		{Alpha: -0.1}, {Clock: 1.0}, {TSoft: math.NaN()},
+	} {
+		if _, err := core.PredictBounds(p, u); !errors.Is(err, core.ErrInvalidParameters) {
+			t.Errorf("uncertainty %+v accepted", u)
+		}
+	}
+	if _, err := core.PredictBounds(core.Parameters{}, core.Uncertainty{}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Error("invalid worksheet accepted")
+	}
+}
+
+// TestAlphaClamping: an optimistic corner cannot push alpha past 1.
+func TestAlphaClamping(t *testing.T) {
+	p := paper.MDParams() // alpha 0.9
+	b, err := core.PredictBounds(p, core.Uncertainty{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := b.Best.Params.Comm.AlphaWrite; a != 1 {
+		t.Errorf("optimistic alpha = %g, want clamped to 1", a)
+	}
+	if a := b.Worst.Params.Comm.AlphaWrite; math.Abs(a-0.45) > 1e-12 {
+		t.Errorf("pessimistic alpha = %g, want 0.45", a)
+	}
+}
+
+// TestClockBracketAsUncertainty: the paper's 75-150 MHz sweep is the
+// special case Clock=1/3 around 112.5 MHz; the interval endpoints must
+// match the swept endpoints.
+func TestClockBracketAsUncertainty(t *testing.T) {
+	p := paper.PDF1DParams().WithClock(core.MHz(112.5))
+	b, err := core.PredictBounds(p, core.Uncertainty{Clock: 1.0 / 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at75 := core.MustPredict(p.WithClock(core.MHz(75)))
+	at150 := core.MustPredict(p.WithClock(core.MHz(150)))
+	lo, hi := b.SpeedupRange(core.SingleBuffered)
+	if math.Abs(lo-at75.SpeedupSingle) > 1e-9 || math.Abs(hi-at150.SpeedupSingle) > 1e-9 {
+		t.Errorf("interval [%.2f, %.2f] vs swept endpoints [%.2f, %.2f]",
+			lo, hi, at75.SpeedupSingle, at150.SpeedupSingle)
+	}
+}

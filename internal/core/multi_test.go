@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+func TestPredictMultiDegeneratesToSingle(t *testing.T) {
+	for _, topo := range []core.Topology{core.SharedChannel, core.IndependentChannels} {
+		for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+			p := paper.Params(c)
+			mp, err := core.PredictMulti(p, core.MultiConfig{Devices: 1, Topology: topo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := core.MustPredict(p)
+			if math.Abs(mp.TRCSingle-pr.TRCSingle) > 1e-15*pr.TRCSingle ||
+				math.Abs(mp.TRCDouble-pr.TRCDouble) > 1e-15*pr.TRCDouble ||
+				math.Abs(mp.SpeedupSingle-pr.SpeedupSingle) > 1e-12 {
+				t.Errorf("%s/%v: N=1 differs from the single-device model", c, topo)
+			}
+		}
+	}
+}
+
+// TestSharedChannelSaturates: with a shared channel, speedup grows
+// with N while compute-bound and saturates at the communication bound;
+// independent channels keep scaling.
+func TestSharedChannelSaturates(t *testing.T) {
+	p := paper.PDF2DParams() // t_comp/t_comm ~ 34 at 150 MHz
+	knee, err := core.ScalingKnee(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee < 30 || knee > 40 {
+		t.Errorf("scaling knee = %.1f devices, want ~34", knee)
+	}
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	shared, err := core.SweepDevices(p, core.SharedChannel, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := core.SweepDevices(p, core.IndependentChannels, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if shared[i].SpeedupDouble < shared[i-1].SpeedupDouble-1e-9 {
+			t.Error("shared-channel speedup must be non-decreasing in N")
+		}
+		if indep[i].SpeedupDouble <= shared[i].SpeedupDouble-1e-9 {
+			t.Error("independent channels can never lose to a shared one")
+		}
+	}
+	// Past the knee, shared-channel speedup is pinned at the
+	// communication bound.
+	last := shared[len(shared)-1]
+	bound := core.MustPredict(p).MaxSpeedup()
+	if math.Abs(last.SpeedupDouble-bound) > 1e-9*bound {
+		t.Errorf("saturated speedup %.2f, comm bound %.2f", last.SpeedupDouble, bound)
+	}
+	// Independent channels at 128 devices scale right past the
+	// shared channel's asymptote (perfect scaling: ~7.1 x 128).
+	if got := indep[len(indep)-1].SpeedupDouble; got < 3*bound {
+		t.Errorf("independent channels should scale past the shared bound (got %.1f vs bound %.1f)", got, bound)
+	}
+	// Efficiency decays for shared, stays 1.0 for independent.
+	if shared[len(shared)-1].ScalingEfficiency > 0.5 {
+		t.Errorf("saturated efficiency = %.2f, want small", last.ScalingEfficiency)
+	}
+	for _, mp := range indep {
+		if math.Abs(mp.ScalingEfficiency-1) > 1e-9 {
+			t.Errorf("independent channels: efficiency %.3f at N=%d, want 1", mp.ScalingEfficiency, mp.Config.Devices)
+		}
+	}
+}
+
+// TestMultiPropertyBounds: for any valid parameters and any N, the
+// multi-FPGA prediction is bounded by the single-device prediction
+// below and perfect scaling above.
+func TestMultiPropertyBounds(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genParams(r))
+			vals[1] = reflect.ValueOf(1 + r.Intn(64))
+		},
+	}
+	f := func(p core.Parameters, n int) bool {
+		for _, topo := range []core.Topology{core.SharedChannel, core.IndependentChannels} {
+			mp, err := core.PredictMulti(p, core.MultiConfig{Devices: n, Topology: topo})
+			if err != nil {
+				return false
+			}
+			single := mp.Single
+			if mp.SpeedupDouble < single.SpeedupDouble*(1-1e-12) {
+				return false // more devices can never slow you down
+			}
+			if mp.SpeedupDouble > single.SpeedupDouble*float64(n)*(1+1e-12) {
+				return false // cannot beat perfect scaling
+			}
+			if mp.TRCDouble > mp.TRCSingle*(1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictMultiErrors(t *testing.T) {
+	p := paper.PDF1DParams()
+	if _, err := core.PredictMulti(p, core.MultiConfig{Devices: 0}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("zero devices: %v", err)
+	}
+	if _, err := core.PredictMulti(p, core.MultiConfig{Devices: 2, Topology: core.Topology(9)}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("bad topology: %v", err)
+	}
+	if _, err := core.PredictMulti(core.Parameters{}, core.MultiConfig{Devices: 2}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("bad params: %v", err)
+	}
+	if _, err := core.ScalingKnee(core.Parameters{}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("knee on bad params: %v", err)
+	}
+	if _, err := core.SweepDevices(p, core.SharedChannel, []int{1, 0}); err == nil {
+		t.Error("sweep with invalid count must fail")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if core.SharedChannel.String() != "shared-channel" ||
+		core.IndependentChannels.String() != "independent-channels" ||
+		core.Topology(9).String() != "Topology(9)" {
+		t.Error("Topology strings wrong")
+	}
+}
+
+// TestMultiNoBaseline: without t_soft the speedups are zero but times
+// still predict.
+func TestMultiNoBaseline(t *testing.T) {
+	p := paper.PDF1DParams()
+	p.Soft.TSoft = 0
+	mp, err := core.PredictMulti(p, core.MultiConfig{Devices: 4, Topology: core.SharedChannel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.SpeedupSingle != 0 || mp.SpeedupDouble != 0 || mp.ScalingEfficiency != 0 {
+		t.Error("speedups without baseline must be zero")
+	}
+	if mp.TRCSingle <= 0 {
+		t.Error("times must still predict")
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Unit conversion helpers. The paper quotes interconnect bandwidth in
+// decimal megabytes per second and clock rates in megahertz; internally
+// everything is SI base units.
+
+// MBps converts decimal megabytes per second to bytes per second.
+func MBps(v float64) float64 { return v * 1e6 }
+
+// GBps converts decimal gigabytes per second to bytes per second.
+func GBps(v float64) float64 { return v * 1e9 }
+
+// MHz converts megahertz to hertz.
+func MHz(v float64) float64 { return v * 1e6 }
+
+// DatasetParams describe the problem dataset for a single buffered
+// block of communication and computation (the "Dataset Parameters"
+// category of Table 1).
+//
+// An element is the basic building block that governs both
+// communication and computation: a value in an array to be sorted, an
+// atom in a molecular-dynamics simulation, a character in a
+// string-matching kernel. ElementsIn is the number of elements sent to
+// the FPGA per iteration; ElementsOut is the number returned per
+// iteration. BytesPerElement is the numerical precision of one element
+// on the interconnect (which may be wider than the precision used
+// inside the FPGA; the 1-D PDF study computes in 18-bit fixed point but
+// communicates 32-bit words).
+type DatasetParams struct {
+	ElementsIn      int64
+	ElementsOut     int64
+	BytesPerElement float64
+}
+
+// CommParams describe the CPU<->FPGA interconnect ("Communication
+// Parameters" of Table 1).
+//
+// IdealThroughput is the documented maximum bandwidth of the
+// interconnect in bytes per second (e.g. 1e9 for 133 MHz 64-bit PCI-X).
+// AlphaWrite and AlphaRead are the fractions of that ideal throughput
+// sustained during useful communication in each direction, in (0, 1];
+// the paper establishes them with microbenchmarks of simple data
+// transfers (see package platform for the simulated equivalent).
+// "Write" is host-to-FPGA (input data), "read" is FPGA-to-host
+// (results), matching the host's point of view used in the paper's
+// tables.
+type CommParams struct {
+	IdealThroughput float64
+	AlphaWrite      float64
+	AlphaRead       float64
+}
+
+// CompParams describe the FPGA computation ("Computation Parameters" of
+// Table 1).
+//
+// OpsPerElement is the number of operations required to complete all
+// computation involving one element; it is measured from the algorithm
+// structure. ThroughputProc is the number of those operations the
+// design completes per clock cycle; for a fully pipelined design it
+// equals the number of parallel operation units, while less optimized
+// designs sustain only a fraction. ClockHz is the FPGA clock frequency.
+//
+// The scope of an "operation" is a modelling choice: a 16-cycle Booth
+// multiplier may be counted as one operation at 1/16 op/cycle or as 16
+// operations at 1 op/cycle. Either is correct provided OpsPerElement
+// and ThroughputProc share the same assumption (Section 3.1).
+type CompParams struct {
+	OpsPerElement  float64
+	ThroughputProc float64
+	ClockHz        float64
+}
+
+// SoftwareParams anchor the speedup computation ("Software Parameters"
+// of Table 1). TSoft is the measured execution time in seconds of the
+// sequential software baseline for the whole problem. Iterations is the
+// number of communication+computation blocks needed to cover the whole
+// problem (N_iter), deduced from the fraction of the problem resident
+// on the FPGA at one time.
+type SoftwareParams struct {
+	TSoft      float64
+	Iterations int64
+}
+
+// Parameters is the complete RAT input-parameter worksheet (Table 1).
+type Parameters struct {
+	Name    string // optional human-readable design name
+	Dataset DatasetParams
+	Comm    CommParams
+	Comp    CompParams
+	Soft    SoftwareParams
+}
+
+// ErrInvalidParameters tags every validation failure reported by
+// Parameters.Validate, so callers can match with errors.Is.
+var ErrInvalidParameters = errors.New("rat/core: invalid parameters")
+
+// paramError builds a field-specific validation error wrapping
+// ErrInvalidParameters.
+func paramError(field, msg string, v any) error {
+	return fmt.Errorf("%w: %s %s (got %v)", ErrInvalidParameters, field, msg, v)
+}
+
+// Validate checks that the parameter set is physically meaningful:
+// positive sizes, throughputs and clock, alphas in (0, 1], a positive
+// iteration count, and a non-negative software baseline. It returns nil
+// if the parameters can be fed to Predict, or an error wrapping
+// ErrInvalidParameters naming the first offending field.
+func (p Parameters) Validate() error {
+	d, c, k, s := p.Dataset, p.Comm, p.Comp, p.Soft
+	switch {
+	case d.ElementsIn <= 0:
+		return paramError("Dataset.ElementsIn", "must be positive", d.ElementsIn)
+	case d.ElementsOut < 0:
+		return paramError("Dataset.ElementsOut", "must be non-negative", d.ElementsOut)
+	case !(d.BytesPerElement > 0) || math.IsInf(d.BytesPerElement, 0):
+		return paramError("Dataset.BytesPerElement", "must be positive and finite", d.BytesPerElement)
+	case !(c.IdealThroughput > 0) || math.IsInf(c.IdealThroughput, 0):
+		return paramError("Comm.IdealThroughput", "must be positive and finite", c.IdealThroughput)
+	case !(c.AlphaWrite > 0) || c.AlphaWrite > 1:
+		return paramError("Comm.AlphaWrite", "must be in (0, 1]", c.AlphaWrite)
+	case !(c.AlphaRead > 0) || c.AlphaRead > 1:
+		return paramError("Comm.AlphaRead", "must be in (0, 1]", c.AlphaRead)
+	case !(k.OpsPerElement > 0) || math.IsInf(k.OpsPerElement, 0):
+		return paramError("Comp.OpsPerElement", "must be positive and finite", k.OpsPerElement)
+	case !(k.ThroughputProc > 0) || math.IsInf(k.ThroughputProc, 0):
+		return paramError("Comp.ThroughputProc", "must be positive and finite", k.ThroughputProc)
+	case !(k.ClockHz > 0) || math.IsInf(k.ClockHz, 0):
+		return paramError("Comp.ClockHz", "must be positive and finite", k.ClockHz)
+	case s.TSoft < 0 || math.IsNaN(s.TSoft) || math.IsInf(s.TSoft, 0):
+		return paramError("Soft.TSoft", "must be non-negative and finite", s.TSoft)
+	case s.Iterations <= 0:
+		return paramError("Soft.Iterations", "must be positive", s.Iterations)
+	}
+	return nil
+}
+
+// BytesIn returns the number of bytes written to the FPGA per
+// iteration (one buffered input block).
+func (p Parameters) BytesIn() float64 {
+	return float64(p.Dataset.ElementsIn) * p.Dataset.BytesPerElement
+}
+
+// BytesOut returns the number of bytes read back from the FPGA per
+// iteration (one buffered output block).
+func (p Parameters) BytesOut() float64 {
+	return float64(p.Dataset.ElementsOut) * p.Dataset.BytesPerElement
+}
+
+// TotalOps returns the total number of operations the design performs
+// across all iterations: N_iter * N_elements * N_ops/element.
+func (p Parameters) TotalOps() float64 {
+	return float64(p.Soft.Iterations) * float64(p.Dataset.ElementsIn) * p.Comp.OpsPerElement
+}
+
+// WithClock returns a copy of the parameters with the FPGA clock set to
+// hz. Sweeping clock frequency is the paper's standard way to bracket
+// the achievable design space when the routed frequency is unknown.
+func (p Parameters) WithClock(hz float64) Parameters {
+	p.Comp.ClockHz = hz
+	return p
+}
+
+// WithThroughputProc returns a copy of the parameters with the
+// sustained operations-per-cycle set to ops.
+func (p Parameters) WithThroughputProc(ops float64) Parameters {
+	p.Comp.ThroughputProc = ops
+	return p
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffering selects the communication/computation overlap discipline
+// modelled by the throughput test (Figure 2 of the paper).
+type Buffering int
+
+const (
+	// SingleBuffered: one buffer, no overlap; each iteration is a
+	// read, a compute and a write laid end to end (Eq. 5).
+	SingleBuffered Buffering = iota
+	// DoubleBuffered: two buffers keep I/O and processing busy
+	// simultaneously; in steady state the smaller of t_comm and
+	// t_comp hides completely behind the larger (Eq. 6). The model
+	// neglects the pipeline-fill startup cost, which the paper deems
+	// negligible for a sufficiently large number of iterations.
+	DoubleBuffered
+)
+
+// String implements fmt.Stringer.
+func (b Buffering) String() string {
+	switch b {
+	case SingleBuffered:
+		return "single-buffered"
+	case DoubleBuffered:
+		return "double-buffered"
+	default:
+		return fmt.Sprintf("Buffering(%d)", int(b))
+	}
+}
+
+// Prediction is the full output of the RAT throughput test for one
+// parameter set: the per-iteration component times, the end-to-end RC
+// execution times and speedups under both buffering disciplines, and
+// the utilization metrics of Eqs. 8-11. All times are seconds.
+type Prediction struct {
+	Params Parameters
+
+	// Per-iteration communication components (Eqs. 1-3).
+	TWrite float64 // host -> FPGA input transfer
+	TRead  float64 // FPGA -> host result transfer
+	TComm  float64 // TWrite + TRead
+
+	// Per-iteration computation time (Eq. 4).
+	TComp float64
+
+	// End-to-end RC execution times (Eqs. 5-6).
+	TRCSingle float64
+	TRCDouble float64
+
+	// Speedups over the software baseline (Eq. 7). Zero when no
+	// baseline time was supplied (TSoft == 0).
+	SpeedupSingle float64
+	SpeedupDouble float64
+
+	// Utilizations (Eqs. 8-11): fraction of execution time spent in
+	// computation / communication under each discipline.
+	UtilCompSB float64
+	UtilCommSB float64
+	UtilCompDB float64
+	UtilCommDB float64
+}
+
+// Predict evaluates Eqs. (1)-(11) of the paper for the given
+// parameters. It is the forward direction of the RAT throughput test:
+// parameters in, predicted times, speedups and utilizations out.
+func Predict(p Parameters) (Prediction, error) {
+	if err := p.Validate(); err != nil {
+		return Prediction{}, err
+	}
+
+	pr := Prediction{Params: p}
+
+	// Eqs. (2)-(3): each direction sustains only the fraction alpha
+	// of the documented interconnect bandwidth.
+	pr.TWrite = p.BytesIn() / (p.Comm.AlphaWrite * p.Comm.IdealThroughput)
+	pr.TRead = p.BytesOut() / (p.Comm.AlphaRead * p.Comm.IdealThroughput)
+	// Eq. (1).
+	pr.TComm = pr.TRead + pr.TWrite
+
+	// Eq. (4): time to operate on one buffered block of elements.
+	pr.TComp = float64(p.Dataset.ElementsIn) * p.Comp.OpsPerElement /
+		(p.Comp.ClockHz * p.Comp.ThroughputProc)
+
+	iters := float64(p.Soft.Iterations)
+	// Eq. (5).
+	pr.TRCSingle = iters * (pr.TComm + pr.TComp)
+	// Eq. (6).
+	pr.TRCDouble = iters * math.Max(pr.TComm, pr.TComp)
+
+	// Eq. (7): speedup compares total application times.
+	if p.Soft.TSoft > 0 {
+		pr.SpeedupSingle = p.Soft.TSoft / pr.TRCSingle
+		pr.SpeedupDouble = p.Soft.TSoft / pr.TRCDouble
+	}
+
+	// Eqs. (8)-(9).
+	sum := pr.TComm + pr.TComp
+	pr.UtilCompSB = pr.TComp / sum
+	pr.UtilCommSB = pr.TComm / sum
+	// Eqs. (10)-(11). Only meaningful with enough iterations for
+	// steady state; the caller owns that judgement.
+	mx := math.Max(pr.TComm, pr.TComp)
+	pr.UtilCompDB = pr.TComp / mx
+	pr.UtilCommDB = pr.TComm / mx
+
+	return pr, nil
+}
+
+// MustPredict is Predict for parameter sets known to be valid, such as
+// package-level canonical worksheets; it panics on validation failure.
+func MustPredict(p Parameters) Prediction {
+	pr, err := Predict(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// TRC returns the predicted end-to-end RC execution time under the
+// given buffering discipline.
+func (pr Prediction) TRC(b Buffering) float64 {
+	if b == DoubleBuffered {
+		return pr.TRCDouble
+	}
+	return pr.TRCSingle
+}
+
+// Speedup returns the predicted speedup under the given buffering
+// discipline (zero when no software baseline was supplied).
+func (pr Prediction) Speedup(b Buffering) float64 {
+	if b == DoubleBuffered {
+		return pr.SpeedupDouble
+	}
+	return pr.SpeedupSingle
+}
+
+// UtilComp returns the computation utilization under the given
+// discipline. High values mean the FPGA is rarely idle; low values
+// signal room for more speedup through less (or better overlapped)
+// communication.
+func (pr Prediction) UtilComp(b Buffering) float64 {
+	if b == DoubleBuffered {
+		return pr.UtilCompDB
+	}
+	return pr.UtilCompSB
+}
+
+// UtilComm returns the communication utilization under the given
+// discipline. Because the channel is a single serialized resource,
+// 1-UtilComm is the fraction of interconnect bandwidth left to
+// facilitate additional transfers.
+func (pr Prediction) UtilComm(b Buffering) float64 {
+	if b == DoubleBuffered {
+		return pr.UtilCommDB
+	}
+	return pr.UtilCommSB
+}
+
+// CommunicationBound reports whether the per-iteration communication
+// time exceeds the computation time, i.e. whether a double-buffered
+// implementation would be limited by the interconnect.
+func (pr Prediction) CommunicationBound() bool { return pr.TComm > pr.TComp }
+
+// SustainedOps returns the operation rate the design sustains across
+// the whole run, in operations per second, under the given discipline.
+func (pr Prediction) SustainedOps(b Buffering) float64 {
+	return pr.Params.TotalOps() / pr.TRC(b)
+}
+
+// MaxSpeedup returns the asymptotic speedup limit of the design as
+// computation becomes infinitely fast (throughput_proc -> inf): the run
+// degenerates to pure communication, so no reformulation of the
+// computation alone can beat t_soft / (N_iter * t_comm). A design whose
+// target exceeds this bound must reduce or overlap communication, not
+// add parallelism.
+func (pr Prediction) MaxSpeedup() float64 {
+	if pr.Params.Soft.TSoft <= 0 {
+		return 0
+	}
+	return pr.Params.Soft.TSoft / (float64(pr.Params.Soft.Iterations) * pr.TComm)
+}

@@ -1,0 +1,159 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+)
+
+// genParams draws a random but valid parameter set. Ranges are wide
+// enough to cover embedded-scale and HPC-scale designs.
+func genParams(r *rand.Rand) core.Parameters {
+	return core.Parameters{
+		Dataset: core.DatasetParams{
+			ElementsIn:      1 + r.Int63n(1<<20),
+			ElementsOut:     r.Int63n(1 << 20),
+			BytesPerElement: 1 + 63*r.Float64(),
+		},
+		Comm: core.CommParams{
+			IdealThroughput: core.MBps(1 + 9999*r.Float64()),
+			AlphaWrite:      0.01 + 0.99*r.Float64(),
+			AlphaRead:       0.01 + 0.99*r.Float64(),
+		},
+		Comp: core.CompParams{
+			OpsPerElement:  1 + 1e6*r.Float64(),
+			ThroughputProc: 0.1 + 200*r.Float64(),
+			ClockHz:        core.MHz(10 + 490*r.Float64()),
+		},
+		Soft: core.SoftwareParams{
+			TSoft:      0.001 + 1000*r.Float64(),
+			Iterations: 1 + r.Int63n(10000),
+		},
+	}
+}
+
+// quickCfg wires the custom generator into testing/quick.
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genParams(r))
+			}
+		},
+	}
+}
+
+// PropertyDoubleBufferedDominates: for any valid parameters,
+// t_RC(DB) <= t_RC(SB) <= 2*t_RC(DB): overlap can at best hide the
+// smaller term entirely and at worst hide nothing.
+func TestPropertyDoubleBufferedBounds(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		pr := core.MustPredict(p)
+		return pr.TRCDouble <= pr.TRCSingle*(1+1e-12) &&
+			pr.TRCSingle <= 2*pr.TRCDouble*(1+1e-12)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyUtilizationIdentities: SB utilizations always sum to one and
+// the larger DB utilization is always exactly one.
+func TestPropertyUtilizationIdentities(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		pr := core.MustPredict(p)
+		return math.Abs(pr.UtilCommSB+pr.UtilCompSB-1) < 1e-9 &&
+			math.Abs(math.Max(pr.UtilCommDB, pr.UtilCompDB)-1) < 1e-9 &&
+			pr.UtilCommDB >= 0 && pr.UtilCompDB >= 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyClockMonotonicity: raising the clock never slows the design
+// down, and the speedup never exceeds the communication-bound asymptote.
+func TestPropertyClockMonotonicity(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		lo := core.MustPredict(p)
+		hi := core.MustPredict(p.WithClock(p.Comp.ClockHz * 2))
+		if hi.TRCSingle > lo.TRCSingle*(1+1e-12) || hi.TRCDouble > lo.TRCDouble*(1+1e-12) {
+			return false
+		}
+		return hi.SpeedupDouble <= lo.MaxSpeedup()*(1+1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertySolverRoundTrip: for a feasible target, predicting with the
+// solved throughput_proc reproduces the target speedup.
+func TestPropertySolverRoundTrip(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		pr := core.MustPredict(p)
+		// Pick a target safely inside the feasible region.
+		target := math.Min(pr.SpeedupSingle*2, pr.MaxSpeedup()*0.5)
+		if target <= 0 {
+			return true
+		}
+		for _, b := range []core.Buffering{core.SingleBuffered, core.DoubleBuffered} {
+			tp, err := core.SolveThroughputProc(p, target, b)
+			if err != nil {
+				// Feasible single-buffered implies feasible
+				// double-buffered, so any error here is a bug.
+				return false
+			}
+			got := core.MustPredict(p.WithThroughputProc(tp)).Speedup(b)
+			if math.Abs(got-target) > 1e-6*target {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyStreamingDominatesDoubleBuffered: splitting read and write
+// into separate pipeline stages can only help, so
+// t_RC(stream) <= t_RC(DB) <= t_RC(SB).
+func TestPropertyStreamingDominates(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		sp, err := core.PredictStreaming(p)
+		if err != nil {
+			return false
+		}
+		return sp.TRCStream <= sp.TRCDouble*(1+1e-12)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyScaleInvariance: multiplying element count by k and dividing
+// iterations by k leaves total times unchanged under single buffering
+// (the model is linear in the total workload).
+func TestPropertyWorkloadLinearity(t *testing.T) {
+	f := func(p core.Parameters) bool {
+		if p.Soft.Iterations%2 != 0 {
+			p.Soft.Iterations++ // make it even
+		}
+		q := p
+		q.Dataset.ElementsIn *= 2
+		q.Dataset.ElementsOut *= 2
+		q.Soft.Iterations /= 2
+		a := core.MustPredict(p)
+		b := core.MustPredict(q)
+		return math.Abs(a.TRCSingle-b.TRCSingle) <= 1e-9*a.TRCSingle
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+func TestPredictStreaming(t *testing.T) {
+	p := paper.PDF2DParams()
+	sp, err := core.PredictStreaming(p)
+	if err != nil {
+		t.Fatalf("PredictStreaming: %v", err)
+	}
+	// The 2-D PDF at 150 MHz is compute-limited, so the limiting
+	// stage is t_comp.
+	if sp.TStage != sp.TComp {
+		t.Errorf("limiting stage = %g, want t_comp %g", sp.TStage, sp.TComp)
+	}
+	if want := 400 * sp.TComp; math.Abs(sp.TRCStream-want) > 1e-12*want {
+		t.Errorf("TRCStream = %g, want %g", sp.TRCStream, want)
+	}
+	if want := sp.TWrite + sp.TRead; math.Abs(sp.TFill-want) > 1e-15 {
+		t.Errorf("TFill = %g, want %g", sp.TFill, want)
+	}
+	if sp.SpeedupStream < sp.SpeedupDouble {
+		t.Errorf("streaming speedup %g below double-buffered %g", sp.SpeedupStream, sp.SpeedupDouble)
+	}
+}
+
+// TestStreamingBeatsDoubleBufferedWhenCommSplit: craft a design where
+// read and write each take as long as compute; double buffering pays
+// for read+write serially while streaming overlaps all three stages,
+// yielding a strict 2x advantage.
+func TestStreamingBeatsDoubleBufferedWhenCommSplit(t *testing.T) {
+	p := core.Parameters{
+		Dataset: core.DatasetParams{ElementsIn: 1000, ElementsOut: 1000, BytesPerElement: 4},
+		Comm:    core.CommParams{IdealThroughput: core.MBps(100), AlphaWrite: 0.5, AlphaRead: 0.5},
+		Comp:    core.CompParams{OpsPerElement: 10, ThroughputProc: 1, ClockHz: 0}, // clock set below
+		Soft:    core.SoftwareParams{TSoft: 1, Iterations: 100},
+	}
+	// t_write = t_read = 1000*4/(0.5*1e8) = 8e-5 s. Choose the clock
+	// so t_comp matches: 1000*10/(f*1) = 8e-5 -> f = 1.25e8.
+	p.Comp.ClockHz = 1.25e8
+	sp, err := core.PredictStreaming(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.TWrite-sp.TComp) > 1e-12 || math.Abs(sp.TRead-sp.TComp) > 1e-12 {
+		t.Fatalf("stage times not balanced: w=%g c=%g r=%g", sp.TWrite, sp.TComp, sp.TRead)
+	}
+	ratio := sp.TRCDouble / sp.TRCStream
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("DB/stream ratio = %g, want exactly 2 for balanced stages", ratio)
+	}
+}
+
+func TestStreamingInvalidParams(t *testing.T) {
+	if _, err := core.PredictStreaming(core.Parameters{}); err == nil {
+		t.Error("PredictStreaming accepted invalid parameters")
+	}
+}
+
+func TestSweepClock(t *testing.T) {
+	p := paper.PDF1DParams()
+	prs, err := core.SweepClock(p, paper.ClocksHz)
+	if err != nil {
+		t.Fatalf("SweepClock: %v", err)
+	}
+	if len(prs) != 3 {
+		t.Fatalf("got %d predictions, want 3", len(prs))
+	}
+	for i, row := range paper.PredictedRows(paper.PDF1D) {
+		if got := prs[i].Params.Comp.ClockHz; got != row.ClockHz {
+			t.Errorf("sweep[%d] clock = %g, want %g", i, got, row.ClockHz)
+		}
+	}
+	// Higher clock, lower t_comp.
+	if !(prs[0].TComp > prs[1].TComp && prs[1].TComp > prs[2].TComp) {
+		t.Error("t_comp must decrease with clock frequency")
+	}
+	if _, err := core.SweepClock(p, []float64{0}); err == nil {
+		t.Error("SweepClock accepted an invalid clock")
+	}
+}
+
+func TestSweepThroughputProc(t *testing.T) {
+	p := paper.MDParams()
+	ops := []float64{10, 25, 50, 100}
+	prs, err := core.SweepThroughputProc(p, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prs); i++ {
+		if prs[i].SpeedupSingle <= prs[i-1].SpeedupSingle {
+			t.Error("speedup must grow with throughput_proc while compute-bound")
+		}
+	}
+	if _, err := core.SweepThroughputProc(p, []float64{-1}); err == nil {
+		t.Error("SweepThroughputProc accepted an invalid value")
+	}
+}
+
+func TestGenericSweepAndCrossover(t *testing.T) {
+	p := paper.PDF1DParams()
+	fc, err := core.CrossoverClock(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clocks := []float64{fc * 0.25, fc * 0.5, fc * 2, fc * 4}
+	pts, err := core.SweepPoints(p, clocks, func(q core.Parameters, v float64) core.Parameters {
+		return q.WithClock(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bracket, ok := core.FindCrossover(pts)
+	if !ok {
+		t.Fatal("crossover not found in a sweep that straddles it")
+	}
+	if !(bracket[0].Value < fc && fc < bracket[1].Value) {
+		t.Errorf("crossover bracket [%g, %g] does not contain %g", bracket[0].Value, bracket[1].Value, fc)
+	}
+	// A sweep entirely on one side finds nothing.
+	low, err := core.SweepPoints(p, []float64{fc * 0.1, fc * 0.2}, func(q core.Parameters, v float64) core.Parameters {
+		return q.WithClock(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := core.FindCrossover(low); ok {
+		t.Error("found a crossover in a single-regime sweep")
+	}
+	// Generic sweep propagates validation errors.
+	if _, err := core.Sweep(p, []float64{1}, func(q core.Parameters, _ float64) core.Parameters {
+		q.Comp.ClockHz = -1
+		return q
+	}); err == nil {
+		t.Error("Sweep accepted a mutation producing invalid parameters")
+	}
+	if _, err := core.SweepPoints(p, []float64{-1}, func(q core.Parameters, v float64) core.Parameters {
+		return q.WithClock(v)
+	}); err == nil {
+		t.Error("SweepPoints accepted an invalid value")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "sort"
+
+// SweepClock evaluates the prediction at each clock frequency in hz,
+// reproducing the paper's practice of bracketing an unknown routed
+// frequency with a range of plausible values (75/100/150 MHz in all
+// three case studies). Results are returned in the order given.
+func SweepClock(p Parameters, hz []float64) ([]Prediction, error) {
+	out := make([]Prediction, 0, len(hz))
+	for _, f := range hz {
+		pr, err := Predict(p.WithClock(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// SweepThroughputProc evaluates the prediction at each sustained
+// ops/cycle value, the natural axis for exploring how much parallelism
+// a design needs.
+func SweepThroughputProc(p Parameters, ops []float64) ([]Prediction, error) {
+	out := make([]Prediction, 0, len(ops))
+	for _, v := range ops {
+		pr, err := Predict(p.WithThroughputProc(v))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// Sweep evaluates the prediction for each value in values after
+// applying mutate to a copy of the base parameters. It generalizes the
+// fixed-axis sweeps to any single-parameter study (block size, alpha,
+// bytes per element, ...).
+func Sweep(p Parameters, values []float64, mutate func(Parameters, float64) Parameters) ([]Prediction, error) {
+	out := make([]Prediction, 0, len(values))
+	for _, v := range values {
+		pr, err := Predict(mutate(p, v))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// SweepPoint pairs a swept input value with its prediction.
+type SweepPoint struct {
+	Value      float64
+	Prediction Prediction
+}
+
+// FindCrossover scans a sweep for the first adjacent pair of points
+// where the design flips between communication-bound and
+// computation-bound, and returns the two bracketing points. The second
+// return value is false when the whole sweep stays in one regime.
+// Points are examined in ascending order of Value.
+func FindCrossover(points []SweepPoint) ([2]SweepPoint, bool) {
+	sorted := make([]SweepPoint, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Value < sorted[j].Value })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Prediction.CommunicationBound() != sorted[i].Prediction.CommunicationBound() {
+			return [2]SweepPoint{sorted[i-1], sorted[i]}, true
+		}
+	}
+	return [2]SweepPoint{}, false
+}
+
+// SweepPoints runs Sweep and pairs each prediction with its input
+// value, ready for FindCrossover or plotting.
+func SweepPoints(p Parameters, values []float64, mutate func(Parameters, float64) Parameters) ([]SweepPoint, error) {
+	prs, err := Sweep(p, values, mutate)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]SweepPoint, len(prs))
+	for i, pr := range prs {
+		pts[i] = SweepPoint{Value: values[i], Prediction: pr}
+	}
+	return pts, nil
+}

@@ -1,0 +1,109 @@
+package fixed
+
+import "fmt"
+
+// Acc models a wide hardware accumulator such as the 48-bit register
+// of a Xilinx DSP48 multiply-accumulate unit: products are summed at
+// full double-width precision and only the final read-out narrows to a
+// storage format. The 1-D PDF case study's running per-bin totals are
+// exactly this structure (one 18x18 MAC per pipeline).
+//
+// The accumulator holds Frac fraction bits and wraps two's-complement
+// at Width total bits, like the silicon it models. The zero Acc is
+// unusable; construct with NewAcc.
+type Acc struct {
+	raw   int64
+	frac  int
+	width int
+	// overflowed latches whether any accumulation wrapped.
+	overflowed bool
+}
+
+// NewAcc returns an accumulator with the given fraction bits and total
+// width. Width must be in (frac, 63] so the raw value fits an int64
+// and at least one integer bit exists.
+func NewAcc(frac, width int) (*Acc, error) {
+	switch {
+	case frac < 0:
+		return nil, fmt.Errorf("%w: negative accumulator fraction bits %d", ErrBadFormat, frac)
+	case width <= frac || width > 63:
+		return nil, fmt.Errorf("%w: accumulator width %d must be in (%d, 63]", ErrBadFormat, width, frac)
+	}
+	return &Acc{frac: frac, width: width}, nil
+}
+
+// MustNewAcc is NewAcc that panics on invalid geometry.
+func MustNewAcc(frac, width int) *Acc {
+	a, err := NewAcc(frac, width)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Frac returns the accumulator's fraction-bit count.
+func (a *Acc) Frac() int { return a.frac }
+
+// Width returns the accumulator's total width in bits.
+func (a *Acc) Width() int { return a.width }
+
+// Reset clears the accumulated value and the overflow latch.
+func (a *Acc) Reset() { a.raw = 0; a.overflowed = false }
+
+// Overflowed reports whether any accumulation since the last Reset
+// wrapped around the accumulator width.
+func (a *Acc) Overflowed() bool { return a.overflowed }
+
+// wrap confines raw to the accumulator width with sign extension and
+// latches overflow.
+func (a *Acc) wrap(raw int64) {
+	limitHi := (int64(1) << (a.width - 1)) - 1
+	limitLo := -(int64(1) << (a.width - 1))
+	if raw > limitHi || raw < limitLo {
+		a.overflowed = true
+		w := uint(a.width)
+		um := uint64(raw) & ((1 << w) - 1)
+		if um&(1<<(w-1)) != 0 {
+			um |= ^uint64(0) << w
+		}
+		raw = int64(um)
+	}
+	a.raw = raw
+}
+
+// MAC accumulates the full-precision product x*y. The product's
+// fraction bits (x.Frac+y.Frac) must equal the accumulator's, mirroring
+// fixed hardware wiring; a mismatch is a programming error and panics.
+func (a *Acc) MAC(x, y Value) {
+	if x.fmt.Frac+y.fmt.Frac != a.frac {
+		panic(fmt.Sprintf("fixed: MAC product fraction %d does not match accumulator fraction %d",
+			x.fmt.Frac+y.fmt.Frac, a.frac))
+	}
+	a.wrap(a.raw + x.raw*y.raw)
+}
+
+// AddValue accumulates a single value, exactly left-shifted to the
+// accumulator scale. The value's fraction bits must not exceed the
+// accumulator's.
+func (a *Acc) AddValue(v Value) {
+	if v.fmt.Frac > a.frac {
+		panic(fmt.Sprintf("fixed: AddValue fraction %d exceeds accumulator fraction %d", v.fmt.Frac, a.frac))
+	}
+	a.wrap(a.raw + v.raw<<uint(a.frac-v.fmt.Frac))
+}
+
+// Value narrows the accumulated total into format out with the given
+// rounding and overflow modes; the bool reports narrowing overflow.
+func (a *Acc) Value(out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	return renorm(a.raw, a.frac, out, rm, om)
+}
+
+// Float returns the accumulated total as a float64 (exact while the
+// raw magnitude stays below 2^53).
+func (a *Acc) Float() float64 {
+	v := float64(a.raw)
+	for i := 0; i < a.frac; i++ {
+		v /= 2
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package fixed_test
+
+import (
+	"testing"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+func TestValueFormatAccessor(t *testing.T) {
+	f := fixed.Q(4, 8)
+	v := fixed.MustFromFloat(1.5, f, fixed.Nearest)
+	if v.Format() != f {
+		t.Errorf("Format() = %v, want %v", v.Format(), f)
+	}
+}
+
+// TestConvertWrapSemantics: narrowing under Wrap keeps low bits with
+// sign extension, like the silicon it models.
+func TestConvertWrapSemantics(t *testing.T) {
+	// 5.0 in Q8.4 is raw 80; narrowing to Q3.4 (range [-4, 4), raw
+	// range [-64, 63]) wraps 80 -> 80-128 = -48 -> -3.0.
+	v := fixed.MustFromFloat(5.0, fixed.Q(8, 4), fixed.Nearest)
+	w, ov := fixed.Convert(v, fixed.Q(3, 4), fixed.Truncate, fixed.Wrap)
+	if !ov || w.Float() != -3.0 {
+		t.Errorf("wrap narrow = %g ov=%v, want -3", w.Float(), ov)
+	}
+}
+
+// TestConvertWideningOverflow: gaining fraction bits can overflow the
+// output's range when the integer part shrinks.
+func TestConvertWideningOverflow(t *testing.T) {
+	v := fixed.MustFromFloat(7.5, fixed.Q(8, 4), fixed.Nearest)
+	// Q2.16: range [-2, 2), fraction grows by 12 bits.
+	s, ov := fixed.Convert(v, fixed.Q(2, 16), fixed.Truncate, fixed.Saturate)
+	if !ov || s.Float() != fixed.Q(2, 16).MaxFloat() {
+		t.Errorf("widening saturate = %g ov=%v", s.Float(), ov)
+	}
+	n, _ := fixed.Neg(v, fixed.Saturate)
+	s, ov = fixed.Convert(n, fixed.Q(2, 16), fixed.Truncate, fixed.Saturate)
+	if !ov || s.Float() != -2 {
+		t.Errorf("negative widening saturate = %g ov=%v", s.Float(), ov)
+	}
+	// Wrap semantics on the same widening.
+	w, ov := fixed.Convert(v, fixed.Q(2, 16), fixed.Truncate, fixed.Wrap)
+	if !ov || w.Float() != -0.5 { // 7.5 mod 4 -> 3.5 -> wraps to -0.5 in [-2,2)
+		t.Errorf("widening wrap = %g ov=%v, want -0.5", w.Float(), ov)
+	}
+}
+
+// TestMulOutputRoundingModes: the narrowing of a full product honors
+// each rounding mode.
+func TestMulOutputRoundingModes(t *testing.T) {
+	f := fixed.Q(4, 4)                                 // eps 1/16
+	a := fixed.MustFromFloat(0.4375, f, fixed.Nearest) // 7/16
+	b := fixed.MustFromFloat(0.4375, f, fixed.Nearest)
+	// exact product 49/256 = 0.19140625; in eps units 3.0625.
+	tr, _ := fixed.Mul(a, b, f, fixed.Truncate, fixed.Saturate)
+	if tr.Raw() != 3 {
+		t.Errorf("truncate product raw = %d, want 3", tr.Raw())
+	}
+	nr, _ := fixed.Mul(a, b, f, fixed.Nearest, fixed.Saturate)
+	if nr.Raw() != 3 {
+		t.Errorf("nearest product raw = %d, want 3", nr.Raw())
+	}
+	// A tie case: 0.5*0.375 = 0.1875 = 3.0 eps exactly (no tie);
+	// construct a half-eps product: 0.25 * 0.375 = 0.09375 = 1.5 eps.
+	c := fixed.MustFromFloat(0.25, f, fixed.Nearest)
+	d := fixed.MustFromFloat(0.375, f, fixed.Nearest)
+	half, _ := fixed.Mul(c, d, f, fixed.Nearest, fixed.Saturate) // ties away: 2
+	if half.Raw() != 2 {
+		t.Errorf("nearest tie raw = %d, want 2", half.Raw())
+	}
+	even, _ := fixed.Mul(c, d, f, fixed.NearestEven, fixed.Saturate) // ties to even: 2
+	if even.Raw() != 2 {
+		t.Errorf("nearest-even tie raw = %d, want 2", even.Raw())
+	}
+}
+
+// TestDivWrapMode exercises the Wrap paths of the divider's overflow
+// handling.
+func TestDivWrapMode(t *testing.T) {
+	f := fixed.Q(4, 12)
+	big := fixed.MustFromFloat(7.5, f, fixed.Nearest)
+	tiny := fixed.MustFromFloat(f.Eps(), f, fixed.Nearest)
+	// Quotient far out of range: Wrap mode reports overflow; the
+	// value is implementation-defined but must be in range.
+	got, ov := fixed.Div(big, tiny, f, fixed.Nearest, fixed.Wrap)
+	if !ov {
+		t.Error("overflowing divide must report overflow")
+	}
+	if got.Float() > f.MaxFloat() || got.Float() < f.MinFloat() {
+		t.Errorf("wrapped quotient %g outside format range", got.Float())
+	}
+	// Division by zero under Wrap still saturates by definition.
+	zero := fixed.MustFromFloat(0, f, fixed.Nearest)
+	if _, ov := fixed.Div(big, zero, f, fixed.Nearest, fixed.Wrap); !ov {
+		t.Error("divide by zero must report overflow")
+	}
+}
+
+// TestDivRoundingModes: the exact-remainder rounding honors each mode,
+// including negative truncation toward negative infinity.
+func TestDivRoundingModes(t *testing.T) {
+	f := fixed.Q(8, 0) // integers
+	mk := func(x float64) fixed.Value { return fixed.MustFromFloat(x, f, fixed.Nearest) }
+	// 7/2 = 3.5
+	if v, _ := fixed.Div(mk(7), mk(2), f, fixed.Truncate, fixed.Saturate); v.Float() != 3 {
+		t.Errorf("trunc(7/2) = %g", v.Float())
+	}
+	if v, _ := fixed.Div(mk(7), mk(2), f, fixed.Nearest, fixed.Saturate); v.Float() != 4 {
+		t.Errorf("nearest(7/2) = %g", v.Float())
+	}
+	if v, _ := fixed.Div(mk(7), mk(2), f, fixed.NearestEven, fixed.Saturate); v.Float() != 4 {
+		t.Errorf("nearestEven(7/2) = %g", v.Float())
+	}
+	// 5/2 = 2.5: nearest-even goes down to 2.
+	if v, _ := fixed.Div(mk(5), mk(2), f, fixed.NearestEven, fixed.Saturate); v.Float() != 2 {
+		t.Errorf("nearestEven(5/2) = %g", v.Float())
+	}
+	// -7/2 = -3.5: truncation floors to -4.
+	if v, _ := fixed.Div(mk(-7), mk(2), f, fixed.Truncate, fixed.Saturate); v.Float() != -4 {
+		t.Errorf("trunc(-7/2) = %g, want -4 (floor)", v.Float())
+	}
+	// Nearest ties away from zero: -3.5 -> -4.
+	if v, _ := fixed.Div(mk(-7), mk(2), f, fixed.Nearest, fixed.Saturate); v.Float() != -4 {
+		t.Errorf("nearest(-7/2) = %g", v.Float())
+	}
+}
+
+// TestSqrtTruncateMode and narrow output formats.
+func TestSqrtModes(t *testing.T) {
+	f := fixed.Q(8, 8)
+	// sqrt(2) = 1.41421...; eps = 1/256: trunc floor vs nearest.
+	two := fixed.MustFromFloat(2, f, fixed.Nearest)
+	tr, _ := fixed.Sqrt(two, f, fixed.Truncate, fixed.Saturate)
+	nr, _ := fixed.Sqrt(two, f, fixed.Nearest, fixed.Saturate)
+	if tr.Float() > 1.4143 || tr.Float() < 1.410 {
+		t.Errorf("trunc sqrt(2) = %g", tr.Float())
+	}
+	if nr.Float() < tr.Float() {
+		t.Errorf("nearest sqrt below truncated")
+	}
+	// Narrow output: sqrt of a big value can overflow a small format.
+	big := fixed.MustFromFloat(100, fixed.Q(8, 8), fixed.Nearest)
+	if _, ov := fixed.Sqrt(big, fixed.Q(2, 6), fixed.Nearest, fixed.Saturate); !ov {
+		t.Error("sqrt(100) into [-2,2) must overflow")
+	}
+}

@@ -1,0 +1,382 @@
+// Package fixed implements signed two's-complement fixed-point
+// arithmetic with explicit Q formats, rounding modes and overflow
+// handling.
+//
+// It is the numerical substrate of the RAT precision test (Section 3.2
+// of the paper): FPGA designs trade precision for resources, so the
+// methodology needs to evaluate candidate fixed-point formats against a
+// floating-point reference. The 1-D PDF case study settles on 18-bit
+// fixed point specifically so each multiplication fits a single Xilinx
+// 18x18 multiply-accumulate unit; this package models such formats
+// bit-exactly, including the wide accumulators those MAC units provide.
+//
+// A Format carries Int integer bits (including the sign bit) and Frac
+// fractional bits; a Value is a raw two's-complement integer scaled by
+// 2^-Frac. Total width is limited to 32 bits so products always fit an
+// int64 without loss.
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MaxWidth is the largest supported total format width in bits. The
+// limit guarantees that the full product of any two values fits in an
+// int64 (32+32 = 64 > 62 magnitude bits).
+const MaxWidth = 32
+
+// RoundMode selects how discarded fraction bits are resolved when
+// narrowing.
+type RoundMode int
+
+const (
+	// Truncate drops the discarded bits: rounding toward negative
+	// infinity, the behaviour of a bare arithmetic right shift and
+	// the cheapest choice in hardware.
+	Truncate RoundMode = iota
+	// Nearest rounds to the nearest representable value with ties
+	// away from zero (the common DSP "round half up" on magnitudes).
+	Nearest
+	// NearestEven rounds to nearest with ties to the even value,
+	// IEEE-754 style; it is bias-free over long accumulations.
+	NearestEven
+)
+
+// String implements fmt.Stringer.
+func (m RoundMode) String() string {
+	switch m {
+	case Truncate:
+		return "truncate"
+	case Nearest:
+		return "nearest"
+	case NearestEven:
+		return "nearest-even"
+	default:
+		return fmt.Sprintf("RoundMode(%d)", int(m))
+	}
+}
+
+// OverflowMode selects what happens when a result exceeds the target
+// format's range.
+type OverflowMode int
+
+const (
+	// Saturate clamps to the nearest representable extreme, the
+	// usual choice for signal-processing datapaths.
+	Saturate OverflowMode = iota
+	// Wrap keeps the low-order bits with sign extension, the
+	// behaviour of plain two's-complement hardware without
+	// saturation logic.
+	Wrap
+)
+
+// String implements fmt.Stringer.
+func (m OverflowMode) String() string {
+	switch m {
+	case Saturate:
+		return "saturate"
+	case Wrap:
+		return "wrap"
+	default:
+		return fmt.Sprintf("OverflowMode(%d)", int(m))
+	}
+}
+
+// Format describes a signed fixed-point representation with Int
+// integer bits (including the sign bit) and Frac fractional bits. The
+// zero Format is invalid; construct with NewFormat or Q.
+type Format struct {
+	Int  int
+	Frac int
+}
+
+// ErrBadFormat tags format-construction failures.
+var ErrBadFormat = errors.New("fixed: invalid format")
+
+// NewFormat validates and returns a Format with the given integer
+// (including sign) and fractional bit counts. Int must be at least 1,
+// Frac non-negative, and the total width within MaxWidth.
+func NewFormat(intBits, fracBits int) (Format, error) {
+	switch {
+	case intBits < 1:
+		return Format{}, fmt.Errorf("%w: need at least 1 integer (sign) bit, got %d", ErrBadFormat, intBits)
+	case fracBits < 0:
+		return Format{}, fmt.Errorf("%w: negative fraction bits %d", ErrBadFormat, fracBits)
+	case intBits+fracBits > MaxWidth:
+		return Format{}, fmt.Errorf("%w: width %d exceeds %d bits", ErrBadFormat, intBits+fracBits, MaxWidth)
+	}
+	return Format{Int: intBits, Frac: fracBits}, nil
+}
+
+// Q returns the Format Q(i.f), panicking on an invalid specification.
+// Use it for compile-time-constant formats ("Q(2, 16)" is the 18-bit
+// format of the PDF case study).
+func Q(intBits, fracBits int) Format {
+	f, err := NewFormat(intBits, fracBits)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Width returns the total number of bits, sign included.
+func (f Format) Width() int { return f.Int + f.Frac }
+
+// Eps returns the quantization step 2^-Frac: the value of one least
+// significant bit.
+func (f Format) Eps() float64 { return math.Ldexp(1, -f.Frac) }
+
+// MaxRaw returns the largest raw integer representable: 2^(W-1)-1.
+func (f Format) MaxRaw() int64 { return (int64(1) << (f.Width() - 1)) - 1 }
+
+// MinRaw returns the smallest raw integer representable: -2^(W-1).
+func (f Format) MinRaw() int64 { return -(int64(1) << (f.Width() - 1)) }
+
+// MaxFloat returns the largest representable real value.
+func (f Format) MaxFloat() float64 { return float64(f.MaxRaw()) * f.Eps() }
+
+// MinFloat returns the smallest (most negative) representable value.
+func (f Format) MinFloat() float64 { return float64(f.MinRaw()) * f.Eps() }
+
+// Valid reports whether the format was properly constructed.
+func (f Format) Valid() bool {
+	return f.Int >= 1 && f.Frac >= 0 && f.Width() <= MaxWidth
+}
+
+// String implements fmt.Stringer, e.g. "Q2.16".
+func (f Format) String() string { return fmt.Sprintf("Q%d.%d", f.Int, f.Frac) }
+
+// Value is a fixed-point number: a raw two's-complement integer
+// interpreted at the scale of its Format. The zero Value is 0 in the
+// invalid zero Format; obtain Values with FromFloat or FromRaw.
+type Value struct {
+	raw int64
+	fmt Format
+}
+
+// FromRaw builds a Value from a raw integer already scaled by 2^Frac,
+// applying the overflow mode if it exceeds the format's range. The
+// second return reports whether overflow handling fired.
+func FromRaw(raw int64, f Format, om OverflowMode) (Value, bool) {
+	r, ov := fit(raw, f, om)
+	return Value{raw: r, fmt: f}, ov
+}
+
+// FromFloat quantizes x into format f with the given rounding and
+// overflow modes. The second return reports overflow (including
+// infinite x); NaN quantizes to zero with overflow reported.
+func FromFloat(x float64, f Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	if math.IsNaN(x) {
+		return Value{raw: 0, fmt: f}, true
+	}
+	if math.IsInf(x, 0) {
+		if om == Saturate {
+			if x > 0 {
+				return Value{raw: f.MaxRaw(), fmt: f}, true
+			}
+			return Value{raw: f.MinRaw(), fmt: f}, true
+		}
+		return Value{raw: 0, fmt: f}, true
+	}
+	scaled := math.Ldexp(x, f.Frac)
+	// Reject magnitudes far outside int64 before conversion.
+	if scaled >= math.MaxInt64/2 || scaled <= math.MinInt64/2 {
+		if om == Saturate {
+			if scaled > 0 {
+				return Value{raw: f.MaxRaw(), fmt: f}, true
+			}
+			return Value{raw: f.MinRaw(), fmt: f}, true
+		}
+		// Wrapping a value this far out of range has no single
+		// sensible answer; define it as wrap of the saturated
+		// extreme (i.e. the extreme itself).
+		return Value{raw: 0, fmt: f}, true
+	}
+	var r int64
+	switch rm {
+	case Nearest:
+		if scaled >= 0 {
+			r = int64(scaled + 0.5)
+		} else {
+			r = -int64(-scaled + 0.5)
+		}
+	case NearestEven:
+		r = int64(math.RoundToEven(scaled))
+	default: // Truncate: toward negative infinity
+		r = int64(math.Floor(scaled))
+	}
+	return FromRaw(r, f, om)
+}
+
+// MustFromFloat is FromFloat that panics on overflow; for constants
+// known to be in range.
+func MustFromFloat(x float64, f Format, rm RoundMode) Value {
+	v, ov := FromFloat(x, f, rm, Saturate)
+	if ov {
+		panic(fmt.Sprintf("fixed: %g overflows %v", x, f))
+	}
+	return v
+}
+
+// Raw returns the underlying two's-complement integer.
+func (v Value) Raw() int64 { return v.raw }
+
+// Format returns the value's format.
+func (v Value) Format() Format { return v.fmt }
+
+// Float converts the value to float64 exactly (every representable
+// fixed-point value within 32 bits converts exactly).
+func (v Value) Float() float64 { return math.Ldexp(float64(v.raw), -v.fmt.Frac) }
+
+// IsZero reports whether the value is exactly zero.
+func (v Value) IsZero() bool { return v.raw == 0 }
+
+// String implements fmt.Stringer, e.g. "0.249878(Q2.16)".
+func (v Value) String() string { return fmt.Sprintf("%g(%v)", v.Float(), v.fmt) }
+
+// fit applies overflow handling to a raw integer for format f.
+func fit(raw int64, f Format, om OverflowMode) (int64, bool) {
+	mx, mn := f.MaxRaw(), f.MinRaw()
+	if raw <= mx && raw >= mn {
+		return raw, false
+	}
+	if om == Saturate {
+		if raw > mx {
+			return mx, true
+		}
+		return mn, true
+	}
+	// Wrap: keep the low Width bits with sign extension.
+	w := uint(f.Width())
+	um := uint64(raw) & ((1 << w) - 1)
+	if um&(1<<(w-1)) != 0 {
+		um |= ^uint64(0) << w
+	}
+	return int64(um), true
+}
+
+// sameFormat panics unless a and b share one valid format; mixing
+// formats silently would corrupt scales, so it is a programming error
+// on par with an out-of-range index.
+func sameFormat(op string, a, b Value) {
+	if a.fmt != b.fmt || !a.fmt.Valid() {
+		panic(fmt.Sprintf("fixed: %s of mismatched or invalid formats %v and %v", op, a.fmt, b.fmt))
+	}
+}
+
+// Add returns a+b in their common format under the given overflow
+// mode; the bool reports overflow. Both operands must share a format.
+func Add(a, b Value, om OverflowMode) (Value, bool) {
+	sameFormat("Add", a, b)
+	return FromRaw(a.raw+b.raw, a.fmt, om)
+}
+
+// Sub returns a-b in their common format under the given overflow
+// mode. Both operands must share a format.
+func Sub(a, b Value, om OverflowMode) (Value, bool) {
+	sameFormat("Sub", a, b)
+	return FromRaw(a.raw-b.raw, a.fmt, om)
+}
+
+// Neg returns -v; overflow is possible for the most negative value.
+func Neg(v Value, om OverflowMode) (Value, bool) {
+	return FromRaw(-v.raw, v.fmt, om)
+}
+
+// Abs returns |v|; overflow is possible for the most negative value.
+func Abs(v Value, om OverflowMode) (Value, bool) {
+	if v.raw < 0 {
+		return Neg(v, om)
+	}
+	return v, false
+}
+
+// Cmp compares two values of the same format: -1, 0 or +1.
+func Cmp(a, b Value) int {
+	sameFormat("Cmp", a, b)
+	switch {
+	case a.raw < b.raw:
+		return -1
+	case a.raw > b.raw:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Mul multiplies a and b (any formats) and delivers the result in
+// format out using the given rounding and overflow modes. The full
+// double-width product is formed first, as hardware multipliers do, so
+// no precision is lost before the final narrowing.
+func Mul(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	if !a.fmt.Valid() || !b.fmt.Valid() || !out.Valid() {
+		panic(fmt.Sprintf("fixed: Mul with invalid format (%v, %v -> %v)", a.fmt, b.fmt, out))
+	}
+	prod := a.raw * b.raw // exact: <= 62 magnitude bits
+	return renorm(prod, a.fmt.Frac+b.fmt.Frac, out, rm, om)
+}
+
+// Convert re-quantizes v into format out with the given rounding and
+// overflow modes.
+func Convert(v Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	if !v.fmt.Valid() || !out.Valid() {
+		panic(fmt.Sprintf("fixed: Convert with invalid format (%v -> %v)", v.fmt, out))
+	}
+	return renorm(v.raw, v.fmt.Frac, out, rm, om)
+}
+
+// renorm shifts a raw value with frac fraction bits into format out.
+func renorm(raw int64, frac int, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	shift := frac - out.Frac
+	switch {
+	case shift == 0:
+		return FromRaw(raw, out, om)
+	case shift < 0:
+		// Gaining fraction bits: exact left shift, then range check.
+		s := uint(-shift)
+		// Detect shift overflow of the int64 intermediate.
+		if s >= 63 || raw > math.MaxInt64>>s || raw < math.MinInt64>>s {
+			if om == Saturate {
+				if raw > 0 {
+					return Value{raw: out.MaxRaw(), fmt: out}, true
+				}
+				return Value{raw: out.MinRaw(), fmt: out}, true
+			}
+			return FromRaw(raw<<s, out, om) // wrap semantics
+		}
+		return FromRaw(raw<<s, out, om)
+	default:
+		return FromRaw(shiftRound(raw, uint(shift), rm), out, om)
+	}
+}
+
+// shiftRound performs an arithmetic right shift by s with the given
+// rounding mode.
+func shiftRound(x int64, s uint, rm RoundMode) int64 {
+	if s == 0 {
+		return x
+	}
+	if s > 63 {
+		s = 63
+	}
+	switch rm {
+	case Nearest:
+		half := int64(1) << (s - 1)
+		if x >= 0 {
+			return (x + half) >> s
+		}
+		return -((-x + half) >> s)
+	case NearestEven:
+		q := x >> s
+		r := x - (q << s) // remainder in [0, 2^s)
+		half := int64(1) << (s - 1)
+		if r > half || (r == half && q&1 == 1) {
+			q++
+		}
+		return q
+	default: // Truncate
+		return x >> s
+	}
+}

@@ -1,0 +1,400 @@
+package fixed_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+func TestNewFormat(t *testing.T) {
+	good := []struct{ i, f int }{{1, 0}, {2, 16}, {1, 17}, {18, 14}, {1, 31}, {32, 0}}
+	for _, g := range good {
+		f, err := fixed.NewFormat(g.i, g.f)
+		if err != nil {
+			t.Errorf("NewFormat(%d,%d): %v", g.i, g.f, err)
+			continue
+		}
+		if f.Width() != g.i+g.f {
+			t.Errorf("Width = %d, want %d", f.Width(), g.i+g.f)
+		}
+		if !f.Valid() {
+			t.Errorf("NewFormat(%d,%d) not Valid", g.i, g.f)
+		}
+	}
+	bad := []struct{ i, f int }{{0, 4}, {-1, 4}, {1, -1}, {20, 13}, {33, 0}}
+	for _, b := range bad {
+		if _, err := fixed.NewFormat(b.i, b.f); !errors.Is(err, fixed.ErrBadFormat) {
+			t.Errorf("NewFormat(%d,%d): error = %v, want ErrBadFormat", b.i, b.f, err)
+		}
+	}
+	if (fixed.Format{}).Valid() {
+		t.Error("zero Format must be invalid")
+	}
+}
+
+func TestQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Q(0,0) must panic")
+		}
+	}()
+	fixed.Q(0, 0)
+}
+
+func TestFormatRanges(t *testing.T) {
+	// The PDF study's 18-bit format: Q2.16 covers [-2, 2) in steps
+	// of 2^-16.
+	f := fixed.Q(2, 16)
+	if f.Eps() != math.Ldexp(1, -16) {
+		t.Errorf("Eps = %g", f.Eps())
+	}
+	if f.MaxRaw() != (1<<17)-1 || f.MinRaw() != -(1<<17) {
+		t.Errorf("raw range [%d, %d]", f.MinRaw(), f.MaxRaw())
+	}
+	if f.MinFloat() != -2 {
+		t.Errorf("MinFloat = %g, want -2", f.MinFloat())
+	}
+	if want := 2 - f.Eps(); f.MaxFloat() != want {
+		t.Errorf("MaxFloat = %g, want %g", f.MaxFloat(), want)
+	}
+	if f.String() != "Q2.16" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	f := fixed.Q(4, 12)
+	for _, x := range []float64{0, 1, -1, 0.5, -0.5, 3.25, -7.9999, 7.999755859375} {
+		v, ov := fixed.FromFloat(x, f, fixed.Nearest, fixed.Saturate)
+		if ov {
+			t.Errorf("FromFloat(%g) unexpectedly overflowed", x)
+		}
+		if math.Abs(v.Float()-x) > f.Eps()/2 {
+			t.Errorf("round trip of %g gave %g (err %g > eps/2 %g)", x, v.Float(), math.Abs(v.Float()-x), f.Eps()/2)
+		}
+	}
+}
+
+func TestFromFloatExactValues(t *testing.T) {
+	f := fixed.Q(2, 16)
+	v := fixed.MustFromFloat(0.25, f, fixed.Truncate)
+	if v.Raw() != 1<<14 {
+		t.Errorf("0.25 raw = %d, want %d", v.Raw(), 1<<14)
+	}
+	if v.Float() != 0.25 {
+		t.Errorf("Float = %g", v.Float())
+	}
+	if v.IsZero() {
+		t.Error("0.25 IsZero")
+	}
+	if z := fixed.MustFromFloat(0, f, fixed.Truncate); !z.IsZero() {
+		t.Error("0 not IsZero")
+	}
+}
+
+func TestRoundingModes(t *testing.T) {
+	f := fixed.Q(8, 0) // integers; eps = 1
+	cases := []struct {
+		x                        float64
+		trunc, nearest, nearEven float64
+	}{
+		{2.5, 2, 3, 2},
+		{3.5, 3, 4, 4},
+		{-2.5, -3, -3, -2},
+		{-3.5, -4, -4, -4},
+		{2.25, 2, 2, 2},
+		{-2.25, -3, -2, -2},
+		{2.75, 2, 3, 3},
+		{-2.75, -3, -3, -3},
+	}
+	for _, c := range cases {
+		if v, _ := fixed.FromFloat(c.x, f, fixed.Truncate, fixed.Saturate); v.Float() != c.trunc {
+			t.Errorf("trunc(%g) = %g, want %g", c.x, v.Float(), c.trunc)
+		}
+		if v, _ := fixed.FromFloat(c.x, f, fixed.Nearest, fixed.Saturate); v.Float() != c.nearest {
+			t.Errorf("nearest(%g) = %g, want %g", c.x, v.Float(), c.nearest)
+		}
+		if v, _ := fixed.FromFloat(c.x, f, fixed.NearestEven, fixed.Saturate); v.Float() != c.nearEven {
+			t.Errorf("nearestEven(%g) = %g, want %g", c.x, v.Float(), c.nearEven)
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	f := fixed.Q(2, 6) // [-2, 2)
+	v, ov := fixed.FromFloat(5.0, f, fixed.Nearest, fixed.Saturate)
+	if !ov || v.Float() != f.MaxFloat() {
+		t.Errorf("saturate(5) = %g ov=%v, want max %g", v.Float(), ov, f.MaxFloat())
+	}
+	v, ov = fixed.FromFloat(-5.0, f, fixed.Nearest, fixed.Saturate)
+	if !ov || v.Float() != -2 {
+		t.Errorf("saturate(-5) = %g ov=%v, want -2", v.Float(), ov)
+	}
+	// Infinities saturate; NaN quantizes to zero; all report overflow.
+	if v, ov = fixed.FromFloat(math.Inf(1), f, fixed.Nearest, fixed.Saturate); !ov || v.Float() != f.MaxFloat() {
+		t.Errorf("saturate(+inf) = %g ov=%v", v.Float(), ov)
+	}
+	if v, ov = fixed.FromFloat(math.Inf(-1), f, fixed.Nearest, fixed.Saturate); !ov || v.Float() != -2 {
+		t.Errorf("saturate(-inf) = %g ov=%v", v.Float(), ov)
+	}
+	if v, ov = fixed.FromFloat(math.NaN(), f, fixed.Nearest, fixed.Saturate); !ov || !v.IsZero() {
+		t.Errorf("NaN = %g ov=%v, want 0 with overflow", v.Float(), ov)
+	}
+	// Astronomically large values must saturate, not wrap garbage.
+	if v, ov = fixed.FromFloat(1e300, f, fixed.Nearest, fixed.Saturate); !ov || v.Float() != f.MaxFloat() {
+		t.Errorf("saturate(1e300) = %g ov=%v", v.Float(), ov)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	f := fixed.Q(4, 0) // 4-bit integers [-8, 7]
+	v, ov := fixed.FromRaw(9, f, fixed.Wrap)
+	if !ov || v.Raw() != -7 { // 9 mod 16 -> -7 in two's complement
+		t.Errorf("wrap(9) = %d ov=%v, want -7", v.Raw(), ov)
+	}
+	v, ov = fixed.FromRaw(-9, f, fixed.Wrap)
+	if !ov || v.Raw() != 7 {
+		t.Errorf("wrap(-9) = %d ov=%v, want 7", v.Raw(), ov)
+	}
+	v, ov = fixed.FromRaw(7, f, fixed.Wrap)
+	if ov || v.Raw() != 7 {
+		t.Errorf("wrap(7) = %d ov=%v, want 7 no overflow", v.Raw(), ov)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	f := fixed.Q(4, 4)
+	a := fixed.MustFromFloat(3.5, f, fixed.Nearest)
+	b := fixed.MustFromFloat(1.25, f, fixed.Nearest)
+	sum, ov := fixed.Add(a, b, fixed.Saturate)
+	if ov || sum.Float() != 4.75 {
+		t.Errorf("3.5+1.25 = %g ov=%v", sum.Float(), ov)
+	}
+	diff, ov := fixed.Sub(a, b, fixed.Saturate)
+	if ov || diff.Float() != 2.25 {
+		t.Errorf("3.5-1.25 = %g ov=%v", diff.Float(), ov)
+	}
+	// Saturating add at the rail.
+	big := fixed.MustFromFloat(7.5, f, fixed.Nearest)
+	sum, ov = fixed.Add(big, big, fixed.Saturate)
+	if !ov || sum.Float() != f.MaxFloat() {
+		t.Errorf("7.5+7.5 = %g ov=%v, want max %g", sum.Float(), ov, f.MaxFloat())
+	}
+	if c := fixed.Cmp(a, b); c != 1 {
+		t.Errorf("Cmp(3.5, 1.25) = %d", c)
+	}
+	if c := fixed.Cmp(b, a); c != -1 {
+		t.Errorf("Cmp(1.25, 3.5) = %d", c)
+	}
+	if c := fixed.Cmp(a, a); c != 0 {
+		t.Errorf("Cmp(a, a) = %d", c)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	f := fixed.Q(4, 4)
+	a := fixed.MustFromFloat(-3.5, f, fixed.Nearest)
+	n, ov := fixed.Neg(a, fixed.Saturate)
+	if ov || n.Float() != 3.5 {
+		t.Errorf("Neg(-3.5) = %g ov=%v", n.Float(), ov)
+	}
+	ab, ov := fixed.Abs(a, fixed.Saturate)
+	if ov || ab.Float() != 3.5 {
+		t.Errorf("Abs(-3.5) = %g ov=%v", ab.Float(), ov)
+	}
+	pos := fixed.MustFromFloat(1.5, f, fixed.Nearest)
+	if ab, _ := fixed.Abs(pos, fixed.Saturate); ab != pos {
+		t.Error("Abs of positive must be identity")
+	}
+	// The most negative value overflows on negation.
+	mn, _ := fixed.FromRaw(f.MinRaw(), f, fixed.Wrap)
+	if _, ov := fixed.Neg(mn, fixed.Saturate); !ov {
+		t.Error("Neg(min) must overflow")
+	}
+}
+
+func TestMismatchedFormatsPanic(t *testing.T) {
+	a := fixed.MustFromFloat(1, fixed.Q(4, 4), fixed.Nearest)
+	b := fixed.MustFromFloat(1, fixed.Q(4, 8), fixed.Nearest)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of mismatched formats must panic")
+		}
+	}()
+	fixed.Add(a, b, fixed.Saturate)
+}
+
+func TestMul(t *testing.T) {
+	f := fixed.Q(2, 16)
+	a := fixed.MustFromFloat(0.5, f, fixed.Nearest)
+	b := fixed.MustFromFloat(0.25, f, fixed.Nearest)
+	p, ov := fixed.Mul(a, b, f, fixed.Nearest, fixed.Saturate)
+	if ov || p.Float() != 0.125 {
+		t.Errorf("0.5*0.25 = %g ov=%v", p.Float(), ov)
+	}
+	// Product into a wider format keeps every bit.
+	wide := fixed.Q(4, 28)
+	p, ov = fixed.Mul(a, b, wide, fixed.Truncate, fixed.Saturate)
+	if ov || p.Float() != 0.125 {
+		t.Errorf("widened product = %g ov=%v", p.Float(), ov)
+	}
+	// Mixed input formats are allowed.
+	c := fixed.MustFromFloat(3, fixed.Q(8, 8), fixed.Nearest)
+	p, ov = fixed.Mul(a, c, fixed.Q(8, 8), fixed.Nearest, fixed.Saturate)
+	if ov || p.Float() != 1.5 {
+		t.Errorf("0.5*3 = %g ov=%v", p.Float(), ov)
+	}
+	// Saturating overflow of the output format.
+	big := fixed.MustFromFloat(1.9, f, fixed.Nearest)
+	if _, ov = fixed.Mul(big, big, fixed.Q(2, 16), fixed.Nearest, fixed.Saturate); !ov {
+		t.Error("1.9*1.9 must overflow Q2.16")
+	}
+}
+
+func TestConvert(t *testing.T) {
+	v := fixed.MustFromFloat(1.2345, fixed.Q(4, 20), fixed.Nearest)
+	n, ov := fixed.Convert(v, fixed.Q(4, 8), fixed.Nearest, fixed.Saturate)
+	if ov {
+		t.Error("narrowing 1.2345 overflowed")
+	}
+	if math.Abs(n.Float()-1.2345) > fixed.Q(4, 8).Eps()/2 {
+		t.Errorf("narrowed to %g, error beyond eps/2", n.Float())
+	}
+	// Widening is exact.
+	w, ov := fixed.Convert(n, fixed.Q(4, 20), fixed.Truncate, fixed.Saturate)
+	if ov || w.Float() != n.Float() {
+		t.Errorf("widening changed value: %g -> %g", n.Float(), w.Float())
+	}
+	// Narrowing the range saturates.
+	big := fixed.MustFromFloat(7.5, fixed.Q(4, 4), fixed.Nearest)
+	s, ov := fixed.Convert(big, fixed.Q(2, 6), fixed.Nearest, fixed.Saturate)
+	if !ov || s.Float() != fixed.Q(2, 6).MaxFloat() {
+		t.Errorf("Convert(7.5 -> Q2.6) = %g ov=%v", s.Float(), ov)
+	}
+}
+
+func TestAccumulatorMAC(t *testing.T) {
+	// DSP48-style: 18-bit operands, 48-bit accumulator.
+	f := fixed.Q(2, 16)
+	acc := fixed.MustNewAcc(32, 48)
+	// Sum of 1000 products 0.5*0.25 = 125 exactly.
+	a := fixed.MustFromFloat(0.5, f, fixed.Nearest)
+	b := fixed.MustFromFloat(0.25, f, fixed.Nearest)
+	for i := 0; i < 1000; i++ {
+		acc.MAC(a, b)
+	}
+	if acc.Overflowed() {
+		t.Error("accumulator overflowed unexpectedly")
+	}
+	got, ov := acc.Value(fixed.Q(16, 12), fixed.Nearest, fixed.Saturate)
+	if ov || got.Float() != 125 {
+		t.Errorf("MAC total = %g ov=%v, want 125", got.Float(), ov)
+	}
+	if acc.Float() != 125 {
+		t.Errorf("Float() = %g, want 125", acc.Float())
+	}
+	acc.Reset()
+	if acc.Float() != 0 || acc.Overflowed() {
+		t.Error("Reset did not clear state")
+	}
+	if acc.Frac() != 32 || acc.Width() != 48 {
+		t.Errorf("geometry %d/%d, want 32/48", acc.Frac(), acc.Width())
+	}
+}
+
+func TestAccumulatorWrap(t *testing.T) {
+	// A deliberately narrow accumulator wraps like real silicon.
+	f := fixed.Q(8, 0)
+	acc := fixed.MustNewAcc(0, 8) // 8-bit accumulator [-128, 127]
+	v := fixed.MustFromFloat(100, f, fixed.Nearest)
+	one := fixed.MustFromFloat(1, f, fixed.Nearest)
+	acc.MAC(v, one) // 100
+	acc.MAC(v, one) // 200 -> wraps
+	if !acc.Overflowed() {
+		t.Error("8-bit accumulator at 200 must latch overflow")
+	}
+	if got := acc.Float(); got != 200-256 {
+		t.Errorf("wrapped value = %g, want %g", got, float64(200-256))
+	}
+}
+
+func TestAccumulatorAddValue(t *testing.T) {
+	acc := fixed.MustNewAcc(16, 48)
+	v := fixed.MustFromFloat(1.5, fixed.Q(4, 8), fixed.Nearest)
+	acc.AddValue(v)
+	acc.AddValue(v)
+	if got := acc.Float(); got != 3 {
+		t.Errorf("AddValue total = %g, want 3", got)
+	}
+}
+
+func TestAccumulatorGeometryErrors(t *testing.T) {
+	if _, err := fixed.NewAcc(-1, 48); !errors.Is(err, fixed.ErrBadFormat) {
+		t.Errorf("NewAcc(-1,48): %v", err)
+	}
+	if _, err := fixed.NewAcc(16, 16); !errors.Is(err, fixed.ErrBadFormat) {
+		t.Errorf("NewAcc(16,16): %v", err)
+	}
+	if _, err := fixed.NewAcc(16, 64); !errors.Is(err, fixed.ErrBadFormat) {
+		t.Errorf("NewAcc(16,64): %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewAcc on bad geometry must panic")
+		}
+	}()
+	fixed.MustNewAcc(0, 0)
+}
+
+func TestAccumulatorMACFractionMismatchPanics(t *testing.T) {
+	acc := fixed.MustNewAcc(16, 48)
+	a := fixed.MustFromFloat(1, fixed.Q(4, 4), fixed.Nearest)
+	defer func() {
+		if recover() == nil {
+			t.Error("MAC with wrong product fraction must panic")
+		}
+	}()
+	acc.MAC(a, a) // product fraction 8 != 16
+}
+
+func TestAccumulatorAddValueFractionPanics(t *testing.T) {
+	acc := fixed.MustNewAcc(4, 48)
+	v := fixed.MustFromFloat(1, fixed.Q(4, 8), fixed.Nearest)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddValue with excess fraction must panic")
+		}
+	}()
+	acc.AddValue(v)
+}
+
+func TestMustFromFloatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromFloat out of range must panic")
+		}
+	}()
+	fixed.MustFromFloat(100, fixed.Q(2, 16), fixed.Nearest)
+}
+
+func TestValueString(t *testing.T) {
+	v := fixed.MustFromFloat(0.25, fixed.Q(2, 16), fixed.Nearest)
+	if got := v.String(); got != "0.25(Q2.16)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if fixed.Truncate.String() != "truncate" || fixed.Nearest.String() != "nearest" ||
+		fixed.NearestEven.String() != "nearest-even" {
+		t.Error("RoundMode strings wrong")
+	}
+	if fixed.Saturate.String() != "saturate" || fixed.Wrap.String() != "wrap" {
+		t.Error("OverflowMode strings wrong")
+	}
+	if fixed.RoundMode(9).String() != "RoundMode(9)" || fixed.OverflowMode(9).String() != "OverflowMode(9)" {
+		t.Error("unknown mode strings wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package fixed
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Iterative fixed-point division and square root, the operations the
+// MD force datapath's OpDiv/OpSqrt units perform. Both use the
+// standard hardware formulation — a normalized Newton-Raphson
+// reciprocal (the same structure a radix-2 iterative divider or a
+// lookup-seeded multiplicative unit implements) — computed here over
+// exact int64 intermediates so results are deterministic and
+// bit-reproducible, like everything else in this package.
+
+// Div returns a/b quantized into format out with the given rounding
+// and overflow modes. Division by zero saturates to the sign-matching
+// extreme and reports overflow, matching the saturating behaviour of
+// the datapaths modelled here. The quotient is computed exactly at
+// double precision before the final narrowing, so the only error is
+// the final rounding step.
+func Div(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	if !a.fmt.Valid() || !b.fmt.Valid() || !out.Valid() {
+		panic(fmt.Sprintf("fixed: Div with invalid format (%v, %v -> %v)", a.fmt, b.fmt, out))
+	}
+	if b.raw == 0 {
+		if a.raw >= 0 {
+			return Value{raw: out.MaxRaw(), fmt: out}, true
+		}
+		return Value{raw: out.MinRaw(), fmt: out}, true
+	}
+	// a/b at scale: (a.raw * 2^-fa) / (b.raw * 2^-fb) = (a.raw/b.raw) * 2^(fb-fa).
+	// Target out.Frac fraction bits: numerator = a.raw << (out.Frac + fb - fa),
+	// computed in 128 bits to avoid overflow, then rounded division.
+	shift := out.Frac + b.fmt.Frac - a.fmt.Frac
+	neg := false
+	ar, br := a.raw, b.raw
+	if ar < 0 {
+		ar, neg = -ar, !neg
+	}
+	if br < 0 {
+		br, neg = -br, !neg
+	}
+	hi, lo := bits.Mul64(uint64(ar), 1)
+	switch {
+	case shift > 0:
+		if shift >= 64 {
+			// Beyond any representable result for 32-bit formats.
+			if om == Saturate {
+				if neg {
+					return Value{raw: out.MinRaw(), fmt: out}, true
+				}
+				return Value{raw: out.MaxRaw(), fmt: out}, true
+			}
+			return Value{raw: 0, fmt: out}, true
+		}
+		hi = hi<<uint(shift) | lo>>(64-uint(shift))
+		lo <<= uint(shift)
+	case shift < 0:
+		s := uint(-shift)
+		if s >= 64 {
+			lo, hi = 0, 0
+		} else {
+			lo = lo>>s | hi<<(64-s)
+			hi >>= s
+		}
+	}
+	if hi >= uint64(br) {
+		// Quotient exceeds 64 bits: far outside any format here.
+		if om == Saturate {
+			if neg {
+				return Value{raw: out.MinRaw(), fmt: out}, true
+			}
+			return Value{raw: out.MaxRaw(), fmt: out}, true
+		}
+		return Value{raw: 0, fmt: out}, true
+	}
+	q, r := bits.Div64(hi, lo, uint64(br))
+	raw := int64(q)
+	// Round the exact remainder.
+	switch rm {
+	case Nearest:
+		if 2*r >= uint64(br) {
+			raw++
+		}
+	case NearestEven:
+		if 2*r > uint64(br) || (2*r == uint64(br) && raw&1 == 1) {
+			raw++
+		}
+	default: // Truncate rounds toward -inf on the signed result.
+		if neg && r != 0 {
+			raw++
+		}
+	}
+	if neg {
+		raw = -raw
+	}
+	return FromRaw(raw, out, om)
+}
+
+// Sqrt returns the square root of v quantized into format out.
+// Negative inputs saturate to zero and report overflow (hardware root
+// units clamp rather than produce NaNs). The root is computed by
+// exact integer Newton iteration on the scaled radicand, so the only
+// error is the final rounding.
+func Sqrt(v Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
+	if !v.fmt.Valid() || !out.Valid() {
+		panic(fmt.Sprintf("fixed: Sqrt with invalid format (%v -> %v)", v.fmt, out))
+	}
+	if v.raw < 0 {
+		return Value{raw: 0, fmt: out}, true
+	}
+	if v.raw == 0 {
+		return Value{raw: 0, fmt: out}, false
+	}
+	// sqrt(raw * 2^-f) at out.Frac bits: isqrt(raw << (2*out.Frac - f)),
+	// with the shift kept in 128 bits.
+	shift := 2*out.Frac - v.fmt.Frac
+	hi, lo := uint64(0), uint64(v.raw)
+	switch {
+	case shift > 0:
+		if shift >= 64 {
+			hi = lo << uint(shift-64)
+			lo = 0
+		} else {
+			hi = lo >> (64 - uint(shift))
+			lo <<= uint(shift)
+		}
+	case shift < 0:
+		lo >>= uint(-shift)
+	}
+	root, rem := isqrt128(hi, lo)
+	raw := int64(root)
+	switch rm {
+	case Nearest, NearestEven:
+		// Round half up on the exact remainder: root is exact floor;
+		// increment when (root + 0.5)^2 <= value, i.e. rem > root.
+		if rem > root {
+			raw++
+		}
+	default: // Truncate: floor, already have it.
+	}
+	return FromRaw(raw, out, om)
+}
+
+// isqrt128 returns floor(sqrt(hi:lo)) and the remainder hi:lo - root^2,
+// by binary digit-by-digit extraction (the classic hardware algorithm).
+func isqrt128(hi, lo uint64) (root, rem uint64) {
+	var r, q uint64 // remainder (fits 64 bits in our usage) and root
+	for i := 63; i >= 0; i-- {
+		// Shift two bits from the 128-bit radicand into r.
+		r = r<<2 | (hi >> 62)
+		hi = hi<<2 | lo>>62
+		lo <<= 2
+		t := q<<2 | 1
+		q <<= 1
+		if r >= t {
+			r -= t
+			q |= 1
+		}
+	}
+	return q, r
+}

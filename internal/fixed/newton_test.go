@@ -1,0 +1,247 @@
+package fixed_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+func TestDivExactCases(t *testing.T) {
+	f := fixed.Q(8, 8)
+	mk := func(x float64) fixed.Value { return fixed.MustFromFloat(x, f, fixed.Nearest) }
+	cases := []struct {
+		a, b, want float64
+	}{
+		{1, 2, 0.5},
+		{3, 4, 0.75},
+		{10, 5, 2},
+		{-9, 3, -3},
+		{9, -3, -3},
+		{-9, -3, 3},
+		{0, 7, 0},
+		{1, 8, 0.125},
+	}
+	for _, c := range cases {
+		got, ov := fixed.Div(mk(c.a), mk(c.b), f, fixed.Nearest, fixed.Saturate)
+		if ov || got.Float() != c.want {
+			t.Errorf("Div(%g, %g) = %g ov=%v, want %g", c.a, c.b, got.Float(), ov, c.want)
+		}
+	}
+}
+
+func TestDivByZeroSaturates(t *testing.T) {
+	f := fixed.Q(8, 8)
+	pos := fixed.MustFromFloat(3, f, fixed.Nearest)
+	neg := fixed.MustFromFloat(-3, f, fixed.Nearest)
+	zero := fixed.MustFromFloat(0, f, fixed.Nearest)
+	if got, ov := fixed.Div(pos, zero, f, fixed.Nearest, fixed.Saturate); !ov || got.Float() != f.MaxFloat() {
+		t.Errorf("3/0 = %g ov=%v", got.Float(), ov)
+	}
+	if got, ov := fixed.Div(neg, zero, f, fixed.Nearest, fixed.Saturate); !ov || got.Float() != f.MinFloat() {
+		t.Errorf("-3/0 = %g ov=%v", got.Float(), ov)
+	}
+}
+
+func TestDivOverflowSaturates(t *testing.T) {
+	f := fixed.Q(4, 12) // range [-8, 8)
+	big := fixed.MustFromFloat(7.5, f, fixed.Nearest)
+	tiny := fixed.MustFromFloat(f.Eps(), f, fixed.Nearest)
+	got, ov := fixed.Div(big, tiny, f, fixed.Nearest, fixed.Saturate)
+	if !ov || got.Float() != f.MaxFloat() {
+		t.Errorf("7.5/eps = %g ov=%v, want saturated max", got.Float(), ov)
+	}
+	nbig, _ := fixed.Neg(big, fixed.Saturate)
+	got, ov = fixed.Div(nbig, tiny, f, fixed.Nearest, fixed.Saturate)
+	if !ov || got.Float() != f.MinFloat() {
+		t.Errorf("-7.5/eps = %g ov=%v, want saturated min", got.Float(), ov)
+	}
+}
+
+func TestDivMixedFormats(t *testing.T) {
+	a := fixed.MustFromFloat(5, fixed.Q(8, 4), fixed.Nearest)
+	b := fixed.MustFromFloat(0.5, fixed.Q(2, 16), fixed.Nearest)
+	got, ov := fixed.Div(a, b, fixed.Q(8, 8), fixed.Nearest, fixed.Saturate)
+	if ov || got.Float() != 10 {
+		t.Errorf("5/0.5 across formats = %g ov=%v", got.Float(), ov)
+	}
+}
+
+func TestSqrtExactCases(t *testing.T) {
+	f := fixed.Q(8, 8)
+	mk := func(x float64) fixed.Value { return fixed.MustFromFloat(x, f, fixed.Nearest) }
+	for _, c := range []struct{ x, want float64 }{
+		{0, 0}, {1, 1}, {4, 2}, {9, 3}, {0.25, 0.5}, {2.25, 1.5}, {0.0625, 0.25},
+	} {
+		got, ov := fixed.Sqrt(mk(c.x), f, fixed.Nearest, fixed.Saturate)
+		if ov || got.Float() != c.want {
+			t.Errorf("Sqrt(%g) = %g ov=%v, want %g", c.x, got.Float(), ov, c.want)
+		}
+	}
+}
+
+func TestSqrtNegativeClamps(t *testing.T) {
+	f := fixed.Q(8, 8)
+	neg := fixed.MustFromFloat(-2, f, fixed.Nearest)
+	got, ov := fixed.Sqrt(neg, f, fixed.Nearest, fixed.Saturate)
+	if !ov || !got.IsZero() {
+		t.Errorf("Sqrt(-2) = %g ov=%v, want 0 with overflow", got.Float(), ov)
+	}
+}
+
+func TestDivSqrtPanicOnInvalidFormats(t *testing.T) {
+	good := fixed.MustFromFloat(1, fixed.Q(4, 4), fixed.Nearest)
+	mustPanicFx(t, "Div bad out", func() { fixed.Div(good, good, fixed.Format{}, fixed.Nearest, fixed.Saturate) })
+	mustPanicFx(t, "Sqrt bad out", func() { fixed.Sqrt(good, fixed.Format{}, fixed.Nearest, fixed.Saturate) })
+}
+
+func mustPanicFx(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// PropertyDivErrorBound: the quotient differs from the real quotient
+// by at most one output eps (half for nearest), absent saturation.
+func TestPropertyDivErrorBound(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		if b.IsZero() {
+			return true
+		}
+		exact := a.Float() / b.Float()
+		got, ov := fixed.Div(a, b, s.F, fixed.Nearest, fixed.Saturate)
+		if ov {
+			return true
+		}
+		return math.Abs(got.Float()-exact) <= s.F.Eps()/2+1e-15
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyDivTruncateFloors: truncation rounds toward negative
+// infinity like the other narrowing paths in the package.
+func TestPropertyDivTruncateFloors(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		if b.IsZero() {
+			return true
+		}
+		exact := a.Float() / b.Float()
+		got, ov := fixed.Div(a, b, s.F, fixed.Truncate, fixed.Saturate)
+		if ov {
+			return true
+		}
+		d := exact - got.Float()
+		return d >= -1e-15 && d < s.F.Eps()+1e-15
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertySqrtErrorBound: sqrt of non-negative values is within one
+// output eps of the real root.
+func TestPropertySqrtErrorBound(t *testing.T) {
+	f := func(s sample) bool {
+		x := math.Abs(s.X)
+		v, _ := fixed.FromFloat(x, s.F, fixed.Nearest, fixed.Saturate)
+		got, ov := fixed.Sqrt(v, s.F, fixed.Nearest, fixed.Saturate)
+		if ov {
+			return true
+		}
+		exact := math.Sqrt(v.Float())
+		return math.Abs(got.Float()-exact) <= s.F.Eps()/2+1e-12
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertySqrtMonotone: sqrt preserves order.
+func TestPropertySqrtMonotone(t *testing.T) {
+	f := func(s sample) bool {
+		x, y := math.Abs(s.X), math.Abs(s.Y)
+		a, _ := fixed.FromFloat(x, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(y, s.F, fixed.Nearest, fixed.Saturate)
+		ra, _ := fixed.Sqrt(a, s.F, fixed.Truncate, fixed.Saturate)
+		rb, _ := fixed.Sqrt(b, s.F, fixed.Truncate, fixed.Saturate)
+		if a.Float() <= b.Float() {
+			return ra.Float() <= rb.Float()
+		}
+		return ra.Float() >= rb.Float()
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyDivMulRoundTrip: (a/b)*b lands within a couple of eps of a.
+func TestPropertyDivMulRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			f := fixed.Q(8, 16)
+			// Keep divisors away from zero so quotients stay in range.
+			x := (r.Float64()*100 - 50)
+			y := 1 + r.Float64()*20
+			if r.Intn(2) == 0 {
+				y = -y
+			}
+			vals[0] = reflect.ValueOf(sample{F: f, X: x, Y: y})
+		},
+	}
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		q, ov := fixed.Div(a, b, s.F, fixed.Nearest, fixed.Saturate)
+		if ov {
+			return true
+		}
+		back, ov := fixed.Mul(q, b, s.F, fixed.Nearest, fixed.Saturate)
+		if ov {
+			return true
+		}
+		// One rounding in the divide, one in the multiply, scaled
+		// by |b|.
+		tol := s.F.Eps() * (1 + math.Abs(b.Float()))
+		return math.Abs(back.Float()-a.Float()) <= tol
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivSqrtComposeLikeMDDatapath: 1/sqrt(r^2) via Sqrt then Div
+// agrees with float64 within datapath tolerance — the r^-1 step of a
+// force pipeline.
+func TestDivSqrtComposeLikeMDDatapath(t *testing.T) {
+	f := fixed.Q(8, 24)
+	one := fixed.MustFromFloat(1, f, fixed.Nearest)
+	for _, r2 := range []float64{0.25, 1.0, 2.0, 6.25, 20.0, 100.0} {
+		v := fixed.MustFromFloat(r2, f, fixed.Nearest)
+		root, ov := fixed.Sqrt(v, f, fixed.Nearest, fixed.Saturate)
+		if ov {
+			t.Fatalf("Sqrt(%g) overflowed", r2)
+		}
+		inv, ov := fixed.Div(one, root, f, fixed.Nearest, fixed.Saturate)
+		if ov {
+			t.Fatalf("1/sqrt(%g) overflowed", r2)
+		}
+		want := 1 / math.Sqrt(r2)
+		if math.Abs(inv.Float()-want) > 1e-5 {
+			t.Errorf("1/sqrt(%g) = %.8f, want %.8f", r2, inv.Float(), want)
+		}
+	}
+}

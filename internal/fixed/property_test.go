@@ -1,0 +1,223 @@
+package fixed_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/fixed"
+)
+
+// genFormat draws a random valid format with at least a few fraction
+// bits so rounding properties are non-trivial.
+func genFormat(r *rand.Rand) fixed.Format {
+	intBits := 1 + r.Intn(8)
+	fracBits := r.Intn(fixed.MaxWidth - intBits + 1)
+	return fixed.Q(intBits, fracBits)
+}
+
+// genInRange draws a float64 strictly inside the format's range.
+func genInRange(r *rand.Rand, f fixed.Format) float64 {
+	span := f.MaxFloat() - f.MinFloat()
+	return f.MinFloat() + r.Float64()*span*0.999
+}
+
+type sample struct {
+	F fixed.Format
+	X float64
+	Y float64
+}
+
+func sampleCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 1000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			f := genFormat(r)
+			for i := range vals {
+				vals[i] = reflect.ValueOf(sample{F: f, X: genInRange(r, f), Y: genInRange(r, f)})
+			}
+		},
+	}
+}
+
+// PropertyQuantizationErrorBound: quantizing an in-range value incurs
+// at most eps/2 error for nearest modes and strictly less than eps for
+// truncation.
+func TestPropertyQuantizationError(t *testing.T) {
+	f := func(s sample) bool {
+		eps := s.F.Eps()
+		for _, rm := range []fixed.RoundMode{fixed.Nearest, fixed.NearestEven} {
+			v, ov := fixed.FromFloat(s.X, s.F, rm, fixed.Saturate)
+			// Nearest rounding may push the top half-eps of range
+			// over the rail; that reports overflow and is exempt.
+			if !ov && math.Abs(v.Float()-s.X) > eps/2+1e-18 {
+				return false
+			}
+		}
+		v, ov := fixed.FromFloat(s.X, s.F, fixed.Truncate, fixed.Saturate)
+		if !ov && (s.X-v.Float() < -1e-18 || s.X-v.Float() >= eps) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyOrderPreservation: quantization with a fixed mode is
+// monotone, so it preserves (non-strict) order.
+func TestPropertyOrderPreservation(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		if s.X <= s.Y {
+			return a.Float() <= b.Float()
+		}
+		return a.Float() >= b.Float()
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyAddExactness: fixed-point addition of in-range operands whose
+// sum is in range is exact (no rounding ever).
+func TestPropertyAddExactness(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		sum, ov := fixed.Add(a, b, fixed.Saturate)
+		if ov {
+			return true // saturation is allowed; exactness claim is for in-range sums
+		}
+		return sum.Float() == a.Float()+b.Float()
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertySubAntiCommutes: a-b == -(b-a) whenever neither direction
+// saturates.
+func TestPropertySubAntiCommutes(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		d1, ov1 := fixed.Sub(a, b, fixed.Saturate)
+		d2, ov2 := fixed.Sub(b, a, fixed.Saturate)
+		if ov1 || ov2 {
+			return true
+		}
+		return d1.Float() == -d2.Float()
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyMulCommutes: multiplication commutes bit-exactly under every
+// rounding mode (the double-width product is formed first).
+func TestPropertyMulCommutes(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		for _, rm := range []fixed.RoundMode{fixed.Truncate, fixed.Nearest, fixed.NearestEven} {
+			p1, o1 := fixed.Mul(a, b, s.F, rm, fixed.Saturate)
+			p2, o2 := fixed.Mul(b, a, s.F, rm, fixed.Saturate)
+			if p1 != p2 || o1 != o2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyMulErrorBound: the narrowed product differs from the real
+// product by at most one output eps (truncation) or half (nearest),
+// when no saturation occurs.
+func TestPropertyMulErrorBound(t *testing.T) {
+	f := func(s sample) bool {
+		a, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		b, _ := fixed.FromFloat(s.Y, s.F, fixed.Nearest, fixed.Saturate)
+		exact := a.Float() * b.Float()
+		p, ov := fixed.Mul(a, b, s.F, fixed.Nearest, fixed.Saturate)
+		if !ov && math.Abs(p.Float()-exact) > s.F.Eps()/2+1e-18 {
+			return false
+		}
+		p, ov = fixed.Mul(a, b, s.F, fixed.Truncate, fixed.Saturate)
+		if !ov && (exact-p.Float() < -1e-18 || exact-p.Float() >= s.F.Eps()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyConvertWideningExact: widening conversions are lossless and
+// reversible.
+func TestPropertyConvertWideningExact(t *testing.T) {
+	f := func(s sample) bool {
+		if s.F.Width()+4 > fixed.MaxWidth {
+			return true
+		}
+		wide := fixed.Q(s.F.Int+2, s.F.Frac+2)
+		v, _ := fixed.FromFloat(s.X, s.F, fixed.Nearest, fixed.Saturate)
+		w, ov := fixed.Convert(v, wide, fixed.Truncate, fixed.Saturate)
+		if ov || w.Float() != v.Float() {
+			return false
+		}
+		back, ov := fixed.Convert(w, s.F, fixed.Truncate, fixed.Saturate)
+		return !ov && back == v
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyWrapIsModular: wrapping overflow behaves as arithmetic modulo
+// 2^W on the raw integers.
+func TestPropertyWrapIsModular(t *testing.T) {
+	f := func(s sample) bool {
+		w := uint(s.F.Width())
+		raw := int64(int32(s.X*1e6)) + int64(int32(s.Y*1e6))
+		v, _ := fixed.FromRaw(raw, s.F, fixed.Wrap)
+		mod := raw & ((1 << w) - 1)
+		if mod&(1<<(w-1)) != 0 {
+			mod -= 1 << w
+		}
+		return v.Raw() == mod
+	}
+	if err := quick.Check(f, sampleCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyAccumulatorMatchesFloat: a wide accumulator summing random
+// products matches the float64 sum of the quantized operands exactly
+// (every product is exact and the 48-bit accumulator has headroom).
+func TestPropertyAccumulatorMatchesFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := fixed.Q(2, 16)
+	acc := fixed.MustNewAcc(32, 48)
+	var want float64
+	for i := 0; i < 10000; i++ {
+		a := fixed.MustFromFloat(genInRange(r, f), f, fixed.Nearest)
+		b := fixed.MustFromFloat(genInRange(r, f), f, fixed.Nearest)
+		acc.MAC(a, b)
+		want += a.Float() * b.Float()
+	}
+	if acc.Overflowed() {
+		t.Fatal("accumulator overflowed")
+	}
+	if got := acc.Float(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("accumulated %g, float64 reference %g", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/harness"
+)
+
+func TestAllHaveUniqueIDsAndRun(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range harness.All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) < 16 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := harness.ByID("table3"); !ok {
+		t.Error("table3 missing")
+	}
+	if _, ok := harness.ByID("table99"); ok {
+		t.Error("ByID invented an experiment")
+	}
+}
+
+// contentChecks pins each experiment's output to the cells that matter.
+// The MD-backed experiments (table9, table10 via mdSystem) are covered
+// here too; they share one cached dataset so the suite stays fast.
+var contentChecks = map[string][]string{
+	"fig1":          {"PROCEED", "NEW DESIGN", "insufficient communication", "insufficient computation", "unrealizable", "insufficient resources"},
+	"fig2":          {"Single buffered", "computation bound", "communication bound", "W1", "C1", "R1", "overlap"},
+	"fig3":          {"8 parallel pipelines", "20850", "18.9"},
+	"table1":        {"[dataset]", "[communication]", "[computation]", "[software]"},
+	"table2":        {"512", "0.37", "0.16", "768", "matches the published table"},
+	"table3":        {"5.56E-6", "1.31E-4", "2.50E-5", "10.6", "7.8"},
+	"table4":        {"48-bit DSPs", "15%", "8%"},
+	"table5":        {"1024", "65536", "393216", "matches the published table"},
+	"table6":        {"1.65E-3", "5.59E-2", "1.05E-2", "19%", "6.9"},
+	"table7":        {"21%", "53%"},
+	"table8":        {"16384", "164000", "50", "5.78", "matches the published table"},
+	"table9":        {"2.62E-3", "3.58E-1", "8.79E-1", "16.0", "6.6"},
+	"table10":       {"9-bit DSPs", "100%", "ALUTs"},
+	"precision":     {"18-bit fixed", "chosen", "32-bit float"},
+	"solver":        {"46.7", "50", "10.7"},
+	"alphatable":    {"2048", "0.369", "0.160", "0.025"},
+	"ext-multifpga": {"knee at 33.9", "240.7", "454.3", "efficiency"},
+	"ext-bounds":    {"uncertain", "Single-buffered speedup intervals", "molecular dynamics"},
+	"ext-accuracy":  {"optimistic", "pessimistic", "accurate", "tuning parameter", "double buffering would hide"},
+	"ext-power":     {"less energy", "Xeon", "Opteron", "FPGA W"},
+}
+
+func TestExperimentContents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerating all experiments builds the MD dataset")
+	}
+	for _, e := range harness.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants, ok := contentChecks[e.ID]
+			if !ok {
+				t.Fatalf("no content check registered for %q", e.ID)
+			}
+			for _, w := range wants {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicOutput: every experiment's output is identical
+// across runs (the simulated platforms and datasets are fully
+// deterministic).
+func TestDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double regeneration")
+	}
+	for _, id := range []string{"fig2", "table3", "table6"} {
+		e, _ := harness.ByID(id)
+		a, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: output not deterministic", id)
+		}
+	}
+}

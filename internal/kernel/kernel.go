@@ -1,0 +1,270 @@
+// Package kernel describes replicated-pipeline FPGA kernel designs at
+// the level RAT reasons about: a set of operator units per pipeline, a
+// replication factor, and the batch geometry (how many work items each
+// element traverses and how fast items retire).
+//
+// A Design is the bridge between the paper's three tests. From one
+// description the package derives:
+//
+//   - the throughput-test inputs N_ops/element and throughput_proc
+//     (Section 3.1), including the conservative derating the paper
+//     applies ("conservatively rounded down to 20 to account for
+//     pipeline latency and other overheads");
+//   - the resource-test demand (Section 3.3) via the per-device
+//     operator cost model in package resource; and
+//   - a cycle-accurate batch timing model for the simulated platform
+//     (package rcsim), which plays the role of the real hardware the
+//     paper measured.
+//
+// The 1-D PDF architecture of Figure 3 — eight pipelines, each
+// processing one data sample against one bin per cycle with a
+// subtract/multiply/accumulate datapath — is the canonical example and
+// ships as a constructor in package apps/pdf1d.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/chrec/rat/internal/resource"
+)
+
+// Unit is one operator instance inside a pipeline, active every cycle.
+type Unit struct {
+	Op    resource.OpClass
+	Width int // operand bit width
+}
+
+// Design is a replicated-pipeline kernel description.
+type Design struct {
+	Name string
+
+	// Pipelines is the replication factor: how many identical
+	// pipelines operate in parallel (8 in Figure 3).
+	Pipelines int
+
+	// Units lists the operator instances in one pipeline. Each work
+	// item flows through all of them, so len(Units) is the
+	// operation count per item (3 for the 1-D PDF: compare,
+	// multiply, add).
+	Units []Unit
+
+	// CountedOps is the number of operations per work item as the
+	// RAT worksheet counts them. The paper's op accounting is a
+	// modelling convention (Section 3.1's Booth-multiplier
+	// discussion): table lookups count as zero, a MAC counts as two
+	// (multiply and add). Zero means "use len(Units)".
+	CountedOps int
+
+	// ItemsPerElement is how many work items one element generates
+	// (256 bins in the 1-D PDF, 65536 in the 2-D).
+	ItemsPerElement int
+
+	// ItemsPerCycle is how many items one pipeline retires per
+	// cycle once full (1 for both PDF designs).
+	ItemsPerCycle int
+
+	// PipelineDepth is the fill latency in cycles.
+	PipelineDepth int
+
+	// ElementStall is the number of dead cycles a pipeline spends
+	// between consecutive elements (operand fetch, address setup).
+	ElementStall int
+
+	// BatchOverhead is the fixed per-batch control cost in cycles
+	// (handshakes, buffer swaps, drain).
+	BatchOverhead int
+
+	// Derating scales the ideal operations-per-cycle down to the
+	// value a RAT worksheet should use, reflecting the paper's
+	// practice of conservative estimation (20/24 for the 1-D PDF).
+	// Zero means no derating (use the ideal value).
+	Derating float64
+
+	// ElementBits is the on-chip storage width per buffered element
+	// and StateBits the per-item running state (the PDF bin
+	// accumulators); both feed the BRAM estimate.
+	ElementBits int
+	StateBits   int
+}
+
+// ErrBadDesign tags validation failures.
+var ErrBadDesign = errors.New("kernel: invalid design")
+
+// First-order logic overheads used by ResourceDemand: the per-pipeline
+// sequencing FSM and the global batch controller / host handshake, in
+// Xilinx slices (doubled for Altera ALUT accounting).
+const (
+	pipelineControlLogic = 60
+	globalControlLogic   = 250
+)
+
+// Validate checks structural sanity.
+func (d Design) Validate() error {
+	switch {
+	case d.Pipelines <= 0:
+		return fmt.Errorf("%w: %s: pipelines must be positive", ErrBadDesign, d.Name)
+	case len(d.Units) == 0:
+		return fmt.Errorf("%w: %s: no operator units", ErrBadDesign, d.Name)
+	case d.ItemsPerElement <= 0:
+		return fmt.Errorf("%w: %s: items per element must be positive", ErrBadDesign, d.Name)
+	case d.ItemsPerCycle <= 0:
+		return fmt.Errorf("%w: %s: items per cycle must be positive", ErrBadDesign, d.Name)
+	case d.PipelineDepth < 0 || d.ElementStall < 0 || d.BatchOverhead < 0:
+		return fmt.Errorf("%w: %s: negative latency figure", ErrBadDesign, d.Name)
+	case d.Derating < 0 || d.Derating > 1:
+		return fmt.Errorf("%w: %s: derating must be in [0, 1]", ErrBadDesign, d.Name)
+	case d.CountedOps < 0:
+		return fmt.Errorf("%w: %s: negative counted-op override", ErrBadDesign, d.Name)
+	}
+	for _, u := range d.Units {
+		if u.Width <= 0 || u.Width > 64 {
+			return fmt.Errorf("%w: %s: unit %s width %d out of range", ErrBadDesign, d.Name, u.Op, u.Width)
+		}
+	}
+	return nil
+}
+
+// OpsPerItem returns the operation count applied to each work item,
+// as the worksheet counts operations (CountedOps when set, otherwise
+// the structural unit count).
+func (d Design) OpsPerItem() int {
+	if d.CountedOps > 0 {
+		return d.CountedOps
+	}
+	return len(d.Units)
+}
+
+// OpsPerElement returns the throughput-test input N_ops/element:
+// items per element times operations per item (256 x 3 = 768 for the
+// 1-D PDF).
+func (d Design) OpsPerElement() float64 {
+	return float64(d.ItemsPerElement) * float64(d.OpsPerItem())
+}
+
+// IdealThroughputProc returns the peak operations per cycle with every
+// pipeline full: pipelines x ops/item x items/cycle (8 x 3 x 1 = 24
+// for the 1-D PDF).
+func (d Design) IdealThroughputProc() float64 {
+	return float64(d.Pipelines) * float64(d.OpsPerItem()) * float64(d.ItemsPerCycle)
+}
+
+// WorksheetThroughputProc returns the derated operations-per-cycle a
+// RAT worksheet should carry (24 x 20/24 = 20 for the 1-D PDF).
+func (d Design) WorksheetThroughputProc() float64 {
+	if d.Derating == 0 {
+		return d.IdealThroughputProc()
+	}
+	return d.IdealThroughputProc() * d.Derating
+}
+
+// ItemCyclesPerElement returns how many issue slots one element
+// occupies in one pipeline: the items are divided among the pipelines
+// and retire ItemsPerCycle per cycle.
+func (d Design) ItemCyclesPerElement() int64 {
+	perPipe := (d.ItemsPerElement + d.Pipelines - 1) / d.Pipelines
+	return int64((perPipe + d.ItemsPerCycle - 1) / d.ItemsPerCycle)
+}
+
+// CyclesForBatch returns the cycle-accurate execution time of one
+// batch of n elements: fill the pipeline once, then per element the
+// item slots plus the inter-element stall, plus fixed batch control.
+// This is the timing model the simulated platform executes; with
+// honest stall and overhead figures it lands where the paper's
+// measured hardware landed (20850 cycles per 512-element 1-D PDF batch
+// = 1.39E-4 s at 150 MHz).
+func (d Design) CyclesForBatch(n int) int64 {
+	if n <= 0 {
+		return int64(d.BatchOverhead)
+	}
+	perElement := d.ItemCyclesPerElement() + int64(d.ElementStall)
+	return int64(d.BatchOverhead) + int64(d.PipelineDepth) + int64(n)*perElement
+}
+
+// EffectiveThroughputProc returns the operations per cycle the design
+// actually sustains on a batch of n elements — total useful operations
+// divided by modelled cycles. It is always below IdealThroughputProc
+// for finite batches; comparing it with the worksheet value shows how
+// conservative (or optimistic) the estimate was.
+func (d Design) EffectiveThroughputProc(n int) float64 {
+	cycles := d.CyclesForBatch(n)
+	if cycles == 0 {
+		return 0
+	}
+	return float64(n) * d.OpsPerElement() / float64(cycles)
+}
+
+// ResourceDemand estimates the design's total demand on a device:
+// every pipeline's operator units, the per-item running state, the I/O
+// buffering for a batch of n elements (doubled when double-buffered),
+// and the fixed platform wrapper.
+func (d Design) ResourceDemand(dev resource.Device, batchElements int, doubleBuffered bool) (resource.Demand, error) {
+	if err := d.Validate(); err != nil {
+		return resource.Demand{}, err
+	}
+	var perPipe resource.Demand
+	var datapathBits int
+	for _, u := range d.Units {
+		c, err := resource.OperatorCost(dev, u.Op, u.Width)
+		if err != nil {
+			return resource.Demand{}, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		perPipe = perPipe.Add(c)
+		datapathBits += u.Width
+	}
+
+	// Pipeline registering and control: every stage latches roughly
+	// the datapath width, and each pipeline carries a small FSM.
+	// This is where most of a real design's logic goes — operator
+	// cores alone grossly undercount slices.
+	regBits := d.PipelineDepth * datapathBits
+	if dev.Vendor == resource.Altera {
+		perPipe.Logic += regBits + 2*pipelineControlLogic
+	} else {
+		perPipe.Logic += regBits/2 + pipelineControlLogic
+	}
+	total := perPipe.Scale(d.Pipelines)
+	total.Logic += globalControlLogic
+
+	// Running state: ItemsPerElement accumulators of StateBits,
+	// spread across the pipelines; held in BRAM when large.
+	if d.StateBits > 0 {
+		stateBits := int64(d.ItemsPerElement) * int64(d.StateBits)
+		total = total.Add(resource.BufferDemand(dev, (stateBits+7)/8))
+	}
+
+	// I/O buffering for one batch.
+	if d.ElementBits > 0 && batchElements > 0 {
+		bufBytes := int64(batchElements) * int64(d.ElementBits+7) / 8
+		if doubleBuffered {
+			bufBytes *= 2
+		}
+		total = total.Add(resource.BufferDemand(dev, bufBytes))
+	}
+
+	total = total.Add(resource.WrapperDemand(dev))
+	return total, nil
+}
+
+// Describe renders a human-readable architecture summary, the textual
+// equivalent of the paper's Figure 3.
+func (d Design) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Name)
+	fmt.Fprintf(&b, "  %d parallel pipelines, depth %d cycles\n", d.Pipelines, d.PipelineDepth)
+	fmt.Fprintf(&b, "  datapath per pipeline:")
+	for _, u := range d.Units {
+		fmt.Fprintf(&b, " %s(%d)", u.Op, u.Width)
+	}
+	fmt.Fprintf(&b, "\n  %d items per element, %d item(s)/cycle per pipeline\n",
+		d.ItemsPerElement, d.ItemsPerCycle)
+	fmt.Fprintf(&b, "  N_ops/element = %.0f, ideal throughput = %.0f ops/cycle",
+		d.OpsPerElement(), d.IdealThroughputProc())
+	if d.Derating > 0 && d.Derating < 1 {
+		fmt.Fprintf(&b, " (worksheet: %.0f after %.0f%% derating)",
+			d.WorksheetThroughputProc(), (1-d.Derating)*100)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package kernel_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/kernel"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// figure3 is the 1-D PDF architecture used as a known-good design.
+func figure3() kernel.Design {
+	return kernel.Design{
+		Name:      "fig3",
+		Pipelines: 8,
+		Units: []kernel.Unit{
+			{Op: resource.OpAdd, Width: 18},
+			{Op: resource.OpLUT, Width: 18},
+			{Op: resource.OpMAC, Width: 18},
+		},
+		CountedOps:      3,
+		ItemsPerElement: 256,
+		ItemsPerCycle:   1,
+		PipelineDepth:   18,
+		ElementStall:    8,
+		BatchOverhead:   352,
+		Derating:        20.0 / 24.0,
+		ElementBits:     32,
+		StateBits:       48,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := figure3().Validate(); err != nil {
+		t.Fatalf("known-good design rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*kernel.Design)
+	}{
+		{"zero pipelines", func(d *kernel.Design) { d.Pipelines = 0 }},
+		{"no units", func(d *kernel.Design) { d.Units = nil }},
+		{"zero items", func(d *kernel.Design) { d.ItemsPerElement = 0 }},
+		{"zero items per cycle", func(d *kernel.Design) { d.ItemsPerCycle = 0 }},
+		{"negative depth", func(d *kernel.Design) { d.PipelineDepth = -1 }},
+		{"negative stall", func(d *kernel.Design) { d.ElementStall = -1 }},
+		{"negative overhead", func(d *kernel.Design) { d.BatchOverhead = -1 }},
+		{"derating above one", func(d *kernel.Design) { d.Derating = 1.5 }},
+		{"negative derating", func(d *kernel.Design) { d.Derating = -0.1 }},
+		{"negative counted ops", func(d *kernel.Design) { d.CountedOps = -1 }},
+		{"bad unit width", func(d *kernel.Design) { d.Units[0].Width = 0 }},
+		{"huge unit width", func(d *kernel.Design) { d.Units[0].Width = 128 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := figure3()
+			tc.mutate(&d)
+			if err := d.Validate(); !errors.Is(err, kernel.ErrBadDesign) {
+				t.Errorf("error = %v, want ErrBadDesign", err)
+			}
+		})
+	}
+}
+
+func TestDerivedThroughputNumbers(t *testing.T) {
+	d := figure3()
+	if got := d.OpsPerItem(); got != 3 {
+		t.Errorf("OpsPerItem = %d", got)
+	}
+	if got := d.OpsPerElement(); got != 768 {
+		t.Errorf("OpsPerElement = %g", got)
+	}
+	if got := d.IdealThroughputProc(); got != 24 {
+		t.Errorf("IdealThroughputProc = %g", got)
+	}
+	if got := d.WorksheetThroughputProc(); got != 20 {
+		t.Errorf("WorksheetThroughputProc = %g", got)
+	}
+	// Without derating the worksheet value is the ideal.
+	d.Derating = 0
+	if got := d.WorksheetThroughputProc(); got != 24 {
+		t.Errorf("undeclared derating: %g, want ideal 24", got)
+	}
+	// CountedOps overrides the structural count.
+	d.CountedOps = 6
+	if got := d.OpsPerElement(); got != 256*6 {
+		t.Errorf("CountedOps override: OpsPerElement = %g", got)
+	}
+	d.CountedOps = 0
+	if got := d.OpsPerItem(); got != len(d.Units) {
+		t.Errorf("structural fallback: OpsPerItem = %d", got)
+	}
+}
+
+func TestItemCyclesPerElement(t *testing.T) {
+	d := figure3()
+	if got := d.ItemCyclesPerElement(); got != 32 { // 256 bins / 8 pipelines
+		t.Errorf("ItemCyclesPerElement = %d, want 32", got)
+	}
+	// Non-divisible items round up.
+	d.ItemsPerElement = 257
+	if got := d.ItemCyclesPerElement(); got != 33 {
+		t.Errorf("ceil division: %d, want 33", got)
+	}
+	// Multiple items per cycle divide further.
+	d.ItemsPerElement = 256
+	d.ItemsPerCycle = 2
+	if got := d.ItemCyclesPerElement(); got != 16 {
+		t.Errorf("ItemsPerCycle=2: %d, want 16", got)
+	}
+}
+
+func TestCyclesForBatch(t *testing.T) {
+	d := figure3()
+	if got := d.CyclesForBatch(512); got != 20850 {
+		t.Errorf("CyclesForBatch(512) = %d, want 20850", got)
+	}
+	if got := d.CyclesForBatch(0); got != 352 {
+		t.Errorf("empty batch = %d, want just the overhead", got)
+	}
+	if got := d.CyclesForBatch(-5); got != 352 {
+		t.Errorf("negative batch = %d, want just the overhead", got)
+	}
+	// Linear in batch size beyond the fixed terms.
+	d1, d2 := d.CyclesForBatch(100), d.CyclesForBatch(200)
+	if d2-d1 != 100*(32+8) {
+		t.Errorf("marginal cost per element = %d, want 40", (d2-d1)/100)
+	}
+}
+
+func TestEffectiveThroughputProc(t *testing.T) {
+	d := figure3()
+	eff := d.EffectiveThroughputProc(512)
+	// Below ideal, near the derated estimate.
+	if eff >= d.IdealThroughputProc() || eff < 18 {
+		t.Errorf("effective = %g, want in [18, 24)", eff)
+	}
+	// Larger batches amortize fixed costs: effectiveness grows.
+	if d.EffectiveThroughputProc(64) >= eff {
+		t.Error("small batches must be less effective")
+	}
+	if got := d.EffectiveThroughputProc(0); got != 0 {
+		// Zero elements: zero ops over pure overhead cycles.
+		t.Errorf("zero batch effective = %g", got)
+	}
+}
+
+func TestResourceDemand(t *testing.T) {
+	d := figure3()
+	dev := resource.VirtexLX100
+	dm, err := d.ResourceDemand(dev, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One MAC per pipeline: 8 DSPs.
+	if dm.DSP != 8 {
+		t.Errorf("DSP demand = %d, want 8", dm.DSP)
+	}
+	// BRAM: 8 pipeline LUTs + state + I/O buffer + wrapper.
+	if dm.BRAM < 20 || dm.BRAM > 40 {
+		t.Errorf("BRAM demand = %d, want ~25", dm.BRAM)
+	}
+	if dm.Logic <= 0 {
+		t.Error("logic demand must be positive")
+	}
+	// Double buffering costs more BRAM, same DSPs.
+	dm2, err := d.ResourceDemand(dev, 512, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm2.BRAM < dm.BRAM || dm2.DSP != dm.DSP {
+		t.Errorf("double buffering: %+v vs %+v", dm2, dm)
+	}
+	// Invalid design refuses to estimate.
+	bad := d
+	bad.Pipelines = 0
+	if _, err := bad.ResourceDemand(dev, 512, false); !errors.Is(err, kernel.ErrBadDesign) {
+		t.Errorf("error = %v, want ErrBadDesign", err)
+	}
+	// Unknown operator class propagates the cost-model error.
+	odd := d
+	odd.Units = []kernel.Unit{{Op: resource.OpClass("warp"), Width: 18}}
+	if _, err := odd.ResourceDemand(dev, 512, false); err == nil {
+		t.Error("unknown op class must error")
+	}
+}
+
+// TestResourceDemandVendorDifference: the same design demands more
+// DSP units in Altera 9-bit accounting than Xilinx whole-DSP counting.
+func TestResourceDemandVendorDifference(t *testing.T) {
+	d := figure3()
+	x, err := d.ResourceDemand(resource.VirtexLX100, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.ResourceDemand(resource.StratixEP2S180, 512, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DSP <= x.DSP {
+		t.Errorf("9-bit element accounting (%d) should exceed whole-DSP counting (%d)", a.DSP, x.DSP)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := figure3().Describe()
+	for _, want := range []string{"fig3", "8 parallel pipelines", "mac(18)", "768", "24 ops/cycle", "worksheet: 20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	// Without derating the worksheet note disappears.
+	d := figure3()
+	d.Derating = 0
+	if strings.Contains(d.Describe(), "derating") {
+		t.Error("underated design should not mention derating")
+	}
+}
+
+// TestScalingConsistency: doubling pipelines halves item cycles (for
+// divisible workloads) and doubles operator demand.
+func TestScalingConsistency(t *testing.T) {
+	d := figure3()
+	wide := d
+	wide.Pipelines = 16
+	if wide.ItemCyclesPerElement() != d.ItemCyclesPerElement()/2 {
+		t.Error("pipeline doubling should halve per-element cycles")
+	}
+	if math.Abs(wide.IdealThroughputProc()-2*d.IdealThroughputProc()) > 1e-12 {
+		t.Error("pipeline doubling should double throughput")
+	}
+	dm, _ := d.ResourceDemand(resource.VirtexLX100, 512, false)
+	dmWide, _ := wide.ResourceDemand(resource.VirtexLX100, 512, false)
+	if dmWide.DSP != 2*dm.DSP {
+		t.Errorf("DSP demand %d -> %d, want doubled", dm.DSP, dmWide.DSP)
+	}
+}

@@ -1,0 +1,184 @@
+// Package methodology drives the full RC Amenability Test of the
+// paper's Figure 1: throughput test, then numerical-precision test,
+// then resource test, each with its own exit arc back to "NEW DESIGN",
+// and a PROCEED verdict only when every test passes the designer's
+// requirements.
+//
+// The paper stresses that RAT evaluates a specific design against a
+// specific platform, iteratively: "RAT is applied iteratively during
+// the design process until a suitable version of the algorithm is
+// formulated or all reasonable permutations are exhausted". Evaluate
+// is one turn of that loop; callers revise the design and call again.
+package methodology
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/precision"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// Requirements are the designer's acceptance criteria.
+type Requirements struct {
+	// TargetSpeedup is the speedup the migration must deliver to be
+	// judged a success (the paper surveys thresholds from parity
+	// for power-constrained embedded work to the 50-100x said to
+	// impress "middle management").
+	TargetSpeedup float64
+	// Buffering is the overlap discipline the design will use.
+	Buffering core.Buffering
+	// ErrorTolerance is the maximum acceptable numerical error
+	// (relative to the reference peak). Zero skips the precision
+	// test, for designs whose precision is already settled.
+	ErrorTolerance float64
+}
+
+// Design bundles everything the three tests examine.
+type Design struct {
+	// Params is the throughput-test worksheet.
+	Params core.Parameters
+	// Candidates are the numerical-format options for the precision
+	// test (may be empty when ErrorTolerance is zero).
+	Candidates []precision.Candidate
+	// Demand is the design's estimated resource requirement and
+	// Device the target FPGA.
+	Demand resource.Demand
+	Device resource.Device
+}
+
+// Step identifies one test of the flow.
+type Step string
+
+const (
+	StepThroughput Step = "throughput"
+	StepPrecision  Step = "precision"
+	StepResources  Step = "resources"
+)
+
+// StepResult records one test's outcome.
+type StepResult struct {
+	Step   Step
+	Pass   bool
+	Detail string
+}
+
+// Verdict is the flow's terminal arc.
+type Verdict int
+
+const (
+	// NewDesign: some test failed; revise the design (or the
+	// platform choice) and run RAT again.
+	NewDesign Verdict = iota
+	// Proceed: all tests passed; begin hardware implementation.
+	Proceed
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if v == Proceed {
+		return "PROCEED"
+	}
+	return "NEW DESIGN"
+}
+
+// Outcome is the complete record of one methodology pass.
+type Outcome struct {
+	Verdict Verdict
+	Steps   []StepResult
+
+	// Prediction is the throughput test's output.
+	Prediction core.Prediction
+	// Chosen is the precision test's selected format (zero when the
+	// test was skipped or failed).
+	Chosen precision.Candidate
+	// Resources is the resource test's report (zero when an earlier
+	// test aborted the flow).
+	Resources resource.Report
+}
+
+// failed appends a failing step and closes the outcome.
+func (o *Outcome) failed(s Step, detail string) Outcome {
+	o.Steps = append(o.Steps, StepResult{Step: s, Pass: false, Detail: detail})
+	o.Verdict = NewDesign
+	return *o
+}
+
+func (o *Outcome) passed(s Step, detail string) {
+	o.Steps = append(o.Steps, StepResult{Step: s, Pass: true, Detail: detail})
+}
+
+// Evaluate runs one pass of the Figure 1 flow. It returns an error
+// only for malformed inputs; a design that merely fails a test comes
+// back with Verdict NewDesign and the failing step's diagnosis.
+func Evaluate(req Requirements, d Design) (Outcome, error) {
+	if req.TargetSpeedup <= 0 {
+		return Outcome{}, fmt.Errorf("methodology: target speedup must be positive (got %g)", req.TargetSpeedup)
+	}
+	if req.ErrorTolerance < 0 {
+		return Outcome{}, fmt.Errorf("methodology: error tolerance must be non-negative (got %g)", req.ErrorTolerance)
+	}
+	var out Outcome
+
+	// Throughput test (Section 3.1). On failure, diagnose which
+	// side is insufficient: if even infinite computational
+	// parallelism cannot reach the target, the communication
+	// throughput is the wall; otherwise more parallelism (a higher
+	// throughput_proc) could still get there.
+	pr, err := core.Predict(d.Params)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Prediction = pr
+	speedup := pr.Speedup(req.Buffering)
+	if speedup < req.TargetSpeedup {
+		if maxSp := pr.MaxSpeedup(); maxSp < req.TargetSpeedup {
+			return out.failed(StepThroughput, fmt.Sprintf(
+				"insufficient communication throughput: predicted speedup %.2f, and even infinite parallelism caps at %.2f against the %.2f target — reduce or overlap communication",
+				speedup, maxSp, req.TargetSpeedup)), nil
+		}
+		need, serr := core.SolveThroughputProc(d.Params, req.TargetSpeedup, req.Buffering)
+		detail := fmt.Sprintf("insufficient computation throughput: predicted speedup %.2f against the %.2f target", speedup, req.TargetSpeedup)
+		if serr == nil {
+			detail += fmt.Sprintf(" — the design must sustain %.1f ops/cycle (currently %.1f)", need, d.Params.Comp.ThroughputProc)
+		}
+		return out.failed(StepThroughput, detail), nil
+	}
+	out.passed(StepThroughput, fmt.Sprintf("predicted speedup %.2f meets the %.2f target (%s)", speedup, req.TargetSpeedup, req.Buffering))
+
+	// Numerical precision test (Section 3.2).
+	if req.ErrorTolerance > 0 {
+		chosen, notes, err := precision.Recommend(d.Candidates, req.ErrorTolerance)
+		if err != nil {
+			if errors.Is(err, precision.ErrUnrealizable) {
+				return out.failed(StepPrecision, fmt.Sprintf("minimum precision unrealizable: %v", err)), nil
+			}
+			return Outcome{}, err
+		}
+		out.Chosen = chosen
+		detail := fmt.Sprintf("%s meets the %.3g tolerance (max error %.3g)", chosen.Label, req.ErrorTolerance, chosen.MaxError)
+		if len(notes) > 0 {
+			detail += "; " + notes[len(notes)-1]
+		}
+		out.passed(StepPrecision, detail)
+	} else {
+		out.passed(StepPrecision, "skipped: precision fixed by the designer")
+	}
+
+	// Resource test (Section 3.3).
+	rep := resource.Check(d.Device, d.Demand)
+	out.Resources = rep
+	if !rep.Fits {
+		return out.failed(StepResources, fmt.Sprintf("insufficient resources on %s: %v", d.Device.Name, rep.Warnings)), nil
+	}
+	detail := fmt.Sprintf("fits %s; limiting resource %s at %.0f%%",
+		d.Device.Name, d.Device.KindName(rep.Limiting), rep.Utilization(rep.Limiting)*100)
+	if len(rep.Warnings) > 0 {
+		detail += fmt.Sprintf(" (warnings: %v)", rep.Warnings)
+	}
+	out.passed(StepResources, detail)
+
+	out.Verdict = Proceed
+	return out, nil
+}

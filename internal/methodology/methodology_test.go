@@ -1,0 +1,225 @@
+package methodology_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/methodology"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/precision"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// pdf1dDesign assembles the walkthrough's design for methodology runs.
+func pdf1dDesign(t *testing.T) methodology.Design {
+	t.Helper()
+	demand, err := pdf1d.Design().ResourceDemand(resource.VirtexLX100, pdf1d.BatchElements, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return methodology.Design{
+		Params: paper.PDF1DParams(),
+		Candidates: []precision.Candidate{
+			{Label: "18-bit fixed", Width: 18, MaxError: 0.02, MulCost: resource.Demand{DSP: 1}},
+			{Label: "32-bit fixed", Width: 32, MaxError: 0.002, MulCost: resource.Demand{DSP: 2}},
+		},
+		Demand: demand,
+		Device: resource.VirtexLX100,
+	}
+}
+
+// TestProceedPath: the 1-D PDF design at 150 MHz passes all three
+// tests against a 10x goal and a 3% tolerance — the walkthrough's
+// happy path.
+func TestProceedPath(t *testing.T) {
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup:  10,
+		Buffering:      core.SingleBuffered,
+		ErrorTolerance: 0.03,
+	}, pdf1dDesign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.Proceed {
+		t.Fatalf("verdict = %v, want PROCEED; steps: %+v", out.Verdict, out.Steps)
+	}
+	if len(out.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(out.Steps))
+	}
+	for _, s := range out.Steps {
+		if !s.Pass {
+			t.Errorf("step %s failed on the happy path: %s", s.Step, s.Detail)
+		}
+	}
+	if out.Chosen.Label != "18-bit fixed" {
+		t.Errorf("chosen format %q, want 18-bit fixed", out.Chosen.Label)
+	}
+	if out.Prediction.SpeedupSingle < 10 {
+		t.Errorf("prediction speedup %.2f", out.Prediction.SpeedupSingle)
+	}
+	if !out.Resources.Fits {
+		t.Error("resource report should fit")
+	}
+	if out.Verdict.String() != "PROCEED" {
+		t.Errorf("Verdict.String() = %q", out.Verdict.String())
+	}
+}
+
+// TestInsufficientComputationThroughput: a 20x goal at 150 MHz is
+// reachable in principle (communication would allow ~260x) but needs
+// more parallelism — the failure detail must say how much.
+func TestInsufficientComputationThroughput(t *testing.T) {
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup: 20,
+		Buffering:     core.SingleBuffered,
+	}, pdf1dDesign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.NewDesign {
+		t.Fatalf("verdict = %v, want NEW DESIGN", out.Verdict)
+	}
+	last := out.Steps[len(out.Steps)-1]
+	if last.Step != methodology.StepThroughput || last.Pass {
+		t.Fatalf("failing step = %+v", last)
+	}
+	if !strings.Contains(last.Detail, "computation throughput") || !strings.Contains(last.Detail, "ops/cycle") {
+		t.Errorf("detail should prescribe required parallelism: %s", last.Detail)
+	}
+}
+
+// TestInsufficientCommunicationThroughput: a goal beyond the
+// comm-bound asymptote must be diagnosed as a communication wall.
+func TestInsufficientCommunicationThroughput(t *testing.T) {
+	d := pdf1dDesign(t)
+	pr := core.MustPredict(d.Params)
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup: pr.MaxSpeedup() * 2,
+		Buffering:     core.DoubleBuffered,
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.NewDesign {
+		t.Fatalf("verdict = %v, want NEW DESIGN", out.Verdict)
+	}
+	last := out.Steps[len(out.Steps)-1]
+	if !strings.Contains(last.Detail, "communication throughput") {
+		t.Errorf("detail should blame communication: %s", last.Detail)
+	}
+}
+
+// TestUnrealizablePrecision: no candidate under a vanishing tolerance.
+func TestUnrealizablePrecision(t *testing.T) {
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup:  5,
+		Buffering:      core.SingleBuffered,
+		ErrorTolerance: 1e-9,
+	}, pdf1dDesign(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.NewDesign {
+		t.Fatalf("verdict = %v, want NEW DESIGN", out.Verdict)
+	}
+	last := out.Steps[len(out.Steps)-1]
+	if last.Step != methodology.StepPrecision || !strings.Contains(last.Detail, "unrealizable") {
+		t.Errorf("failing step = %+v", last)
+	}
+	// Throughput must have passed before precision failed.
+	if out.Steps[0].Step != methodology.StepThroughput || !out.Steps[0].Pass {
+		t.Errorf("step order wrong: %+v", out.Steps)
+	}
+}
+
+// TestInsufficientResources: a demand beyond the device inventory
+// fails the final test.
+func TestInsufficientResources(t *testing.T) {
+	d := pdf1dDesign(t)
+	d.Demand = resource.Demand{DSP: 1000, BRAM: 10, Logic: 10}
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup:  5,
+		Buffering:      core.SingleBuffered,
+		ErrorTolerance: 0.03,
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.NewDesign {
+		t.Fatalf("verdict = %v, want NEW DESIGN", out.Verdict)
+	}
+	last := out.Steps[len(out.Steps)-1]
+	if last.Step != methodology.StepResources || !strings.Contains(last.Detail, "insufficient resources") {
+		t.Errorf("failing step = %+v", last)
+	}
+	if out.Verdict.String() != "NEW DESIGN" {
+		t.Errorf("Verdict.String() = %q", out.Verdict.String())
+	}
+}
+
+// TestSkippedPrecision: zero tolerance skips the precision test but
+// still records the step.
+func TestSkippedPrecision(t *testing.T) {
+	d := pdf1dDesign(t)
+	d.Candidates = nil
+	out, err := methodology.Evaluate(methodology.Requirements{
+		TargetSpeedup: 5,
+		Buffering:     core.SingleBuffered,
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.Proceed {
+		t.Fatalf("verdict = %v, want PROCEED", out.Verdict)
+	}
+	if !strings.Contains(out.Steps[1].Detail, "skipped") {
+		t.Errorf("precision step should record the skip: %+v", out.Steps[1])
+	}
+}
+
+// TestIterativeRevision walks the Figure 1 loop the way the MD study
+// did: the first design misses the 10x goal, the solver prescribes the
+// parallelism, the revised design passes.
+func TestIterativeRevision(t *testing.T) {
+	d := pdf1dDesign(t)
+	d.Params = paper.MDParams().WithClock(core.MHz(100)).WithThroughputProc(10)
+	d.Device = resource.StratixEP2S180
+	d.Demand = resource.Demand{DSP: 500, BRAM: 100, Logic: 1000}
+	req := methodology.Requirements{TargetSpeedup: 10, Buffering: core.SingleBuffered}
+
+	out, err := methodology.Evaluate(req, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.NewDesign {
+		t.Fatal("first MD design (10 ops/cycle) should fail the 10x goal")
+	}
+	need, err := core.SolveThroughputProc(d.Params, 10, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Params = d.Params.WithThroughputProc(need * 1.05) // revise with margin
+	out, err = methodology.Evaluate(req, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != methodology.Proceed {
+		t.Fatalf("revised MD design should pass: %+v", out.Steps)
+	}
+}
+
+func TestEvaluateArgumentErrors(t *testing.T) {
+	d := pdf1dDesign(t)
+	if _, err := methodology.Evaluate(methodology.Requirements{TargetSpeedup: 0}, d); err == nil {
+		t.Error("zero target must error")
+	}
+	if _, err := methodology.Evaluate(methodology.Requirements{TargetSpeedup: 5, ErrorTolerance: -1}, d); err == nil {
+		t.Error("negative tolerance must error")
+	}
+	d.Params = core.Parameters{}
+	if _, err := methodology.Evaluate(methodology.Requirements{TargetSpeedup: 5}, d); err == nil {
+		t.Error("invalid worksheet must error")
+	}
+}

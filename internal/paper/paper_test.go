@@ -1,0 +1,168 @@
+package paper_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+func TestParamsValid(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(c)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+		if p.Name == "" {
+			t.Errorf("%s: unnamed worksheet", c)
+		}
+	}
+}
+
+func TestParamsPanicsOnUnknownCase(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Params":           func() { paper.Params("bogus") },
+		"PerformanceTable": func() { paper.PerformanceTable("bogus") },
+		"ResourceTable":    func() { paper.ResourceTable("bogus") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on unknown case", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTablesStructurallySound: each performance table carries the three
+// predicted clocks in ascending order plus exactly one actual column,
+// and every resource table has three rows.
+func TestTablesStructurallySound(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		rows := paper.PerformanceTable(c)
+		pred := paper.PredictedRows(c)
+		if len(pred) != 3 {
+			t.Errorf("%s: %d predicted rows, want 3", c, len(pred))
+		}
+		for i, r := range pred {
+			if r.ClockHz != paper.ClocksHz[i] {
+				t.Errorf("%s: predicted row %d clock %g", c, i, r.ClockHz)
+			}
+			if r.Actual {
+				t.Errorf("%s: PredictedRows returned an actual row", c)
+			}
+		}
+		actuals := 0
+		for _, r := range rows {
+			if r.Actual {
+				actuals++
+			}
+			if r.TComm <= 0 || r.TComp <= 0 || r.TRC <= 0 || r.Speedup <= 0 {
+				t.Errorf("%s: non-positive cells in %+v", c, r)
+			}
+		}
+		if actuals != 1 {
+			t.Errorf("%s: %d actual rows, want 1", c, actuals)
+		}
+		if got := paper.ActualRow(c); !got.Actual {
+			t.Errorf("%s: ActualRow returned a predicted row", c)
+		}
+		res := paper.ResourceTable(c)
+		if len(res) != 3 {
+			t.Errorf("%s: %d resource rows, want 3", c, len(res))
+		}
+		for _, r := range res {
+			if r.Utilization <= 0 || r.Utilization > 1 {
+				t.Errorf("%s: resource %s utilization %g out of (0, 1]", c, r.Resource, r.Utilization)
+			}
+		}
+	}
+}
+
+// TestPublishedCellsInternallyConsistent: within each published row,
+// t_RC ~ N_iter*(t_comm+t_comp) and speedup ~ t_soft/t_RC to the
+// printed precision (the intact columns of the paper check out; the
+// reconstructed ones must too, by construction).
+func TestPublishedCellsInternallyConsistent(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(c)
+		iters := float64(p.Soft.Iterations)
+		for _, r := range paper.PerformanceTable(c) {
+			sum := iters * (r.TComm + r.TComp)
+			// The 1-D actual t_RC was measured directly from the
+			// FPGA and exceeds the sum of its parts; all other rows
+			// agree within printed rounding.
+			if c == paper.PDF1D && r.Actual {
+				if r.TRC < sum {
+					t.Errorf("%s actual: measured total %g below sum of parts %g", c, r.TRC, sum)
+				}
+				continue
+			}
+			if d := math.Abs(r.TRC-sum) / r.TRC; d > 0.02 {
+				t.Errorf("%s row %+v: t_RC inconsistent with parts (%.1f%%)", c, r, d*100)
+			}
+			if sp := p.Soft.TSoft / r.TRC; math.Abs(sp-r.Speedup) > 0.06 {
+				t.Errorf("%s row (%.0f MHz, actual=%v): speedup %g inconsistent with t_soft/t_RC = %g",
+					c, r.ClockHz/1e6, r.Actual, r.Speedup, sp)
+			}
+		}
+	}
+}
+
+// TestMDTSoftBackComputation: 5.78 s reproduces all four printed
+// speedups within half a final digit.
+func TestMDTSoftBackComputation(t *testing.T) {
+	for _, r := range paper.PerformanceTable(paper.MD) {
+		sp := paper.MDTSoft / r.TRC
+		if math.Abs(sp-r.Speedup) > 0.06 {
+			t.Errorf("t_soft=5.78: %.0f MHz gives speedup %.2f, paper prints %.1f", r.ClockHz/1e6, sp, r.Speedup)
+		}
+	}
+}
+
+// TestReconstructionFlags: exactly the cells EXPERIMENTS.md documents
+// as reconstructed are flagged.
+func TestReconstructionFlags(t *testing.T) {
+	if !paper.ActualRow(paper.PDF1D).Reconstructed {
+		t.Error("PDF1D actual row must be flagged (clipped exponents)")
+	}
+	if !paper.ActualRow(paper.PDF2D).Reconstructed {
+		t.Error("PDF2D actual row must be flagged (column missing from scan)")
+	}
+	if paper.ActualRow(paper.MD).Reconstructed {
+		t.Error("MD actual row is intact in the scan")
+	}
+	for _, r := range paper.PredictedRows(paper.PDF1D) {
+		if r.Reconstructed {
+			t.Error("predicted rows are intact and must not be flagged")
+		}
+	}
+	// Table 4's BRAM and Table 7's DSP cells are the intact ones.
+	for _, r := range paper.ResourceTable(paper.PDF1D) {
+		if r.Resource == "BRAMs" && r.Reconstructed {
+			t.Error("Table 4 BRAMs 15% is intact")
+		}
+	}
+	for _, r := range paper.ResourceTable(paper.PDF2D) {
+		if r.Resource == "48-bit DSPs" && r.Reconstructed {
+			t.Error("Table 7 DSPs 21% is intact")
+		}
+	}
+}
+
+// TestActualRowPanicsWithoutActual is exercised indirectly; here we
+// just pin the clock of each actual measurement (150/150/100 MHz).
+func TestActualClocks(t *testing.T) {
+	if paper.ActualRow(paper.PDF1D).ClockHz != core.MHz(150) {
+		t.Error("PDF1D measured at 150 MHz")
+	}
+	if paper.ActualRow(paper.PDF2D).ClockHz != core.MHz(150) {
+		t.Error("PDF2D measured at 150 MHz")
+	}
+	if paper.ActualRow(paper.MD).ClockHz != core.MHz(100) {
+		t.Error("MD measured at 100 MHz")
+	}
+}

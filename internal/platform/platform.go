@@ -1,0 +1,112 @@
+package platform
+
+import (
+	"github.com/chrec/rat/internal/resource"
+	"github.com/chrec/rat/internal/sim"
+)
+
+// Platform bundles everything RAT needs to know about one RC system:
+// the interconnect timing model, the FPGA device inventory, and the
+// clock range a design can plausibly close on it.
+type Platform struct {
+	Name         string
+	Interconnect Interconnect
+	Device       resource.Device
+
+	// MinClockHz..MaxClockHz bracket the plausible post-route
+	// kernel clock; the paper sweeps 75-150 MHz on both platforms.
+	MinClockHz float64
+	MaxClockHz float64
+}
+
+// Clock returns a sim.Clock for a kernel frequency on this platform.
+func (p Platform) Clock(hz float64) sim.Clock { return sim.Clock{Hz: hz} }
+
+// NallatechH101 models the Nallatech H101-PCIXM card of both PDF case
+// studies: a Virtex-4 LX100 user FPGA on a 133 MHz 64-bit PCI-X bus
+// (documented maximum 1 GB/s).
+//
+// Calibration: the microbenchmark at the paper's representative 2 KB
+// size yields alpha_write = 0.37 and alpha_read = 0.16 (Table 2). The
+// read link's sustained rate collapses for large transfers — the
+// behaviour behind the 2-D PDF study's "communication six times larger
+// than predicted" — and both links charge a repeat overhead per
+// back-to-back transfer, the "additional delays introduced by 800
+// repetitive transfers" that quadrupled the 1-D PDF's measured
+// communication time.
+func NallatechH101() Platform {
+	return Platform{
+		Name: "Nallatech H101-PCIXM",
+		Interconnect: Interconnect{
+			Name:     "133 MHz 64-bit PCI-X",
+			IdealBps: 1e9,
+			WriteLink: Link{
+				Setup:  1 * sim.Microsecond,
+				Repeat: 8450 * sim.Nanosecond,
+				Rate: []RatePoint{
+					{Bytes: 512, Bps: 450e6},
+					{Bytes: 1 << 20, Bps: 450e6},
+				},
+			},
+			ReadLink: Link{
+				Setup:  2560 * sim.Nanosecond,
+				Repeat: 8450 * sim.Nanosecond,
+				Rate: []RatePoint{
+					{Bytes: 2048, Bps: 200e6},
+					{Bytes: 262144, Bps: 25e6},
+				},
+			},
+		},
+		Device:     resource.VirtexLX100,
+		MinClockHz: 75e6,
+		MaxClockHz: 150e6,
+	}
+}
+
+// XtremeDataXD1000 models the XD1000 of the molecular-dynamics case
+// study: a Stratix-II EP2S180 in an Opteron socket, reached over
+// HyperTransport. The paper's worksheet quotes a conservative 500 MB/s
+// documented bandwidth with alpha = 0.9; the real link moves the MD
+// dataset at ~850 MB/s, which is why the measured communication time
+// (1.39E-3 s) beats the prediction (2.62E-3 s) — the one case study
+// where RAT's communication estimate was pessimistic.
+func XtremeDataXD1000() Platform {
+	return Platform{
+		Name: "XtremeData XD1000",
+		Interconnect: Interconnect{
+			Name:     "HyperTransport",
+			IdealBps: 500e6,
+			WriteLink: Link{
+				Setup:  500 * sim.Nanosecond,
+				Repeat: 1 * sim.Microsecond,
+				Rate: []RatePoint{
+					{Bytes: 4096, Bps: 850e6},
+					{Bytes: 1 << 22, Bps: 850e6},
+				},
+			},
+			ReadLink: Link{
+				Setup:  500 * sim.Nanosecond,
+				Repeat: 1 * sim.Microsecond,
+				Rate: []RatePoint{
+					{Bytes: 4096, Bps: 850e6},
+					{Bytes: 1 << 22, Bps: 850e6},
+				},
+			},
+		},
+		Device:     resource.StratixEP2S180,
+		MinClockHz: 75e6,
+		MaxClockHz: 150e6,
+	}
+}
+
+// ByName returns a built-in platform model.
+func ByName(name string) (Platform, bool) {
+	switch name {
+	case "nallatech", "h101", NallatechH101().Name:
+		return NallatechH101(), true
+	case "xd1000", "xtremedata", XtremeDataXD1000().Name:
+		return XtremeDataXD1000(), true
+	default:
+		return Platform{}, false
+	}
+}

@@ -1,0 +1,169 @@
+package platform_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/sim"
+)
+
+// TestNallatechMicrobenchmarkAlphas: the Section 4.2 microbenchmark at
+// the paper's representative 2 KB size must reproduce the worksheet
+// alphas of Tables 2 and 5: alpha_write = 0.37, alpha_read = 0.16.
+func TestNallatechMicrobenchmarkAlphas(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	aw := ic.MeasureAlpha(platform.Write, 2048)
+	ar := ic.MeasureAlpha(platform.Read, 2048)
+	if math.Abs(aw-0.37) > 0.005 {
+		t.Errorf("alpha_write(2KB) = %.4f, want 0.37", aw)
+	}
+	if math.Abs(ar-0.16) > 0.005 {
+		t.Errorf("alpha_read(2KB) = %.4f, want 0.16", ar)
+	}
+}
+
+// TestNallatechReadDegradesAtLargeSizes: the read link's sustained
+// rate collapses toward 25 MB/s for the 2-D PDF's 256 KB result
+// transfers — the calibrated cause of the paper's "communication six
+// times larger than predicted".
+func TestNallatechReadDegradesAtLargeSizes(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	small := ic.MeasureAlpha(platform.Read, 2048)
+	large := ic.MeasureAlpha(platform.Read, 262144)
+	if large >= small/5 {
+		t.Errorf("alpha_read(256KB) = %.4f should be far below alpha_read(2KB) = %.4f", large, small)
+	}
+	// The 256 KB read takes about 10.5 ms.
+	got := ic.TransferTime(platform.Read, 262144, false).Seconds()
+	if math.Abs(got-1.049e-2) > 2e-4 {
+		t.Errorf("256KB read = %.4e s, want ~1.049e-2", got)
+	}
+}
+
+// TestXD1000BeatsDocumentedBandwidth: HyperTransport moves the MD
+// dataset at ~850 MB/s although the worksheet documents 500 MB/s, so
+// the measured alpha exceeds 1 — reproducing the one case study where
+// RAT's communication prediction was pessimistic.
+func TestXD1000BeatsDocumentedBandwidth(t *testing.T) {
+	ic := platform.XtremeDataXD1000().Interconnect
+	a := ic.MeasureAlpha(platform.Write, 589824)
+	if a <= 1 {
+		t.Errorf("alpha_write(MD dataset) = %.3f, want > 1 (conservative documented bandwidth)", a)
+	}
+	// Whole-dataset round trip lands on the paper's measured 1.39e-3 s.
+	total := ic.TransferTime(platform.Write, 589824, false) +
+		ic.TransferTime(platform.Read, 589824, false)
+	if math.Abs(total.Seconds()-1.39e-3) > 2e-5 {
+		t.Errorf("MD round-trip comm = %.4e s, want ~1.39e-3", total.Seconds())
+	}
+}
+
+func TestTransferTimeBasics(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	if got := ic.TransferTime(platform.Write, 0, false); got != 0 {
+		t.Errorf("zero-byte transfer = %v, want 0", got)
+	}
+	// Monotone in size.
+	prev := sim.Time(0)
+	for _, b := range []int64{1, 64, 2048, 65536, 1 << 20} {
+		cur := ic.TransferTime(platform.Write, b, false)
+		if cur <= prev {
+			t.Errorf("transfer time not increasing at %d bytes", b)
+		}
+		prev = cur
+	}
+	// Back-to-back costs strictly more.
+	single := ic.TransferTime(platform.Write, 2048, false)
+	btb := ic.TransferTime(platform.Write, 2048, true)
+	if btb <= single {
+		t.Errorf("back-to-back %v must exceed isolated %v", btb, single)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size must panic")
+		}
+	}()
+	ic.TransferTime(platform.Read, -1, false)
+}
+
+func TestMeasureAlphaPanicsOnBadSize(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	defer func() {
+		if recover() == nil {
+			t.Error("MeasureAlpha(0) must panic")
+		}
+	}()
+	ic.MeasureAlpha(platform.Read, 0)
+}
+
+// TestAlphaTable: tabulating over a range of sizes, as Section 4.2
+// recommends, shows the write alpha improving with size and the read
+// alpha peaking then collapsing.
+func TestAlphaTable(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	sizes := []int64{256, 2048, 16384, 262144}
+	wr := ic.AlphaTable(platform.Write, sizes)
+	if len(wr) != len(sizes) {
+		t.Fatalf("table rows = %d", len(wr))
+	}
+	for i := 1; i < len(wr); i++ {
+		if wr[i].Alpha <= wr[i-1].Alpha {
+			t.Errorf("write alpha should improve with size: %+v", wr)
+		}
+	}
+	rd := ic.AlphaTable(platform.Read, sizes)
+	if !(rd[1].Alpha > rd[0].Alpha && rd[3].Alpha < rd[1].Alpha) {
+		t.Errorf("read alpha should peak mid-size then collapse: %+v", rd)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"nallatech", "h101", "Nallatech H101-PCIXM"} {
+		if p, ok := platform.ByName(name); !ok || p.Device.Name != "Virtex-4 LX100" {
+			t.Errorf("ByName(%q) = %v, %v", name, p.Name, ok)
+		}
+	}
+	for _, name := range []string{"xd1000", "xtremedata"} {
+		if p, ok := platform.ByName(name); !ok || p.Device.Name != "Stratix-II EP2S180" {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := platform.ByName("nonexistent"); ok {
+		t.Error("ByName accepted an unknown platform")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if platform.Write.String() != "write" || platform.Read.String() != "read" {
+		t.Error("Direction strings wrong")
+	}
+}
+
+func TestClockBracket(t *testing.T) {
+	p := platform.NallatechH101()
+	if p.MinClockHz != 75e6 || p.MaxClockHz != 150e6 {
+		t.Errorf("clock bracket [%g, %g]", p.MinClockHz, p.MaxClockHz)
+	}
+	c := p.Clock(150e6)
+	if c.Cycles(150e6) != sim.Second {
+		t.Error("Clock conversion wrong")
+	}
+}
+
+// TestRateCurveInterpolation: a size between anchors interpolates
+// between their rates, staying within the bracket.
+func TestRateCurveInterpolation(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	mid := int64(23170) // ~geometric mean of 2048 and 262144
+	tMid := ic.TransferTime(platform.Read, mid, false).Seconds()
+	rate := float64(mid) / (tMid - 2.56e-6)
+	if rate <= 25e6 || rate >= 200e6 {
+		t.Errorf("interpolated rate %.3g outside (25e6, 200e6)", rate)
+	}
+	// Geometric midpoint in log space lands near the arithmetic
+	// mean of the two anchor rates.
+	if math.Abs(rate-112.5e6) > 5e6 {
+		t.Errorf("log-space midpoint rate = %.3g, want ~112.5e6", rate)
+	}
+}

@@ -1,0 +1,129 @@
+package platform
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Section 4.2: "In general, the microbenchmark is performed on an FPGA
+// over a wide range of possible data sizes. The resulting alpha values
+// can be tabulated and used in future RAT analyses for that FPGA
+// platform." This file makes that tabulation a durable artifact: save
+// a measured table to a file, load it later, and rebuild an
+// interconnect model from it — so a platform characterized once (on
+// real hardware or a simulation) can feed every future worksheet at
+// the right transfer size.
+//
+// The file format is line-oriented: '#' comments, then one line per
+// size: "<bytes> <alpha_write> <alpha_read>", ascending in bytes.
+
+// TablePoint is one measured row of the tabulation.
+type TablePoint struct {
+	Bytes      int64
+	AlphaWrite float64
+	AlphaRead  float64
+}
+
+// ErrBadTable tags malformed alpha-table input.
+var ErrBadTable = errors.New("platform: invalid alpha table")
+
+// SaveAlphaTable runs the microbenchmark at each size and writes the
+// tabulation.
+func SaveAlphaTable(w io.Writer, ic Interconnect, sizes []int64) error {
+	if len(sizes) == 0 {
+		return fmt.Errorf("%w: no sizes to measure", ErrBadTable)
+	}
+	if _, err := fmt.Fprintf(w, "# alpha table: %s (ideal %g MB/s)\n# bytes alpha_write alpha_read\n",
+		ic.Name, ic.IdealBps/1e6); err != nil {
+		return err
+	}
+	sorted := make([]int64, len(sizes))
+	copy(sorted, sizes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, s := range sorted {
+		if _, err := fmt.Fprintf(w, "%d %.6f %.6f\n",
+			s, ic.MeasureAlpha(Write, s), ic.MeasureAlpha(Read, s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadAlphaTable parses a tabulation file.
+func LoadAlphaTable(r io.Reader) ([]TablePoint, error) {
+	var pts []TablePoint
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want 'bytes alpha_write alpha_read', got %q", ErrBadTable, line, text)
+		}
+		b, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || b <= 0 {
+			return nil, fmt.Errorf("%w: line %d: bad size %q", ErrBadTable, line, fields[0])
+		}
+		aw, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || aw <= 0 {
+			return nil, fmt.Errorf("%w: line %d: bad alpha_write %q", ErrBadTable, line, fields[1])
+		}
+		ar, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || ar <= 0 {
+			return nil, fmt.Errorf("%w: line %d: bad alpha_read %q", ErrBadTable, line, fields[2])
+		}
+		if n := len(pts); n > 0 && b <= pts[n-1].Bytes {
+			return nil, fmt.Errorf("%w: line %d: sizes must ascend (%d after %d)", ErrBadTable, line, b, pts[n-1].Bytes)
+		}
+		pts = append(pts, TablePoint{Bytes: b, AlphaWrite: aw, AlphaRead: ar})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("%w: no data rows", ErrBadTable)
+	}
+	return pts, nil
+}
+
+// InterconnectFromTable rebuilds an interconnect model from a measured
+// tabulation: each direction's sustained-rate curve is anchored at the
+// measured sizes with rate = alpha x ideal, and no separate setup term
+// (the setup cost is already folded into the measured alphas at each
+// size). Re-measuring the returned model at a tabulated size
+// reproduces the table's alpha exactly.
+func InterconnectFromTable(name string, idealBps float64, pts []TablePoint) (Interconnect, error) {
+	if idealBps <= 0 {
+		return Interconnect{}, fmt.Errorf("%w: ideal bandwidth must be positive", ErrBadTable)
+	}
+	if len(pts) == 0 {
+		return Interconnect{}, fmt.Errorf("%w: empty table", ErrBadTable)
+	}
+	var wr, rr []RatePoint
+	for i, p := range pts {
+		if i > 0 && p.Bytes <= pts[i-1].Bytes {
+			return Interconnect{}, fmt.Errorf("%w: sizes must ascend", ErrBadTable)
+		}
+		if p.AlphaWrite <= 0 || p.AlphaRead <= 0 {
+			return Interconnect{}, fmt.Errorf("%w: alphas must be positive", ErrBadTable)
+		}
+		wr = append(wr, RatePoint{Bytes: p.Bytes, Bps: p.AlphaWrite * idealBps})
+		rr = append(rr, RatePoint{Bytes: p.Bytes, Bps: p.AlphaRead * idealBps})
+	}
+	return Interconnect{
+		Name:      name,
+		IdealBps:  idealBps,
+		WriteLink: Link{Rate: wr},
+		ReadLink:  Link{Rate: rr},
+	}, nil
+}

@@ -1,0 +1,135 @@
+package platform_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/platform"
+)
+
+func TestAlphaTableSaveLoadRoundTrip(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	sizes := []int64{262144, 2048, 16384} // deliberately unsorted
+	var buf bytes.Buffer
+	if err := platform.SaveAlphaTable(&buf, ic, sizes); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := platform.LoadAlphaTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("rows = %d", len(pts))
+	}
+	// Saved ascending regardless of input order.
+	if pts[0].Bytes != 2048 || pts[2].Bytes != 262144 {
+		t.Errorf("rows not ascending: %+v", pts)
+	}
+	// Values match direct measurement.
+	for _, p := range pts {
+		if math.Abs(p.AlphaWrite-ic.MeasureAlpha(platform.Write, p.Bytes)) > 1e-6 {
+			t.Errorf("alpha_write at %d differs", p.Bytes)
+		}
+		if math.Abs(p.AlphaRead-ic.MeasureAlpha(platform.Read, p.Bytes)) > 1e-6 {
+			t.Errorf("alpha_read at %d differs", p.Bytes)
+		}
+	}
+}
+
+// TestInterconnectFromTableReproducesMeasurements: characterizing a
+// platform once and rebuilding the model from the table reproduces the
+// measured alphas exactly at the tabulated sizes.
+func TestInterconnectFromTableReproducesMeasurements(t *testing.T) {
+	real := platform.NallatechH101().Interconnect
+	sizes := []int64{512, 2048, 16384, 262144}
+	var buf bytes.Buffer
+	if err := platform.SaveAlphaTable(&buf, real, sizes); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := platform.LoadAlphaTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := platform.InterconnectFromTable("rebuilt", real.IdealBps, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sizes {
+		for _, d := range []platform.Direction{platform.Write, platform.Read} {
+			want := real.MeasureAlpha(d, s)
+			got := rebuilt.MeasureAlpha(d, s)
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("%v at %d: rebuilt alpha %.6f, measured %.6f", d, s, got, want)
+			}
+		}
+	}
+	// And a RAT prediction using the rebuilt model's 256 KB alpha
+	// lands on the real platform's transfer time at that size.
+	// The file stores six decimals of alpha, bounding agreement at
+	// ~1e-5 relative.
+	tReal := real.TransferTime(platform.Read, 262144, false).Seconds()
+	tRebuilt := rebuilt.TransferTime(platform.Read, 262144, false).Seconds()
+	if math.Abs(tReal-tRebuilt) > 1e-4*tReal {
+		t.Errorf("256 KB read: real %.6e, rebuilt %.6e", tReal, tRebuilt)
+	}
+}
+
+func TestLoadAlphaTableErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", "# just comments\n"},
+		{"short row", "2048 0.37\n"},
+		{"bad size", "fast 0.37 0.16\n"},
+		{"zero size", "0 0.37 0.16\n"},
+		{"bad alpha", "2048 nope 0.16\n"},
+		{"zero alpha", "2048 0.37 0\n"},
+		{"descending", "2048 0.37 0.16\n1024 0.3 0.1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := platform.LoadAlphaTable(strings.NewReader(tc.text)); !errors.Is(err, platform.ErrBadTable) {
+				t.Errorf("error = %v, want ErrBadTable", err)
+			}
+		})
+	}
+}
+
+func TestInterconnectFromTableErrors(t *testing.T) {
+	good := []platform.TablePoint{{Bytes: 1024, AlphaWrite: 0.4, AlphaRead: 0.2}}
+	if _, err := platform.InterconnectFromTable("x", 0, good); !errors.Is(err, platform.ErrBadTable) {
+		t.Error("zero ideal accepted")
+	}
+	if _, err := platform.InterconnectFromTable("x", 1e9, nil); !errors.Is(err, platform.ErrBadTable) {
+		t.Error("empty table accepted")
+	}
+	bad := []platform.TablePoint{
+		{Bytes: 2048, AlphaWrite: 0.4, AlphaRead: 0.2},
+		{Bytes: 1024, AlphaWrite: 0.4, AlphaRead: 0.2},
+	}
+	if _, err := platform.InterconnectFromTable("x", 1e9, bad); !errors.Is(err, platform.ErrBadTable) {
+		t.Error("descending table accepted")
+	}
+	neg := []platform.TablePoint{{Bytes: 1024, AlphaWrite: -1, AlphaRead: 0.2}}
+	if _, err := platform.InterconnectFromTable("x", 1e9, neg); !errors.Is(err, platform.ErrBadTable) {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestSaveAlphaTableErrors(t *testing.T) {
+	ic := platform.NallatechH101().Interconnect
+	if err := platform.SaveAlphaTable(&bytes.Buffer{}, ic, nil); !errors.Is(err, platform.ErrBadTable) {
+		t.Error("empty sizes accepted")
+	}
+	if err := platform.SaveAlphaTable(failWriter{}, ic, []int64{1024}); err == nil {
+		t.Error("writer error swallowed")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("closed") }

@@ -1,0 +1,106 @@
+// Package power adds the third leg of the paper's opening requirement
+// triad — "it is critical to consider whether the chosen application
+// architecture and FPGA platform will meet the speed, area, and power
+// requirements of the project" (Section 1) — with the same
+// first-order, pre-design character as the resource test. The paper's
+// own motivation for power is the embedded community, for whom an
+// FPGA that merely *matches* a CPU wins by burning far less energy;
+// this package quantifies that comparison.
+//
+// The model is deliberately coarse, like every pre-HDL estimate in the
+// methodology: a per-device static floor plus dynamic power
+// proportional to clock frequency and the number of active resources
+// of each class, with computation utilization scaling the activity.
+// Coefficients are first-order figures for the 90 nm parts of the case
+// studies; register a Model of your own for other families.
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/chrec/rat/internal/resource"
+)
+
+// Model holds a device family's power coefficients.
+type Model struct {
+	// StaticW is the idle (leakage + clocking) floor in watts.
+	StaticW float64
+	// Dynamic coefficients, in watts per MHz per active unit.
+	LogicWPerMHz float64 // per logic cell
+	DSPWPerMHz   float64 // per DSP unit
+	BRAMWPerMHz  float64 // per block RAM
+}
+
+// ErrNoModel is returned for devices without registered coefficients.
+var ErrNoModel = errors.New("power: no model for device family")
+
+// ForDevice returns the power model for a device's family. First-order
+// 90 nm figures: Virtex-4 and Stratix-II leak a few watts and spend
+// on the order of microwatts per MHz per active cell.
+func ForDevice(dev resource.Device) (Model, error) {
+	switch dev.Family {
+	case "Virtex-4":
+		return Model{
+			StaticW:      1.5,
+			LogicWPerMHz: 1.1e-6, // per slice
+			DSPWPerMHz:   2.3e-5, // per DSP48
+			BRAMWPerMHz:  8.0e-5, // per 18 kbit block
+		}, nil
+	case "Stratix-II":
+		return Model{
+			StaticW:      2.2,
+			LogicWPerMHz: 0.6e-6, // per ALUT
+			DSPWPerMHz:   0.4e-5, // per 9-bit element
+			BRAMWPerMHz:  6.0e-5, // per normalized block
+		}, nil
+	default:
+		return Model{}, fmt.Errorf("%w %q", ErrNoModel, dev.Family)
+	}
+}
+
+// Estimate returns the design's mean power draw in watts: the static
+// floor plus dynamic power for the occupied resources at the given
+// clock, scaled by the fraction of time the kernel is actually
+// computing (the throughput test's computation utilization — an idle
+// datapath burns only leakage).
+func Estimate(m Model, demand resource.Demand, clockHz, utilComp float64) (float64, error) {
+	if clockHz <= 0 {
+		return 0, fmt.Errorf("power: clock must be positive (got %g)", clockHz)
+	}
+	if utilComp < 0 || utilComp > 1 {
+		return 0, fmt.Errorf("power: computation utilization must be in [0, 1] (got %g)", utilComp)
+	}
+	mhz := clockHz / 1e6
+	dynamic := mhz * (float64(demand.Logic)*m.LogicWPerMHz +
+		float64(demand.DSP)*m.DSPWPerMHz +
+		float64(demand.BRAM)*m.BRAMWPerMHz)
+	return m.StaticW + dynamic*utilComp, nil
+}
+
+// Comparison is an FPGA-vs-CPU energy comparison for one application
+// run.
+type Comparison struct {
+	// FPGAJoules = FPGA watts x t_RC; CPUJoules = CPU watts x t_soft.
+	FPGAJoules float64
+	CPUJoules  float64
+	// EnergyRatio is CPUJoules / FPGAJoules: how many times less
+	// energy the FPGA run costs. With speedup S and power ratio R
+	// (CPU/FPGA), the ratio is S x R — which is why even a
+	// speedup-neutral migration can win for embedded deployments.
+	EnergyRatio float64
+}
+
+// CompareEnergy evaluates the embedded-community question of Section
+// 1: the total energy of the FPGA run against the CPU baseline run.
+func CompareEnergy(fpgaWatts, tRC, cpuWatts, tSoft float64) (Comparison, error) {
+	if fpgaWatts <= 0 || cpuWatts <= 0 || tRC <= 0 || tSoft <= 0 {
+		return Comparison{}, fmt.Errorf("power: all comparison inputs must be positive")
+	}
+	c := Comparison{
+		FPGAJoules: fpgaWatts * tRC,
+		CPUJoules:  cpuWatts * tSoft,
+	}
+	c.EnergyRatio = c.CPUJoules / c.FPGAJoules
+	return c, nil
+}

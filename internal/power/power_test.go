@@ -1,0 +1,118 @@
+package power_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/power"
+	"github.com/chrec/rat/internal/resource"
+)
+
+func TestForDevice(t *testing.T) {
+	if _, err := power.ForDevice(resource.VirtexLX100); err != nil {
+		t.Errorf("Virtex-4: %v", err)
+	}
+	if _, err := power.ForDevice(resource.StratixEP2S180); err != nil {
+		t.Errorf("Stratix-II: %v", err)
+	}
+	unknown := resource.Device{Family: "Spartan-3"}
+	if _, err := power.ForDevice(unknown); !errors.Is(err, power.ErrNoModel) {
+		t.Errorf("unknown family: %v", err)
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	m, err := power.ForDevice(resource.VirtexLX100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := resource.Demand{Logic: 6800, DSP: 8, BRAM: 25}
+	idle, err := power.Estimate(m, demand, core.MHz(150), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle != m.StaticW {
+		t.Errorf("zero-utilization power = %g, want static floor %g", idle, m.StaticW)
+	}
+	busy, err := power.Estimate(m, demand, core.MHz(150), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy <= idle {
+		t.Error("active power must exceed the static floor")
+	}
+	// A modest 90 nm design: single-digit watts.
+	if busy < 1.5 || busy > 15 {
+		t.Errorf("1-D PDF-scale power = %.2f W, expected single digits", busy)
+	}
+	// Power scales with clock.
+	slow, _ := power.Estimate(m, demand, core.MHz(75), 1)
+	if slow >= busy {
+		t.Error("dynamic power must grow with clock")
+	}
+	// Utilization scales only the dynamic part.
+	half, _ := power.Estimate(m, demand, core.MHz(150), 0.5)
+	if math.Abs(half-(idle+(busy-idle)/2)) > 1e-12 {
+		t.Errorf("half utilization = %g, want midpoint of %g and %g", half, idle, busy)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m, _ := power.ForDevice(resource.VirtexLX100)
+	if _, err := power.Estimate(m, resource.Demand{}, 0, 0.5); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := power.Estimate(m, resource.Demand{}, 1e6, 1.5); err == nil {
+		t.Error("utilization above 1 accepted")
+	}
+	if _, err := power.Estimate(m, resource.Demand{}, 1e6, -0.1); err == nil {
+		t.Error("negative utilization accepted")
+	}
+}
+
+// TestEmbeddedEnergyArgument: the Section 1 scenario — even at a
+// modest speedup, the FPGA run wins on energy by a wide margin against
+// a ~100 W server CPU.
+func TestEmbeddedEnergyArgument(t *testing.T) {
+	params := paper.PDF1DParams()
+	pr := core.MustPredict(params)
+	m, err := power.ForDevice(resource.VirtexLX100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand, err := pdf1d.Design().ResourceDemand(resource.VirtexLX100, pdf1d.BatchElements, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpgaW, err := power.Estimate(m, demand, params.Comp.ClockHz, pr.UtilCompSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const xeonW = 103 // 3.2 GHz Xeon-era TDP
+	cmp, err := power.CompareEnergy(fpgaW, pr.TRCSingle, xeonW, params.Soft.TSoft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.EnergyRatio < 50 {
+		t.Errorf("energy ratio = %.0f, expected a decisive FPGA win", cmp.EnergyRatio)
+	}
+	// Identity: ratio = speedup x power ratio.
+	want := pr.SpeedupSingle * (xeonW / fpgaW)
+	if math.Abs(cmp.EnergyRatio-want) > 1e-9*want {
+		t.Errorf("ratio %.2f != speedup x power ratio %.2f", cmp.EnergyRatio, want)
+	}
+}
+
+func TestCompareEnergyErrors(t *testing.T) {
+	for _, bad := range [][4]float64{
+		{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0},
+	} {
+		if _, err := power.CompareEnergy(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("inputs %v accepted", bad)
+		}
+	}
+}

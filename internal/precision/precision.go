@@ -1,0 +1,209 @@
+// Package precision implements the RAT numerical-precision test
+// (Section 3.2 of the paper): given candidate number formats for a
+// kernel, measure each candidate's error against a floating-point
+// reference, check it against the application's tolerance, and pick
+// the format that spends the least hardware — the procedure behind the
+// 1-D PDF study's choice of 18-bit fixed point ("the maximum error
+// percentage was only ~2% ... 18-bit fixed point was chosen so that
+// only one Xilinx 18x18 multiply-accumulate unit would be needed per
+// multiplication. Though slightly smaller bitwidths would have also
+// possessed reasonable error constraints, no performance gains or
+// appreciable resource savings would have been achieved.").
+//
+// The package does not invent a formal error calculus — the paper
+// explicitly scopes formal methods out of RAT and defers to the
+// bit-width literature — but it provides the practical pieces: worst-
+// case quantization bounds for sanity checks, empirical kernel-error
+// measurement hooks, a minimum-width search, and the cost-aware
+// recommendation rule.
+package precision
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/chrec/rat/internal/fixed"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// QuantizationBound returns the worst-case error of quantizing one
+// in-range value into format f under the given rounding mode: one
+// quantization step for truncation, half a step for the nearest modes.
+func QuantizationBound(f fixed.Format, rm fixed.RoundMode) float64 {
+	if rm == fixed.Truncate {
+		return f.Eps()
+	}
+	return f.Eps() / 2
+}
+
+// AccumulationBound returns a worst-case bound on the error of summing
+// n values each carrying at most QuantizationBound of input error:
+// the per-term bounds add linearly. Truncation's one-sided error makes
+// this bound tight in practice; nearest rounding typically does far
+// better (random-walk growth), which is exactly why measured errors
+// beat analytic bounds and the paper prefers empirical evaluation.
+func AccumulationBound(f fixed.Format, rm fixed.RoundMode, n int) float64 {
+	return float64(n) * QuantizationBound(f, rm)
+}
+
+// Candidate is one number-format option in a trade study: a label
+// ("18-bit fixed"), the measured maximum error of the kernel under
+// that format, and the per-multiplication resource cost on the target
+// device.
+type Candidate struct {
+	Label    string
+	Width    int // datapath bits; 0 for floating point
+	MaxError float64
+	MulCost  resource.Demand
+}
+
+// ErrUnrealizable is returned when no candidate meets the error
+// tolerance — the "minimum precision unrealizable" exit arc of the
+// Figure 1 methodology flow.
+var ErrUnrealizable = errors.New("precision: no candidate meets the error tolerance")
+
+// costRank orders demands by the paper's criterion: dedicated
+// multiplier units first (the scarce, scalability-limiting resource),
+// then memory, then logic.
+func costRank(d resource.Demand) [3]int {
+	return [3]int{d.DSP, d.BRAM, d.Logic}
+}
+
+func lessCost(a, b resource.Demand) bool {
+	ra, rb := costRank(a), costRank(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return ra[i] < rb[i]
+		}
+	}
+	return false
+}
+
+// Recommend applies the Section 4.2 decision rule to a slate of
+// candidates: discard those whose measured error exceeds tol; among
+// the survivors find the cheapest resource cost; among equally cheap
+// survivors prefer the widest datapath (extra precision that costs
+// nothing). It returns the chosen candidate and a human-readable
+// justification trail.
+func Recommend(cands []Candidate, tol float64) (Candidate, []string, error) {
+	if tol <= 0 {
+		return Candidate{}, nil, fmt.Errorf("precision: tolerance must be positive (got %g)", tol)
+	}
+	var notes []string
+	var qualifying []Candidate
+	for _, c := range cands {
+		if c.MaxError <= tol {
+			qualifying = append(qualifying, c)
+		} else {
+			notes = append(notes, fmt.Sprintf("%s rejected: max error %.3g exceeds tolerance %.3g", c.Label, c.MaxError, tol))
+		}
+	}
+	if len(qualifying) == 0 {
+		return Candidate{}, notes, fmt.Errorf("%w (tolerance %.3g, %d candidates)", ErrUnrealizable, tol, len(cands))
+	}
+	best := qualifying[0]
+	for _, c := range qualifying[1:] {
+		switch {
+		case lessCost(c.MulCost, best.MulCost):
+			best = c
+		case !lessCost(best.MulCost, c.MulCost) && c.Width > best.Width:
+			// Equal cost: take the wider datapath.
+			best = c
+		}
+	}
+	notes = append(notes, fmt.Sprintf("%s chosen: max error %.3g within tolerance %.3g at minimum multiplier cost (%d DSP units per multiply)",
+		best.Label, best.MaxError, tol, best.MulCost.DSP))
+	for _, c := range qualifying {
+		if c.Label != best.Label && c.Width < best.Width {
+			notes = append(notes, fmt.Sprintf("%s offers no resource savings over %s", c.Label, best.Label))
+		}
+	}
+	return best, notes, nil
+}
+
+// MinWidth searches [lo, hi] for the smallest datapath width whose
+// measured error meets tol, assuming error is non-increasing in width
+// (binary search; the assumption holds for quantization- and
+// table-limited kernels). eval returns the kernel's maximum error at a
+// width. It returns ErrUnrealizable when even hi misses the tolerance.
+func MinWidth(eval func(width int) (float64, error), lo, hi int, tol float64) (int, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("precision: empty width range [%d, %d]", lo, hi)
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("precision: tolerance must be positive (got %g)", tol)
+	}
+	eHi, err := eval(hi)
+	if err != nil {
+		return 0, err
+	}
+	if eHi > tol {
+		return 0, fmt.Errorf("%w: error %.3g at the widest format (%d bits)", ErrUnrealizable, eHi, hi)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		e, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
+		if e <= tol {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// FixedCandidate builds a Candidate for a fixed-point width on a
+// device, measuring the kernel error with eval and pricing one WxW
+// multiply via the device cost model.
+func FixedCandidate(dev resource.Device, width int, eval func(width int) (float64, error)) (Candidate, error) {
+	e, err := eval(width)
+	if err != nil {
+		return Candidate{}, err
+	}
+	cost, err := resource.OperatorCost(dev, resource.OpMul, width)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return Candidate{
+		Label:    fmt.Sprintf("%d-bit fixed", width),
+		Width:    width,
+		MaxError: e,
+		MulCost:  cost,
+	}, nil
+}
+
+// Float32Candidate builds the floating-point comparison row: a
+// single-precision multiply on these families occupies several DSP
+// units (the 24-bit mantissa product) plus normalization logic, priced
+// by the device cost model's OpFMul class.
+func Float32Candidate(dev resource.Device, maxError float64) Candidate {
+	cost, err := resource.OperatorCost(dev, resource.OpFMul, 32)
+	if err != nil {
+		panic(err) // 32 is always in range
+	}
+	return Candidate{Label: "32-bit float", Width: 0, MaxError: maxError, MulCost: cost}
+}
+
+// RelativeError is a convenience for eval hooks: the maximum absolute
+// deviation of got from ref, normalized by the largest |ref| value.
+func RelativeError(ref, got []float64) float64 {
+	var peak, worst float64
+	for _, v := range ref {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / peak
+}

@@ -1,0 +1,223 @@
+package precision_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/fixed"
+	"github.com/chrec/rat/internal/precision"
+	"github.com/chrec/rat/internal/resource"
+)
+
+func TestQuantizationBounds(t *testing.T) {
+	f := fixed.Q(2, 16)
+	if got := precision.QuantizationBound(f, fixed.Truncate); got != f.Eps() {
+		t.Errorf("truncate bound = %g, want eps", got)
+	}
+	if got := precision.QuantizationBound(f, fixed.Nearest); got != f.Eps()/2 {
+		t.Errorf("nearest bound = %g, want eps/2", got)
+	}
+	if got := precision.AccumulationBound(f, fixed.Truncate, 100); got != 100*f.Eps() {
+		t.Errorf("accumulation bound = %g", got)
+	}
+	// The bounds are real bounds: quantize many values and check.
+	for i := 0; i < 1000; i++ {
+		x := -1.9 + 3.8*float64(i)/999
+		v, _ := fixed.FromFloat(x, f, fixed.Nearest, fixed.Saturate)
+		if e := math.Abs(v.Float() - x); e > precision.QuantizationBound(f, fixed.Nearest)+1e-18 {
+			t.Fatalf("error %g exceeds bound at %g", e, x)
+		}
+	}
+}
+
+// pdf1dEval builds the kernel-error hook the trade study uses: the 1-D
+// PDF estimate at a given datapath width against the float64 reference.
+func pdf1dEval(t *testing.T) (func(int) (float64, error), []float64) {
+	t.Helper()
+	samples := pdf1d.GenerateSamples(4096, 3)
+	bins := pdf1d.BinCenters(pdf1d.Bins)
+	p := pdf1d.DefaultParams()
+	ref := pdf1d.EstimateFloat(samples, bins, p)
+	return func(width int) (float64, error) {
+		cfg, err := pdf1d.ConfigForWidth(width)
+		if err != nil {
+			return 0, err
+		}
+		got := pdf1d.EstimateFixed(samples, bins, p, cfg)
+		return precision.RelativeError(ref, got), nil
+	}, ref
+}
+
+// TestTradeStudyReproducesSection42: the 18/32-bit fixed and 32-bit
+// float comparison of the walkthrough, ending in the paper's decision:
+// 18-bit fixed, because it meets the ~2-3% tolerance with one MAC unit
+// per multiply and narrower widths save nothing.
+func TestTradeStudyReproducesSection42(t *testing.T) {
+	eval, _ := pdf1dEval(t)
+	dev := resource.VirtexLX100
+
+	c18, err := precision.FixedCandidate(dev, 18, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, err := precision.FixedCandidate(dev, 16, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c32, err := precision.FixedCandidate(dev, 32, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFloat := precision.Float32Candidate(dev, 1e-6)
+
+	if c18.MulCost.DSP != 1 {
+		t.Errorf("18-bit multiply costs %d DSPs, want 1", c18.MulCost.DSP)
+	}
+	if c32.MulCost.DSP != 2 {
+		t.Errorf("32-bit multiply costs %d DSPs, want 2 (the paper's Virtex-4 rule)", c32.MulCost.DSP)
+	}
+	if c18.MaxError < 0.005 || c18.MaxError > 0.04 {
+		t.Errorf("18-bit error = %.4f, want ~0.02", c18.MaxError)
+	}
+
+	tol := 0.03
+	chosen, notes, err := precision.Recommend([]precision.Candidate{c16, c18, c32, cFloat}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Label != "18-bit fixed" {
+		t.Errorf("chose %q, the paper chose 18-bit fixed\nnotes: %v", chosen.Label, notes)
+	}
+	if len(notes) == 0 {
+		t.Error("recommendation must explain itself")
+	}
+}
+
+func TestRecommendUnrealizable(t *testing.T) {
+	cands := []precision.Candidate{
+		{Label: "8-bit", Width: 8, MaxError: 0.5, MulCost: resource.Demand{DSP: 1}},
+	}
+	_, notes, err := precision.Recommend(cands, 0.01)
+	if !errors.Is(err, precision.ErrUnrealizable) {
+		t.Errorf("error = %v, want ErrUnrealizable", err)
+	}
+	if len(notes) != 1 {
+		t.Errorf("expected a rejection note, got %v", notes)
+	}
+	if _, _, err := precision.Recommend(cands, 0); err == nil || errors.Is(err, precision.ErrUnrealizable) {
+		t.Errorf("zero tolerance must be an argument error, got %v", err)
+	}
+}
+
+func TestRecommendPrefersWiderAtEqualCost(t *testing.T) {
+	cands := []precision.Candidate{
+		{Label: "14-bit", Width: 14, MaxError: 0.02, MulCost: resource.Demand{DSP: 1}},
+		{Label: "18-bit", Width: 18, MaxError: 0.01, MulCost: resource.Demand{DSP: 1}},
+		{Label: "32-bit", Width: 32, MaxError: 0.001, MulCost: resource.Demand{DSP: 2}},
+	}
+	chosen, _, err := precision.Recommend(cands, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Label != "18-bit" {
+		t.Errorf("chose %q, want the widest minimum-cost candidate (18-bit)", chosen.Label)
+	}
+}
+
+func TestRecommendCostOrdering(t *testing.T) {
+	// DSP dominates, then BRAM, then logic.
+	cands := []precision.Candidate{
+		{Label: "a", Width: 20, MaxError: 0.01, MulCost: resource.Demand{DSP: 2, Logic: 0}},
+		{Label: "b", Width: 16, MaxError: 0.01, MulCost: resource.Demand{DSP: 1, Logic: 9999}},
+	}
+	chosen, _, err := precision.Recommend(cands, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Label != "b" {
+		t.Errorf("chose %q; DSP count must outrank logic", chosen.Label)
+	}
+}
+
+// TestMinWidthSearch: binary search over the pdf1d kernel finds the
+// smallest width meeting a 2% tolerance — the boundary sits where the
+// Gaussian table gains address bits (between 16 and 18 bits) — and the
+// next narrower width misses it.
+func TestMinWidthSearch(t *testing.T) {
+	eval, _ := pdf1dEval(t)
+	tol := 0.02
+	w, err := precision.MinWidth(eval, 10, 32, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 16 || w > 18 {
+		t.Errorf("minimum width = %d, expected in [16, 18]", w)
+	}
+	below, err := eval(w - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below <= tol {
+		t.Errorf("width %d also meets tolerance (%.4f); search missed the minimum", w-1, below)
+	}
+	at, err := eval(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at > tol {
+		t.Errorf("returned width %d misses tolerance: %.4f", w, at)
+	}
+}
+
+func TestMinWidthUnrealizable(t *testing.T) {
+	eval := func(int) (float64, error) { return 0.5, nil }
+	if _, err := precision.MinWidth(eval, 10, 32, 0.01); !errors.Is(err, precision.ErrUnrealizable) {
+		t.Errorf("error = %v, want ErrUnrealizable", err)
+	}
+	if _, err := precision.MinWidth(eval, 20, 10, 0.01); err == nil {
+		t.Error("empty range must error")
+	}
+	if _, err := precision.MinWidth(eval, 10, 32, 0); err == nil {
+		t.Error("zero tolerance must error")
+	}
+	boom := func(int) (float64, error) { return 0, errors.New("kernel exploded") }
+	if _, err := precision.MinWidth(boom, 10, 32, 0.5); err == nil {
+		t.Error("eval errors must propagate")
+	}
+}
+
+func TestMinWidthPropagatesMidEvalErrors(t *testing.T) {
+	calls := 0
+	eval := func(w int) (float64, error) {
+		calls++
+		if calls > 1 {
+			return 0, errors.New("second call fails")
+		}
+		return 0, nil // hi qualifies
+	}
+	if _, err := precision.MinWidth(eval, 10, 32, 0.5); err == nil {
+		t.Error("mid-search eval errors must propagate")
+	}
+}
+
+func TestFixedCandidatePropagatesErrors(t *testing.T) {
+	bad := func(int) (float64, error) { return 0, errors.New("nope") }
+	if _, err := precision.FixedCandidate(resource.VirtexLX100, 18, bad); err == nil {
+		t.Error("eval error must propagate")
+	}
+	ok := func(int) (float64, error) { return 0.01, nil }
+	if _, err := precision.FixedCandidate(resource.VirtexLX100, 99, ok); err == nil {
+		t.Error("invalid width must error via the cost model")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := precision.RelativeError([]float64{0, 0}, []float64{0, 0}); got != 0 {
+		t.Errorf("zero ref = %g", got)
+	}
+	if got := precision.RelativeError([]float64{-4, 2}, []float64{-4.4, 2}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %g, want 0.1 (peak is |-4|)", got)
+	}
+}

@@ -1,0 +1,245 @@
+package rcsim
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// Multi-FPGA simulation, validating the core.PredictMulti extension
+// the way the single-device simulator validates Eqs. (1)-(11): each
+// iteration's block is split evenly across N devices, transfers
+// contend for the host channel(s), and the per-device kernels run in
+// parallel.
+//
+// The simulation deliberately includes what the analytic extension
+// abstracts away — each device's sub-block transfer pays its own setup
+// cost, so scattering a block across more devices inflates total
+// communication time. Comparing the two shows where the pencil-and-
+// paper model starts to mislead, exactly the kind of honest check RAT
+// exists to encourage.
+
+// MultiScenario is a Scenario fanned out over several devices.
+type MultiScenario struct {
+	Scenario
+	// Devices is the FPGA count; elements divide evenly across it.
+	Devices int
+	// Topology: SharedChannel serializes every transfer on one host
+	// link; IndependentChannels gives each device its own.
+	Topology core.Topology
+}
+
+// Validate extends Scenario validation with the fan-out fields.
+func (ms MultiScenario) Validate() error {
+	if err := ms.Scenario.Validate(); err != nil {
+		return err
+	}
+	if ms.Devices < 1 {
+		return fmt.Errorf("%w: device count must be >= 1 (got %d)", ErrBadScenario, ms.Devices)
+	}
+	if ms.Topology != core.SharedChannel && ms.Topology != core.IndependentChannels {
+		return fmt.Errorf("%w: unknown topology %v", ErrBadScenario, ms.Topology)
+	}
+	if ms.ElementsIn%ms.Devices != 0 || ms.ElementsOut%ms.Devices != 0 {
+		return fmt.Errorf("%w: %d/%d elements do not divide across %d devices",
+			ErrBadScenario, ms.ElementsIn, ms.ElementsOut, ms.Devices)
+	}
+	return nil
+}
+
+// RunMulti executes the fanned-out scenario. The returned
+// Measurement's WriteTotal/ReadTotal sum all sub-block transfers and
+// CompTotal sums all devices' kernel spans (with N devices computing
+// in parallel, CompTotal can exceed the wall-clock Total; TComm/TComp
+// remain per-iteration aggregates, matching how core.PredictMulti
+// defines its terms).
+func RunMulti(ms MultiScenario) (Measurement, error) {
+	if err := ms.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	var (
+		s     = sim.New()
+		ic    = ms.Platform.Interconnect
+		clock = ms.Platform.Clock(ms.ClockHz)
+		n     = ms.Iterations
+		nd    = ms.Devices
+
+		perDevIn  = int64(ms.ElementsIn/nd) * int64(ms.BytesPerElement)
+		perDevOut = int64(ms.ElementsOut/nd) * int64(ms.BytesPerElement)
+
+		m = Measurement{Scenario: ms.Scenario}
+	)
+
+	// One bus per device for independent channels, one shared.
+	buses := make([]*sim.Resource, nd)
+	shared := sim.NewResource(s, "interconnect")
+	for d := range buses {
+		if ms.Topology == core.IndependentChannels {
+			buses[d] = sim.NewResource(s, fmt.Sprintf("interconnect-%d", d))
+		} else {
+			buses[d] = shared
+		}
+	}
+
+	type state struct {
+		writeStarted, writeDone []bool
+		compStarted, compDone   []bool
+		readStarted, readDone   []bool
+	}
+	devs := make([]state, nd)
+	for d := range devs {
+		devs[d] = state{
+			writeStarted: make([]bool, n), writeDone: make([]bool, n),
+			compStarted: make([]bool, n), compDone: make([]bool, n),
+			readStarted: make([]bool, n), readDone: make([]bool, n),
+		}
+	}
+
+	allReadsDone := func(i int) bool {
+		for d := range devs {
+			if !devs[d].readDone[i] {
+				return false
+			}
+		}
+		return true
+	}
+	allWritesDone := func(i int) bool {
+		for d := range devs {
+			if !devs[d].writeDone[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var tryWrite, tryCompute, tryRead func(d, i int)
+
+	writeReady := func(d, i int) bool {
+		if i == 0 {
+			return true
+		}
+		if ms.Buffering == core.DoubleBuffered {
+			return i < 2 || devs[d].compDone[i-2]
+		}
+		return allReadsDone(i - 1)
+	}
+
+	tryWrite = func(d, i int) {
+		st := &devs[d]
+		if i >= n || st.writeStarted[i] || !writeReady(d, i) {
+			return
+		}
+		st.writeStarted[i] = true
+		buses[d].Acquire(func() {
+			start := s.Now()
+			// A sub-block transfer is back-to-back unless it is the
+			// very first for its device.
+			dur := ic.TransferTime(platform.Write, perDevIn, i > 0 || d > 0)
+			s.Schedule(dur, func() {
+				ms.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				m.WriteTotal += s.Now() - start
+				buses[d].Release()
+				st.writeDone[i] = true
+				if ms.Buffering == core.SingleBuffered {
+					if allWritesDone(i) { // barrier reached: release every device
+						for dd := 0; dd < nd; dd++ {
+							tryCompute(dd, i)
+						}
+					}
+				} else {
+					tryCompute(d, i)
+					tryWrite(d, i+1)
+				}
+			})
+		})
+	}
+
+	tryCompute = func(d, i int) {
+		st := &devs[d]
+		if i >= n || st.compStarted[i] || !st.writeDone[i] {
+			return
+		}
+		// Single-buffered multi-device execution is a synchronous
+		// scatter / compute-all / gather: no device starts until the
+		// whole block is distributed, matching the analytic model's
+		// strictly serialized phases. Double buffering pipelines per
+		// device.
+		if ms.Buffering == core.SingleBuffered && !allWritesDone(i) {
+			return
+		}
+		if i > 0 && !st.compDone[i-1] {
+			return
+		}
+		st.compStarted[i] = true
+		start := s.Now()
+		cycles := ms.KernelCycles(i, ms.ElementsIn/nd)
+		if cycles < 0 {
+			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
+		}
+		m.KernelCyclesTotal += cycles
+		s.Schedule(clock.Cycles(cycles), func() {
+			ms.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			m.CompTotal += s.Now() - start
+			st.compDone[i] = true
+			tryRead(d, i)
+			tryCompute(d, i+1)
+			if ms.Buffering == core.DoubleBuffered {
+				tryWrite(d, i+2)
+			}
+		})
+	}
+
+	finishRead := func(d, i int) {
+		devs[d].readDone[i] = true
+		if ms.Buffering == core.SingleBuffered && allReadsDone(i) {
+			for dd := 0; dd < nd; dd++ {
+				tryWrite(dd, i+1)
+			}
+		}
+	}
+
+	tryRead = func(d, i int) {
+		st := &devs[d]
+		if st.readStarted[i] || !st.compDone[i] {
+			return
+		}
+		st.readStarted[i] = true
+		if perDevOut == 0 {
+			finishRead(d, i)
+			return
+		}
+		buses[d].Acquire(func() {
+			start := s.Now()
+			dur := ic.TransferTime(platform.Read, perDevOut, i > 0 || d > 0)
+			s.Schedule(dur, func() {
+				ms.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				m.ReadTotal += s.Now() - start
+				buses[d].Release()
+				finishRead(d, i)
+			})
+		})
+	}
+
+	for d := 0; d < nd; d++ {
+		tryWrite(d, 0)
+		if ms.Buffering == core.DoubleBuffered {
+			tryWrite(d, 1)
+		}
+	}
+	m.Total = s.Run()
+
+	for d := range devs {
+		for i := 0; i < n; i++ {
+			if !devs[d].readDone[i] {
+				return Measurement{}, fmt.Errorf("rcsim: multi scenario %q deadlocked at device %d iteration %d", ms.Name, d, i)
+			}
+		}
+	}
+	if ms.Trace != nil {
+		m.OverlapTotal = ms.Trace.Overlap()
+	}
+	return m, nil
+}

@@ -1,0 +1,178 @@
+package rcsim_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+)
+
+// nallatechLike is the full-overhead platform model for tests that
+// need real setup costs.
+func nallatechLike() platform.Platform { return platform.NallatechH101() }
+
+func baseMulti(nd int, topo core.Topology, b core.Buffering) rcsim.MultiScenario {
+	sc := baseScenario(b)
+	sc.ElementsIn = 4096
+	sc.ElementsOut = 4096
+	// Per-device kernel time scales with the sub-block.
+	sc.KernelCycles = func(_, elements int) int64 { return int64(elements) }
+	return rcsim.MultiScenario{Scenario: sc, Devices: nd, Topology: topo}
+}
+
+// TestRunMultiDegeneratesToSingle: one device reproduces Run exactly.
+func TestRunMultiDegeneratesToSingle(t *testing.T) {
+	for _, b := range []core.Buffering{core.SingleBuffered, core.DoubleBuffered} {
+		ms := baseMulti(1, core.SharedChannel, b)
+		multi, err := rcsim.RunMulti(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := rcsim.Run(ms.Scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Total != single.Total || multi.WriteTotal != single.WriteTotal ||
+			multi.CompTotal != single.CompTotal || multi.KernelCyclesTotal != single.KernelCyclesTotal {
+			t.Errorf("%v: N=1 multi differs from single: %+v vs %+v", b, multi, single)
+		}
+	}
+}
+
+// TestRunMultiMatchesAnalyticOnIdealPlatform: on a zero-overhead
+// platform the simulated multi-FPGA run lands on core.PredictMulti for
+// both topologies and disciplines.
+func TestRunMultiMatchesAnalyticOnIdealPlatform(t *testing.T) {
+	params := core.Parameters{
+		Dataset: core.DatasetParams{ElementsIn: 4096, ElementsOut: 4096, BytesPerElement: 4},
+		Comm:    core.CommParams{IdealThroughput: 1e9, AlphaWrite: 1, AlphaRead: 1},
+		Comp:    core.CompParams{OpsPerElement: 1, ThroughputProc: 1, ClockHz: 100e6},
+		Soft:    core.SoftwareParams{TSoft: 1, Iterations: 10},
+	}
+	for _, nd := range []int{1, 2, 4, 8} {
+		for _, topo := range []core.Topology{core.SharedChannel, core.IndependentChannels} {
+			mp, err := core.PredictMulti(params, core.MultiConfig{Devices: nd, Topology: topo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms := baseMulti(nd, topo, core.SingleBuffered)
+			m, err := rcsim.RunMulti(ms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(m.TRC()-mp.TRCSingle) / mp.TRCSingle; d > 1e-6 {
+				t.Errorf("N=%d %v SB: simulated %.6e vs analytic %.6e", nd, topo, m.TRC(), mp.TRCSingle)
+			}
+			msd := baseMulti(nd, topo, core.DoubleBuffered)
+			md, err := rcsim.RunMulti(msd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// DB includes the un-hidden first fill and last drain.
+			if md.TRC() < mp.TRCDouble*(1-1e-9) || md.TRC() > mp.TRCDouble+mp.TComm+mp.TComp {
+				t.Errorf("N=%d %v DB: simulated %.6e vs analytic steady state %.6e", nd, topo, md.TRC(), mp.TRCDouble)
+			}
+		}
+	}
+}
+
+// TestSharedChannelContention: with compute made cheap, a shared
+// channel pins total time to the serialized transfers regardless of N,
+// while independent channels divide it.
+func TestSharedChannelContention(t *testing.T) {
+	mkFast := func(nd int, topo core.Topology) rcsim.MultiScenario {
+		ms := baseMulti(nd, topo, core.SingleBuffered)
+		ms.KernelCycles = func(int, int) int64 { return 1 }
+		return ms
+	}
+	shared1, err := rcsim.RunMulti(mkFast(1, core.SharedChannel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared4, err := rcsim.RunMulti(mkFast(4, core.SharedChannel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep4, err := rcsim.RunMulti(mkFast(4, core.IndependentChannels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(shared4.TRC()-shared1.TRC()) / shared1.TRC(); d > 0.01 {
+		t.Errorf("shared-channel comm-bound time should not improve with devices: %.3e vs %.3e", shared4.TRC(), shared1.TRC())
+	}
+	if ratio := shared1.TRC() / indep4.TRC(); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("independent channels should cut comm-bound time ~4x, got %.2fx", ratio)
+	}
+}
+
+// TestMultiComputeScaling: with communication negligible, N devices
+// cut the wall time by ~N while total kernel cycles stay constant.
+func TestMultiComputeScaling(t *testing.T) {
+	mk := func(nd int) rcsim.MultiScenario {
+		ms := baseMulti(nd, core.SharedChannel, core.SingleBuffered)
+		ms.KernelCycles = func(_, elements int) int64 { return int64(elements) * 100 }
+		return ms
+	}
+	one, err := rcsim.RunMulti(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := rcsim.RunMulti(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.KernelCyclesTotal != four.KernelCyclesTotal {
+		t.Errorf("total kernel work changed: %d vs %d", one.KernelCyclesTotal, four.KernelCyclesTotal)
+	}
+	if ratio := one.TRC() / four.TRC(); ratio < 3.5 || ratio > 4.1 {
+		t.Errorf("compute-bound 4-device scaling = %.2fx", ratio)
+	}
+}
+
+// TestScatterOverheadEmerges: on a platform with per-transfer setup,
+// splitting a block across more devices costs more total communication
+// than the analytic model predicts — the insight the simulation adds.
+func TestScatterOverheadEmerges(t *testing.T) {
+	mk := func(nd int) rcsim.MultiScenario {
+		sc := baseScenario(core.SingleBuffered)
+		sc.Platform = nallatechLike()
+		sc.ElementsIn = 4096
+		sc.ElementsOut = 0
+		sc.KernelCycles = func(int, int) int64 { return 1 }
+		return rcsim.MultiScenario{Scenario: sc, Devices: nd, Topology: core.SharedChannel}
+	}
+	one, err := rcsim.RunMulti(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := rcsim.RunMulti(mk(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.WriteTotal <= one.WriteTotal {
+		t.Errorf("scatter across 8 devices should pay more setup: %v vs %v", eight.WriteTotal, one.WriteTotal)
+	}
+}
+
+func TestRunMultiValidation(t *testing.T) {
+	ms := baseMulti(0, core.SharedChannel, core.SingleBuffered)
+	if _, err := rcsim.RunMulti(ms); !errors.Is(err, rcsim.ErrBadScenario) {
+		t.Errorf("zero devices: %v", err)
+	}
+	ms = baseMulti(3, core.SharedChannel, core.SingleBuffered) // 4096 % 3 != 0
+	if _, err := rcsim.RunMulti(ms); !errors.Is(err, rcsim.ErrBadScenario) {
+		t.Errorf("indivisible elements: %v", err)
+	}
+	ms = baseMulti(2, core.Topology(9), core.SingleBuffered)
+	if _, err := rcsim.RunMulti(ms); !errors.Is(err, rcsim.ErrBadScenario) {
+		t.Errorf("bad topology: %v", err)
+	}
+	ms = baseMulti(2, core.SharedChannel, core.SingleBuffered)
+	ms.Iterations = 0
+	if _, err := rcsim.RunMulti(ms); !errors.Is(err, rcsim.ErrBadScenario) {
+		t.Errorf("bad base scenario: %v", err)
+	}
+}

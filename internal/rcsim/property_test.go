@@ -1,0 +1,170 @@
+package rcsim_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+)
+
+// randomCase is one randomly drawn worksheet/scenario pair sharing the
+// same parameters, on an overhead-free platform where the analytic
+// model is exact.
+type randomCase struct {
+	Params core.Parameters
+}
+
+func genCase(r *rand.Rand) randomCase {
+	return randomCase{
+		Params: core.Parameters{
+			Dataset: core.DatasetParams{
+				ElementsIn:      1 + r.Int63n(65536),
+				ElementsOut:     r.Int63n(65536),
+				BytesPerElement: float64(1 + r.Intn(64)),
+			},
+			Comm: core.CommParams{
+				IdealThroughput: core.MBps(float64(10 + r.Intn(4000))),
+				AlphaWrite:      0.05 + 0.95*r.Float64(),
+				AlphaRead:       0.05 + 0.95*r.Float64(),
+			},
+			Comp: core.CompParams{
+				OpsPerElement:  float64(1 + r.Intn(10000)),
+				ThroughputProc: float64(1 + r.Intn(64)),
+				ClockHz:        core.MHz(float64(25 + r.Intn(400))),
+			},
+			Soft: core.SoftwareParams{
+				TSoft:      1,
+				Iterations: 1 + r.Int63n(40),
+			},
+		},
+	}
+}
+
+func caseCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 120,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(genCase(r))
+		},
+	}
+}
+
+// scenarioFor builds the exact simulated equivalent of a worksheet on
+// an overhead-free platform.
+func scenarioFor(p core.Parameters, b core.Buffering) rcsim.Scenario {
+	wl := platform.Link{Rate: []platform.RatePoint{
+		{Bytes: 1, Bps: p.Comm.AlphaWrite * p.Comm.IdealThroughput},
+		{Bytes: 1 << 40, Bps: p.Comm.AlphaWrite * p.Comm.IdealThroughput},
+	}}
+	rl := platform.Link{Rate: []platform.RatePoint{
+		{Bytes: 1, Bps: p.Comm.AlphaRead * p.Comm.IdealThroughput},
+		{Bytes: 1 << 40, Bps: p.Comm.AlphaRead * p.Comm.IdealThroughput},
+	}}
+	return rcsim.Scenario{
+		Name: "property",
+		Platform: platform.Platform{
+			Name: "ideal",
+			Interconnect: platform.Interconnect{
+				Name: "ideal", IdealBps: p.Comm.IdealThroughput, WriteLink: wl, ReadLink: rl,
+			},
+		},
+		ClockHz:         p.Comp.ClockHz,
+		Buffering:       b,
+		Iterations:      int(p.Soft.Iterations),
+		ElementsIn:      int(p.Dataset.ElementsIn),
+		ElementsOut:     int(p.Dataset.ElementsOut),
+		BytesPerElement: int(p.Dataset.BytesPerElement),
+		KernelCycles: func(_, elements int) int64 {
+			return int64(math.Round(float64(elements) * p.Comp.OpsPerElement / p.Comp.ThroughputProc))
+		},
+	}
+}
+
+// TestPropertySimulationMatchesEq5: for any random worksheet, the
+// single-buffered simulation on an ideal platform lands on Eq. (5)
+// within cycle/picosecond quantization.
+func TestPropertySimulationMatchesEq5(t *testing.T) {
+	f := func(c randomCase) bool {
+		pr, err := core.Predict(c.Params)
+		if err != nil {
+			return false
+		}
+		m, err := rcsim.Run(scenarioFor(c.Params, core.SingleBuffered))
+		if err != nil {
+			return false
+		}
+		// One rounded cycle per iteration plus picosecond rounding.
+		quant := float64(c.Params.Soft.Iterations) * (1/c.Params.Comp.ClockHz + 1e-11)
+		return math.Abs(m.TRC()-pr.TRCSingle) <= quant+1e-9*pr.TRCSingle
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySimulationBracketsEq6: the double-buffered simulation
+// lands between the Eq. (6) steady state and steady state plus one
+// fill/drain period.
+func TestPropertySimulationBracketsEq6(t *testing.T) {
+	f := func(c randomCase) bool {
+		pr, err := core.Predict(c.Params)
+		if err != nil {
+			return false
+		}
+		m, err := rcsim.Run(scenarioFor(c.Params, core.DoubleBuffered))
+		if err != nil {
+			return false
+		}
+		quant := float64(c.Params.Soft.Iterations) * (1/c.Params.Comp.ClockHz + 1e-11)
+		lo := pr.TRCDouble - quant - 1e-9*pr.TRCDouble
+		hi := pr.TRCDouble + pr.TComm + pr.TComp + quant + 1e-9*pr.TRCDouble
+		return m.TRC() >= lo && m.TRC() <= hi
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDisciplineDominance: simulated DB never loses to
+// simulated SB on any random scenario.
+func TestPropertyDisciplineDominance(t *testing.T) {
+	f := func(c randomCase) bool {
+		sb, err := rcsim.Run(scenarioFor(c.Params, core.SingleBuffered))
+		if err != nil {
+			return false
+		}
+		db, err := rcsim.Run(scenarioFor(c.Params, core.DoubleBuffered))
+		if err != nil {
+			return false
+		}
+		return db.Total <= sb.Total
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMeasuredUtilizationsMatchEq8and9: on the ideal platform
+// the simulated single-buffered utilizations equal Eqs. (8)-(9).
+func TestPropertyMeasuredUtilizations(t *testing.T) {
+	f := func(c randomCase) bool {
+		pr, err := core.Predict(c.Params)
+		if err != nil {
+			return false
+		}
+		m, err := rcsim.Run(scenarioFor(c.Params, core.SingleBuffered))
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.UtilComm()-pr.UtilCommSB) < 0.02 &&
+			math.Abs(m.UtilComp()-pr.UtilCompSB) < 0.02
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}

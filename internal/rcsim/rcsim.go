@@ -1,0 +1,290 @@
+// Package rcsim simulates an application design executing on an RC
+// platform: N_iter iterations of host-to-FPGA input transfer, kernel
+// computation and FPGA-to-host result transfer, under single- or
+// double-buffered overlap, against the interconnect timing models of
+// package platform and a cycle-accurate kernel timing callback.
+//
+// This is the reproduction's stand-in for the paper's "actual" columns:
+// where the authors measured their Nallatech and XtremeData testbeds,
+// we measure this simulation. It deliberately includes the non-ideal
+// behaviours RAT's analytic model abstracts away — per-transfer setup
+// latency, back-to-back transfer overhead, size-dependent sustained
+// rates, pipeline fill and stalls — so predicted-vs-measured
+// comparisons exercise the methodology the way real hardware did.
+package rcsim
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// Scenario describes one simulated run.
+type Scenario struct {
+	Name      string
+	Platform  platform.Platform
+	ClockHz   float64
+	Buffering core.Buffering
+
+	// Iterations, ElementsIn, ElementsOut and BytesPerElement have
+	// their worksheet meanings (core.Parameters). ElementsOut may
+	// be zero for designs that keep results on chip until a final
+	// drain the scenario does not model.
+	Iterations      int
+	ElementsIn      int
+	ElementsOut     int
+	BytesPerElement int
+
+	// KernelCycles returns the kernel execution time, in cycles, of
+	// iteration iter over a batch of elements. Data-dependent
+	// designs (the MD study) return different counts per iteration.
+	KernelCycles func(iter, elements int) int64
+
+	// Trace, when non-nil, receives the full activity timeline.
+	Trace *trace.Recorder
+}
+
+// ErrBadScenario tags scenario validation failures.
+var ErrBadScenario = errors.New("rcsim: invalid scenario")
+
+// Validate checks the scenario is runnable.
+func (sc Scenario) Validate() error {
+	switch {
+	case sc.Iterations <= 0:
+		return fmt.Errorf("%w: iterations must be positive", ErrBadScenario)
+	case sc.ElementsIn <= 0:
+		return fmt.Errorf("%w: elements in must be positive", ErrBadScenario)
+	case sc.ElementsOut < 0:
+		return fmt.Errorf("%w: elements out must be non-negative", ErrBadScenario)
+	case sc.BytesPerElement <= 0:
+		return fmt.Errorf("%w: bytes per element must be positive", ErrBadScenario)
+	case sc.ClockHz <= 0:
+		return fmt.Errorf("%w: clock must be positive", ErrBadScenario)
+	case sc.KernelCycles == nil:
+		return fmt.Errorf("%w: nil kernel timing callback", ErrBadScenario)
+	case sc.Buffering != core.SingleBuffered && sc.Buffering != core.DoubleBuffered:
+		return fmt.Errorf("%w: unknown buffering discipline %v", ErrBadScenario, sc.Buffering)
+	}
+	return nil
+}
+
+// Measurement is what the simulated platform "measures": the
+// quantities the paper's actual columns report, derived from the run's
+// timeline exactly as they would be read off hardware counters.
+type Measurement struct {
+	Scenario Scenario
+
+	// Total is the end-to-end RC execution time.
+	Total sim.Time
+	// WriteTotal, ReadTotal and CompTotal are summed span durations
+	// across all iterations.
+	WriteTotal sim.Time
+	ReadTotal  sim.Time
+	CompTotal  sim.Time
+	// OverlapTotal is the time communication and computation ran
+	// simultaneously (zero when single-buffered).
+	OverlapTotal sim.Time
+	// KernelCyclesTotal is the summed kernel cycle count.
+	KernelCyclesTotal int64
+}
+
+// TComm returns the measured mean per-iteration communication time in
+// seconds, the t_comm the paper's actual columns print.
+func (m Measurement) TComm() float64 {
+	return (m.WriteTotal + m.ReadTotal).Seconds() / float64(m.Scenario.Iterations)
+}
+
+// TComp returns the measured mean per-iteration computation time in
+// seconds.
+func (m Measurement) TComp() float64 {
+	return m.CompTotal.Seconds() / float64(m.Scenario.Iterations)
+}
+
+// TRC returns the measured end-to-end execution time in seconds.
+func (m Measurement) TRC() float64 { return m.Total.Seconds() }
+
+// UtilComm returns the measured fraction of execution time spent
+// communicating (Eq. 9/11 evaluated on the timeline).
+func (m Measurement) UtilComm() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return (m.WriteTotal + m.ReadTotal).Seconds() / m.Total.Seconds()
+}
+
+// UtilComp returns the measured fraction of execution time spent
+// computing (Eq. 8/10 evaluated on the timeline).
+func (m Measurement) UtilComp() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return m.CompTotal.Seconds() / m.Total.Seconds()
+}
+
+// Speedup returns tSoft divided by the measured execution time.
+func (m Measurement) Speedup(tSoft float64) float64 {
+	if t := m.TRC(); t > 0 {
+		return tSoft / t
+	}
+	return 0
+}
+
+// EffectiveOpsPerCycle converts the measured kernel time back into the
+// sustained operations-per-cycle the design achieved, given the
+// worksheet's N_ops/element — the number to hold against the
+// worksheet's throughput_proc estimate.
+func (m Measurement) EffectiveOpsPerCycle(opsPerElement float64) float64 {
+	if m.KernelCyclesTotal == 0 {
+		return 0
+	}
+	totalOps := float64(m.Scenario.Iterations) * float64(m.Scenario.ElementsIn) * opsPerElement
+	return totalOps / float64(m.KernelCyclesTotal)
+}
+
+// Run executes the scenario to completion and returns its measurement.
+func Run(sc Scenario) (Measurement, error) {
+	if err := sc.Validate(); err != nil {
+		return Measurement{}, err
+	}
+
+	var (
+		s     = sim.New()
+		bus   = sim.NewResource(s, "interconnect")
+		ic    = sc.Platform.Interconnect
+		clock = sc.Platform.Clock(sc.ClockHz)
+		n     = sc.Iterations
+
+		bytesIn  = int64(sc.ElementsIn) * int64(sc.BytesPerElement)
+		bytesOut = int64(sc.ElementsOut) * int64(sc.BytesPerElement)
+
+		writeStarted = make([]bool, n)
+		writeDone    = make([]bool, n)
+		compStarted  = make([]bool, n)
+		compDone     = make([]bool, n)
+		readStarted  = make([]bool, n)
+		readDone     = make([]bool, n)
+
+		m = Measurement{Scenario: sc}
+	)
+
+	var tryWrite, tryCompute, tryRead func(i int)
+
+	// writeReady reports whether iteration i's input transfer may be
+	// queued on the bus. Single-buffered: strictly after the
+	// previous iteration fully completes. Double-buffered: two
+	// input buffers, so write i waits only for compute i-2 to have
+	// freed its buffer.
+	writeReady := func(i int) bool {
+		if i == 0 {
+			return true
+		}
+		if sc.Buffering == core.DoubleBuffered {
+			return i < 2 || compDone[i-2]
+		}
+		return readDone[i-1]
+	}
+
+	tryWrite = func(i int) {
+		if i >= n || writeStarted[i] || !writeReady(i) {
+			return
+		}
+		writeStarted[i] = true
+		bus.Acquire(func() {
+			start := s.Now()
+			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
+			s.Schedule(dur, func() {
+				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				m.WriteTotal += s.Now() - start
+				bus.Release()
+				writeDone[i] = true
+				tryCompute(i)
+				if sc.Buffering == core.DoubleBuffered {
+					tryWrite(i + 1)
+				}
+			})
+		})
+	}
+
+	tryCompute = func(i int) {
+		if i >= n || compStarted[i] || !writeDone[i] {
+			return
+		}
+		if i > 0 && !compDone[i-1] {
+			return // the single kernel unit runs iterations in order
+		}
+		compStarted[i] = true
+		start := s.Now()
+		cycles := sc.KernelCycles(i, sc.ElementsIn)
+		if cycles < 0 {
+			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
+		}
+		m.KernelCyclesTotal += cycles
+		s.Schedule(clock.Cycles(cycles), func() {
+			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			m.CompTotal += s.Now() - start
+			compDone[i] = true
+			tryRead(i)
+			tryCompute(i + 1)
+			if sc.Buffering == core.DoubleBuffered {
+				tryWrite(i + 2)
+			}
+		})
+	}
+
+	finishRead := func(i int) {
+		readDone[i] = true
+		if sc.Buffering == core.SingleBuffered {
+			tryWrite(i + 1)
+		}
+	}
+
+	tryRead = func(i int) {
+		if readStarted[i] || !compDone[i] {
+			return
+		}
+		readStarted[i] = true
+		if bytesOut == 0 {
+			finishRead(i)
+			return
+		}
+		bus.Acquire(func() {
+			start := s.Now()
+			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
+			s.Schedule(dur, func() {
+				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				m.ReadTotal += s.Now() - start
+				bus.Release()
+				finishRead(i)
+			})
+		})
+	}
+
+	tryWrite(0)
+	if sc.Buffering == core.DoubleBuffered {
+		tryWrite(1)
+	}
+	m.Total = s.Run()
+
+	for i := 0; i < n; i++ {
+		if !readDone[i] {
+			return Measurement{}, fmt.Errorf("rcsim: scenario %q deadlocked at iteration %d", sc.Name, i)
+		}
+	}
+	if sc.Trace != nil {
+		m.OverlapTotal = sc.Trace.Overlap()
+	}
+	return m, nil
+}
+
+// MustRun is Run for scenarios known to be valid; it panics on error.
+func MustRun(sc Scenario) Measurement {
+	m, err := Run(sc)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

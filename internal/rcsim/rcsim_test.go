@@ -1,0 +1,307 @@
+package rcsim_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// idealPlatform returns a platform with no setup or repeat overheads
+// and flat rates, so the simulation must land exactly on the analytic
+// model — the ablation baseline of DESIGN.md.
+func idealPlatform(bps float64) platform.Platform {
+	flat := platform.Link{Rate: []platform.RatePoint{{Bytes: 1, Bps: bps}, {Bytes: 1 << 30, Bps: bps}}}
+	return platform.Platform{
+		Name:         "ideal",
+		Interconnect: platform.Interconnect{Name: "ideal-link", IdealBps: bps, WriteLink: flat, ReadLink: flat},
+		MinClockHz:   1e6, MaxClockHz: 1e9,
+	}
+}
+
+func fixedKernel(cycles int64) func(int, int) int64 {
+	return func(int, int) int64 { return cycles }
+}
+
+func baseScenario(b core.Buffering) rcsim.Scenario {
+	return rcsim.Scenario{
+		Name:            "synthetic",
+		Platform:        idealPlatform(1e9),
+		ClockHz:         100e6,
+		Buffering:       b,
+		Iterations:      10,
+		ElementsIn:      1000,
+		ElementsOut:     1000,
+		BytesPerElement: 4,
+		KernelCycles:    fixedKernel(1000), // 10us at 100 MHz
+	}
+}
+
+// TestSingleBufferedMatchesAnalyticModel: on an ideal platform the
+// simulated single-buffered run equals Eq. 5 exactly: N_iter * (t_comm
+// + t_comp).
+func TestSingleBufferedMatchesAnalyticModel(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	m := rcsim.MustRun(sc)
+	// t_write = t_read = 4000B / 1e9 = 4us; t_comp = 10us.
+	want := 10 * (4e-6 + 4e-6 + 10e-6)
+	if got := m.TRC(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TRC = %.6e, want %.6e", got, want)
+	}
+	if got := m.TComm(); math.Abs(got-8e-6) > 1e-12 {
+		t.Errorf("TComm = %.6e, want 8e-6", got)
+	}
+	if got := m.TComp(); math.Abs(got-10e-6) > 1e-12 {
+		t.Errorf("TComp = %.6e, want 10e-6", got)
+	}
+	// Utilizations match Eqs. 8-9.
+	if got := m.UtilComp(); math.Abs(got-10.0/18.0) > 1e-9 {
+		t.Errorf("UtilComp = %.4f", got)
+	}
+	if got := m.UtilComm(); math.Abs(got-8.0/18.0) > 1e-9 {
+		t.Errorf("UtilComm = %.4f", got)
+	}
+	if m.KernelCyclesTotal != 10*1000 {
+		t.Errorf("KernelCyclesTotal = %d", m.KernelCyclesTotal)
+	}
+}
+
+// TestDoubleBufferedApproachesAnalyticModel: compute-bound DB runs
+// converge to N_iter * t_comp plus the unhidden first-fill and
+// last-drain communication edges.
+func TestDoubleBufferedApproachesAnalyticModel(t *testing.T) {
+	sc := baseScenario(core.DoubleBuffered)
+	sc.Iterations = 100
+	var rec trace.Recorder
+	sc.Trace = &rec
+	m := rcsim.MustRun(sc)
+	steady := 100 * 10e-6
+	got := m.TRC()
+	if got < steady {
+		t.Errorf("TRC %.6e below steady-state floor %.6e", got, steady)
+	}
+	// Startup + drain edges are at most one iteration's comm.
+	if got > steady+8e-6+1e-12 {
+		t.Errorf("TRC %.6e exceeds steady state by more than one comm period", got)
+	}
+	// Overlap must be substantial: nearly all communication hides.
+	if ov := m.OverlapTotal; ov.Seconds() < 0.9*(m.WriteTotal+m.ReadTotal).Seconds() {
+		t.Errorf("overlap %.3e too small vs comm %.3e", ov.Seconds(), (m.WriteTotal + m.ReadTotal).Seconds())
+	}
+}
+
+// TestDoubleBufferedCommBound: when communication dominates, DB run
+// time approaches N_iter * t_comm and the kernel goes mostly idle.
+func TestDoubleBufferedCommBound(t *testing.T) {
+	sc := baseScenario(core.DoubleBuffered)
+	sc.Iterations = 50
+	sc.KernelCycles = fixedKernel(100) // 1us compute vs 8us comm
+	m := rcsim.MustRun(sc)
+	steady := 50 * 8e-6
+	if got := m.TRC(); got < steady || got > steady*1.05 {
+		t.Errorf("comm-bound TRC = %.6e, want ~%.6e", got, steady)
+	}
+	if m.UtilComp() > 0.2 {
+		t.Errorf("comm-bound UtilComp = %.3f, want small", m.UtilComp())
+	}
+	if m.UtilComm() < 0.95 {
+		t.Errorf("comm-bound UtilComm = %.3f, want ~1", m.UtilComm())
+	}
+}
+
+// TestDoubleBufferedNeverSlower: for any mix, DB is at least as fast
+// as SB and at most 2x faster (the Eq. 5/6 bracket).
+func TestDoubleBufferedNeverSlower(t *testing.T) {
+	for _, cycles := range []int64{10, 100, 800, 1000, 5000} {
+		sb := baseScenario(core.SingleBuffered)
+		sb.KernelCycles = fixedKernel(cycles)
+		db := baseScenario(core.DoubleBuffered)
+		db.KernelCycles = fixedKernel(cycles)
+		tSB := rcsim.MustRun(sb).TRC()
+		tDB := rcsim.MustRun(db).TRC()
+		if tDB > tSB*(1+1e-12) {
+			t.Errorf("cycles=%d: DB %.3e slower than SB %.3e", cycles, tDB, tSB)
+		}
+		if tSB > 2*tDB*(1+1e-9) {
+			t.Errorf("cycles=%d: SB %.3e more than 2x DB %.3e", cycles, tSB, tDB)
+		}
+	}
+}
+
+// TestDataDependentKernel: per-iteration cycle counts vary and the
+// total must be their exact sum (single-buffered, ideal link).
+func TestDataDependentKernel(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Iterations = 5
+	counts := []int64{100, 900, 250, 3000, 50}
+	sc.KernelCycles = func(iter, _ int) int64 { return counts[iter] }
+	m := rcsim.MustRun(sc)
+	var want int64
+	for _, c := range counts {
+		want += c
+	}
+	if m.KernelCyclesTotal != want {
+		t.Errorf("KernelCyclesTotal = %d, want %d", m.KernelCyclesTotal, want)
+	}
+	wantComp := float64(want) / 100e6
+	if got := m.CompTotal.Seconds(); math.Abs(got-wantComp) > 1e-12 {
+		t.Errorf("CompTotal = %.6e, want %.6e", got, wantComp)
+	}
+}
+
+// TestZeroOutputElements: designs that keep results on chip (1-D PDF
+// per-iteration behaviour) issue no read transfers.
+func TestZeroOutputElements(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.ElementsOut = 0
+	m := rcsim.MustRun(sc)
+	if m.ReadTotal != 0 {
+		t.Errorf("ReadTotal = %v, want 0", m.ReadTotal)
+	}
+	want := 10 * (4e-6 + 10e-6)
+	if got := m.TRC(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TRC = %.6e, want %.6e", got, want)
+	}
+}
+
+// TestTraceStructure: the recorded timeline has one span of each kind
+// per iteration, in causal order within an iteration.
+func TestTraceStructure(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Iterations = 3
+	var rec trace.Recorder
+	sc.Trace = &rec
+	rcsim.MustRun(sc)
+	spans := rec.Spans()
+	if len(spans) != 9 {
+		t.Fatalf("span count = %d, want 9", len(spans))
+	}
+	byIter := map[int]map[trace.Kind]trace.Span{}
+	for _, s := range spans {
+		if byIter[s.Iter] == nil {
+			byIter[s.Iter] = map[trace.Kind]trace.Span{}
+		}
+		byIter[s.Iter][s.Kind] = s
+	}
+	for i := 0; i < 3; i++ {
+		w, c, r := byIter[i][trace.Write], byIter[i][trace.Compute], byIter[i][trace.Read]
+		if !(w.End <= c.Start && c.End <= r.Start) {
+			t.Errorf("iteration %d spans out of causal order: %+v %+v %+v", i, w, c, r)
+		}
+	}
+	// Single-buffered: zero overlap by construction.
+	if rec.Overlap() != 0 {
+		t.Errorf("SB overlap = %v, want 0", rec.Overlap())
+	}
+}
+
+// TestDoubleBufferedTraceOverlaps: under DB, some write span starts
+// before the previous compute ends.
+func TestDoubleBufferedTraceOverlaps(t *testing.T) {
+	sc := baseScenario(core.DoubleBuffered)
+	sc.Iterations = 4
+	var rec trace.Recorder
+	sc.Trace = &rec
+	rcsim.MustRun(sc)
+	if rec.Overlap() == 0 {
+		t.Error("double-buffered run shows no comm/comp overlap")
+	}
+}
+
+// TestRepeatOverheadAppearsInLoops: on a platform with repeat
+// overhead, per-iteration comm in a loop exceeds the isolated
+// transfer time — the 1-D PDF calibration story.
+func TestRepeatOverheadAppearsInLoops(t *testing.T) {
+	p := platform.NallatechH101()
+	sc := rcsim.Scenario{
+		Name: "repeat", Platform: p, ClockHz: 150e6,
+		Buffering: core.SingleBuffered, Iterations: 400,
+		ElementsIn: 512, ElementsOut: 1, BytesPerElement: 4,
+		KernelCycles: fixedKernel(1),
+	}
+	m := rcsim.MustRun(sc)
+	isolated := p.Interconnect.TransferTime(platform.Write, 2048, false) +
+		p.Interconnect.TransferTime(platform.Read, 4, false)
+	perIter := (m.WriteTotal + m.ReadTotal) / 400
+	if perIter <= isolated {
+		t.Errorf("looped per-iter comm %v must exceed isolated %v", perIter, isolated)
+	}
+	// Calibration target: the paper's measured 2.50e-5 s.
+	if got := m.TComm(); math.Abs(got-2.50e-5) > 2e-7 {
+		t.Errorf("1-D PDF-shaped comm = %.4e s, want ~2.50e-5", got)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := baseScenario(core.SingleBuffered)
+	cases := []struct {
+		name   string
+		mutate func(*rcsim.Scenario)
+	}{
+		{"zero iterations", func(s *rcsim.Scenario) { s.Iterations = 0 }},
+		{"zero elements", func(s *rcsim.Scenario) { s.ElementsIn = 0 }},
+		{"negative output", func(s *rcsim.Scenario) { s.ElementsOut = -1 }},
+		{"zero bytes", func(s *rcsim.Scenario) { s.BytesPerElement = 0 }},
+		{"zero clock", func(s *rcsim.Scenario) { s.ClockHz = 0 }},
+		{"nil kernel", func(s *rcsim.Scenario) { s.KernelCycles = nil }},
+		{"bad buffering", func(s *rcsim.Scenario) { s.Buffering = core.Buffering(7) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base
+			tc.mutate(&sc)
+			if _, err := rcsim.Run(sc); !errors.Is(err, rcsim.ErrBadScenario) {
+				t.Errorf("error = %v, want ErrBadScenario", err)
+			}
+		})
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun on invalid scenario must panic")
+		}
+	}()
+	rcsim.MustRun(rcsim.Scenario{})
+}
+
+func TestEffectiveOpsPerCycle(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	m := rcsim.MustRun(sc)
+	// 10 iters x 1000 elements x 3 ops / (10 x 1000 cycles) = 3.
+	if got := m.EffectiveOpsPerCycle(3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("EffectiveOpsPerCycle = %g, want 3", got)
+	}
+}
+
+// TestDeterministicRuns: identical scenarios measure identically.
+func TestDeterministicRuns(t *testing.T) {
+	a := rcsim.MustRun(baseScenario(core.DoubleBuffered))
+	b := rcsim.MustRun(baseScenario(core.DoubleBuffered))
+	if a.Total != b.Total || a.WriteTotal != b.WriteTotal || a.CompTotal != b.CompTotal {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+// TestSpeedupHelper is a smoke check of the measured-speedup helper.
+func TestSpeedupHelper(t *testing.T) {
+	m := rcsim.MustRun(baseScenario(core.SingleBuffered))
+	if got := m.Speedup(m.TRC() * 5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("Speedup = %g, want 5", got)
+	}
+	var empty rcsim.Measurement
+	if empty.Speedup(1) != 0 {
+		t.Error("zero measurement must report zero speedup")
+	}
+	if empty.UtilComm() != 0 || empty.UtilComp() != 0 {
+		t.Error("zero measurement must report zero utilizations")
+	}
+	if empty.EffectiveOpsPerCycle(3) != 0 {
+		t.Error("zero measurement must report zero ops/cycle")
+	}
+}

@@ -1,0 +1,133 @@
+package rcsim
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// RunStreaming executes the scenario under the streaming discipline of
+// core.PredictStreaming (the Section 3.1 adjustment): input transfer,
+// computation and result transfer form a three-stage pipeline over
+// independent full-duplex channels, so blocks flow continuously and
+// the steady-state rate is set by the slowest stage. The Buffering
+// field of the scenario is ignored.
+//
+// Within each stage, blocks proceed strictly in order; a stage starts
+// block i as soon as its own previous block and the upstream stage's
+// block i are done. On an overhead-free platform the total lands on
+// N_iter * max(t_write, t_comp, t_read) plus the fill of the two
+// faster stages — exactly the analytic streaming model.
+func RunStreaming(sc Scenario) (Measurement, error) {
+	if err := sc.Validate(); err != nil {
+		return Measurement{}, err
+	}
+	var (
+		s        = sim.New()
+		writeBus = sim.NewResource(s, "write-channel")
+		readBus  = sim.NewResource(s, "read-channel")
+		ic       = sc.Platform.Interconnect
+		clock    = sc.Platform.Clock(sc.ClockHz)
+		n        = sc.Iterations
+
+		bytesIn  = int64(sc.ElementsIn) * int64(sc.BytesPerElement)
+		bytesOut = int64(sc.ElementsOut) * int64(sc.BytesPerElement)
+
+		writeStarted = make([]bool, n)
+		writeDone    = make([]bool, n)
+		compStarted  = make([]bool, n)
+		compDone     = make([]bool, n)
+		readStarted  = make([]bool, n)
+		readDone     = make([]bool, n)
+
+		m = Measurement{Scenario: sc}
+	)
+
+	var tryWrite, tryCompute, tryRead func(i int)
+
+	tryWrite = func(i int) {
+		if i >= n || writeStarted[i] {
+			return
+		}
+		if i > 0 && !writeDone[i-1] {
+			return // the write channel streams blocks in order
+		}
+		writeStarted[i] = true
+		writeBus.Acquire(func() {
+			start := s.Now()
+			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
+			s.Schedule(dur, func() {
+				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				m.WriteTotal += s.Now() - start
+				writeBus.Release()
+				writeDone[i] = true
+				tryCompute(i)
+				tryWrite(i + 1)
+			})
+		})
+	}
+
+	tryCompute = func(i int) {
+		if i >= n || compStarted[i] || !writeDone[i] {
+			return
+		}
+		if i > 0 && !compDone[i-1] {
+			return
+		}
+		compStarted[i] = true
+		start := s.Now()
+		cycles := sc.KernelCycles(i, sc.ElementsIn)
+		if cycles < 0 {
+			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
+		}
+		m.KernelCyclesTotal += cycles
+		s.Schedule(clock.Cycles(cycles), func() {
+			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			m.CompTotal += s.Now() - start
+			compDone[i] = true
+			tryRead(i)
+			tryCompute(i + 1)
+		})
+	}
+
+	tryRead = func(i int) {
+		if i >= n || readStarted[i] || !compDone[i] {
+			return
+		}
+		if i > 0 && !readDone[i-1] {
+			return
+		}
+		readStarted[i] = true
+		if bytesOut == 0 {
+			readDone[i] = true
+			tryRead(i + 1)
+			return
+		}
+		readBus.Acquire(func() {
+			start := s.Now()
+			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
+			s.Schedule(dur, func() {
+				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				m.ReadTotal += s.Now() - start
+				readBus.Release()
+				readDone[i] = true
+				tryRead(i + 1)
+			})
+		})
+	}
+
+	tryWrite(0)
+	m.Total = s.Run()
+
+	for i := 0; i < n; i++ {
+		if !readDone[i] {
+			return Measurement{}, fmt.Errorf("rcsim: streaming scenario %q deadlocked at iteration %d", sc.Name, i)
+		}
+	}
+	if sc.Trace != nil {
+		m.OverlapTotal = sc.Trace.Overlap()
+	}
+	return m, nil
+}

@@ -1,0 +1,128 @@
+package rcsim_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// TestStreamingMatchesAnalyticModel: on an ideal platform the
+// simulated streaming run equals PredictStreaming's steady state plus
+// its fill term, within quantization.
+func TestStreamingMatchesAnalyticModel(t *testing.T) {
+	f := func(c randomCase) bool {
+		sp, err := core.PredictStreaming(c.Params)
+		if err != nil {
+			return false
+		}
+		m, err := rcsim.RunStreaming(scenarioFor(c.Params, core.SingleBuffered))
+		if err != nil {
+			return false
+		}
+		quant := float64(c.Params.Soft.Iterations) * (1/c.Params.Comp.ClockHz + 1e-11)
+		lo := sp.TRCStream - quant - 1e-9*sp.TRCStream
+		hi := sp.TRCStream + sp.TFill + quant + 1e-9*sp.TRCStream
+		return m.TRC() >= lo && m.TRC() <= hi
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamingNeverSlowerThanDoubleBuffered: independent full-duplex
+// channels can only help.
+func TestStreamingNeverSlowerThanDoubleBuffered(t *testing.T) {
+	f := func(c randomCase) bool {
+		db, err := rcsim.Run(scenarioFor(c.Params, core.DoubleBuffered))
+		if err != nil {
+			return false
+		}
+		st, err := rcsim.RunStreaming(scenarioFor(c.Params, core.SingleBuffered))
+		if err != nil {
+			return false
+		}
+		return st.Total <= db.Total+1 // one picosecond of rounding slack
+	}
+	if err := quick.Check(f, caseCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamingBalancedStages: with write, compute and read each
+// taking the same time, streaming sustains one block per stage-time —
+// the strict 2x advantage over double buffering that core's analytic
+// test establishes, reproduced in simulation.
+func TestStreamingBalancedStages(t *testing.T) {
+	p := core.Parameters{
+		Dataset: core.DatasetParams{ElementsIn: 1000, ElementsOut: 1000, BytesPerElement: 4},
+		Comm:    core.CommParams{IdealThroughput: core.MBps(100), AlphaWrite: 0.5, AlphaRead: 0.5},
+		Comp:    core.CompParams{OpsPerElement: 10, ThroughputProc: 1, ClockHz: 1.25e8},
+		Soft:    core.SoftwareParams{TSoft: 1, Iterations: 100},
+	}
+	st, err := rcsim.RunStreaming(scenarioFor(p, core.SingleBuffered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := rcsim.Run(scenarioFor(p, core.DoubleBuffered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := db.TRC() / st.TRC()
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("DB/stream ratio = %.3f, want ~2 for balanced stages", ratio)
+	}
+}
+
+// TestStreamingOverlap: the three stages genuinely overlap — the
+// recorded comm/comp overlap covers most of the communication time
+// (streaming writes run ahead of the slower compute stage, so the
+// write stream finishes early and only partially overlaps it).
+func TestStreamingOverlap(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Iterations = 50
+	var rec trace.Recorder
+	sc.Trace = &rec
+	m, err := rcsim.RunStreaming(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := (m.WriteTotal + m.ReadTotal).Seconds()
+	if m.OverlapTotal.Seconds() < 0.6*comm {
+		t.Errorf("streaming overlap %.3e too small vs comm %.3e",
+			m.OverlapTotal.Seconds(), comm)
+	}
+	if m.OverlapTotal == 0 {
+		t.Error("no overlap recorded")
+	}
+}
+
+// TestStreamingZeroOutput: result-free scenarios stream without read
+// stages.
+func TestStreamingZeroOutput(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.ElementsOut = 0
+	m, err := rcsim.RunStreaming(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadTotal != 0 {
+		t.Errorf("ReadTotal = %v", m.ReadTotal)
+	}
+	// Steady state: max(t_write, t_comp) = t_comp = 10us per iter.
+	want := 10 * 10e-6
+	if m.TRC() < want || m.TRC() > want+4e-6+1e-12 {
+		t.Errorf("TRC = %.6e, want ~%.6e + fill", m.TRC(), want)
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Iterations = 0
+	if _, err := rcsim.RunStreaming(sc); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

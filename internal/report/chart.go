@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram renders a vector of non-negative values as a column chart
+// in height text rows, one column per value (downsampled by taking
+// column maxima when the vector is wider than width). The examples use
+// it to show the PDF case studies' density estimates without leaving
+// the terminal.
+func Histogram(values []float64, width, height int) string {
+	if len(values) == 0 || width < 1 || height < 1 {
+		return "(no data)\n"
+	}
+	// Downsample to at most width columns, keeping peaks visible.
+	cols := make([]float64, min(width, len(values)))
+	per := float64(len(values)) / float64(len(cols))
+	for i := range cols {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		for _, v := range values[lo:hi] {
+			if v > cols[i] {
+				cols[i] = v
+			}
+		}
+	}
+	var peak float64
+	for _, v := range cols {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return "(all zero)\n"
+	}
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		threshold := peak * (float64(row) - 0.5) / float64(height)
+		if row == height {
+			fmt.Fprintf(&b, "%8.3g |", peak)
+		} else if row == 1 {
+			fmt.Fprintf(&b, "%8.3g |", 0.0)
+		} else {
+			b.WriteString("         |")
+		}
+		for _, v := range cols {
+			if v >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("          " + strings.Repeat("-", len(cols)) + "\n")
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/report"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	vals := []float64{0, 1, 2, 4, 2, 1, 0}
+	out := report.Histogram(vals, 7, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 rows + axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Top row shows only the peak column; bottom row shows all
+	// nonzero columns.
+	top, bottom := lines[0], lines[3]
+	if strings.Count(top, "#") != 1 {
+		t.Errorf("top row should hold only the peak:\n%s", out)
+	}
+	if strings.Count(bottom, "#") != 5 {
+		t.Errorf("bottom row should hold every nonzero column (5):\n%s", out)
+	}
+	// Peak label appears.
+	if !strings.Contains(top, "4") {
+		t.Errorf("peak label missing:\n%s", out)
+	}
+}
+
+func TestHistogramDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	vals[500] = 9 // single spike must survive max-downsampling
+	out := report.Histogram(vals, 40, 3)
+	if strings.Count(out, "#") == 0 {
+		t.Errorf("spike lost in downsampling:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines[0]) > 60 {
+		t.Errorf("row wider than requested:\n%s", out)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	if got := report.Histogram(nil, 10, 5); got != "(no data)\n" {
+		t.Errorf("nil = %q", got)
+	}
+	if got := report.Histogram([]float64{1}, 0, 5); got != "(no data)\n" {
+		t.Errorf("zero width = %q", got)
+	}
+	if got := report.Histogram([]float64{0, 0}, 10, 5); got != "(all zero)\n" {
+		t.Errorf("zeros = %q", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package report renders RAT inputs and results as aligned text tables
+// in the layout of the paper's Tables 1-10: input-parameter sheets,
+// predicted-vs-actual performance columns, and resource-utilization
+// summaries. The formatting helpers reproduce the paper's notation
+// (three-significant-figure scientific times like "1.31E-4",
+// one-decimal speedups, integer-percent utilizations with tenths below
+// one percent).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/resource"
+)
+
+// FormatSci renders a positive quantity the way the paper prints
+// times: three significant figures with a compact exponent, e.g.
+// "5.56E-6", "1.07E-1", "4.54E+1". Zero renders as "0".
+func FormatSci(x float64) string {
+	if x == 0 {
+		return "0"
+	}
+	s := fmt.Sprintf("%.2E", x)
+	// Go prints "5.56E-06"; the paper prints "5.56E-6".
+	s = strings.Replace(s, "E-0", "E-", 1)
+	s = strings.Replace(s, "E+0", "E+", 1)
+	return s
+}
+
+// FormatPercent renders a fraction as the paper prints utilizations:
+// integer percent normally, one decimal below 1%.
+func FormatPercent(f float64) string {
+	p := f * 100
+	if p != 0 && math.Abs(p) < 1 {
+		return fmt.Sprintf("%.1f%%", p)
+	}
+	return fmt.Sprintf("%.0f%%", p)
+}
+
+// FormatSpeedup renders a speedup with one decimal, as in the tables.
+func FormatSpeedup(s float64) string { return fmt.Sprintf("%.1f", s) }
+
+// Table is a titled grid with a header row; Render aligns columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with padded columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", line(t.Headers), strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s\n", line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+// InputTable renders a worksheet in the layout of Tables 2, 5 and 8.
+func InputTable(p core.Parameters) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Input parameters of %s", p.Name),
+		Headers: []string{"Parameter", "Value"},
+	}
+	t.AddRow("Dataset Parameters", "")
+	t.AddRow("  N_elements, input (elements)", fmt.Sprintf("%d", p.Dataset.ElementsIn))
+	t.AddRow("  N_elements, output (elements)", fmt.Sprintf("%d", p.Dataset.ElementsOut))
+	t.AddRow("  N_bytes/element (bytes/element)", fmt.Sprintf("%g", p.Dataset.BytesPerElement))
+	t.AddRow("Communication Parameters", "")
+	t.AddRow("  throughput_ideal (MB/s)", fmt.Sprintf("%g", p.Comm.IdealThroughput/1e6))
+	t.AddRow("  alpha_write (0 < a <= 1)", fmt.Sprintf("%g", p.Comm.AlphaWrite))
+	t.AddRow("  alpha_read (0 < a <= 1)", fmt.Sprintf("%g", p.Comm.AlphaRead))
+	t.AddRow("Computation Parameters", "")
+	t.AddRow("  N_ops/element (ops/element)", fmt.Sprintf("%g", p.Comp.OpsPerElement))
+	t.AddRow("  throughput_proc (ops/cycle)", fmt.Sprintf("%g", p.Comp.ThroughputProc))
+	t.AddRow("  f_clock (MHz)", fmt.Sprintf("%g", p.Comp.ClockHz/1e6))
+	t.AddRow("Software Parameters", "")
+	t.AddRow("  t_soft (sec)", fmt.Sprintf("%g", p.Soft.TSoft))
+	t.AddRow("  N_iter (iterations)", fmt.Sprintf("%d", p.Soft.Iterations))
+	return t
+}
+
+// PerfColumn is one column of a performance table: a prediction or a
+// measurement at one clock. Negative utilization cells render blank
+// (the paper omits some).
+type PerfColumn struct {
+	Header   string
+	TComm    float64
+	TComp    float64
+	UtilComm float64
+	UtilComp float64
+	TRC      float64
+	Speedup  float64
+}
+
+// PredictionColumn converts a throughput-test output into a column.
+func PredictionColumn(pr core.Prediction, b core.Buffering) PerfColumn {
+	return PerfColumn{
+		Header:   fmt.Sprintf("Predicted %g", pr.Params.Comp.ClockHz/1e6),
+		TComm:    pr.TComm,
+		TComp:    pr.TComp,
+		UtilComm: pr.UtilComm(b),
+		UtilComp: pr.UtilComp(b),
+		TRC:      pr.TRC(b),
+		Speedup:  pr.Speedup(b),
+	}
+}
+
+// PerformanceTable renders columns in the layout of Tables 3, 6 and 9.
+func PerformanceTable(title string, cols []PerfColumn) Table {
+	t := Table{Title: title, Headers: []string{"f_clk (MHz)"}}
+	for _, c := range cols {
+		t.Headers = append(t.Headers, c.Header)
+	}
+	row := func(label string, get func(PerfColumn) string) {
+		cells := []string{label}
+		for _, c := range cols {
+			cells = append(cells, get(c))
+		}
+		t.AddRow(cells...)
+	}
+	optPct := func(v float64) string {
+		if v < 0 {
+			return ""
+		}
+		return FormatPercent(v)
+	}
+	row("t_comm (sec)", func(c PerfColumn) string { return FormatSci(c.TComm) })
+	row("t_comp (sec)", func(c PerfColumn) string { return FormatSci(c.TComp) })
+	row("util_comm_SB", func(c PerfColumn) string { return optPct(c.UtilComm) })
+	row("util_comp_SB", func(c PerfColumn) string { return optPct(c.UtilComp) })
+	row("t_RC_SB (sec)", func(c PerfColumn) string { return FormatSci(c.TRC) })
+	row("speedup", func(c PerfColumn) string { return FormatSpeedup(c.Speedup) })
+	return t
+}
+
+// ResourceTable renders a resource report in the layout of Tables 4, 7
+// and 10.
+func ResourceTable(rep resource.Report) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Resource usage (%s)", rep.Device.Name),
+		Headers: []string{"FPGA Resource", "Utilization"},
+	}
+	for _, l := range rep.Lines {
+		t.AddRow(l.DisplayName, FormatPercent(l.Utilization))
+	}
+	return t
+}
+
+// SideBySide renders a comparison of paper-published cells against
+// reproduced values, used by the benchmark harness's output.
+func SideBySide(title string, rows [][3]string) Table {
+	t := Table{Title: title, Headers: []string{"Quantity", "Paper", "Reproduced"}}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2])
+	}
+	return t
+}

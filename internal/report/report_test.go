@@ -1,0 +1,145 @@
+package report_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/report"
+	"github.com/chrec/rat/internal/resource"
+)
+
+func TestFormatSciMatchesPaperNotation(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{5.5626e-6, "5.56E-6"},
+		{1.31072e-4, "1.31E-4"},
+		{1.07e-1, "1.07E-1"},
+		{4.54e1, "4.54E+1"},
+		{2.3e1, "2.30E+1"},
+		{8.79e-1, "8.79E-1"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := report.FormatSci(c.x); got != c.want {
+			t.Errorf("FormatSci(%g) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want string
+	}{
+		{0.02, "2%"},
+		{0.15, "15%"},
+		{0.004, "0.4%"},
+		{0.993, "99%"},
+		{0, "0%"},
+		{1, "100%"},
+	}
+	for _, c := range cases {
+		if got := report.FormatPercent(c.f); got != c.want {
+			t.Errorf("FormatPercent(%g) = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFormatSpeedup(t *testing.T) {
+	if got := report.FormatSpeedup(10.576); got != "10.6" {
+		t.Errorf("FormatSpeedup = %q", got)
+	}
+}
+
+// TestPerformanceTableReproducesTable3: rendering the predictions of
+// the 1-D PDF worksheet must print the same cells as the paper's
+// Table 3 predicted columns.
+func TestPerformanceTableReproducesTable3(t *testing.T) {
+	var cols []report.PerfColumn
+	for _, hz := range paper.ClocksHz {
+		pr := core.MustPredict(paper.PDF1DParams().WithClock(hz))
+		cols = append(cols, report.PredictionColumn(pr, core.SingleBuffered))
+	}
+	tbl := report.PerformanceTable("Performance parameters of 1-D PDF", cols)
+	out := tbl.String()
+	for _, cell := range []string{
+		"5.56E-6",                       // t_comm at every clock
+		"2.62E-4", "1.97E-4", "1.31E-4", // t_comp
+		"1.07E-1", "8.09E-2", "5.47E-2", // t_RC (exact arithmetic prints 5.47E-2)
+		"5.4", "7.1", "10.6", // speedups (exact arithmetic prints 7.1)
+		"2%", "3%", "4%", // util_comm
+	} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("table missing cell %q:\n%s", cell, out)
+		}
+	}
+}
+
+func TestInputTableRendersWorksheet(t *testing.T) {
+	tbl := report.InputTable(paper.MDParams())
+	out := tbl.String()
+	for _, cell := range []string{"16384", "36", "500", "0.9", "164000", "50", "5.78", "molecular dynamics"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("input table missing %q:\n%s", cell, out)
+		}
+	}
+}
+
+func TestResourceTable(t *testing.T) {
+	rep := resource.Check(resource.VirtexLX100, resource.Demand{DSP: 8, BRAM: 36, Logic: 6390})
+	tbl := report.ResourceTable(rep)
+	out := tbl.String()
+	for _, cell := range []string{"48-bit DSPs", "BRAMs", "Slices", "8%", "15%", "13%"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("resource table missing %q:\n%s", cell, out)
+		}
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	tbl := report.SideBySide("Table 3 comparison", [][3]string{
+		{"speedup (150 MHz)", "10.6", "10.6"},
+	})
+	out := tbl.String()
+	if !strings.Contains(out, "Paper") || !strings.Contains(out, "Reproduced") || !strings.Contains(out, "10.6") {
+		t.Errorf("side-by-side table malformed:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := report.Table{Headers: []string{"A", "LongHeader"}}
+	tbl.AddRow("xxxxxxxx", "1")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column two starts at the same offset in header and data rows.
+	h := strings.Index(lines[0], "LongHeader")
+	d := strings.Index(lines[2], "1")
+	if h != d {
+		t.Errorf("misaligned columns: header at %d, data at %d\n%s", h, d, out)
+	}
+	// Empty-cell handling: missing trailing cells render fine.
+	tbl.AddRow("only-one")
+	if s := tbl.String(); !strings.Contains(s, "only-one") {
+		t.Errorf("short row mangled:\n%s", s)
+	}
+}
+
+func TestRenderPropagatesWriterErrors(t *testing.T) {
+	tbl := report.Table{Title: "t", Headers: []string{"a"}}
+	tbl.AddRow("b")
+	if err := tbl.Render(failWriter{}); err == nil {
+		t.Error("Render must propagate writer errors")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("closed") }

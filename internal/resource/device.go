@@ -1,0 +1,199 @@
+// Package resource implements the RAT resource test (Section 3.3 of the
+// paper): estimating an application design's demand for the three
+// resource classes that empirically bound FPGA designs — on-chip
+// memory, dedicated multiplier/DSP blocks, and basic logic elements —
+// and checking the estimate against a device's inventory.
+//
+// A priori resource counts are inexact (the paper is explicit that
+// precise logic counts are "nearly impossible" before an HDL
+// implementation exists), but they are still necessary to reject
+// designs that are physically unrealizable, and they expose scaling
+// trends: the molecular-dynamics case study's parallelism was
+// ultimately limited by multiplier availability, which this analysis
+// flags before any hardware coding.
+package resource
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind names one of the three resource classes the test tracks.
+type Kind string
+
+const (
+	// Logic is the basic logic-element class: slices on Xilinx
+	// parts, ALUTs on Altera parts.
+	Logic Kind = "logic"
+	// BRAM is the on-chip block-memory class.
+	BRAM Kind = "bram"
+	// DSP is the dedicated multiplier/multiply-accumulate class.
+	DSP Kind = "dsp"
+)
+
+// Vendor distinguishes device families with different operator cost
+// models.
+type Vendor string
+
+const (
+	Xilinx Vendor = "Xilinx"
+	Altera Vendor = "Altera"
+)
+
+// Device is one FPGA part's resource inventory.
+type Device struct {
+	Name   string
+	Family string
+	Vendor Vendor
+
+	// LogicCells is the number of basic logic elements and
+	// LogicName what the vendor calls them ("Slices", "ALUTs").
+	LogicCells int
+	LogicName  string
+
+	// BRAMBlocks is the number of block RAMs and BRAMBits the
+	// usable bits per block.
+	BRAMBlocks int
+	BRAMBits   int64
+
+	// DSPBlocks is the number of dedicated multiplier units in the
+	// vendor's own accounting unit, named by DSPName: whole DSP48
+	// slices on Virtex-4 ("48-bit DSPs"), 9-bit elements on
+	// Stratix-II ("9-bit DSPs", eight per DSP block) — matching the
+	// units the paper's Tables 4, 7 and 10 report.
+	DSPBlocks int
+	DSPName   string
+
+	// NativeMulBits is the widest multiplication one DSP unit (or
+	// unit group) performs natively: 18 on both studied families.
+	NativeMulBits int
+}
+
+// Inventory returns the device's capacity for a resource kind.
+func (d Device) Inventory(k Kind) int {
+	switch k {
+	case Logic:
+		return d.LogicCells
+	case BRAM:
+		return d.BRAMBlocks
+	case DSP:
+		return d.DSPBlocks
+	default:
+		return 0
+	}
+}
+
+// KindName returns the device-specific display name for a resource
+// kind (e.g. "Slices" vs "ALUTs", "48-bit DSPs" vs "9-bit DSPs").
+func (d Device) KindName(k Kind) string {
+	switch k {
+	case Logic:
+		return d.LogicName
+	case BRAM:
+		return "BRAMs"
+	case DSP:
+		return d.DSPName
+	default:
+		return string(k)
+	}
+}
+
+// The parts used by the paper's case studies, plus close family
+// members useful for what-if studies. Inventories follow the vendor
+// datasheets: Virtex-4 numbers from Xilinx DS112, Stratix-II from
+// Altera's EP2S180 tables.
+var (
+	// VirtexLX100 is the Virtex-4 LX100 user FPGA of the Nallatech
+	// H101-PCIXM card (both PDF case studies).
+	VirtexLX100 = Device{
+		Name: "Virtex-4 LX100", Family: "Virtex-4", Vendor: Xilinx,
+		LogicCells: 49152, LogicName: "Slices",
+		BRAMBlocks: 240, BRAMBits: 18 * 1024,
+		DSPBlocks: 96, DSPName: "48-bit DSPs",
+		NativeMulBits: 18,
+	}
+	// VirtexSX55 is the DSP-heavy Virtex-4 family member the paper
+	// cites as evidence of multiplier demand (Section 3.3).
+	VirtexSX55 = Device{
+		Name: "Virtex-4 SX55", Family: "Virtex-4", Vendor: Xilinx,
+		LogicCells: 24576, LogicName: "Slices",
+		BRAMBlocks: 320, BRAMBits: 18 * 1024,
+		DSPBlocks: 512, DSPName: "48-bit DSPs",
+		NativeMulBits: 18,
+	}
+	// StratixEP2S180 is the user FPGA of the XtremeData XD1000
+	// (molecular-dynamics case study). DSPs are counted in the
+	// 9-bit elements of Table 10: 96 DSP blocks x 8 elements.
+	// Stratix-II memory comes in three block sizes (M512, M4K and
+	// the 512-kbit M-RAM); this model normalizes the part's ~9.4
+	// Mbit of total block memory over its 768 M4K-class positions,
+	// ~12 kbit per accounting block.
+	StratixEP2S180 = Device{
+		Name: "Stratix-II EP2S180", Family: "Stratix-II", Vendor: Altera,
+		LogicCells: 143520, LogicName: "ALUTs",
+		BRAMBlocks: 768, BRAMBits: 12 * 1024,
+		DSPBlocks: 768, DSPName: "9-bit DSPs",
+		NativeMulBits: 18,
+	}
+)
+
+// Additional 2007-era family members, for what-if platform studies.
+var (
+	// VirtexLX60 is the LX100's smaller sibling, useful for asking
+	// whether a design could ship on a cheaper card.
+	VirtexLX60 = Device{
+		Name: "Virtex-4 LX60", Family: "Virtex-4", Vendor: Xilinx,
+		LogicCells: 26624, LogicName: "Slices",
+		BRAMBlocks: 160, BRAMBits: 18 * 1024,
+		DSPBlocks: 64, DSPName: "48-bit DSPs",
+		NativeMulBits: 18,
+	}
+	// StratixEP2S90 is the EP2S180's mid-size sibling (DSPs again in
+	// 9-bit elements; memory normalized as for the EP2S180).
+	StratixEP2S90 = Device{
+		Name: "Stratix-II EP2S90", Family: "Stratix-II", Vendor: Altera,
+		LogicCells: 72768, LogicName: "ALUTs",
+		BRAMBlocks: 408, BRAMBits: 11 * 1024,
+		DSPBlocks: 384, DSPName: "9-bit DSPs",
+		NativeMulBits: 18,
+	}
+)
+
+// registry maps device names to inventories for Lookup.
+var registry = map[string]Device{
+	VirtexLX100.Name:    VirtexLX100,
+	VirtexLX60.Name:     VirtexLX60,
+	VirtexSX55.Name:     VirtexSX55,
+	StratixEP2S180.Name: StratixEP2S180,
+	StratixEP2S90.Name:  StratixEP2S90,
+}
+
+// Lookup returns a device from the built-in database by name.
+func Lookup(name string) (Device, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Devices returns the database contents sorted by name.
+func Devices() []Device {
+	out := make([]Device, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Register adds or replaces a device in the database, for users
+// targeting parts the library does not ship. It rejects devices with
+// empty names or non-positive inventories.
+func Register(d Device) error {
+	if d.Name == "" {
+		return fmt.Errorf("resource: device with empty name")
+	}
+	if d.LogicCells <= 0 || d.BRAMBlocks <= 0 || d.DSPBlocks <= 0 || d.BRAMBits <= 0 {
+		return fmt.Errorf("resource: device %q has non-positive inventory", d.Name)
+	}
+	registry[d.Name] = d
+	return nil
+}

@@ -1,0 +1,195 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demand is an estimated resource requirement in device units: logic
+// cells, BRAM blocks and DSP units (in the target device's own DSP
+// accounting unit).
+type Demand struct {
+	Logic int
+	BRAM  int
+	DSP   int
+}
+
+// Add returns the component-wise sum of two demands.
+func (d Demand) Add(o Demand) Demand {
+	return Demand{Logic: d.Logic + o.Logic, BRAM: d.BRAM + o.BRAM, DSP: d.DSP + o.DSP}
+}
+
+// Scale returns the demand multiplied by n (e.g. one pipeline's demand
+// scaled by the replication factor).
+func (d Demand) Scale(n int) Demand {
+	return Demand{Logic: d.Logic * n, BRAM: d.BRAM * n, DSP: d.DSP * n}
+}
+
+// Get returns the demand for one resource kind.
+func (d Demand) Get(k Kind) int {
+	switch k {
+	case Logic:
+		return d.Logic
+	case BRAM:
+		return d.BRAM
+	case DSP:
+		return d.DSP
+	default:
+		return 0
+	}
+}
+
+// OpClass names an operator for the per-device cost model.
+type OpClass string
+
+const (
+	OpAdd  OpClass = "add"  // fixed-point add/subtract/compare
+	OpMul  OpClass = "mul"  // fixed-point multiply
+	OpMAC  OpClass = "mac"  // multiply-accumulate (multiply + wide add)
+	OpDiv  OpClass = "div"  // fixed-point divide
+	OpSqrt OpClass = "sqrt" // fixed-point square root
+	OpLUT  OpClass = "lut"  // table lookup (function evaluation)
+	OpReg  OpClass = "reg"  // register/storage stage
+
+	// Floating-point classes; the width is the total format width
+	// (32 for single precision). These are what make floating point
+	// expensive on these families: the mantissa multiply plus
+	// substantial normalization/alignment logic.
+	OpFAdd OpClass = "fadd" // floating add/subtract
+	OpFMul OpClass = "fmul" // floating multiply
+	OpFDiv OpClass = "fdiv" // floating divide
+)
+
+// mantissaBits returns the significand width (with hidden bit) for a
+// floating format of the given total width: 24 for float32, 53 for
+// float64, and a 2/3 estimate for nonstandard widths.
+func mantissaBits(width int) int {
+	switch width {
+	case 32:
+		return 24
+	case 64:
+		return 53
+	default:
+		return width * 2 / 3
+	}
+}
+
+// dspUnitsForMul returns how many of the device's DSP units one WxW
+// multiply consumes.
+//
+// Xilinx Virtex-4 counts whole DSP48 slices; the paper's rule of thumb
+// is one per 18-bit multiply and two per 32-bit fixed multiply
+// (Section 3.3), i.e. ceil(W/18) cascaded partial products with the
+// cross terms folded into fabric logic. Altera Stratix-II counts 9-bit
+// elements: a WxW multiply occupies ceil(W/9)^2 elements (an 18x18
+// takes 4, a 36x36 takes 16).
+func dspUnitsForMul(dev Device, width int) int {
+	if width <= 0 {
+		return 0
+	}
+	switch dev.Vendor {
+	case Altera:
+		n := (width + 8) / 9
+		return n * n
+	default: // Xilinx-style whole-DSP accounting
+		return (width + dev.NativeMulBits - 1) / dev.NativeMulBits
+	}
+}
+
+// OperatorCost estimates the demand of one operator instance of the
+// given class and bit width on the device. The numbers are deliberately
+// first-order — the paper is explicit that pre-HDL logic counts are
+// qualitative — but they reproduce the vendor-specific rules it quotes
+// (an 18-bit multiply costs one Xilinx MAC unit, a 32-bit fixed
+// multiply costs two).
+func OperatorCost(dev Device, op OpClass, width int) (Demand, error) {
+	if width <= 0 || width > 64 {
+		return Demand{}, fmt.Errorf("resource: operator width %d out of range (1..64)", width)
+	}
+	w := width
+	switch op {
+	case OpAdd:
+		// A W-bit adder/subtractor/comparator maps to roughly W/2
+		// slices (two LUT+carry per slice) or W ALUTs.
+		if dev.Vendor == Altera {
+			return Demand{Logic: w}, nil
+		}
+		return Demand{Logic: (w + 1) / 2}, nil
+	case OpMul, OpMAC:
+		d := Demand{DSP: dspUnitsForMul(dev, w)}
+		// Multi-unit multiplies need fabric logic to stitch
+		// partial products; MACs add the accumulator register.
+		if d.DSP > 1 {
+			d.Logic = w
+		}
+		if op == OpMAC {
+			d.Logic += w / 2
+		}
+		return d, nil
+	case OpDiv, OpSqrt:
+		// Iterative dividers/roots: about W^2/4 logic cells and no
+		// DSPs for the radix-2 forms typical at these widths.
+		return Demand{Logic: w * w / 4}, nil
+	case OpLUT:
+		// A table evaluation holds 2^k entries of W bits in BRAM;
+		// assume 10 address bits (1K entries) per lookup unit.
+		bits := int64(1024) * int64(w)
+		blocks := int(math.Ceil(float64(bits) / float64(dev.BRAMBits)))
+		return Demand{BRAM: blocks, Logic: w / 2}, nil
+	case OpReg:
+		// Pure registering: flip-flops live in logic cells.
+		if dev.Vendor == Altera {
+			return Demand{Logic: w}, nil
+		}
+		return Demand{Logic: (w + 1) / 2}, nil
+	case OpFAdd:
+		// Alignment shifter, wide add, normalize, round: several
+		// hundred cells, no dedicated multipliers.
+		if dev.Vendor == Altera {
+			return Demand{Logic: 18 * w}, nil
+		}
+		return Demand{Logic: 9 * w}, nil
+	case OpFMul:
+		// Mantissa product on DSPs plus pack/unpack/normalize logic.
+		d := Demand{DSP: dspUnitsForMul(dev, mantissaBits(w))}
+		if dev.Vendor == Altera {
+			d.Logic = 10 * w
+		} else {
+			d.Logic = 5 * w
+		}
+		return d, nil
+	case OpFDiv:
+		// Iterative mantissa divide plus the floating wrapper.
+		m := mantissaBits(w)
+		if dev.Vendor == Altera {
+			return Demand{Logic: m*m/4 + 12*w}, nil
+		}
+		return Demand{Logic: m*m/4 + 6*w}, nil
+	default:
+		return Demand{}, fmt.Errorf("resource: unknown operator class %q", op)
+	}
+}
+
+// BufferDemand returns the BRAM blocks needed to buffer the given
+// number of bytes on chip (I/O staging, Section 3.3's "I/O buffers of
+// a known size"). Zero bytes need zero blocks.
+func BufferDemand(dev Device, bytes int64) Demand {
+	if bytes <= 0 {
+		return Demand{}
+	}
+	blocks := int((bytes*8 + dev.BRAMBits - 1) / dev.BRAMBits)
+	return Demand{BRAM: blocks}
+}
+
+// WrapperDemand returns the fixed overhead of the vendor-provided
+// platform wrapper that interfaces user designs to the host (the paper
+// notes these "can consume a significant number of memories but the
+// quantity is generally constant and independent of the application").
+// The figures model the Nallatech and XtremeData wrappers of the case
+// studies: a few percent of logic and a fixed block of BRAMs.
+func WrapperDemand(dev Device) Demand {
+	return Demand{
+		Logic: dev.LogicCells / 25, // ~4% control/interface logic
+		BRAM:  dev.BRAMBlocks / 16, // ~6% staging FIFOs
+	}
+}

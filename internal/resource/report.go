@@ -1,0 +1,101 @@
+package resource
+
+import "fmt"
+
+// RoutingStrainThreshold is the logic utilization above which the
+// report warns about routability: the paper observes that "routing
+// strain increases exponentially as logic element utilization
+// approaches maximum" and that filling the whole FPGA is often unwise.
+const RoutingStrainThreshold = 0.80
+
+// Line is one row of a resource report: demand versus inventory for
+// one resource kind.
+type Line struct {
+	Kind        Kind
+	DisplayName string
+	Demand      int
+	Inventory   int
+	Utilization float64 // Demand / Inventory
+}
+
+// Report is the outcome of the resource test for one design on one
+// device.
+type Report struct {
+	Device Device
+	Lines  []Line
+
+	// Fits is true when every resource class fits the inventory.
+	Fits bool
+	// Limiting is the resource kind with the highest utilization —
+	// the scalability bound the paper's MD study hit (multipliers).
+	Limiting Kind
+	// Warnings carries soft findings: routing strain near full
+	// logic, classes above 90%, and similar.
+	Warnings []string
+}
+
+// Check runs the resource test: total demand against the device
+// inventory, per-class utilization, fit verdict and warnings.
+func Check(dev Device, total Demand) Report {
+	rep := Report{Device: dev, Fits: true}
+	worst := -1.0
+	for _, k := range []Kind{DSP, BRAM, Logic} {
+		inv := dev.Inventory(k)
+		dem := total.Get(k)
+		util := 0.0
+		if inv > 0 {
+			util = float64(dem) / float64(inv)
+		}
+		rep.Lines = append(rep.Lines, Line{
+			Kind: k, DisplayName: dev.KindName(k),
+			Demand: dem, Inventory: inv, Utilization: util,
+		})
+		if util > worst {
+			worst = util
+			rep.Limiting = k
+		}
+		if dem > inv {
+			rep.Fits = false
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("%s demand %d exceeds the %d available on %s",
+					dev.KindName(k), dem, inv, dev.Name))
+		} else if util > 0.9 {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("%s utilization %.0f%% leaves little headroom", dev.KindName(k), util*100))
+		}
+	}
+	if logicUtil := rep.Utilization(Logic); rep.Fits && logicUtil > RoutingStrainThreshold {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("logic utilization %.0f%% risks routing strain (threshold %.0f%%)",
+				logicUtil*100, RoutingStrainThreshold*100))
+	}
+	return rep
+}
+
+// Utilization returns the utilization fraction for a resource kind.
+func (r Report) Utilization(k Kind) float64 {
+	for _, l := range r.Lines {
+		if l.Kind == k {
+			return l.Utilization
+		}
+	}
+	return 0
+}
+
+// MaxReplicas returns how many copies of a per-replica demand fit on
+// the device alongside a fixed overhead — the scalability question the
+// resource test exists to answer ("how many more parallel kernels can
+// this chip hold"). It returns 0 when even one replica does not fit.
+func MaxReplicas(dev Device, fixed, perReplica Demand) int {
+	n := 0
+	for {
+		total := fixed.Add(perReplica.Scale(n + 1))
+		if !Check(dev, total).Fits {
+			return n
+		}
+		n++
+		if n > 1<<20 { // guard against zero per-replica demand
+			return n
+		}
+	}
+}

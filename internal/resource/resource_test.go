@@ -1,0 +1,255 @@
+package resource_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/resource"
+)
+
+func TestDeviceDatabase(t *testing.T) {
+	lx, ok := resource.Lookup("Virtex-4 LX100")
+	if !ok {
+		t.Fatal("LX100 missing from database")
+	}
+	if lx.DSPBlocks != 96 || lx.BRAMBlocks != 240 || lx.LogicCells != 49152 {
+		t.Errorf("LX100 inventory wrong: %+v", lx)
+	}
+	if lx.KindName(resource.Logic) != "Slices" || lx.KindName(resource.DSP) != "48-bit DSPs" {
+		t.Errorf("LX100 naming wrong")
+	}
+	s2, ok := resource.Lookup("Stratix-II EP2S180")
+	if !ok {
+		t.Fatal("EP2S180 missing")
+	}
+	if s2.DSPBlocks != 768 || s2.KindName(resource.DSP) != "9-bit DSPs" || s2.KindName(resource.Logic) != "ALUTs" {
+		t.Errorf("EP2S180 wrong: %+v", s2)
+	}
+	if _, ok := resource.Lookup("imaginary"); ok {
+		t.Error("Lookup invented a device")
+	}
+	devs := resource.Devices()
+	if len(devs) < 3 {
+		t.Errorf("database has %d devices, want >= 3", len(devs))
+	}
+	for i := 1; i < len(devs); i++ {
+		if devs[i-1].Name >= devs[i].Name {
+			t.Error("Devices() not sorted")
+		}
+	}
+}
+
+func TestRegister(t *testing.T) {
+	custom := resource.VirtexLX100
+	custom.Name = "Test-Part-1"
+	if err := resource.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resource.Lookup("Test-Part-1"); !ok {
+		t.Error("registered device not found")
+	}
+	if err := resource.Register(resource.Device{}); err == nil {
+		t.Error("empty device accepted")
+	}
+	bad := custom
+	bad.Name = "Test-Part-2"
+	bad.DSPBlocks = 0
+	if err := resource.Register(bad); err == nil {
+		t.Error("zero-inventory device accepted")
+	}
+}
+
+func TestInventoryAndDemandAccessors(t *testing.T) {
+	d := resource.Demand{Logic: 10, BRAM: 20, DSP: 30}
+	if d.Get(resource.Logic) != 10 || d.Get(resource.BRAM) != 20 || d.Get(resource.DSP) != 30 {
+		t.Error("Demand.Get broken")
+	}
+	if d.Get(resource.Kind("bogus")) != 0 {
+		t.Error("unknown kind should read zero")
+	}
+	if resource.VirtexLX100.Inventory(resource.Kind("bogus")) != 0 {
+		t.Error("unknown inventory should read zero")
+	}
+	sum := d.Add(resource.Demand{Logic: 1, BRAM: 2, DSP: 3})
+	if sum != (resource.Demand{Logic: 11, BRAM: 22, DSP: 33}) {
+		t.Errorf("Add = %+v", sum)
+	}
+	if d.Scale(2) != (resource.Demand{Logic: 20, BRAM: 40, DSP: 60}) {
+		t.Errorf("Scale = %+v", d.Scale(2))
+	}
+}
+
+// TestOperatorCostPaperRules: the vendor-specific rules the paper
+// quotes — one Xilinx MAC per 18-bit multiply, two per 32-bit; Altera
+// 9-bit elements go as ceil(w/9)^2.
+func TestOperatorCostPaperRules(t *testing.T) {
+	lx := resource.VirtexLX100
+	c18, err := resource.OperatorCost(lx, resource.OpMul, 18)
+	if err != nil || c18.DSP != 1 {
+		t.Errorf("18-bit mul on V4: %+v, %v; want 1 DSP", c18, err)
+	}
+	c32, err := resource.OperatorCost(lx, resource.OpMul, 32)
+	if err != nil || c32.DSP != 2 {
+		t.Errorf("32-bit mul on V4: %+v, %v; want 2 DSPs (the paper's rule)", c32, err)
+	}
+	s2 := resource.StratixEP2S180
+	a18, err := resource.OperatorCost(s2, resource.OpMul, 18)
+	if err != nil || a18.DSP != 4 {
+		t.Errorf("18-bit mul on S2: %+v, %v; want 4 nine-bit elements", a18, err)
+	}
+	a9, err := resource.OperatorCost(s2, resource.OpMul, 9)
+	if err != nil || a9.DSP != 1 {
+		t.Errorf("9-bit mul on S2: %+v, %v; want 1 element", a9, err)
+	}
+	a32, err := resource.OperatorCost(s2, resource.OpMul, 32)
+	if err != nil || a32.DSP != 16 {
+		t.Errorf("32-bit mul on S2: %+v, %v; want 16 elements", a32, err)
+	}
+}
+
+func TestOperatorCostClasses(t *testing.T) {
+	lx := resource.VirtexLX100
+	add, err := resource.OperatorCost(lx, resource.OpAdd, 18)
+	if err != nil || add.DSP != 0 || add.Logic != 9 {
+		t.Errorf("18-bit add: %+v, %v", add, err)
+	}
+	mac, err := resource.OperatorCost(lx, resource.OpMAC, 18)
+	if err != nil || mac.DSP != 1 || mac.Logic < add.Logic {
+		t.Errorf("18-bit MAC: %+v, %v", mac, err)
+	}
+	div, err := resource.OperatorCost(lx, resource.OpDiv, 32)
+	if err != nil || div.Logic != 256 {
+		t.Errorf("32-bit div: %+v, %v", div, err)
+	}
+	lut, err := resource.OperatorCost(lx, resource.OpLUT, 18)
+	if err != nil || lut.BRAM != 1 {
+		t.Errorf("18-bit LUT: %+v, %v", lut, err)
+	}
+	reg, err := resource.OperatorCost(resource.StratixEP2S180, resource.OpReg, 32)
+	if err != nil || reg.Logic != 32 {
+		t.Errorf("32-bit reg on Altera: %+v, %v", reg, err)
+	}
+	if _, err := resource.OperatorCost(lx, resource.OpClass("fly"), 18); err == nil {
+		t.Error("unknown class accepted")
+	}
+	// Floating-point classes: the mantissa product drives DSP cost
+	// (24-bit mantissa -> 2 DSP48s on Xilinx, 9 nine-bit elements on
+	// Altera) and every class carries substantial wrapper logic.
+	fmul, err := resource.OperatorCost(lx, resource.OpFMul, 32)
+	if err != nil || fmul.DSP != 2 || fmul.Logic < 100 {
+		t.Errorf("fmul32 on V4: %+v, %v", fmul, err)
+	}
+	fmulA, err := resource.OperatorCost(resource.StratixEP2S180, resource.OpFMul, 32)
+	if err != nil || fmulA.DSP != 9 {
+		t.Errorf("fmul32 on S2: %+v, %v (24-bit mantissa = 9 nine-bit elements)", fmulA, err)
+	}
+	fadd, err := resource.OperatorCost(lx, resource.OpFAdd, 32)
+	if err != nil || fadd.DSP != 0 || fadd.Logic < 200 {
+		t.Errorf("fadd32: %+v, %v", fadd, err)
+	}
+	fdiv, err := resource.OperatorCost(lx, resource.OpFDiv, 32)
+	if err != nil || fdiv.Logic <= fadd.Logic {
+		t.Errorf("fdiv32: %+v, %v (must outweigh fadd)", fdiv, err)
+	}
+	f64, err := resource.OperatorCost(lx, resource.OpFMul, 64)
+	if err != nil || f64.DSP <= fmul.DSP {
+		t.Errorf("fmul64: %+v, %v (53-bit mantissa must cost more)", f64, err)
+	}
+	if _, err := resource.OperatorCost(lx, resource.OpMul, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := resource.OperatorCost(lx, resource.OpMul, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestBufferDemand(t *testing.T) {
+	lx := resource.VirtexLX100 // 18 kbit blocks
+	if got := resource.BufferDemand(lx, 0); got.BRAM != 0 {
+		t.Errorf("zero bytes: %+v", got)
+	}
+	if got := resource.BufferDemand(lx, 2048); got.BRAM != 1 { // 16 kbit
+		t.Errorf("2 KB: %+v, want 1 block", got)
+	}
+	if got := resource.BufferDemand(lx, 2305); got.BRAM != 2 { // just over one block
+		t.Errorf("18 kbit + 8 bits: %+v, want 2 blocks", got)
+	}
+}
+
+func TestCheckAndWarnings(t *testing.T) {
+	lx := resource.VirtexLX100
+	ok := resource.Check(lx, resource.Demand{Logic: 100, BRAM: 10, DSP: 5})
+	if !ok.Fits || len(ok.Warnings) != 0 {
+		t.Errorf("modest design: %+v", ok)
+	}
+	if ok.Limiting != resource.DSP && ok.Limiting != resource.BRAM {
+		// 5/96=5.2%, 10/240=4.2%, 100/49152=0.2% -> DSP leads.
+	}
+	if ok.Limiting != resource.DSP {
+		t.Errorf("limiting = %v, want DSP", ok.Limiting)
+	}
+
+	over := resource.Check(lx, resource.Demand{DSP: 100, BRAM: 10, Logic: 100})
+	if over.Fits {
+		t.Error("DSP overflow must not fit")
+	}
+	if len(over.Warnings) == 0 || !strings.Contains(over.Warnings[0], "exceeds") {
+		t.Errorf("warnings = %v", over.Warnings)
+	}
+
+	tight := resource.Check(lx, resource.Demand{DSP: 92, BRAM: 10, Logic: 100})
+	if !tight.Fits {
+		t.Error("95% DSP fits")
+	}
+	found := false
+	for _, w := range tight.Warnings {
+		if strings.Contains(w, "little headroom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("95%% utilization should warn: %v", tight.Warnings)
+	}
+
+	strained := resource.Check(lx, resource.Demand{Logic: 45000, BRAM: 1, DSP: 1})
+	found = false
+	for _, w := range strained.Warnings {
+		if strings.Contains(w, "routing strain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("91%% logic should warn about routing: %v", strained.Warnings)
+	}
+}
+
+func TestReportUtilization(t *testing.T) {
+	rep := resource.Check(resource.VirtexLX100, resource.Demand{DSP: 48, BRAM: 24, Logic: 4915})
+	if got := rep.Utilization(resource.DSP); got != 0.5 {
+		t.Errorf("DSP util = %g", got)
+	}
+	if got := rep.Utilization(resource.BRAM); got != 0.1 {
+		t.Errorf("BRAM util = %g", got)
+	}
+	if got := rep.Utilization(resource.Kind("bogus")); got != 0 {
+		t.Errorf("unknown kind util = %g", got)
+	}
+}
+
+func TestMaxReplicas(t *testing.T) {
+	lx := resource.VirtexLX100
+	per := resource.Demand{DSP: 10, BRAM: 5, Logic: 100}
+	fixed := resource.Demand{DSP: 6, BRAM: 0, Logic: 0}
+	// DSP budget: 96 - 6 = 90 -> 9 replicas.
+	if n := resource.MaxReplicas(lx, fixed, per); n != 9 {
+		t.Errorf("MaxReplicas = %d, want 9", n)
+	}
+	// Nothing fits when fixed overhead already overflows.
+	if n := resource.MaxReplicas(lx, resource.Demand{DSP: 97}, per); n != 0 {
+		t.Errorf("overflowing fixed: %d, want 0", n)
+	}
+	// Guard against zero per-replica demand.
+	if n := resource.MaxReplicas(lx, resource.Demand{}, resource.Demand{}); n <= 1<<20 {
+		t.Errorf("zero-demand guard returned %d", n)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// Resource is a serially-shared unit — the CPU<->FPGA interconnect is
+// the canonical example: only one transfer occupies the channel at a
+// time, and the paper's utilization equations treat it as "only a
+// single resource" (Section 3.1). Grant order is FIFO.
+//
+// Holders acquire with a callback that fires (via the simulator
+// calendar, never inline) once the resource is theirs, and must call
+// Release exactly once when done.
+type Resource struct {
+	sim     *Simulator
+	name    string
+	busy    bool
+	waiters []func()
+
+	// Occupancy accounting for utilization reports.
+	busySince Time
+	busyTotal Time
+	grants    uint64
+}
+
+// NewResource returns an idle resource attached to the simulator.
+func NewResource(s *Simulator, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire requests the resource; fn runs (as a scheduled event) when
+// the grant happens — immediately at the current timestamp if the
+// resource is idle, otherwise after the current holder and any earlier
+// waiters release.
+func (r *Resource) Acquire(fn func()) {
+	if fn == nil {
+		panic("sim: Acquire with nil callback")
+	}
+	if !r.busy {
+		r.grant(fn)
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+func (r *Resource) grant(fn func()) {
+	r.busy = true
+	r.busySince = r.sim.Now()
+	r.grants++
+	r.sim.Schedule(0, fn)
+}
+
+// Release frees the resource and grants it to the next waiter, if any.
+// Releasing an idle resource panics: it means a double release.
+func (r *Resource) Release() {
+	if !r.busy {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	r.busy = false
+	r.busyTotal += r.sim.Now() - r.busySince
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.grant(next)
+	}
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters not yet granted.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime returns the cumulative held time over the simulation,
+// including the in-progress hold up to the current timestamp.
+func (r *Resource) BusyTime() Time {
+	t := r.busyTotal
+	if r.busy {
+		t += r.sim.Now() - r.busySince
+	}
+	return t
+}
+
+// Grants returns how many times the resource has been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// Clock converts between cycle counts of a fixed-frequency clock
+// domain and simulation time. Durations are computed from the total
+// cycle count in one rounding step, so long kernels do not accumulate
+// per-cycle rounding error (a 150 MHz period is 6666.67 ps).
+type Clock struct {
+	Hz float64
+}
+
+// Cycles returns the duration of n clock cycles, rounded to the
+// nearest picosecond. Negative cycle counts panic.
+func (c Clock) Cycles(n int64) Time {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative cycle count %d", n))
+	}
+	if c.Hz <= 0 {
+		panic(fmt.Sprintf("sim: clock with non-positive frequency %g", c.Hz))
+	}
+	return FromSeconds(float64(n) / c.Hz)
+}
+
+// CyclesIn returns how many complete cycles fit in the duration d.
+func (c Clock) CyclesIn(d Time) int64 {
+	if c.Hz <= 0 {
+		panic(fmt.Sprintf("sim: clock with non-positive frequency %g", c.Hz))
+	}
+	return int64(d.Seconds() * c.Hz)
+}

@@ -1,0 +1,176 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: an event calendar ordered by integer picosecond timestamps,
+// with FIFO tie-breaking, plus the serialized-resource and clock-domain
+// helpers the RC platform models need.
+//
+// The engine exists because RAT's validation requires "measured"
+// hardware numbers and this reproduction has no FPGA: the simulated
+// platform (package rcsim) plays the role of the paper's Nallatech and
+// XtremeData testbeds. Determinism matters more than raw speed here —
+// every run of a scenario must produce bit-identical timings, so time
+// is kept in integer picoseconds rather than floating-point seconds
+// (see DESIGN.md for the ablation comparing the two).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp or duration in integer picoseconds.
+// The range covers about 106 days, comfortably beyond any RAT scenario
+// (the longest case study runs 45 seconds).
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FromSeconds converts a float64 duration in seconds to Time, rounding
+// to the nearest picosecond.
+func FromSeconds(s float64) Time {
+	return Time(math.Round(s * 1e12))
+}
+
+// Seconds converts a Time to float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// String implements fmt.Stringer with an automatic unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.6gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// event is one calendar entry.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks timestamp ties FIFO
+	fn  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is the event calendar. The zero value is ready to use; it
+// starts at time zero with an empty calendar.
+type Simulator struct {
+	now   Time
+	queue eventHeap
+	seq   uint64
+	steps uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of scheduled events not yet dispatched.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Steps returns the number of events dispatched so far; useful as a
+// progress metric and in tests.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Schedule enqueues fn to run after delay. A negative delay panics —
+// causality violations are programming errors. Zero delays are legal
+// and run after already-queued events at the same timestamp (FIFO).
+func (s *Simulator) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at an absolute time, which must not precede
+// the current time.
+func (s *Simulator) ScheduleAt(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: schedule of nil event")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Step dispatches the earliest pending event, advancing time to its
+// timestamp. It reports false when the calendar is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// ErrDeadline is returned by RunUntil when the calendar still holds
+// events beyond the deadline.
+var ErrDeadline = errors.New("sim: deadline reached with events pending")
+
+// Run dispatches events until the calendar drains, returning the final
+// simulation time.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil dispatches events with timestamps at or before the deadline.
+// Time advances to the deadline if the calendar drains earlier. It
+// returns ErrDeadline if undelivered events remain past the deadline,
+// which usually means a scenario hung (e.g. a resource never released).
+func (s *Simulator) RunUntil(deadline Time) error {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if len(s.queue) > 0 {
+		return fmt.Errorf("%w: %d pending, next at %v", ErrDeadline, len(s.queue), s.queue[0].at)
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package sim_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/sim"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if sim.FromSeconds(1) != sim.Second {
+		t.Errorf("FromSeconds(1) = %d", sim.FromSeconds(1))
+	}
+	if sim.FromSeconds(1.5e-6) != 1500*sim.Nanosecond {
+		t.Errorf("FromSeconds(1.5us) = %d", sim.FromSeconds(1.5e-6))
+	}
+	if got := sim.Time(2500 * sim.Nanosecond).Seconds(); got != 2.5e-6 {
+		t.Errorf("Seconds = %g", got)
+	}
+	// Round-trips at picosecond granularity.
+	for _, s := range []float64{0, 1e-12, 3.7e-9, 0.25, 45.39} {
+		if got := sim.FromSeconds(s).Seconds(); math.Abs(got-s) > 5e-13 {
+			t.Errorf("round trip %g -> %g", s, got)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    sim.Time
+		want string
+	}{
+		{0, "0s"},
+		{sim.Second, "1s"},
+		{3 * sim.Millisecond, "3ms"},
+		{1500 * sim.Nanosecond, "1.5us"},
+		{7 * sim.Nanosecond, "7ns"},
+		{42, "42ps"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := sim.New()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Errorf("final time %v, want 30ps", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("dispatch order %v", order)
+	}
+	if s.Steps() != 3 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := sim.New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events dispatched out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := sim.New()
+	var times []sim.Time
+	s.Schedule(10, func() {
+		times = append(times, s.Now())
+		s.Schedule(5, func() {
+			times = append(times, s.Now())
+			s.Schedule(0, func() { times = append(times, s.Now()) })
+		})
+	})
+	s.Run()
+	if len(times) != 3 || times[0] != 10 || times[1] != 15 || times[2] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	s := sim.New()
+	mustPanic(t, "negative delay", func() { s.Schedule(-1, func() {}) })
+	mustPanic(t, "nil event", func() { s.Schedule(1, nil) })
+	s.Schedule(10, func() {})
+	s.Run()
+	mustPanic(t, "schedule in the past", func() { s.ScheduleAt(5, func() {}) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := sim.New()
+	fired := 0
+	s.Schedule(10, func() { fired++ })
+	s.Schedule(100, func() { fired++ })
+	err := s.RunUntil(50)
+	if !errors.Is(err, sim.ErrDeadline) {
+		t.Fatalf("RunUntil(50) error = %v, want ErrDeadline", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if err := s.RunUntil(200); err != nil {
+		t.Fatalf("RunUntil(200): %v", err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if s.Now() != 200 {
+		t.Errorf("time advances to the deadline when idle: %v", s.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := sim.New()
+	r := sim.NewResource(s, "bus")
+	var log []string
+	use := func(name string, hold sim.Time) {
+		r.Acquire(func() {
+			log = append(log, name+"+")
+			s.Schedule(hold, func() {
+				log = append(log, name+"-")
+				r.Release()
+			})
+		})
+	}
+	use("a", 10)
+	use("b", 10) // queued behind a
+	s.Schedule(5, func() { use("c", 10) })
+	s.Run()
+	want := []string{"a+", "a-", "b+", "b-", "c+", "c-"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("three serialized 10ps holds must end at 30ps, got %v", s.Now())
+	}
+	if r.BusyTime() != 30 {
+		t.Errorf("BusyTime = %v, want 30ps", r.BusyTime())
+	}
+	if r.Grants() != 3 {
+		t.Errorf("Grants = %d", r.Grants())
+	}
+	if r.Busy() || r.QueueLen() != 0 {
+		t.Error("resource must end idle with empty queue")
+	}
+}
+
+func TestResourceBusyAccounting(t *testing.T) {
+	s := sim.New()
+	r := sim.NewResource(s, "bus")
+	r.Acquire(func() {})
+	s.Run()
+	if !r.Busy() {
+		t.Fatal("resource should be held")
+	}
+	s.Schedule(40, func() {})
+	s.Run()
+	if got := r.BusyTime(); got != 40 {
+		t.Errorf("in-progress BusyTime = %v, want 40ps", got)
+	}
+	r.Release()
+	if r.Busy() {
+		t.Error("released resource still busy")
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	s := sim.New()
+	r := sim.NewResource(s, "bus")
+	mustPanic(t, "nil acquire", func() { r.Acquire(nil) })
+	mustPanic(t, "double release", func() { r.Release() })
+	if r.Name() != "bus" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestClockCycles(t *testing.T) {
+	c := sim.Clock{Hz: 150e6}
+	// One cycle at 150 MHz is 6666.67ps, rounded to 6667.
+	if got := c.Cycles(1); got != 6667 {
+		t.Errorf("Cycles(1) = %d, want 6667", got)
+	}
+	// Large counts round once, not per cycle: 3e6 cycles = 20ms exactly.
+	if got := c.Cycles(3_000_000); got != 20*sim.Millisecond {
+		t.Errorf("Cycles(3e6) = %v, want 20ms", got)
+	}
+	if got := c.Cycles(0); got != 0 {
+		t.Errorf("Cycles(0) = %v", got)
+	}
+	if got := c.CyclesIn(20 * sim.Millisecond); got != 3_000_000 {
+		t.Errorf("CyclesIn(20ms) = %d", got)
+	}
+	mustPanic(t, "negative cycles", func() { c.Cycles(-1) })
+	mustPanic(t, "zero clock", func() { sim.Clock{}.Cycles(1) })
+	mustPanic(t, "zero clock CyclesIn", func() { sim.Clock{}.CyclesIn(1) })
+}
+
+// TestDeterminism: two identical scenarios produce identical event
+// counts and final times.
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Time, uint64) {
+		s := sim.New()
+		r := sim.NewResource(s, "bus")
+		for i := 0; i < 100; i++ {
+			d := sim.Time(i % 7)
+			s.Schedule(d, func() {
+				r.Acquire(func() {
+					s.Schedule(3, r.Release)
+				})
+			})
+		}
+		return s.Run(), s.Steps()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Errorf("non-deterministic: (%v,%d) vs (%v,%d)", t1, n1, t2, n2)
+	}
+}

@@ -1,0 +1,251 @@
+// Package trace records labelled time spans from a simulation run and
+// renders them as an ASCII Gantt chart — the reproduction of the
+// paper's Figure 2, whose three overlap scenarios (single-buffered;
+// double-buffered compute-bound; double-buffered communication-bound)
+// fall out of the recorded schedule rather than being drawn by hand.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/chrec/rat/internal/sim"
+)
+
+// Kind classifies a span for lane assignment and labelling.
+type Kind int
+
+const (
+	// Write is a host-to-FPGA input transfer (label "R" in the
+	// paper's figure is from the FPGA's perspective; we keep the
+	// host's, consistent with the worksheet tables).
+	Write Kind = iota
+	// Read is an FPGA-to-host result transfer.
+	Read
+	// Compute is a kernel execution span.
+	Compute
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Write:
+		return "write"
+	case Read:
+		return "read"
+	case Compute:
+		return "compute"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// letter is the single-character mark used in Gantt cells.
+func (k Kind) letter() byte {
+	switch k {
+	case Write:
+		return 'W'
+	case Read:
+		return 'R'
+	case Compute:
+		return 'C'
+	default:
+		return '?'
+	}
+}
+
+// Span is one recorded activity.
+type Span struct {
+	Kind  Kind
+	Iter  int // iteration index the activity belongs to
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero value is ready to use. A nil
+// *Recorder is a valid no-op sink, so simulation code can record
+// unconditionally.
+type Recorder struct {
+	spans []Span
+}
+
+// Add records a span; it panics on negative-length spans. Add on a nil
+// recorder is a no-op.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		panic(fmt.Sprintf("trace: span ends (%v) before it starts (%v)", s.End, s.Start))
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns the recorded spans sorted by start time (stable on
+// insertion order for ties).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Total returns time covered from zero to the latest span end.
+func (r *Recorder) Total() sim.Time {
+	if r == nil {
+		return 0
+	}
+	var end sim.Time
+	for _, s := range r.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// BusyTime returns the summed duration of spans of one kind.
+func (r *Recorder) BusyTime(kinds ...Kind) sim.Time {
+	if r == nil {
+		return 0
+	}
+	var t sim.Time
+	for _, s := range r.spans {
+		for _, k := range kinds {
+			if s.Kind == k {
+				t += s.Duration()
+				break
+			}
+		}
+	}
+	return t
+}
+
+// Overlap returns the total time during which both a communication
+// span (Write or Read) and a Compute span are simultaneously active —
+// zero for a single-buffered schedule, substantial for double
+// buffering. It is the direct measurement of the overlap the paper's
+// Eq. 6 models.
+func (r *Recorder) Overlap() sim.Time {
+	if r == nil {
+		return 0
+	}
+	// Merge each class's spans into sorted intervals then intersect.
+	comm := mergeIntervals(r.collect(Write, Read))
+	comp := mergeIntervals(r.collect(Compute))
+	var total sim.Time
+	i, j := 0, 0
+	for i < len(comm) && j < len(comp) {
+		lo := max64(comm[i][0], comp[j][0])
+		hi := min64(comm[i][1], comp[j][1])
+		if hi > lo {
+			total += hi - lo
+		}
+		if comm[i][1] < comp[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+func (r *Recorder) collect(kinds ...Kind) [][2]sim.Time {
+	var out [][2]sim.Time
+	for _, s := range r.spans {
+		for _, k := range kinds {
+			if s.Kind == k {
+				out = append(out, [2]sim.Time{s.Start, s.End})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func mergeIntervals(in [][2]sim.Time) [][2]sim.Time {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i][0] < in[j][0] })
+	out := [][2]sim.Time{in[0]}
+	for _, iv := range in[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func max64(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Gantt renders the recorded spans as a two-lane ASCII chart in the
+// style of the paper's Figure 2: a "Comm" lane holding write/read
+// spans and a "Comp" lane holding compute spans, each span drawn as
+// its letter and iteration number (W1, R1, C1, ...) positioned
+// proportionally over width columns.
+func (r *Recorder) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	total := r.Total()
+	if total == 0 {
+		return "(empty trace)\n"
+	}
+	commLane := make([]byte, width)
+	compLane := make([]byte, width)
+	for i := range commLane {
+		commLane[i] = '.'
+		compLane[i] = '.'
+	}
+	scale := func(t sim.Time) int {
+		c := int(int64(t) * int64(width) / int64(total))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	for _, s := range r.Spans() {
+		lane := commLane
+		if s.Kind == Compute {
+			lane = compLane
+		}
+		lo, hi := scale(s.Start), scale(s.End)
+		label := fmt.Sprintf("%c%d", s.Kind.letter(), s.Iter+1)
+		for c := lo; c <= hi; c++ {
+			lane[c] = '='
+		}
+		for i := 0; i < len(label) && lo+i <= hi; i++ {
+			lane[lo+i] = label[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Comm |%s|\n", commLane)
+	fmt.Fprintf(&b, "Comp |%s|\n", compLane)
+	fmt.Fprintf(&b, "      0%*s\n", width-1, total)
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Write, Iter: 0, Start: 0, End: 10})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 0, Start: 10, End: 40})
+	r.Add(trace.Span{Kind: trace.Read, Iter: 0, Start: 40, End: 45})
+	if got := r.Total(); got != 45 {
+		t.Errorf("Total = %v", got)
+	}
+	if got := r.BusyTime(trace.Write, trace.Read); got != 15 {
+		t.Errorf("comm busy = %v, want 15", got)
+	}
+	if got := r.BusyTime(trace.Compute); got != 30 {
+		t.Errorf("comp busy = %v, want 30", got)
+	}
+	if got := r.Overlap(); got != 0 {
+		t.Errorf("sequential schedule overlap = %v, want 0", got)
+	}
+	spans := r.Spans()
+	if len(spans) != 3 || spans[0].Kind != trace.Write || spans[0].Duration() != 10 {
+		t.Errorf("Spans = %+v", spans)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Read, Start: 50, End: 60})
+	r.Add(trace.Span{Kind: trace.Write, Start: 0, End: 10})
+	s := r.Spans()
+	if s[0].Kind != trace.Write || s[1].Kind != trace.Read {
+		t.Errorf("spans not sorted: %+v", s)
+	}
+}
+
+func TestOverlapMeasurement(t *testing.T) {
+	var r trace.Recorder
+	// Double-buffered shape: write of iter 2 overlaps compute of iter 1.
+	r.Add(trace.Span{Kind: trace.Write, Iter: 0, Start: 0, End: 10})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 0, Start: 10, End: 30})
+	r.Add(trace.Span{Kind: trace.Write, Iter: 1, Start: 10, End: 20})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 1, Start: 30, End: 50})
+	r.Add(trace.Span{Kind: trace.Read, Iter: 0, Start: 30, End: 35})
+	// Comm intervals: [0,20] and [30,35]; comp: [10,50].
+	// Overlap: [10,20] + [30,35] = 15.
+	if got := r.Overlap(); got != 15 {
+		t.Errorf("Overlap = %v, want 15", got)
+	}
+}
+
+func TestOverlapMergesAdjacentSpans(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Write, Start: 0, End: 10})
+	r.Add(trace.Span{Kind: trace.Read, Start: 10, End: 20})
+	r.Add(trace.Span{Kind: trace.Write, Start: 5, End: 12}) // overlaps both
+	r.Add(trace.Span{Kind: trace.Compute, Start: 0, End: 20})
+	if got := r.Overlap(); got != 20 {
+		t.Errorf("merged overlap = %v, want 20", got)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *trace.Recorder
+	r.Add(trace.Span{Kind: trace.Write, Start: 0, End: 1}) // must not panic
+	if r.Total() != 0 || r.Spans() != nil || r.Overlap() != 0 || r.BusyTime(trace.Write) != 0 {
+		t.Error("nil recorder must behave as empty")
+	}
+}
+
+func TestAddPanicsOnNegativeSpan(t *testing.T) {
+	var r trace.Recorder
+	defer func() {
+		if recover() == nil {
+			t.Error("negative span must panic")
+		}
+	}()
+	r.Add(trace.Span{Start: 10, End: 5})
+}
+
+func TestGantt(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Write, Iter: 0, Start: 0, End: 25 * sim.Microsecond})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 0, Start: 25 * sim.Microsecond, End: 75 * sim.Microsecond})
+	r.Add(trace.Span{Kind: trace.Read, Iter: 0, Start: 75 * sim.Microsecond, End: 100 * sim.Microsecond})
+	g := r.Gantt(60)
+	if !strings.Contains(g, "Comm |") || !strings.Contains(g, "Comp |") {
+		t.Fatalf("missing lanes:\n%s", g)
+	}
+	for _, label := range []string{"W1", "C1", "R1"} {
+		if !strings.Contains(g, label) {
+			t.Errorf("missing label %s in:\n%s", label, g)
+		}
+	}
+	// The compute mark must sit on the Comp lane, transfers on Comm.
+	lines := strings.Split(g, "\n")
+	if strings.Contains(lines[0], "C1") || !strings.Contains(lines[1], "C1") {
+		t.Errorf("compute span on wrong lane:\n%s", g)
+	}
+	if !strings.Contains(lines[0], "W1") || strings.Contains(lines[1], "W1") {
+		t.Errorf("write span on wrong lane:\n%s", g)
+	}
+}
+
+func TestGanttEmptyAndNarrow(t *testing.T) {
+	var r trace.Recorder
+	if got := r.Gantt(40); got != "(empty trace)\n" {
+		t.Errorf("empty gantt = %q", got)
+	}
+	r.Add(trace.Span{Kind: trace.Write, Start: 0, End: 100})
+	if g := r.Gantt(1); !strings.Contains(g, "Comm") { // clamped to minimum width
+		t.Errorf("narrow gantt broken:\n%s", g)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if trace.Write.String() != "write" || trace.Read.String() != "read" || trace.Compute.String() != "compute" {
+		t.Error("Kind strings wrong")
+	}
+	if trace.Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind string wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package validate_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/validate"
+)
+
+// paperMeasured converts a published actual row to a Measured record.
+func paperMeasured(c paper.Case) validate.Measured {
+	r := paper.ActualRow(c)
+	return validate.Measured{TComm: r.TComm, TComp: r.TComp, TRC: r.TRC}
+}
+
+// TestCompareReproducesSection43Narrative: validating the 1-D PDF
+// prediction against the published measurement must produce the
+// paper's own analysis — computation accurate, communication
+// optimistic with the repeated-transfer diagnosis, and the
+// double-buffering remark.
+func TestCompareReproducesSection43Narrative(t *testing.T) {
+	pr := core.MustPredict(paper.PDF1DParams())
+	a, err := validate.Compare(pr, paperMeasured(paper.PDF1D), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, ok := a.Term("t_comm")
+	if !ok || comm.Verdict != validate.Optimistic {
+		t.Errorf("t_comm verdict = %+v, want optimistic", comm)
+	}
+	comp, ok := a.Term("t_comp")
+	if !ok || comp.Verdict != validate.Accurate {
+		t.Errorf("t_comp verdict = %+v, want accurate (paper: ~6%% error)", comp)
+	}
+	if math.Abs(comp.Error) > 0.10 {
+		t.Errorf("t_comp error = %.3f", comp.Error)
+	}
+	joined := strings.Join(a.Notes, " | ")
+	if !strings.Contains(joined, "unrepresentative transfer size") && !strings.Contains(joined, "repeated-transfer") {
+		t.Errorf("missing the communication diagnosis: %s", joined)
+	}
+	if !strings.Contains(joined, "double buffering would hide") {
+		t.Errorf("missing the Section 4.3 double-buffering remark: %s", joined)
+	}
+	if a.SpeedupPredicted < a.SpeedupMeasured {
+		t.Error("the 1-D prediction was optimistic overall")
+	}
+}
+
+// TestCompareReproducesSection51Narrative: the 2-D PDF — big
+// communication miss plus conservative computation.
+func TestCompareReproducesSection51Narrative(t *testing.T) {
+	pr := core.MustPredict(paper.PDF2DParams())
+	a, err := validate.Compare(pr, paperMeasured(paper.PDF2D), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, _ := a.Term("t_comm")
+	if comm.Verdict != validate.Optimistic || comm.Error > -0.8 {
+		t.Errorf("t_comm should be badly optimistic: %+v", comm)
+	}
+	comp, _ := a.Term("t_comp")
+	if comp.Verdict != validate.Pessimistic {
+		t.Errorf("t_comp should be pessimistic (conservative): %+v", comp)
+	}
+	joined := strings.Join(a.Notes, " | ")
+	if !strings.Contains(joined, "contingency") {
+		t.Errorf("missing the conservative-computation note: %s", joined)
+	}
+}
+
+// TestCompareReproducesSection52Narrative: MD — communication beat the
+// conservative documented bandwidth, computation fell short.
+func TestCompareReproducesSection52Narrative(t *testing.T) {
+	pr := core.MustPredict(paper.MDParams().WithClock(core.MHz(100)))
+	a, err := validate.Compare(pr, paperMeasured(paper.MD), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, _ := a.Term("t_comm")
+	if comm.Verdict != validate.Pessimistic {
+		t.Errorf("MD t_comm should be pessimistic: %+v", comm)
+	}
+	comp, _ := a.Term("t_comp")
+	if comp.Verdict != validate.Optimistic {
+		t.Errorf("MD t_comp should be optimistic: %+v", comp)
+	}
+	joined := strings.Join(a.Notes, " | ")
+	if !strings.Contains(joined, "conservative for this platform") {
+		t.Errorf("missing the XD1000 bandwidth note: %s", joined)
+	}
+	if !strings.Contains(joined, "tuning parameter") {
+		t.Errorf("missing the data-dependence note: %s", joined)
+	}
+	if math.Abs(a.SpeedupMeasured-6.6) > 0.1 {
+		t.Errorf("measured speedup = %.2f, want ~6.6", a.SpeedupMeasured)
+	}
+}
+
+// TestAccurateEverywhere: a measurement matching the prediction yields
+// accurate verdicts and the all-clear note.
+func TestAccurateEverywhere(t *testing.T) {
+	pr := core.MustPredict(paper.PDF1DParams())
+	m := validate.Measured{TComm: pr.TComm * 1.02, TComp: pr.TComp * 0.97}
+	a, err := validate.Compare(pr, m, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range a.Terms {
+		if term.Verdict != validate.Accurate {
+			t.Errorf("%s verdict = %v", term.Name, term.Verdict)
+		}
+	}
+	if len(a.Notes) != 1 || !strings.Contains(a.Notes[0], "within pre-design tolerance") {
+		t.Errorf("notes = %v", a.Notes)
+	}
+}
+
+// TestDerivedTRC: a zero measured TRC is derived from the components
+// under the declared discipline.
+func TestDerivedTRC(t *testing.T) {
+	pr := core.MustPredict(paper.PDF1DParams())
+	m := validate.Measured{TComm: 2.5e-5, TComp: 1.39e-4}
+	aSB, err := validate.Compare(pr, m, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc, _ := aSB.Term("t_RC")
+	want := 400 * (2.5e-5 + 1.39e-4)
+	if math.Abs(trc.Measured-want) > 1e-12 {
+		t.Errorf("derived SB t_RC = %g, want %g", trc.Measured, want)
+	}
+	aDB, err := validate.Compare(pr, m, core.DoubleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcDB, _ := aDB.Term("t_RC")
+	if math.Abs(trcDB.Measured-400*1.39e-4) > 1e-12 {
+		t.Errorf("derived DB t_RC = %g", trcDB.Measured)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	pr := core.MustPredict(paper.PDF1DParams())
+	bad := []validate.Measured{
+		{TComm: 0, TComp: 1},
+		{TComm: 1, TComp: 0},
+		{TComm: 1, TComp: 1, TRC: -1},
+		{TComm: math.NaN(), TComp: 1},
+	}
+	for _, m := range bad {
+		if _, err := validate.Compare(pr, m, core.SingleBuffered); !errors.Is(err, validate.ErrBadMeasurement) {
+			t.Errorf("measured %+v accepted", m)
+		}
+	}
+}
+
+func TestTermLookupAndStrings(t *testing.T) {
+	pr := core.MustPredict(paper.PDF1DParams())
+	a, err := validate.Compare(pr, validate.Measured{TComm: 1e-5, TComp: 1e-4}, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Term("t_magic"); ok {
+		t.Error("invented a term")
+	}
+	if validate.Accurate.String() != "accurate" || validate.Optimistic.String() != "optimistic" ||
+		validate.Pessimistic.String() != "pessimistic" || validate.Verdict(7).String() != "Verdict(7)" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+// TestNoBaselineNoSpeedups: without t_soft the speedup fields stay
+// zero.
+func TestNoBaselineNoSpeedups(t *testing.T) {
+	p := paper.PDF1DParams()
+	p.Soft.TSoft = 0
+	pr := core.MustPredict(p)
+	a, err := validate.Compare(pr, validate.Measured{TComm: 1e-5, TComp: 1e-4}, core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpeedupPredicted != 0 || a.SpeedupMeasured != 0 {
+		t.Error("speedups without baseline must be zero")
+	}
+}

@@ -1,0 +1,79 @@
+package worksheet_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		t.Run(string(c), func(t *testing.T) {
+			want := paper.Params(c)
+			var buf bytes.Buffer
+			if err := worksheet.EncodeJSON(&buf, want); err != nil {
+				t.Fatal(err)
+			}
+			got, err := worksheet.DecodeJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestJSONLiteral(t *testing.T) {
+	doc := `{
+	  "name": "1-D PDF estimation",
+	  "dataset": {"elements_in": 512, "elements_out": 1, "bytes_per_element": 4},
+	  "communication": {"ideal_throughput_mbps": 1000, "alpha_write": 0.37, "alpha_read": 0.16},
+	  "computation": {"ops_per_element": 768, "throughput_proc": 20, "clock_mhz": 150},
+	  "software": {"tsoft_seconds": 0.578, "iterations": 400}
+	}`
+	got, err := worksheet.DecodeJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != paper.PDF1DParams() {
+		t.Errorf("decoded %+v", got)
+	}
+}
+
+func TestJSONRejectsUnknownFields(t *testing.T) {
+	doc := `{
+	  "dataset": {"elements_in": 512, "elements_out": 1, "bytes_per_element": 4, "flavour": 3},
+	  "communication": {"ideal_throughput_mbps": 1000, "alpha_write": 0.37, "alpha_read": 0.16},
+	  "computation": {"ops_per_element": 768, "throughput_proc": 20, "clock_mhz": 150},
+	  "software": {"tsoft_seconds": 0.578, "iterations": 400}
+	}`
+	if _, err := worksheet.DecodeJSON(strings.NewReader(doc)); !errors.Is(err, worksheet.ErrSyntax) {
+		t.Errorf("unknown field accepted: %v", err)
+	}
+}
+
+func TestJSONValidates(t *testing.T) {
+	doc := `{"dataset": {"elements_in": 0, "elements_out": 0, "bytes_per_element": 0},
+	  "communication": {"ideal_throughput_mbps": 0, "alpha_write": 0, "alpha_read": 0},
+	  "computation": {"ops_per_element": 0, "throughput_proc": 0, "clock_mhz": 0},
+	  "software": {"tsoft_seconds": 0, "iterations": 0}}`
+	if _, err := worksheet.DecodeJSON(strings.NewReader(doc)); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("invalid worksheet accepted: %v", err)
+	}
+	if _, err := worksheet.DecodeJSON(strings.NewReader("{")); !errors.Is(err, worksheet.ErrSyntax) {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestJSONEncodeWriterError(t *testing.T) {
+	if err := worksheet.EncodeJSON(failWriter{}, paper.PDF1DParams()); err == nil {
+		t.Error("writer error swallowed")
+	}
+}

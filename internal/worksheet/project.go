@@ -1,0 +1,89 @@
+package worksheet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/chrec/rat/internal/core"
+)
+
+// Project files carry the multi-kernel case Section 6 highlights:
+// "the current methodology was designed to support applications
+// involving several algorithms, each with their own separate RAT
+// analysis". A project is a named sequence of stages, each a complete
+// worksheet plus its buffering discipline, analyzed together by
+// core.PredictComposite. Projects use the JSON form:
+//
+//	{
+//	  "name": "video pipeline",
+//	  "stages": [
+//	    {"name": "filter", "buffering": "double", "worksheet": { ... }},
+//	    {"name": "reduce", "worksheet": { ... }}
+//	  ]
+//	}
+
+type jsonStage struct {
+	Name      string        `json:"name"`
+	Buffering string        `json:"buffering,omitempty"` // "single" (default) or "double"
+	Worksheet jsonWorksheet `json:"worksheet"`
+}
+
+type jsonProject struct {
+	Name   string      `json:"name,omitempty"`
+	Stages []jsonStage `json:"stages"`
+}
+
+// DecodeProject parses a JSON project file into composite stages,
+// validating every stage worksheet.
+func DecodeProject(r io.Reader) (name string, stages []core.Stage, err error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc jsonProject
+	if err := dec.Decode(&doc); err != nil {
+		return "", nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	if len(doc.Stages) == 0 {
+		return "", nil, fmt.Errorf("%w: project has no stages", ErrSyntax)
+	}
+	for i, st := range doc.Stages {
+		var b core.Buffering
+		switch st.Buffering {
+		case "", "single":
+			b = core.SingleBuffered
+		case "double":
+			b = core.DoubleBuffered
+		default:
+			return "", nil, fmt.Errorf("%w: stage %d (%s): unknown buffering %q (want single or double)",
+				ErrSyntax, i, st.Name, st.Buffering)
+		}
+		p := st.Worksheet.toParams()
+		if p.Name == "" {
+			p.Name = st.Name
+		}
+		if err := p.Validate(); err != nil {
+			return "", nil, fmt.Errorf("stage %d (%s): %w", i, st.Name, err)
+		}
+		stages = append(stages, core.Stage{Name: st.Name, Params: p, Buffering: b})
+	}
+	return doc.Name, stages, nil
+}
+
+// EncodeProject writes stages as an indented JSON project file.
+func EncodeProject(w io.Writer, name string, stages []core.Stage) error {
+	doc := jsonProject{Name: name}
+	for _, st := range stages {
+		b := "single"
+		if st.Buffering == core.DoubleBuffered {
+			b = "double"
+		}
+		doc.Stages = append(doc.Stages, jsonStage{
+			Name:      st.Name,
+			Buffering: b,
+			Worksheet: fromParams(st.Params),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

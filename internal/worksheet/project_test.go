@@ -1,0 +1,111 @@
+package worksheet_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func sampleStages() []core.Stage {
+	return []core.Stage{
+		{Name: "pdf-1d", Params: paper.PDF1DParams(), Buffering: core.SingleBuffered},
+		{Name: "pdf-2d", Params: paper.PDF2DParams(), Buffering: core.DoubleBuffered},
+	}
+}
+
+func TestProjectRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := worksheet.EncodeProject(&buf, "pdf suite", sampleStages()); err != nil {
+		t.Fatal(err)
+	}
+	name, stages, err := worksheet.DecodeProject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "pdf suite" {
+		t.Errorf("name = %q", name)
+	}
+	want := sampleStages()
+	if len(stages) != len(want) {
+		t.Fatalf("stage count %d", len(stages))
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("stage %d:\n got %+v\nwant %+v", i, stages[i], want[i])
+		}
+	}
+	// The decoded project analyzes cleanly.
+	res, err := core.PredictComposite(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck().Stage.Name != "pdf-2d" {
+		t.Errorf("bottleneck = %q", res.Bottleneck().Stage.Name)
+	}
+}
+
+func TestProjectDefaultsAndNames(t *testing.T) {
+	doc := `{
+	  "stages": [
+	    {"name": "only", "worksheet": {
+	      "dataset": {"elements_in": 512, "elements_out": 1, "bytes_per_element": 4},
+	      "communication": {"ideal_throughput_mbps": 1000, "alpha_write": 0.37, "alpha_read": 0.16},
+	      "computation": {"ops_per_element": 768, "throughput_proc": 20, "clock_mhz": 150},
+	      "software": {"tsoft_seconds": 0.578, "iterations": 400}
+	    }}
+	  ]
+	}`
+	_, stages, err := worksheet.DecodeProject(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stages[0].Buffering != core.SingleBuffered {
+		t.Error("missing buffering must default to single")
+	}
+	if stages[0].Params.Name != "only" {
+		t.Errorf("unnamed worksheet should inherit the stage name, got %q", stages[0].Params.Name)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty stages", `{"stages": []}`},
+		{"bad buffering", `{"stages": [{"name": "x", "buffering": "triple", "worksheet": {
+			"dataset": {"elements_in": 1, "elements_out": 0, "bytes_per_element": 4},
+			"communication": {"ideal_throughput_mbps": 1, "alpha_write": 0.5, "alpha_read": 0.5},
+			"computation": {"ops_per_element": 1, "throughput_proc": 1, "clock_mhz": 100},
+			"software": {"tsoft_seconds": 1, "iterations": 1}}}]}`},
+		{"unknown field", `{"flavour": 1, "stages": []}`},
+		{"truncated", `{"stages": [`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := worksheet.DecodeProject(strings.NewReader(tc.doc)); !errors.Is(err, worksheet.ErrSyntax) {
+				t.Errorf("error = %v, want ErrSyntax", err)
+			}
+		})
+	}
+	// Semantically invalid stage surfaces validation, not syntax.
+	bad := `{"stages": [{"name": "x", "worksheet": {
+		"dataset": {"elements_in": 0, "elements_out": 0, "bytes_per_element": 0},
+		"communication": {"ideal_throughput_mbps": 0, "alpha_write": 0, "alpha_read": 0},
+		"computation": {"ops_per_element": 0, "throughput_proc": 0, "clock_mhz": 0},
+		"software": {"tsoft_seconds": 0, "iterations": 0}}}]}`
+	if _, _, err := worksheet.DecodeProject(strings.NewReader(bad)); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("error = %v, want ErrInvalidParameters", err)
+	}
+}
+
+func TestEncodeProjectWriterError(t *testing.T) {
+	if err := worksheet.EncodeProject(failWriter{}, "x", sampleStages()); err == nil {
+		t.Error("writer error swallowed")
+	}
+}

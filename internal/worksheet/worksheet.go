@@ -1,0 +1,212 @@
+// Package worksheet reads and writes RAT worksheets: the input
+// parameter sheet of Table 1, as a small sectioned key = value text
+// format. Section 4 of the paper describes RAT in exactly these terms
+// — "a worksheet can be constructed based upon Equations (1) through
+// (11); users simply provide the input parameters and the resulting
+// performance values are returned" — and this package is that
+// worksheet's file form, consumed by the rat command-line tool.
+//
+// The format is line-oriented: '#' starts a comment, '[section]'
+// switches sections, and 'key = value' assigns. Units follow the
+// paper's customary ones (MB/s, MHz, seconds); values convert to SI on
+// load. A worksheet looks like:
+//
+//	name = 1-D PDF estimation
+//
+//	[dataset]
+//	elements_in       = 512
+//	elements_out      = 1
+//	bytes_per_element = 4
+//
+//	[communication]
+//	ideal_throughput_mbps = 1000
+//	alpha_write           = 0.37
+//	alpha_read            = 0.16
+//
+//	[computation]
+//	ops_per_element = 768
+//	throughput_proc = 20
+//	clock_mhz       = 150
+//
+//	[software]
+//	tsoft_seconds = 0.578
+//	iterations    = 400
+package worksheet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/chrec/rat/internal/core"
+)
+
+// ErrSyntax tags malformed worksheet input.
+var ErrSyntax = errors.New("worksheet: syntax error")
+
+// Decode parses a worksheet into RAT parameters, validating the result
+// with core.Parameters.Validate.
+func Decode(r io.Reader) (core.Parameters, error) {
+	var p core.Parameters
+	seen := map[string]bool{}
+	section := ""
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "[") {
+			if !strings.HasSuffix(text, "]") {
+				return p, fmt.Errorf("%w: line %d: unterminated section header %q", ErrSyntax, line, text)
+			}
+			section = strings.TrimSpace(text[1 : len(text)-1])
+			continue
+		}
+		key, value, ok := strings.Cut(text, "=")
+		if !ok {
+			return p, fmt.Errorf("%w: line %d: expected key = value, got %q", ErrSyntax, line, text)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		full := key
+		if section != "" {
+			full = section + "." + key
+		}
+		if seen[full] {
+			return p, fmt.Errorf("%w: line %d: duplicate key %q", ErrSyntax, line, full)
+		}
+		seen[full] = true
+		if err := assign(&p, full, value); err != nil {
+			return p, fmt.Errorf("%w: line %d: %v", ErrSyntax, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return p, err
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// DecodeString is Decode over an in-memory worksheet.
+func DecodeString(s string) (core.Parameters, error) {
+	return Decode(strings.NewReader(s))
+}
+
+func assign(p *core.Parameters, key, value string) error {
+	parseF := func() (float64, error) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %q is not a number", key, value)
+		}
+		return v, nil
+	}
+	parseI := func() (int64, error) {
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %q is not an integer", key, value)
+		}
+		return v, nil
+	}
+	switch key {
+	case "name":
+		p.Name = value
+		return nil
+	case "dataset.elements_in":
+		v, err := parseI()
+		p.Dataset.ElementsIn = v
+		return err
+	case "dataset.elements_out":
+		v, err := parseI()
+		p.Dataset.ElementsOut = v
+		return err
+	case "dataset.bytes_per_element":
+		v, err := parseF()
+		p.Dataset.BytesPerElement = v
+		return err
+	case "communication.ideal_throughput_mbps":
+		v, err := parseF()
+		p.Comm.IdealThroughput = core.MBps(v)
+		return err
+	case "communication.alpha_write":
+		v, err := parseF()
+		p.Comm.AlphaWrite = v
+		return err
+	case "communication.alpha_read":
+		v, err := parseF()
+		p.Comm.AlphaRead = v
+		return err
+	case "computation.ops_per_element":
+		v, err := parseF()
+		p.Comp.OpsPerElement = v
+		return err
+	case "computation.throughput_proc":
+		v, err := parseF()
+		p.Comp.ThroughputProc = v
+		return err
+	case "computation.clock_mhz":
+		v, err := parseF()
+		p.Comp.ClockHz = core.MHz(v)
+		return err
+	case "software.tsoft_seconds":
+		v, err := parseF()
+		p.Soft.TSoft = v
+		return err
+	case "software.iterations":
+		v, err := parseI()
+		p.Soft.Iterations = v
+		return err
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+}
+
+// Encode renders parameters as a worksheet, the inverse of Decode.
+func Encode(w io.Writer, p core.Parameters) error {
+	_, err := fmt.Fprintf(w, `# RAT worksheet (Table 1 input parameters)
+name = %s
+
+[dataset]
+elements_in       = %d
+elements_out      = %d
+bytes_per_element = %g
+
+[communication]
+ideal_throughput_mbps = %g
+alpha_write           = %g
+alpha_read            = %g
+
+[computation]
+ops_per_element = %g
+throughput_proc = %g
+clock_mhz       = %g
+
+[software]
+tsoft_seconds = %g
+iterations    = %d
+`,
+		p.Name,
+		p.Dataset.ElementsIn, p.Dataset.ElementsOut, p.Dataset.BytesPerElement,
+		p.Comm.IdealThroughput/1e6, p.Comm.AlphaWrite, p.Comm.AlphaRead,
+		p.Comp.OpsPerElement, p.Comp.ThroughputProc, p.Comp.ClockHz/1e6,
+		p.Soft.TSoft, p.Soft.Iterations)
+	return err
+}
+
+// EncodeString is Encode into a string.
+func EncodeString(p core.Parameters) string {
+	var b strings.Builder
+	if err := Encode(&b, p); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return b.String()
+}

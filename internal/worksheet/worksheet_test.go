@@ -1,0 +1,184 @@
+package worksheet_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/iotest"
+	"testing/quick"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func TestRoundTripCanonicalWorksheets(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		t.Run(string(c), func(t *testing.T) {
+			want := paper.Params(c)
+			text := worksheet.EncodeString(want)
+			got, err := worksheet.DecodeString(text)
+			if err != nil {
+				t.Fatalf("decode: %v\n%s", err, text)
+			}
+			if got != want {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestDecodeTable2Literal(t *testing.T) {
+	// The worksheet exactly as a user would type it from Table 2.
+	text := `
+name = 1-D PDF estimation
+
+[dataset]
+elements_in       = 512
+elements_out      = 1
+bytes_per_element = 4
+
+[communication]
+ideal_throughput_mbps = 1000
+alpha_write           = 0.37
+alpha_read            = 0.16
+
+[computation]
+ops_per_element = 768   # 256 bins x 3 ops
+throughput_proc = 20
+clock_mhz       = 150
+
+[software]
+tsoft_seconds = 0.578
+iterations    = 400
+`
+	got, err := worksheet.DecodeString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != paper.PDF1DParams() {
+		t.Errorf("decoded %+v\nwant %+v", got, paper.PDF1DParams())
+	}
+	// And it predicts the walkthrough's numbers.
+	pr := core.MustPredict(got)
+	if pr.SpeedupSingle < 10.5 || pr.SpeedupSingle > 10.7 {
+		t.Errorf("speedup from decoded worksheet = %.2f, want ~10.6", pr.SpeedupSingle)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing equals", "[dataset]\nelements_in 512\n"},
+		{"unknown key", "[dataset]\nelements = 512\n"},
+		{"unknown section key", "[nonsense]\nelements_in = 512\n"},
+		{"bad integer", "[dataset]\nelements_in = twelve\n"},
+		{"bad float", "[communication]\nalpha_write = high\n"},
+		{"unterminated section", "[dataset\nelements_in = 512\n"},
+		{"duplicate key", "[dataset]\nelements_in = 512\nelements_in = 512\n"},
+		{"top-level unknown", "flavour = vanilla\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := worksheet.DecodeString(tc.text); !errors.Is(err, worksheet.ErrSyntax) {
+				t.Errorf("error = %v, want ErrSyntax", err)
+			}
+		})
+	}
+}
+
+func TestDecodeValidatesSemantics(t *testing.T) {
+	// Syntactically fine, semantically empty: validation must fire.
+	_, err := worksheet.DecodeString("name = incomplete\n")
+	if !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("error = %v, want ErrInvalidParameters", err)
+	}
+	// Alpha out of range.
+	text := worksheet.EncodeString(paper.PDF1DParams())
+	text = strings.Replace(text, "alpha_write           = 0.37", "alpha_write = 1.5", 1)
+	if _, err := worksheet.DecodeString(text); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("error = %v, want ErrInvalidParameters", err)
+	}
+}
+
+func TestDecodePropagatesReadErrors(t *testing.T) {
+	_, err := worksheet.Decode(iotest.ErrReader(errors.New("disk on fire")))
+	if err == nil || errors.Is(err, worksheet.ErrSyntax) {
+		t.Errorf("reader error mangled: %v", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	text := "# full-line comment\n\n" + worksheet.EncodeString(paper.MDParams()) + "\n# trailing\n"
+	got, err := worksheet.DecodeString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != paper.MDParams() {
+		t.Error("comments disturbed decoding")
+	}
+}
+
+func TestEncodeWriterError(t *testing.T) {
+	w := &failWriter{}
+	if err := worksheet.Encode(w, paper.PDF1DParams()); err == nil {
+		t.Error("Encode must propagate writer errors")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("closed") }
+
+// TestPropertyRoundTripRandomWorksheets: both codecs reproduce any
+// valid parameter set exactly (%g prints shortest-round-trip floats).
+func TestPropertyRoundTripRandomWorksheets(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(core.Parameters{
+				Name: "design-" + strconv.Itoa(r.Intn(1000)),
+				Dataset: core.DatasetParams{
+					ElementsIn:      1 + r.Int63n(1<<30),
+					ElementsOut:     r.Int63n(1 << 30),
+					BytesPerElement: 1 + 1000*r.Float64(),
+				},
+				Comm: core.CommParams{
+					IdealThroughput: core.MBps(1 + 100000*r.Float64()),
+					AlphaWrite:      0.001 + 0.999*r.Float64(),
+					AlphaRead:       0.001 + 0.999*r.Float64(),
+				},
+				Comp: core.CompParams{
+					OpsPerElement:  1 + 1e9*r.Float64(),
+					ThroughputProc: 0.01 + 1000*r.Float64(),
+					ClockHz:        core.MHz(1 + 2000*r.Float64()),
+				},
+				Soft: core.SoftwareParams{
+					TSoft:      10000 * r.Float64(),
+					Iterations: 1 + r.Int63n(1<<40),
+				},
+			})
+		},
+	}
+	f := func(p core.Parameters) bool {
+		text, err := worksheet.DecodeString(worksheet.EncodeString(p))
+		if err != nil || text != p {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := worksheet.EncodeJSON(&buf, p); err != nil {
+			return false
+		}
+		js, err := worksheet.DecodeJSON(&buf)
+		return err == nil && js == p
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package rat
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/apps/md"
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/apps/pdf2d"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/report"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// Platform is a simulated RC system: interconnect timing model, device
+// inventory and plausible clock range. Two models ship, standing in
+// for the paper's hardware testbeds.
+type Platform = platform.Platform
+
+// Direction distinguishes interconnect transfer directions from the
+// host's point of view.
+type Direction = platform.Direction
+
+// Interconnect directions.
+const (
+	DirWrite = platform.Write // host -> FPGA input data
+	DirRead  = platform.Read  // FPGA -> host results
+)
+
+// Built-in platform models.
+var (
+	// NallatechH101 models the Virtex-4 LX100 card of the PDF case
+	// studies (133 MHz PCI-X).
+	NallatechH101 = platform.NallatechH101
+	// XtremeDataXD1000 models the Stratix-II EP2S180 system of the
+	// MD case study (HyperTransport).
+	XtremeDataXD1000 = platform.XtremeDataXD1000
+	// PlatformByName resolves a platform by a short name.
+	PlatformByName = platform.ByName
+)
+
+// Scenario describes one simulated-platform run; Measurement is what
+// the run "measures" — the actual columns of the paper's tables.
+// MultiScenario fans a scenario out across several devices.
+type (
+	Scenario      = rcsim.Scenario
+	Measurement   = rcsim.Measurement
+	MultiScenario = rcsim.MultiScenario
+)
+
+// Simulate runs a scenario on the simulated platform; SimulateMulti
+// runs the multi-FPGA fan-out; SimulateStreaming runs the Section 3.1
+// streaming discipline (independent full-duplex channels, three-stage
+// pipeline).
+var (
+	Simulate          = rcsim.Run
+	SimulateMulti     = rcsim.RunMulti
+	SimulateStreaming = rcsim.RunStreaming
+)
+
+// TraceRecorder captures a run's activity timeline; its Gantt method
+// renders the Figure 2 overlap picture.
+type TraceRecorder = trace.Recorder
+
+// Histogram renders non-negative values as a terminal column chart —
+// a convenience for eyeballing density estimates and sweep results.
+var Histogram = report.Histogram
+
+// CaseStudyID selects one of the paper's three case studies.
+type CaseStudyID = paper.Case
+
+// Case-study identifiers.
+const (
+	PDF1D = paper.PDF1D
+	PDF2D = paper.PDF2D
+	MD    = paper.MD
+)
+
+// CaseStudy returns the canonical worksheet of a published case study
+// (Tables 2, 5 and 8): the exact parameters the paper analyzed.
+func CaseStudy(id CaseStudyID) (Parameters, error) {
+	switch id {
+	case PDF1D, PDF2D, MD:
+		return paper.Params(id), nil
+	default:
+		return Parameters{}, fmt.Errorf("rat: unknown case study %q", id)
+	}
+}
+
+// CaseStudyScenario builds the simulated-platform run of a published
+// case study at the given clock — the reproduction's stand-in for the
+// paper's hardware measurement. The MD scenario generates and profiles
+// its canonical 16384-molecule dataset, which takes a second or two.
+func CaseStudyScenario(id CaseStudyID, clockHz float64, b Buffering) (Scenario, error) {
+	switch id {
+	case PDF1D:
+		return pdf1d.Scenario(clockHz, b), nil
+	case PDF2D:
+		return pdf2d.Scenario(clockHz, b), nil
+	case MD:
+		sys := md.GenerateSystem(md.Molecules, 1)
+		return md.Scenario(sys, clockHz, b)
+	default:
+		return Scenario{}, fmt.Errorf("rat: unknown case study %q", id)
+	}
+}
