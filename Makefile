@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples cover clean
+.PHONY: all build test vet race bench experiments examples cover clean
 
 all: build vet test
 
@@ -10,8 +10,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus library hot paths.
 bench:

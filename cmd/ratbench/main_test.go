@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,5 +50,35 @@ func TestUnknownExperiment(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if code, _, _ := runBench(t, "-frequency", "11"); code != 2 {
 		t.Errorf("bad flag exit %d", code)
+	}
+}
+
+func TestRunSummaryLine(t *testing.T) {
+	code, out, errOut := runBench(t, "-exp", "fig3", "-exp", "table2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "ran 2 experiment(s), 0 failure(s), total wall time") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, out, errOut := runBench(t, "-exp", "fig3", "-metrics", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"metrics:", "counter harness.experiments_run", "timer   harness.experiment.fig3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{cpu, mem} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", f, err)
+		}
 	}
 }

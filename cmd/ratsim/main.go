@@ -6,17 +6,28 @@
 // Usage:
 //
 //	ratsim run -case pdf1d [-mhz 150] [-double] [-devices 2] [-gantt]
+//	ratsim run -case pdf1d -trace out.json -events out.jsonl -metrics
 //	ratsim microbench [-platform nallatech] [-sizes 256,2048,262144]
 //	ratsim synth -elements 4096 -out 4096 -bytes 4 -iters 10 -cycles 20000 [-mhz 100] [-double] [-gantt]
+//
+// The -trace flag exports a Chrome trace_event JSON file loadable in
+// chrome://tracing or Perfetto; -events writes a JSONL event log;
+// -metrics prints the telemetry registry after the run; -cpuprofile
+// and -memprofile write runtime/pprof profiles. See
+// docs/OBSERVABILITY.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/chrec/rat/internal/apps/md"
 	"github.com/chrec/rat/internal/apps/pdf1d"
@@ -26,12 +37,17 @@ import (
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/rcsim"
 	"github.com/chrec/rat/internal/report"
+	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/trace"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// errUsage tags command-line errors that should print the usage text
+// and exit with status 2 rather than 1.
+var errUsage = errors.New("usage error")
 
 // run is the testable entry point.
 func run(args []string, out, errOut io.Writer) int {
@@ -56,6 +72,10 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintf(errOut, "ratsim: %v\n", err)
+		if errors.Is(err, errUsage) {
+			usage(errOut)
+			return 2
+		}
 		return 1
 	}
 	return 0
@@ -63,9 +83,16 @@ func run(args []string, out, errOut io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  ratsim run -case pdf1d|pdf2d|md [-mhz 150] [-double] [-gantt]
+  ratsim run -case pdf1d|pdf2d|md [-mhz 150] [-double] [-gantt] [observability flags]
   ratsim microbench [-platform nallatech|xd1000] [-sizes 256,2048,262144]
-  ratsim synth -elements N -out N -bytes N -iters N -cycles N [-mhz 100] [-double] [-devices N] [-gantt]
+  ratsim synth -elements N -out N -bytes N -iters N -cycles N [-mhz 100] [-double] [-devices N] [-gantt] [observability flags]
+
+observability flags (see docs/OBSERVABILITY.md):
+  -trace out.json    export a Chrome trace-event file (chrome://tracing, Perfetto)
+  -events out.jsonl  write a JSONL event log of every transfer/compute/buffer swap
+  -metrics           print the telemetry registry after the run
+  -cpuprofile f      write a runtime/pprof CPU profile
+  -memprofile f      write a runtime/pprof heap profile
 `)
 }
 
@@ -80,6 +107,122 @@ func buffering(double bool) core.Buffering {
 		return core.DoubleBuffered
 	}
 	return core.SingleBuffered
+}
+
+// obsFlags holds the observability options shared by run and synth.
+type obsFlags struct {
+	traceOut   string
+	eventsOut  string
+	metrics    bool
+	cpuProfile string
+	memProfile string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.traceOut, "trace", "", "write a Chrome trace-event JSON file")
+	fs.StringVar(&o.eventsOut, "events", "", "write a JSONL event log")
+	fs.BoolVar(&o.metrics, "metrics", false, "print the metrics registry after the run")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile")
+	return o
+}
+
+// startProfiles begins CPU profiling if requested and returns a stop
+// function that finishes both profiles.
+func (o *obsFlags) startProfiles() (func() error, error) {
+	var cpuF *os.File
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if o.memProfile != "" {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// instrument attaches a full-run trace recorder and/or event sink to
+// the scenario as the flags demand. The returned finish function must
+// run after the simulation: it exports the trace file and flushes the
+// event log.
+func (o *obsFlags) instrument(sc *rcsim.Scenario) (finish func() error, err error) {
+	var rec *trace.Recorder
+	if o.traceOut != "" {
+		if sc.Trace == nil {
+			sc.Trace = &trace.Recorder{}
+		}
+		rec = sc.Trace
+	}
+	var (
+		eventsFile *os.File
+		sink       *telemetry.WriterSink
+	)
+	if o.eventsOut != "" {
+		eventsFile, err = os.Create(o.eventsOut)
+		if err != nil {
+			return nil, err
+		}
+		sink = telemetry.NewWriterSink(eventsFile)
+		sc.Events = sink
+	}
+	return func() error {
+		if sink != nil {
+			err := sink.Err()
+			if cerr := eventsFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("event log %s: %w", o.eventsOut, err)
+			}
+		}
+		if rec != nil {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := telemetry.WriteChromeTrace(f, rec.Spans()); err != nil {
+				f.Close()
+				return fmt.Errorf("chrome trace %s: %w", o.traceOut, err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+// printMetrics records the measurement and the simulation's wall time
+// into a fresh registry and prints it.
+func printMetrics(out io.Writer, m rcsim.Measurement, wall time.Duration) error {
+	reg := telemetry.NewRegistry()
+	reg.Timer("ratsim.sim_wall").Observe(wall)
+	m.RecordMetrics(reg)
+	fmt.Fprintln(out, "\nmetrics:")
+	return telemetry.WriteText(out, reg.Snapshot())
 }
 
 func printMeasurement(out io.Writer, m rcsim.Measurement, tSoft float64, rec *trace.Recorder, gantt bool) {
@@ -102,6 +245,7 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 	mhz := fs.Float64("mhz", 150, "FPGA clock (MHz)")
 	double := fs.Bool("double", false, "double-buffered overlap")
 	gantt := fs.Bool("gantt", false, "print the activity timeline (first iterations)")
+	obs := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -143,12 +287,32 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 			return err
 		}
 	}
+	stopProf, err := obs.startProfiles()
+	if err != nil {
+		return err
+	}
+	finish, err := obs.instrument(&sc)
+	if err != nil {
+		stopProf()
+		return err
+	}
+	simStart := time.Now()
 	m, err := rcsim.Run(sc)
+	wall := time.Since(simStart)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "case %s on %s at %g MHz\n\n", *study, sc.Platform.Name, *mhz)
 	printMeasurement(out, m, tSoft, rec, *gantt)
+	if obs.metrics {
+		return printMetrics(out, m, wall)
+	}
 	return nil
 }
 
@@ -167,7 +331,7 @@ func cmdMicrobench(args []string, out io.Writer) error {
 	for _, s := range strings.Split(*sizesArg, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil || v <= 0 {
-			return fmt.Errorf("bad size %q", s)
+			return fmt.Errorf("%w: bad -sizes entry %q (want positive byte counts)", errUsage, s)
 		}
 		sizes = append(sizes, v)
 	}
@@ -198,6 +362,7 @@ func cmdSynth(args []string, out io.Writer) error {
 	double := fs.Bool("double", false, "double-buffered overlap")
 	devices := fs.Int("devices", 1, "FPGA count (multi-device fan-out)")
 	gantt := fs.Bool("gantt", false, "print the activity timeline")
+	obs := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,15 +381,20 @@ func cmdSynth(args []string, out io.Writer) error {
 		BytesPerElement: *bytesPer,
 		KernelCycles:    func(int, int) int64 { return *cycles },
 	}
-	var rec *trace.Recorder
 	if *gantt {
-		rec = &trace.Recorder{}
-		sc.Trace = rec
+		sc.Trace = &trace.Recorder{}
 	}
-	var (
-		m   rcsim.Measurement
-		err error
-	)
+	stopProf, err := obs.startProfiles()
+	if err != nil {
+		return err
+	}
+	finish, err := obs.instrument(&sc)
+	if err != nil {
+		stopProf()
+		return err
+	}
+	var m rcsim.Measurement
+	simStart := time.Now()
 	if *devices > 1 {
 		m, err = rcsim.RunMulti(rcsim.MultiScenario{
 			Scenario: sc, Devices: *devices, Topology: core.SharedChannel,
@@ -232,10 +402,20 @@ func cmdSynth(args []string, out io.Writer) error {
 	} else {
 		m, err = rcsim.Run(sc)
 	}
+	wall := time.Since(simStart)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "synthetic scenario on %s at %g MHz (%d device(s))\n\n", p.Name, *mhz, *devices)
-	printMeasurement(out, m, 0, rec, *gantt)
+	printMeasurement(out, m, 0, sc.Trace, *gantt)
+	if obs.metrics {
+		return printMetrics(out, m, wall)
+	}
 	return nil
 }

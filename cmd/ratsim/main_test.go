@@ -2,8 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/report"
+	"github.com/chrec/rat/internal/telemetry"
 )
 
 func runSim(t *testing.T, args ...string) (int, string, string) {
@@ -55,11 +65,16 @@ func TestMicrobench(t *testing.T) {
 	if code, _, _ := runSim(t, "microbench", "-platform", "skynet"); code != 1 {
 		t.Error("unknown platform accepted")
 	}
-	if code, _, _ := runSim(t, "microbench", "-sizes", "big"); code != 1 {
-		t.Error("bad sizes accepted")
+	// Malformed -sizes entries are usage errors: exit 2 plus the
+	// usage text, never a silently shortened sweep.
+	if code, _, errOut := runSim(t, "microbench", "-sizes", "big"); code != 2 || !strings.Contains(errOut, "usage") || !strings.Contains(errOut, "bad -sizes entry") {
+		t.Errorf("bad sizes: exit %d, stderr %q", code, errOut)
 	}
-	if code, _, _ := runSim(t, "microbench", "-sizes", "-4"); code != 1 {
-		t.Error("negative size accepted")
+	if code, _, errOut := runSim(t, "microbench", "-sizes", "-4"); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Errorf("negative size: exit %d, stderr %q", code, errOut)
+	}
+	if code, _, _ := runSim(t, "microbench", "-sizes", "2048,oops,512"); code != 2 {
+		t.Error("partially malformed -sizes must exit 2, not drop entries")
 	}
 }
 
@@ -95,5 +110,138 @@ func TestUsageAndUnknown(t *testing.T) {
 	}
 	if code, _, _ := runSim(t, "run", "-bogus"); code != 1 {
 		t.Error("bad flag must fail")
+	}
+}
+
+// TestRunTraceAndEvents is the acceptance check for the telemetry
+// subsystem: a pdf1d run must produce a valid Chrome trace-event JSON
+// file and a JSONL event log whose summed span durations agree with
+// the run's RC execution time to within 1e-9 s.
+func TestRunTraceAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.json")
+	eventsFile := filepath.Join(dir, "e.jsonl")
+	code, out, errOut := runSim(t, "run", "-case", "pdf1d", "-trace", traceFile, "-events", eventsFile)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "t_RC") {
+		t.Fatalf("run output:\n%s", out)
+	}
+
+	// The printed t_RC comes from this deterministic measurement.
+	m, err := rcsim.Run(pdf1d.Scenario(core.MHz(150), core.SingleBuffered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := report.FormatSci(m.TRC()); !strings.Contains(out, want) {
+		t.Errorf("printed t_RC does not match the reference run %s:\n%s", want, out)
+	}
+
+	// JSONL event log: re-parse and sum span durations.
+	ef, err := os.Open(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	events, err := telemetry.ReadEvents(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event log")
+	}
+	var eventSum float64
+	for _, e := range events {
+		eventSum += e.DurationSeconds()
+	}
+	if diff := math.Abs(eventSum - m.TRC()); diff > 1e-9 {
+		t.Errorf("summed event durations %.12g s vs t_RC %.12g s (diff %g > 1e-9)", eventSum, m.TRC(), diff)
+	}
+
+	// Chrome trace: must re-parse as trace-event JSON, and its
+	// complete-event durations must sum to the same total.
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var spanSumUs float64
+	spans := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+			spanSumUs += e.Dur
+		}
+	}
+	if spans != len(events) {
+		t.Errorf("trace has %d spans, event log has %d events", spans, len(events))
+	}
+	if diff := math.Abs(spanSumUs/1e6 - m.TRC()); diff > 1e-9 {
+		t.Errorf("summed trace durations %.12g s vs t_RC %.12g s (diff %g > 1e-9)", spanSumUs/1e6, m.TRC(), diff)
+	}
+}
+
+func TestRunMetricsAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, out, errOut := runSim(t, "run", "-case", "pdf1d", "-metrics", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"metrics:", "counter rcsim.runs", "gauge   rcsim.t_rc_seconds", "timer   ratsim.sim_wall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{cpu, mem} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", f, err)
+		}
+	}
+}
+
+func TestSynthTraceEventsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "synth.json")
+	eventsFile := filepath.Join(dir, "synth.jsonl")
+	code, out, _ := runSim(t, "synth", "-elements", "1024", "-out", "1024", "-iters", "4",
+		"-double", "-trace", traceFile, "-events", eventsFile, "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "counter rcsim.iterations") {
+		t.Errorf("synth metrics missing:\n%s", out)
+	}
+	ef, err := os.Open(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	events, err := telemetry.ReadEvents(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swaps := 0
+	for _, e := range events {
+		if e.Kind == telemetry.EventBufferSwap {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Error("double-buffered synth run emitted no buffer-swap events")
+	}
+	if raw, err := os.ReadFile(traceFile); err != nil || !json.Valid(raw) {
+		t.Errorf("trace file invalid (err %v)", err)
 	}
 }

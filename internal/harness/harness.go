@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/chrec/rat/internal/apps/md"
 	"github.com/chrec/rat/internal/apps/pdf1d"
@@ -22,6 +24,7 @@ import (
 	"github.com/chrec/rat/internal/rcsim"
 	"github.com/chrec/rat/internal/report"
 	"github.com/chrec/rat/internal/resource"
+	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/trace"
 	"github.com/chrec/rat/internal/worksheet"
 )
@@ -31,6 +34,41 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func() (string, error)
+}
+
+// metricsReg is where package-internal instrumentation (the MD-dataset
+// cache) records; it defaults to the process-wide registry and is
+// swappable so the ratbench CLI and tests can capture it.
+var metricsReg atomic.Pointer[telemetry.Registry]
+
+func init() { metricsReg.Store(telemetry.Default()) }
+
+// SetRegistry redirects the harness's internal instrumentation to reg
+// (ignored when nil).
+func SetRegistry(reg *telemetry.Registry) {
+	if reg != nil {
+		metricsReg.Store(reg)
+	}
+}
+
+// Metrics returns the registry the harness currently records into.
+func Metrics() *telemetry.Registry { return metricsReg.Load() }
+
+// RunWith executes the experiment and instruments the run: a
+// harness.experiment.<id> timer observes the wall-clock duration, and
+// the harness.experiments_run / harness.experiments_failed counters
+// accumulate pass/fail totals. A nil registry just runs.
+func (e Experiment) RunWith(reg *telemetry.Registry) (string, error) {
+	start := time.Now()
+	text, err := e.Run()
+	if reg != nil {
+		reg.Timer("harness.experiment."+e.ID).Observe(time.Since(start))
+		reg.Counter("harness.experiments_run").Inc()
+		if err != nil {
+			reg.Counter("harness.experiments_failed").Inc()
+		}
+	}
+	return text, err
 }
 
 // All returns every experiment: the paper artifacts in paper order,
@@ -75,10 +113,16 @@ var mdDataset = struct {
 }{}
 
 func mdSystem() (*md.System, []int) {
+	hit := true
 	mdDataset.once.Do(func() {
+		hit = false
+		Metrics().Counter("harness.md_dataset.cache_misses").Inc()
 		mdDataset.sys = md.GenerateSystem(md.Molecules, 1)
 		mdDataset.nb = md.NeighborCounts(mdDataset.sys)
 	})
+	if hit {
+		Metrics().Counter("harness.md_dataset.cache_hits").Inc()
+	}
 	return mdDataset.sys, mdDataset.nb
 }
 

@@ -1,10 +1,12 @@
 package harness_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"github.com/chrec/rat/internal/harness"
+	"github.com/chrec/rat/internal/telemetry"
 )
 
 func TestAllHaveUniqueIDsAndRun(t *testing.T) {
@@ -102,5 +104,54 @@ func TestDeterministicOutput(t *testing.T) {
 		if a != b {
 			t.Errorf("%s: output not deterministic", id)
 		}
+	}
+}
+
+func TestRunWithRecordsMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ok := harness.Experiment{ID: "unit-ok", Run: func() (string, error) { return "fine", nil }}
+	bad := harness.Experiment{ID: "unit-bad", Run: func() (string, error) { return "", errors.New("boom") }}
+	if _, err := ok.RunWith(reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.RunWith(reg); err == nil {
+		t.Fatal("bad experiment must propagate its error")
+	}
+	s := reg.Snapshot()
+	if s.Counters["harness.experiments_run"] != 2 || s.Counters["harness.experiments_failed"] != 1 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Timers["harness.experiment.unit-ok"].Count != 1 {
+		t.Errorf("missing per-experiment timer: %v", s.Timers)
+	}
+	if _, err := ok.RunWith(nil); err != nil {
+		t.Errorf("nil registry must still run: %v", err)
+	}
+}
+
+func TestMDDatasetCacheCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	harness.SetRegistry(reg)
+	defer harness.SetRegistry(telemetry.Default())
+	if harness.Metrics() != reg {
+		t.Fatal("SetRegistry did not take")
+	}
+	// Table 9 simulates the MD case study, touching the dataset
+	// cache once per run; two runs are at most one miss and at least
+	// one hit (the miss may have happened in an earlier test against
+	// another registry).
+	e, _ := harness.ByID("table9")
+	if _, err := e.RunWith(reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunWith(reg); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["harness.md_dataset.cache_hits"]+s.Counters["harness.md_dataset.cache_misses"] < 2 {
+		t.Errorf("cache counters = %v", s.Counters)
+	}
+	if s.Counters["harness.md_dataset.cache_hits"] < 1 {
+		t.Errorf("second run must hit the cache: %v", s.Counters)
 	}
 }

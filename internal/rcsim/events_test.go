@@ -1,0 +1,126 @@
+package rcsim_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// TestRunEmitsEvents checks the single-device simulator's event log:
+// one record per transfer and kernel execution, and — because a
+// single-buffered schedule is strictly serial — summed event
+// durations that reproduce the measured total to the picosecond.
+func TestRunEmitsEvents(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	var sink telemetry.MemorySink
+	sc.Events = &sink
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	counts := map[string]int{}
+	var sumPs int64
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.EndPs < e.StartPs {
+			t.Errorf("event %+v ends before it starts", e)
+		}
+		sumPs += e.EndPs - e.StartPs
+	}
+	n := sc.Iterations
+	if counts[telemetry.EventWrite] != n || counts[telemetry.EventCompute] != n || counts[telemetry.EventRead] != n {
+		t.Errorf("event counts = %v, want %d of each transfer/compute kind", counts, n)
+	}
+	if counts[telemetry.EventBufferSwap] != 0 {
+		t.Errorf("single-buffered run emitted %d buffer swaps", counts[telemetry.EventBufferSwap])
+	}
+	if sumPs != int64(m.Total) {
+		t.Errorf("summed event durations = %d ps, measured total = %d ps", sumPs, int64(m.Total))
+	}
+}
+
+func TestDoubleBufferedEmitsBufferSwaps(t *testing.T) {
+	sc := baseScenario(core.DoubleBuffered)
+	var sink telemetry.MemorySink
+	sc.Events = &sink
+	if _, err := rcsim.Run(sc); err != nil {
+		t.Fatal(err)
+	}
+	swaps := 0
+	for _, e := range sink.Events() {
+		if e.Kind == telemetry.EventBufferSwap {
+			swaps++
+			if e.StartPs != e.EndPs {
+				t.Errorf("buffer swap is a marker, got span %+v", e)
+			}
+		}
+	}
+	if swaps != sc.Iterations {
+		t.Errorf("buffer swaps = %d, want one per iteration (%d)", swaps, sc.Iterations)
+	}
+}
+
+// TestEventsMatchTrace runs every simulator flavour with both a trace
+// recorder and an event sink attached and checks they tell the same
+// story span for span.
+func TestEventsMatchTrace(t *testing.T) {
+	flavours := []struct {
+		name string
+		run  func(rcsim.Scenario) (rcsim.Measurement, error)
+	}{
+		{"single", rcsim.Run},
+		{"streaming", rcsim.RunStreaming},
+		{"multi", func(sc rcsim.Scenario) (rcsim.Measurement, error) {
+			return rcsim.RunMulti(rcsim.MultiScenario{
+				Scenario: sc, Devices: 2, Topology: core.SharedChannel,
+			})
+		}},
+	}
+	for _, f := range flavours {
+		t.Run(f.name, func(t *testing.T) {
+			sc := baseScenario(core.DoubleBuffered)
+			var rec trace.Recorder
+			var sink telemetry.MemorySink
+			sc.Trace = &rec
+			sc.Events = &sink
+			if _, err := f.run(sc); err != nil {
+				t.Fatal(err)
+			}
+			spanned := 0
+			for _, e := range sink.Events() {
+				if e.Kind != telemetry.EventBufferSwap {
+					spanned++
+				}
+			}
+			if got := len(rec.Spans()); got != spanned {
+				t.Errorf("trace has %d spans, event log has %d span events", got, spanned)
+			}
+		})
+	}
+}
+
+func TestRecordMetrics(t *testing.T) {
+	m, err := rcsim.Run(baseScenario(core.SingleBuffered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m.RecordMetrics(reg)
+	m.RecordMetrics(reg)
+	s := reg.Snapshot()
+	if s.Counters["rcsim.runs"] != 2 {
+		t.Errorf("rcsim.runs = %d, want 2", s.Counters["rcsim.runs"])
+	}
+	if want := int64(2 * m.Scenario.Iterations); s.Counters["rcsim.iterations"] != want {
+		t.Errorf("rcsim.iterations = %d, want %d", s.Counters["rcsim.iterations"], want)
+	}
+	if got := s.Gauges["rcsim.t_rc_seconds"]; math.Abs(got-m.TRC()) > 0 {
+		t.Errorf("rcsim.t_rc_seconds = %g, want %g", got, m.TRC())
+	}
+	m.RecordMetrics(nil) // nil registry must not panic
+}

@@ -1,0 +1,23 @@
+package rcsim
+
+import "github.com/chrec/rat/internal/telemetry"
+
+// RecordMetrics writes the measurement into reg under the rcsim.*
+// namespace: run/iteration/cycle counters accumulate across calls,
+// while the per-run gauges hold the most recent measurement. The
+// names are documented in docs/OBSERVABILITY.md. A nil registry is a
+// no-op, matching the package's nil-Trace convention.
+func (m Measurement) RecordMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("rcsim.runs").Inc()
+	reg.Counter("rcsim.iterations").Add(int64(m.Scenario.Iterations))
+	reg.Counter("rcsim.kernel_cycles").Add(m.KernelCyclesTotal)
+	reg.Gauge("rcsim.t_rc_seconds").Set(m.TRC())
+	reg.Gauge("rcsim.t_comm_seconds_per_iter").Set(m.TComm())
+	reg.Gauge("rcsim.t_comp_seconds_per_iter").Set(m.TComp())
+	reg.Gauge("rcsim.util_comm").Set(m.UtilComm())
+	reg.Gauge("rcsim.util_comp").Set(m.UtilComp())
+	reg.Gauge("rcsim.overlap_seconds").Set(m.OverlapTotal.Seconds())
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/trace"
 )
 
@@ -140,6 +141,8 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Write, perDevIn, i > 0 || d > 0)
 			s.Schedule(dur, func() {
 				ms.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				ms.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i, Device: d,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: perDevIn})
 				m.WriteTotal += s.Now() - start
 				buses[d].Release()
 				st.writeDone[i] = true
@@ -182,11 +185,15 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 		m.KernelCyclesTotal += cycles
 		s.Schedule(clock.Cycles(cycles), func() {
 			ms.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			ms.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i, Device: d,
+				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
 			m.CompTotal += s.Now() - start
 			st.compDone[i] = true
 			tryRead(d, i)
 			tryCompute(d, i+1)
 			if ms.Buffering == core.DoubleBuffered {
+				ms.emit(telemetry.Event{Kind: telemetry.EventBufferSwap, Iter: i, Device: d,
+					StartPs: int64(s.Now()), EndPs: int64(s.Now()), Detail: "input buffer freed"})
 				tryWrite(d, i+2)
 			}
 		})
@@ -216,6 +223,8 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Read, perDevOut, i > 0 || d > 0)
 			s.Schedule(dur, func() {
 				ms.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				ms.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i, Device: d,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: perDevOut})
 				m.ReadTotal += s.Now() - start
 				buses[d].Release()
 				finishRead(d, i)

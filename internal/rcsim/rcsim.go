@@ -20,6 +20,7 @@ import (
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/trace"
 )
 
@@ -46,6 +47,18 @@ type Scenario struct {
 
 	// Trace, when non-nil, receives the full activity timeline.
 	Trace *trace.Recorder
+
+	// Events, when non-nil, receives a structured record of every
+	// transfer, kernel execution and buffer swap as it completes
+	// (package telemetry's JSONL event schema).
+	Events telemetry.EventSink
+}
+
+// emit sends an event to the scenario's sink, if any.
+func (sc Scenario) emit(e telemetry.Event) {
+	if sc.Events != nil {
+		sc.Events.Emit(e)
+	}
 }
 
 // ErrBadScenario tags scenario validation failures.
@@ -198,6 +211,8 @@ func Run(sc Scenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
 			s.Schedule(dur, func() {
 				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				sc.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesIn})
 				m.WriteTotal += s.Now() - start
 				bus.Release()
 				writeDone[i] = true
@@ -225,11 +240,17 @@ func Run(sc Scenario) (Measurement, error) {
 		m.KernelCyclesTotal += cycles
 		s.Schedule(clock.Cycles(cycles), func() {
 			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			sc.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i,
+				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
 			m.CompTotal += s.Now() - start
 			compDone[i] = true
 			tryRead(i)
 			tryCompute(i + 1)
 			if sc.Buffering == core.DoubleBuffered {
+				// Compute i has drained its input buffer; the swap
+				// frees it for the write two iterations ahead.
+				sc.emit(telemetry.Event{Kind: telemetry.EventBufferSwap, Iter: i,
+					StartPs: int64(s.Now()), EndPs: int64(s.Now()), Detail: "input buffer freed"})
 				tryWrite(i + 2)
 			}
 		})
@@ -256,6 +277,8 @@ func Run(sc Scenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
 			s.Schedule(dur, func() {
 				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				sc.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesOut})
 				m.ReadTotal += s.Now() - start
 				bus.Release()
 				finishRead(i)

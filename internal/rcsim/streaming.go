@@ -5,6 +5,7 @@ import (
 
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/trace"
 )
 
@@ -60,6 +61,8 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
 			s.Schedule(dur, func() {
 				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
+				sc.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesIn})
 				m.WriteTotal += s.Now() - start
 				writeBus.Release()
 				writeDone[i] = true
@@ -85,6 +88,8 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 		m.KernelCyclesTotal += cycles
 		s.Schedule(clock.Cycles(cycles), func() {
 			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
+			sc.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i,
+				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
 			m.CompTotal += s.Now() - start
 			compDone[i] = true
 			tryRead(i)
@@ -110,6 +115,8 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
 			s.Schedule(dur, func() {
 				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
+				sc.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i,
+					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesOut})
 				m.ReadTotal += s.Now() - start
 				readBus.Release()
 				readDone[i] = true

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// TestWriteChromeTrace exports a small schedule and validates it by
+// re-parsing with encoding/json, checking the trace_event invariants
+// a viewer relies on.
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []trace.Span{
+		{Kind: trace.Write, Iter: 0, Start: 0, End: 2 * sim.Microsecond},
+		{Kind: trace.Compute, Iter: 0, Start: 2 * sim.Microsecond, End: 10 * sim.Microsecond},
+		{Kind: trace.Read, Iter: 0, Start: 10 * sim.Microsecond, End: 11 * sim.Microsecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+
+	var complete, meta int
+	var durUs float64
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			durUs += e.Dur
+			if e.Pid != 1 || (e.Tid != commLane && e.Tid != compLane) {
+				t.Errorf("event %q on pid/tid %d/%d", e.Name, e.Pid, e.Tid)
+			}
+			if e.Cat == "compute" && e.Tid != compLane {
+				t.Errorf("compute span %q not on the compute lane", e.Name)
+			}
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 3 || complete != len(spans) {
+		t.Errorf("meta/complete = %d/%d, want 3/%d", meta, complete, len(spans))
+	}
+	if want := 11.0; durUs != want {
+		t.Errorf("summed dur = %g us, want %g", durUs, want)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var anyJSON map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &anyJSON); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event kinds emitted by the simulated RC platforms. The set mirrors
+// the span kinds of package trace plus the buffer-management markers
+// the analytic model never sees.
+const (
+	EventWrite      = "write"       // host -> FPGA input transfer
+	EventRead       = "read"        // FPGA -> host result transfer
+	EventCompute    = "compute"     // kernel execution
+	EventBufferSwap = "buffer-swap" // double buffering freed an input buffer
+)
+
+// Event is one structured record of simulated activity. Times are
+// integer picoseconds of simulated time (the engine's native unit), so
+// event logs are exact: summing (EndPs - StartPs) over a serial
+// schedule reproduces the run's total to the picosecond.
+type Event struct {
+	Kind    string `json:"kind"`
+	Iter    int    `json:"iter"`
+	Device  int    `json:"device,omitempty"`
+	StartPs int64  `json:"start_ps"`
+	EndPs   int64  `json:"end_ps"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Cycles  int64  `json:"cycles,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// DurationSeconds returns the event's span length in seconds.
+func (e Event) DurationSeconds() float64 {
+	return float64(e.EndPs-e.StartPs) / 1e12
+}
+
+// EventSink receives simulation events. Implementations must be safe
+// for use from a single simulation goroutine; WriterSink and
+// MemorySink are additionally safe for concurrent emitters.
+type EventSink interface {
+	Emit(Event)
+}
+
+// WriterSink encodes each event as one JSON line (JSONL). Encoding
+// errors are sticky: the first is kept and later emits become no-ops,
+// so the simulation never fails mid-run on a full disk — check Err
+// after the run.
+type WriterSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink wraps w in a buffered JSONL encoder. Call Flush (or
+// check Err, which flushes) before closing the underlying writer.
+func NewWriterSink(w io.Writer) *WriterSink {
+	bw := bufio.NewWriter(w)
+	return &WriterSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements EventSink.
+func (s *WriterSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Flush writes buffered lines through to the underlying writer.
+func (s *WriterSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err flushes and returns the first error encountered, if any.
+func (s *WriterSink) Err() error { return s.Flush() }
+
+// MemorySink accumulates events in memory, for tests and for building
+// registries or traces after a run.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements EventSink.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Len returns the number of events emitted so far.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// ReadEvents decodes a JSONL event log, the inverse of WriterSink.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: event log line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+}

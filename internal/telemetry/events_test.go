@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenEvents mirrors testdata/events.golden.jsonl.
+var goldenEvents = []Event{
+	{Kind: EventWrite, Iter: 0, StartPs: 0, EndPs: 25000000, Bytes: 16384},
+	{Kind: EventCompute, Iter: 0, StartPs: 25000000, EndPs: 164000000, Cycles: 20850},
+	{Kind: EventBufferSwap, Iter: 0, StartPs: 164000000, EndPs: 164000000, Detail: "input buffer freed"},
+	{Kind: EventRead, Iter: 0, Device: 1, StartPs: 164000000, EndPs: 168000000, Bytes: 1024},
+}
+
+// TestWriterSinkGolden checks the JSONL encoding byte-for-byte against
+// the checked-in golden file, then round-trips it through ReadEvents.
+func TestWriterSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewWriterSink(&buf)
+	for _, e := range goldenEvents {
+		sink.Emit(e)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "events.golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(golden) {
+		t.Errorf("encoding drifted from golden file:\ngot:\n%swant:\n%s", got, golden)
+	}
+
+	back, err := ReadEvents(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, goldenEvents) {
+		t.Errorf("round-trip mismatch:\ngot  %+v\nwant %+v", back, goldenEvents)
+	}
+}
+
+func TestReadEventsBadLine(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"kind\":\"write\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWriterSinkStickyError(t *testing.T) {
+	sink := NewWriterSink(failWriter{})
+	for i := 0; i < 5000; i++ { // enough to overflow the buffer and hit the writer
+		sink.Emit(Event{Kind: EventWrite, Iter: i})
+	}
+	if sink.Err() == nil {
+		t.Fatal("expected a sticky write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+func TestMemorySink(t *testing.T) {
+	var sink MemorySink
+	sink.Emit(Event{Kind: EventCompute, Iter: 3, StartPs: 10, EndPs: 30})
+	if sink.Len() != 1 {
+		t.Fatalf("len = %d", sink.Len())
+	}
+	evs := sink.Events()
+	evs[0].Iter = 99 // the returned slice is a copy
+	if sink.Events()[0].Iter != 3 {
+		t.Error("Events() exposed the backing slice")
+	}
+	if d := sink.Events()[0].DurationSeconds(); d != 20e-12 {
+		t.Errorf("duration = %g, want 2e-11", d)
+	}
+}

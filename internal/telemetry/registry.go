@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta; negative deltas are clamped to zero so the counter
+// stays monotone (use a Gauge for values that go down).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates wall-clock durations.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration; negative durations count as zero.
+func (t *Timer) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+}
+
+// Time runs fn and observes its wall-clock duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Stats returns the timer's aggregates.
+func (t *Timer) Stats() TimerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerStats{Count: t.count, Total: t.total, Min: t.min, Max: t.max}
+	if t.count > 0 {
+		s.Mean = t.total / time.Duration(t.count)
+	}
+	return s
+}
+
+// TimerStats is a point-in-time summary of a Timer.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Histogram counts float64 observations into fixed buckets. Bounds are
+// the inclusive upper edges of each bucket; observations above the
+// last bound land in the overflow count.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	over   int64
+	sum    float64
+	n      int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.over++
+}
+
+// Stats returns the histogram's current contents.
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramStats{Count: h.n, Sum: h.sum, Overflow: h.over}
+	s.Buckets = make([]BucketCount, len(h.bounds))
+	for i, b := range h.bounds {
+		s.Buckets[i] = BucketCount{UpperBound: b, Count: h.counts[i]}
+	}
+	return s
+}
+
+// BucketCount is one histogram bucket: observations <= UpperBound
+// (and above the previous bound).
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramStats is a point-in-time summary of a Histogram.
+type HistogramStats struct {
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Buckets  []BucketCount `json:"buckets"`
+	Overflow int64         `json:"overflow"`
+}
+
+// Registry holds named metrics. All methods are safe for concurrent
+// use; metric handles returned by the lookup methods are themselves
+// concurrency-safe and may be cached by callers.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// std is the process-wide default registry, used by code (the harness
+// MD-dataset cache) with no natural place to thread a registry through.
+var std = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (sorted ascending; duplicates
+// removed). Bounds passed on later lookups of an existing name are
+// ignored.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		uniq := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != bs[i-1] {
+				uniq = append(uniq, b)
+			}
+		}
+		h = &Histogram{bounds: uniq, counts: make([]int64, len(uniq))}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent point-in-time copy of a registry's
+// contents, suitable for encoding. Map keys are metric names.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Timers:     make(map[string]TimerStats, len(r.timers)),
+		Histograms: make(map[string]HistogramStats, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, t := range r.timers {
+		s.Timers[n] = t.Stats()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Stats()
+	}
+	return s
+}
+
+// Reset drops every registered metric. Handles returned before the
+// reset keep working but are no longer reachable from the registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.timers = map[string]*Timer{}
+	r.histograms = map[string]*Histogram{}
+}

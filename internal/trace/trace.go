@@ -86,13 +86,30 @@ func (r *Recorder) Add(s Span) {
 }
 
 // Spans returns the recorded spans sorted by start time (stable on
-// insertion order for ties).
+// insertion order for ties). The slice is a defensive copy: mutating
+// it never corrupts the recorder's backing store.
 func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
 	out := make([]Span, len(r.spans))
 	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ByIter returns the spans belonging to one iteration, sorted by start
+// time (stable on insertion order for ties), as a defensive copy.
+func (r *Recorder) ByIter(iter int) []Span {
+	if r == nil {
+		return nil
+	}
+	var out []Span
+	for _, s := range r.spans {
+		if s.Iter == iter {
+			out = append(out, s)
+		}
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }

@@ -128,3 +128,47 @@ func TestKindStrings(t *testing.T) {
 		t.Error("unknown Kind string wrong")
 	}
 }
+
+func TestByIter(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 1, Start: 30, End: 50})
+	r.Add(trace.Span{Kind: trace.Write, Iter: 0, Start: 0, End: 10})
+	r.Add(trace.Span{Kind: trace.Write, Iter: 1, Start: 10, End: 20})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 0, Start: 10, End: 30})
+	got := r.ByIter(1)
+	if len(got) != 2 || got[0].Kind != trace.Write || got[1].Kind != trace.Compute {
+		t.Errorf("ByIter(1) = %+v", got)
+	}
+	if got[0].Start != 10 || got[1].Start != 30 {
+		t.Errorf("ByIter(1) not sorted by start: %+v", got)
+	}
+	if r.ByIter(7) != nil {
+		t.Error("ByIter of an unrecorded iteration must be nil")
+	}
+	var nilRec *trace.Recorder
+	if nilRec.ByIter(0) != nil {
+		t.Error("nil recorder ByIter must be nil")
+	}
+}
+
+// TestAccessorsAreDefensiveCopies mutates the slices returned by
+// Spans and ByIter and checks the recorder's backing store survives.
+func TestAccessorsAreDefensiveCopies(t *testing.T) {
+	var r trace.Recorder
+	r.Add(trace.Span{Kind: trace.Write, Iter: 0, Start: 0, End: 10})
+	r.Add(trace.Span{Kind: trace.Compute, Iter: 0, Start: 10, End: 40})
+
+	s := r.Spans()
+	s[0].End = sim.Time(999)
+	s[1].Kind = trace.Read
+	b := r.ByIter(0)
+	b[0].Start = sim.Time(888)
+
+	fresh := r.Spans()
+	if fresh[0].End != 10 || fresh[1].Kind != trace.Compute || fresh[0].Start != 0 {
+		t.Errorf("mutating returned slices corrupted the recorder: %+v", fresh)
+	}
+	if got := r.Total(); got != 40 {
+		t.Errorf("Total after mutation = %v, want 40", got)
+	}
+}
