@@ -81,11 +81,11 @@ func run(args []string, out, errOut io.Writer) int {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
-			fmt.Fprintf(errOut, "ratbench: %v\n", err)
+			fmt.Fprintf(errOut, "ratbench: %v\n", fmt.Errorf("cpu profile: %w", err))
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(errOut, "ratbench: %v\n", err)
+			fmt.Fprintf(errOut, "ratbench: %v\n", fmt.Errorf("cpu profile %s: %w", cpuProfile, err))
 			f.Close()
 			return 1
 		}
@@ -137,12 +137,12 @@ func run(args []string, out, errOut io.Writer) int {
 	if memProfile != "" {
 		f, err := os.Create(memProfile)
 		if err != nil {
-			fmt.Fprintf(errOut, "ratbench: %v\n", err)
+			fmt.Fprintf(errOut, "ratbench: %v\n", fmt.Errorf("heap profile: %w", err))
 			return 1
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(errOut, "ratbench: %v\n", err)
+			fmt.Fprintf(errOut, "ratbench: %v\n", fmt.Errorf("heap profile %s: %w", memProfile, err))
 			f.Close()
 			return 1
 		}

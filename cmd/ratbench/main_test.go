@@ -53,6 +53,34 @@ func TestBadFlag(t *testing.T) {
 	}
 }
 
+// TestExitCodes pins the status contract: 0 success, 1 runtime
+// failure (e.g. an unwritable profile path), 2 usage error.
+func TestExitCodes(t *testing.T) {
+	badPath := filepath.Join(t.TempDir(), "no", "such", "dir", "out.pprof")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"bad-flag", []string{"-frequency", "11"}, 2},
+		{"unknown-exp", []string{"-exp", "table42"}, 2},
+		{"bad-cpuprofile", []string{"-exp", "fig3", "-cpuprofile", badPath}, 1},
+		{"bad-memprofile", []string{"-exp", "fig3", "-memprofile", badPath}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runBench(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("args %v: exit %d, want %d (stderr %q)", tc.args, code, tc.want, errOut)
+			}
+			if tc.want == 1 && !strings.Contains(errOut, "profile") {
+				t.Errorf("args %v: profile diagnostic missing from stderr %q", tc.args, errOut)
+			}
+		})
+	}
+}
+
 func TestRunSummaryLine(t *testing.T) {
 	code, out, errOut := runBench(t, "-exp", "fig3", "-exp", "table2")
 	if code != 0 {

@@ -7,6 +7,7 @@
 //
 //	ratsim run -case pdf1d [-mhz 150] [-double] [-devices 2] [-gantt]
 //	ratsim run -case pdf1d -trace out.json -events out.jsonl -metrics
+//	ratsim run -case pdf1d -faults crc=0.01,upset=0.001 -fault-seed 7 -fault-policy retries=5
 //	ratsim microbench [-platform nallatech] [-sizes 256,2048,262144]
 //	ratsim synth -elements 4096 -out 4096 -bytes 4 -iters 10 -cycles 20000 [-mhz 100] [-double] [-gantt]
 //
@@ -14,7 +15,8 @@
 // chrome://tracing or Perfetto; -events writes a JSONL event log;
 // -metrics prints the telemetry registry after the run; -cpuprofile
 // and -memprofile write runtime/pprof profiles. See
-// docs/OBSERVABILITY.md.
+// docs/OBSERVABILITY.md. The -faults, -fault-seed and -fault-policy
+// flags inject deterministic platform faults; see docs/FAULTS.md.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"github.com/chrec/rat/internal/apps/pdf1d"
 	"github.com/chrec/rat/internal/apps/pdf2d"
 	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fault"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/rcsim"
@@ -93,6 +96,11 @@ observability flags (see docs/OBSERVABILITY.md):
   -metrics           print the telemetry registry after the run
   -cpuprofile f      write a runtime/pprof CPU profile
   -memprofile f      write a runtime/pprof heap profile
+
+fault-injection flags for run and synth (see docs/FAULTS.md):
+  -faults spec       inject faults, e.g. crc=0.01,dma=0.002,upset=0.001,dropout=0.0005
+  -fault-seed N      deterministic fault-pattern seed (default 1)
+  -fault-policy spec recovery policy, e.g. retries=5,backoff=20us,growth=2,failfast
 `)
 }
 
@@ -107,6 +115,43 @@ func buffering(double bool) core.Buffering {
 		return core.DoubleBuffered
 	}
 	return core.SingleBuffered
+}
+
+// faultFlags holds the fault-injection options shared by run and synth.
+type faultFlags struct {
+	spec   string
+	seed   uint64
+	policy string
+}
+
+func addFaultFlags(fs *flag.FlagSet) *faultFlags {
+	f := &faultFlags{}
+	fs.StringVar(&f.spec, "faults", "", "fault rates, e.g. crc=0.01,dma=0.002 (docs/FAULTS.md)")
+	fs.Uint64Var(&f.seed, "fault-seed", 1, "deterministic fault-pattern seed")
+	fs.StringVar(&f.policy, "fault-policy", "", "recovery policy, e.g. retries=5,backoff=20us,failfast")
+	return f
+}
+
+// plan builds the fault plan the flags describe; nil when no faults
+// were requested. Malformed specs are usage errors.
+func (f *faultFlags) plan() (*fault.Plan, error) {
+	if f.spec == "" {
+		if f.policy != "" {
+			return nil, fmt.Errorf("%w: -fault-policy is set but -faults is not", errUsage)
+		}
+		return nil, nil
+	}
+	pl, err := fault.ParseRates(f.spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errUsage, err)
+	}
+	pol, err := fault.ParsePolicy(f.policy)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errUsage, err)
+	}
+	pl.Seed = f.seed
+	pl.Policy = pol
+	return &pl, nil
 }
 
 // obsFlags holds the observability options shared by run and synth.
@@ -135,11 +180,11 @@ func (o *obsFlags) startProfiles() (func() error, error) {
 	if o.cpuProfile != "" {
 		f, err := os.Create(o.cpuProfile)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			return nil, err
+			return nil, fmt.Errorf("cpu profile %s: %w", o.cpuProfile, err)
 		}
 		cpuF = f
 	}
@@ -147,13 +192,13 @@ func (o *obsFlags) startProfiles() (func() error, error) {
 		if cpuF != nil {
 			pprof.StopCPUProfile()
 			if err := cpuF.Close(); err != nil {
-				return err
+				return fmt.Errorf("cpu profile: %w", err)
 			}
 		}
 		if o.memProfile != "" {
 			f, err := os.Create(o.memProfile)
 			if err != nil {
-				return err
+				return fmt.Errorf("heap profile: %w", err)
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
@@ -185,7 +230,7 @@ func (o *obsFlags) instrument(sc *rcsim.Scenario) (finish func() error, err erro
 	if o.eventsOut != "" {
 		eventsFile, err = os.Create(o.eventsOut)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("event log: %w", err)
 		}
 		sink = telemetry.NewWriterSink(eventsFile)
 		sc.Events = sink
@@ -203,7 +248,7 @@ func (o *obsFlags) instrument(sc *rcsim.Scenario) (finish func() error, err erro
 		if rec != nil {
 			f, err := os.Create(o.traceOut)
 			if err != nil {
-				return err
+				return fmt.Errorf("chrome trace: %w", err)
 			}
 			if err := telemetry.WriteChromeTrace(f, rec.Spans()); err != nil {
 				f.Close()
@@ -233,6 +278,10 @@ func printMeasurement(out io.Writer, m rcsim.Measurement, tSoft float64, rec *tr
 	if tSoft > 0 {
 		fmt.Fprintf(out, "speedup = %.2f over t_soft %.3g s\n", m.Speedup(tSoft), tSoft)
 	}
+	if m.Scenario.Faults.Enabled() {
+		fmt.Fprintf(out, "faults  = %d retries, %d failovers, %s s lost (%s of runtime)\n",
+			m.Retries, m.Failovers, report.FormatSci(m.FaultTime.Seconds()), report.FormatPercent(m.UtilFault()))
+	}
 	if gantt && rec != nil {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, rec.Gantt(96))
@@ -246,8 +295,13 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 	double := fs.Bool("double", false, "double-buffered overlap")
 	gantt := fs.Bool("gantt", false, "print the activity timeline (first iterations)")
 	obs := addObsFlags(fs)
+	flts := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	plan, err2 := flts.plan()
+	if err2 != nil {
+		return err2
 	}
 	b := buffering(*double)
 	var (
@@ -271,8 +325,9 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 		}
 		tSoft = paper.MDTSoft
 	default:
-		return fmt.Errorf("unknown case study %q", *study)
+		return fmt.Errorf("%w: unknown case study %q", errUsage, *study)
 	}
+	sc.Faults = plan
 	var rec *trace.Recorder
 	if *gantt {
 		// Tracing 400 iterations is unreadable; run a short prefix
@@ -321,11 +376,11 @@ func cmdMicrobench(args []string, out io.Writer) error {
 	plat := fs.String("platform", "nallatech", "platform name")
 	sizesArg := fs.String("sizes", "256,512,1024,2048,4096,16384,65536,262144,1048576", "transfer sizes in bytes")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	p, ok := platform.ByName(*plat)
 	if !ok {
-		return fmt.Errorf("unknown platform %q", *plat)
+		return fmt.Errorf("%w: unknown platform %q", errUsage, *plat)
 	}
 	var sizes []int64
 	for _, s := range strings.Split(*sizesArg, ",") {
@@ -363,12 +418,17 @@ func cmdSynth(args []string, out io.Writer) error {
 	devices := fs.Int("devices", 1, "FPGA count (multi-device fan-out)")
 	gantt := fs.Bool("gantt", false, "print the activity timeline")
 	obs := addObsFlags(fs)
+	flts := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
+	}
+	plan, err := flts.plan()
+	if err != nil {
 		return err
 	}
 	p, ok := platform.ByName(*plat)
 	if !ok {
-		return fmt.Errorf("unknown platform %q", *plat)
+		return fmt.Errorf("%w: unknown platform %q", errUsage, *plat)
 	}
 	sc := rcsim.Scenario{
 		Name:            "synthetic",
@@ -380,6 +440,20 @@ func cmdSynth(args []string, out io.Writer) error {
 		ElementsOut:     *outEls,
 		BytesPerElement: *bytesPer,
 		KernelCycles:    func(int, int) int64 { return *cycles },
+		Faults:          plan,
+	}
+	// Bad dimension flags are usage errors: validate before running so
+	// they exit 2 with the usage text instead of 1.
+	if *devices < 1 {
+		return fmt.Errorf("%w: device count must be >= 1 (got %d)", errUsage, *devices)
+	}
+	if *devices > 1 {
+		ms := rcsim.MultiScenario{Scenario: sc, Devices: *devices, Topology: core.SharedChannel}
+		if err := ms.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", errUsage, err)
+		}
+	} else if err := sc.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", errUsage, err)
 	}
 	if *gantt {
 		sc.Trace = &trace.Recorder{}

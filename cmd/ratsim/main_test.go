@@ -47,7 +47,7 @@ func TestRunPDF2DDouble(t *testing.T) {
 
 func TestRunUnknownCase(t *testing.T) {
 	code, _, errOut := runSim(t, "run", "-case", "fft")
-	if code != 1 || !strings.Contains(errOut, "unknown case study") {
+	if code != 2 || !strings.Contains(errOut, "unknown case study") || !strings.Contains(errOut, "usage") {
 		t.Errorf("exit %d, %s", code, errOut)
 	}
 }
@@ -62,8 +62,8 @@ func TestMicrobench(t *testing.T) {
 			t.Errorf("microbench missing %q:\n%s", want, out)
 		}
 	}
-	if code, _, _ := runSim(t, "microbench", "-platform", "skynet"); code != 1 {
-		t.Error("unknown platform accepted")
+	if code, _, _ := runSim(t, "microbench", "-platform", "skynet"); code != 2 {
+		t.Error("unknown platform must be a usage error")
 	}
 	// Malformed -sizes entries are usage errors: exit 2 plus the
 	// usage text, never a silently shortened sweep.
@@ -92,9 +92,9 @@ func TestSynth(t *testing.T) {
 	if code != 0 || !strings.Contains(out, "4 device(s)") {
 		t.Errorf("multi synth: exit %d\n%s", code, out)
 	}
-	// Indivisible fan-out is rejected by the scenario validator.
-	if code, _, _ := runSim(t, "synth", "-elements", "1000", "-devices", "3"); code != 1 {
-		t.Error("indivisible multi accepted")
+	// Indivisible fan-out is a usage error caught before the run.
+	if code, _, errOut := runSim(t, "synth", "-elements", "1000", "-devices", "3"); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Errorf("indivisible multi: exit %d, stderr %q", code, errOut)
 	}
 }
 
@@ -108,8 +108,76 @@ func TestUsageAndUnknown(t *testing.T) {
 	if code, out, _ := runSim(t, "help"); code != 0 || !strings.Contains(out, "usage") {
 		t.Error("help must print usage")
 	}
-	if code, _, _ := runSim(t, "run", "-bogus"); code != 1 {
-		t.Error("bad flag must fail")
+	if code, _, errOut := runSim(t, "run", "-bogus"); code != 2 || !strings.Contains(errOut, "usage") {
+		t.Errorf("bad flag: exit %d, stderr %q", code, errOut)
+	}
+}
+
+// TestUsageExitCodes is the table-driven contract for the CLI's exit
+// statuses: 0 success, 1 runtime failure, 2 usage error (with the
+// usage text on stderr).
+func TestUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no-args", nil, 2},
+		{"unknown-command", []string{"teleport"}, 2},
+		{"help", []string{"help"}, 0},
+		{"run-bad-flag", []string{"run", "-bogus"}, 2},
+		{"run-unknown-case", []string{"run", "-case", "fft"}, 2},
+		{"run-bad-fault-spec", []string{"run", "-case", "pdf1d", "-faults", "crc=2"}, 2},
+		{"run-bad-fault-key", []string{"run", "-case", "pdf1d", "-faults", "cosmic=0.1"}, 2},
+		{"run-bad-policy", []string{"run", "-case", "pdf1d", "-faults", "crc=0.01", "-fault-policy", "retries=no"}, 2},
+		{"run-policy-without-faults", []string{"run", "-case", "pdf1d", "-fault-policy", "retries=5"}, 2},
+		{"synth-bad-flag", []string{"synth", "-bogus"}, 2},
+		{"synth-unknown-platform", []string{"synth", "-platform", "skynet"}, 2},
+		{"synth-bad-iters", []string{"synth", "-iters", "0"}, 2},
+		{"synth-bad-devices", []string{"synth", "-devices", "0"}, 2},
+		{"synth-indivisible", []string{"synth", "-elements", "1000", "-devices", "3"}, 2},
+		{"microbench-bad-flag", []string{"microbench", "-bogus"}, 2},
+		{"microbench-unknown-platform", []string{"microbench", "-platform", "skynet"}, 2},
+		{"microbench-bad-sizes", []string{"microbench", "-sizes", "big"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runSim(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("args %v: exit %d, want %d (stderr %q)", tc.args, code, tc.want, errOut)
+			}
+			if tc.want == 2 && !strings.Contains(errOut, "usage") {
+				t.Errorf("args %v: usage text missing from stderr %q", tc.args, errOut)
+			}
+		})
+	}
+}
+
+// TestRunWithFaults drives the fault-injection flags end to end: the
+// run must succeed, print the fault summary line, and stay
+// deterministic across invocations with the same seed.
+func TestRunWithFaults(t *testing.T) {
+	args := []string{"synth", "-elements", "1000", "-out", "1000", "-iters", "10", "-cycles", "5000",
+		"-faults", "crc=0.1,upset=0.1", "-fault-seed", "42", "-fault-policy", "retries=10,backoff=10us"}
+	code, out1, errOut := runSim(t, args...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out1, "faults  =") || !strings.Contains(out1, "retries") {
+		t.Errorf("fault summary missing:\n%s", out1)
+	}
+	if _, out2, _ := runSim(t, args...); out1 != out2 {
+		t.Errorf("same seed produced different output:\n%s\nvs\n%s", out1, out2)
+	}
+	// A different seed shifts the injected pattern.
+	argsSeed7 := []string{"synth", "-elements", "1000", "-out", "1000", "-iters", "10", "-cycles", "5000",
+		"-faults", "crc=0.1,upset=0.1", "-fault-seed", "7", "-fault-policy", "retries=10,backoff=10us"}
+	if _, out3, _ := runSim(t, argsSeed7...); out1 == out3 {
+		t.Error("different fault seeds produced identical output")
+	}
+	// Fault-free runs must not print the summary line.
+	if _, clean, _ := runSim(t, "synth", "-elements", "1000", "-out", "1000"); strings.Contains(clean, "faults  =") {
+		t.Errorf("fault summary printed on a fault-free run:\n%s", clean)
 	}
 }
 

@@ -1,0 +1,483 @@
+// Package fault models the runtime misbehaviour of an RC platform
+// that RAT's analytic equations (and the paper's clean testbed runs)
+// abstract away: transfer CRC errors that force retries, DMA timeouts,
+// size- and age-dependent sustained-bandwidth degradation, transient
+// kernel upsets that force recomputation, and — for multi-FPGA
+// systems — whole-node dropout. Package rcsim threads a Plan through
+// its discrete-event timelines so retries, backoff and failover are
+// charged in simulated time, answering the question the analytic
+// model cannot: how far do the paper's speedup predictions degrade
+// when the platform misbehaves, and do recovery policies win them
+// back? See docs/FAULTS.md.
+//
+// # Determinism
+//
+// Every random decision is a pure function of (Plan.Seed, fault
+// stream, device, iteration, attempt) — a counter-free hash, not a
+// stateful PRNG — so the injected fault set does not depend on event
+// dispatch order, and the same scenario with the same seed yields a
+// bit-identical timeline and event log. A useful corollary: for a
+// fixed seed the set of faulting attempts grows monotonically with
+// the rate (an attempt faults iff its fixed uniform draw falls below
+// the rate), so sweeping a rate upward can only add fault work.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/chrec/rat/internal/sim"
+)
+
+// Kind names an injected fault, as it appears in telemetry event
+// details and error messages.
+type Kind string
+
+const (
+	// None means the attempt completes cleanly.
+	None Kind = ""
+	// CRCError is a transfer that completes on the wire but fails its
+	// integrity check: the full transfer time is wasted and the
+	// transfer must be retried.
+	CRCError Kind = "crc-error"
+	// DMATimeout is a transfer whose DMA engine hangs: the host waits
+	// out the Plan's DMAStall, aborts, and retries.
+	DMATimeout Kind = "dma-timeout"
+	// KernelUpset is a transient in-fabric upset detected after a
+	// kernel execution: the computed block is untrusted and must be
+	// recomputed from the (still-buffered) input.
+	KernelUpset Kind = "kernel-upset"
+	// NodeDropout is the permanent loss of one FPGA in a multi-device
+	// run; recovery requires the Policy's failover.
+	NodeDropout Kind = "node-dropout"
+)
+
+// Op identifies the operation class a fault decision applies to.
+// Distinct ops draw from distinct hash streams, so e.g. write and
+// read transfers of the same iteration fault independently.
+type Op int
+
+const (
+	OpWrite Op = iota
+	OpRead
+	OpCompute
+	OpNode
+)
+
+// ErrBadPlan tags Plan/Policy validation failures.
+var ErrBadPlan = errors.New("fault: invalid plan")
+
+// Plan is a seed-driven description of how the platform misbehaves.
+// The zero value injects nothing. Rates are probabilities per attempt
+// (transfers, kernel executions) or per device-iteration (dropout).
+type Plan struct {
+	// Seed selects the deterministic fault pattern. Two runs of the
+	// same scenario with the same seed see identical faults.
+	Seed uint64
+
+	// CRC is the probability that a transfer attempt completes but
+	// fails its integrity check (full transfer time wasted).
+	CRC float64
+	// DMA is the probability that a transfer attempt hangs until the
+	// DMAStall timeout expires.
+	DMA float64
+	// DMAStall is the simulated time the host waits before declaring
+	// a hung DMA dead. Zero defaults to 1 ms.
+	DMAStall sim.Time
+	// Upset is the probability that a kernel execution suffers a
+	// transient upset and must recompute its block.
+	Upset float64
+	// Dropout is the per-device, per-iteration probability that an
+	// FPGA drops out of a multi-device run permanently.
+	Dropout float64
+
+	// AgeSlope models sustained-bandwidth decay over the run (driver
+	// queue aging, thermal throttling): transfer i is slowed by a
+	// factor 1 + AgeSlope*i.
+	AgeSlope float64
+	// SizeKnee and SizeFactor model large-transfer degradation:
+	// transfers of at least SizeKnee bytes are additionally slowed by
+	// SizeFactor. SizeKnee 0 disables; SizeFactor 0 means 1.
+	SizeKnee   int64
+	SizeFactor float64
+
+	// Policy governs recovery. The zero value means DefaultPolicy.
+	Policy Policy
+}
+
+// Policy describes how the simulated host reacts to faults.
+type Policy struct {
+	// Retries is the maximum number of retry attempts per operation
+	// beyond the first try. Exhausting it fails the run.
+	Retries int
+	// Backoff is the simulated wait before the first retry of an
+	// operation; retry k waits Backoff * Growth^(k-1).
+	Backoff sim.Time
+	// Growth is the exponential backoff factor. Zero means 2.
+	Growth float64
+	// Failover, in multi-FPGA runs, reroutes a dropped node's
+	// remaining sub-blocks to the lowest-numbered surviving device.
+	// Without it a dropout fails the run.
+	Failover bool
+	// FailoverDelay is the simulated rebalance stall charged per
+	// dropout before the surviving device takes over. Zero defaults
+	// to 1 ms.
+	FailoverDelay sim.Time
+	// FailFast aborts the run on the first fault instead of
+	// retrying — the "measure the cliff" policy.
+	FailFast bool
+}
+
+// DefaultPolicy is the recovery the CLIs and a zero-valued
+// Plan.Policy use: three retries with 10 us exponential backoff, and
+// failover with a 1 ms rebalance stall.
+func DefaultPolicy() Policy {
+	return Policy{
+		Retries:       3,
+		Backoff:       10 * sim.Microsecond,
+		Growth:        2,
+		Failover:      true,
+		FailoverDelay: sim.Millisecond,
+	}
+}
+
+// BackoffFor returns the simulated wait before retry attempt k
+// (1-based): Backoff * Growth^(k-1), rounded to the picosecond.
+func (p Policy) BackoffFor(k int) sim.Time {
+	if p.Backoff <= 0 || k < 1 {
+		return 0
+	}
+	g := p.Growth
+	if g == 0 {
+		g = 1
+	}
+	return sim.Time(math.Round(float64(p.Backoff) * math.Pow(g, float64(k-1))))
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	switch {
+	case p.Retries < 0:
+		return fmt.Errorf("%w: retries must be non-negative (got %d)", ErrBadPlan, p.Retries)
+	case p.Backoff < 0:
+		return fmt.Errorf("%w: backoff must be non-negative (got %v)", ErrBadPlan, p.Backoff)
+	case p.Growth < 0 || (p.Growth > 0 && p.Growth < 1):
+		return fmt.Errorf("%w: backoff growth must be >= 1 (got %g)", ErrBadPlan, p.Growth)
+	case p.FailoverDelay < 0:
+		return fmt.Errorf("%w: failover delay must be non-negative (got %v)", ErrBadPlan, p.FailoverDelay)
+	}
+	return nil
+}
+
+// Validate checks the plan's rates and shapes.
+func (pl Plan) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"crc", pl.CRC}, {"dma", pl.DMA}, {"upset", pl.Upset}, {"dropout", pl.Dropout},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("%w: %s rate must be in [0,1] (got %g)", ErrBadPlan, r.name, r.v)
+		}
+	}
+	if pl.CRC+pl.DMA > 1 {
+		return fmt.Errorf("%w: crc+dma rates exceed 1 (%g)", ErrBadPlan, pl.CRC+pl.DMA)
+	}
+	switch {
+	case pl.DMAStall < 0:
+		return fmt.Errorf("%w: dma stall must be non-negative (got %v)", ErrBadPlan, pl.DMAStall)
+	case pl.AgeSlope < 0 || math.IsNaN(pl.AgeSlope):
+		return fmt.Errorf("%w: age slope must be non-negative (got %g)", ErrBadPlan, pl.AgeSlope)
+	case pl.SizeKnee < 0:
+		return fmt.Errorf("%w: size knee must be non-negative (got %d)", ErrBadPlan, pl.SizeKnee)
+	case pl.SizeFactor < 0 || (pl.SizeFactor > 0 && pl.SizeFactor < 1):
+		return fmt.Errorf("%w: size factor must be >= 1 (got %g)", ErrBadPlan, pl.SizeFactor)
+	}
+	return pl.Policy.Validate()
+}
+
+// Enabled reports whether the plan injects anything at all. A nil or
+// disabled plan lets rcsim skip fault handling entirely, guaranteeing
+// the fault-free timeline bit for bit.
+func (pl *Plan) Enabled() bool {
+	if pl == nil {
+		return false
+	}
+	return pl.CRC > 0 || pl.DMA > 0 || pl.Upset > 0 || pl.Dropout > 0 ||
+		pl.AgeSlope > 0 || (pl.SizeKnee > 0 && pl.SizeFactor > 1)
+}
+
+// normalized returns a copy with documented defaults filled in.
+func (pl Plan) normalized() Plan {
+	if pl.Policy == (Policy{}) {
+		pl.Policy = DefaultPolicy()
+	}
+	if pl.Policy.Growth == 0 {
+		pl.Policy.Growth = 2
+	}
+	if pl.Policy.FailoverDelay == 0 {
+		pl.Policy.FailoverDelay = sim.Millisecond
+	}
+	if pl.DMAStall == 0 {
+		pl.DMAStall = sim.Millisecond
+	}
+	if pl.SizeFactor == 0 {
+		pl.SizeFactor = 1
+	}
+	return pl
+}
+
+// Injector turns a Plan into per-attempt decisions. A nil *Injector
+// is valid and injects nothing; every method is nil-safe, so
+// simulation code can consult it unconditionally.
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector validates and arms a plan. It returns (nil, nil) for a
+// nil or disabled plan — the caller keeps the exact fault-free path.
+func NewInjector(pl *Plan) (*Injector, error) {
+	if !pl.Enabled() {
+		if pl != nil {
+			if err := pl.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: pl.normalized()}, nil
+}
+
+// Plan returns the armed plan with defaults applied; the zero Plan
+// when the injector is nil.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Policy returns the armed recovery policy (zero when nil).
+func (in *Injector) Policy() Policy {
+	if in == nil {
+		return Policy{}
+	}
+	return in.plan.Policy
+}
+
+// TransferFault decides the fate of one transfer attempt: None,
+// CRCError or DMATimeout. attempt is 0-based.
+func (in *Injector) TransferFault(op Op, device, iter, attempt int) Kind {
+	if in == nil || (in.plan.CRC == 0 && in.plan.DMA == 0) {
+		return None
+	}
+	u := in.draw(op, device, iter, attempt)
+	switch {
+	case u < in.plan.CRC:
+		return CRCError
+	case u < in.plan.CRC+in.plan.DMA:
+		return DMATimeout
+	}
+	return None
+}
+
+// KernelFault decides whether kernel execution attempt suffers a
+// transient upset. attempt is 0-based.
+func (in *Injector) KernelFault(device, iter, attempt int) Kind {
+	if in == nil || in.plan.Upset == 0 {
+		return None
+	}
+	if in.draw(OpCompute, device, iter, attempt) < in.plan.Upset {
+		return KernelUpset
+	}
+	return None
+}
+
+// NodeDropout decides whether the device drops out at the start of
+// the given iteration.
+func (in *Injector) NodeDropout(device, iter int) bool {
+	if in == nil || in.plan.Dropout == 0 {
+		return false
+	}
+	return in.draw(OpNode, device, iter, 0) < in.plan.Dropout
+}
+
+// Degrade applies the plan's bandwidth-degradation model to a nominal
+// transfer duration: factor (1 + AgeSlope*iter), times SizeFactor for
+// transfers at or above SizeKnee. It returns the degraded duration
+// (identical when no degradation applies).
+func (in *Injector) Degrade(nominal sim.Time, bytes int64, iter int) sim.Time {
+	if in == nil {
+		return nominal
+	}
+	factor := 1 + in.plan.AgeSlope*float64(iter)
+	if in.plan.SizeKnee > 0 && bytes >= in.plan.SizeKnee {
+		factor *= in.plan.SizeFactor
+	}
+	if factor == 1 {
+		return nominal
+	}
+	return sim.Time(math.Round(float64(nominal) * factor))
+}
+
+// draw returns the attempt's fixed uniform deviate in [0, 1).
+func (in *Injector) draw(op Op, device, iter, attempt int) float64 {
+	h := mix(in.plan.Seed, uint64(op)+1, uint64(device)+1, uint64(iter)+1, uint64(attempt)+1)
+	return float64(h>>11) / (1 << 53)
+}
+
+// mix folds the values through a splitmix64-style finalizer. It is a
+// stateless hash: the result depends only on the inputs, never on
+// call order.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h ^= splitmix(v + 0x9E3779B97F4A7C15)
+		h = splitmix(h)
+	}
+	return h
+}
+
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ParseRates parses the CLI fault-rate spec: comma-separated
+// key=value pairs with keys crc, dma, upset, dropout (probabilities),
+// dma-stall (duration, e.g. 500us), age-slope (per-iteration slowdown
+// fraction), size-knee (bytes) and size-factor (multiplier >= 1).
+// Example: "crc=0.01,dma=0.002,upset=0.001,dropout=0.0005".
+// Seed and policy are set separately. The empty spec is invalid — use
+// no plan at all for a fault-free run.
+func ParseRates(spec string) (Plan, error) {
+	var pl Plan
+	if strings.TrimSpace(spec) == "" {
+		return Plan{}, fmt.Errorf("%w: empty fault spec", ErrBadPlan)
+	}
+	for _, item := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("%w: fault spec entry %q is not key=value", ErrBadPlan, item)
+		}
+		var err error
+		switch key {
+		case "crc":
+			pl.CRC, err = parseRate(key, val)
+		case "dma":
+			pl.DMA, err = parseRate(key, val)
+		case "upset":
+			pl.Upset, err = parseRate(key, val)
+		case "dropout":
+			pl.Dropout, err = parseRate(key, val)
+		case "dma-stall":
+			pl.DMAStall, err = parseSimDuration(key, val)
+		case "age-slope":
+			pl.AgeSlope, err = parseNonNegative(key, val)
+		case "size-knee":
+			pl.SizeKnee, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || pl.SizeKnee < 0 {
+				err = fmt.Errorf("%w: size-knee %q is not a non-negative byte count", ErrBadPlan, val)
+			}
+		case "size-factor":
+			pl.SizeFactor, err = parseNonNegative(key, val)
+		default:
+			return Plan{}, fmt.Errorf("%w: unknown fault spec key %q (want %s)", ErrBadPlan, key,
+				strings.Join(rateKeys(), ", "))
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if err := pl.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return pl, nil
+}
+
+func rateKeys() []string {
+	ks := []string{"crc", "dma", "upset", "dropout", "dma-stall", "age-slope", "size-knee", "size-factor"}
+	sort.Strings(ks)
+	return ks
+}
+
+// ParsePolicy parses the CLI recovery-policy spec: comma-separated
+// items among retries=N, backoff=DUR, growth=F, failover,
+// no-failover, failover-delay=DUR and failfast. The empty spec
+// returns DefaultPolicy. Example: "retries=5,backoff=20us,growth=2".
+func ParsePolicy(spec string) (Policy, error) {
+	pol := DefaultPolicy()
+	if strings.TrimSpace(spec) == "" {
+		return pol, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		key, val, hasVal := strings.Cut(item, "=")
+		var err error
+		switch {
+		case key == "retries" && hasVal:
+			pol.Retries, err = strconv.Atoi(val)
+			if err != nil {
+				err = fmt.Errorf("%w: retries %q is not an integer", ErrBadPlan, val)
+			}
+		case key == "backoff" && hasVal:
+			pol.Backoff, err = parseSimDuration(key, val)
+		case key == "growth" && hasVal:
+			pol.Growth, err = parseNonNegative(key, val)
+		case key == "failover-delay" && hasVal:
+			pol.FailoverDelay, err = parseSimDuration(key, val)
+		case item == "failover":
+			pol.Failover = true
+		case item == "no-failover":
+			pol.Failover = false
+		case item == "failfast":
+			pol.FailFast = true
+		default:
+			return Policy{}, fmt.Errorf("%w: unknown policy spec item %q", ErrBadPlan, item)
+		}
+		if err != nil {
+			return Policy{}, err
+		}
+	}
+	if err := pol.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return pol, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || v < 0 || v > 1 || math.IsNaN(v) {
+		return 0, fmt.Errorf("%w: %s rate %q is not a probability in [0,1]", ErrBadPlan, key, val)
+	}
+	return v, nil
+}
+
+func parseNonNegative(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%w: %s %q is not a non-negative number", ErrBadPlan, key, val)
+	}
+	return v, nil
+}
+
+// parseSimDuration converts wall-style duration syntax ("10us",
+// "1ms") into simulated time.
+func parseSimDuration(key, val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("%w: %s %q is not a non-negative duration", ErrBadPlan, key, val)
+	}
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond, nil
+}

@@ -1,0 +1,247 @@
+package fault_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/fault"
+	"github.com/chrec/rat/internal/sim"
+)
+
+func armed(t *testing.T, pl fault.Plan) *fault.Injector {
+	t.Helper()
+	in, err := fault.NewInjector(&pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil {
+		t.Fatal("plan did not arm an injector")
+	}
+	return in
+}
+
+func TestNilAndDisabledInjector(t *testing.T) {
+	for _, pl := range []*fault.Plan{nil, {}, {Seed: 7}} {
+		in, err := fault.NewInjector(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in != nil {
+			t.Fatalf("plan %+v must not arm an injector", pl)
+		}
+		// Nil-receiver methods must behave as "no fault".
+		if k := in.TransferFault(fault.OpWrite, 0, 0, 0); k != fault.None {
+			t.Errorf("nil injector transfer fault = %q", k)
+		}
+		if k := in.KernelFault(0, 0, 0); k != fault.None {
+			t.Errorf("nil injector kernel fault = %q", k)
+		}
+		if in.NodeDropout(0, 0) {
+			t.Error("nil injector dropped a node")
+		}
+		if d := in.Degrade(123, 1024, 5); d != 123 {
+			t.Errorf("nil injector degraded a transfer: %v", d)
+		}
+	}
+}
+
+// TestDrawsAreOrderIndependent: decisions depend only on the
+// coordinates, never on call order — the property the event-driven
+// simulator's determinism rests on.
+func TestDrawsAreOrderIndependent(t *testing.T) {
+	pl := fault.Plan{Seed: 42, CRC: 0.3, DMA: 0.2, Upset: 0.25, Dropout: 0.1}
+	a := armed(t, pl)
+	b := armed(t, pl)
+	type coord struct {
+		op                 fault.Op
+		dev, iter, attempt int
+	}
+	var coords []coord
+	for dev := 0; dev < 3; dev++ {
+		for iter := 0; iter < 20; iter++ {
+			for att := 0; att < 4; att++ {
+				coords = append(coords, coord{fault.OpWrite, dev, iter, att}, coord{fault.OpRead, dev, iter, att})
+			}
+		}
+	}
+	forward := make([]fault.Kind, len(coords))
+	for i, c := range coords {
+		forward[i] = a.TransferFault(c.op, c.dev, c.iter, c.attempt)
+	}
+	for i := len(coords) - 1; i >= 0; i-- {
+		c := coords[i]
+		if got := b.TransferFault(c.op, c.dev, c.iter, c.attempt); got != forward[i] {
+			t.Fatalf("draw at %+v changed with call order: %q vs %q", c, got, forward[i])
+		}
+	}
+}
+
+// TestRatesAreMonotone: for a fixed seed, every attempt that faults
+// at a lower rate still faults at a higher one.
+func TestRatesAreMonotone(t *testing.T) {
+	lo := armed(t, fault.Plan{Seed: 9, CRC: 0.05})
+	hi := armed(t, fault.Plan{Seed: 9, CRC: 0.25})
+	faultsLo, faultsHi := 0, 0
+	for iter := 0; iter < 2000; iter++ {
+		kLo := lo.TransferFault(fault.OpWrite, 0, iter, 0)
+		kHi := hi.TransferFault(fault.OpWrite, 0, iter, 0)
+		if kLo != fault.None {
+			faultsLo++
+			if kHi == fault.None {
+				t.Fatalf("iter %d faults at rate 0.05 but not at 0.25", iter)
+			}
+		}
+		if kHi != fault.None {
+			faultsHi++
+		}
+	}
+	if faultsLo == 0 || faultsHi <= faultsLo {
+		t.Errorf("fault counts lo=%d hi=%d, want 0 < lo < hi", faultsLo, faultsHi)
+	}
+}
+
+// TestRatesRoughlyCalibrated: empirical fault frequency lands near the
+// configured probability.
+func TestRatesRoughlyCalibrated(t *testing.T) {
+	const rate, n = 0.2, 20000
+	in := armed(t, fault.Plan{Seed: 3, CRC: rate})
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.TransferFault(fault.OpWrite, 0, i, 0) == fault.CRCError {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-rate) > 0.02 {
+		t.Errorf("empirical rate %.3f, want ~%.2f", got, rate)
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	in := armed(t, fault.Plan{Seed: 11, CRC: 0.5, Upset: 0.5})
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w := in.TransferFault(fault.OpWrite, 0, i, 0) != fault.None
+		r := in.TransferFault(fault.OpRead, 0, i, 0) != fault.None
+		if w == r {
+			same++
+		}
+	}
+	if same == n || same == 0 {
+		t.Errorf("write and read streams are correlated: %d/%d agree", same, n)
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	in := armed(t, fault.Plan{Seed: 1, AgeSlope: 0.1, SizeKnee: 4096, SizeFactor: 2})
+	nominal := sim.Time(1000)
+	if got := in.Degrade(nominal, 100, 0); got != 1000 {
+		t.Errorf("iter 0 small transfer degraded: %v", got)
+	}
+	if got := in.Degrade(nominal, 100, 10); got != 2000 {
+		t.Errorf("age degradation = %v, want 2000 (factor 2 at iter 10)", got)
+	}
+	if got := in.Degrade(nominal, 8192, 0); got != 2000 {
+		t.Errorf("size degradation = %v, want 2000", got)
+	}
+	if got := in.Degrade(nominal, 8192, 10); got != 4000 {
+		t.Errorf("combined degradation = %v, want 4000", got)
+	}
+}
+
+func TestBackoffGrowsExponentially(t *testing.T) {
+	pol := fault.Policy{Retries: 5, Backoff: 10 * sim.Microsecond, Growth: 2}
+	for k, want := range map[int]sim.Time{
+		1: 10 * sim.Microsecond,
+		2: 20 * sim.Microsecond,
+		3: 40 * sim.Microsecond,
+	} {
+		if got := pol.BackoffFor(k); got != want {
+			t.Errorf("BackoffFor(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if got := (fault.Policy{}).BackoffFor(1); got != 0 {
+		t.Errorf("zero policy backoff = %v, want 0", got)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []fault.Plan{
+		{CRC: -0.1},
+		{CRC: 1.5},
+		{DMA: math.NaN()},
+		{CRC: 0.7, DMA: 0.7},
+		{Upset: 2},
+		{Dropout: -1},
+		{CRC: 0.1, DMAStall: -1},
+		{CRC: 0.1, AgeSlope: -0.5},
+		{CRC: 0.1, SizeKnee: -4},
+		{CRC: 0.1, SizeFactor: 0.5},
+		{CRC: 0.1, Policy: fault.Policy{Retries: -1}},
+		{CRC: 0.1, Policy: fault.Policy{Backoff: -1}},
+		{CRC: 0.1, Policy: fault.Policy{Growth: 0.5}},
+		{CRC: 0.1, Policy: fault.Policy{FailoverDelay: -1}},
+	}
+	for _, pl := range bad {
+		pl := pl
+		if _, err := fault.NewInjector(&pl); !errors.Is(err, fault.ErrBadPlan) {
+			t.Errorf("plan %+v: error = %v, want ErrBadPlan", pl, err)
+		}
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	in := armed(t, fault.Plan{Seed: 1, CRC: 0.1})
+	pl := in.Plan()
+	if pl.DMAStall != sim.Millisecond {
+		t.Errorf("DMAStall default = %v, want 1ms", pl.DMAStall)
+	}
+	if pl.Policy != fault.DefaultPolicy() {
+		t.Errorf("zero policy not defaulted: %+v", pl.Policy)
+	}
+	if !pl.Policy.Failover || pl.Policy.Retries != 3 {
+		t.Errorf("default policy = %+v", pl.Policy)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	pl, err := fault.ParseRates("crc=0.01, dma=0.002,upset=0.001,dropout=0.0005,dma-stall=500us,age-slope=0.001,size-knee=65536,size-factor=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.Plan{CRC: 0.01, DMA: 0.002, Upset: 0.001, Dropout: 0.0005,
+		DMAStall: 500 * sim.Microsecond, AgeSlope: 0.001, SizeKnee: 65536, SizeFactor: 1.5}
+	if pl != want {
+		t.Errorf("ParseRates = %+v, want %+v", pl, want)
+	}
+	for _, spec := range []string{"", "crc", "crc=2", "crc=x", "warp=0.1", "dma-stall=-1ms", "size-knee=-2", "crc=0.6,dma=0.6"} {
+		if _, err := fault.ParseRates(spec); !errors.Is(err, fault.ErrBadPlan) {
+			t.Errorf("spec %q: error = %v, want ErrBadPlan", spec, err)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	pol, err := fault.ParsePolicy("retries=5,backoff=20us,growth=3,no-failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fault.DefaultPolicy()
+	want.Retries, want.Backoff, want.Growth, want.Failover = 5, 20*sim.Microsecond, 3, false
+	if pol != want {
+		t.Errorf("ParsePolicy = %+v, want %+v", pol, want)
+	}
+	if pol, err := fault.ParsePolicy(""); err != nil || pol != fault.DefaultPolicy() {
+		t.Errorf("empty policy = %+v, %v; want default", pol, err)
+	}
+	if pol, err := fault.ParsePolicy("failfast"); err != nil || !pol.FailFast {
+		t.Errorf("failfast policy = %+v, %v", pol, err)
+	}
+	for _, spec := range []string{"retries", "retries=x", "growth=0.2", "backoff=-1us", "teleport"} {
+		if _, err := fault.ParsePolicy(spec); !errors.Is(err, fault.ErrBadPlan) {
+			t.Errorf("spec %q: error = %v, want ErrBadPlan", spec, err)
+		}
+	}
+}

@@ -8,12 +8,14 @@ import (
 	"github.com/chrec/rat/internal/apps/pdf1d"
 	"github.com/chrec/rat/internal/apps/pdf2d"
 	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fault"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/power"
 	"github.com/chrec/rat/internal/rcsim"
 	"github.com/chrec/rat/internal/report"
 	"github.com/chrec/rat/internal/resource"
+	"github.com/chrec/rat/internal/sim"
 	"github.com/chrec/rat/internal/validate"
 )
 
@@ -28,6 +30,7 @@ func init() {
 		{"ext-bounds", "Extension: prediction intervals under input uncertainty", BoundsStudy},
 		{"ext-accuracy", "Extension: systematic prediction-accuracy analysis of all case studies", AccuracyStudy},
 		{"ext-power", "Extension (Sec. 1): power and energy comparison vs the CPU baselines", PowerStudy},
+		{"ext-faults", "Extension: speedup degradation under injected platform faults", FaultStudy},
 	}
 }
 
@@ -210,6 +213,57 @@ func PowerStudy() (string, error) {
 
 func pdf1dDemand() (resource.Demand, error) {
 	return pdf1d.Design().ResourceDemand(resource.VirtexLX100, pdf1d.BatchElements, false)
+}
+
+// FaultStudy sweeps injected-fault intensity over the three case
+// studies at their measured clocks and reports how execution time,
+// speedup and recovery effort degrade — the robustness counterpart of
+// the paper's clean-testbed speedup tables. The sweep raises the CRC
+// and kernel-upset rates together under a fixed seed; because each
+// attempt's fault draw is a fixed hash, raising the rates only adds
+// faults, so t_RC is monotonically non-decreasing down each column
+// (checked here, asserted bit-exactly in the harness tests).
+func FaultStudy() (string, error) {
+	rates := []float64{0, 0.001, 0.01, 0.05, 0.2}
+	pol := fault.Policy{Retries: 10, Backoff: 10 * sim.Microsecond, Growth: 2,
+		Failover: true, FailoverDelay: sim.Millisecond}
+	tbl := report.Table{
+		Title:   "Fault-rate sweep (single-buffered, measured clocks, fault seed 1, 10 retries)",
+		Headers: []string{"Design", "crc=upset rate", "t_RC", "speedup", "retries", "fault time"},
+	}
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		tSoft := paper.Params(c).Soft.TSoft
+		var prev rcsim.Measurement
+		for i, r := range rates {
+			sc, err := caseScenario(c)
+			if err != nil {
+				return "", err
+			}
+			if r > 0 {
+				sc.Faults = &fault.Plan{Seed: 1, CRC: r, Upset: r, Policy: pol}
+			}
+			m, err := rcsim.Run(sc)
+			if err != nil {
+				return "", fmt.Errorf("harness: %s at fault rate %g: %w", sc.Name, r, err)
+			}
+			if i > 0 && m.Total < prev.Total {
+				return "", fmt.Errorf("harness: %s fault sweep lost monotonicity at rate %g (%v < %v)",
+					sc.Name, r, m.Total, prev.Total)
+			}
+			prev = m
+			tbl.AddRow(sc.Name, fmt.Sprintf("%g", r),
+				report.FormatSci(m.TRC()),
+				report.FormatSpeedup(m.Speedup(tSoft)),
+				fmt.Sprintf("%d", m.Retries),
+				report.FormatPercent(m.UtilFault()))
+		}
+	}
+	out := tbl.String()
+	out += "\nEvery fault decision is a pure hash of (seed, stream, iteration, attempt), so the\n" +
+		"sweep adds faults monotonically: the t_RC column never decreases within a design.\n" +
+		"Speedup erosion stays modest until retries dominate an iteration's useful time —\n" +
+		"RAT's margin-of-error guidance applies to platform health as much as to modelling.\n"
+	return out, nil
 }
 
 // BoundsStudy renders prediction intervals for all three case studies

@@ -62,7 +62,7 @@ func (e Experiment) RunWith(reg *telemetry.Registry) (string, error) {
 	start := time.Now()
 	text, err := e.Run()
 	if reg != nil {
-		reg.Timer("harness.experiment."+e.ID).Observe(time.Since(start))
+		reg.Timer("harness.experiment." + e.ID).Observe(time.Since(start))
 		reg.Counter("harness.experiments_run").Inc()
 		if err != nil {
 			reg.Counter("harness.experiments_failed").Inc()
@@ -126,23 +126,29 @@ func mdSystem() (*md.System, []int) {
 	return mdDataset.sys, mdDataset.nb
 }
 
+// caseScenario builds a case study's single-buffered scenario at the
+// paper's measured clock — the configuration of the "actual" columns.
+func caseScenario(c paper.Case) (rcsim.Scenario, error) {
+	row := paper.ActualRow(c)
+	switch c {
+	case paper.PDF1D:
+		return pdf1d.Scenario(row.ClockHz, core.SingleBuffered), nil
+	case paper.PDF2D:
+		return pdf2d.Scenario(row.ClockHz, core.SingleBuffered), nil
+	case paper.MD:
+		sys, _ := mdSystem()
+		return md.Scenario(sys, row.ClockHz, core.SingleBuffered)
+	}
+	return rcsim.Scenario{}, fmt.Errorf("harness: unknown case %v", c)
+}
+
 // measuredColumn runs the simulated platform for a case study at the
 // paper's measured clock and converts the measurement to a column.
 func measuredColumn(c paper.Case, tSoft float64) (report.PerfColumn, error) {
 	row := paper.ActualRow(c)
-	var sc rcsim.Scenario
-	var err error
-	switch c {
-	case paper.PDF1D:
-		sc = pdf1d.Scenario(row.ClockHz, core.SingleBuffered)
-	case paper.PDF2D:
-		sc = pdf2d.Scenario(row.ClockHz, core.SingleBuffered)
-	case paper.MD:
-		sys, _ := mdSystem()
-		sc, err = md.Scenario(sys, row.ClockHz, core.SingleBuffered)
-		if err != nil {
-			return report.PerfColumn{}, err
-		}
+	sc, err := caseScenario(c)
+	if err != nil {
+		return report.PerfColumn{}, err
 	}
 	m, err := rcsim.Run(sc)
 	if err != nil {

@@ -2,6 +2,7 @@ package harness_test
 
 import (
 	"errors"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -58,6 +59,47 @@ var contentChecks = map[string][]string{
 	"ext-bounds":    {"uncertain", "Single-buffered speedup intervals", "molecular dynamics"},
 	"ext-accuracy":  {"optimistic", "pessimistic", "accurate", "tuning parameter", "double buffering would hide"},
 	"ext-power":     {"less energy", "Xeon", "Opteron", "FPGA W"},
+	"ext-faults":    {"Fault-rate sweep", "pdf1d", "pdf2d", "md", "retries", "monotonically"},
+}
+
+// TestFaultStudyMonotone is the degradation-study acceptance check:
+// within each design, t_RC must be non-decreasing as the fault rate
+// rises. FaultStudy itself errors on bit-exact violations; this test
+// re-derives the property from the rendered table so a formatting or
+// ordering regression cannot hide one.
+func TestFaultStudyMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the fault sweep builds the MD dataset")
+	}
+	e, ok := harness.ByID("ext-faults")
+	if !ok {
+		t.Fatal("ext-faults experiment not registered")
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]float64{}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 6 {
+			continue
+		}
+		design := fields[0]
+		trc, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue // header or prose line
+		}
+		rows++
+		if last, seen := prev[design]; seen && trc < last {
+			t.Errorf("%s: t_RC %g below previous %g as the fault rate rises", design, trc, last)
+		}
+		prev[design] = trc
+	}
+	if rows < 15 || len(prev) != 3 {
+		t.Fatalf("parsed %d sweep rows over %d designs, want 15 over 3:\n%s", rows, len(prev), out)
+	}
 }
 
 func TestExperimentContents(t *testing.T) {

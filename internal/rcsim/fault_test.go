@@ -1,0 +1,474 @@
+package rcsim_test
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/apps/md"
+	"github.com/chrec/rat/internal/apps/pdf1d"
+	"github.com/chrec/rat/internal/apps/pdf2d"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fault"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// retryPolicy is a generous recovery policy for tests that want runs
+// to survive injected faults rather than exhaust their retries.
+func retryPolicy() fault.Policy {
+	return fault.Policy{Retries: 10, Backoff: 10 * sim.Microsecond, Growth: 2,
+		Failover: true, FailoverDelay: sim.Millisecond}
+}
+
+// measKey extracts the comparable core of a Measurement (Scenario
+// holds func values, so the struct itself cannot be compared).
+type measKey struct {
+	Total, Write, Read, Comp, Overlap, FaultTime sim.Time
+	Cycles, Retries, Failovers                   int64
+}
+
+func keyOf(m rcsim.Measurement) measKey {
+	return measKey{
+		Total: m.Total, Write: m.WriteTotal, Read: m.ReadTotal, Comp: m.CompTotal,
+		Overlap: m.OverlapTotal, FaultTime: m.FaultTime,
+		Cycles: m.KernelCyclesTotal, Retries: m.Retries, Failovers: m.Failovers,
+	}
+}
+
+// paperScenarios builds the three case-study scenarios at their
+// worksheet clocks, the measured columns of the paper's tables.
+func paperScenarios(t *testing.T) []rcsim.Scenario {
+	t.Helper()
+	mdScenario, err := md.Scenario(md.GenerateSystem(md.Molecules, 1), core.MHz(100), core.SingleBuffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []rcsim.Scenario{
+		pdf1d.Scenario(core.MHz(150), core.SingleBuffered),
+		pdf2d.Scenario(core.MHz(150), core.SingleBuffered),
+		mdScenario,
+	}
+}
+
+// TestDisabledPlanMatchesFaultFree is the acceptance criterion that a
+// nil or zero-rate fault plan reproduces today's fault-free
+// Measurement bit for bit, in all three run modes, over both the
+// synthetic scenario and the three paper case studies.
+func TestDisabledPlanMatchesFaultFree(t *testing.T) {
+	scs := append(paperScenarios(t),
+		baseScenario(core.SingleBuffered), baseScenario(core.DoubleBuffered))
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			zeroRate := &fault.Plan{Seed: 12345} // enabled-looking, injects nothing
+			modes := []struct {
+				name string
+				run  func(rcsim.Scenario) (rcsim.Measurement, error)
+			}{
+				{"single", rcsim.Run},
+				{"streaming", rcsim.RunStreaming},
+				{"multi", func(s rcsim.Scenario) (rcsim.Measurement, error) {
+					return rcsim.RunMulti(rcsim.MultiScenario{Scenario: s, Devices: 1, Topology: core.SharedChannel})
+				}},
+			}
+			for _, mode := range modes {
+				base := sc
+				base.Faults = nil
+				want, err := mode.run(base)
+				if err != nil {
+					t.Fatalf("%s fault-free: %v", mode.name, err)
+				}
+				withPlan := sc
+				withPlan.Faults = zeroRate
+				got, err := mode.run(withPlan)
+				if err != nil {
+					t.Fatalf("%s zero-rate plan: %v", mode.name, err)
+				}
+				if keyOf(got) != keyOf(want) {
+					t.Errorf("%s: zero-rate plan measurement %+v != fault-free %+v",
+						mode.name, keyOf(got), keyOf(want))
+				}
+			}
+		})
+	}
+}
+
+// TestFaultRunDeterminism: the same scenario with the same seed must
+// yield an identical measurement and an identical event log, run after
+// run — the reproducibility contract of package fault.
+func TestFaultRunDeterminism(t *testing.T) {
+	once := func() (rcsim.Measurement, []telemetry.Event) {
+		sc := baseScenario(core.SingleBuffered)
+		sc.Faults = &fault.Plan{Seed: 42, CRC: 0.1, DMA: 0.05, Upset: 0.1,
+			DMAStall: 50 * sim.Microsecond, Policy: retryPolicy()}
+		var sink telemetry.MemorySink
+		sc.Events = &sink
+		m, err := rcsim.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, sink.Events()
+	}
+	m1, ev1 := once()
+	m2, ev2 := once()
+	if keyOf(m1) != keyOf(m2) {
+		t.Errorf("measurements differ across identical runs:\n%+v\n%+v", keyOf(m1), keyOf(m2))
+	}
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Errorf("event logs differ across identical runs (%d vs %d events)", len(ev1), len(ev2))
+	}
+	if m1.Retries == 0 {
+		t.Error("expected the seeded plan to inject at least one retry")
+	}
+}
+
+// TestFaultAccountingIdentity: on a strictly serial single-buffered
+// schedule with no bandwidth degradation, every simulated picosecond
+// is either useful work or fault loss, so the totals must tile the
+// timeline exactly.
+func TestFaultAccountingIdentity(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	clean := rcsim.MustRun(sc)
+	sc.Faults = &fault.Plan{Seed: 7, CRC: 0.1, DMA: 0.05, Upset: 0.05,
+		DMAStall: 20 * sim.Microsecond, Policy: retryPolicy()}
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries == 0 {
+		t.Fatal("seeded plan injected no faults; pick a different seed")
+	}
+	if got, want := m.Total, m.WriteTotal+m.ReadTotal+m.CompTotal+m.FaultTime; got != want {
+		t.Errorf("serial timeline does not tile: total %v != W+R+C+fault %v", got, want)
+	}
+	if m.Total <= clean.Total {
+		t.Errorf("faulty total %v not above fault-free %v", m.Total, clean.Total)
+	}
+	if m.NominalTotal() != m.Total-m.FaultTime {
+		t.Errorf("NominalTotal = %v, want %v", m.NominalTotal(), m.Total-m.FaultTime)
+	}
+	if uf := m.UtilFault(); uf <= 0 || uf >= 1 {
+		t.Errorf("UtilFault = %g, want in (0,1)", uf)
+	}
+	// Successful work is unchanged by retries: the final attempt of
+	// every operation runs at nominal speed on this plan.
+	if m.WriteTotal != clean.WriteTotal || m.ReadTotal != clean.ReadTotal || m.CompTotal != clean.CompTotal {
+		t.Errorf("useful-work totals changed under retries: W %v/%v R %v/%v C %v/%v",
+			m.WriteTotal, clean.WriteTotal, m.ReadTotal, clean.ReadTotal, m.CompTotal, clean.CompTotal)
+	}
+}
+
+// TestUpsetForcesRecompute: kernel upsets charge wasted executions
+// into KernelCyclesTotal (the sustained-rate denominator) while
+// CompTotal keeps only the trusted final runs.
+func TestUpsetForcesRecompute(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	clean := rcsim.MustRun(sc)
+	sc.Faults = &fault.Plan{Seed: 3, Upset: 0.25, Policy: retryPolicy()}
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries == 0 {
+		t.Fatal("seeded plan injected no upsets; pick a different seed")
+	}
+	if m.CompTotal != clean.CompTotal {
+		t.Errorf("CompTotal %v changed (want %v): recomputes must not count as useful work", m.CompTotal, clean.CompTotal)
+	}
+	wantCycles := clean.KernelCyclesTotal + m.Retries*1000 // fixedKernel(1000), upsets are the only fault
+	if m.KernelCyclesTotal != wantCycles {
+		t.Errorf("KernelCyclesTotal = %d, want %d (every recompute attempt charged)", m.KernelCyclesTotal, wantCycles)
+	}
+	if m.EffectiveOpsPerCycle(1) >= clean.EffectiveOpsPerCycle(1) {
+		t.Error("recomputes should lower the effective sustained rate")
+	}
+}
+
+// TestDegradationSlowsTransfers: age-based bandwidth decay stretches
+// transfers without failing them; the excess over nominal is fault
+// time even though no retry happens.
+func TestDegradationSlowsTransfers(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	clean := rcsim.MustRun(sc)
+	sc.Faults = &fault.Plan{Seed: 1, AgeSlope: 0.1}
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries != 0 || m.Failovers != 0 {
+		t.Errorf("pure degradation should not retry or fail over (retries %d, failovers %d)", m.Retries, m.Failovers)
+	}
+	if m.WriteTotal <= clean.WriteTotal || m.ReadTotal <= clean.ReadTotal {
+		t.Error("degraded transfers should take longer than nominal")
+	}
+	if want := (m.WriteTotal - clean.WriteTotal) + (m.ReadTotal - clean.ReadTotal); m.FaultTime != want {
+		t.Errorf("FaultTime = %v, want the degradation excess %v", m.FaultTime, want)
+	}
+	if m.CompTotal != clean.CompTotal {
+		t.Error("degradation must not touch kernel time")
+	}
+}
+
+// TestRetriesExhausted: a hard (rate-1) transfer fault burns through
+// the retry budget and fails the run in every mode, with a wrapped
+// diagnostic instead of a panic or a deadlock.
+func TestRetriesExhausted(t *testing.T) {
+	plan := &fault.Plan{Seed: 1, CRC: 1,
+		Policy: fault.Policy{Retries: 2, Backoff: sim.Microsecond, Growth: 2, FailoverDelay: sim.Millisecond}}
+	modes := []struct {
+		name string
+		run  func(rcsim.Scenario) (rcsim.Measurement, error)
+	}{
+		{"single", rcsim.Run},
+		{"streaming", rcsim.RunStreaming},
+		{"multi", func(s rcsim.Scenario) (rcsim.Measurement, error) {
+			return rcsim.RunMulti(rcsim.MultiScenario{Scenario: s, Devices: 2, Topology: core.SharedChannel})
+		}},
+	}
+	for _, mode := range modes {
+		sc := baseScenario(core.SingleBuffered)
+		sc.Faults = plan
+		_, err := mode.run(sc)
+		if err == nil {
+			t.Fatalf("%s: rate-1 CRC with 2 retries should fail the run", mode.name)
+		}
+		if !strings.Contains(err.Error(), "persisted through 3 attempt") {
+			t.Errorf("%s: error %q does not report the exhausted attempts", mode.name, err)
+		}
+	}
+}
+
+// TestFailFastPolicy aborts on the first fault without retrying.
+func TestFailFastPolicy(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Faults = &fault.Plan{Seed: 1, CRC: 1,
+		Policy: fault.Policy{Retries: 5, Backoff: sim.Microsecond, Growth: 2, FailFast: true}}
+	m, err := rcsim.Run(sc)
+	if err == nil || !strings.Contains(err.Error(), "fail-fast") {
+		t.Fatalf("err = %v, want a fail-fast abort", err)
+	}
+	_ = m
+}
+
+// TestDropoutFailover: in a multi-FPGA run a dropped node's remaining
+// sub-blocks reroute to a survivor; the run completes, pays the
+// rebalance stall, and reports the failover.
+func TestDropoutFailover(t *testing.T) {
+	clean, err := rcsim.RunMulti(baseMulti(2, core.SharedChannel, core.SingleBuffered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dropout pattern is a pure function of the seed; scan for one
+	// that drops exactly one of the two devices mid-run.
+	for seed := uint64(1); seed <= 200; seed++ {
+		ms := baseMulti(2, core.SharedChannel, core.SingleBuffered)
+		ms.Faults = &fault.Plan{Seed: seed, Dropout: 0.05, Policy: retryPolicy()}
+		m, err := rcsim.RunMulti(ms)
+		if err != nil || m.Failovers == 0 {
+			continue
+		}
+		if m.Failovers != 1 {
+			t.Fatalf("seed %d: %d failovers from one surviving device", seed, m.Failovers)
+		}
+		if m.FaultTime < sim.Millisecond {
+			t.Errorf("FaultTime %v below the rebalance stall", m.FaultTime)
+		}
+		if m.Total <= clean.Total {
+			t.Errorf("failover run total %v not above fault-free %v", m.Total, clean.Total)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..200 produced a survivable single dropout")
+}
+
+// TestDropoutWithoutRecovery: when every device drops, or the policy
+// forbids failover, the run must fail with a specific diagnostic.
+func TestDropoutWithoutRecovery(t *testing.T) {
+	noFailover := fault.Policy{Retries: 3, Backoff: sim.Microsecond, Growth: 2, Failover: false}
+	cases := []struct {
+		name string
+		plan *fault.Plan
+		want string
+	}{
+		{"no-survivor", &fault.Plan{Seed: 1, Dropout: 1, Policy: retryPolicy()}, "no surviving failover target"},
+		{"no-failover", &fault.Plan{Seed: 1, Dropout: 1, Policy: noFailover}, "no failover"},
+		{"fail-fast", &fault.Plan{Seed: 1, Dropout: 1,
+			Policy: fault.Policy{Retries: 3, Backoff: sim.Microsecond, Growth: 2, FailFast: true}}, "fail-fast"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ms := baseMulti(2, core.SharedChannel, core.SingleBuffered)
+			ms.Faults = tc.plan
+			_, err := rcsim.RunMulti(ms)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNegativeKernelCyclesRejected: a kernel callback returning a
+// negative cycle count is a scenario bug and must surface as a wrapped
+// ErrBadScenario at run time, not a panic, in all three modes.
+func TestNegativeKernelCyclesRejected(t *testing.T) {
+	modes := []struct {
+		name string
+		run  func(rcsim.Scenario) (rcsim.Measurement, error)
+	}{
+		{"single", rcsim.Run},
+		{"streaming", rcsim.RunStreaming},
+		{"multi", func(s rcsim.Scenario) (rcsim.Measurement, error) {
+			return rcsim.RunMulti(rcsim.MultiScenario{Scenario: s, Devices: 2, Topology: core.SharedChannel})
+		}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			sc := baseScenario(core.SingleBuffered)
+			sc.KernelCycles = func(iter, _ int) int64 {
+				if iter == 3 {
+					return -5
+				}
+				return 1000
+			}
+			_, err := mode.run(sc)
+			if err == nil {
+				t.Fatal("negative kernel cycles accepted")
+			}
+			if !errors.Is(err, rcsim.ErrBadScenario) {
+				t.Errorf("err = %v, want ErrBadScenario", err)
+			}
+			if !strings.Contains(err.Error(), "negative cycle count") {
+				t.Errorf("err = %v, want a negative-cycle diagnostic", err)
+			}
+		})
+	}
+}
+
+// TestFaultSweepMonotone: for a fixed seed, raising the CRC rate can
+// only add faults (the draw for each attempt is fixed), so execution
+// time and retry counts must be non-decreasing across the sweep — the
+// degradation-study property the harness reports.
+func TestFaultSweepMonotone(t *testing.T) {
+	rates := []float64{0, 0.01, 0.03, 0.05, 0.1, 0.2}
+	var prev rcsim.Measurement
+	for i, r := range rates {
+		sc := baseScenario(core.SingleBuffered)
+		if r > 0 {
+			sc.Faults = &fault.Plan{Seed: 99, CRC: r, Policy: retryPolicy()}
+		}
+		m, err := rcsim.Run(sc)
+		if err != nil {
+			t.Fatalf("rate %g: %v", r, err)
+		}
+		if i > 0 {
+			if m.Total < prev.Total {
+				t.Errorf("total at rate %g (%v) below rate %g (%v)", r, m.Total, rates[i-1], prev.Total)
+			}
+			if m.Retries < prev.Retries {
+				t.Errorf("retries at rate %g (%d) below rate %g (%d)", r, m.Retries, rates[i-1], prev.Retries)
+			}
+		}
+		prev = m
+	}
+	if prev.Retries == 0 {
+		t.Error("the top of the sweep should have injected retries")
+	}
+}
+
+// goldenJSONL runs the event log through the JSONL sink and compares
+// it byte for byte with the named golden file (regenerate with
+// go test ./internal/rcsim -run Golden -update).
+func goldenJSONL(t *testing.T, name string, events []telemetry.Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := telemetry.NewWriterSink(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("event log drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// TestFaultEventLogGolden pins the full fault/retry/recovery event
+// stream of a seeded run — the regression net for both determinism and
+// the event schema.
+func TestFaultEventLogGolden(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Faults = &fault.Plan{Seed: 42, CRC: 0.1, Upset: 0.1, Policy: retryPolicy()}
+	var sink telemetry.MemorySink
+	sc.Events = &sink
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Retries == 0 {
+		t.Fatal("golden scenario injected no faults; its net catches nothing")
+	}
+	goldenJSONL(t, "fault_events.jsonl", sink.Events())
+}
+
+// TestStreamingEventSequenceGolden pins RunStreaming's event emission
+// order and timestamps against a golden JSONL log.
+func TestStreamingEventSequenceGolden(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered) // Buffering is ignored by RunStreaming
+	var sink telemetry.MemorySink
+	sc.Events = &sink
+	if _, err := rcsim.RunStreaming(sc); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	n := sc.Iterations
+	if len(events) != 3*n {
+		t.Fatalf("streaming emitted %d events, want %d", len(events), 3*n)
+	}
+	goldenJSONL(t, "streaming_events.jsonl", events)
+}
+
+// TestFaultMetricsRecorded: the recovery counters and gauges land in
+// the registry namespace documented in docs/OBSERVABILITY.md.
+func TestFaultMetricsRecorded(t *testing.T) {
+	sc := baseScenario(core.SingleBuffered)
+	sc.Faults = &fault.Plan{Seed: 42, CRC: 0.1, Upset: 0.1, Policy: retryPolicy()}
+	m, err := rcsim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m.RecordMetrics(reg)
+	s := reg.Snapshot()
+	if s.Counters["rcsim.retries"] != m.Retries {
+		t.Errorf("rcsim.retries = %d, want %d", s.Counters["rcsim.retries"], m.Retries)
+	}
+	if got := s.Gauges["rcsim.fault_seconds"]; got != m.FaultTime.Seconds() {
+		t.Errorf("rcsim.fault_seconds = %g, want %g", got, m.FaultTime.Seconds())
+	}
+	if got := s.Gauges["rcsim.util_fault"]; got != m.UtilFault() {
+		t.Errorf("rcsim.util_fault = %g, want %g", got, m.UtilFault())
+	}
+}

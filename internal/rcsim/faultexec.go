@@ -1,0 +1,222 @@
+package rcsim
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/fault"
+	"github.com/chrec/rat/internal/platform"
+	"github.com/chrec/rat/internal/sim"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/trace"
+)
+
+// execCtx is the fault-aware executor shared by the three run modes:
+// it schedules each transfer and kernel execution as a sequence of
+// attempts governed by the scenario's fault.Plan, charging wasted
+// attempts, DMA stalls and retry backoff into the discrete-event
+// timeline and the Measurement's recovery accounting. With no armed
+// injector every operation is a single clean attempt, reproducing the
+// fault-free timeline bit for bit.
+type execCtx struct {
+	s   *sim.Simulator
+	inj *fault.Injector
+	sc  *Scenario
+	m   *Measurement
+	err error
+}
+
+// newExecCtx validates and arms the scenario's fault plan. Callers
+// run Scenario.Validate first, so arming cannot fail here; the error
+// return guards against direct misuse.
+func newExecCtx(s *sim.Simulator, sc *Scenario, m *Measurement) (*execCtx, error) {
+	inj, err := fault.NewInjector(sc.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadScenario, err)
+	}
+	return &execCtx{s: s, inj: inj, sc: sc, m: m}, nil
+}
+
+// fail records the first abort error. Once set, in-flight event
+// chains stop scheduling and the run returns the error after the
+// calendar drains.
+func (x *execCtx) fail(err error) {
+	if x.err == nil {
+		x.err = err
+	}
+}
+
+// faultSpan charges one wasted interval into the measurement, the
+// trace and the event log.
+func (x *execCtx) faultSpan(k fault.Kind, device, iter, attempt int, start, end sim.Time, bytes, cycles int64) {
+	x.m.FaultTime += end - start
+	x.sc.Trace.Add(trace.Span{Kind: trace.Fault, Iter: iter, Start: start, End: end})
+	x.sc.emit(telemetry.Event{Kind: telemetry.EventFault, Iter: iter, Device: device,
+		StartPs: int64(start), EndPs: int64(end), Bytes: bytes, Cycles: cycles,
+		Attempt: attempt + 1, Detail: string(k)})
+}
+
+// retryOrFail decides the fate of an operation after a failed
+// attempt: it either charges the backoff and hands the next attempt
+// index to resume, or fails the run (fail-fast, or retries
+// exhausted). what names the operation for the error message.
+func (x *execCtx) retryOrFail(k fault.Kind, what string, device, iter, attempt int, resume func(attempt int)) {
+	pol := x.inj.Policy()
+	if pol.FailFast {
+		x.fail(fmt.Errorf("rcsim: %s iteration %d device %d: %s (fail-fast policy)", what, iter, device, k))
+		return
+	}
+	if attempt >= pol.Retries {
+		x.fail(fmt.Errorf("rcsim: %s iteration %d device %d: %s persisted through %d attempt(s)",
+			what, iter, device, k, attempt+1))
+		return
+	}
+	x.m.Retries++
+	backoff := pol.BackoffFor(attempt + 1)
+	now := x.s.Now()
+	x.m.FaultTime += backoff
+	x.sc.emit(telemetry.Event{Kind: telemetry.EventRetry, Iter: iter, Device: device,
+		StartPs: int64(now), EndPs: int64(now + backoff),
+		Attempt: attempt + 2, Detail: string(k)})
+	x.s.Schedule(backoff, func() { resume(attempt + 1) })
+}
+
+// transfer schedules one logical transfer (holding whatever resource
+// the caller acquired across all attempts), accumulating the
+// successful span into acc. On success it calls release (if
+// non-nil), then done, in that order — matching the fault-free
+// schedule's Release-before-continue convention.
+func (x *execCtx) transfer(dir platform.Direction, device, iter int, bytes int64, backToBack bool, acc *sim.Time, release, done func()) {
+	ic := x.sc.Platform.Interconnect
+	op, evKind, tKind := fault.OpWrite, telemetry.EventWrite, trace.Write
+	if dir == platform.Read {
+		op, evKind, tKind = fault.OpRead, telemetry.EventRead, trace.Read
+	}
+	nominal := ic.TransferTime(dir, bytes, backToBack)
+	var attempt func(try int)
+	attempt = func(try int) {
+		if x.err != nil {
+			return
+		}
+		start := x.s.Now()
+		dur := x.inj.Degrade(nominal, bytes, iter)
+		switch k := x.inj.TransferFault(op, device, iter, try); k {
+		case fault.None:
+			x.s.Schedule(dur, func() {
+				end := x.s.Now()
+				// Degradation slows the wire without failing the
+				// transfer; the excess over the healthy-platform
+				// time is lost time. (Failed attempts charge their
+				// whole span, degradation included.)
+				x.m.FaultTime += dur - nominal
+				x.sc.Trace.Add(trace.Span{Kind: tKind, Iter: iter, Start: start, End: end})
+				x.sc.emit(telemetry.Event{Kind: evKind, Iter: iter, Device: device,
+					StartPs: int64(start), EndPs: int64(end), Bytes: bytes})
+				*acc += end - start
+				if release != nil {
+					release()
+				}
+				done()
+			})
+		case fault.CRCError:
+			// The transfer runs to completion, then fails its check:
+			// the whole (possibly degraded) wire time is wasted.
+			x.s.Schedule(dur, func() {
+				x.faultSpan(k, device, iter, try, start, x.s.Now(), bytes, 0)
+				x.retryOrFail(k, dir.String()+" transfer", device, iter, try, attempt)
+			})
+		case fault.DMATimeout:
+			// The DMA engine hangs; the host waits out the stall.
+			x.s.Schedule(x.inj.Plan().DMAStall, func() {
+				x.faultSpan(k, device, iter, try, start, x.s.Now(), bytes, 0)
+				x.retryOrFail(k, dir.String()+" transfer", device, iter, try, attempt)
+			})
+		}
+	}
+	attempt(0)
+}
+
+// compute schedules one logical kernel execution. The cycle count is
+// drawn once from the scenario callback and reused by recompute
+// attempts (an upset does not change the work). KernelCyclesTotal
+// accumulates every executed attempt — wasted recomputes included —
+// so EffectiveOpsPerCycle reports the truly sustained rate; CompTotal
+// keeps only the useful (final) execution, like the transfer totals.
+func (x *execCtx) compute(device, iter, elements int, clock sim.Clock, release, done func()) {
+	if x.err != nil {
+		return
+	}
+	cycles := x.sc.KernelCycles(iter, elements)
+	if cycles < 0 {
+		x.fail(fmt.Errorf("%w: kernel returned negative cycle count %d at iteration %d", ErrBadScenario, cycles, iter))
+		return
+	}
+	dur := clock.Cycles(cycles)
+	var attempt func(try int)
+	attempt = func(try int) {
+		if x.err != nil {
+			return
+		}
+		start := x.s.Now()
+		x.m.KernelCyclesTotal += cycles
+		x.s.Schedule(dur, func() {
+			end := x.s.Now()
+			if k := x.inj.KernelFault(device, iter, try); k != fault.None {
+				x.faultSpan(k, device, iter, try, start, end, 0, cycles)
+				x.retryOrFail(k, "kernel execution", device, iter, try, attempt)
+				return
+			}
+			x.sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: iter, Start: start, End: end})
+			x.sc.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: iter, Device: device,
+				StartPs: int64(start), EndPs: int64(end), Cycles: cycles})
+			x.m.CompTotal += end - start
+			if release != nil {
+				release()
+			}
+			done()
+		})
+	}
+	attempt(0)
+}
+
+// dropout handles the multi-FPGA node-dropout hazard for device d at
+// iteration i. It returns true when the caller must stop: either the
+// run failed, or the takeover was scheduled to resume after the
+// failover delay. Dropout is decided at iteration boundaries, so no
+// in-flight work is lost — the dropped node's remaining sub-blocks
+// reroute to target's resources via the routing the caller installed.
+func (x *execCtx) dropout(d, i int, dropped []bool, resume func()) bool {
+	if x.err != nil {
+		return true
+	}
+	if dropped[d] || !x.inj.NodeDropout(d, i) {
+		return false
+	}
+	dropped[d] = true
+	pol := x.inj.Policy()
+	target, ok := -1, false
+	for dd := range dropped {
+		if !dropped[dd] {
+			target, ok = dd, true
+			break
+		}
+	}
+	switch {
+	case pol.FailFast:
+		x.fail(fmt.Errorf("rcsim: device %d dropped out at iteration %d (fail-fast policy)", d, i))
+	case !pol.Failover:
+		x.fail(fmt.Errorf("rcsim: device %d dropped out at iteration %d and the policy has no failover", d, i))
+	case !ok:
+		x.fail(fmt.Errorf("rcsim: device %d dropped out at iteration %d with no surviving failover target", d, i))
+	default:
+		x.m.Failovers++
+		now := x.s.Now()
+		delay := pol.FailoverDelay
+		x.m.FaultTime += delay
+		x.sc.Trace.Add(trace.Span{Kind: trace.Fault, Iter: i, Start: now, End: now + delay})
+		x.sc.emit(telemetry.Event{Kind: telemetry.EventFailover, Iter: i, Device: d,
+			StartPs: int64(now), EndPs: int64(now + delay),
+			Detail: fmt.Sprintf("%s: rerouting to device %d", fault.NodeDropout, target)})
+		x.s.Schedule(delay, resume)
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package rcsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fault"
+	"github.com/chrec/rat/internal/rcsim"
+	"github.com/chrec/rat/internal/sim"
+)
+
+// fuzzScenario assembles a Scenario from raw fuzz inputs. The kernel
+// callback is always present (a nil callback is covered by the seeded
+// corpus of the validation unit tests and cannot be fuzzed through a
+// value anyway).
+func fuzzScenario(iters, elemsIn, elemsOut, bpe int, clockHz float64, buffering int,
+	crc, dma, upset, dropout, ageSlope, sizeFactor float64, stallPs, kneeBytes int64, retries int, backoffPs int64) rcsim.Scenario {
+	sc := rcsim.Scenario{
+		Name:            "fuzz",
+		Platform:        idealPlatform(1e9),
+		ClockHz:         clockHz,
+		Buffering:       core.Buffering(buffering),
+		Iterations:      iters,
+		ElementsIn:      elemsIn,
+		ElementsOut:     elemsOut,
+		BytesPerElement: bpe,
+		KernelCycles:    fixedKernel(100),
+	}
+	if crc != 0 || dma != 0 || upset != 0 || dropout != 0 || ageSlope != 0 || sizeFactor != 0 || stallPs != 0 || kneeBytes != 0 {
+		sc.Faults = &fault.Plan{
+			Seed: 1, CRC: crc, DMA: dma, Upset: upset, Dropout: dropout,
+			DMAStall: sim.Time(stallPs), AgeSlope: ageSlope,
+			SizeKnee: kneeBytes, SizeFactor: sizeFactor,
+			Policy: fault.Policy{Retries: retries, Backoff: sim.Time(backoffPs)},
+		}
+	}
+	return sc
+}
+
+// FuzzScenarioValidate: Validate must never panic, and every rejection
+// must wrap ErrBadScenario so callers can classify it.
+func FuzzScenarioValidate(f *testing.F) {
+	f.Add(10, 1000, 1000, 4, 100e6, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, int64(0), int64(0), 3, int64(0))
+	f.Add(0, -1, -1, 0, -5.0, 9, 2.0, -0.5, 1.5, 0.3, -0.1, 0.5, int64(-1), int64(-7), -3, int64(-10))
+	f.Add(1, 1, 0, 1, 1e6, 1, 0.6, 0.6, 0.0, 0.0, 0.0, 0.0, int64(1), int64(1), 0, int64(1))
+	f.Fuzz(func(t *testing.T, iters, elemsIn, elemsOut, bpe int, clockHz float64, buffering int,
+		crc, dma, upset, dropout, ageSlope, sizeFactor float64, stallPs, kneeBytes int64, retries int, backoffPs int64) {
+		sc := fuzzScenario(iters, elemsIn, elemsOut, bpe, clockHz, buffering,
+			crc, dma, upset, dropout, ageSlope, sizeFactor, stallPs, kneeBytes, retries, backoffPs)
+		if err := sc.Validate(); err != nil && !errors.Is(err, rcsim.ErrBadScenario) {
+			t.Errorf("rejection %v does not wrap ErrBadScenario", err)
+		}
+	})
+}
+
+// FuzzMultiScenarioValidate extends the property to the multi-FPGA
+// fan-out fields.
+func FuzzMultiScenarioValidate(f *testing.F) {
+	f.Add(10, 1000, 1000, 4, 100e6, 0, 2, 0, 0.0, 0.0)
+	f.Add(1, 7, 3, 4, 100e6, 1, 3, 5, 1.1, -2.0)
+	f.Add(0, 0, 0, 0, 0.0, 0, 0, 0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, iters, elemsIn, elemsOut, bpe int, clockHz float64, buffering, devices, topology int,
+		crc, dropout float64) {
+		sc := fuzzScenario(iters, elemsIn, elemsOut, bpe, clockHz, buffering,
+			crc, 0, 0, dropout, 0, 0, 0, 0, 3, 0)
+		ms := rcsim.MultiScenario{Scenario: sc, Devices: devices, Topology: core.Topology(topology)}
+		if err := ms.Validate(); err != nil && !errors.Is(err, rcsim.ErrBadScenario) {
+			t.Errorf("rejection %v does not wrap ErrBadScenario", err)
+		}
+	})
+}

@@ -20,4 +20,8 @@ func (m Measurement) RecordMetrics(reg *telemetry.Registry) {
 	reg.Gauge("rcsim.util_comm").Set(m.UtilComm())
 	reg.Gauge("rcsim.util_comp").Set(m.UtilComp())
 	reg.Gauge("rcsim.overlap_seconds").Set(m.OverlapTotal.Seconds())
+	reg.Counter("rcsim.retries").Add(m.Retries)
+	reg.Counter("rcsim.failovers").Add(m.Failovers)
+	reg.Gauge("rcsim.fault_seconds").Set(m.FaultTime.Seconds())
+	reg.Gauge("rcsim.util_fault").Set(m.UtilFault())
 }

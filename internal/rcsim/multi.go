@@ -7,7 +7,6 @@ import (
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
 	"github.com/chrec/rat/internal/telemetry"
-	"github.com/chrec/rat/internal/trace"
 )
 
 // Multi-FPGA simulation, validating the core.PredictMulti extension
@@ -63,7 +62,6 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 	}
 	var (
 		s     = sim.New()
-		ic    = ms.Platform.Interconnect
 		clock = ms.Platform.Clock(ms.ClockHz)
 		n     = ms.Iterations
 		nd    = ms.Devices
@@ -74,8 +72,17 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 		m = Measurement{Scenario: ms.Scenario}
 	)
 
-	// One bus per device for independent channels, one shared.
+	x, err := newExecCtx(s, &ms.Scenario, &m)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	// One bus per device for independent channels, one shared. Each
+	// device also owns a kernel resource so a failover survivor
+	// serializes its own sub-blocks with a dropped neighbour's; grants
+	// are zero-delay, so fault-free timing is unchanged.
 	buses := make([]*sim.Resource, nd)
+	kerns := make([]*sim.Resource, nd)
 	shared := sim.NewResource(s, "interconnect")
 	for d := range buses {
 		if ms.Topology == core.IndependentChannels {
@@ -83,7 +90,27 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 		} else {
 			buses[d] = shared
 		}
+		kerns[d] = sim.NewResource(s, fmt.Sprintf("kernel-%d", d))
 	}
+
+	// dropped marks devices lost to node dropout. route sends a
+	// dropped device's remaining sub-blocks to the lowest-index
+	// survivor; it is re-evaluated at every acquire, so cascading
+	// dropouts chain onto whichever device still answers.
+	dropped := make([]bool, nd)
+	route := func(d int) int {
+		if !dropped[d] {
+			return d
+		}
+		for dd := range dropped {
+			if !dropped[dd] {
+				return dd
+			}
+		}
+		return d // unreachable: dropout fails the run without a survivor
+	}
+	busFor := func(d int) *sim.Resource { return buses[route(d)] }
+	kernFor := func(d int) *sim.Resource { return kerns[route(d)] }
 
 	type state struct {
 		writeStarted, writeDone []bool
@@ -134,30 +161,32 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 			return
 		}
 		st.writeStarted[i] = true
-		buses[d].Acquire(func() {
-			start := s.Now()
-			// A sub-block transfer is back-to-back unless it is the
-			// very first for its device.
-			dur := ic.TransferTime(platform.Write, perDevIn, i > 0 || d > 0)
-			s.Schedule(dur, func() {
-				ms.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
-				ms.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i, Device: d,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: perDevIn})
-				m.WriteTotal += s.Now() - start
-				buses[d].Release()
-				st.writeDone[i] = true
-				if ms.Buffering == core.SingleBuffered {
-					if allWritesDone(i) { // barrier reached: release every device
-						for dd := 0; dd < nd; dd++ {
-							tryCompute(dd, i)
+		startWrite := func() {
+			bus := busFor(d)
+			bus.Acquire(func() {
+				// A sub-block transfer is back-to-back unless it is
+				// the very first for its device.
+				x.transfer(platform.Write, d, i, perDevIn, i > 0 || d > 0, &m.WriteTotal, bus.Release, func() {
+					st.writeDone[i] = true
+					if ms.Buffering == core.SingleBuffered {
+						if allWritesDone(i) { // barrier reached: release every device
+							for dd := 0; dd < nd; dd++ {
+								tryCompute(dd, i)
+							}
 						}
+					} else {
+						tryCompute(d, i)
+						tryWrite(d, i+1)
 					}
-				} else {
-					tryCompute(d, i)
-					tryWrite(d, i+1)
-				}
+				})
 			})
-		})
+		}
+		// Dropout is decided at the write boundary, before any wire
+		// time is spent, so no in-flight work is ever lost.
+		if x.dropout(d, i, dropped, startWrite) {
+			return
+		}
+		startWrite()
 	}
 
 	tryCompute = func(d, i int) {
@@ -177,25 +206,18 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 			return
 		}
 		st.compStarted[i] = true
-		start := s.Now()
-		cycles := ms.KernelCycles(i, ms.ElementsIn/nd)
-		if cycles < 0 {
-			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
-		}
-		m.KernelCyclesTotal += cycles
-		s.Schedule(clock.Cycles(cycles), func() {
-			ms.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
-			ms.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i, Device: d,
-				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
-			m.CompTotal += s.Now() - start
-			st.compDone[i] = true
-			tryRead(d, i)
-			tryCompute(d, i+1)
-			if ms.Buffering == core.DoubleBuffered {
-				ms.emit(telemetry.Event{Kind: telemetry.EventBufferSwap, Iter: i, Device: d,
-					StartPs: int64(s.Now()), EndPs: int64(s.Now()), Detail: "input buffer freed"})
-				tryWrite(d, i+2)
-			}
+		kern := kernFor(d)
+		kern.Acquire(func() {
+			x.compute(d, i, ms.ElementsIn/nd, clock, kern.Release, func() {
+				st.compDone[i] = true
+				tryRead(d, i)
+				tryCompute(d, i+1)
+				if ms.Buffering == core.DoubleBuffered {
+					ms.emit(telemetry.Event{Kind: telemetry.EventBufferSwap, Iter: i, Device: d,
+						StartPs: int64(s.Now()), EndPs: int64(s.Now()), Detail: "input buffer freed"})
+					tryWrite(d, i+2)
+				}
+			})
 		})
 	}
 
@@ -218,15 +240,9 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 			finishRead(d, i)
 			return
 		}
-		buses[d].Acquire(func() {
-			start := s.Now()
-			dur := ic.TransferTime(platform.Read, perDevOut, i > 0 || d > 0)
-			s.Schedule(dur, func() {
-				ms.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
-				ms.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i, Device: d,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: perDevOut})
-				m.ReadTotal += s.Now() - start
-				buses[d].Release()
+		bus := busFor(d)
+		bus.Acquire(func() {
+			x.transfer(platform.Read, d, i, perDevOut, i > 0 || d > 0, &m.ReadTotal, bus.Release, func() {
 				finishRead(d, i)
 			})
 		})
@@ -240,6 +256,9 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 	}
 	m.Total = s.Run()
 
+	if x.err != nil {
+		return Measurement{}, x.err
+	}
 	for d := range devs {
 		for i := 0; i < n; i++ {
 			if !devs[d].readDone[i] {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/fault"
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
 	"github.com/chrec/rat/internal/telemetry"
@@ -52,6 +53,15 @@ type Scenario struct {
 	// transfer, kernel execution and buffer swap as it completes
 	// (package telemetry's JSONL event schema).
 	Events telemetry.EventSink
+
+	// Faults, when non-nil and enabled, injects deterministic
+	// platform misbehaviour — transfer CRC errors and DMA timeouts
+	// with retry, bandwidth degradation, transient kernel upsets
+	// forcing recomputation, and (multi-FPGA runs only) node dropout
+	// with failover — governed by the plan's seed and recovery
+	// policy. A nil or all-zero plan reproduces the fault-free
+	// timeline bit for bit. See docs/FAULTS.md.
+	Faults *fault.Plan
 }
 
 // emit sends an event to the scenario's sink, if any.
@@ -82,6 +92,11 @@ func (sc Scenario) Validate() error {
 	case sc.Buffering != core.SingleBuffered && sc.Buffering != core.DoubleBuffered:
 		return fmt.Errorf("%w: unknown buffering discipline %v", ErrBadScenario, sc.Buffering)
 	}
+	if sc.Faults != nil {
+		if err := sc.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %w", ErrBadScenario, err)
+		}
+	}
 	return nil
 }
 
@@ -101,8 +116,21 @@ type Measurement struct {
 	// OverlapTotal is the time communication and computation ran
 	// simultaneously (zero when single-buffered).
 	OverlapTotal sim.Time
-	// KernelCyclesTotal is the summed kernel cycle count.
+	// KernelCyclesTotal is the summed kernel cycle count across every
+	// executed attempt, upset-forced recomputes included, so
+	// EffectiveOpsPerCycle reports the truly sustained rate.
 	KernelCyclesTotal int64
+
+	// Retries counts failed attempts that were retried (transfer
+	// CRC/DMA faults and kernel upsets); zero on a fault-free run.
+	Retries int64
+	// FaultTime is the total simulated time lost to platform
+	// misbehaviour: wasted attempts, DMA stalls, retry backoff,
+	// failover rebalancing and bandwidth-degradation excess.
+	FaultTime sim.Time
+	// Failovers counts node dropouts survived by rerouting work to
+	// another device (multi-FPGA runs).
+	Failovers int64
 }
 
 // TComm returns the measured mean per-iteration communication time in
@@ -138,6 +166,40 @@ func (m Measurement) UtilComp() float64 {
 	return m.CompTotal.Seconds() / m.Total.Seconds()
 }
 
+// UtilFault returns the measured fraction of execution time lost to
+// injected faults and their recovery — the third utilization term a
+// misbehaving platform adds to Eqs. 8-11.
+func (m Measurement) UtilFault() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return m.FaultTime.Seconds() / m.Total.Seconds()
+}
+
+// NominalTotal returns the execution time with the fault-recovery
+// time backed out: the run the healthy platform would have delivered.
+func (m Measurement) NominalTotal() sim.Time { return m.Total - m.FaultTime }
+
+// NominalUtilComm returns communication utilization over the nominal
+// (fault-free) portion of the timeline, directly comparable with the
+// analytic Eqs. 9/11 even on a faulty run. It equals UtilComm when no
+// faults were injected.
+func (m Measurement) NominalUtilComm() float64 {
+	if nt := m.NominalTotal(); nt > 0 {
+		return (m.WriteTotal + m.ReadTotal).Seconds() / nt.Seconds()
+	}
+	return 0
+}
+
+// NominalUtilComp is the computation analogue of NominalUtilComm
+// (Eqs. 8/10 over the fault-free portion of the timeline).
+func (m Measurement) NominalUtilComp() float64 {
+	if nt := m.NominalTotal(); nt > 0 {
+		return m.CompTotal.Seconds() / nt.Seconds()
+	}
+	return 0
+}
+
 // Speedup returns tSoft divided by the measured execution time.
 func (m Measurement) Speedup(tSoft float64) float64 {
 	if t := m.TRC(); t > 0 {
@@ -167,7 +229,6 @@ func Run(sc Scenario) (Measurement, error) {
 	var (
 		s     = sim.New()
 		bus   = sim.NewResource(s, "interconnect")
-		ic    = sc.Platform.Interconnect
 		clock = sc.Platform.Clock(sc.ClockHz)
 		n     = sc.Iterations
 
@@ -183,6 +244,11 @@ func Run(sc Scenario) (Measurement, error) {
 
 		m = Measurement{Scenario: sc}
 	)
+
+	x, err := newExecCtx(s, &sc, &m)
+	if err != nil {
+		return Measurement{}, err
+	}
 
 	var tryWrite, tryCompute, tryRead func(i int)
 
@@ -207,14 +273,7 @@ func Run(sc Scenario) (Measurement, error) {
 		}
 		writeStarted[i] = true
 		bus.Acquire(func() {
-			start := s.Now()
-			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
-			s.Schedule(dur, func() {
-				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
-				sc.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesIn})
-				m.WriteTotal += s.Now() - start
-				bus.Release()
+			x.transfer(platform.Write, 0, i, bytesIn, i > 0, &m.WriteTotal, bus.Release, func() {
 				writeDone[i] = true
 				tryCompute(i)
 				if sc.Buffering == core.DoubleBuffered {
@@ -232,17 +291,7 @@ func Run(sc Scenario) (Measurement, error) {
 			return // the single kernel unit runs iterations in order
 		}
 		compStarted[i] = true
-		start := s.Now()
-		cycles := sc.KernelCycles(i, sc.ElementsIn)
-		if cycles < 0 {
-			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
-		}
-		m.KernelCyclesTotal += cycles
-		s.Schedule(clock.Cycles(cycles), func() {
-			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
-			sc.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i,
-				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
-			m.CompTotal += s.Now() - start
+		x.compute(0, i, sc.ElementsIn, clock, nil, func() {
 			compDone[i] = true
 			tryRead(i)
 			tryCompute(i + 1)
@@ -273,14 +322,7 @@ func Run(sc Scenario) (Measurement, error) {
 			return
 		}
 		bus.Acquire(func() {
-			start := s.Now()
-			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
-			s.Schedule(dur, func() {
-				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
-				sc.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesOut})
-				m.ReadTotal += s.Now() - start
-				bus.Release()
+			x.transfer(platform.Read, 0, i, bytesOut, i > 0, &m.ReadTotal, bus.Release, func() {
 				finishRead(i)
 			})
 		})
@@ -292,6 +334,9 @@ func Run(sc Scenario) (Measurement, error) {
 	}
 	m.Total = s.Run()
 
+	if x.err != nil {
+		return Measurement{}, x.err
+	}
 	for i := 0; i < n; i++ {
 		if !readDone[i] {
 			return Measurement{}, fmt.Errorf("rcsim: scenario %q deadlocked at iteration %d", sc.Name, i)

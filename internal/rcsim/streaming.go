@@ -5,8 +5,6 @@ import (
 
 	"github.com/chrec/rat/internal/platform"
 	"github.com/chrec/rat/internal/sim"
-	"github.com/chrec/rat/internal/telemetry"
-	"github.com/chrec/rat/internal/trace"
 )
 
 // RunStreaming executes the scenario under the streaming discipline of
@@ -29,7 +27,6 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 		s        = sim.New()
 		writeBus = sim.NewResource(s, "write-channel")
 		readBus  = sim.NewResource(s, "read-channel")
-		ic       = sc.Platform.Interconnect
 		clock    = sc.Platform.Clock(sc.ClockHz)
 		n        = sc.Iterations
 
@@ -46,6 +43,11 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 		m = Measurement{Scenario: sc}
 	)
 
+	x, err := newExecCtx(s, &sc, &m)
+	if err != nil {
+		return Measurement{}, err
+	}
+
 	var tryWrite, tryCompute, tryRead func(i int)
 
 	tryWrite = func(i int) {
@@ -57,14 +59,7 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 		}
 		writeStarted[i] = true
 		writeBus.Acquire(func() {
-			start := s.Now()
-			dur := ic.TransferTime(platform.Write, bytesIn, i > 0)
-			s.Schedule(dur, func() {
-				sc.Trace.Add(trace.Span{Kind: trace.Write, Iter: i, Start: start, End: s.Now()})
-				sc.emit(telemetry.Event{Kind: telemetry.EventWrite, Iter: i,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesIn})
-				m.WriteTotal += s.Now() - start
-				writeBus.Release()
+			x.transfer(platform.Write, 0, i, bytesIn, i > 0, &m.WriteTotal, writeBus.Release, func() {
 				writeDone[i] = true
 				tryCompute(i)
 				tryWrite(i + 1)
@@ -80,17 +75,7 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 			return
 		}
 		compStarted[i] = true
-		start := s.Now()
-		cycles := sc.KernelCycles(i, sc.ElementsIn)
-		if cycles < 0 {
-			panic(fmt.Sprintf("rcsim: kernel returned negative cycle count %d", cycles))
-		}
-		m.KernelCyclesTotal += cycles
-		s.Schedule(clock.Cycles(cycles), func() {
-			sc.Trace.Add(trace.Span{Kind: trace.Compute, Iter: i, Start: start, End: s.Now()})
-			sc.emit(telemetry.Event{Kind: telemetry.EventCompute, Iter: i,
-				StartPs: int64(start), EndPs: int64(s.Now()), Cycles: cycles})
-			m.CompTotal += s.Now() - start
+		x.compute(0, i, sc.ElementsIn, clock, nil, func() {
 			compDone[i] = true
 			tryRead(i)
 			tryCompute(i + 1)
@@ -111,14 +96,7 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 			return
 		}
 		readBus.Acquire(func() {
-			start := s.Now()
-			dur := ic.TransferTime(platform.Read, bytesOut, i > 0)
-			s.Schedule(dur, func() {
-				sc.Trace.Add(trace.Span{Kind: trace.Read, Iter: i, Start: start, End: s.Now()})
-				sc.emit(telemetry.Event{Kind: telemetry.EventRead, Iter: i,
-					StartPs: int64(start), EndPs: int64(s.Now()), Bytes: bytesOut})
-				m.ReadTotal += s.Now() - start
-				readBus.Release()
+			x.transfer(platform.Read, 0, i, bytesOut, i > 0, &m.ReadTotal, readBus.Release, func() {
 				readDone[i] = true
 				tryRead(i + 1)
 			})
@@ -128,6 +106,9 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 	tryWrite(0)
 	m.Total = s.Run()
 
+	if x.err != nil {
+		return Measurement{}, x.err
+	}
 	for i := 0; i < n; i++ {
 		if !readDone[i] {
 			return Measurement{}, fmt.Errorf("rcsim: streaming scenario %q deadlocked at iteration %d", sc.Name, i)

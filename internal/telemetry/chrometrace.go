@@ -43,8 +43,9 @@ type chromeTraceFile struct {
 
 // Lane (thread) ids in the exported trace.
 const (
-	commLane = 1 // write + read transfers
-	compLane = 2 // kernel execution
+	commLane  = 1 // write + read transfers
+	compLane  = 2 // kernel execution
+	faultLane = 3 // injected-fault lost time (wasted attempts, stalls, failover)
 )
 
 // WriteChromeTrace exports spans as a Chrome trace_event JSON file.
@@ -59,11 +60,16 @@ func WriteChromeTrace(w io.Writer, spans []trace.Span) error {
 			Args: map[string]any{"name": "Comm (write/read)"}},
 		chromeMeta{Name: "thread_name", Ph: "M", Pid: 1, Tid: compLane,
 			Args: map[string]any{"name": "Comp (kernel)"}},
+		chromeMeta{Name: "thread_name", Ph: "M", Pid: 1, Tid: faultLane,
+			Args: map[string]any{"name": "Faults (injected)"}},
 	)
 	for _, s := range spans {
 		tid := commLane
-		if s.Kind == trace.Compute {
+		switch s.Kind {
+		case trace.Compute:
 			tid = compLane
+		case trace.Fault:
+			tid = faultLane
 		}
 		events = append(events, chromeEvent{
 			Name: fmt.Sprintf("%s %d", s.Kind, s.Iter+1),

@@ -16,7 +16,8 @@ func TestWriteChromeTrace(t *testing.T) {
 	spans := []trace.Span{
 		{Kind: trace.Write, Iter: 0, Start: 0, End: 2 * sim.Microsecond},
 		{Kind: trace.Compute, Iter: 0, Start: 2 * sim.Microsecond, End: 10 * sim.Microsecond},
-		{Kind: trace.Read, Iter: 0, Start: 10 * sim.Microsecond, End: 11 * sim.Microsecond},
+		{Kind: trace.Fault, Iter: 0, Start: 10 * sim.Microsecond, End: 12 * sim.Microsecond},
+		{Kind: trace.Read, Iter: 0, Start: 12 * sim.Microsecond, End: 13 * sim.Microsecond},
 	}
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, spans); err != nil {
@@ -52,11 +53,14 @@ func TestWriteChromeTrace(t *testing.T) {
 		case "X":
 			complete++
 			durUs += e.Dur
-			if e.Pid != 1 || (e.Tid != commLane && e.Tid != compLane) {
+			if e.Pid != 1 || (e.Tid != commLane && e.Tid != compLane && e.Tid != faultLane) {
 				t.Errorf("event %q on pid/tid %d/%d", e.Name, e.Pid, e.Tid)
 			}
 			if e.Cat == "compute" && e.Tid != compLane {
 				t.Errorf("compute span %q not on the compute lane", e.Name)
+			}
+			if e.Cat == "fault" && e.Tid != faultLane {
+				t.Errorf("fault span %q not on the fault lane", e.Name)
 			}
 			if e.Ts < 0 || e.Dur < 0 {
 				t.Errorf("event %q has negative ts/dur", e.Name)
@@ -65,10 +69,10 @@ func TestWriteChromeTrace(t *testing.T) {
 			t.Errorf("unexpected phase %q", e.Ph)
 		}
 	}
-	if meta != 3 || complete != len(spans) {
-		t.Errorf("meta/complete = %d/%d, want 3/%d", meta, complete, len(spans))
+	if meta != 4 || complete != len(spans) {
+		t.Errorf("meta/complete = %d/%d, want 4/%d", meta, complete, len(spans))
 	}
-	if want := 11.0; durUs != want {
+	if want := 13.0; durUs != want {
 		t.Errorf("summed dur = %g us, want %g", durUs, want)
 	}
 }

@@ -16,6 +16,9 @@ const (
 	EventRead       = "read"        // FPGA -> host result transfer
 	EventCompute    = "compute"     // kernel execution
 	EventBufferSwap = "buffer-swap" // double buffering freed an input buffer
+	EventFault      = "fault"       // an injected fault wasted the spanned time
+	EventRetry      = "retry"       // recovery retry; the span is the backoff wait
+	EventFailover   = "failover"    // node dropout rerouted to a surviving device
 )
 
 // Event is one structured record of simulated activity. Times are
@@ -31,6 +34,9 @@ type Event struct {
 	Bytes   int64  `json:"bytes,omitempty"`
 	Cycles  int64  `json:"cycles,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+	// Attempt is the 1-based attempt number on fault and retry
+	// events (zero on first-try successes, and omitted).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // DurationSeconds returns the event's span length in seconds.

@@ -25,6 +25,11 @@ const (
 	Read
 	// Compute is a kernel execution span.
 	Compute
+	// Fault is time lost to injected platform misbehaviour: a wasted
+	// transfer or kernel attempt, a DMA stall, or a failover
+	// rebalance (package fault). Fault spans are excluded from
+	// Overlap, which measures useful comm/comp concurrency only.
+	Fault
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +41,8 @@ func (k Kind) String() string {
 		return "read"
 	case Compute:
 		return "compute"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -50,6 +57,8 @@ func (k Kind) letter() byte {
 		return 'R'
 	case Compute:
 		return 'C'
+	case Fault:
+		return 'X'
 	default:
 		return '?'
 	}
@@ -220,11 +229,13 @@ func min64(a, b sim.Time) sim.Time {
 	return b
 }
 
-// Gantt renders the recorded spans as a two-lane ASCII chart in the
-// style of the paper's Figure 2: a "Comm" lane holding write/read
-// spans and a "Comp" lane holding compute spans, each span drawn as
-// its letter and iteration number (W1, R1, C1, ...) positioned
-// proportionally over width columns.
+// Gantt renders the recorded spans as an ASCII chart in the style of
+// the paper's Figure 2: a "Comm" lane holding write/read spans and a
+// "Comp" lane holding compute spans, each span drawn as its letter
+// and iteration number (W1, R1, C1, ...) positioned proportionally
+// over width columns. Runs with injected faults gain a third "Flt"
+// lane holding the lost-time spans; fault-free charts keep the
+// two-lane Figure 2 layout exactly.
 func (r *Recorder) Gantt(width int) string {
 	if width < 20 {
 		width = 20
@@ -235,6 +246,7 @@ func (r *Recorder) Gantt(width int) string {
 	}
 	commLane := make([]byte, width)
 	compLane := make([]byte, width)
+	var faultLane []byte
 	for i := range commLane {
 		commLane[i] = '.'
 		compLane[i] = '.'
@@ -248,8 +260,17 @@ func (r *Recorder) Gantt(width int) string {
 	}
 	for _, s := range r.Spans() {
 		lane := commLane
-		if s.Kind == Compute {
+		switch s.Kind {
+		case Compute:
 			lane = compLane
+		case Fault:
+			if faultLane == nil {
+				faultLane = make([]byte, width)
+				for i := range faultLane {
+					faultLane[i] = '.'
+				}
+			}
+			lane = faultLane
 		}
 		lo, hi := scale(s.Start), scale(s.End)
 		label := fmt.Sprintf("%c%d", s.Kind.letter(), s.Iter+1)
@@ -263,6 +284,9 @@ func (r *Recorder) Gantt(width int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Comm |%s|\n", commLane)
 	fmt.Fprintf(&b, "Comp |%s|\n", compLane)
+	if faultLane != nil {
+		fmt.Fprintf(&b, "Flt  |%s|\n", faultLane)
+	}
 	fmt.Fprintf(&b, "      0%*s\n", width-1, total)
 	return b.String()
 }
