@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench experiments examples cover clean
+.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean
 
 all: build vet test
 
@@ -20,6 +20,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Refresh the committed micro-benchmark baseline (BENCH_4.json) from
+# the hot-path benchmarks. Run on a quiet machine; commit the result.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker' -benchmem -count=1 . \
+	  | $(GO) run ./cmd/benchcheck -emit BENCH_4.json -note "make bench-baseline"
+
+# Gate the current tree against the committed baseline: fails on a
+# >20% BenchmarkPredict ns/op regression or any allocs/op increase.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker' -benchmem -benchtime 0.2s -count=1 . \
+	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json
+
 # Regenerate every paper table and figure, side by side with the
 # published values.
 experiments:
@@ -31,6 +43,7 @@ examples:
 	$(GO) run ./examples/pdf2d
 	$(GO) run ./examples/md
 	$(GO) run ./examples/sweep
+	$(GO) run ./examples/explore
 	$(GO) run ./examples/multifpga
 	$(GO) run ./examples/convolution
 

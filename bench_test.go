@@ -150,3 +150,69 @@ func BenchmarkSweepClock(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPredictBatch times the zero-allocation batch kernel over a
+// 1024-worksheet slab; ns/op divided by 1024 is the per-candidate cost
+// a grid exploration pays. Must report 0 allocs/op.
+func BenchmarkPredictBatch(b *testing.B) {
+	ps := make([]rat.Parameters, 1024)
+	for i := range ps {
+		ps[i] = paper.PDF1DParams().WithClock(rat.MHz(50 + float64(i%200)))
+	}
+	out := make([]rat.Prediction, len(ps))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rat.PredictBatch(ps, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// exploreBenchGrid returns a 1,044,480-candidate six-dimension grid
+// (48 clocks x 34 tp x 8 alphas x 4 blocks x 5 devices x 2 bufferings).
+func exploreBenchGrid() rat.Grid {
+	clocks := make([]float64, 48)
+	for i := range clocks {
+		clocks[i] = rat.MHz(50 + float64(i)*5)
+	}
+	tps := make([]float64, 34)
+	for i := range tps {
+		tps[i] = 1 + float64(i)
+	}
+	alphas := make([]float64, 8)
+	for i := range alphas {
+		alphas[i] = 0.05 + 0.11*float64(i)
+	}
+	return rat.Grid{
+		Base:            paper.PDF1DParams(),
+		Clocks:          clocks,
+		ThroughputProcs: tps,
+		Alphas:          alphas,
+		BlockSizes:      []int64{256, 512, 1024, 2048},
+		Devices:         []int{1, 2, 4, 8, 16},
+		Topology:        rat.SharedChannel,
+	}
+}
+
+// benchExplore times a full exploration of the million-candidate grid
+// at a fixed worker count; compare the -workers variants for the
+// parallel scaling on the host machine.
+func benchExplore(b *testing.B, workers int) {
+	g := exploreBenchGrid()
+	opts := rat.ExploreOptions{Workers: workers, TopK: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rat.Explore(g, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Top) != 10 {
+			b.Fatalf("kept %d candidates", len(res.Top))
+		}
+	}
+}
+
+func BenchmarkExplore1Worker(b *testing.B) { benchExplore(b, 1) }
+func BenchmarkExplore8Worker(b *testing.B) { benchExplore(b, 8) }

@@ -1,0 +1,239 @@
+// Command benchcheck turns `go test -bench` output into a committed
+// JSON baseline and gates regressions against it.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchcheck -emit baseline.json
+//	go test -bench . -benchmem | benchcheck -compare baseline.json
+//
+// Emit mode parses benchmark lines from stdin (or -in file) and writes
+// the baseline. Compare mode parses the same format and fails (exit 1)
+// when a gated benchmark's ns/op regresses more than -tolerance
+// (default 20%) over the baseline, or when ANY benchmark present in
+// both runs allocates more per op than it used to — allocation counts
+// are deterministic, so any increase is a real regression, not noise.
+// Benchmarks missing from either side are reported but not fatal
+// (machines differ; the benchmark set grows).
+//
+// The gated-benchmark list defaults to BenchmarkPredict, the kernel
+// the exploration engine multiplies by millions; -gate adds more,
+// comma-separated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's baseline numbers.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_*.json schema.
+type Baseline struct {
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	emit := fs.String("emit", "", "write a baseline JSON file from benchmark output")
+	compare := fs.String("compare", "", "compare benchmark output against a baseline JSON file")
+	in := fs.String("in", "", "read benchmark output from a file instead of stdin")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional ns/op regression for gated benchmarks")
+	gate := fs.String("gate", "BenchmarkPredict", "comma-separated benchmarks whose ns/op is gated")
+	note := fs.String("note", "", "free-form note stored in an emitted baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*emit == "") == (*compare == "") {
+		fmt.Fprintln(errOut, "benchcheck: exactly one of -emit or -compare is required")
+		fs.Usage()
+		return 2
+	}
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(errOut, "benchcheck: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	got, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchcheck: %v\n", err)
+		return 1
+	}
+	if *emit != "" {
+		if err := writeBaseline(*emit, Baseline{Note: *note, Benchmarks: got}); err != nil {
+			fmt.Fprintf(errOut, "benchcheck: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "benchcheck: wrote %d benchmarks to %s\n", len(got), *emit)
+		return 0
+	}
+	base, err := readBaseline(*compare)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchcheck: %v\n", err)
+		return 1
+	}
+	failures := check(base.Benchmarks, got, splitGates(*gate), *tolerance, out)
+	if failures > 0 {
+		fmt.Fprintf(errOut, "benchcheck: %d regression(s) against %s\n", failures, *compare)
+		return 1
+	}
+	fmt.Fprintf(out, "benchcheck: OK against %s (%d benchmarks compared)\n", *compare, len(got))
+	return 0
+}
+
+func splitGates(s string) map[string]bool {
+	gates := map[string]bool{}
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates[g] = true
+		}
+	}
+	return gates
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkPredict-4   22530512   53.25 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines compare across
+// machines with different core counts.
+func parseBench(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var e Entry
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+				seen = true
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if seen {
+			out[name] = e
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// check reports regressions of got against base, printing one line per
+// comparison, and returns the failure count.
+func check(base, got map[string]Entry, gates map[string]bool, tol float64, out io.Writer) int {
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, n := range names {
+		g := got[n]
+		b, ok := base[n]
+		if !ok {
+			fmt.Fprintf(out, "  new      %-36s %12.1f ns/op %6d allocs/op (no baseline)\n", n, g.NsPerOp, g.AllocsPerOp)
+			continue
+		}
+		status := "ok"
+		if g.AllocsPerOp > b.AllocsPerOp {
+			status = "FAIL"
+			failures++
+			fmt.Fprintf(out, "  %-8s %-36s allocs/op %d -> %d (any increase fails)\n", status, n, b.AllocsPerOp, g.AllocsPerOp)
+			continue
+		}
+		if gates[n] && b.NsPerOp > 0 {
+			ratio := g.NsPerOp / b.NsPerOp
+			if ratio > 1+tol {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Fprintf(out, "  %-8s %-36s %12.1f ns/op vs %.1f baseline (%+.0f%%, gate %.0f%%)\n",
+				status, n, g.NsPerOp, b.NsPerOp, (ratio-1)*100, tol*100)
+			continue
+		}
+		fmt.Fprintf(out, "  %-8s %-36s %12.1f ns/op %6d allocs/op\n", status, n, g.NsPerOp, g.AllocsPerOp)
+	}
+	for n := range base {
+		if _, ok := got[n]; !ok {
+			fmt.Fprintf(out, "  missing  %-36s (in baseline, not in this run)\n", n)
+		}
+	}
+	return failures
+}
+
+func writeBaseline(path string, b Baseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	defer f.Close()
+	var b Baseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Baseline{}, fmt.Errorf("baseline %s holds no benchmarks", path)
+	}
+	return b, nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/chrec/rat
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPredict-4           	22530512	        53.25 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictBatch-4      	   14836	     80312 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimulatePDF1D-4     	    1090	   1100841 ns/op	  297554 B/op	    4826 allocs/op
+PASS
+ok  	github.com/chrec/rat	5.123s
+`
+
+func runCheck(t *testing.T, input string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, strings.NewReader(input), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func emitSample(t *testing.T, input string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	code, _, errOut := runCheck(t, input, "-emit", path)
+	if code != 0 {
+		t.Fatalf("emit failed (%d): %s", code, errOut)
+	}
+	return path
+}
+
+func TestEmitAndCompareClean(t *testing.T) {
+	path := emitSample(t, sampleBench)
+	code, out, errOut := runCheck(t, sampleBench, "-compare", path)
+	if code != 0 {
+		t.Fatalf("self-compare failed (%d): %s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "OK against") || !strings.Contains(out, "gate 20%") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	path := emitSample(t, sampleBench)
+	// +30% on the gated BenchmarkPredict: must fail at the 20% gate.
+	slow := strings.Replace(sampleBench, "53.25 ns/op", "69.23 ns/op", 1)
+	code, out, _ := runCheck(t, slow, "-compare", path)
+	if code != 1 || !strings.Contains(out, "FAIL") {
+		t.Errorf("exit %d, want 1 with FAIL line:\n%s", code, out)
+	}
+	// The same slowdown passes with a looser gate.
+	if code, _, _ := runCheck(t, slow, "-compare", path, "-tolerance", "0.5"); code != 0 {
+		t.Error("50% tolerance still failed a 30% regression")
+	}
+	// An ungated benchmark may slow down freely.
+	slowSim := strings.Replace(sampleBench, "1100841 ns/op", "9900841 ns/op", 1)
+	if code, out, _ := runCheck(t, slowSim, "-compare", path); code != 0 {
+		t.Errorf("ungated slowdown failed:\n%s", out)
+	}
+}
+
+func TestCompareFailsOnAllocIncrease(t *testing.T) {
+	path := emitSample(t, sampleBench)
+	// One extra alloc in the ungated simulator benchmark: still fatal.
+	leaky := strings.Replace(sampleBench, "4826 allocs/op", "4827 allocs/op", 1)
+	code, out, _ := runCheck(t, leaky, "-compare", path)
+	if code != 1 || !strings.Contains(out, "allocs/op 4826 -> 4827") {
+		t.Errorf("exit %d:\n%s", code, out)
+	}
+	// The zero-alloc batch kernel gaining any allocation is fatal too.
+	batchLeak := strings.Replace(sampleBench,
+		"80312 ns/op	       0 B/op	       0 allocs/op",
+		"80312 ns/op	      64 B/op	       1 allocs/op", 1)
+	if code, _, _ := runCheck(t, batchLeak, "-compare", path); code != 1 {
+		t.Error("allocs/op 0 -> 1 passed")
+	}
+}
+
+func TestCompareToleratesNewAndMissing(t *testing.T) {
+	path := emitSample(t, sampleBench)
+	extra := sampleBench + "BenchmarkNewThing-4 100 5 ns/op 0 B/op 0 allocs/op\n"
+	code, out, _ := runCheck(t, extra, "-compare", path)
+	if code != 0 || !strings.Contains(out, "new") {
+		t.Errorf("new benchmark not tolerated (%d):\n%s", code, out)
+	}
+	fewer := strings.Replace(sampleBench, "BenchmarkSimulatePDF1D", "XBenchmarkSimulatePDF1D", 1)
+	code, out, _ = runCheck(t, fewer, "-compare", path)
+	if code != 0 || !strings.Contains(out, "missing") {
+		t.Errorf("missing benchmark not tolerated (%d):\n%s", code, out)
+	}
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := runCheck(t, sampleBench); code != 2 {
+		t.Error("no mode: want exit 2")
+	}
+	if code, _, _ := runCheck(t, sampleBench, "-emit", "a", "-compare", "b"); code != 2 {
+		t.Error("both modes: want exit 2")
+	}
+	if code, _, errOut := runCheck(t, "no benchmarks here\n", "-emit", filepath.Join(t.TempDir(), "x.json")); code != 1 ||
+		!strings.Contains(errOut, "no benchmark lines") {
+		t.Errorf("empty input: exit %d, %s", code, errOut)
+	}
+	if code, _, _ := runCheck(t, sampleBench, "-compare", "/nonexistent.json"); code != 1 {
+		t.Error("missing baseline: want exit 1")
+	}
+}

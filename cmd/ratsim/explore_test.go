@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func TestExploreTable(t *testing.T) {
+	code, out, errOut := runSim(t, "explore", "-case", "pdf1d",
+		"-clocks", "75,100,150", "-tp", "10,20,40", "-top", "5", "-frontier", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"explored 18 candidates", "top 5 by max-speedup", "Pareto frontier", "double-buffered", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreJSONL(t *testing.T) {
+	code, out, errOut := runSim(t, "explore", "-case", "md",
+		"-clocks", "75,150", "-buffering", "single", "-top", "3", "-jsonl", "-frontier")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var tops, fronts int
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		var rec jsonlCandidate
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		switch rec.Set {
+		case "top":
+			tops++
+		case "frontier":
+			fronts++
+		default:
+			t.Errorf("unknown set %q", rec.Set)
+		}
+		if rec.Speedup <= 0 || rec.Buffering != "single-buffered" {
+			t.Errorf("implausible record: %+v", rec)
+		}
+	}
+	if tops != 2 || fronts == 0 {
+		t.Errorf("got %d top and %d frontier records, want 2 and >0", tops, fronts)
+	}
+}
+
+func TestExploreMinCostWithConstraint(t *testing.T) {
+	code, out, errOut := runSim(t, "explore", "-case", "pdf1d",
+		"-clocks", "75,100,150", "-tp", "5,10,20", "-objective", "min-cost",
+		"-min-speedup", "7.8", "-buffering", "double", "-top", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "top 1 by min-cost") {
+		t.Errorf("missing min-cost header:\n%s", out)
+	}
+}
+
+func TestExploreWorksheetBase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ws.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := worksheet.EncodeJSON(f, paper.PDF2DParams()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	code, out, errOut := runSim(t, "explore", "-worksheet", path, "-clocks", "100,150", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"explored 4 candidates", "explore.candidates", "explore.shard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"explore", "-case", "fft"},
+		{"explore", "-clocks", "abc"},
+		{"explore", "-topology", "ring"},
+		{"explore", "-buffering", "triple"},
+		{"explore", "-objective", "fastest"},
+		{"explore", "-clocks", "100,100"}, // duplicate axis value
+		{"explore", "-devices", "0"},
+	}
+	for _, args := range cases {
+		code, _, errOut := runSim(t, args...)
+		if code != 2 || !strings.Contains(errOut, "usage") {
+			t.Errorf("%v: exit %d, stderr %q; want usage error (exit 2)", args, code, errOut)
+		}
+	}
+	if code, _, _ := runSim(t, "explore", "-worksheet", "/nonexistent/ws.json"); code != 1 {
+		t.Errorf("missing worksheet file: exit %d, want 1", code)
+	}
+}

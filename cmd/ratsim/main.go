@@ -10,6 +10,7 @@
 //	ratsim run -case pdf1d -faults crc=0.01,upset=0.001 -fault-seed 7 -fault-policy retries=5
 //	ratsim microbench [-platform nallatech] [-sizes 256,2048,262144]
 //	ratsim synth -elements 4096 -out 4096 -bytes 4 -iters 10 -cycles 20000 [-mhz 100] [-double] [-gantt]
+//	ratsim explore -case pdf1d -clocks 75,100,150 -tp 10,20,40 -alphas 0.16,0.37 -top 10 -frontier
 //
 // The -trace flag exports a Chrome trace_event JSON file loadable in
 // chrome://tracing or Perfetto; -events writes a JSONL event log;
@@ -66,6 +67,8 @@ func run(args []string, out, errOut io.Writer) int {
 		err = cmdMicrobench(args[1:], out)
 	case "synth":
 		err = cmdSynth(args[1:], out)
+	case "explore":
+		err = cmdExplore(args[1:], out)
 	case "-h", "-help", "--help", "help":
 		usage(out)
 	default:
@@ -89,6 +92,11 @@ func usage(w io.Writer) {
   ratsim run -case pdf1d|pdf2d|md [-mhz 150] [-double] [-gantt] [observability flags]
   ratsim microbench [-platform nallatech|xd1000] [-sizes 256,2048,262144]
   ratsim synth -elements N -out N -bytes N -iters N -cycles N [-mhz 100] [-double] [-devices N] [-gantt] [observability flags]
+  ratsim explore [-case pdf1d | -worksheet f.json] [-clocks 75,100,150] [-tp 10,20,40]
+                 [-alphas 0.16,0.37] [-blocks 512,2048] [-devices 1,2,4] [-topology shared|independent]
+                 [-buffering single|double|both] [-objective max-speedup|min-trc|min-cost]
+                 [-min-speedup X] [-max-trc S] [-max-util-comm F] [-max-devices N]
+                 [-top 10] [-workers 0] [-frontier] [-jsonl] [-metrics]
 
 observability flags (see docs/OBSERVABILITY.md):
   -trace out.json    export a Chrome trace-event file (chrome://tracing, Perfetto)

@@ -3,6 +3,10 @@
 // a filter kernel followed by a reduction — examined for block-size
 // and clock trade-offs before any hardware exists.
 //
+// Sweeps walk one axis at a time; to search SIX axes exhaustively
+// (clock x parallelism x alpha x block x devices x buffering) with a
+// top-K and a Pareto frontier, see examples/explore and rat.Explore.
+//
 // Run with: go run ./examples/sweep
 package main
 

@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// Batch evaluation of the throughput test. A design-space search calls
+// the forward prediction millions of times; the batch path amortizes
+// validation ahead of the arithmetic and writes every result into
+// caller-provided storage, so the steady state performs zero heap
+// allocations per evaluation. The per-candidate numbers are produced by
+// the same computation kernel as Predict and are bit-for-bit identical
+// to the scalar results.
+
+// PredictInto evaluates Eqs. (1)-(11) into *out without allocating.
+// It is Predict for callers that own the result storage (preallocated
+// slices, arena-style buffers). On a validation error *out is zeroed.
+func PredictInto(p Parameters, out *Prediction) error {
+	if err := p.Validate(); err != nil {
+		*out = Prediction{}
+		return err
+	}
+	predictInto(p, out)
+	return nil
+}
+
+// PredictBatch evaluates the throughput test for every parameter set in
+// ps, writing prediction i into out[i]. The output slice must be at
+// least as long as the input; extra entries are left untouched. All
+// parameter sets are validated up front — on the first failure the
+// error names the offending index and nothing is written — and then the
+// whole batch is computed with zero allocations. out[i] is bit-for-bit
+// identical to the result of Predict(ps[i]).
+func PredictBatch(ps []Parameters, out []Prediction) error {
+	if len(out) < len(ps) {
+		return fmt.Errorf("%w: output slice holds %d predictions for %d parameter sets",
+			ErrInvalidParameters, len(out), len(ps))
+	}
+	for i := range ps {
+		if err := ps[i].Validate(); err != nil {
+			return fmt.Errorf("batch index %d: %w", i, err)
+		}
+	}
+	for i := range ps {
+		predictInto(ps[i], &out[i])
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+// TestPredictIntoMatchesPredict: the in-place path is the scalar path.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(c)
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got core.Prediction
+		if err := core.PredictInto(p, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: PredictInto = %+v, want %+v", p.Name, got, want)
+		}
+	}
+}
+
+// TestPredictIntoZeroesOnError: failed validation must not leave stale
+// data in reused storage.
+func TestPredictIntoZeroesOnError(t *testing.T) {
+	var out core.Prediction
+	if err := core.PredictInto(paper.PDF1DParams(), &out); err != nil {
+		t.Fatal(err)
+	}
+	bad := paper.PDF1DParams()
+	bad.Comp.ClockHz = 0
+	if err := core.PredictInto(bad, &out); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Fatalf("err = %v, want ErrInvalidParameters", err)
+	}
+	if out != (core.Prediction{}) {
+		t.Errorf("failed PredictInto left stale prediction %+v", out)
+	}
+}
+
+// TestPredictBatchMatchesScalar: every batch cell is bit-for-bit the
+// scalar prediction, across all three paper case studies and a clock
+// sweep of each.
+func TestPredictBatchMatchesScalar(t *testing.T) {
+	var ps []core.Parameters
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		for _, hz := range paper.ClocksHz {
+			ps = append(ps, paper.Params(c).WithClock(hz))
+		}
+	}
+	out := make([]core.Prediction, len(ps))
+	if err := core.PredictBatch(ps, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		want := core.MustPredict(p)
+		if out[i] != want {
+			t.Errorf("batch[%d] (%s at %g MHz) = %+v, want %+v",
+				i, p.Name, p.Comp.ClockHz/1e6, out[i], want)
+		}
+	}
+}
+
+// TestPredictBatchValidation: short output slices and invalid members
+// are rejected up front, with the failing index named and no partial
+// writes.
+func TestPredictBatchValidation(t *testing.T) {
+	ps := []core.Parameters{paper.PDF1DParams(), paper.PDF2DParams()}
+	if err := core.PredictBatch(ps, make([]core.Prediction, 1)); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("short output: err = %v, want ErrInvalidParameters", err)
+	}
+
+	bad := paper.PDF2DParams()
+	bad.Comm.AlphaRead = 2
+	out := make([]core.Prediction, 2)
+	err := core.PredictBatch([]core.Parameters{paper.PDF1DParams(), bad}, out)
+	if !errors.Is(err, core.ErrInvalidParameters) {
+		t.Fatalf("err = %v, want ErrInvalidParameters", err)
+	}
+	if out[0] != (core.Prediction{}) {
+		t.Error("failed batch wrote partial results before the invalid index")
+	}
+
+	// Empty batches are fine.
+	if err := core.PredictBatch(nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestPredictBatchZeroAlloc: the steady-state batch path allocates
+// nothing per evaluation.
+func TestPredictBatchZeroAlloc(t *testing.T) {
+	ps := make([]core.Parameters, 64)
+	for i := range ps {
+		ps[i] = paper.PDF1DParams().WithClock(core.MHz(50 + float64(i)))
+	}
+	out := make([]core.Prediction, len(ps))
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := core.PredictBatch(ps, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatch allocates %.1f times per call, want 0", allocs)
+	}
+}

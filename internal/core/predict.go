@@ -72,8 +72,18 @@ func Predict(p Parameters) (Prediction, error) {
 	if err := p.Validate(); err != nil {
 		return Prediction{}, err
 	}
+	var pr Prediction
+	predictInto(p, &pr)
+	return pr, nil
+}
 
-	pr := Prediction{Params: p}
+// predictInto evaluates Eqs. (1)-(11) for already-validated parameters
+// into *pr. It is the shared computation kernel behind Predict, the
+// batch path and the sweeps; it performs no allocation, so hot loops
+// (a design-space search calls it millions of times) can evaluate into
+// caller-owned storage.
+func predictInto(p Parameters, pr *Prediction) {
+	pr.Params = p
 
 	// Eqs. (2)-(3): each direction sustains only the fraction alpha
 	// of the documented interconnect bandwidth.
@@ -93,6 +103,7 @@ func Predict(p Parameters) (Prediction, error) {
 	pr.TRCDouble = iters * math.Max(pr.TComm, pr.TComp)
 
 	// Eq. (7): speedup compares total application times.
+	pr.SpeedupSingle, pr.SpeedupDouble = 0, 0
 	if p.Soft.TSoft > 0 {
 		pr.SpeedupSingle = p.Soft.TSoft / pr.TRCSingle
 		pr.SpeedupDouble = p.Soft.TSoft / pr.TRCDouble
@@ -107,8 +118,6 @@ func Predict(p Parameters) (Prediction, error) {
 	mx := math.Max(pr.TComm, pr.TComp)
 	pr.UtilCompDB = pr.TComp / mx
 	pr.UtilCommDB = pr.TComm / mx
-
-	return pr, nil
 }
 
 // MustPredict is Predict for parameter sets known to be valid, such as

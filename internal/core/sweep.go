@@ -1,34 +1,78 @@
 package core
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
+
+// checkSweepValues rejects sweep-value lists that would silently
+// corrupt a study: NaN and infinite entries (which poison every
+// downstream comparison) and duplicates (which double-count a design
+// point in crossover scans and plots). The check allocates nothing;
+// sweeps are short enough that the quadratic duplicate scan is cheaper
+// than sorting a copy.
+func checkSweepValues(values []float64) error {
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return paramError("sweep value", "must be finite", v)
+		}
+		for j := 0; j < i; j++ {
+			if values[j] == v {
+				return paramError("sweep value", "is duplicated", v)
+			}
+		}
+	}
+	return nil
+}
 
 // SweepClock evaluates the prediction at each clock frequency in hz,
 // reproducing the paper's practice of bracketing an unknown routed
 // frequency with a range of plausible values (75/100/150 MHz in all
 // three case studies). Results are returned in the order given.
+//
+// The base worksheet is validated once; each point then only checks
+// the swept clock before evaluating in place, so a long sweep costs one
+// validation plus the arithmetic.
 func SweepClock(p Parameters, hz []float64) ([]Prediction, error) {
-	out := make([]Prediction, 0, len(hz))
-	for _, f := range hz {
-		pr, err := Predict(p.WithClock(f))
-		if err != nil {
-			return nil, err
+	if err := checkSweepValues(hz); err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(hz))
+	if len(hz) == 0 {
+		return out, nil
+	}
+	if err := p.WithClock(hz[0]).Validate(); err != nil {
+		return nil, err
+	}
+	for i, f := range hz {
+		if !(f > 0) || math.IsInf(f, 0) {
+			return nil, paramError("Comp.ClockHz", "must be positive and finite", f)
 		}
-		out = append(out, pr)
+		predictInto(p.WithClock(f), &out[i])
 	}
 	return out, nil
 }
 
 // SweepThroughputProc evaluates the prediction at each sustained
 // ops/cycle value, the natural axis for exploring how much parallelism
-// a design needs.
+// a design needs. Like SweepClock it validates the base worksheet once
+// and only checks the swept field per point.
 func SweepThroughputProc(p Parameters, ops []float64) ([]Prediction, error) {
-	out := make([]Prediction, 0, len(ops))
-	for _, v := range ops {
-		pr, err := Predict(p.WithThroughputProc(v))
-		if err != nil {
-			return nil, err
+	if err := checkSweepValues(ops); err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(ops))
+	if len(ops) == 0 {
+		return out, nil
+	}
+	if err := p.WithThroughputProc(ops[0]).Validate(); err != nil {
+		return nil, err
+	}
+	for i, v := range ops {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, paramError("Comp.ThroughputProc", "must be positive and finite", v)
 		}
-		out = append(out, pr)
+		predictInto(p.WithThroughputProc(v), &out[i])
 	}
 	return out, nil
 }
@@ -36,15 +80,21 @@ func SweepThroughputProc(p Parameters, ops []float64) ([]Prediction, error) {
 // Sweep evaluates the prediction for each value in values after
 // applying mutate to a copy of the base parameters. It generalizes the
 // fixed-axis sweeps to any single-parameter study (block size, alpha,
-// bytes per element, ...).
+// bytes per element, ...). The sweep values are checked once up front
+// (finite, no duplicates); because mutate may rewrite any field, each
+// mutated worksheet is still validated, but evaluation writes into the
+// preallocated result in place.
 func Sweep(p Parameters, values []float64, mutate func(Parameters, float64) Parameters) ([]Prediction, error) {
-	out := make([]Prediction, 0, len(values))
-	for _, v := range values {
-		pr, err := Predict(mutate(p, v))
-		if err != nil {
+	if err := checkSweepValues(values); err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(values))
+	for i, v := range values {
+		q := mutate(p, v)
+		if err := q.Validate(); err != nil {
 			return nil, err
 		}
-		out = append(out, pr)
+		predictInto(q, &out[i])
 	}
 	return out, nil
 }
@@ -75,13 +125,17 @@ func FindCrossover(points []SweepPoint) ([2]SweepPoint, bool) {
 // SweepPoints runs Sweep and pairs each prediction with its input
 // value, ready for FindCrossover or plotting.
 func SweepPoints(p Parameters, values []float64, mutate func(Parameters, float64) Parameters) ([]SweepPoint, error) {
-	prs, err := Sweep(p, values, mutate)
-	if err != nil {
+	if err := checkSweepValues(values); err != nil {
 		return nil, err
 	}
-	pts := make([]SweepPoint, len(prs))
-	for i, pr := range prs {
-		pts[i] = SweepPoint{Value: values[i], Prediction: pr}
+	pts := make([]SweepPoint, len(values))
+	for i, v := range values {
+		q := mutate(p, v)
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		pts[i].Value = v
+		predictInto(q, &pts[i].Prediction)
 	}
 	return pts, nil
 }

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+)
+
+// TestSweepRejectsBadValues: every sweep helper refuses NaN, infinite
+// and duplicate sweep values with a wrapped ErrInvalidParameters, the
+// fix for sweeps silently double-counting a design point.
+func TestSweepRejectsBadValues(t *testing.T) {
+	p := paper.PDF1DParams()
+	ident := func(q core.Parameters, v float64) core.Parameters { return q.WithClock(core.MHz(v)) }
+
+	cases := []struct {
+		name   string
+		values []float64
+		ok     bool
+	}{
+		{"distinct", []float64{75, 100, 150}, true},
+		{"single", []float64{100}, true},
+		{"empty", nil, true},
+		{"duplicate", []float64{75, 100, 75}, false},
+		{"adjacent duplicate", []float64{100, 100}, false},
+		{"nan", []float64{75, math.NaN()}, false},
+		{"positive inf", []float64{math.Inf(1)}, false},
+		{"negative inf", []float64{math.Inf(-1), 100}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := map[string]func() error{
+				"Sweep": func() error { _, err := core.Sweep(p, tc.values, ident); return err },
+				"SweepPoints": func() error {
+					_, err := core.SweepPoints(p, tc.values, ident)
+					return err
+				},
+				"SweepClock": func() error {
+					mhz := make([]float64, len(tc.values))
+					for i, v := range tc.values {
+						mhz[i] = core.MHz(v)
+					}
+					_, err := core.SweepClock(p, mhz)
+					return err
+				},
+				"SweepThroughputProc": func() error {
+					_, err := core.SweepThroughputProc(p, tc.values)
+					return err
+				},
+			}
+			for name, run := range runs {
+				err := run()
+				if tc.ok && err != nil {
+					t.Errorf("%s(%v) = %v, want nil", name, tc.values, err)
+				}
+				if !tc.ok && !errors.Is(err, core.ErrInvalidParameters) {
+					t.Errorf("%s(%v) = %v, want wrapped ErrInvalidParameters", name, tc.values, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepMatchesScalarPredict: the validated-base fast path produces
+// bit-for-bit the scalar predictions.
+func TestSweepMatchesScalarPredict(t *testing.T) {
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(c)
+		prs, err := core.SweepClock(p, paper.ClocksHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, hz := range paper.ClocksHz {
+			want := core.MustPredict(p.WithClock(hz))
+			if prs[i] != want {
+				t.Errorf("%s: SweepClock[%d] != Predict at %g MHz", p.Name, i, hz/1e6)
+			}
+		}
+		ops := []float64{1, 4, 16, 64}
+		tps, err := core.SweepThroughputProc(p, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range ops {
+			if want := core.MustPredict(p.WithThroughputProc(v)); tps[i] != want {
+				t.Errorf("%s: SweepThroughputProc[%d] != Predict at %g ops/cycle", p.Name, i, v)
+			}
+		}
+	}
+}
+
+// TestSweepStillValidatesMutations: the fast path must not skip
+// validation of what a mutation actually changed.
+func TestSweepStillValidatesMutations(t *testing.T) {
+	p := paper.PDF1DParams()
+	_, err := core.Sweep(p, []float64{1, 2}, func(q core.Parameters, v float64) core.Parameters {
+		q.Comm.AlphaWrite = v // 2 is out of (0, 1]
+		return q
+	})
+	if !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("Sweep accepted an invalid mutation: %v", err)
+	}
+	if _, err := core.SweepClock(p, []float64{core.MHz(100), -5}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("SweepClock accepted a negative clock: %v", err)
+	}
+	if _, err := core.SweepThroughputProc(p, []float64{4, 0}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("SweepThroughputProc accepted a zero rate: %v", err)
+	}
+}
+
+// TestSweepBaseValidatedOnce: an invalid base field that the sweep
+// does not touch is reported once, up front.
+func TestSweepBaseValidatedOnce(t *testing.T) {
+	bad := paper.PDF1DParams()
+	bad.Dataset.ElementsIn = 0
+	if _, err := core.SweepClock(bad, []float64{core.MHz(100)}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("SweepClock ran with an invalid base: %v", err)
+	}
+	if _, err := core.SweepThroughputProc(bad, []float64{8}); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("SweepThroughputProc ran with an invalid base: %v", err)
+	}
+}

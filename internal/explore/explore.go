@@ -1,0 +1,384 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// Candidate is one evaluated design point: the axis values that define
+// it plus the throughput-test numbers under its buffering discipline.
+// Index is the candidate's stable position in the grid enumeration;
+// Grid.At(Index) reconstructs the full worksheet.
+type Candidate struct {
+	Index uint64
+
+	// Design knobs.
+	ClockHz        float64
+	ThroughputProc float64
+	AlphaWrite     float64
+	AlphaRead      float64
+	ElementsIn     int64
+	ElementsOut    int64
+	Iterations     int64
+	Devices        int
+	Buffering      core.Buffering
+
+	// Predicted numbers (per-iteration times in seconds; TRC is
+	// end-to-end under the candidate's buffering discipline).
+	TComm    float64
+	TComp    float64
+	TRC      float64
+	Speedup  float64
+	UtilComm float64
+	UtilComp float64
+}
+
+// Objective selects what "best" means for the top-K ranking. Every
+// objective is a total order (candidate index breaks ties), so the
+// ranking is deterministic for any worker count.
+type Objective int
+
+const (
+	// MaxSpeedup ranks by predicted speedup, descending (default).
+	MaxSpeedup Objective = iota
+	// MinTRC ranks by end-to-end RC execution time, ascending.
+	MinTRC
+	// MinCost ranks by implementation cost, ascending: fewest
+	// devices, then lowest sustained ops/cycle, then lowest clock,
+	// then single- before double-buffered. Combined with a
+	// MinSpeedup constraint it answers "what is the cheapest
+	// configuration that still meets the target?".
+	MinCost
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MaxSpeedup:
+		return "max-speedup"
+	case MinTRC:
+		return "min-trc"
+	case MinCost:
+		return "min-cost"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective converts an objective's String form back.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "max-speedup":
+		return MaxSpeedup, nil
+	case "min-trc":
+		return MinTRC, nil
+	case "min-cost":
+		return MinCost, nil
+	}
+	return 0, fmt.Errorf("unknown objective %q (want max-speedup, min-trc or min-cost)", s)
+}
+
+// better reports whether a should rank above b under the objective.
+// It is a strict total order: for a != b exactly one of better(a, b)
+// and better(b, a) holds, because distinct candidates have distinct
+// indices.
+func (o Objective) better(a, b *Candidate) bool {
+	switch o {
+	case MinTRC:
+		if a.TRC != b.TRC {
+			return a.TRC < b.TRC
+		}
+	case MinCost:
+		if a.Devices != b.Devices {
+			return a.Devices < b.Devices
+		}
+		if a.ThroughputProc != b.ThroughputProc {
+			return a.ThroughputProc < b.ThroughputProc
+		}
+		if a.ClockHz != b.ClockHz {
+			return a.ClockHz < b.ClockHz
+		}
+		if a.Buffering != b.Buffering {
+			return a.Buffering < b.Buffering
+		}
+	default: // MaxSpeedup
+		if a.Speedup != b.Speedup {
+			return a.Speedup > b.Speedup
+		}
+	}
+	return a.Index < b.Index
+}
+
+// Constraints restrict which candidates count as feasible. Zero values
+// leave a bound unset.
+type Constraints struct {
+	// MinSpeedup is the smallest acceptable predicted speedup.
+	MinSpeedup float64
+	// MaxTRC is the largest acceptable end-to-end RC time in seconds.
+	MaxTRC float64
+	// MaxUtilComm is the largest acceptable communication
+	// utilization, for screening out interconnect-bound designs.
+	MaxUtilComm float64
+	// MaxDevices caps the FPGA count.
+	MaxDevices int
+}
+
+// feasible reports whether c satisfies every set bound.
+func (cs Constraints) feasible(c *Candidate) bool {
+	if cs.MinSpeedup > 0 && c.Speedup < cs.MinSpeedup {
+		return false
+	}
+	if cs.MaxTRC > 0 && c.TRC > cs.MaxTRC {
+		return false
+	}
+	if cs.MaxUtilComm > 0 && c.UtilComm > cs.MaxUtilComm {
+		return false
+	}
+	if cs.MaxDevices > 0 && c.Devices > cs.MaxDevices {
+		return false
+	}
+	return true
+}
+
+// Options configure a Run.
+type Options struct {
+	// Workers is the worker-pool size; values below 1 use
+	// runtime.NumCPU(). The result is identical for any value.
+	Workers int
+	// TopK is how many best candidates to keep (default 10).
+	TopK int
+	// Objective ranks the top-K (default MaxSpeedup).
+	Objective Objective
+	// Constraints filter candidates before ranking.
+	Constraints Constraints
+	// Metrics, when non-nil, receives engine telemetry:
+	// explore.candidates and explore.feasible counters, the
+	// explore.shard timer, and explore.candidates_per_sec and
+	// explore.topk_churn gauges.
+	Metrics *telemetry.Registry
+}
+
+// Result is the outcome of exploring a grid.
+type Result struct {
+	// Evaluated is the total candidate count (the grid size).
+	Evaluated uint64
+	// Feasible is how many candidates satisfied the constraints.
+	Feasible uint64
+	// Top holds the best feasible candidates, best first, at most
+	// TopK of them.
+	Top []Candidate
+	// Frontier is the Pareto frontier of the feasible set —
+	// candidates not dominated on (speedup up, computation
+	// utilization up, device count down) — sorted by Index.
+	Frontier []Candidate
+	// Workers is the worker count actually used.
+	Workers int
+	// Elapsed is the wall-clock exploration time.
+	Elapsed time.Duration
+	// CandidatesPerSec is Evaluated divided by Elapsed.
+	CandidatesPerSec float64
+}
+
+// shardsPerWorker oversubscribes the shard count so a slow worker
+// (preempted core, NUMA effects) cannot stall the run: fast workers
+// steal the remaining shards from the shared counter.
+const shardsPerWorker = 4
+
+// Run explores the grid: it evaluates every candidate through the
+// memoized batch kernel, in parallel across a sharded worker pool, and
+// streams the results into a top-K selection and a Pareto frontier.
+// Memory use is O(workers x (TopK + frontier)) regardless of grid
+// size, and the returned Result is byte-identical for any worker
+// count.
+func Run(g Grid, opts Options) (Result, error) {
+	c, err := g.compile()
+	if err != nil {
+		return Result{}, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if uint64(workers) > c.size {
+		workers = int(c.size)
+	}
+	k := opts.TopK
+	if k <= 0 {
+		k = 10
+	}
+
+	numShards := uint64(workers * shardsPerWorker)
+	shardSize := (c.size + numShards - 1) / numShards
+
+	var (
+		next       atomic.Uint64
+		shardTimer *telemetry.Timer
+	)
+	if opts.Metrics != nil {
+		shardTimer = opts.Metrics.Timer("explore.shard")
+	}
+
+	states := make([]workerState, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(st *workerState) {
+			defer wg.Done()
+			st.top.init(k, opts.Objective)
+			for {
+				s := next.Add(1) - 1
+				if s >= numShards {
+					return
+				}
+				lo := s * shardSize
+				hi := lo + shardSize
+				if hi > c.size {
+					hi = c.size
+				}
+				if lo >= hi {
+					continue
+				}
+				shardStart := time.Now()
+				st.evalShard(c, opts.Constraints, lo, hi)
+				if shardTimer != nil {
+					shardTimer.Observe(time.Since(shardStart))
+				}
+			}
+		}(&states[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Deterministic merge: per-worker results depend only on which
+	// candidates each worker saw, and the global sort erases that
+	// partitioning.
+	res := Result{Evaluated: c.size, Workers: workers, Elapsed: elapsed}
+	var merged []Candidate
+	var churn int64
+	for i := range states {
+		st := &states[i]
+		res.Feasible += st.feasible
+		churn += st.top.churn
+		merged = append(merged, st.top.items...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return opts.Objective.better(&merged[i], &merged[j]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	res.Top = merged
+	res.Frontier = mergeFrontiers(states)
+
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.CandidatesPerSec = float64(res.Evaluated) / secs
+	}
+	if m := opts.Metrics; m != nil {
+		m.Counter("explore.candidates").Add(int64(res.Evaluated))
+		m.Counter("explore.feasible").Add(int64(res.Feasible))
+		m.Gauge("explore.candidates_per_sec").Set(res.CandidatesPerSec)
+		m.Gauge("explore.topk_churn").Set(float64(churn))
+	}
+	return res, nil
+}
+
+// workerState is one worker's private accumulation. Workers share only
+// the compiled grid (read-only) and the shard counter, so the hot loop
+// runs without locks or allocation.
+type workerState struct {
+	top      topK
+	front    []Candidate
+	feasible uint64
+}
+
+// evalShard evaluates candidates [lo, hi) of the compiled grid. The
+// arithmetic reproduces core.Predict / core.PredictMulti expression by
+// expression (memoized where the sub-term is axis-invariant), so every
+// candidate's numbers are bit-for-bit the scalar results.
+func (st *workerState) evalShard(c *compiled, cons Constraints, lo, hi uint64) {
+	na, nd, nu, nc, nt := len(c.alphas), len(c.devs), len(c.bufs), len(c.clocks), len(c.tps)
+	var cand Candidate
+	for idx := lo; idx < hi; idx++ {
+		rem := idx
+		ti := int(rem % uint64(nt))
+		rem /= uint64(nt)
+		ci := int(rem % uint64(nc))
+		rem /= uint64(nc)
+		ui := int(rem % uint64(nu))
+		rem /= uint64(nu)
+		di := int(rem % uint64(nd))
+		rem /= uint64(nd)
+		ai := int(rem % uint64(na))
+		bi := int(rem / uint64(na))
+
+		b := &c.blocks[bi]
+		// Eqs. 1-3, memoized per (block, alpha). TComm is read +
+		// write in that order, matching core.Predict.
+		tComm := c.tRead[bi*na+ai] + c.tWrite[bi*na+ai]
+		// Eq. 4, numerator per block, denominator memoized per
+		// (clock, throughput_proc).
+		tComp := b.opsCoeff / c.denom[ci*nt+ti]
+		// Multi-FPGA extension (core.PredictMulti): computation
+		// always divides by N, communication only on independent
+		// channels. N == 1 divides by 1.0, which is exact, so the
+		// single-device numbers equal core.Predict's.
+		n := float64(c.devs[di])
+		tComp = tComp / n
+		if c.topo == core.IndependentChannels {
+			tComm = tComm / n
+		}
+		iters := float64(b.iters)
+		var trc float64
+		if c.bufs[ui] == core.DoubleBuffered {
+			trc = iters * math.Max(tComm, tComp)
+		} else {
+			trc = iters * (tComm + tComp)
+		}
+		speedup := 0.0
+		if c.base.Soft.TSoft > 0 {
+			speedup = c.base.Soft.TSoft / trc
+		}
+		var utilComp, utilComm float64
+		if c.bufs[ui] == core.DoubleBuffered {
+			mx := math.Max(tComm, tComp)
+			utilComp = tComp / mx
+			utilComm = tComm / mx
+		} else {
+			sum := tComm + tComp
+			utilComp = tComp / sum
+			utilComm = tComm / sum
+		}
+
+		cand = Candidate{
+			Index:          idx,
+			ClockHz:        c.clocks[ci],
+			ThroughputProc: c.tps[ti],
+			AlphaWrite:     c.alphas[ai].write,
+			AlphaRead:      c.alphas[ai].read,
+			ElementsIn:     b.elemsIn,
+			ElementsOut:    b.elemsOut,
+			Iterations:     b.iters,
+			Devices:        c.devs[di],
+			Buffering:      c.bufs[ui],
+			TComm:          tComm,
+			TComp:          tComp,
+			TRC:            trc,
+			Speedup:        speedup,
+			UtilComm:       utilComm,
+			UtilComp:       utilComp,
+		}
+		if !cons.feasible(&cand) {
+			continue
+		}
+		st.feasible++
+		st.top.offer(&cand)
+		st.front = insertFrontier(st.front, &cand)
+	}
+}

@@ -1,0 +1,373 @@
+package explore_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// testGrid is a small six-dimensional grid around the 1-D PDF study:
+// 3 clocks x 3 tp x 2 alphas x 2 blocks x 2 devices x 2 bufferings =
+// 144 candidates.
+func testGrid() explore.Grid {
+	return explore.Grid{
+		Base:            paper.PDF1DParams(),
+		Clocks:          paper.ClocksHz,
+		ThroughputProcs: []float64{10, 20, 40},
+		Alphas:          []float64{0.16, 0.37},
+		BlockSizes:      []int64{512, 2048},
+		Devices:         []int{1, 4},
+		Topology:        core.IndependentChannels,
+	}
+}
+
+// TestGridSizeAndAt: the grid enumerates the full Cartesian product and
+// At round-trips every index into a valid worksheet.
+func TestGridSizeAndAt(t *testing.T) {
+	g := testGrid()
+	want := uint64(3 * 3 * 2 * 2 * 2 * 2)
+	if got := g.Size(); got != want {
+		t.Fatalf("Size() = %d, want %d", got, want)
+	}
+	seen := map[[8]float64]bool{}
+	for i := uint64(0); i < want; i++ {
+		p, mc, buf, err := g.At(i)
+		if err != nil {
+			t.Fatalf("At(%d): %v", i, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("At(%d) produced invalid worksheet: %v", i, err)
+		}
+		key := [8]float64{p.Comp.ClockHz, p.Comp.ThroughputProc, p.Comm.AlphaWrite,
+			float64(p.Dataset.ElementsIn), float64(p.Soft.Iterations),
+			float64(mc.Devices), float64(mc.Topology), float64(buf)}
+		if seen[key] {
+			t.Fatalf("At(%d) repeats a design point: %+v", i, key)
+		}
+		seen[key] = true
+	}
+	if _, _, _, err := g.At(want); !errors.Is(err, core.ErrInvalidParameters) {
+		t.Errorf("At(size) = %v, want out-of-range error", err)
+	}
+}
+
+// TestGridConservesWork: resizing the buffered block rescales the
+// iteration count so the total element count is conserved (to ceiling
+// granularity).
+func TestGridConservesWork(t *testing.T) {
+	g := explore.Grid{Base: paper.PDF1DParams(), BlockSizes: []int64{256, 512, 1024, 4096}}
+	base := g.Base
+	total := base.Dataset.ElementsIn * base.Soft.Iterations
+	for i := uint64(0); i < g.Size(); i++ {
+		p, _, _, err := g.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := p.Dataset.ElementsIn * p.Soft.Iterations
+		if covered < total || covered-total >= p.Dataset.ElementsIn {
+			t.Errorf("block %d covers %d elements, want ceil to >= %d", p.Dataset.ElementsIn, covered, total)
+		}
+	}
+}
+
+// TestGridValidation: malformed grids are rejected with wrapped
+// ErrInvalidParameters.
+func TestGridValidation(t *testing.T) {
+	base := paper.PDF1DParams()
+	bad := base
+	bad.Comp.ClockHz = 0
+	cases := map[string]explore.Grid{
+		"invalid base":      {Base: bad},
+		"duplicate clock":   {Base: base, Clocks: []float64{1e8, 1e8}},
+		"nan clock":         {Base: base, Clocks: []float64{math.NaN()}},
+		"negative clock":    {Base: base, Clocks: []float64{-1}},
+		"zero tp":           {Base: base, ThroughputProcs: []float64{0}},
+		"alpha above 1":     {Base: base, Alphas: []float64{1.5}},
+		"duplicate alpha":   {Base: base, Alphas: []float64{0.5, 0.5}},
+		"zero block":        {Base: base, BlockSizes: []int64{0}},
+		"duplicate block":   {Base: base, BlockSizes: []int64{64, 64}},
+		"zero devices":      {Base: base, Devices: []int{0}},
+		"duplicate devices": {Base: base, Devices: []int{2, 2}},
+		"bad topology":      {Base: base, Topology: core.Topology(9)},
+		"bad buffering":     {Base: base, Bufferings: []core.Buffering{core.Buffering(7)}},
+		"duplicate buffering": {Base: base,
+			Bufferings: []core.Buffering{core.SingleBuffered, core.SingleBuffered}},
+	}
+	for name, g := range cases {
+		if err := g.Validate(); !errors.Is(err, core.ErrInvalidParameters) {
+			t.Errorf("%s: Validate() = %v, want wrapped ErrInvalidParameters", name, err)
+		}
+		if g.Size() != 0 {
+			t.Errorf("%s: Size() = %d on invalid grid, want 0", name, g.Size())
+		}
+		if _, err := explore.Run(g, explore.Options{Workers: 1}); !errors.Is(err, core.ErrInvalidParameters) {
+			t.Errorf("%s: Run() = %v, want wrapped ErrInvalidParameters", name, err)
+		}
+	}
+}
+
+// TestExploreMatchesScalarPredict: every candidate's numbers are
+// bit-for-bit the scalar core.Predict / core.PredictMulti results for
+// the worksheet Grid.At materializes — across all three paper case
+// studies.
+func TestExploreMatchesScalarPredict(t *testing.T) {
+	for _, cs := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		g := testGrid()
+		g.Base = paper.Params(cs)
+		res, err := explore.Run(g, explore.Options{Workers: 2, TopK: int(g.Size())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Evaluated != g.Size() || uint64(len(res.Top)) != g.Size() {
+			t.Fatalf("%s: evaluated %d, kept %d, want %d", cs, res.Evaluated, len(res.Top), g.Size())
+		}
+		for _, c := range res.Top {
+			p, mc, buf, err := g.At(c.Index)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := core.PredictMulti(p, mc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTRC, wantSp := mp.TRCSingle, mp.SpeedupSingle
+			if buf == core.DoubleBuffered {
+				wantTRC, wantSp = mp.TRCDouble, mp.SpeedupDouble
+			}
+			if c.TComm != mp.TComm || c.TComp != mp.TComp || c.TRC != wantTRC || c.Speedup != wantSp {
+				t.Errorf("%s candidate %d: engine (%v %v %v %v) != scalar (%v %v %v %v)",
+					cs, c.Index, c.TComm, c.TComp, c.TRC, c.Speedup,
+					mp.TComm, mp.TComp, wantTRC, wantSp)
+			}
+			if mc.Devices == 1 {
+				pr := core.MustPredict(p)
+				wantUC, wantUM := pr.UtilComp(buf), pr.UtilComm(buf)
+				if c.UtilComp != wantUC || c.UtilComm != wantUM {
+					t.Errorf("%s candidate %d: utils (%v %v) != scalar (%v %v)",
+						cs, c.Index, c.UtilComp, c.UtilComm, wantUC, wantUM)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreDeterministicAcrossWorkers: the full Result — top-K order,
+// frontier, counts — is identical for 1, 2, 3, 7 and 16 workers.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	g := testGrid()
+	for _, obj := range []explore.Objective{explore.MaxSpeedup, explore.MinTRC, explore.MinCost} {
+		opts := explore.Options{Workers: 1, TopK: 12, Objective: obj,
+			Constraints: explore.Constraints{MinSpeedup: 1}}
+		want, err := explore.Run(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 7, 16} {
+			opts.Workers = w
+			got, err := explore.Run(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Top, want.Top) {
+				t.Errorf("%v: top-K with %d workers differs from 1 worker", obj, w)
+			}
+			if !reflect.DeepEqual(got.Frontier, want.Frontier) {
+				t.Errorf("%v: frontier with %d workers differs from 1 worker", obj, w)
+			}
+			if got.Evaluated != want.Evaluated || got.Feasible != want.Feasible {
+				t.Errorf("%v: counts with %d workers: (%d, %d) != (%d, %d)",
+					obj, w, got.Evaluated, got.Feasible, want.Evaluated, want.Feasible)
+			}
+		}
+	}
+}
+
+// TestExploreTopKOrdering: Top is sorted best-first under the objective
+// and is exactly the K global best (cross-checked against a full sort).
+func TestExploreTopKOrdering(t *testing.T) {
+	g := testGrid()
+	full, err := explore.Run(g, explore.Options{Workers: 3, TopK: int(g.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 7
+	res, err := explore.Run(g, explore.Options{Workers: 3, TopK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != k {
+		t.Fatalf("len(Top) = %d, want %d", len(res.Top), k)
+	}
+	if !reflect.DeepEqual(res.Top, full.Top[:k]) {
+		t.Error("streaming top-K differs from the prefix of the full sort")
+	}
+	for i := 1; i < len(res.Top); i++ {
+		if res.Top[i-1].Speedup < res.Top[i].Speedup {
+			t.Errorf("Top[%d].Speedup %v < Top[%d].Speedup %v", i-1, res.Top[i-1].Speedup, i, res.Top[i].Speedup)
+		}
+	}
+}
+
+// TestExploreConstraints: infeasible candidates are excluded from the
+// ranking, the frontier and the feasible count.
+func TestExploreConstraints(t *testing.T) {
+	g := testGrid()
+	cons := explore.Constraints{MinSpeedup: 5, MaxDevices: 1, MaxUtilComm: 0.5}
+	res, err := explore.Run(g, explore.Options{Workers: 2, TopK: 1000, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible == 0 || res.Feasible >= res.Evaluated {
+		t.Fatalf("Feasible = %d of %d, want a strict subset", res.Feasible, res.Evaluated)
+	}
+	if uint64(len(res.Top)) != res.Feasible {
+		t.Errorf("len(Top) = %d, want all %d feasible", len(res.Top), res.Feasible)
+	}
+	for _, c := range append(append([]explore.Candidate{}, res.Top...), res.Frontier...) {
+		if c.Speedup < 5 || c.Devices > 1 || c.UtilComm > 0.5 {
+			t.Errorf("infeasible candidate survived: %+v", c)
+		}
+	}
+}
+
+// TestExploreMinCost: with a speedup floor, MinCost surfaces the
+// cheapest configuration that still meets the target.
+func TestExploreMinCost(t *testing.T) {
+	g := testGrid()
+	res, err := explore.Run(g, explore.Options{
+		Workers: 2, TopK: 1,
+		Objective:   explore.MinCost,
+		Constraints: explore.Constraints{MinSpeedup: 7.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != 1 {
+		t.Fatalf("no feasible candidate for the target speedup")
+	}
+	best := res.Top[0]
+	if best.Speedup < 7.8 {
+		t.Fatalf("winner misses the speedup floor: %+v", best)
+	}
+	// No feasible candidate may be strictly cheaper.
+	full, err := explore.Run(g, explore.Options{
+		Workers: 1, TopK: int(g.Size()),
+		Constraints: explore.Constraints{MinSpeedup: 7.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range full.Top {
+		if c.Devices < best.Devices {
+			t.Errorf("cheaper feasible candidate exists: %+v", c)
+		}
+	}
+}
+
+// TestFrontier: every frontier member is non-dominated, every
+// non-member is dominated by some member, and the standalone Frontier
+// function agrees with the engine's streaming construction.
+func TestFrontier(t *testing.T) {
+	g := testGrid()
+	res, err := explore.Run(g, explore.Options{Workers: 4, TopK: int(g.Size())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominates := func(a, b explore.Candidate) bool {
+		if a.Speedup < b.Speedup || a.UtilComp < b.UtilComp || a.Devices > b.Devices {
+			return false
+		}
+		return a.Speedup > b.Speedup || a.UtilComp > b.UtilComp || a.Devices < b.Devices
+	}
+	inFront := map[uint64]bool{}
+	for _, f := range res.Frontier {
+		inFront[f.Index] = true
+		for _, o := range res.Top {
+			if dominates(o, f) {
+				t.Errorf("frontier member %d is dominated by %d", f.Index, o.Index)
+			}
+		}
+	}
+	for _, c := range res.Top {
+		if inFront[c.Index] {
+			continue
+		}
+		dominated := false
+		for _, f := range res.Frontier {
+			if dominates(f, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("non-frontier candidate %d is not dominated by any frontier member", c.Index)
+		}
+	}
+	if got := explore.Frontier(res.Top); !reflect.DeepEqual(got, res.Frontier) {
+		t.Error("Frontier(all candidates) differs from the engine's streaming frontier")
+	}
+}
+
+// TestExploreEmptyAxesSingleCandidate: the zero grid is the base
+// worksheet under both bufferings.
+func TestExploreEmptyAxesSingleCandidate(t *testing.T) {
+	g := explore.Grid{Base: paper.MDParams()}
+	res, err := explore.Run(g, explore.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 || len(res.Top) != 2 {
+		t.Fatalf("zero grid evaluated %d candidates, want 2 (both bufferings)", res.Evaluated)
+	}
+	pr := core.MustPredict(paper.MDParams())
+	for _, c := range res.Top {
+		want := pr.SpeedupSingle
+		if c.Buffering == core.DoubleBuffered {
+			want = pr.SpeedupDouble
+		}
+		if c.Speedup != want {
+			t.Errorf("%v speedup = %v, want %v", c.Buffering, c.Speedup, want)
+		}
+	}
+}
+
+// TestExploreTelemetry: the engine reports its counters and gauges.
+func TestExploreTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := testGrid()
+	res, err := explore.Run(g, explore.Options{Workers: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("explore.candidates").Value(); got != int64(res.Evaluated) {
+		t.Errorf("explore.candidates = %d, want %d", got, res.Evaluated)
+	}
+	if got := reg.Counter("explore.feasible").Value(); got != int64(res.Feasible) {
+		t.Errorf("explore.feasible = %d, want %d", got, res.Feasible)
+	}
+	if reg.Gauge("explore.candidates_per_sec").Value() <= 0 {
+		t.Error("explore.candidates_per_sec not set")
+	}
+	if reg.Timer("explore.shard").Stats().Count == 0 {
+		t.Error("explore.shard timer never observed")
+	}
+}
+
+// TestParseObjective round-trips every objective.
+func TestParseObjective(t *testing.T) {
+	for _, o := range []explore.Objective{explore.MaxSpeedup, explore.MinTRC, explore.MinCost} {
+		got, err := explore.ParseObjective(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseObjective(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := explore.ParseObjective("fastest"); err == nil {
+		t.Error("ParseObjective accepted an unknown objective")
+	}
+}

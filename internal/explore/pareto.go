@@ -1,0 +1,65 @@
+package explore
+
+import "sort"
+
+// Pareto-frontier extraction over the three-way trade-off the paper's
+// design-space discussion turns on: predicted speedup (up), computation
+// utilization (up — idle compute is wasted fabric), and device count
+// (down — hardware is the cost axis). A candidate is on the frontier
+// when no other feasible candidate is at least as good on all three
+// axes and strictly better on one. Candidates with identical objective
+// vectors are all kept, so the frontier is a pure function of the
+// feasible set and independent of evaluation order.
+
+// dominates reports whether a dominates b: no worse on every axis,
+// strictly better on at least one.
+func dominates(a, b *Candidate) bool {
+	if a.Speedup < b.Speedup || a.UtilComp < b.UtilComp || a.Devices > b.Devices {
+		return false
+	}
+	return a.Speedup > b.Speedup || a.UtilComp > b.UtilComp || a.Devices < b.Devices
+}
+
+// insertFrontier folds c into a running frontier: drop c if dominated,
+// otherwise evict everything c dominates and keep it. The front stays
+// small in practice (it is bounded by the number of distinct
+// non-dominated objective vectors), so the quadratic worst case is
+// irrelevant next to the grid evaluation.
+func insertFrontier(front []Candidate, c *Candidate) []Candidate {
+	w := 0
+	for i := range front {
+		if dominates(&front[i], c) {
+			return front // c is dominated; front unchanged
+		}
+		if !dominates(c, &front[i]) {
+			front[w] = front[i]
+			w++
+		}
+	}
+	return append(front[:w], *c)
+}
+
+// mergeFrontiers combines per-worker frontiers into the global one.
+// Each worker's front is non-dominated within its own candidates; one
+// more pass against the union removes cross-worker dominations. The
+// result is sorted by candidate index, which makes it independent of
+// worker count and shard order.
+func mergeFrontiers(states []workerState) []Candidate {
+	var all []Candidate
+	for i := range states {
+		all = append(all, states[i].front...)
+	}
+	return Frontier(all)
+}
+
+// Frontier returns the Pareto-optimal subset of cands on the
+// (speedup, computation utilization, device count) trade-off, sorted
+// by candidate index. The input is not modified.
+func Frontier(cands []Candidate) []Candidate {
+	var front []Candidate
+	for i := range cands {
+		front = insertFrontier(front, &cands[i])
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Index < front[j].Index })
+	return front
+}

@@ -31,6 +31,7 @@ func init() {
 		{"ext-accuracy", "Extension: systematic prediction-accuracy analysis of all case studies", AccuracyStudy},
 		{"ext-power", "Extension (Sec. 1): power and energy comparison vs the CPU baselines", PowerStudy},
 		{"ext-faults", "Extension: speedup degradation under injected platform faults", FaultStudy},
+		{"ext-explore", "Extension: min-cost design-space search meeting each study's achieved speedup", ExploreStudy},
 	}
 }
 

@@ -60,6 +60,7 @@ var contentChecks = map[string][]string{
 	"ext-accuracy":  {"optimistic", "pessimistic", "accurate", "tuning parameter", "double buffering would hide"},
 	"ext-power":     {"less energy", "Xeon", "Opteron", "FPGA W"},
 	"ext-faults":    {"Fault-rate sweep", "pdf1d", "pdf2d", "md", "retries", "monotonically"},
+	"ext-explore":   {"Cheapest configuration", "min-cost", "1-D PDF estimation", "molecular dynamics", "buffered"},
 }
 
 // TestFaultStudyMonotone is the degradation-study acceptance check:

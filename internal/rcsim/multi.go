@@ -112,19 +112,14 @@ func RunMulti(ms MultiScenario) (Measurement, error) {
 	busFor := func(d int) *sim.Resource { return buses[route(d)] }
 	kernFor := func(d int) *sim.Resource { return kerns[route(d)] }
 
-	type state struct {
-		writeStarted, writeDone []bool
-		compStarted, compDone   []bool
-		readStarted, readDone   []bool
-	}
-	devs := make([]state, nd)
+	// All devices' per-iteration progress state shares one backing
+	// allocation; the calendar is pre-sized for the full fan-out.
+	devs := make([]iterScratch, nd)
+	buf := make([]bool, 6*n*nd)
 	for d := range devs {
-		devs[d] = state{
-			writeStarted: make([]bool, n), writeDone: make([]bool, n),
-			compStarted: make([]bool, n), compDone: make([]bool, n),
-			readStarted: make([]bool, n), readDone: make([]bool, n),
-		}
+		devs[d], buf = newIterScratch(n, buf)
 	}
+	s.Reserve(n * nd * calendarEventsPerIter)
 
 	allReadsDone := func(i int) bool {
 		for d := range devs {

@@ -64,6 +64,41 @@ type Scenario struct {
 	Faults *fault.Plan
 }
 
+// iterScratch is the per-iteration progress state every run mode
+// tracks: which writes, computes and reads have started and finished.
+// All six slices are carved out of one backing allocation — the run
+// modes used to make six (or, fanned out over devices, 6xN) separate
+// slices, which together with calendar growth dominated the simulator's
+// allocation profile.
+type iterScratch struct {
+	writeStarted, writeDone []bool
+	compStarted, compDone   []bool
+	readStarted, readDone   []bool
+}
+
+// newIterScratch returns scratch for n iterations backed by buf, which
+// must hold at least 6n entries; it returns the unused tail so callers
+// fanning out over devices can carve several scratches from one block.
+func newIterScratch(n int, buf []bool) (iterScratch, []bool) {
+	s := iterScratch{
+		writeStarted: buf[0*n : 1*n],
+		writeDone:    buf[1*n : 2*n],
+		compStarted:  buf[2*n : 3*n],
+		compDone:     buf[3*n : 4*n],
+		readStarted:  buf[4*n : 5*n],
+		readDone:     buf[5*n : 6*n],
+	}
+	return s, buf[6*n:]
+}
+
+// calendarEventsPerIter is the pre-sizing estimate for the event
+// calendar: a fault-free iteration schedules a completion event and a
+// zero-delay resource grant for each of the two transfers, one kernel
+// completion, and a spare for retry/backoff events on faulty runs.
+// Reserving this up front takes calendar growth off the allocation
+// profile; the estimate only needs to be close, not exact.
+const calendarEventsPerIter = 6
+
 // emit sends an event to the scenario's sink, if any.
 func (sc Scenario) emit(e telemetry.Event) {
 	if sc.Events != nil {
@@ -235,15 +270,13 @@ func Run(sc Scenario) (Measurement, error) {
 		bytesIn  = int64(sc.ElementsIn) * int64(sc.BytesPerElement)
 		bytesOut = int64(sc.ElementsOut) * int64(sc.BytesPerElement)
 
-		writeStarted = make([]bool, n)
-		writeDone    = make([]bool, n)
-		compStarted  = make([]bool, n)
-		compDone     = make([]bool, n)
-		readStarted  = make([]bool, n)
-		readDone     = make([]bool, n)
-
 		m = Measurement{Scenario: sc}
 	)
+	st, _ := newIterScratch(n, make([]bool, 6*n))
+	writeStarted, writeDone := st.writeStarted, st.writeDone
+	compStarted, compDone := st.compStarted, st.compDone
+	readStarted, readDone := st.readStarted, st.readDone
+	s.Reserve(n * calendarEventsPerIter)
 
 	x, err := newExecCtx(s, &sc, &m)
 	if err != nil {

@@ -33,15 +33,13 @@ func RunStreaming(sc Scenario) (Measurement, error) {
 		bytesIn  = int64(sc.ElementsIn) * int64(sc.BytesPerElement)
 		bytesOut = int64(sc.ElementsOut) * int64(sc.BytesPerElement)
 
-		writeStarted = make([]bool, n)
-		writeDone    = make([]bool, n)
-		compStarted  = make([]bool, n)
-		compDone     = make([]bool, n)
-		readStarted  = make([]bool, n)
-		readDone     = make([]bool, n)
-
 		m = Measurement{Scenario: sc}
 	)
+	st, _ := newIterScratch(n, make([]bool, 6*n))
+	writeStarted, writeDone := st.writeStarted, st.writeDone
+	compStarted, compDone := st.compStarted, st.compDone
+	readStarted, readDone := st.readStarted, st.readDone
+	s.Reserve(n * calendarEventsPerIter)
 
 	x, err := newExecCtx(s, &sc, &m)
 	if err != nil {

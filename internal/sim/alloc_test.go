@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// TestScheduleZeroAllocAfterReserve: once the calendar is pre-sized,
+// scheduling and dispatching allocate nothing — the point of storing
+// events by value instead of behind container/heap's interface.
+func TestScheduleZeroAllocAfterReserve(t *testing.T) {
+	s := New()
+	fn := func() {}
+	s.Reserve(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.Schedule(Time(i%7)*Nanosecond, fn)
+		}
+		for s.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pre-sized calendar allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestReserveKeepsPendingEvents: growing the calendar must not disturb
+// already-scheduled events.
+func TestReserveKeepsPendingEvents(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(2*Nanosecond, func() { order = append(order, 2) })
+	s.Schedule(1*Nanosecond, func() { order = append(order, 1) })
+	s.Reserve(1024)
+	s.Schedule(3*Nanosecond, func() { order = append(order, 3) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("dispatch order after Reserve = %v, want [1 2 3]", order)
+	}
+}

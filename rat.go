@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/explore"
 	"github.com/chrec/rat/internal/kernel"
 	"github.com/chrec/rat/internal/methodology"
 	"github.com/chrec/rat/internal/power"
@@ -155,6 +156,51 @@ var (
 	SweepPoints = core.SweepPoints
 	// FindCrossover locates a comm/compute-bound regime flip.
 	FindCrossover = core.FindCrossover
+)
+
+// Batch evaluation: the zero-allocation path behind large sweeps and
+// the exploration engine.
+var (
+	// PredictInto evaluates the throughput test into caller storage.
+	PredictInto = core.PredictInto
+	// PredictBatch evaluates a whole slice of worksheets at once.
+	PredictBatch = core.PredictBatch
+)
+
+// Design-space exploration: parallel evaluation of a Cartesian grid of
+// candidate worksheets with streaming top-K and Pareto-frontier
+// selection (package internal/explore; see docs/EXPLORE.md).
+type (
+	// Grid is a Cartesian design space around a base worksheet.
+	Grid = explore.Grid
+	// ExploreOptions configure an exploration run.
+	ExploreOptions = explore.Options
+	// ExploreConstraints filter candidates before ranking.
+	ExploreConstraints = explore.Constraints
+	// ExploreResult is the outcome of exploring a grid.
+	ExploreResult = explore.Result
+	// ExploreCandidate is one evaluated design point.
+	ExploreCandidate = explore.Candidate
+	// ExploreObjective selects what "best" means for the top-K.
+	ExploreObjective = explore.Objective
+)
+
+// Exploration objectives.
+const (
+	MaxSpeedup = explore.MaxSpeedup
+	MinTRC     = explore.MinTRC
+	MinCost    = explore.MinCost
+)
+
+var (
+	// Explore evaluates every candidate in a grid, in parallel, and
+	// returns the top-K and the Pareto frontier. The result is
+	// identical for any worker count.
+	Explore = explore.Run
+	// Frontier extracts the Pareto-optimal subset of candidates.
+	Frontier = explore.Frontier
+	// ParseObjective converts an objective name back to a value.
+	ParseObjective = explore.ParseObjective
 )
 
 // Sentinel errors of the throughput test.
