@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean
+.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean loadtest
 
 all: build vet test
 
@@ -23,14 +23,33 @@ bench:
 # Refresh the committed micro-benchmark baseline (BENCH_4.json) from
 # the hot-path benchmarks. Run on a quiet machine; commit the result.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker' -benchmem -count=1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$' -benchmem -count=1 . ./internal/server \
 	  | $(GO) run ./cmd/benchcheck -emit BENCH_4.json -note "make bench-baseline"
 
 # Gate the current tree against the committed baseline: fails on a
 # >20% BenchmarkPredict ns/op regression or any allocs/op increase.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker' -benchmem -benchtime 0.2s -count=1 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
 	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json
+
+# Closed-loop load test against a locally built ratd: start the
+# daemon on LOADTEST_ADDR, wait for /healthz, drive it with ratload,
+# then SIGTERM and verify the graceful drain exits 0.
+LOADTEST_ADDR ?= 127.0.0.1:18080
+LOADTEST_ARGS ?= -c 8 -duration 5s
+loadtest:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ratd ./cmd/ratd; \
+	$(GO) build -o $$tmp/ratload ./cmd/ratload; \
+	"$$tmp/ratd" -addr $(LOADTEST_ADDR) & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if curl -fs http://$(LOADTEST_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "loadtest: ratd never became healthy"; exit 1; }; \
+	"$$tmp/ratload" -url http://$(LOADTEST_ADDR) $(LOADTEST_ARGS); \
+	kill -TERM $$pid; wait $$pid
 
 # Regenerate every paper table and figure, side by side with the
 # published values.

@@ -1,0 +1,299 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func newTestPair(t *testing.T, cfg server.Config, opts ...Option) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL, opts...), ts
+}
+
+// TestClientPredictBitForBit: the typed client returns exactly what
+// the local kernel computes, for all three paper case studies.
+func TestClientPredictBitForBit(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ctx := context.Background()
+	for _, cs := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(cs)
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Predict(ctx, p)
+		if err != nil {
+			t.Fatalf("%s: %v", cs, err)
+		}
+		if got != want {
+			t.Errorf("%s: client prediction differs from core.Predict", cs)
+		}
+	}
+}
+
+// TestClientPredictMultiBitForBit covers both topologies.
+func TestClientPredictMultiBitForBit(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ctx := context.Background()
+	p := paper.MDParams()
+	for _, cfg := range []core.MultiConfig{
+		{Devices: 2, Topology: core.SharedChannel},
+		{Devices: 4, Topology: core.IndependentChannels},
+	} {
+		want, err := core.PredictMulti(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.PredictMulti(ctx, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%+v: client multi-prediction differs from core.PredictMulti", cfg)
+		}
+	}
+}
+
+// TestClientPredictBatchBitForBit: element i of the batch equals the
+// scalar prediction of worksheet i.
+func TestClientPredictBatchBitForBit(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ps := []core.Parameters{paper.PDF1DParams(), paper.PDF2DParams(), paper.MDParams()}
+	got, err := c.PredictBatch(context.Background(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("got %d predictions for %d worksheets", len(got), len(ps))
+	}
+	for i, p := range ps {
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("batch element %d differs from core.Predict", i)
+		}
+	}
+}
+
+// TestClientExplore cross-checks a served exploration against a local
+// explore.Run.
+func TestClientExplore(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	req := ExploreRequest{
+		Worksheet: worksheet.DocFromParams(paper.PDF1DParams()),
+		ClocksMHz: []float64{75, 100, 150},
+		TopK:      2,
+	}
+	got, err := c.Explore(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := req.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := req.Options(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := explore.Run(grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != want.Evaluated || len(got.Top) != len(want.Top) {
+		t.Errorf("explore evaluated/top = %d/%d, want %d/%d",
+			got.Evaluated, len(got.Top), want.Evaluated, len(want.Top))
+	}
+	for i := range want.Top {
+		if got.Top[i].Speedup != want.Top[i].Speedup {
+			t.Errorf("top[%d].Speedup = %v, want %v", i, got.Top[i].Speedup, want.Top[i].Speedup)
+		}
+	}
+}
+
+// TestClientOperationalEndpoints: Healthz, Ready, Metrics.
+func TestClientOperationalEndpoints(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ctx := context.Background()
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("Healthz: %v", err)
+	}
+	ready, err := c.Ready(ctx)
+	if err != nil || !ready {
+		t.Errorf("Ready = %v, %v; want true, nil", ready, err)
+	}
+	if _, err := c.Predict(ctx, paper.PDF1DParams()); err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "server.requests") {
+		t.Errorf("Metrics output lacks server.requests:\n%s", metrics)
+	}
+}
+
+// TestClientRetriesTemporaryErrors: 503s are retried within budget
+// and the call eventually succeeds.
+func TestClientRetriesTemporaryErrors(t *testing.T) {
+	real := server.New(server.Config{}).Handler()
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	c := New(flaky.URL,
+		WithRetryPolicy(RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond, Growth: 2, Jitter: 0.2}),
+		withJitterSource(func() float64 { return 0.5 }))
+	p := paper.PDF1DParams()
+	want, err := core.Predict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Predict through flaky server: %v", err)
+	}
+	if got != want {
+		t.Error("retried prediction differs from core.Predict")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (two 503s + success)", n)
+	}
+}
+
+// TestClientDoesNotRetryCallerErrors: a 400 is terminal; the client
+// must not burn retries on it.
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad worksheet"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 5, Backoff: time.Millisecond}))
+	_, err := c.Predict(context.Background(), paper.PDF1DParams())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError with 400", err)
+	}
+	if apiErr.Message != "bad worksheet" {
+		t.Errorf("Message = %q, want the server's error string", apiErr.Message)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d calls for a 400, want 1", n)
+	}
+}
+
+// TestClientRetryBudgetExhausted: a persistent 503 fails after
+// MaxRetries+1 attempts with the attempt count in the error.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"still down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}))
+	_, err := c.Predict(context.Background(), paper.PDF1DParams())
+	if err == nil {
+		t.Fatal("Predict succeeded against a dead server")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", n)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+}
+
+// TestClientContextCancelStopsRetries: a cancelled context ends the
+// retry loop promptly.
+func TestClientContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 100, Backoff: time.Hour}))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, paper.PDF1DParams())
+	if err == nil {
+		t.Fatal("Predict succeeded unexpectedly")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled retry loop ran %v", elapsed)
+	}
+}
+
+// TestBackoffPolicyShape pins the exponential schedule and the cap.
+func TestBackoffPolicyShape(t *testing.T) {
+	p := RetryPolicy{Backoff: 100 * time.Millisecond, Growth: 2, MaxBackoff: 500 * time.Millisecond}
+	noJitter := func() float64 { return 0.5 } // Jitter==0 ignores the source anyway
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 500 * time.Millisecond}, // capped
+		{9, 500 * time.Millisecond},
+	} {
+		if got := p.backoffFor(tc.attempt, noJitter); got != tc.want {
+			t.Errorf("backoffFor(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	jittered := RetryPolicy{Backoff: 100 * time.Millisecond, Growth: 2, Jitter: 0.2}
+	lo := jittered.backoffFor(1, func() float64 { return 0 })
+	hi := jittered.backoffFor(1, func() float64 { return 1 })
+	if lo != 80*time.Millisecond || hi != 120*time.Millisecond {
+		t.Errorf("jitter bounds = [%v, %v], want [80ms, 120ms]", lo, hi)
+	}
+}
+
+// TestClientReadyDrain: Ready returns (false, nil) on 503 draining.
+func TestClientReadyDrain(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+	}))
+	defer ts.Close()
+	// Readiness is a probe, not work: retrying a draining server would
+	// just slow the probe down, so keep retries off here.
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{}))
+	ready, err := c.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready {
+		t.Error("Ready = true for a draining server")
+	}
+}

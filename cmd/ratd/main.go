@@ -1,0 +1,146 @@
+// Command ratd is the RAT prediction service: an HTTP/JSON daemon
+// serving throughput-test predictions (single and multi-FPGA), batch
+// predictions and bounded design-space explorations from the worksheet
+// JSON format.
+//
+// Usage:
+//
+//	ratd [-addr :8080] [-access-log ratd.jsonl]
+//	ratd -addr 127.0.0.1:0            # ephemeral port, printed on stdout
+//	ratd -max-batch 32 -linger 1ms -cache-size 4096
+//	ratd -predict-limit 128 -explore-limit 4 -admission-wait 20ms
+//
+// The daemon prints one line, "ratd: listening on <host:port>", once
+// the listener is up, and drains gracefully on SIGINT/SIGTERM: the
+// readiness probe flips to 503, in-flight requests finish (bounded by
+// -drain-timeout), and the process exits 0. Exit codes follow the
+// shared contract: 0 success, 1 runtime failure, 2 usage error. See
+// docs/SERVER.md for the API and the operational runbook.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig))
+}
+
+// run is the testable entry point; tests inject the signal channel to
+// drive a drain.
+func run(args []string, out, errOut io.Writer, sig <-chan os.Signal) int {
+	err := serve(args, out, sig)
+	if err != nil {
+		fmt.Fprintf(errOut, "ratd: %v\n", err)
+		if errors.Is(err, cli.ErrUsage) {
+			fmt.Fprintln(errOut, "usage: ratd [flags] (run ratd -help for the flag list)")
+		}
+	}
+	return cli.Code(err)
+}
+
+func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("ratd", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks one)")
+	maxBatch := fs.Int("max-batch", 0, "max coalesced predict batch (0 = default 16, 1 disables)")
+	linger := fs.Duration("linger", 0, "max wait for an under-filled batch (0 = default 2ms)")
+	cacheSize := fs.Int("cache-size", 0, "response cache entries (0 = default 1024, negative disables)")
+	predictLimit := fs.Int("predict-limit", 0, "concurrent /v1/predict requests (0 = default 64)")
+	batchLimit := fs.Int("batch-limit", 0, "concurrent /v1/predict/batch worksheet weight (0 = default 16)")
+	exploreLimit := fs.Int("explore-limit", 0, "concurrent /v1/explore requests (0 = default 2)")
+	admissionWait := fs.Duration("admission-wait", 0, "max queue wait before 429 (0 = default 10ms)")
+	predictTimeout := fs.Duration("predict-timeout", 0, "per-request predict deadline (0 = default 10s)")
+	exploreTimeout := fs.Duration("explore-timeout", 0, "per-request explore deadline (0 = default 2m)")
+	maxCandidates := fs.Uint64("max-explore-candidates", 0, "largest grid a single explore may ask for (0 = default 4Mi)")
+	exploreWorkers := fs.Int("explore-workers", 0, "workers per exploration (0 = one per CPU)")
+	accessLog := fs.String("access-log", "", "JSONL access log path (- for stdout, empty disables)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapUsage(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", fs.Arg(0))
+	}
+
+	cfg := server.Config{
+		MaxBatch:             *maxBatch,
+		Linger:               *linger,
+		CacheSize:            *cacheSize,
+		PredictLimit:         *predictLimit,
+		BatchLimit:           *batchLimit,
+		ExploreLimit:         *exploreLimit,
+		AdmissionWait:        *admissionWait,
+		PredictTimeout:       *predictTimeout,
+		ExploreTimeout:       *exploreTimeout,
+		MaxExploreCandidates: *maxCandidates,
+		ExploreWorkers:       *exploreWorkers,
+	}
+
+	var logSink *telemetry.WriterSink
+	switch *accessLog {
+	case "":
+	case "-":
+		logSink = telemetry.NewWriterSink(out)
+		cfg.AccessLog = logSink
+	default:
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+		defer f.Close()
+		logSink = telemetry.NewWriterSink(f)
+		cfg.AccessLog = logSink
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := server.New(cfg)
+	fmt.Fprintf(out, "ratd: listening on %s\n", l.Addr())
+
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	select {
+	case err := <-served:
+		// Serve failed before any signal — a runtime error (the listener
+		// died out from under us).
+		return fmt.Errorf("serve: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(out, "ratd: %v: draining (up to %v)\n", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if logSink != nil {
+		if err := logSink.Flush(); err != nil {
+			return fmt.Errorf("access log: %w", err)
+		}
+	}
+	fmt.Fprintln(out, "ratd: drained, exiting")
+	return nil
+}

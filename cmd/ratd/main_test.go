@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// syncBuffer is a bytes.Buffer safe to share between the daemon
+// goroutine and the test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// listenAddr extracts host:port from the "ratd: listening on ..."
+// line, polling until the server goroutine prints it.
+func listenAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "ratd: listening on "); ok {
+				return rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("ratd never printed its listen address; output:\n%s", out.String())
+	return ""
+}
+
+// TestRunServeDrainExitZero is the end-to-end daemon test: start on an
+// ephemeral port, serve a real prediction bit-for-bit, then deliver
+// SIGTERM and watch the drain finish with exit code 0.
+func TestRunServeDrainExitZero(t *testing.T) {
+	var out, errOut syncBuffer
+	sig := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut, sig)
+	}()
+	addr := listenAddr(t, &out)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	p := paper.PDF1DParams()
+	var body bytes.Buffer
+	if err := worksheet.EncodeJSON(&body, p); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/predict", "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire api.Prediction
+	derr := json.NewDecoder(resp.Body).Decode(&wire)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	want, err := core.Predict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.Core(); got != want {
+		t.Error("daemon prediction differs from core.Predict")
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Errorf("exit code %d after graceful drain, want 0\nstderr: %s", c, errOut.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("ratd did not exit after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still serving after drain")
+	}
+	if !strings.Contains(out.String(), "ratd: drained, exiting") {
+		t.Errorf("missing drain message; output:\n%s", out.String())
+	}
+}
+
+// TestRunUsageErrors: flag and argument mistakes exit 2 without
+// binding a port.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"stray-arg"},
+	} {
+		var out, errOut syncBuffer
+		if code := run(args, &out, &errOut, nil); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "usage") {
+			t.Errorf("run(%q) stderr lacks usage hint: %s", args, errOut.String())
+		}
+	}
+}
+
+// TestRunListenFailure: an unbindable address is a runtime failure
+// (exit 1), not a usage error.
+func TestRunListenFailure(t *testing.T) {
+	var out, errOut syncBuffer
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &out, &errOut, nil); code != 1 {
+		t.Errorf("exit code %d for bad listen address, want 1", code)
+	}
+}
+
+// TestAccessLogJSONL: with -access-log the daemon writes one JSONL
+// event per request.
+func TestAccessLogJSONL(t *testing.T) {
+	logPath := t.TempDir() + "/access.jsonl"
+	var out, errOut syncBuffer
+	sig := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-access-log", logPath}, &out, &errOut, sig)
+	}()
+	addr := listenAddr(t, &out)
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sig <- syscall.SIGTERM
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code %d", c)
+	}
+
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1:\n%s", len(lines), data)
+	}
+	var event struct {
+		Kind   string `json:"kind"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &event); err != nil {
+		t.Fatal(err)
+	}
+	if event.Kind != "http" || event.Detail != "GET /healthz 200" {
+		t.Errorf("event = %+v, want http / GET /healthz 200", event)
+	}
+}

@@ -1,0 +1,245 @@
+// Command ratload is a closed-loop load generator for ratd. Each of
+// -c workers posts a worksheet to /v1/predict, waits for the answer,
+// and posts again — optionally paced to an aggregate -qps by a shared
+// token ticker. Latencies feed a telemetry histogram and timer; the
+// report prints achieved throughput, the status-class breakdown and
+// the latency distribution.
+//
+// Usage:
+//
+//	ratload -url http://127.0.0.1:8080 -c 8 -duration 10s
+//	ratload -url http://127.0.0.1:8080 -qps 500 -c 16 -duration 30s
+//	ratload -url http://127.0.0.1:8080 -worksheet design.json -devices 2
+//
+// Exit codes: 0 when the run completes and every request got an HTTP
+// response (any status), 1 on runtime failure (unreachable server,
+// transport errors), 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// log-spaced from 100us to ~13s.
+var latencyBounds = []float64{
+	0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005,
+	0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 13,
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	err := load(args, out)
+	if err != nil {
+		fmt.Fprintf(errOut, "ratload: %v\n", err)
+		if cli.Code(err) == 2 {
+			fmt.Fprintln(errOut, "usage: ratload -url http://host:port [-qps N] [-c N] [-duration D] [-worksheet file]")
+		}
+	}
+	return cli.Code(err)
+}
+
+func load(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ratload", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	baseURL := fs.String("url", "http://127.0.0.1:8080", "ratd base URL")
+	qps := fs.Float64("qps", 0, "aggregate request rate (0 = unpaced closed loop)")
+	conc := fs.Int("c", 4, "concurrent closed-loop workers")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	worksheetPath := fs.String("worksheet", "", "worksheet JSON file (default: the paper's 1-D PDF worksheet)")
+	devices := fs.Int("devices", 1, "devices query parameter")
+	topology := fs.String("topology", "", "topology query parameter (shared, independent)")
+	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapUsage(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected argument %q", fs.Arg(0))
+	}
+	if *conc < 1 {
+		return cli.Usagef("-c must be at least 1 (got %d)", *conc)
+	}
+	if *duration <= 0 {
+		return cli.Usagef("-duration must be positive (got %v)", *duration)
+	}
+	if *qps < 0 {
+		return cli.Usagef("-qps must be non-negative (got %v)", *qps)
+	}
+	if _, err := url.ParseRequestURI(*baseURL); err != nil {
+		return cli.Usagef("-url: %v", err)
+	}
+
+	var body []byte
+	if *worksheetPath == "" {
+		var buf bytes.Buffer
+		if err := worksheet.EncodeJSON(&buf, paper.PDF1DParams()); err != nil {
+			return err
+		}
+		body = buf.Bytes()
+	} else {
+		b, err := os.ReadFile(*worksheetPath)
+		if err != nil {
+			return err
+		}
+		// Fail fast on a bad worksheet rather than measuring 400s.
+		if _, err := worksheet.DecodeJSON(bytes.NewReader(b)); err != nil {
+			return fmt.Errorf("worksheet %s: %w", *worksheetPath, err)
+		}
+		body = b
+	}
+
+	target := strings.TrimSuffix(*baseURL, "/") + "/v1/predict"
+	q := url.Values{}
+	if *devices > 1 {
+		q.Set("devices", fmt.Sprint(*devices))
+	}
+	if *topology != "" {
+		q.Set("topology", *topology)
+	}
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+
+	reg := telemetry.NewRegistry()
+	latHist := reg.Histogram("load.latency_seconds", latencyBounds)
+	latTimer := reg.Timer("load.latency")
+	var sent, transportErrs atomic.Int64
+	var statusMu sync.Mutex
+	statuses := make(map[int]int64)
+
+	// The pacer: with -qps, workers take a token per request from a
+	// shared ticker; unpaced workers run flat out.
+	var tokens <-chan time.Time
+	if *qps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *qps))
+		defer t.Stop()
+		tokens = t.C
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	client := &http.Client{Timeout: *reqTimeout}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+				if err != nil {
+					transportErrs.Add(1)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				sent.Add(1)
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				elapsed := time.Since(t0)
+				if err != nil {
+					if ctx.Err() != nil {
+						sent.Add(-1) // cut short by the deadline, not a sample
+						return
+					}
+					transportErrs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latHist.Observe(elapsed.Seconds())
+				latTimer.Observe(elapsed)
+				statusMu.Lock()
+				statuses[resp.StatusCode]++
+				statusMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(out, reg, statuses, sent.Load(), transportErrs.Load(), elapsed, *conc, *qps)
+	if transportErrs.Load() > 0 {
+		return fmt.Errorf("%d transport errors (is ratd up at %s?)", transportErrs.Load(), *baseURL)
+	}
+	return nil
+}
+
+// report prints the run summary: throughput, status classes and the
+// latency distribution from the telemetry registry.
+func report(out io.Writer, reg *telemetry.Registry, statuses map[int]int64,
+	sent, transportErrs int64, elapsed time.Duration, conc int, qps float64) {
+
+	snap := reg.Snapshot()
+	lat := snap.Timers["load.latency"]
+	hist := snap.Histograms["load.latency_seconds"]
+
+	fmt.Fprintf(out, "ratload: %d requests in %v (%.1f req/s, %d workers",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds(), conc)
+	if qps > 0 {
+		fmt.Fprintf(out, ", paced to %.0f qps", qps)
+	}
+	fmt.Fprintln(out, ")")
+
+	codes := make([]int, 0, len(statuses))
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(out, "  HTTP %d: %d\n", code, statuses[code])
+	}
+	if transportErrs > 0 {
+		fmt.Fprintf(out, "  transport errors: %d\n", transportErrs)
+	}
+
+	if lat.Count > 0 {
+		fmt.Fprintf(out, "latency: mean %v  min %v  max %v  (%d samples)\n",
+			lat.Mean.Round(time.Microsecond), lat.Min.Round(time.Microsecond),
+			lat.Max.Round(time.Microsecond), lat.Count)
+	}
+	if hist.Count > 0 {
+		fmt.Fprintln(out, "latency histogram (upper bound: count):")
+		cum := int64(0)
+		for _, b := range hist.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			cum += b.Count
+			fmt.Fprintf(out, "  <= %8.4fs: %6d (%5.1f%%)\n",
+				b.UpperBound, b.Count, 100*float64(cum)/float64(hist.Count))
+		}
+		if hist.Overflow > 0 {
+			cum += hist.Overflow
+			fmt.Fprintf(out, "  <=     +Inf: %6d (%5.1f%%)\n",
+				hist.Overflow, 100*float64(cum)/float64(hist.Count))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// TestLoadAgainstServer drives a short closed-loop run against an
+// in-process ratd serving core and checks the report: all requests
+// answered 200 and a complete latency histogram printed.
+func TestLoadAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "4",
+		"-duration", "300ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "HTTP 200:") {
+		t.Errorf("report lacks HTTP 200 line:\n%s", report)
+	}
+	if !strings.Contains(report, "latency histogram") {
+		t.Errorf("report lacks the latency histogram:\n%s", report)
+	}
+	if !strings.Contains(report, "latency: mean") {
+		t.Errorf("report lacks latency summary:\n%s", report)
+	}
+}
+
+// TestLoadPaced: QPS pacing still completes and reports.
+func TestLoadPaced(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "2",
+		"-qps", "200",
+		"-duration", "250ms",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "paced to 200 qps") {
+		t.Errorf("report does not mention pacing:\n%s", out.String())
+	}
+}
+
+// TestLoadWorksheetFile: a custom worksheet file is validated and
+// used; a broken one fails before the run starts.
+func TestLoadWorksheetFile(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "md.json")
+	var buf bytes.Buffer
+	if err := worksheet.EncodeJSON(&buf, paper.MDParams()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-url", ts.URL, "-c", "1", "-duration", "100ms", "-worksheet", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-url", ts.URL, "-worksheet", bad}, &out, &errOut); code != 1 {
+		t.Errorf("broken worksheet: exit code %d, want 1", code)
+	}
+}
+
+// TestLoadUsageErrors: flag mistakes exit 2.
+func TestLoadUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"stray"},
+		{"-c", "0"},
+		{"-duration", "-1s"},
+		{"-qps", "-5"},
+		{"-url", "not a url"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%q) = %d, want 2\nstderr: %s", args, code, errOut.String())
+		}
+	}
+}
+
+// TestLoadUnreachableServer: a dead endpoint is a runtime failure.
+func TestLoadUnreachableServer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", "http://127.0.0.1:1", // port 1: nothing listens there
+		"-c", "1",
+		"-duration", "100ms",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("exit code %d for unreachable server, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "transport errors") {
+		t.Errorf("stderr lacks transport-error report: %s", errOut.String())
+	}
+}

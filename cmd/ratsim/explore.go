@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/chrec/rat/internal/cli"
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/explore"
 	"github.com/chrec/rat/internal/paper"
@@ -42,7 +43,7 @@ func cmdExplore(args []string, out io.Writer) error {
 	frontier := fs.Bool("frontier", false, "also report the Pareto frontier")
 	metrics := fs.Bool("metrics", false, "print the engine's telemetry after the run")
 	if err := fs.Parse(args); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 
 	base, err := exploreBase(*study, *wsFile)
@@ -75,7 +76,7 @@ func cmdExplore(args []string, out io.Writer) error {
 	case "independent":
 		g.Topology = core.IndependentChannels
 	default:
-		return fmt.Errorf("%w: unknown topology %q (want shared or independent)", errUsage, *topo)
+		return fmt.Errorf("%w: unknown topology %q (want shared or independent)", cli.ErrUsage, *topo)
 	}
 	switch *buf {
 	case "both":
@@ -84,12 +85,12 @@ func cmdExplore(args []string, out io.Writer) error {
 	case "double":
 		g.Bufferings = []core.Buffering{core.DoubleBuffered}
 	default:
-		return fmt.Errorf("%w: unknown buffering %q (want single, double or both)", errUsage, *buf)
+		return fmt.Errorf("%w: unknown buffering %q (want single, double or both)", cli.ErrUsage, *buf)
 	}
 
 	obj, err := explore.ParseObjective(*objective)
 	if err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	opts := explore.Options{
 		Workers:   *workers,
@@ -108,7 +109,7 @@ func cmdExplore(args []string, out io.Writer) error {
 		opts.Metrics = reg
 	}
 	if err := g.Validate(); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 
 	res, err := explore.Run(g, opts)
@@ -167,7 +168,7 @@ func exploreBase(study, wsFile string) (core.Parameters, error) {
 	case "md":
 		return paper.MDParams(), nil
 	}
-	return core.Parameters{}, fmt.Errorf("%w: unknown case study %q", errUsage, study)
+	return core.Parameters{}, fmt.Errorf("%w: unknown case study %q", cli.ErrUsage, study)
 }
 
 // parseFloats parses a comma-separated float list; empty means an
@@ -180,7 +181,7 @@ func parseFloats(s, flagName string, conv func(float64) float64) ([]float64, err
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad %s entry %q", errUsage, flagName, part)
+			return nil, fmt.Errorf("%w: bad %s entry %q", cli.ErrUsage, flagName, part)
 		}
 		if conv != nil {
 			v = conv(v)
@@ -200,7 +201,7 @@ func parseInt64s(s, flagName string) ([]int64, error) {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad %s entry %q", errUsage, flagName, part)
+			return nil, fmt.Errorf("%w: bad %s entry %q", cli.ErrUsage, flagName, part)
 		}
 		out = append(out, v)
 	}

@@ -35,6 +35,7 @@ import (
 	"github.com/chrec/rat/internal/apps/md"
 	"github.com/chrec/rat/internal/apps/pdf1d"
 	"github.com/chrec/rat/internal/apps/pdf2d"
+	"github.com/chrec/rat/internal/cli"
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/fault"
 	"github.com/chrec/rat/internal/paper"
@@ -49,11 +50,8 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// errUsage tags command-line errors that should print the usage text
-// and exit with status 2 rather than 1.
-var errUsage = errors.New("usage error")
-
-// run is the testable entry point.
+// run is the testable entry point. Exit codes follow the shared
+// contract of package cli: 0 success, 1 runtime failure, 2 usage.
 func run(args []string, out, errOut io.Writer) int {
 	if len(args) < 1 {
 		usage(errOut)
@@ -78,13 +76,11 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintf(errOut, "ratsim: %v\n", err)
-		if errors.Is(err, errUsage) {
+		if errors.Is(err, cli.ErrUsage) {
 			usage(errOut)
-			return 2
 		}
-		return 1
 	}
-	return 0
+	return cli.Code(err)
 }
 
 func usage(w io.Writer) {
@@ -145,17 +141,17 @@ func addFaultFlags(fs *flag.FlagSet) *faultFlags {
 func (f *faultFlags) plan() (*fault.Plan, error) {
 	if f.spec == "" {
 		if f.policy != "" {
-			return nil, fmt.Errorf("%w: -fault-policy is set but -faults is not", errUsage)
+			return nil, fmt.Errorf("%w: -fault-policy is set but -faults is not", cli.ErrUsage)
 		}
 		return nil, nil
 	}
 	pl, err := fault.ParseRates(f.spec)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", errUsage, err)
+		return nil, fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	pol, err := fault.ParsePolicy(f.policy)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", errUsage, err)
+		return nil, fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	pl.Seed = f.seed
 	pl.Policy = pol
@@ -305,7 +301,7 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 	obs := addObsFlags(fs)
 	flts := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	plan, err2 := flts.plan()
 	if err2 != nil {
@@ -333,7 +329,7 @@ func cmdRun(args []string, out, errOut io.Writer) error {
 		}
 		tSoft = paper.MDTSoft
 	default:
-		return fmt.Errorf("%w: unknown case study %q", errUsage, *study)
+		return fmt.Errorf("%w: unknown case study %q", cli.ErrUsage, *study)
 	}
 	sc.Faults = plan
 	var rec *trace.Recorder
@@ -384,17 +380,17 @@ func cmdMicrobench(args []string, out io.Writer) error {
 	plat := fs.String("platform", "nallatech", "platform name")
 	sizesArg := fs.String("sizes", "256,512,1024,2048,4096,16384,65536,262144,1048576", "transfer sizes in bytes")
 	if err := fs.Parse(args); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	p, ok := platform.ByName(*plat)
 	if !ok {
-		return fmt.Errorf("%w: unknown platform %q", errUsage, *plat)
+		return fmt.Errorf("%w: unknown platform %q", cli.ErrUsage, *plat)
 	}
 	var sizes []int64
 	for _, s := range strings.Split(*sizesArg, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil || v <= 0 {
-			return fmt.Errorf("%w: bad -sizes entry %q (want positive byte counts)", errUsage, s)
+			return fmt.Errorf("%w: bad -sizes entry %q (want positive byte counts)", cli.ErrUsage, s)
 		}
 		sizes = append(sizes, v)
 	}
@@ -428,7 +424,7 @@ func cmdSynth(args []string, out io.Writer) error {
 	obs := addObsFlags(fs)
 	flts := addFaultFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	plan, err := flts.plan()
 	if err != nil {
@@ -436,7 +432,7 @@ func cmdSynth(args []string, out io.Writer) error {
 	}
 	p, ok := platform.ByName(*plat)
 	if !ok {
-		return fmt.Errorf("%w: unknown platform %q", errUsage, *plat)
+		return fmt.Errorf("%w: unknown platform %q", cli.ErrUsage, *plat)
 	}
 	sc := rcsim.Scenario{
 		Name:            "synthetic",
@@ -453,15 +449,15 @@ func cmdSynth(args []string, out io.Writer) error {
 	// Bad dimension flags are usage errors: validate before running so
 	// they exit 2 with the usage text instead of 1.
 	if *devices < 1 {
-		return fmt.Errorf("%w: device count must be >= 1 (got %d)", errUsage, *devices)
+		return fmt.Errorf("%w: device count must be >= 1 (got %d)", cli.ErrUsage, *devices)
 	}
 	if *devices > 1 {
 		ms := rcsim.MultiScenario{Scenario: sc, Devices: *devices, Topology: core.SharedChannel}
 		if err := ms.Validate(); err != nil {
-			return fmt.Errorf("%w: %w", errUsage, err)
+			return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 		}
 	} else if err := sc.Validate(); err != nil {
-		return fmt.Errorf("%w: %w", errUsage, err)
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
 	}
 	if *gantt {
 		sc.Trace = &trace.Recorder{}

@@ -1,0 +1,51 @@
+// Package cli pins the exit-code contract shared by every binary in
+// the repository:
+//
+//	0  success
+//	1  runtime failure (I/O error, failed experiment, server fault)
+//	2  usage error (bad flag, unknown subcommand, malformed spec) —
+//	   the invocation itself was wrong, and retrying it unchanged
+//	   cannot succeed
+//
+// Commands tag usage errors by wrapping ErrUsage (directly or via
+// Usagef) and translate any error to an exit status with Code, so a
+// new binary cannot drift from the contract by picking its own
+// sentinel.
+package cli
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUsage tags command-line errors that should print the usage text
+// and exit with status 2 rather than 1.
+var ErrUsage = errors.New("usage error")
+
+// Usagef builds a usage error: the formatted message wrapping
+// ErrUsage, so errors.Is(err, ErrUsage) holds.
+func Usagef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUsage, fmt.Sprintf(format, args...))
+}
+
+// WrapUsage tags an existing error (a flag.Parse failure, a malformed
+// spec) as a usage error while preserving the original chain.
+func WrapUsage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrUsage, err)
+}
+
+// Code maps an error to the contract's exit status: nil is 0, a usage
+// error is 2, anything else is 1.
+func Code(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrUsage):
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestUsagefWrapsErrUsage(t *testing.T) {
+	err := Usagef("unknown flag %q", "-x")
+	if !errors.Is(err, ErrUsage) {
+		t.Fatalf("Usagef result does not wrap ErrUsage: %v", err)
+	}
+	want := "usage error: unknown flag \"-x\""
+	if err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestWrapUsagePreservesChain(t *testing.T) {
+	inner := errors.New("flag provided but not defined")
+	err := WrapUsage(inner)
+	if !errors.Is(err, ErrUsage) || !errors.Is(err, inner) {
+		t.Fatalf("WrapUsage lost part of the chain: %v", err)
+	}
+	if WrapUsage(nil) != nil {
+		t.Error("WrapUsage(nil) != nil")
+	}
+}
+
+func TestCodeContract(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("runtime failure"), 1},
+		{ErrUsage, 2},
+		{Usagef("bad"), 2},
+		{fmt.Errorf("context: %w", WrapUsage(errors.New("inner"))), 2},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.want {
+			t.Errorf("Code(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// semaphore is a weighted counting semaphore in the style of
+// golang.org/x/sync/semaphore (reimplemented here: the repository
+// takes no external dependencies). Waiters are served FIFO so a heavy
+// acquisition cannot be starved by a stream of light ones.
+type semaphore struct {
+	mu      sync.Mutex
+	size    int64
+	cur     int64
+	waiters list.List // of *waiter
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the weight has been granted
+}
+
+func newSemaphore(n int64) *semaphore { return &semaphore{size: n} }
+
+// tryAcquire takes n units without blocking, reporting success. It
+// fails when waiters are queued, preserving FIFO fairness.
+func (s *semaphore) tryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// acquire takes n units, blocking until they are available or ctx is
+// done. A weight above the semaphore size can never succeed and fails
+// immediately with context.DeadlineExceeded semantics avoided — the
+// caller clamps weights, so this is defensive.
+func (s *semaphore) acquire(ctx context.Context, n int64) error {
+	s.mu.Lock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: keep the
+			// units and report success; the caller will release them.
+			s.mu.Unlock()
+			return nil
+		default:
+		}
+		s.waiters.Remove(elem)
+		// Removing a waiter can unblock the ones behind it.
+		s.notifyLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns n units and wakes as many FIFO waiters as now fit.
+func (s *semaphore) release(n int64) {
+	s.mu.Lock()
+	s.cur -= n
+	if s.cur < 0 {
+		s.mu.Unlock()
+		panic("server: semaphore released more than held")
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+func (s *semaphore) notifyLocked() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}
+
+// admission is the per-endpoint admission controller: a weighted
+// semaphore bounding in-flight work, a bounded queue wait, and
+// telemetry (in-flight gauge, high-water-mark gauge, admitted/rejected
+// counters). Requests that cannot be admitted within the wait bound
+// are rejected — the handler turns that into 429 + Retry-After.
+type admission struct {
+	sem   *semaphore
+	limit int64
+	wait  time.Duration
+
+	mu   sync.Mutex
+	cur  int64
+	peak int64
+
+	inflight *telemetry.Gauge
+	peakG    *telemetry.Gauge
+	admitted *telemetry.Counter
+	rejected *telemetry.Counter
+}
+
+// newAdmission builds a controller for the named endpoint with the
+// given concurrency limit and maximum queue wait.
+func newAdmission(reg *telemetry.Registry, endpoint string, limit int64, wait time.Duration) *admission {
+	return &admission{
+		sem:      newSemaphore(limit),
+		limit:    limit,
+		wait:     wait,
+		inflight: reg.Gauge("server.inflight." + endpoint),
+		peakG:    reg.Gauge("server.inflight_peak." + endpoint),
+		admitted: reg.Counter("server.admitted." + endpoint),
+		rejected: reg.Counter("server.rejected." + endpoint),
+	}
+}
+
+// admit asks for weight units of the endpoint's capacity, queueing for
+// at most the controller's wait bound (never beyond the request's own
+// deadline). On success it returns a release function; on saturation
+// it returns ok == false and the caller answers 429.
+func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok bool) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.limit {
+		weight = a.limit // one huge request may use the whole endpoint, not more
+	}
+	if !a.sem.tryAcquire(weight) {
+		if a.wait <= 0 {
+			a.rejected.Inc()
+			return nil, false
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, a.wait)
+		err := a.sem.acquire(waitCtx, weight)
+		cancel()
+		if err != nil {
+			a.rejected.Inc()
+			return nil, false
+		}
+	}
+	a.admitted.Inc()
+	a.mu.Lock()
+	a.cur += weight
+	if a.cur > a.peak {
+		a.peak = a.cur
+		a.peakG.Set(float64(a.peak))
+	}
+	a.inflight.Set(float64(a.cur))
+	a.mu.Unlock()
+	return func() {
+		a.mu.Lock()
+		a.cur -= weight
+		a.inflight.Set(float64(a.cur))
+		a.mu.Unlock()
+		a.sem.release(weight)
+	}, true
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// batcher coalesces concurrent single-worksheet predict calls into one
+// core.PredictBatch evaluation over a pooled slab. Because the batch
+// kernel is bit-for-bit identical to core.Predict, coalescing is
+// invisible in the responses — it only changes how many times the
+// validation-free kernel is entered per syscall-scale unit of work.
+//
+// The flush discipline is size-or-linger: the request that fills the
+// batch computes it immediately on its own goroutine; otherwise a
+// linger timer flushes whatever has accumulated. Requests whose
+// context expires while waiting get the context error; their slot is
+// still computed (the result is discarded into the buffered channel).
+type batcher struct {
+	maxBatch int
+	linger   time.Duration
+
+	mu      sync.Mutex
+	pending []batchReq
+	timer   *time.Timer
+
+	slabs sync.Pool // of *slab
+
+	batches   *telemetry.Counter
+	coalesced *telemetry.Counter
+	sizeHist  *telemetry.Histogram
+}
+
+type batchReq struct {
+	p    core.Parameters
+	done chan batchResult // buffered(1): flusher never blocks on a dead waiter
+}
+
+type batchResult struct {
+	pr  core.Prediction
+	err error
+}
+
+type slab struct {
+	ps  []core.Parameters
+	out []core.Prediction
+}
+
+// newBatcher builds a coalescing batcher. maxBatch <= 1 disables
+// coalescing: predict degenerates to a direct core.Predict call.
+func newBatcher(reg *telemetry.Registry, maxBatch int, linger time.Duration) *batcher {
+	b := &batcher{
+		maxBatch:  maxBatch,
+		linger:    linger,
+		batches:   reg.Counter("server.batches"),
+		coalesced: reg.Counter("server.coalesced_requests"),
+		sizeHist:  reg.Histogram("server.batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+	b.slabs.New = func() any {
+		return &slab{
+			ps:  make([]core.Parameters, 0, maxBatch),
+			out: make([]core.Prediction, maxBatch),
+		}
+	}
+	return b
+}
+
+// predict evaluates one pre-validated worksheet, possibly sharing a
+// batch with concurrent callers. The result is bit-for-bit
+// core.Predict(p).
+func (b *batcher) predict(ctx context.Context, p core.Parameters) (core.Prediction, error) {
+	if b.maxBatch <= 1 {
+		return core.Predict(p)
+	}
+	req := batchReq{p: p, done: make(chan batchResult, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.compute(batch) // the filler computes; no goroutine handoff latency
+	} else {
+		if len(b.pending) == 1 {
+			b.timer = time.AfterFunc(b.linger, b.flush)
+		}
+		b.mu.Unlock()
+	}
+	select {
+	case res := <-req.done:
+		return res.pr, res.err
+	case <-ctx.Done():
+		return core.Prediction{}, ctx.Err()
+	}
+}
+
+// takeLocked steals the pending batch and disarms the linger timer.
+func (b *batcher) takeLocked() []batchReq {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// flush computes whatever accumulated before the linger expired.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.compute(batch)
+}
+
+// compute runs one coalesced batch through the zero-alloc kernel and
+// fans the results back out.
+func (b *batcher) compute(batch []batchReq) {
+	if len(batch) == 0 {
+		return
+	}
+	b.batches.Inc()
+	b.sizeHist.Observe(float64(len(batch)))
+	if len(batch) > 1 {
+		b.coalesced.Add(int64(len(batch)))
+	}
+	sl := b.slabs.Get().(*slab)
+	sl.ps = sl.ps[:0]
+	for _, req := range batch {
+		sl.ps = append(sl.ps, req.p)
+	}
+	if err := core.PredictBatch(sl.ps, sl.out); err != nil {
+		// Entries are validated at decode time, so a batch error means
+		// one slipped through; fall back to per-request evaluation so
+		// the bad entry cannot poison its batch-mates.
+		for _, req := range batch {
+			pr, perr := core.Predict(req.p)
+			req.done <- batchResult{pr: pr, err: perr}
+		}
+		b.slabs.Put(sl)
+		return
+	}
+	for i, req := range batch {
+		req.done <- batchResult{pr: sl.out[i]}
+	}
+	b.slabs.Put(sl)
+}

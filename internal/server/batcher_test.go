@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// TestBatcherBitForBit hammers the coalescer from many goroutines and
+// checks every result against the scalar kernel with !=. Run under
+// -race this also proves the coalescing protocol is data-race free.
+func TestBatcherBitForBit(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := newBatcher(reg, 8, time.Millisecond)
+
+	const workers = 32
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p := paper.PDF1DParams()
+				p.Comp.ClockHz = core.MHz(float64(1 + (w*perWorker+i)%500))
+				want, err := core.Predict(p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := b.predict(context.Background(), p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					t.Errorf("worker %d call %d: batched prediction differs from core.Predict", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	requests := workers * perWorker
+	if got := snap.Counters["server.batches"]; got == 0 || got > int64(requests) {
+		t.Errorf("server.batches = %d, want in (0, %d]", got, requests)
+	}
+	// With 32 goroutines racing into batches of 8, at least some
+	// requests must have shared a batch.
+	if snap.Counters["server.coalesced_requests"] == 0 {
+		t.Error("no requests were coalesced despite concurrent load")
+	}
+}
+
+// TestBatcherLingerFlush proves a lone request is not stuck waiting
+// for a full batch: the linger timer flushes it.
+func TestBatcherLingerFlush(t *testing.T) {
+	b := newBatcher(telemetry.NewRegistry(), 64, 2*time.Millisecond)
+	p := paper.MDParams()
+	want, err := core.Predict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, err := b.predict(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("lingered prediction differs from core.Predict")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("linger flush took %v; timer is not firing", elapsed)
+	}
+}
+
+// TestBatcherFullBatchImmediate proves the request that fills a batch
+// computes it without waiting out the linger.
+func TestBatcherFullBatchImmediate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const size = 4
+	b := newBatcher(reg, size, time.Hour) // linger would stall any timer-flushed path
+
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := paper.PDF2DParams()
+			p.Comp.ClockHz = core.MHz(float64(100 + i))
+			if _, err := b.predict(context.Background(), p); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full batch did not flush without the linger timer")
+	}
+	if got := reg.Snapshot().Counters["server.coalesced_requests"]; got != size {
+		t.Errorf("coalesced_requests = %d, want %d", got, size)
+	}
+}
+
+// TestBatcherContextCancel: a waiter whose context expires gets the
+// context error, and the batch still completes for everyone else.
+func TestBatcherContextCancel(t *testing.T) {
+	b := newBatcher(telemetry.NewRegistry(), 64, 50*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.predict(ctx, paper.PDF1DParams()); err != context.Canceled {
+		t.Errorf("cancelled predict returned %v, want context.Canceled", err)
+	}
+	// The abandoned slot must not wedge the next caller.
+	if _, err := b.predict(context.Background(), paper.PDF1DParams()); err != nil {
+		t.Errorf("follow-up predict after cancellation: %v", err)
+	}
+}
+
+// TestCacheLRU exercises eviction order and the disabled (nil) cache.
+func TestCacheLRU(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := newResponseCache(reg, 2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, hit := c.get("a"); !hit { // bumps a over b
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b, the LRU
+	if _, hit := c.get("b"); hit {
+		t.Error("b survived eviction; LRU order is wrong")
+	}
+	if body, hit := c.get("a"); !hit || string(body) != "A" {
+		t.Error("a evicted out of order")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["server.cache_evictions"] != 1 {
+		t.Errorf("evictions = %d, want 1", snap.Counters["server.cache_evictions"])
+	}
+
+	var disabled *responseCache // nil: caching off
+	disabled.put("k", []byte("v"))
+	if _, hit := disabled.get("k"); hit {
+		t.Error("nil cache returned a hit")
+	}
+}
+
+// TestCacheKeyDistinguishesRequests: any parameter or topology change
+// must change the key; equal requests must collide.
+func TestCacheKeyDistinguishesRequests(t *testing.T) {
+	base := paper.PDF1DParams()
+	cfg := core.MultiConfig{Devices: 1, Topology: core.SharedChannel}
+	if cacheKey(base, cfg) != cacheKey(paper.PDF1DParams(), cfg) {
+		t.Error("identical requests produced different keys")
+	}
+	mutations := []func(*core.Parameters){
+		func(p *core.Parameters) { p.Name = p.Name + "x" },
+		func(p *core.Parameters) { p.Dataset.ElementsIn++ },
+		func(p *core.Parameters) { p.Comm.AlphaWrite += 1e-9 },
+		func(p *core.Parameters) { p.Comp.ClockHz *= 1.0000001 },
+		func(p *core.Parameters) { p.Soft.Iterations++ },
+	}
+	for i, mutate := range mutations {
+		p := paper.PDF1DParams()
+		mutate(&p)
+		if cacheKey(p, cfg) == cacheKey(base, cfg) {
+			t.Errorf("mutation %d did not change the cache key", i)
+		}
+	}
+	if cacheKey(base, cfg) == cacheKey(base, core.MultiConfig{Devices: 2, Topology: core.SharedChannel}) {
+		t.Error("device count not part of the cache key")
+	}
+	if cacheKey(base, core.MultiConfig{Devices: 2, Topology: core.SharedChannel}) ==
+		cacheKey(base, core.MultiConfig{Devices: 2, Topology: core.IndependentChannels}) {
+		t.Error("topology not part of the cache key")
+	}
+}
+
+// TestSemaphoreFIFO covers the admission semaphore directly: capacity
+// enforcement, FIFO wakeup, and the cancellation race.
+func TestSemaphoreFIFO(t *testing.T) {
+	sem := newSemaphore(2)
+	if !sem.tryAcquire(2) {
+		t.Fatal("tryAcquire(2) on an idle semaphore failed")
+	}
+	if sem.tryAcquire(1) {
+		t.Fatal("tryAcquire over capacity succeeded")
+	}
+
+	acquired := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			if err := sem.acquire(context.Background(), 1); err == nil {
+				acquired <- i
+			}
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let both queue
+	sem.release(2)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-acquired:
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued waiter never woke")
+		}
+	}
+
+	// A cancelled waiter must not consume capacity.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sem.acquire(ctx, 2); err == nil {
+		t.Fatal("acquire with cancelled context succeeded while full")
+	}
+	sem.release(2)
+	if !sem.tryAcquire(2) {
+		t.Fatal("capacity lost after cancelled waiter")
+	}
+	sem.release(2)
+}

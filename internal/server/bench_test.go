@@ -1,0 +1,44 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// BenchmarkServerPredict measures the full in-process request path of
+// POST /v1/predict in its steady state — middleware, admission,
+// decode, cache hit, write — the per-request overhead ratd adds on
+// top of the prediction kernel. Gated in BENCH_4.json: allocation
+// counts are deterministic, so any allocs/op increase fails CI.
+func BenchmarkServerPredict(b *testing.B) {
+	srv := New(Config{MaxBatch: 1}) // direct path; the batcher is benchmarked by its own tests
+	h := srv.Handler()
+	var body bytes.Buffer
+	if err := worksheet.EncodeJSON(&body, paper.PDF1DParams()); err != nil {
+		b.Fatal(err)
+	}
+	payload := body.Bytes()
+
+	// Prime the cache so every measured iteration is the hot path.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// cacheKey builds the canonical byte form of a predict request: every
+// worksheet field in a fixed order at full float64 precision, plus the
+// multi-FPGA configuration. Two requests collide iff they would
+// produce identical predictions, because the key preserves the exact
+// bits the computation consumes (NaN never reaches the cache — it
+// fails validation first).
+func cacheKey(p core.Parameters, cfg core.MultiConfig) string {
+	buf := make([]byte, 0, len(p.Name)+8*12)
+	buf = append(buf, p.Name...)
+	u64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(len(p.Name))) // disambiguates name bytes from numbers
+	u64(uint64(p.Dataset.ElementsIn))
+	u64(uint64(p.Dataset.ElementsOut))
+	f64(p.Dataset.BytesPerElement)
+	f64(p.Comm.IdealThroughput)
+	f64(p.Comm.AlphaWrite)
+	f64(p.Comm.AlphaRead)
+	f64(p.Comp.OpsPerElement)
+	f64(p.Comp.ThroughputProc)
+	f64(p.Comp.ClockHz)
+	f64(p.Soft.TSoft)
+	u64(uint64(p.Soft.Iterations))
+	u64(uint64(cfg.Devices)<<1 | uint64(cfg.Topology))
+	return string(buf)
+}
+
+// responseCache is a mutex-guarded LRU of marshalled response bodies.
+// Caching the exact bytes (not the Prediction) guarantees a hit
+// replays a byte-identical response, which is what the bit-for-bit
+// acceptance tests compare.
+type responseCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	evicts *telemetry.Counter
+	sizeG  *telemetry.Gauge
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResponseCache returns a cache holding up to max entries, or nil
+// when max <= 0 (caching disabled; a nil cache misses everything).
+func newResponseCache(reg *telemetry.Registry, max int) *responseCache {
+	if max <= 0 {
+		return nil
+	}
+	return &responseCache{
+		max:    max,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, max),
+		hits:   reg.Counter("server.cache_hits"),
+		misses: reg.Counter("server.cache_misses"),
+		evicts: reg.Counter("server.cache_evictions"),
+		sizeG:  reg.Gauge("server.cache_entries"),
+	}
+}
+
+// get returns the cached body for key, bumping its recency.
+func (c *responseCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(elem)
+	c.hits.Inc()
+	return elem.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when full. Bodies are stored as-is; callers must not mutate them.
+func (c *responseCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if elem, ok := c.items[key]; ok {
+		c.ll.MoveToFront(elem)
+		elem.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evicts.Inc()
+	}
+	c.sizeG.Set(float64(c.ll.Len()))
+}

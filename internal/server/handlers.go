@@ -1,0 +1,341 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// jsonMarshal is encoding/json.Marshal, named so the wire-writing
+// sites read uniformly.
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// httpStatus maps a request-shaped error to its status code: anything
+// wrapping the invalid-parameters or worksheet-syntax sentinels is the
+// caller's fault (400); context expiry is 504; the rest is 500.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvalidParameters), errors.Is(err, worksheet.ErrSyntax):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodePredictRequest parses the body of POST /v1/predict — the
+// existing worksheet JSON format, nothing more — plus the optional
+// devices/topology query parameters. Every failure wraps
+// core.ErrInvalidParameters or worksheet.ErrSyntax, so hostile bodies
+// always map to 400, never to a panic or 500 (pinned by
+// FuzzDecodeWorksheetRequest).
+func decodePredictRequest(body io.Reader, devicesQ, topologyQ string) (core.Parameters, core.MultiConfig, error) {
+	p, err := worksheet.DecodeJSON(body)
+	if err != nil {
+		return core.Parameters{}, core.MultiConfig{}, err
+	}
+	cfg := core.MultiConfig{Devices: 1, Topology: core.SharedChannel}
+	if devicesQ != "" {
+		n, err := strconv.Atoi(devicesQ)
+		if err != nil || n < 1 {
+			return core.Parameters{}, core.MultiConfig{},
+				fmt.Errorf("%w: devices parameter must be a positive integer (got %q)",
+					core.ErrInvalidParameters, devicesQ)
+		}
+		cfg.Devices = n
+	}
+	if topologyQ != "" {
+		topo, err := api.ParseTopology(topologyQ)
+		if err != nil {
+			return core.Parameters{}, core.MultiConfig{},
+				fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
+		}
+		cfg.Topology = topo
+	}
+	return p, cfg, nil
+}
+
+// handlePredict serves POST /v1/predict: one worksheet in, one
+// prediction out — bit-for-bit what rat.Predict (or rat.PredictMulti
+// with ?devices=N) returns for the same worksheet.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admPredict.admit(r.Context(), 1)
+	if !ok {
+		writeTooBusy(w, "/v1/predict")
+		return
+	}
+	defer release()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	q := r.URL.Query()
+	p, cfg, err := decodePredictRequest(body, q.Get("devices"), q.Get("topology"))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+
+	key := cacheKey(p, cfg)
+	if cached, hit := s.cache.get(key); hit {
+		writeJSONBytes(w, cached)
+		return
+	}
+
+	var out []byte
+	if cfg.Devices == 1 {
+		pr, err := s.batcher.predict(r.Context(), p)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		out, err = jsonMarshal(api.PredictionFromCore(pr))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		mp, err := core.PredictMulti(p, cfg)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		out, err = jsonMarshal(api.MultiPredictionFromCore(mp))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.cache.put(key, out)
+	writeJSONBytes(w, out)
+}
+
+// batchSlabs pools the parameter/prediction slabs behind
+// /v1/predict/batch so steady-state batch serving reuses storage
+// rather than allocating per request.
+var batchSlabs = sync.Pool{New: func() any { return &slab{} }}
+
+// handleBatch serves POST /v1/predict/batch: a JSON array of
+// worksheets fanned into one core.PredictBatch evaluation over a
+// pooled slab. Response element i is bit-for-bit rat.Predict of
+// worksheet i.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var docs []worksheet.Doc
+	if err := dec.Decode(&docs); err != nil {
+		err = fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if len(docs) == 0 {
+		err := fmt.Errorf("%w: batch is empty", core.ErrInvalidParameters)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+
+	// Weight admission by worksheet count: a 1000-worksheet batch
+	// holds proportionally more of the endpoint's capacity than a
+	// 2-worksheet one (clamped to the endpoint limit).
+	release, ok := s.admBatch.admit(r.Context(), int64(len(docs)))
+	if !ok {
+		writeTooBusy(w, "/v1/predict/batch")
+		return
+	}
+	defer release()
+
+	sl := batchSlabs.Get().(*slab)
+	defer batchSlabs.Put(sl)
+	sl.ps = sl.ps[:0]
+	for _, doc := range docs {
+		sl.ps = append(sl.ps, doc.Params())
+	}
+	if cap(sl.out) < len(sl.ps) {
+		sl.out = make([]core.Prediction, len(sl.ps))
+	}
+	sl.out = sl.out[:len(sl.ps)]
+
+	// PredictBatch validates every worksheet up front; the error names
+	// the offending index and wraps ErrInvalidParameters.
+	if err := core.PredictBatch(sl.ps, sl.out); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	resp := make([]api.Prediction, len(sl.out))
+	for i, pr := range sl.out {
+		resp[i] = api.PredictionFromCore(pr)
+	}
+	out, err := jsonMarshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSONBytes(w, out)
+}
+
+// handleExplore serves POST /v1/explore: a bounded grid search via
+// internal/explore. The candidate ceiling is server-enforced; grids
+// beyond it are refused outright (413) rather than queued, because no
+// deadline could save them. With ?stream=jsonl the response is JSONL:
+// top candidates, then frontier candidates when requested, then a
+// summary line.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admExplore.admit(r.Context(), 1)
+	if !ok {
+		writeTooBusy(w, "/v1/explore")
+		return
+	}
+	defer release()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req api.ExploreRequest
+	if err := dec.Decode(&req); err != nil {
+		err = fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	grid, err := req.Grid()
+	if err != nil {
+		if !errors.Is(err, core.ErrInvalidParameters) {
+			err = fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
+		}
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if err := grid.Validate(); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if size := grid.Size(); size > s.cfg.MaxExploreCandidates {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("grid asks for %d candidates; this server caps explorations at %d",
+				size, s.cfg.MaxExploreCandidates))
+		return
+	}
+	opts, err := req.Options(s.cfg.ExploreWorkers)
+	if err != nil {
+		err = fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	opts.Metrics = s.reg
+
+	// The engine has no preemption points, so run it to the side and
+	// honor the request deadline at the HTTP layer; the ceiling above
+	// bounds how much work an abandoned run can burn.
+	type exploreOut struct {
+		res explore.Result
+		err error
+	}
+	done := make(chan exploreOut, 1)
+	go func() {
+		res, err := explore.Run(grid, opts)
+		done <- exploreOut{res, err}
+	}()
+	var res explore.Result
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, httpStatus(out.err), out.err)
+			return
+		}
+		res = out.res
+	case <-r.Context().Done():
+		err := r.Context().Err()
+		writeError(w, httpStatus(err), err)
+		return
+	}
+
+	if r.URL.Query().Get("stream") == "jsonl" {
+		s.writeExploreJSONL(w, res, req.Frontier)
+		return
+	}
+	out, err := jsonMarshal(api.ExploreResponseFromCore(res, req.Frontier))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSONBytes(w, out)
+}
+
+// writeExploreJSONL streams an exploration result as JSONL.
+func (s *Server) writeExploreJSONL(w http.ResponseWriter, res explore.Result, frontier bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	emit := func(line api.ExploreLine) bool { return enc.Encode(line) == nil }
+	for i := range res.Top {
+		c := api.CandidateFromCore(res.Top[i])
+		if !emit(api.ExploreLine{Kind: "top", Candidate: &c}) {
+			return
+		}
+	}
+	if frontier {
+		for i := range res.Frontier {
+			c := api.CandidateFromCore(res.Frontier[i])
+			if !emit(api.ExploreLine{Kind: "frontier", Candidate: &c}) {
+				return
+			}
+		}
+	}
+	emit(api.ExploreLine{Kind: "summary", Summary: &api.ExploreSummary{
+		Evaluated:        res.Evaluated,
+		Feasible:         res.Feasible,
+		Workers:          res.Workers,
+		ElapsedSeconds:   res.Elapsed.Seconds(),
+		CandidatesPerSec: res.CandidatesPerSec,
+	}})
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleHealthz reports liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports readiness: 200 while accepting work, 503 once
+// draining so load balancers stop routing here.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// handleMetrics renders the registry in the text encoding of
+// internal/telemetry — the same listing ratsim -metrics prints.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := telemetry.WriteText(&buf, s.reg.Snapshot()); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// writeJSONBytes answers 200 with a pre-marshalled JSON body.
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

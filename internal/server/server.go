@@ -1,0 +1,289 @@
+// Package server implements ratd, the RAT prediction service: an
+// HTTP/JSON daemon serving the throughput test (Eqs. 1-11), the
+// multi-FPGA extension and bounded design-space explorations from the
+// existing worksheet JSON format. The serving core is production
+// shaped: a request-coalescing batcher over the zero-allocation
+// core.PredictBatch kernel, an LRU response cache keyed by the
+// canonical worksheet bytes, weighted-semaphore admission control with
+// per-endpoint concurrency limits (saturation answers 429 +
+// Retry-After), context-propagated deadlines, panic recovery,
+// structured JSONL request logging through telemetry.EventSink, and
+// graceful drain. See docs/SERVER.md for the wire contract and the
+// operational runbook.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value serves with the defaults
+// documented per field.
+type Config struct {
+	// MaxBatch is the largest coalesced predict batch; values <= 1
+	// disable coalescing. Default 16.
+	MaxBatch int
+	// Linger is how long an under-filled batch waits for company
+	// before computing anyway. Default 2ms.
+	Linger time.Duration
+
+	// CacheSize is the LRU response-cache capacity in entries; 0
+	// disables caching. Default 1024. Negative disables explicitly.
+	CacheSize int
+
+	// PredictLimit, BatchLimit and ExploreLimit bound concurrently
+	// admitted requests per endpoint (batch requests weigh their
+	// worksheet count). Defaults 64, 16, 2.
+	PredictLimit int
+	BatchLimit   int
+	ExploreLimit int
+	// AdmissionWait bounds how long a request may queue for admission
+	// before being answered 429. Default 10ms.
+	AdmissionWait time.Duration
+
+	// PredictTimeout and ExploreTimeout are the per-request deadlines
+	// propagated through context. Defaults 10s and 2m.
+	PredictTimeout time.Duration
+	ExploreTimeout time.Duration
+
+	// MaxExploreCandidates caps the grid size a single /v1/explore may
+	// ask for. Default 4Mi candidates.
+	MaxExploreCandidates uint64
+	// ExploreWorkers is the worker-pool size per exploration; 0 uses
+	// one worker per CPU.
+	ExploreWorkers int
+	// MaxBodyBytes caps request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+
+	// Metrics receives the serving metrics; nil allocates a private
+	// registry (exposed at /metrics either way).
+	Metrics *telemetry.Registry
+	// AccessLog, when non-nil, receives one structured event per
+	// request (kind "http", wall-clock picosecond span, detail
+	// "METHOD /path STATUS").
+	AccessLog telemetry.EventSink
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.Linger == 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.PredictLimit <= 0 {
+		c.PredictLimit = 64
+	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = 16
+	}
+	if c.ExploreLimit <= 0 {
+		c.ExploreLimit = 2
+	}
+	if c.AdmissionWait == 0 {
+		c.AdmissionWait = 10 * time.Millisecond
+	}
+	if c.PredictTimeout <= 0 {
+		c.PredictTimeout = 10 * time.Second
+	}
+	if c.ExploreTimeout <= 0 {
+		c.ExploreTimeout = 2 * time.Minute
+	}
+	if c.MaxExploreCandidates == 0 {
+		c.MaxExploreCandidates = 4 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the ratd serving core. Construct with New, expose with
+// Handler or Serve, stop with Shutdown.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	batcher *batcher
+	cache   *responseCache
+
+	admPredict *admission
+	admBatch   *admission
+	admExplore *admission
+
+	handler  http.Handler
+	hs       *http.Server
+	draining atomic.Bool
+	seq      atomic.Int64
+
+	panics *telemetry.Counter
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		batcher:    newBatcher(reg, cfg.MaxBatch, cfg.Linger),
+		cache:      newResponseCache(reg, cfg.CacheSize),
+		admPredict: newAdmission(reg, "predict", int64(cfg.PredictLimit), cfg.AdmissionWait),
+		admBatch:   newAdmission(reg, "batch", int64(cfg.BatchLimit), cfg.AdmissionWait),
+		admExplore: newAdmission(reg, "explore", int64(cfg.ExploreLimit), cfg.AdmissionWait),
+		panics:     reg.Counter("server.panics"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.withTimeout(cfg.PredictTimeout, s.handlePredict))
+	mux.HandleFunc("POST /v1/predict/batch", s.withTimeout(cfg.PredictTimeout, s.handleBatch))
+	mux.HandleFunc("POST /v1/explore", s.withTimeout(cfg.ExploreTimeout, s.handleExplore))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.middleware(mux)
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler, for tests and for
+// embedding the service into an existing mux.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean drain, mirroring net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s.hs.Serve(l)
+}
+
+// Shutdown drains the server: the readiness probe flips to 503, the
+// listener stops accepting, and in-flight requests run to completion
+// (or to their own deadlines) bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter captures the status code and byte count for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes (the JSONL explore path).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// middleware wraps the mux with panic recovery, request metrics and
+// structured access logging.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	requests := s.reg.Counter("server.requests")
+	latency := s.reg.Timer("server.latency")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seq := s.seq.Add(1)
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Inc()
+				// The handler died mid-request; if nothing was written
+				// yet the client still gets a well-formed 500.
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("internal error: %v", rec))
+				}
+				debug.PrintStack()
+			}
+			elapsed := time.Since(start)
+			latency.Observe(elapsed)
+			if s.cfg.AccessLog != nil {
+				s.cfg.AccessLog.Emit(telemetry.Event{
+					Kind:    "http",
+					Iter:    int(seq),
+					StartPs: start.UnixNano() * 1000,
+					EndPs:   start.Add(elapsed).UnixNano() * 1000,
+					Bytes:   sw.bytes,
+					Detail:  fmt.Sprintf("%s %s %d", r.Method, r.URL.Path, sw.status),
+				})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// withTimeout propagates a server-enforced deadline through the
+// request context.
+func (s *Server) withTimeout(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// writeError answers with the JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, merr := jsonMarshal(api.Error{Error: err.Error()})
+	if merr != nil {
+		body = []byte(`{"error":"internal error"}`)
+	}
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// writeTooBusy answers 429 with a Retry-After hint.
+func writeTooBusy(w http.ResponseWriter, endpoint string) {
+	w.Header().Set("Retry-After", strconv.Itoa(1))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("%s is at its concurrency limit; retry after backoff", endpoint))
+}

@@ -1,0 +1,535 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// encodeWorksheet marshals p in the worksheet JSON form.
+func encodeWorksheet(t *testing.T, p core.Parameters) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := worksheet.EncodeJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postPredict sends one worksheet to /v1/predict and returns the raw
+// response.
+func postPredict(t *testing.T, ts *httptest.Server, p core.Parameters, query string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/predict"+query, "application/json",
+		bytes.NewReader(encodeWorksheet(t, p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestPredictRoundTripBitForBit pins the headline contract: all three
+// paper case studies served over HTTP decode back to exactly the
+// prediction rat.Predict computes — compared with !=, no tolerance.
+func TestPredictRoundTripBitForBit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(c)
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body := postPredict(t, ts, p, "")
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", c, status, body)
+		}
+		var wire api.Prediction
+		if err := json.Unmarshal(body, &wire); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if got := wire.Core(); got != want {
+			t.Errorf("%s: served prediction differs from rat.Predict\n got %+v\nwant %+v", c, got, want)
+		}
+	}
+}
+
+// TestPredictMultiRoundTripBitForBit does the same for the multi-FPGA
+// extension via the devices/topology query parameters.
+func TestPredictMultiRoundTripBitForBit(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	for _, c := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		for _, q := range []struct {
+			query string
+			cfg   core.MultiConfig
+		}{
+			{"?devices=2", core.MultiConfig{Devices: 2, Topology: core.SharedChannel}},
+			{"?devices=4&topology=independent", core.MultiConfig{Devices: 4, Topology: core.IndependentChannels}},
+		} {
+			p := paper.Params(c)
+			want, err := core.PredictMulti(p, q.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, body := postPredict(t, ts, p, q.query)
+			if status != http.StatusOK {
+				t.Fatalf("%s%s: status %d: %s", c, q.query, status, body)
+			}
+			var wire api.MultiPrediction
+			if err := json.Unmarshal(body, &wire); err != nil {
+				t.Fatal(err)
+			}
+			if got := wire.Core(); got != want {
+				t.Errorf("%s%s: served prediction differs from rat.PredictMulti", c, q.query)
+			}
+		}
+	}
+}
+
+// TestBatchingCachingByteIdentical proves the serving-core machinery
+// is invisible: responses with coalescing and caching enabled are
+// byte-identical to a server with both disabled, and a cache hit
+// replays the exact bytes of the miss that filled it.
+func TestBatchingCachingByteIdentical(t *testing.T) {
+	plain := httptest.NewServer(New(Config{MaxBatch: 1, CacheSize: -1}).Handler())
+	defer plain.Close()
+	fancy := httptest.NewServer(New(Config{MaxBatch: 8, Linger: 5 * time.Millisecond, CacheSize: 64}).Handler())
+	defer fancy.Close()
+
+	worksheets := make([]core.Parameters, 16)
+	for i := range worksheets {
+		p := paper.PDF1DParams()
+		p.Comp.ClockHz = core.MHz(float64(50 + i))
+		worksheets[i] = p
+	}
+
+	plainBodies := make([][]byte, len(worksheets))
+	for i, p := range worksheets {
+		status, body := postPredict(t, plain, p, "")
+		if status != http.StatusOK {
+			t.Fatalf("plain %d: status %d", i, status)
+		}
+		plainBodies[i] = body
+	}
+
+	// Fire the same worksheets at the fancy server concurrently so the
+	// coalescer actually merges them, twice so the second pass is
+	// served from cache.
+	for pass := 0; pass < 2; pass++ {
+		var wg sync.WaitGroup
+		fancyBodies := make([][]byte, len(worksheets))
+		errs := make([]error, len(worksheets))
+		for i, p := range worksheets {
+			wg.Add(1)
+			go func(i int, p core.Parameters) {
+				defer wg.Done()
+				resp, err := http.Post(fancy.URL+"/v1/predict", "application/json",
+					bytes.NewReader(encodeWorksheet(t, p)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				fancyBodies[i], errs[i] = io.ReadAll(resp.Body)
+			}(i, p)
+		}
+		wg.Wait()
+		for i := range worksheets {
+			if errs[i] != nil {
+				t.Fatalf("pass %d worksheet %d: %v", pass, i, errs[i])
+			}
+			if !bytes.Equal(fancyBodies[i], plainBodies[i]) {
+				t.Errorf("pass %d worksheet %d: batched/cached response differs from plain response\n got %s\nwant %s",
+					pass, i, fancyBodies[i], plainBodies[i])
+			}
+		}
+	}
+
+	resp, err := http.Get(fancy.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(text), "server.cache_hits") {
+		t.Errorf("/metrics does not expose cache counters:\n%s", text)
+	}
+}
+
+// TestPredictBatchEndpoint checks /v1/predict/batch against scalar
+// predictions, element by element, bit for bit.
+func TestPredictBatchEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	ps := []core.Parameters{paper.PDF1DParams(), paper.PDF2DParams(), paper.MDParams()}
+	docs := make([]worksheet.Doc, len(ps))
+	for i, p := range ps {
+		docs[i] = worksheet.DocFromParams(p)
+	}
+	body, err := json.Marshal(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out []api.Prediction
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ps) {
+		t.Fatalf("got %d predictions for %d worksheets", len(out), len(ps))
+	}
+	for i, p := range ps {
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[i].Core(); got != want {
+			t.Errorf("batch element %d differs from rat.Predict", i)
+		}
+	}
+
+	// A batch with one invalid worksheet names the offending index.
+	bad := docs
+	bad[1].Dataset.ElementsIn = -3
+	body, _ = json.Marshal(bad)
+	resp2, err := http.Post(ts.URL+"/v1/predict/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	msg, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid batch: status %d, want 400", resp2.StatusCode)
+	}
+	if !strings.Contains(string(msg), "index 1") {
+		t.Errorf("invalid batch error does not name the index: %s", msg)
+	}
+}
+
+// TestExploreEndpoint cross-checks the served exploration against a
+// direct explore.Run and exercises the candidate ceiling and the JSONL
+// streaming mode.
+func TestExploreEndpoint(t *testing.T) {
+	srv := New(Config{MaxExploreCandidates: 1000})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := api.ExploreRequest{
+		Worksheet:  worksheet.DocFromParams(paper.PDF1DParams()),
+		ClocksMHz:  []float64{75, 100, 150},
+		Bufferings: []string{"single", "double"},
+		TopK:       3,
+		Frontier:   true,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var got api.ExploreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	grid, err := req.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _ := req.Options(0)
+	want, err := explore.Run(grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != want.Evaluated || got.Feasible != want.Feasible {
+		t.Errorf("evaluated/feasible = %d/%d, want %d/%d",
+			got.Evaluated, got.Feasible, want.Evaluated, want.Feasible)
+	}
+	if len(got.Top) != len(want.Top) {
+		t.Fatalf("top length %d, want %d", len(got.Top), len(want.Top))
+	}
+	for i := range want.Top {
+		if got.Top[i].Index != want.Top[i].Index || got.Top[i].Speedup != want.Top[i].Speedup {
+			t.Errorf("top[%d] = index %d speedup %v, want index %d speedup %v",
+				i, got.Top[i].Index, got.Top[i].Speedup, want.Top[i].Index, want.Top[i].Speedup)
+		}
+	}
+	if len(got.Frontier) != len(want.Frontier) {
+		t.Errorf("frontier length %d, want %d", len(got.Frontier), len(want.Frontier))
+	}
+
+	// Streaming mode: same candidates as JSONL plus a summary line.
+	resp2, err := http.Post(ts.URL+"/v1/explore?stream=jsonl", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("streaming content type %q", ct)
+	}
+	var tops, frontiers, summaries int
+	dec := json.NewDecoder(resp2.Body)
+	for {
+		var line api.ExploreLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		switch line.Kind {
+		case "top":
+			tops++
+		case "frontier":
+			frontiers++
+		case "summary":
+			summaries++
+			if line.Summary.Evaluated != want.Evaluated {
+				t.Errorf("summary evaluated = %d, want %d", line.Summary.Evaluated, want.Evaluated)
+			}
+		default:
+			t.Errorf("unknown line kind %q", line.Kind)
+		}
+	}
+	if tops != len(want.Top) || frontiers != len(want.Frontier) || summaries != 1 {
+		t.Errorf("stream lines top/frontier/summary = %d/%d/%d, want %d/%d/1",
+			tops, frontiers, summaries, len(want.Top), len(want.Frontier))
+	}
+
+	// The ceiling refuses oversized grids outright.
+	big := req
+	big.ClocksMHz = nil
+	for mhz := 1; mhz <= 600; mhz++ {
+		big.ClocksMHz = append(big.ClocksMHz, float64(mhz))
+	}
+	body, _ = json.Marshal(big)
+	resp3, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized grid: status %d, want 413", resp3.StatusCode)
+	}
+}
+
+// TestPredictErrors maps request defects to status codes.
+func TestPredictErrors(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+
+	post := func(body, query string) (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/predict"+query, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(msg)
+	}
+
+	if status, _ := post("{not json", ""); status != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", status)
+	}
+	if status, _ := post(`{"unknown_field": 1}`, ""); status != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", status)
+	}
+	valid := string(encodeWorksheet(t, paper.PDF1DParams()))
+	if status, _ := post(valid, "?devices=0"); status != http.StatusBadRequest {
+		t.Errorf("devices=0: status %d, want 400", status)
+	}
+	if status, _ := post(valid, "?topology=ring"); status != http.StatusBadRequest {
+		t.Errorf("bad topology: status %d, want 400", status)
+	}
+	invalid := strings.Replace(valid, `"elements_in": 512`, `"elements_in": -1`, 1)
+	if status, msg := post(invalid, ""); status != http.StatusBadRequest {
+		t.Errorf("invalid worksheet: status %d (%s), want 400", status, msg)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAdmissionControlBurst pins the acceptance criterion: with a
+// predict concurrency limit of N, a burst of 4N requests admits at
+// most N at a time (telemetry high-water mark) and answers the
+// overflow with 429 + Retry-After.
+func TestAdmissionControlBurst(t *testing.T) {
+	const limit = 4
+	reg := telemetry.NewRegistry()
+	srv := New(Config{
+		// A large batch plus long linger holds every admitted request
+		// in flight long enough for the burst to pile up behind the
+		// semaphore.
+		MaxBatch:      1024,
+		Linger:        300 * time.Millisecond,
+		CacheSize:     -1,
+		PredictLimit:  limit,
+		AdmissionWait: 10 * time.Millisecond,
+		Metrics:       reg,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const burst = 4 * limit
+	statuses := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := paper.PDF1DParams()
+			p.Comp.ClockHz = core.MHz(float64(100 + i))
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+				bytes.NewReader(encodeWorksheet(t, p)))
+			if err != nil {
+				statuses[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+
+	var ok200, busy429 int
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			busy429++
+			if retryAfter[i] == "" {
+				t.Error("429 response missing Retry-After")
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, st)
+		}
+	}
+	if ok200+busy429 != burst {
+		t.Fatalf("accounted %d of %d requests", ok200+busy429, burst)
+	}
+	if ok200 < limit {
+		t.Errorf("only %d requests succeeded; at least the admitted %d must", ok200, limit)
+	}
+	if busy429 == 0 {
+		t.Error("burst of 4N produced no 429s; admission control is not limiting")
+	}
+
+	snap := reg.Snapshot()
+	peak := snap.Gauges["server.inflight_peak.predict"]
+	if peak == 0 || peak > limit {
+		t.Errorf("inflight peak gauge = %v, want in (0, %d]", peak, limit)
+	}
+	if snap.Counters["server.rejected.predict"] != int64(busy429) {
+		t.Errorf("rejected counter = %d, want %d", snap.Counters["server.rejected.predict"], busy429)
+	}
+}
+
+// TestHealthReadyMetrics covers the operational endpoints.
+func TestHealthReadyMetrics(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if st, body := get("/healthz"); st != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", st, body)
+	}
+	if st, body := get("/readyz"); st != http.StatusOK || body != "ready\n" {
+		t.Errorf("/readyz = %d %q", st, body)
+	}
+
+	postPredict(t, ts, paper.PDF1DParams(), "")
+	if st, body := get("/metrics"); st != http.StatusOK ||
+		!strings.Contains(body, "server.requests") ||
+		!strings.Contains(body, "server.latency") {
+		t.Errorf("/metrics = %d:\n%s", st, body)
+	}
+
+	srv.draining.Store(true)
+	if st, body := get("/readyz"); st != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("draining /readyz = %d %q", st, body)
+	}
+	if st, _ := get("/healthz"); st != http.StatusOK {
+		t.Errorf("draining /healthz = %d, want 200 (liveness is not readiness)", st)
+	}
+}
+
+// TestPanicRecovery proves a handler panic yields a well-formed 500,
+// not a dropped connection, and bumps the panic counter.
+func TestPanicRecovery(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(Config{Metrics: reg})
+	// Reach the middleware through a handler that always panics.
+	h := srv.middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/predict", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", rec.Code)
+	}
+	var e api.Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("panic response is not an error body: %q", rec.Body.String())
+	}
+	if reg.Snapshot().Counters["server.panics"] != 1 {
+		t.Error("panic counter not bumped")
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// startServer runs Serve on an ephemeral listener and returns the base
+// URL plus a channel carrying Serve's return value.
+func startServer(t *testing.T, s *Server) (string, chan error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+	return "http://" + l.Addr().String(), served
+}
+
+// exploreBody builds a /v1/explore request whose grid is the product
+// of the axis lengths given — a compact body even for million-point
+// grids (bufferings default to both, doubling the product).
+func exploreBody(t *testing.T, clocks, tprocs, alphas int) []byte {
+	t.Helper()
+	req := api.ExploreRequest{
+		Worksheet: worksheet.DocFromParams(paper.PDF1DParams()),
+		TopK:      5,
+	}
+	for i := 1; i <= clocks; i++ {
+		req.ClocksMHz = append(req.ClocksMHz, float64(i))
+	}
+	for i := 1; i <= tprocs; i++ {
+		req.ThroughputProcs = append(req.ThroughputProcs, float64(i))
+	}
+	for i := 1; i <= alphas; i++ {
+		req.Alphas = append(req.Alphas, float64(i)/float64(alphas+1))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestGracefulShutdownCompletesInFlight pins the drain contract: an
+// exploration admitted before Shutdown runs to completion and is
+// answered 200, Serve returns http.ErrServerClosed, and the listener
+// stops accepting new connections.
+func TestGracefulShutdownCompletesInFlight(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(Config{Metrics: reg, ExploreWorkers: 1})
+	url, served := startServer(t, srv)
+
+	// Launch an exploration big enough to still be running when the
+	// drain begins (100x50x50x2 = 500k candidates on one worker).
+	type result struct {
+		status int
+		err    error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/explore", "application/json",
+			bytes.NewReader(exploreBody(t, 100, 50, 50)))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var out api.ExploreResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil && resp.StatusCode == http.StatusOK {
+			got <- result{err: derr}
+			return
+		}
+		got <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the request is actually admitted before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Gauges["server.inflight.explore"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("explore request never showed up in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !srv.Draining() {
+		t.Error("Draining() false after Shutdown")
+	}
+
+	select {
+	case err := <-served:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight explore failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Errorf("in-flight explore answered %d during drain, want 200", r.status)
+	}
+
+	// The listener is gone: new connections are refused.
+	_, err := net.DialTimeout("tcp", url[len("http://"):], time.Second)
+	if err == nil {
+		t.Error("listener still accepting connections after drain")
+	} else if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Logf("post-drain dial failed with %v (any refusal is acceptable)", err)
+	}
+}
+
+// TestShutdownDeadlineCancelsExplore covers the other drain outcome:
+// when the exploration's own deadline expires mid-drain, the client
+// gets 504 rather than a hung connection, and Shutdown still returns
+// once the handler unwinds.
+func TestShutdownDeadlineCancelsExplore(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(Config{
+		Metrics:        reg,
+		ExploreWorkers: 1,
+		ExploreTimeout: 100 * time.Millisecond,
+	})
+	url, served := startServer(t, srv)
+
+	got := make(chan int, 1)
+	go func() {
+		// 100x100x100x2 = 2M candidates: one worker cannot finish in
+		// the 100ms request deadline.
+		resp, err := http.Post(url+"/v1/explore", "application/json",
+			bytes.NewReader(exploreBody(t, 100, 100, 100)))
+		if err != nil {
+			got <- -1
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Gauges["server.inflight.explore"] < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("explore request never showed up in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case status := <-got:
+		if status != http.StatusGatewayTimeout {
+			t.Errorf("deadline-cancelled explore answered %d, want 504", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled explore never answered")
+	}
+	select {
+	case err := <-served:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestShutdownBeforeServe: Shutdown on a server that never served is a
+// clean no-op (ratd hits this when startup fails).
+func TestShutdownBeforeServe(t *testing.T) {
+	srv := New(Config{})
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Serve: %v", err)
+	}
+	if !srv.Draining() {
+		t.Error("Draining() false after Shutdown")
+	}
+}
+
+// TestAccessLogEvents checks the structured request log: one event per
+// request with the method/path/status detail line.
+func TestAccessLogEvents(t *testing.T) {
+	var sink memorySink
+	srv := New(Config{AccessLog: &sink})
+	url, served := startServer(t, srv)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-served
+
+	events := sink.take()
+	if len(events) != 1 {
+		t.Fatalf("access log has %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != "http" || e.Detail != "GET /healthz 200" {
+		t.Errorf("event = kind %q detail %q, want http / GET /healthz 200", e.Kind, e.Detail)
+	}
+	if e.EndPs < e.StartPs {
+		t.Errorf("event span inverted: [%d, %d]", e.StartPs, e.EndPs)
+	}
+}
+
+// memorySink collects emitted events for assertions.
+type memorySink struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (m *memorySink) Emit(e telemetry.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+}
+
+func (m *memorySink) take() []telemetry.Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]telemetry.Event(nil), m.events...)
+}

@@ -12,6 +12,17 @@ import (
 // interchange over the human-oriented text format. Field names and
 // units mirror the text format exactly (MB/s, MHz, seconds).
 
+// Doc is the exported name of the JSON document form, for packages
+// (the HTTP API) that embed a worksheet inside a larger message.
+type Doc = jsonWorksheet
+
+// DocFromParams converts Parameters to the JSON document form.
+func DocFromParams(p core.Parameters) Doc { return fromParams(p) }
+
+// Params converts the document back to Parameters without validating;
+// callers that accept untrusted documents must call Validate.
+func (doc Doc) Params() core.Parameters { return doc.toParams() }
+
 type jsonWorksheet struct {
 	Name    string   `json:"name,omitempty"`
 	Dataset jsonData `json:"dataset"`

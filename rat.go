@@ -34,6 +34,11 @@
 // testbeds live behind rat.NallatechH101, rat.XtremeDataXD1000 and
 // rat.Simulate; the three published case studies are available intact
 // through rat.CaseStudy and rat.CaseStudyScenario.
+//
+// The methodology is also servable over HTTP/JSON: cmd/ratd is the
+// prediction daemon and the client package is its typed Go client,
+// both returning bit-for-bit what Predict and PredictMulti compute
+// locally. See docs/SERVER.md.
 package rat
 
 import (
