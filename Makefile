@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean loadtest
+.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke
 
 all: build vet test
 
@@ -23,13 +23,13 @@ bench:
 # Refresh the committed micro-benchmark baseline (BENCH_4.json) from
 # the hot-path benchmarks. Run on a quiet machine; commit the result.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$' -benchmem -count=1 . ./internal/server \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$' -benchmem -count=1 . ./internal/server \
 	  | $(GO) run ./cmd/benchcheck -emit BENCH_4.json -note "make bench-baseline"
 
 # Gate the current tree against the committed baseline: fails on a
 # >20% BenchmarkPredict ns/op regression or any allocs/op increase.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
 	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json
 
 # Closed-loop load test against a locally built ratd: start the
@@ -50,6 +50,36 @@ loadtest:
 	test $$up = 1 || { echo "loadtest: ratd never became healthy"; exit 1; }; \
 	"$$tmp/ratload" -url http://$(LOADTEST_ADDR) $(LOADTEST_ARGS); \
 	kill -TERM $$pid; wait $$pid
+
+# Observability smoke: start ratd, drive 100 traced requests through
+# ratload, then assert that every trace ID round-tripped, the stage
+# histograms are populated, and /v1/status reports the traffic.
+OBS_SMOKE_ADDR ?= 127.0.0.1:18081
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ratd ./cmd/ratd; \
+	$(GO) build -o $$tmp/ratload ./cmd/ratload; \
+	"$$tmp/ratd" -addr $(OBS_SMOKE_ADDR) & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if curl -fs http://$(OBS_SMOKE_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "obs-smoke: ratd never became healthy"; exit 1; }; \
+	"$$tmp/ratload" -url http://$(OBS_SMOKE_ADDR) -c 4 -n 100 -traces 5 -duration 60s | tee $$tmp/report; \
+	grep -q 'traces: 100/100 echoed' $$tmp/report \
+	  || { echo "obs-smoke: trace IDs did not round-trip"; exit 1; }; \
+	grep -q 'kernel=' $$tmp/report \
+	  || { echo "obs-smoke: slowest-trace report lacks stage breakdowns"; exit 1; }; \
+	curl -fs -H 'Accept: text/plain; version=0.0.4' http://$(OBS_SMOKE_ADDR)/metrics > $$tmp/metrics; \
+	grep -q 'rat_stage_seconds_bucket{stage="kernel"' $$tmp/metrics \
+	  || { echo "obs-smoke: stage histograms are empty"; exit 1; }; \
+	grep -q 'rat_requests_total{code="200",endpoint="predict"} 100' $$tmp/metrics \
+	  || { echo "obs-smoke: request counter does not show the 100 predicts"; exit 1; }; \
+	curl -fs http://$(OBS_SMOKE_ADDR)/v1/status | grep -q '"predict":{"requests":100' \
+	  || { echo "obs-smoke: /v1/status does not report the traffic"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "obs-smoke: OK"
 
 # Regenerate every paper table and figure, side by side with the
 # published values.

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -29,6 +30,7 @@ import (
 
 	"github.com/chrec/rat/internal/api"
 	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
@@ -42,6 +44,8 @@ type (
 	ExploreResponse = api.ExploreResponse
 	// Candidate is one evaluated design point.
 	Candidate = api.Candidate
+	// Status is a live operational snapshot of a ratd process.
+	Status = api.Status
 )
 
 // RetryPolicy bounds the client's retry behavior. It mirrors the
@@ -113,9 +117,17 @@ type APIError struct {
 	Message string
 	// RetryAfter is the parsed Retry-After hint, zero when absent.
 	RetryAfter time.Duration
+	// TraceID is the trace identifier of the failed request — the
+	// server's echo when it answered with one, otherwise the ID the
+	// client sent. Quote it when filing a report: the same ID appears
+	// in ratd's access log and per-stage span records.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("ratd: %d %s: %s (trace %s)", e.StatusCode, http.StatusText(e.StatusCode), e.Message, e.TraceID)
+	}
 	return fmt.Sprintf("ratd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
 }
 
@@ -136,6 +148,7 @@ type Client struct {
 	hc      *http.Client
 	retry   RetryPolicy
 	rnd     func() float64
+	log     *slog.Logger
 }
 
 // Option customizes a Client.
@@ -147,6 +160,11 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 
 // WithRetryPolicy replaces the retry policy.
 func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
+// WithLogger installs a structured logger. The client logs one warn
+// line per retry (attempt number, wait, trace_id, the error being
+// retried); nothing is logged on the happy path.
+func WithLogger(l *slog.Logger) Option { return func(c *Client) { c.log = l } }
 
 // withJitterSource injects the jitter randomness (tests).
 func withJitterSource(rnd func() float64) Option { return func(c *Client) { c.rnd = rnd } }
@@ -263,6 +281,22 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return c.get(ctx, "/metrics")
 }
 
+// Status fetches the live operational snapshot of the service: QPS,
+// per-endpoint latency quantiles, cache hit ratio, batcher occupancy
+// and per-stage timing distributions. See docs/OBSERVABILITY.md for
+// the schema.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	body, err := c.roundTrip(ctx, http.MethodGet, "/v1/status", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
 func marshalWorksheet(p core.Parameters) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := worksheet.EncodeJSON(&buf, p); err != nil {
@@ -289,6 +323,9 @@ func (c *Client) get(ctx context.Context, path string) (string, error) {
 }
 
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	// One trace spans the logical request; every attempt under it gets
+	// its own span ID, so a server-side log shows retries as siblings.
+	trace := obs.NewTraceID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -297,6 +334,15 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > wait {
 				wait = apiErr.RetryAfter
 			}
+			if c.log != nil {
+				c.log.LogAttrs(ctx, slog.LevelWarn, "retry",
+					slog.String("method", method),
+					slog.String("path", path),
+					slog.Int("attempt", attempt),
+					slog.Duration("wait", wait),
+					slog.String("trace_id", trace.String()),
+					slog.Any("err", lastErr))
+			}
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
@@ -304,7 +350,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			}
 		}
 
-		respBody, err := c.attempt(ctx, method, path, body)
+		respBody, err := c.attempt(ctx, method, path, body, trace)
 		if err == nil {
 			return respBody, nil
 		}
@@ -325,7 +371,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, trace obs.TraceID) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -337,6 +383,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(trace, obs.NewSpanID()))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -347,7 +394,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		apiErr := &APIError{StatusCode: resp.StatusCode}
+		apiErr := &APIError{StatusCode: resp.StatusCode, TraceID: trace.String()}
+		if id, _, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader)); ok {
+			apiErr.TraceID = id.String() // prefer the server's echo: it is what the access log shows
+		}
 		var e api.Error
 		if json.Unmarshal(respBody, &e) == nil && e.Error != "" {
 			apiErr.Message = e.Error

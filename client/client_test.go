@@ -1,17 +1,22 @@
 package client
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/server"
 	"github.com/chrec/rat/internal/worksheet"
@@ -295,5 +300,216 @@ func TestClientReadyDrain(t *testing.T) {
 	}
 	if ready {
 		t.Error("Ready = true for a draining server")
+	}
+}
+
+// TestClientSendsTrace: every attempt of one logical request carries
+// the same trace ID under a fresh span ID.
+func TestClientSendsTrace(t *testing.T) {
+	var mu sync.Mutex
+	var traces, spans []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, span, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		if !ok {
+			t.Errorf("attempt carried unparseable trace header %q", r.Header.Get(obs.TraceHeader))
+		}
+		mu.Lock()
+		traces = append(traces, id.String())
+		spans = append(spans, span.String())
+		mu.Unlock()
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		server.New(server.Config{}).Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond}))
+	if _, err := c.Predict(context.Background(), paper.PDF1DParams()); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(traces))
+	}
+	if traces[0] != traces[1] || traces[1] != traces[2] {
+		t.Errorf("trace ID changed across retries: %v", traces)
+	}
+	if spans[0] == spans[1] || spans[1] == spans[2] {
+		t.Errorf("span IDs repeat across attempts: %v", spans)
+	}
+}
+
+// TestAPIErrorTraceID: a failed request surfaces its trace ID — the
+// server's echo when present, the client's own otherwise — and quotes
+// it in the error string.
+func TestAPIErrorTraceID(t *testing.T) {
+	// A real ratd echoes the header; a 404 from it is terminal.
+	c, _ := newTestPair(t, server.Config{})
+	_, err := c.get(context.Background(), "/v1/nope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if id, _, ok := obs.ParseTraceHeader(apiErr.TraceID + "-00000000"); !ok || id.IsZero() {
+		t.Fatalf("APIError.TraceID %q is not a trace ID", apiErr.TraceID)
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.TraceID) {
+		t.Errorf("error string %q does not quote the trace ID", apiErr.Error())
+	}
+
+	// A server that never echoes: the client still knows what it sent.
+	var sent string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, _, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		sent = id.String()
+		http.Error(w, `{"error":"nope"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	_, err = New(ts.URL).Predict(context.Background(), paper.PDF1DParams())
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.TraceID != sent {
+		t.Errorf("APIError.TraceID = %q, want the sent ID %q", apiErr.TraceID, sent)
+	}
+}
+
+// TestClientRetryLogging: WithLogger gets one structured warn line per
+// retry, carrying the trace ID and attempt number.
+func TestClientRetryLogging(t *testing.T) {
+	var calls atomic.Int64
+	real := server.New(server.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"warming up"}`, http.StatusServiceUnavailable)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	c := New(ts.URL,
+		WithRetryPolicy(RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond}),
+		WithLogger(slog.New(slog.NewJSONHandler(&logBuf, nil))))
+	if _, err := c.Predict(context.Background(), paper.PDF1DParams()); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d retry log lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var prevTrace string
+	for i, ln := range lines {
+		var entry struct {
+			Msg     string `json:"msg"`
+			Attempt int    `json:"attempt"`
+			TraceID string `json:"trace_id"`
+			Err     string `json:"err"`
+		}
+		if err := json.Unmarshal([]byte(ln), &entry); err != nil {
+			t.Fatalf("retry log line %d does not parse: %v", i, err)
+		}
+		if entry.Msg != "retry" || entry.Attempt != i+1 {
+			t.Errorf("line %d: msg=%q attempt=%d, want retry/%d", i, entry.Msg, entry.Attempt, i+1)
+		}
+		if entry.TraceID == "" || (prevTrace != "" && entry.TraceID != prevTrace) {
+			t.Errorf("line %d: trace_id %q (prev %q), want one stable non-empty ID", i, entry.TraceID, prevTrace)
+		}
+		prevTrace = entry.TraceID
+		if !strings.Contains(entry.Err, "warming up") {
+			t.Errorf("line %d: err %q does not carry the server error", i, entry.Err)
+		}
+	}
+}
+
+// TestClientStatus: the typed Status call returns the live snapshot.
+func TestClientStatus(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.Predict(ctx, paper.PDF1DParams()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < 1 || st.UptimeSeconds <= 0 {
+		t.Errorf("status = %+v, want at least one counted request and positive uptime", st)
+	}
+	if _, ok := st.Endpoints["predict"]; !ok {
+		t.Errorf("status endpoints missing predict: %+v", st.Endpoints)
+	}
+	if st.Stages["admission"].Count < 1 {
+		t.Errorf("status stages missing admission observations: %+v", st.Stages)
+	}
+}
+
+// syncLogBuffer lets the server's log goroutines and the test share a
+// buffer safely.
+type syncLogBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncLogBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncLogBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceEndToEnd follows one trace ID through every surface the
+// observability layer promises: the client's APIError, ratd's
+// structured access log line, and that line's per-stage span record.
+func TestTraceEndToEnd(t *testing.T) {
+	var logBuf syncLogBuffer
+	c, _ := newTestPair(t, server.Config{
+		AccessLogger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+
+	_, err := c.get(context.Background(), "/v1/predict/nope")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.TraceID == "" {
+		t.Fatalf("err = %v, want *APIError with a trace ID", err)
+	}
+
+	found := false
+	for _, ln := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var event struct {
+			Path     string `json:"path"`
+			TraceID  string `json:"trace_id"`
+			SpanID   string `json:"span_id"`
+			StagesNs string `json:"stages_ns"`
+		}
+		if err := json.Unmarshal([]byte(ln), &event); err != nil {
+			t.Fatalf("access log line does not parse: %v\n%s", err, ln)
+		}
+		if event.TraceID != apiErr.TraceID {
+			continue
+		}
+		found = true
+		if event.Path != "/v1/predict/nope" {
+			t.Errorf("log line path %q, want the failed request's path", event.Path)
+		}
+		if event.SpanID == "" {
+			t.Error("log line has no span_id")
+		}
+		for _, stage := range []string{"admission=", "cache=", "batch_wait=", "kernel=", "encode="} {
+			if !strings.Contains(event.StagesNs, stage) {
+				t.Errorf("span record %q lacks %s", event.StagesNs, stage)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no access log line carries the APIError trace ID %s:\n%s", apiErr.TraceID, logBuf.String())
 	}
 }

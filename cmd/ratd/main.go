@@ -19,11 +19,13 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,7 +35,6 @@ import (
 
 	"github.com/chrec/rat/internal/cli"
 	"github.com/chrec/rat/internal/server"
-	"github.com/chrec/rat/internal/telemetry"
 )
 
 func main() {
@@ -93,20 +94,30 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 		ExploreWorkers:       *exploreWorkers,
 	}
 
-	var logSink *telemetry.WriterSink
+	// The access log is structured slog JSONL: one "request" record per
+	// request with method, path, status, duration, trace/span IDs and
+	// the per-stage nanosecond breakdown. File output is buffered;
+	// logFlush is called after the drain completes (no writers left) so
+	// the last in-flight request's line is on disk before exit 0.
+	var logFlush func() error
 	switch *accessLog {
 	case "":
 	case "-":
-		logSink = telemetry.NewWriterSink(out)
-		cfg.AccessLog = logSink
+		cfg.AccessLogger = slog.New(slog.NewJSONHandler(out, nil))
 	default:
 		f, err := os.Create(*accessLog)
 		if err != nil {
 			return fmt.Errorf("access log: %w", err)
 		}
-		defer f.Close()
-		logSink = telemetry.NewWriterSink(f)
-		cfg.AccessLog = logSink
+		bw := bufio.NewWriter(f)
+		cfg.AccessLogger = slog.New(slog.NewJSONHandler(bw, nil))
+		logFlush = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -136,8 +147,8 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
 	}
-	if logSink != nil {
-		if err := logSink.Flush(); err != nil {
+	if logFlush != nil {
+		if err := logFlush(); err != nil {
 			return fmt.Errorf("access log: %w", err)
 		}
 	}

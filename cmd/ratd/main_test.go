@@ -141,8 +141,20 @@ func TestRunListenFailure(t *testing.T) {
 	}
 }
 
-// TestAccessLogJSONL: with -access-log the daemon writes one JSONL
-// event per request.
+// accessLogLine is the slog JSONL schema of one access-log record.
+type accessLogLine struct {
+	Msg      string `json:"msg"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	DurUs    int64  `json:"dur_us"`
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	StagesNs string `json:"stages_ns"`
+}
+
+// TestAccessLogJSONL: with -access-log the daemon writes one
+// structured slog record per request, with a server-minted trace ID.
 func TestAccessLogJSONL(t *testing.T) {
 	logPath := t.TempDir() + "/access.jsonl"
 	var out, errOut syncBuffer
@@ -158,6 +170,7 @@ func TestAccessLogJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	echoed := resp.Header.Get("X-Rat-Trace")
 
 	sig <- syscall.SIGTERM
 	if c := <-code; c != 0 {
@@ -172,14 +185,82 @@ func TestAccessLogJSONL(t *testing.T) {
 	if len(lines) != 1 {
 		t.Fatalf("access log has %d lines, want 1:\n%s", len(lines), data)
 	}
-	var event struct {
-		Kind   string `json:"kind"`
-		Detail string `json:"detail"`
-	}
+	var event accessLogLine
 	if err := json.Unmarshal([]byte(lines[0]), &event); err != nil {
 		t.Fatal(err)
 	}
-	if event.Kind != "http" || event.Detail != "GET /healthz 200" {
-		t.Errorf("event = %+v, want http / GET /healthz 200", event)
+	if event.Msg != "request" || event.Method != "GET" || event.Path != "/healthz" || event.Status != 200 {
+		t.Errorf("event = %+v, want request / GET /healthz 200", event)
+	}
+	if event.TraceID == "" || !strings.HasPrefix(echoed, event.TraceID+"-") {
+		t.Errorf("log trace_id %q does not match response header %q", event.TraceID, echoed)
+	}
+}
+
+// TestAccessLogFlushOnDrain: a request still in flight when SIGTERM
+// lands must have its log line on disk by the time ratd exits 0 — the
+// buffered sink is flushed after the drain, not abandoned.
+func TestAccessLogFlushOnDrain(t *testing.T) {
+	logPath := t.TempDir() + "/access.jsonl"
+	var out, errOut syncBuffer
+	sig := make(chan os.Signal, 1)
+	code := make(chan int, 1)
+	go func() {
+		// A long linger holds single predicts in the batcher, so the
+		// request below is reliably in flight when the signal lands.
+		code <- run([]string{"-addr", "127.0.0.1:0", "-access-log", logPath,
+			"-max-batch", "16", "-linger", "300ms"}, &out, &errOut, sig)
+	}()
+	addr := listenAddr(t, &out)
+
+	const trace = "00000000deadbeef-00000001"
+	done := make(chan error, 1)
+	go func() {
+		var body bytes.Buffer
+		if err := worksheet.EncodeJSON(&body, paper.PDF1DParams()); err != nil {
+			done <- err
+			return
+		}
+		req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/predict", &body)
+		if err != nil {
+			done <- err
+			return
+		}
+		req.Header.Set("X-Rat-Trace", trace)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- err
+			return
+		}
+		resp.Body.Close()
+		done <- nil
+	}()
+
+	time.Sleep(100 * time.Millisecond) // request is now lingering in the batcher
+	sig <- syscall.SIGTERM
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", c, errOut.String())
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed across drain: %v", err)
+	}
+
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var event accessLogLine
+		if json.Unmarshal([]byte(ln), &event) == nil &&
+			event.Path == "/v1/predict" && event.TraceID == "00000000deadbeef" {
+			found = true
+			if event.Status != 200 {
+				t.Errorf("in-flight request logged status %d, want 200", event.Status)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("drained access log lacks the in-flight request's line:\n%s", data)
 	}
 }

@@ -10,6 +10,14 @@
 //	ratload -url http://127.0.0.1:8080 -c 8 -duration 10s
 //	ratload -url http://127.0.0.1:8080 -qps 500 -c 16 -duration 30s
 //	ratload -url http://127.0.0.1:8080 -worksheet design.json -devices 2
+//	ratload -url http://127.0.0.1:8080 -n 100 -traces 5
+//
+// With -n the run stops after that many requests even if -duration has
+// time left. With -traces N every request carries an X-Rat-Trace header
+// and asks for the server's per-stage breakdown (X-Rat-Stages); the
+// report then prints the N slowest requests with their trace IDs and
+// stage timings, plus how many trace IDs the server echoed back — a
+// quick end-to-end check that tracing is wired through.
 //
 // Exit codes: 0 when the run completes and every request got an HTTP
 // response (any status), 1 on runtime failure (unreachable server,
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/worksheet"
@@ -70,6 +79,8 @@ func load(args []string, out io.Writer) error {
 	devices := fs.Int("devices", 1, "devices query parameter")
 	topology := fs.String("topology", "", "topology query parameter (shared, independent)")
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	budget := fs.Int64("n", 0, "total request budget (0 = duration-bound only)")
+	traces := fs.Int("traces", 0, "trace every request, report the N slowest with stage breakdowns (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
@@ -84,6 +95,12 @@ func load(args []string, out io.Writer) error {
 	}
 	if *qps < 0 {
 		return cli.Usagef("-qps must be non-negative (got %v)", *qps)
+	}
+	if *budget < 0 {
+		return cli.Usagef("-n must be non-negative (got %d)", *budget)
+	}
+	if *traces < 0 {
+		return cli.Usagef("-traces must be non-negative (got %d)", *traces)
 	}
 	if _, err := url.ParseRequestURI(*baseURL); err != nil {
 		return cli.Usagef("-url: %v", err)
@@ -123,9 +140,13 @@ func load(args []string, out io.Writer) error {
 	reg := telemetry.NewRegistry()
 	latHist := reg.Histogram("load.latency_seconds", latencyBounds)
 	latTimer := reg.Timer("load.latency")
-	var sent, transportErrs atomic.Int64
+	var sent, transportErrs, taken atomic.Int64
 	var statusMu sync.Mutex
 	statuses := make(map[int]int64)
+	var sampler *traceSampler
+	if *traces > 0 {
+		sampler = &traceSampler{}
+	}
 
 	// The pacer: with -qps, workers take a token per request from a
 	// shared ticker; unpaced workers run flat out.
@@ -147,6 +168,9 @@ func load(args []string, out io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
+				if *budget > 0 && taken.Add(1) > *budget {
+					return
+				}
 				if tokens != nil {
 					select {
 					case <-tokens:
@@ -160,6 +184,12 @@ func load(args []string, out io.Writer) error {
 					return
 				}
 				req.Header.Set("Content-Type", "application/json")
+				var traceHdr string
+				if sampler != nil {
+					traceHdr = obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
+					req.Header.Set(obs.TraceHeader, traceHdr)
+					req.Header.Set(obs.StagesHeader, "1")
+				}
 				sent.Add(1)
 				t0 := time.Now()
 				resp, err := client.Do(req)
@@ -176,6 +206,14 @@ func load(args []string, out io.Writer) error {
 				resp.Body.Close()
 				latHist.Observe(elapsed.Seconds())
 				latTimer.Observe(elapsed)
+				if sampler != nil {
+					sampler.record(traceSample{
+						trace:   traceHdr[:16], // the trace-ID half of the header
+						latency: elapsed,
+						stages:  resp.Header.Get(obs.StagesHeader),
+						echoed:  resp.Header.Get(obs.TraceHeader) == traceHdr,
+					})
+				}
 				statusMu.Lock()
 				statuses[resp.StatusCode]++
 				statusMu.Unlock()
@@ -186,10 +224,65 @@ func load(args []string, out io.Writer) error {
 	elapsed := time.Since(start)
 
 	report(out, reg, statuses, sent.Load(), transportErrs.Load(), elapsed, *conc, *qps)
+	if sampler != nil {
+		sampler.report(out, *traces)
+	}
 	if transportErrs.Load() > 0 {
 		return fmt.Errorf("%d transport errors (is ratd up at %s?)", transportErrs.Load(), *baseURL)
 	}
 	return nil
+}
+
+// traceSample is one traced request's outcome: its ID, latency, the
+// server's stage breakdown header, and whether the server echoed the
+// trace ID back (end-to-end propagation proof).
+type traceSample struct {
+	trace   string
+	latency time.Duration
+	stages  string
+	echoed  bool
+}
+
+// traceSampler accumulates traced requests across workers.
+type traceSampler struct {
+	mu      sync.Mutex
+	samples []traceSample
+}
+
+func (s *traceSampler) record(ts traceSample) {
+	s.mu.Lock()
+	s.samples = append(s.samples, ts)
+	s.mu.Unlock()
+}
+
+// report prints the round-trip tally and the n slowest traces with
+// their stage breakdowns.
+func (s *traceSampler) report(out io.Writer, n int) {
+	s.mu.Lock()
+	samples := s.samples
+	s.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	echoed := 0
+	for _, ts := range samples {
+		if ts.echoed {
+			echoed++
+		}
+	}
+	fmt.Fprintf(out, "traces: %d/%d echoed by the server\n", echoed, len(samples))
+	sort.Slice(samples, func(i, j int) bool { return samples[i].latency > samples[j].latency })
+	if n > len(samples) {
+		n = len(samples)
+	}
+	fmt.Fprintf(out, "slowest %d traces (stage times in ns):\n", n)
+	for _, ts := range samples[:n] {
+		stages := ts.stages
+		if stages == "" {
+			stages = "(no stage breakdown)"
+		}
+		fmt.Fprintf(out, "  %10v  trace=%s  %s\n", ts.latency.Round(time.Microsecond), ts.trace, stages)
+	}
 }
 
 // report prints the run summary: throughput, status classes and the

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/server"
@@ -120,5 +121,79 @@ func TestLoadUnreachableServer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "transport errors") {
 		t.Errorf("stderr lacks transport-error report: %s", errOut.String())
+	}
+}
+
+// TestLoadRequestBudget: -n stops the run after exactly that many
+// requests even with duration to spare.
+func TestLoadRequestBudget(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "4",
+		"-n", "25",
+		"-duration", "30s",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("budgeted run took %v, should stop well before -duration", elapsed)
+	}
+	if !strings.Contains(out.String(), "ratload: 25 requests") {
+		t.Errorf("report does not show exactly 25 requests:\n%s", out.String())
+	}
+}
+
+// TestLoadTraceSampling: with -traces every request is traced; the
+// report proves round-trip propagation and prints the slowest traces
+// with their per-stage breakdowns.
+func TestLoadTraceSampling(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "2",
+		"-n", "20",
+		"-traces", "3",
+		"-duration", "30s",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "traces: 20/20 echoed by the server") {
+		t.Errorf("report lacks the full echo tally:\n%s", report)
+	}
+	if !strings.Contains(report, "slowest 3 traces") {
+		t.Errorf("report lacks the slowest-traces section:\n%s", report)
+	}
+	if n := strings.Count(report, "trace="); n != 3 {
+		t.Errorf("report prints %d trace lines, want 3:\n%s", n, report)
+	}
+	for _, stage := range []string{"admission=", "cache=", "kernel="} {
+		if !strings.Contains(report, stage) {
+			t.Errorf("trace lines lack the %s breakdown:\n%s", stage, report)
+		}
+	}
+}
+
+// TestLoadTraceFlagValidation: negative budgets and trace counts are
+// usage errors.
+func TestLoadTraceFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "-1"},
+		{"-traces", "-2"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
 	}
 }

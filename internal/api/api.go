@@ -314,12 +314,26 @@ func ExploreResponseFromCore(res explore.Result, frontier bool) ExploreResponse 
 
 // ExploreLine is one line of a streaming explore response: exactly one
 // of the fields is set. Candidate lines ("top", then "frontier" when
-// requested) stream as they are known; the summary line terminates the
-// stream.
+// requested) stream as they are known; span lines (opt-in via
+// ?spans=1) describe per-shard engine timing; the summary line
+// terminates the stream.
 type ExploreLine struct {
-	Kind      string          `json:"kind"` // "top", "frontier" or "summary"
+	Kind      string          `json:"kind"` // "top", "frontier", "span" or "summary"
 	Candidate *Candidate      `json:"candidate,omitempty"`
+	Span      *ShardSpan      `json:"span,omitempty"`
 	Summary   *ExploreSummary `json:"summary,omitempty"`
+}
+
+// ShardSpan is the wire form of one exploration shard's timing: which
+// slice of the candidate index space a worker evaluated and how long
+// it took. Spans let a trace of a slow exploration show skew across
+// workers instead of one opaque elapsed number.
+type ShardSpan struct {
+	Shard          int     `json:"shard"`
+	Worker         int     `json:"worker"`
+	Lo             uint64  `json:"lo"`
+	Hi             uint64  `json:"hi"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
 // ExploreSummary is the closing line of a streaming explore response.
@@ -334,4 +348,56 @@ type ExploreSummary struct {
 // Elapsed returns the summary's elapsed time as a duration.
 func (s ExploreSummary) Elapsed() time.Duration {
 	return time.Duration(s.ElapsedSeconds * float64(time.Second))
+}
+
+// Status is the body of GET /v1/status: a live operational snapshot of
+// a ratd process. It complements /metrics — the same numbers a
+// dashboard would derive from the exposition, pre-digested for humans
+// and scripts.
+type Status struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	QPS           float64 `json:"qps"`
+	Draining      bool    `json:"draining"`
+
+	Endpoints map[string]EndpointStatus `json:"endpoints"`
+	Cache     CacheStatus               `json:"cache"`
+	Batcher   BatcherStatus             `json:"batcher"`
+	Stages    map[string]StageStatus    `json:"stages"`
+}
+
+// EndpointStatus summarizes one endpoint's traffic and latency.
+type EndpointStatus struct {
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Inflight float64 `json:"inflight,omitempty"`
+	Peak     float64 `json:"peak_inflight,omitempty"`
+	Rejected int64   `json:"rejected,omitempty"`
+}
+
+// CacheStatus summarizes the response cache.
+type CacheStatus struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  float64 `json:"entries"`
+}
+
+// BatcherStatus summarizes the coalescing batcher. MeanOccupancy is
+// the average coalesced batch size (1 when batching is disabled or
+// traffic never overlaps).
+type BatcherStatus struct {
+	Batches       int64   `json:"batches"`
+	Coalesced     int64   `json:"coalesced_requests"`
+	MeanOccupancy float64 `json:"mean_occupancy"`
+}
+
+// StageStatus summarizes one pipeline stage's latency distribution.
+type StageStatus struct {
+	Count int64   `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
 }

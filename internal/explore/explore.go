@@ -164,6 +164,23 @@ type Options struct {
 	// explore.shard timer, and explore.candidates_per_sec and
 	// explore.topk_churn gauges.
 	Metrics *telemetry.Registry
+	// CollectSpans records one ShardSpan per evaluated shard into
+	// Result.Spans: which index range ran on which worker and for how
+	// long. Off by default — spans cost O(shards) memory and exist for
+	// request tracing, not for every exploration.
+	CollectSpans bool
+}
+
+// ShardSpan is one shard's timing record: the candidate index range
+// [Lo, Hi) it covered, the worker that ran it, and its wall-clock
+// duration. Spans expose work-stealing skew: a healthy run shows
+// shards spread across workers with comparable durations.
+type ShardSpan struct {
+	Shard   int
+	Worker  int
+	Lo      uint64
+	Hi      uint64
+	Elapsed time.Duration
 }
 
 // Result is the outcome of exploring a grid.
@@ -185,6 +202,9 @@ type Result struct {
 	Elapsed time.Duration
 	// CandidatesPerSec is Evaluated divided by Elapsed.
 	CandidatesPerSec float64
+	// Spans holds per-shard timing when Options.CollectSpans was set,
+	// sorted by Lo so the listing reads as a scan of the index space.
+	Spans []ShardSpan
 }
 
 // shardsPerWorker oversubscribes the shard count so a slow worker
@@ -231,7 +251,7 @@ func Run(g Grid, opts Options) (Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(st *workerState) {
+		go func(worker int, st *workerState) {
 			defer wg.Done()
 			st.top.init(k, opts.Objective)
 			for {
@@ -249,11 +269,21 @@ func Run(g Grid, opts Options) (Result, error) {
 				}
 				shardStart := time.Now()
 				st.evalShard(c, opts.Constraints, lo, hi)
+				shardElapsed := time.Since(shardStart)
 				if shardTimer != nil {
-					shardTimer.Observe(time.Since(shardStart))
+					shardTimer.Observe(shardElapsed)
+				}
+				if opts.CollectSpans {
+					st.spans = append(st.spans, ShardSpan{
+						Shard:   int(s),
+						Worker:  worker,
+						Lo:      lo,
+						Hi:      hi,
+						Elapsed: shardElapsed,
+					})
 				}
 			}
-		}(&states[w])
+		}(w, &states[w])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -276,6 +306,12 @@ func Run(g Grid, opts Options) (Result, error) {
 	}
 	res.Top = merged
 	res.Frontier = mergeFrontiers(states)
+	if opts.CollectSpans {
+		for i := range states {
+			res.Spans = append(res.Spans, states[i].spans...)
+		}
+		sort.Slice(res.Spans, func(i, j int) bool { return res.Spans[i].Lo < res.Spans[j].Lo })
+	}
 
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.CandidatesPerSec = float64(res.Evaluated) / secs
@@ -296,6 +332,7 @@ type workerState struct {
 	top      topK
 	front    []Candidate
 	feasible uint64
+	spans    []ShardSpan
 }
 
 // evalShard evaluates candidates [lo, hi) of the compiled grid. The

@@ -371,3 +371,47 @@ func TestParseObjective(t *testing.T) {
 		t.Error("ParseObjective accepted an unknown objective")
 	}
 }
+
+// TestExploreSpans: with CollectSpans on, the returned spans tile the
+// candidate index space exactly — sorted by Lo, non-overlapping, with
+// no gaps — and carry plausible worker and timing fields. Off by
+// default, the slice stays nil so the hot path pays nothing.
+func TestExploreSpans(t *testing.T) {
+	g := testGrid()
+	for _, workers := range []int{1, 3, 8} {
+		res, err := explore.Run(g, explore.Options{Workers: workers, TopK: 4, CollectSpans: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Spans) == 0 {
+			t.Fatalf("workers=%d: no spans collected", workers)
+		}
+		next := uint64(0)
+		for i, sp := range res.Spans {
+			if sp.Lo != next {
+				t.Fatalf("workers=%d span %d: Lo=%d, want %d (spans must tile [0,size))", workers, i, sp.Lo, next)
+			}
+			if sp.Hi <= sp.Lo {
+				t.Fatalf("workers=%d span %d: empty range [%d,%d)", workers, i, sp.Lo, sp.Hi)
+			}
+			if sp.Worker < 0 || sp.Worker >= workers {
+				t.Errorf("workers=%d span %d: worker %d out of range", workers, i, sp.Worker)
+			}
+			if sp.Elapsed < 0 {
+				t.Errorf("workers=%d span %d: negative elapsed %v", workers, i, sp.Elapsed)
+			}
+			next = sp.Hi
+		}
+		if next != g.Size() {
+			t.Fatalf("workers=%d: spans end at %d, want %d", workers, next, g.Size())
+		}
+	}
+
+	res, err := explore.Run(g, explore.Options{Workers: 2, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans != nil {
+		t.Errorf("CollectSpans off still produced %d spans", len(res.Spans))
+	}
+}

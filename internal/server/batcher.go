@@ -41,8 +41,12 @@ type batchReq struct {
 }
 
 type batchResult struct {
-	pr  core.Prediction
-	err error
+	pr core.Prediction
+	// kernelNs is how long the batch's PredictBatch call ran — the
+	// kernel share of this request's wait, reported so handlers can
+	// split batch_wait from kernel time without a second channel.
+	kernelNs int64
+	err      error
 }
 
 type slab struct {
@@ -71,10 +75,14 @@ func newBatcher(reg *telemetry.Registry, maxBatch int, linger time.Duration) *ba
 
 // predict evaluates one pre-validated worksheet, possibly sharing a
 // batch with concurrent callers. The result is bit-for-bit
-// core.Predict(p).
-func (b *batcher) predict(ctx context.Context, p core.Parameters) (core.Prediction, error) {
+// core.Predict(p). The second return is the kernel's share of the
+// elapsed time in nanoseconds; the caller's wait minus it is time
+// spent lingering for batch-mates.
+func (b *batcher) predict(ctx context.Context, p core.Parameters) (core.Prediction, int64, error) {
 	if b.maxBatch <= 1 {
-		return core.Predict(p)
+		t0 := time.Now()
+		pr, err := core.Predict(p)
+		return pr, int64(time.Since(t0)), err
 	}
 	req := batchReq{p: p, done: make(chan batchResult, 1)}
 	b.mu.Lock()
@@ -91,9 +99,9 @@ func (b *batcher) predict(ctx context.Context, p core.Parameters) (core.Predicti
 	}
 	select {
 	case res := <-req.done:
-		return res.pr, res.err
+		return res.pr, res.kernelNs, res.err
 	case <-ctx.Done():
-		return core.Prediction{}, ctx.Err()
+		return core.Prediction{}, 0, ctx.Err()
 	}
 }
 
@@ -132,19 +140,23 @@ func (b *batcher) compute(batch []batchReq) {
 	for _, req := range batch {
 		sl.ps = append(sl.ps, req.p)
 	}
-	if err := core.PredictBatch(sl.ps, sl.out); err != nil {
+	t0 := time.Now()
+	err := core.PredictBatch(sl.ps, sl.out)
+	kernelNs := int64(time.Since(t0))
+	if err != nil {
 		// Entries are validated at decode time, so a batch error means
 		// one slipped through; fall back to per-request evaluation so
 		// the bad entry cannot poison its batch-mates.
 		for _, req := range batch {
+			t0 := time.Now()
 			pr, perr := core.Predict(req.p)
-			req.done <- batchResult{pr: pr, err: perr}
+			req.done <- batchResult{pr: pr, kernelNs: int64(time.Since(t0)), err: perr}
 		}
 		b.slabs.Put(sl)
 		return
 	}
 	for i, req := range batch {
-		req.done <- batchResult{pr: sl.out[i]}
+		req.done <- batchResult{pr: sl.out[i], kernelNs: kernelNs}
 	}
 	b.slabs.Put(sl)
 }

@@ -34,7 +34,7 @@ func TestBatcherBitForBit(t *testing.T) {
 					errs <- err
 					return
 				}
-				got, err := b.predict(context.Background(), p)
+				got, _, err := b.predict(context.Background(), p)
 				if err != nil {
 					errs <- err
 					return
@@ -74,7 +74,7 @@ func TestBatcherLingerFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	got, err := b.predict(context.Background(), p)
+	got, _, err := b.predict(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestBatcherFullBatchImmediate(t *testing.T) {
 			defer wg.Done()
 			p := paper.PDF2DParams()
 			p.Comp.ClockHz = core.MHz(float64(100 + i))
-			if _, err := b.predict(context.Background(), p); err != nil {
+			if _, _, err := b.predict(context.Background(), p); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -123,11 +123,11 @@ func TestBatcherContextCancel(t *testing.T) {
 	b := newBatcher(telemetry.NewRegistry(), 64, 50*time.Millisecond)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.predict(ctx, paper.PDF1DParams()); err != context.Canceled {
+	if _, _, err := b.predict(ctx, paper.PDF1DParams()); err != context.Canceled {
 		t.Errorf("cancelled predict returned %v, want context.Canceled", err)
 	}
 	// The abandoned slot must not wedge the next caller.
-	if _, err := b.predict(context.Background(), paper.PDF1DParams()); err != nil {
+	if _, _, err := b.predict(context.Background(), paper.PDF1DParams()); err != nil {
 		t.Errorf("follow-up predict after cancellation: %v", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/worksheet"
 )
@@ -39,6 +40,47 @@ func BenchmarkServerPredict(b *testing.B) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServerPredictTraced is BenchmarkServerPredict with an
+// X-Rat-Trace header on every request: the same cached-hit path plus
+// trace parse, context injection and header echo. The design budget is
+// at most 2 allocs/op over the untraced benchmark (the context node
+// and the echoed header value); the request header itself is attached
+// as a pre-built map so the comparison isolates the server side.
+// Gated in BENCH_4.json like the untraced path.
+func BenchmarkServerPredictTraced(b *testing.B) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	var body bytes.Buffer
+	if err := worksheet.EncodeJSON(&body, paper.PDF1DParams()); err != nil {
+		b.Fatal(err)
+	}
+	payload := body.Bytes()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload)))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	hdr := obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
+	traceHeader := http.Header{obs.TraceHeader: []string{hdr}}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload))
+		req.Header = traceHeader
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+		if got := rec.Header().Get(obs.TraceHeader); got != hdr {
+			b.Fatalf("trace header did not round-trip: got %q want %q", got, hdr)
 		}
 	}
 }

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/chrec/rat/internal/api"
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/explore"
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/telemetry"
 	"github.com/chrec/rat/internal/worksheet"
 )
@@ -70,14 +72,19 @@ func decodePredictRequest(body io.Reader, devicesQ, topologyQ string) (core.Para
 
 // handlePredict serves POST /v1/predict: one worksheet in, one
 // prediction out — bit-for-bit what rat.Predict (or rat.PredictMulti
-// with ?devices=N) returns for the same worksheet.
+// with ?devices=N) returns for the same worksheet. Each segment of the
+// pipeline records its latency: admission, cache, batch_wait, kernel
+// and encode (a cache hit records only the first two — nothing else
+// ran).
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	release, ok := s.admPredict.admit(r.Context(), 1)
 	if !ok {
 		writeTooBusy(w, "/v1/predict")
 		return
 	}
 	defer release()
+	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	q := r.URL.Query()
@@ -87,37 +94,55 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	t0 = time.Now()
 	key := cacheKey(p, cfg)
-	if cached, hit := s.cache.get(key); hit {
+	cached, hit := s.cache.get(key)
+	s.stage(r.Context(), obs.StageCache, time.Since(t0))
+	if hit {
+		setStagesHeader(w, r)
 		writeJSONBytes(w, cached)
 		return
 	}
 
 	var out []byte
 	if cfg.Devices == 1 {
-		pr, err := s.batcher.predict(r.Context(), p)
+		t0 = time.Now()
+		pr, kernelNs, err := s.batcher.predict(r.Context(), p)
+		wait := time.Since(t0) - time.Duration(kernelNs)
+		if wait < 0 {
+			wait = 0
+		}
+		s.stage(r.Context(), obs.StageBatchWait, wait)
+		s.stage(r.Context(), obs.StageKernel, time.Duration(kernelNs))
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			return
 		}
+		t0 = time.Now()
 		out, err = jsonMarshal(api.PredictionFromCore(pr))
+		s.stage(r.Context(), obs.StageEncode, time.Since(t0))
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 	} else {
+		t0 = time.Now()
 		mp, err := core.PredictMulti(p, cfg)
+		s.stage(r.Context(), obs.StageKernel, time.Since(t0))
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			return
 		}
+		t0 = time.Now()
 		out, err = jsonMarshal(api.MultiPredictionFromCore(mp))
+		s.stage(r.Context(), obs.StageEncode, time.Since(t0))
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 	}
 	s.cache.put(key, out)
+	setStagesHeader(w, r)
 	writeJSONBytes(w, out)
 }
 
@@ -149,12 +174,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Weight admission by worksheet count: a 1000-worksheet batch
 	// holds proportionally more of the endpoint's capacity than a
 	// 2-worksheet one (clamped to the endpoint limit).
+	t0 := time.Now()
 	release, ok := s.admBatch.admit(r.Context(), int64(len(docs)))
 	if !ok {
 		writeTooBusy(w, "/v1/predict/batch")
 		return
 	}
 	defer release()
+	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
 
 	sl := batchSlabs.Get().(*slab)
 	defer batchSlabs.Put(sl)
@@ -169,19 +196,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// PredictBatch validates every worksheet up front; the error names
 	// the offending index and wraps ErrInvalidParameters.
-	if err := core.PredictBatch(sl.ps, sl.out); err != nil {
+	t0 = time.Now()
+	err := core.PredictBatch(sl.ps, sl.out)
+	s.stage(r.Context(), obs.StageKernel, time.Since(t0))
+	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	t0 = time.Now()
 	resp := make([]api.Prediction, len(sl.out))
 	for i, pr := range sl.out {
 		resp[i] = api.PredictionFromCore(pr)
 	}
 	out, err := jsonMarshal(resp)
+	s.stage(r.Context(), obs.StageEncode, time.Since(t0))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	setStagesHeader(w, r)
 	writeJSONBytes(w, out)
 }
 
@@ -192,12 +225,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // top candidates, then frontier candidates when requested, then a
 // summary line.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
 	release, ok := s.admExplore.admit(r.Context(), 1)
 	if !ok {
 		writeTooBusy(w, "/v1/explore")
 		return
 	}
 	defer release()
+	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -233,6 +268,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Metrics = s.reg
+	stream := r.URL.Query().Get("stream") == "jsonl"
+	wantSpans := stream && r.URL.Query().Get("spans") == "1"
+	opts.CollectSpans = wantSpans
 
 	// The engine has no preemption points, so run it to the side and
 	// honor the request deadline at the HTTP layer; the ceiling above
@@ -259,21 +297,30 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	// The engine measures its own elapsed time; that is the kernel
+	// stage of an exploration request.
+	s.stage(r.Context(), obs.StageKernel, res.Elapsed)
 
-	if r.URL.Query().Get("stream") == "jsonl" {
-		s.writeExploreJSONL(w, res, req.Frontier)
+	if stream {
+		s.writeExploreJSONL(w, r, res, req.Frontier, wantSpans)
 		return
 	}
+	t0 = time.Now()
 	out, err := jsonMarshal(api.ExploreResponseFromCore(res, req.Frontier))
+	s.stage(r.Context(), obs.StageEncode, time.Since(t0))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	setStagesHeader(w, r)
 	writeJSONBytes(w, out)
 }
 
-// writeExploreJSONL streams an exploration result as JSONL.
-func (s *Server) writeExploreJSONL(w http.ResponseWriter, res explore.Result, frontier bool) {
+// writeExploreJSONL streams an exploration result as JSONL. Span lines
+// (per-shard engine timing) are emitted only when asked for — older
+// consumers treat unknown line kinds as an error.
+func (s *Server) writeExploreJSONL(w http.ResponseWriter, r *http.Request, res explore.Result, frontier, spans bool) {
+	setStagesHeader(w, r)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	emit := func(line api.ExploreLine) bool { return enc.Encode(line) == nil }
@@ -287,6 +334,21 @@ func (s *Server) writeExploreJSONL(w http.ResponseWriter, res explore.Result, fr
 		for i := range res.Frontier {
 			c := api.CandidateFromCore(res.Frontier[i])
 			if !emit(api.ExploreLine{Kind: "frontier", Candidate: &c}) {
+				return
+			}
+		}
+	}
+	if spans {
+		for i := range res.Spans {
+			sp := res.Spans[i]
+			line := api.ShardSpan{
+				Shard:          sp.Shard,
+				Worker:         sp.Worker,
+				Lo:             sp.Lo,
+				Hi:             sp.Hi,
+				ElapsedSeconds: sp.Elapsed.Seconds(),
+			}
+			if !emit(api.ExploreLine{Kind: "span", Span: &line}) {
 				return
 			}
 		}
@@ -321,11 +383,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ready\n")
 }
 
-// handleMetrics renders the registry in the text encoding of
-// internal/telemetry — the same listing ratsim -metrics prints.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics renders the registry. The default is the legacy text
+// listing of internal/telemetry — the same listing ratsim -metrics
+// prints. Prometheus scrapers (Accept naming format 0.0.4 or
+// OpenMetrics, or ?format=prometheus) get the exposition format
+// instead; both views include the rat_stage_seconds histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.promSnapshot()
 	var buf bytes.Buffer
-	if err := telemetry.WriteText(&buf, s.reg.Snapshot()); err != nil {
+	if wantsProm(r) {
+		if err := telemetry.WriteProm(&buf, snap); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.ContentTypeProm)
+		w.Write(buf.Bytes())
+		return
+	}
+	if err := telemetry.WriteText(&buf, snap); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

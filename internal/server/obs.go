@@ -1,0 +1,227 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/obs"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// endpointClass indexes the pre-created RED metric handles so the hot
+// path never takes the registry lock or formats a metric name.
+type endpointClass int
+
+const (
+	epPredict endpointClass = iota
+	epBatch
+	epExplore
+	epMeta
+	epOther
+	numEndpoints
+)
+
+// classifyPath buckets a request path into its endpoint class.
+func classifyPath(path string) endpointClass {
+	switch path {
+	case "/v1/predict":
+		return epPredict
+	case "/v1/predict/batch":
+		return epBatch
+	case "/v1/explore":
+		return epExplore
+	case "/healthz", "/readyz", "/metrics", "/v1/status":
+		return epMeta
+	}
+	return epOther
+}
+
+// label returns the endpoint label value used in metric names.
+func (e endpointClass) label() string {
+	switch e {
+	case epPredict:
+		return "predict"
+	case epBatch:
+		return "batch"
+	case epExplore:
+		return "explore"
+	case epMeta:
+		return "meta"
+	}
+	return "other"
+}
+
+// redCodes are the status codes with pre-created counters; anything
+// else falls back to a registry lookup (rare, off the hot path).
+var redCodes = [...]int{200, 400, 404, 408, 413, 429, 500, 503, 504}
+
+// requestSecondsBounds spans 100µs to 10s, the service's realistic
+// request-latency range.
+var requestSecondsBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// redMetrics is the per-endpoint RED instrumentation: request counts
+// by status code, request duration histograms, and a service-wide
+// in-flight gauge. Handles are created once at server construction.
+type redMetrics struct {
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
+	seconds  [numEndpoints]*telemetry.Histogram
+	codes    [numEndpoints]map[int]*telemetry.Counter
+}
+
+func newRedMetrics(reg *telemetry.Registry) *redMetrics {
+	m := &redMetrics{reg: reg, inflight: reg.Gauge("rat_inflight")}
+	for ep := endpointClass(0); ep < numEndpoints; ep++ {
+		m.seconds[ep] = reg.Histogram(
+			`rat_request_seconds{endpoint="`+ep.label()+`"}`, requestSecondsBounds)
+		m.codes[ep] = make(map[int]*telemetry.Counter, len(redCodes))
+		for _, code := range redCodes {
+			m.codes[ep][code] = m.counter(ep, code)
+		}
+	}
+	return m
+}
+
+func (m *redMetrics) counter(ep endpointClass, code int) *telemetry.Counter {
+	return m.reg.Counter(fmt.Sprintf(`rat_requests_total{code="%d",endpoint="%s"}`,
+		code, ep.label()))
+}
+
+// observe records one finished request. Pre-created handles make the
+// common codes allocation-free.
+func (m *redMetrics) observe(ep endpointClass, code int, elapsed time.Duration) {
+	m.seconds[ep].Observe(elapsed.Seconds())
+	c, ok := m.codes[ep][code]
+	if !ok {
+		c = m.counter(ep, code)
+	}
+	c.Inc()
+}
+
+// stage records one pipeline-stage latency into the server-wide
+// histograms and, when the request is traced, into its Trace. Both
+// sides are allocation-free.
+func (s *Server) stage(ctx context.Context, st obs.Stage, d time.Duration) {
+	s.stages.Observe(st, d)
+	if tr := obs.From(ctx); tr != nil {
+		tr.Add(st, d)
+	}
+}
+
+// setStagesHeader answers the opt-in X-Rat-Stages request header with
+// the per-stage breakdown accumulated so far. Callers invoke it after
+// the last stage is recorded and before the body is written.
+func setStagesHeader(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(obs.StagesHeader) == "" {
+		return
+	}
+	if tr := obs.From(r.Context()); tr != nil {
+		w.Header().Set(obs.StagesHeader, tr.StagesValue())
+	}
+}
+
+// handleStatus serves GET /v1/status: the live operational snapshot
+// documented in docs/OBSERVABILITY.md.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start).Seconds()
+	st := api.Status{
+		UptimeSeconds: uptime,
+		Requests:      s.requests.Value(),
+		Draining:      s.draining.Load(),
+		Endpoints:     make(map[string]api.EndpointStatus, int(numEndpoints)),
+		Stages:        make(map[string]api.StageStatus, int(obs.NumStages)),
+	}
+	if uptime > 0 {
+		st.QPS = float64(st.Requests) / uptime
+	}
+	admissions := map[endpointClass]*admission{
+		epPredict: s.admPredict, epBatch: s.admBatch, epExplore: s.admExplore,
+	}
+	for ep := endpointClass(0); ep < numEndpoints; ep++ {
+		hs := s.red.seconds[ep].Stats()
+		es := api.EndpointStatus{
+			Requests: hs.Count,
+			P50Ms:    hs.Quantile(0.50) * 1e3,
+			P95Ms:    hs.Quantile(0.95) * 1e3,
+			P99Ms:    hs.Quantile(0.99) * 1e3,
+		}
+		if adm := admissions[ep]; adm != nil {
+			es.Inflight = adm.inflight.Value()
+			es.Peak = adm.peakG.Value()
+			es.Rejected = adm.rejected.Value()
+		}
+		st.Endpoints[ep.label()] = es
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.hits.Value(), s.cache.misses.Value()
+		st.Cache = api.CacheStatus{
+			Hits:    hits,
+			Misses:  misses,
+			Entries: s.cache.sizeG.Value(),
+		}
+		if hits+misses > 0 {
+			st.Cache.HitRatio = float64(hits) / float64(hits+misses)
+		}
+	}
+	bs := s.batcher.sizeHist.Stats()
+	st.Batcher = api.BatcherStatus{
+		Batches:   s.batcher.batches.Value(),
+		Coalesced: s.batcher.coalesced.Value(),
+	}
+	if bs.Count > 0 {
+		st.Batcher.MeanOccupancy = bs.Sum / float64(bs.Count)
+	}
+	for _, stg := range obs.Stages() {
+		hs := s.stages.Histogram(stg)
+		st.Stages[stg.String()] = api.StageStatus{
+			Count: hs.Count,
+			P50Us: hs.Quantile(0.50) * 1e6,
+			P95Us: hs.Quantile(0.95) * 1e6,
+			P99Us: hs.Quantile(0.99) * 1e6,
+		}
+	}
+	out, err := jsonMarshal(st)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSONBytes(w, out)
+}
+
+// wantsProm reports whether the client asked for Prometheus text
+// exposition: an Accept header naming format version 0.0.4 (what a
+// Prometheus scraper sends) or OpenMetrics, or an explicit
+// ?format=prometheus override. The default stays the legacy listing.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "openmetrics")
+}
+
+// promSnapshot augments the registry snapshot with the StageSet's
+// histograms under the rat_stage_seconds family, so both exposition
+// formats see the same data.
+func (s *Server) promSnapshot() telemetry.Snapshot {
+	snap := s.reg.Snapshot()
+	if snap.Histograms == nil {
+		snap.Histograms = map[string]telemetry.HistogramStats{}
+	}
+	for _, stg := range obs.Stages() {
+		snap.Histograms[`rat_stage_seconds{stage="`+stg.String()+`"}`] = s.stages.Histogram(stg)
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]float64{}
+	}
+	snap.Gauges["rat_uptime_seconds"] = time.Since(s.start).Seconds()
+	return snap
+}

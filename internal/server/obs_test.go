@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/obs"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func predictBody(t testing.TB) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := worksheet.EncodeJSON(&body, paper.PDF1DParams()); err != nil {
+		t.Fatal(err)
+	}
+	return body.Bytes()
+}
+
+// TestTraceHeaderEcho: a request carrying X-Rat-Trace gets the exact
+// value echoed on the response, traced or not, success or error.
+func TestTraceHeaderEcho(t *testing.T) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	hdr := obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	req.Header.Set(obs.TraceHeader, hdr)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(obs.TraceHeader); got != hdr {
+		t.Errorf("trace header echo = %q, want %q", got, hdr)
+	}
+
+	// Malformed header: ignored, not echoed (and no crash).
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	req.Header.Set(obs.TraceHeader, "not-a-trace")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get(obs.TraceHeader); got != "" {
+		t.Errorf("malformed trace header echoed as %q, want empty", got)
+	}
+
+	// Untraced request without logging: no header is minted.
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.TraceHeader); got != "" {
+		t.Errorf("untraced request got minted header %q", got)
+	}
+}
+
+// TestTraceGeneratedWhenLogging: with an access logger configured the
+// server mints a trace for bare requests so every log line has an ID,
+// and the response carries it.
+func TestTraceGeneratedWhenLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(Config{
+		MaxBatch:     1,
+		AccessLogger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	hdr := rec.Header().Get(obs.TraceHeader)
+	id, _, ok := obs.ParseTraceHeader(hdr)
+	if !ok || id.IsZero() {
+		t.Fatalf("minted trace header %q does not parse", hdr)
+	}
+
+	var line struct {
+		Msg      string `json:"msg"`
+		Method   string `json:"method"`
+		Path     string `json:"path"`
+		Status   int    `json:"status"`
+		TraceID  string `json:"trace_id"`
+		SpanID   string `json:"span_id"`
+		StagesNs string `json:"stages_ns"`
+	}
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("access log line does not parse: %v\n%s", err, logBuf.String())
+	}
+	if line.Msg != "request" || line.Method != "POST" || line.Path != "/v1/predict" || line.Status != 200 {
+		t.Errorf("log line fields wrong: %+v", line)
+	}
+	if line.TraceID != id.String() {
+		t.Errorf("log trace_id %q != response header trace %q", line.TraceID, id.String())
+	}
+	for _, stg := range obs.Stages() {
+		if !strings.Contains(line.StagesNs, stg.String()+"=") {
+			t.Errorf("stages_ns %q missing stage %s", line.StagesNs, stg)
+		}
+	}
+}
+
+// TestStagesHeaderOptIn: the per-stage breakdown comes back only when
+// asked for via X-Rat-Stages, and only on traced requests.
+func TestStagesHeaderOptIn(t *testing.T) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	hdr := obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
+
+	// Traced + opted in: breakdown present with every stage.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	req.Header.Set(obs.TraceHeader, hdr)
+	req.Header.Set(obs.StagesHeader, "1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	breakdown := rec.Header().Get(obs.StagesHeader)
+	if breakdown == "" {
+		t.Fatal("opted-in traced request got no X-Rat-Stages response header")
+	}
+	for _, stg := range obs.Stages() {
+		if !strings.Contains(breakdown, stg.String()+"=") {
+			t.Errorf("breakdown %q missing stage %s", breakdown, stg)
+		}
+	}
+
+	// Traced, not opted in: absent.
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	req.Header.Set(obs.TraceHeader, hdr)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.StagesHeader); got != "" {
+		t.Errorf("non-opted request got X-Rat-Stages %q", got)
+	}
+
+	// Opted in but untraced: nothing to report, header absent.
+	req = httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+	req.Header.Set(obs.StagesHeader, "1")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.StagesHeader); got != "" {
+		t.Errorf("untraced opted request got X-Rat-Stages %q", got)
+	}
+}
+
+// TestMetricsPromConformance drives traffic, scrapes /metrics with a
+// Prometheus Accept header, and runs the exposition through the
+// conformance validator. The legacy listing must survive untouched on
+// the default path.
+func TestMetricsPromConformance(t *testing.T) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t))))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict status %d", rec.Code)
+		}
+	}
+	// One client error so a non-200 code series exists.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader("{")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad predict status %d, want 400", rec.Code)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain; version=0.0.4")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != telemetry.ContentTypeProm {
+		t.Errorf("prom content type = %q", ct)
+	}
+	exposition := rec.Body.String()
+	if err := telemetry.ValidateProm(exposition); err != nil {
+		t.Fatalf("/metrics exposition is not conformant: %v\n%s", err, exposition)
+	}
+	for _, want := range []string{
+		`rat_requests_total{code="200",endpoint="predict"} 3`,
+		`rat_requests_total{code="400",endpoint="predict"} 1`,
+		"# TYPE rat_request_seconds histogram",
+		`rat_stage_seconds_bucket{stage="kernel",le="+Inf"}`,
+		"rat_inflight",
+		"rat_uptime_seconds",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// ?format=prometheus works without the Accept header.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prometheus", nil))
+	if err := telemetry.ValidateProm(rec.Body.String()); err != nil {
+		t.Errorf("?format=prometheus exposition invalid: %v", err)
+	}
+
+	// Default scrape stays the legacy listing.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	legacy := rec.Body.String()
+	if !strings.Contains(legacy, "server.requests") || !strings.Contains(legacy, "server.cache_hits") {
+		t.Errorf("legacy metrics listing lost its names:\n%s", legacy)
+	}
+}
+
+// TestStatusEndpoint checks the /v1/status snapshot after known
+// traffic: request counts, cache ratio, stage counts.
+func TestStatusEndpoint(t *testing.T) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	for i := 0; i < 4; i++ { // 1 miss + 3 hits
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t))))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict status %d", rec.Code)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status endpoint returned %d", rec.Code)
+	}
+	var st api.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("status body does not parse: %v", err)
+	}
+	if st.Requests < 4 {
+		t.Errorf("requests = %d, want >= 4", st.Requests)
+	}
+	if st.UptimeSeconds <= 0 || st.QPS <= 0 {
+		t.Errorf("uptime/qps = %g/%g, want positive", st.UptimeSeconds, st.QPS)
+	}
+	if st.Draining {
+		t.Error("fresh server reports draining")
+	}
+	ep, ok := st.Endpoints["predict"]
+	if !ok || ep.Requests != 4 {
+		t.Errorf("predict endpoint status = %+v (ok=%v), want 4 requests", ep, ok)
+	}
+	if st.Cache.Hits != 3 || st.Cache.Misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 3/1", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.Cache.HitRatio < 0.74 || st.Cache.HitRatio > 0.76 {
+		t.Errorf("hit ratio = %g, want 0.75", st.Cache.HitRatio)
+	}
+	if st.Stages["admission"].Count != 4 || st.Stages["cache"].Count != 4 {
+		t.Errorf("stage counts admission/cache = %d/%d, want 4/4",
+			st.Stages["admission"].Count, st.Stages["cache"].Count)
+	}
+	if st.Stages["kernel"].Count != 1 {
+		t.Errorf("kernel stage count = %d, want 1 (one cache miss)", st.Stages["kernel"].Count)
+	}
+}
+
+// TestTracedAllocOverhead pins the design budget with the runtime's
+// own accounting: serving a traced cached-hit request allocates at
+// most 2 more objects than the identical untraced request.
+func TestTracedAllocOverhead(t *testing.T) {
+	srv := New(Config{MaxBatch: 1})
+	h := srv.Handler()
+	payload := predictBody(t)
+
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload)))
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warmup status %d", warm.Code)
+	}
+
+	hdr := obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
+	traceHeader := http.Header{obs.TraceHeader: []string{hdr}}
+	run := func(traced bool) float64 {
+		return testing.AllocsPerRun(200, func() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload))
+			if traced {
+				req.Header = traceHeader
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d", rec.Code)
+			}
+		})
+	}
+	untraced := run(false)
+	traced := run(true)
+	if diff := traced - untraced; diff > 2 {
+		t.Errorf("traced path allocates %.1f/op vs %.1f/op untraced (+%.1f, budget +2)",
+			traced, untraced, diff)
+	}
+}
+
+// TestExploreSpansOptIn: span lines appear in the JSONL stream only
+// with ?spans=1, and cover the whole candidate index space.
+func TestExploreSpansOptIn(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	reqBody := func() *bytes.Reader {
+		body, err := json.Marshal(map[string]any{
+			"worksheet":  json.RawMessage(predictBody(t)),
+			"clocks_mhz": []float64{50, 100, 150, 200},
+			"alphas":     []float64{0.5, 0.7, 0.9},
+			"top_k":      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.NewReader(body)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/explore?stream=jsonl&spans=1", reqBody()))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explore status %d: %s", rec.Code, rec.Body.String())
+	}
+	var spanLines, summaryLines int
+	var covered uint64
+	var summary api.ExploreSummary
+	dec := json.NewDecoder(rec.Body)
+	for dec.More() {
+		var line api.ExploreLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		switch line.Kind {
+		case "span":
+			spanLines++
+			if line.Span == nil || line.Span.Hi <= line.Span.Lo {
+				t.Fatalf("malformed span line: %+v", line.Span)
+			}
+			covered += line.Span.Hi - line.Span.Lo
+		case "summary":
+			summaryLines++
+			summary = *line.Summary
+		}
+	}
+	if spanLines == 0 || summaryLines != 1 {
+		t.Fatalf("got %d span lines, %d summaries; want >0 and 1", spanLines, summaryLines)
+	}
+	if covered != summary.Evaluated {
+		t.Errorf("spans cover %d candidates, summary says %d evaluated", covered, summary.Evaluated)
+	}
+
+	// Without spans=1 the stream must not contain span lines (older
+	// consumers reject unknown kinds).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/explore?stream=jsonl", reqBody()))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explore status %d", rec.Code)
+	}
+	dec = json.NewDecoder(rec.Body)
+	for dec.More() {
+		var line api.ExploreLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Kind == "span" {
+			t.Fatal("span line emitted without opt-in")
+		}
+	}
+}

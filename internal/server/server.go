@@ -15,6 +15,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime/debug"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/telemetry"
 )
 
@@ -71,6 +73,12 @@ type Config struct {
 	// request (kind "http", wall-clock picosecond span, detail
 	// "METHOD /path STATUS").
 	AccessLog telemetry.EventSink
+	// AccessLogger, when non-nil, receives one structured record per
+	// request with method, path, status, bytes, duration, trace_id,
+	// span_id and the per-stage latency breakdown. This is the access
+	// log ratd writes as JSONL; it supersedes AccessLog, which remains
+	// for event-pipeline consumers.
+	AccessLogger *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -131,8 +139,12 @@ type Server struct {
 	hs       *http.Server
 	draining atomic.Bool
 	seq      atomic.Int64
+	start    time.Time
 
-	panics *telemetry.Counter
+	panics   *telemetry.Counter
+	requests *telemetry.Counter
+	red      *redMetrics
+	stages   obs.StageSet
 }
 
 // New builds a Server from the configuration.
@@ -148,6 +160,9 @@ func New(cfg Config) *Server {
 		admBatch:   newAdmission(reg, "batch", int64(cfg.BatchLimit), cfg.AdmissionWait),
 		admExplore: newAdmission(reg, "explore", int64(cfg.ExploreLimit), cfg.AdmissionWait),
 		panics:     reg.Counter("server.panics"),
+		requests:   reg.Counter("server.requests"),
+		red:        newRedMetrics(reg),
+		start:      time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.withTimeout(cfg.PredictTimeout, s.handlePredict))
@@ -156,7 +171,14 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.handler = s.middleware(mux)
+	// Built here, not in Serve: Shutdown reads s.hs from another
+	// goroutine, so the assignment must happen-before both.
+	s.hs = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	return s
 }
 
@@ -170,10 +192,6 @@ func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean drain, mirroring net/http.
 func (s *Server) Serve(l net.Listener) error {
-	s.hs = &http.Server{
-		Handler:           s.handler,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
 	return s.hs.Serve(l)
 }
 
@@ -191,11 +209,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// statusWriter captures the status code and byte count for logging.
+// statusWriter captures the status code and byte count for logging,
+// and owns the request's Trace. Embedding the Trace by value here puts
+// the whole per-request observability record inside an allocation the
+// server already makes, so tracing adds no allocation of its own.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	tr     obs.Trace
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -221,15 +243,31 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// middleware wraps the mux with panic recovery, request metrics and
-// structured access logging.
+// middleware wraps the mux with panic recovery, request metrics, trace
+// ingress/echo and structured access logging.
 func (s *Server) middleware(next http.Handler) http.Handler {
-	requests := s.reg.Counter("server.requests")
 	latency := s.reg.Timer("server.latency")
+	logging := s.cfg.AccessLog != nil || s.cfg.AccessLogger != nil
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		seq := s.seq.Add(1)
-		requests.Inc()
+		s.requests.Inc()
+		ep := classifyPath(r.URL.Path)
+		s.red.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
+		// Trace ingress: accept a well-formed X-Rat-Trace and echo the
+		// incoming value back verbatim (the caller's round-trip proof).
+		// Without one, mint an identity only when a log will carry it —
+		// the untraced hot path stays allocation-free.
+		if hdr := r.Header.Get(obs.TraceHeader); hdr != "" {
+			if id, span, ok := obs.ParseTraceHeader(hdr); ok {
+				sw.tr.ID, sw.tr.Span = id, span
+				w.Header().Set(obs.TraceHeader, hdr)
+			}
+		}
+		if !sw.tr.Valid() && logging {
+			sw.tr.ID, sw.tr.Span = obs.NewTraceID(), obs.NewSpanID()
+			w.Header().Set(obs.TraceHeader, sw.tr.Header())
+		}
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -244,6 +282,12 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			}
 			elapsed := time.Since(start)
 			latency.Observe(elapsed)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.red.observe(ep, status, elapsed)
+			s.red.inflight.Add(-1)
 			if s.cfg.AccessLog != nil {
 				s.cfg.AccessLog.Emit(telemetry.Event{
 					Kind:    "http",
@@ -254,17 +298,35 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 					Detail:  fmt.Sprintf("%s %s %d", r.Method, r.URL.Path, sw.status),
 				})
 			}
+			if s.cfg.AccessLogger != nil {
+				s.cfg.AccessLogger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", status),
+					slog.Int64("bytes", sw.bytes),
+					slog.Int64("dur_us", elapsed.Microseconds()),
+					slog.String("trace_id", sw.tr.ID.String()),
+					slog.String("span_id", sw.tr.Span.String()),
+					slog.String("stages_ns", sw.tr.StagesValue()),
+				)
+			}
 		}()
 		next.ServeHTTP(sw, r)
 	})
 }
 
 // withTimeout propagates a server-enforced deadline through the
-// request context.
+// request context, and carries the request's Trace alongside it so
+// every stage downstream can record into it. The trace injection is
+// the traced path's single extra context allocation; untraced
+// requests skip it.
 func (s *Server) withTimeout(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
+		if sw, ok := w.(*statusWriter); ok && sw.tr.Valid() {
+			ctx = obs.With(ctx, &sw.tr)
+		}
 		h(w, r.WithContext(ctx))
 	}
 }

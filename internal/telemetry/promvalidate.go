@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm checks that data is well-formed Prometheus text
+// exposition (version 0.0.4): every line parses, each family has at
+// most one # TYPE with a legal type, a family's lines are contiguous
+// (no interleaving and no duplicate families), no sample repeats a
+// (name, label set) pair, and every histogram family has monotone
+// cumulative `le` buckets ending in a mandatory le="+Inf" bucket that
+// agrees with the family's `_count`. It is the repo's scrape-side
+// conformance oracle: if this passes, a real Prometheus server's
+// parser will too.
+func ValidateProm(data string) error {
+	families := map[string]*promFamState{}
+	get := func(name string) *promFamState {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamState{
+				seen:     map[string]bool{},
+				buckets:  map[string][]bucketSample{},
+				counts:   map[string]float64{},
+				hasCount: map[string]bool{},
+			}
+			families[name] = f
+		}
+		return f
+	}
+	current := ""
+
+	lines := strings.Split(data, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if !validPromName(fields[2]) {
+					return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, fields[2])
+				}
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return fmt.Errorf("line %d: TYPE for invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				f := get(name)
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+				}
+				if f.closed || len(f.seen) > 0 {
+					return fmt.Errorf("line %d: TYPE for family %q after its samples", lineNo, name)
+				}
+				f.typ = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix := promFamilyOf(name, families)
+		f := get(fam)
+		if f.closed {
+			return fmt.Errorf("line %d: family %q reappears after other families (interleaved or duplicated)", lineNo, fam)
+		}
+		if current != "" && current != fam {
+			if prev := families[current]; prev != nil {
+				prev.closed = true
+			}
+		}
+		current = fam
+
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if f.seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		f.seen[key] = true
+
+		if f.typ == "histogram" {
+			group := canonicalLabels(withoutLabel(labels, "le"))
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				bound, perr := parsePromFloat(le)
+				if perr != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+				f.buckets[group] = append(f.buckets[group], bucketSample{bound, value})
+			case "_count":
+				f.counts[group] = value
+				f.hasCount[group] = true
+			case "_sum":
+			case "":
+				return fmt.Errorf("line %d: bare sample %q in histogram family", lineNo, name)
+			}
+		}
+	}
+
+	// Cross-line histogram checks.
+	famNames := make([]string, 0, len(families))
+	for n := range families {
+		famNames = append(famNames, n)
+	}
+	sort.Strings(famNames)
+	for _, n := range famNames {
+		f := families[n]
+		if f.typ != "histogram" {
+			continue
+		}
+		for group, bs := range f.buckets {
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("family %q{%s}: le buckets not strictly increasing (%g after %g)", n, group, bs[i].le, bs[i-1].le)
+				}
+				if bs[i].cum < bs[i-1].cum {
+					return fmt.Errorf("family %q{%s}: cumulative bucket counts decrease (%g < %g at le=%g)", n, group, bs[i].cum, bs[i-1].cum, bs[i].le)
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("family %q{%s}: missing le=\"+Inf\" bucket", n, group)
+			}
+			if f.hasCount[group] && f.counts[group] != last.cum {
+				return fmt.Errorf("family %q{%s}: _count %g != +Inf bucket %g", n, group, f.counts[group], last.cum)
+			}
+		}
+	}
+	return nil
+}
+
+type bucketSample struct {
+	le  float64
+	cum float64
+}
+
+// promFamState tracks one family's validation state while scanning.
+type promFamState struct {
+	typ      string
+	closed   bool // a different family's samples have appeared since
+	seen     map[string]bool
+	buckets  map[string][]bucketSample // histogram: label-set (minus le) -> buckets
+	counts   map[string]float64        // histogram: label-set -> _count value
+	hasCount map[string]bool
+}
+
+// promFamilyOf strips the histogram/summary sample suffix when the
+// base name is a known family, so `x_bucket` groups under `x`.
+func promFamilyOf(name string, families map[string]*promFamState) (string, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if _, ok := families[base]; ok {
+				return base, suffix
+			}
+		}
+	}
+	return name, ""
+}
+
+// parsePromSample splits one exposition sample line into metric name,
+// label pairs, and value. Timestamps (a trailing integer) are accepted
+// and ignored.
+func parsePromSample(line string) (name string, labels [][2]string, value float64, err error) {
+	i := 0
+	for i < len(line) && isPromNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, 0, fmt.Errorf("sample does not start with a metric name: %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, escaped := false, false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			if escaped {
+				escaped = false
+				continue
+			}
+			switch {
+			case inQuote && c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case !inQuote && c == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label block: %q", line)
+		}
+		labels, err = parsePromLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] after name, got %q", rest)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parsePromLabels decodes `k1="v1",k2="v2"` with \\, \", and \n
+// escapes in values.
+func parsePromLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && isPromNameChar(s[j], j == i) && s[j] != ':' {
+			j++
+		}
+		if j == i {
+			return nil, fmt.Errorf("empty label name in %q", s)
+		}
+		key := s[i:j]
+		if j >= len(s) || s[j] != '=' {
+			return nil, fmt.Errorf("label %q missing '='", key)
+		}
+		j++
+		if j >= len(s) || s[j] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		j++
+		var val strings.Builder
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[j+1], key)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		out = append(out, [2]string{key, val.String()})
+		if j < len(s) {
+			if s[j] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s[j:])
+			}
+			j++
+		}
+		i = j
+	}
+	return out, nil
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isPromNameChar(c byte, first bool) bool {
+	if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isPromNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func canonicalLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = kv[0] + "=" + strconv.Quote(kv[1])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func labelValue(labels [][2]string, key string) (string, bool) {
+	for _, kv := range labels {
+		if kv[0] == key {
+			return kv[1], true
+		}
+	}
+	return "", false
+}
+
+func withoutLabel(labels [][2]string, key string) [][2]string {
+	out := make([][2]string, 0, len(labels))
+	for _, kv := range labels {
+		if kv[0] != key {
+			out = append(out, kv)
+		}
+	}
+	return out
+}

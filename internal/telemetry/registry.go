@@ -36,6 +36,18 @@ type Gauge struct {
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add moves the gauge by delta (negative to decrease), lock-free via
+// compare-and-swap so concurrent adders never lose updates.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (zero before the first Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -144,6 +156,38 @@ type HistogramStats struct {
 	Sum      float64       `json:"sum"`
 	Buckets  []BucketCount `json:"buckets"`
 	Overflow int64         `json:"overflow"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket containing the target rank, the
+// standard Prometheus histogram_quantile estimate. An empty histogram
+// returns 0; out-of-range q is clamped; ranks landing in the overflow
+// bucket return the last finite bound (the estimate cannot exceed it).
+func (h HistogramStats) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var cum float64
+	lower := 0.0
+	for _, b := range h.Buckets {
+		next := cum + float64(b.Count)
+		if next >= target && b.Count > 0 {
+			frac := (target - cum) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(b.UpperBound-lower)
+		}
+		cum = next
+		lower = b.UpperBound
+	}
+	return h.Buckets[len(h.Buckets)-1].UpperBound
 }
 
 // Registry holds named metrics. All methods are safe for concurrent
