@@ -47,7 +47,7 @@ func parseClocks(s string) ([]float64, error) {
 	for _, part := range strings.Split(s, ",") {
 		mhz, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad clock %q: %v", part, err)
+			return nil, fmt.Errorf("bad clock %q: %w", part, err)
 		}
 		out = append(out, core.MHz(mhz))
 	}

@@ -234,7 +234,8 @@ func lutIndex(d fixed.Value, cfg HWConfig) int {
 func EstimateFixed(samples, bins []float64, p Params, cfg HWConfig) []float64 {
 	e, err := NewFixedEstimator(bins, p, cfg)
 	if err != nil {
-		panic(err) // invalid configurations are programming errors here
+		//rat:allow-panic Must-style convenience wrapper; invalid configurations are programming errors here
+		panic(err)
 	}
 	e.ProcessBatch(samples)
 	return e.Estimate()

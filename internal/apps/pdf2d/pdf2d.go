@@ -153,7 +153,8 @@ func HW18() HWConfig { return HWConfig{Format: fixed.Q(2, 16), LUTBits: 10} }
 func EstimateFixed(points []Point, grid []Point, p Params, cfg HWConfig) []float64 {
 	e, err := NewFixedEstimator2D(grid, p, cfg)
 	if err != nil {
-		panic(err) // invalid configurations are programming errors here
+		//rat:allow-panic Must-style convenience wrapper; invalid configurations are programming errors here
+		panic(err)
 	}
 	return e.ProcessBatch(points)
 }

@@ -13,6 +13,8 @@ import "fmt"
 // PredictInto evaluates Eqs. (1)-(11) into *out without allocating.
 // It is Predict for callers that own the result storage (preallocated
 // slices, arena-style buffers). On a validation error *out is zeroed.
+//
+//rat:hotpath
 func PredictInto(p Parameters, out *Prediction) error {
 	if err := p.Validate(); err != nil {
 		*out = Prediction{}
@@ -29,6 +31,8 @@ func PredictInto(p Parameters, out *Prediction) error {
 // error names the offending index and nothing is written — and then the
 // whole batch is computed with zero allocations. out[i] is bit-for-bit
 // identical to the result of Predict(ps[i]).
+//
+//rat:hotpath
 func PredictBatch(ps []Parameters, out []Prediction) error {
 	if len(out) < len(ps) {
 		return fmt.Errorf("%w: output slice holds %d predictions for %d parameter sets",

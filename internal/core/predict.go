@@ -125,6 +125,7 @@ func predictInto(p Parameters, pr *Prediction) {
 func MustPredict(p Parameters) Prediction {
 	pr, err := Predict(p)
 	if err != nil {
+		//rat:allow-panic Must-style wrapper documented to panic on validation failure
 		panic(err)
 	}
 	return pr

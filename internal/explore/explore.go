@@ -247,6 +247,7 @@ func Run(g Grid, opts Options) (Result, error) {
 	}
 
 	states := make([]workerState, workers)
+	//rat:allow-wallclock wall time feeds Result.Elapsed telemetry only, never candidate ranking
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -267,8 +268,10 @@ func Run(g Grid, opts Options) (Result, error) {
 				if lo >= hi {
 					continue
 				}
+				//rat:allow-wallclock shard timing feeds the explore.shard timer and ShardSpan telemetry only
 				shardStart := time.Now()
 				st.evalShard(c, opts.Constraints, lo, hi)
+				//rat:allow-wallclock shard timing feeds the explore.shard timer and ShardSpan telemetry only
 				shardElapsed := time.Since(shardStart)
 				if shardTimer != nil {
 					shardTimer.Observe(shardElapsed)
@@ -286,6 +289,7 @@ func Run(g Grid, opts Options) (Result, error) {
 		}(w, &states[w])
 	}
 	wg.Wait()
+	//rat:allow-wallclock wall time feeds Result.Elapsed telemetry only, never candidate ranking
 	elapsed := time.Since(start)
 
 	// Deterministic merge: per-worker results depend only on which

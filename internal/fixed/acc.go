@@ -36,6 +36,7 @@ func NewAcc(frac, width int) (*Acc, error) {
 func MustNewAcc(frac, width int) *Acc {
 	a, err := NewAcc(frac, width)
 	if err != nil {
+		//rat:allow-panic Must-style wrapper documented to panic on invalid geometry
 		panic(err)
 	}
 	return a
@@ -76,6 +77,7 @@ func (a *Acc) wrap(raw int64) {
 // fixed hardware wiring; a mismatch is a programming error and panics.
 func (a *Acc) MAC(x, y Value) {
 	if x.fmt.Frac+y.fmt.Frac != a.frac {
+		//rat:allow-panic scale mismatch corrupts every later sample; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: MAC product fraction %d does not match accumulator fraction %d",
 			x.fmt.Frac+y.fmt.Frac, a.frac))
 	}
@@ -87,6 +89,7 @@ func (a *Acc) MAC(x, y Value) {
 // accumulator's.
 func (a *Acc) AddValue(v Value) {
 	if v.fmt.Frac > a.frac {
+		//rat:allow-panic scale mismatch corrupts every later sample; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: AddValue fraction %d exceeds accumulator fraction %d", v.fmt.Frac, a.frac))
 	}
 	a.wrap(a.raw + v.raw<<uint(a.frac-v.fmt.Frac))

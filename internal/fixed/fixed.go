@@ -116,6 +116,7 @@ func NewFormat(intBits, fracBits int) (Format, error) {
 func Q(intBits, fracBits int) Format {
 	f, err := NewFormat(intBits, fracBits)
 	if err != nil {
+		//rat:allow-panic Must-style constructor for compile-time-constant formats
 		panic(err)
 	}
 	return f
@@ -215,6 +216,7 @@ func FromFloat(x float64, f Format, rm RoundMode, om OverflowMode) (Value, bool)
 func MustFromFloat(x float64, f Format, rm RoundMode) Value {
 	v, ov := FromFloat(x, f, rm, Saturate)
 	if ov {
+		//rat:allow-panic Must-style wrapper for values documented to be in range
 		panic(fmt.Sprintf("fixed: %g overflows %v", x, f))
 	}
 	return v
@@ -262,6 +264,7 @@ func fit(raw int64, f Format, om OverflowMode) (int64, bool) {
 // on par with an out-of-range index.
 func sameFormat(op string, a, b Value) {
 	if a.fmt != b.fmt || !a.fmt.Valid() {
+		//rat:allow-panic mixing formats silently would corrupt scales; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: %s of mismatched or invalid formats %v and %v", op, a.fmt, b.fmt))
 	}
 }
@@ -312,6 +315,7 @@ func Cmp(a, b Value) int {
 // no precision is lost before the final narrowing.
 func Mul(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 	if !a.fmt.Valid() || !b.fmt.Valid() || !out.Valid() {
+		//rat:allow-panic invalid formats corrupt scales silently; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: Mul with invalid format (%v, %v -> %v)", a.fmt, b.fmt, out))
 	}
 	prod := a.raw * b.raw // exact: <= 62 magnitude bits
@@ -322,6 +326,7 @@ func Mul(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 // overflow modes.
 func Convert(v Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 	if !v.fmt.Valid() || !out.Valid() {
+		//rat:allow-panic invalid formats corrupt scales silently; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: Convert with invalid format (%v -> %v)", v.fmt, out))
 	}
 	return renorm(v.raw, v.fmt.Frac, out, rm, om)

@@ -21,6 +21,7 @@ import (
 // the final rounding step.
 func Div(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 	if !a.fmt.Valid() || !b.fmt.Valid() || !out.Valid() {
+		//rat:allow-panic invalid formats corrupt scales silently; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: Div with invalid format (%v, %v -> %v)", a.fmt, b.fmt, out))
 	}
 	if b.raw == 0 {
@@ -105,6 +106,7 @@ func Div(a, b Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 // error is the final rounding.
 func Sqrt(v Value, out Format, rm RoundMode, om OverflowMode) (Value, bool) {
 	if !v.fmt.Valid() || !out.Valid() {
+		//rat:allow-panic invalid formats corrupt scales silently; documented invariant on par with index out of range
 		panic(fmt.Sprintf("fixed: Sqrt with invalid format (%v -> %v)", v.fmt, out))
 	}
 	if v.raw < 0 {

@@ -140,6 +140,7 @@ func Params(c Case) core.Parameters {
 	case MD:
 		return MDParams()
 	}
+	//rat:allow-panic the case enum is closed; an unknown value is a programming error in the caller
 	panic("paper: unknown case " + string(c))
 }
 
@@ -201,6 +202,7 @@ func PerformanceTable(c Case) []Row {
 			{ClockHz: core.MHz(100), Actual: true, TComm: 1.39e-3, TComp: 8.79e-1, UtilComm: 0.002, UtilComp: -1, TRC: 8.80e-1, Speedup: 6.6},
 		}
 	}
+	//rat:allow-panic the case enum is closed; an unknown value is a programming error in the caller
 	panic("paper: unknown case " + string(c))
 }
 
@@ -222,6 +224,7 @@ func ActualRow(c Case) Row {
 			return r
 		}
 	}
+	//rat:allow-panic every published case carries an actual row; its absence is corrupted table data
 	panic("paper: no actual row for case " + string(c))
 }
 
@@ -270,5 +273,6 @@ func ResourceTable(c Case) []ResourceRow {
 			{Resource: "ALUTs", Utilization: 0.71, Reconstructed: true},
 		}
 	}
+	//rat:allow-panic the case enum is closed; an unknown value is a programming error in the caller
 	panic("paper: unknown case " + string(c))
 }

@@ -73,6 +73,7 @@ type Link struct {
 func (l Link) rateAt(bytes int64) float64 {
 	pts := l.Rate
 	if len(pts) == 0 {
+		//rat:allow-panic links are validated at construction; an empty curve here is a corrupted platform table
 		panic("platform: link with empty rate curve")
 	}
 	if bytes <= pts[0].Bytes {
@@ -120,6 +121,7 @@ func (ic Interconnect) link(d Direction) Link {
 // issued).
 func (ic Interconnect) TransferTime(d Direction, bytes int64, backToBack bool) sim.Time {
 	if bytes < 0 {
+		//rat:allow-panic negative sizes are a programming error on par with index out of range
 		panic(fmt.Sprintf("platform: negative transfer size %d", bytes))
 	}
 	if bytes == 0 {
@@ -142,6 +144,7 @@ func (ic Interconnect) TransferTime(d Direction, bytes int64, backToBack bool) s
 // clamp if they intend to feed it straight back into a prediction.
 func (ic Interconnect) MeasureAlpha(d Direction, bytes int64) float64 {
 	if bytes <= 0 {
+		//rat:allow-panic non-positive sizes are a programming error on par with index out of range
 		panic(fmt.Sprintf("platform: microbenchmark size %d must be positive", bytes))
 	}
 	ideal := float64(bytes) / ic.IdealBps

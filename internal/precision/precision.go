@@ -183,7 +183,8 @@ func FixedCandidate(dev resource.Device, width int, eval func(width int) (float6
 func Float32Candidate(dev resource.Device, maxError float64) Candidate {
 	cost, err := resource.OperatorCost(dev, resource.OpFMul, 32)
 	if err != nil {
-		panic(err) // 32 is always in range
+		//rat:allow-panic width 32 is always in the cost model's range; failure means the model tables are corrupted
+		panic(err)
 	}
 	return Candidate{Label: "32-bit float", Width: 0, MaxError: maxError, MulCost: cost}
 }

@@ -385,6 +385,7 @@ func Run(sc Scenario) (Measurement, error) {
 func MustRun(sc Scenario) Measurement {
 	m, err := Run(sc)
 	if err != nil {
+		//rat:allow-panic Must-style wrapper documented to panic on invalid scenarios
 		panic(err)
 	}
 	return m

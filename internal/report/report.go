@@ -109,7 +109,8 @@ func (t *Table) Render(w io.Writer) error {
 func (t *Table) String() string {
 	var b strings.Builder
 	if err := t.Render(&b); err != nil {
-		panic(err) // strings.Builder cannot fail
+		//rat:allow-panic strings.Builder writes cannot fail
+		panic(err)
 	}
 	return b.String()
 }

@@ -81,6 +81,7 @@ func (s *semaphore) release(n int64) {
 	s.cur -= n
 	if s.cur < 0 {
 		s.mu.Unlock()
+		//rat:allow-panic a double release corrupts admission accounting for every later request
 		panic("server: semaphore released more than held")
 	}
 	s.notifyLocked()

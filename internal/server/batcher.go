@@ -117,6 +117,8 @@ func (b *batcher) takeLocked() []batchReq {
 }
 
 // flush computes whatever accumulated before the linger expired.
+//
+//rat:hotpath
 func (b *batcher) flush() {
 	b.mu.Lock()
 	batch := b.takeLocked()
@@ -126,6 +128,8 @@ func (b *batcher) flush() {
 
 // compute runs one coalesced batch through the zero-alloc kernel and
 // fans the results back out.
+//
+//rat:hotpath
 func (b *batcher) compute(batch []batchReq) {
 	if len(batch) == 0 {
 		return

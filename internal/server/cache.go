@@ -16,6 +16,8 @@ import (
 // produce identical predictions, because the key preserves the exact
 // bits the computation consumes (NaN never reaches the cache — it
 // fails validation first).
+//
+//rat:hotpath
 func cacheKey(p core.Parameters, cfg core.MultiConfig) string {
 	buf := make([]byte, 0, len(p.Name)+8*12)
 	buf = append(buf, p.Name...)

@@ -36,6 +36,7 @@ func (r *Resource) Name() string { return r.name }
 // waiters release.
 func (r *Resource) Acquire(fn func()) {
 	if fn == nil {
+		//rat:allow-panic nil callbacks are a programming error on par with index out of range
 		panic("sim: Acquire with nil callback")
 	}
 	if !r.busy {
@@ -56,6 +57,7 @@ func (r *Resource) grant(fn func()) {
 // Releasing an idle resource panics: it means a double release.
 func (r *Resource) Release() {
 	if !r.busy {
+		//rat:allow-panic a double release desynchronizes the simulated pipeline; documented to panic
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
 	r.busy = false
@@ -98,9 +100,11 @@ type Clock struct {
 // nearest picosecond. Negative cycle counts panic.
 func (c Clock) Cycles(n int64) Time {
 	if n < 0 {
+		//rat:allow-panic negative cycle counts are documented to panic; a causality bug in the caller
 		panic(fmt.Sprintf("sim: negative cycle count %d", n))
 	}
 	if c.Hz <= 0 {
+		//rat:allow-panic clocks are validated at construction; a bad frequency here is corrupted platform data
 		panic(fmt.Sprintf("sim: clock with non-positive frequency %g", c.Hz))
 	}
 	return FromSeconds(float64(n) / c.Hz)
@@ -109,6 +113,7 @@ func (c Clock) Cycles(n int64) Time {
 // CyclesIn returns how many complete cycles fit in the duration d.
 func (c Clock) CyclesIn(d Time) int64 {
 	if c.Hz <= 0 {
+		//rat:allow-panic clocks are validated at construction; a bad frequency here is corrupted platform data
 		panic(fmt.Sprintf("sim: clock with non-positive frequency %g", c.Hz))
 	}
 	return int64(d.Seconds() * c.Hz)

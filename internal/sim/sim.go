@@ -165,6 +165,7 @@ func (s *Simulator) Steps() uint64 { return s.steps }
 // and run after already-queued events at the same timestamp (FIFO).
 func (s *Simulator) Schedule(delay Time, fn func()) {
 	if delay < 0 {
+		//rat:allow-panic causality violations are documented programming errors; the event queue cannot represent them
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	s.ScheduleAt(s.now+delay, fn)
@@ -174,9 +175,11 @@ func (s *Simulator) Schedule(delay Time, fn func()) {
 // the current time.
 func (s *Simulator) ScheduleAt(at Time, fn func()) {
 	if at < s.now {
+		//rat:allow-panic causality violations are documented programming errors; the event queue cannot represent them
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, s.now))
 	}
 	if fn == nil {
+		//rat:allow-panic nil events are a programming error on par with index out of range
 		panic("sim: schedule of nil event")
 	}
 	s.seq++

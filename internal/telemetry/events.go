@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -129,7 +130,7 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	dec := json.NewDecoder(r)
 	for {
 		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
+		if err := dec.Decode(&e); errors.Is(err, io.EOF) {
 			return out, nil
 		} else if err != nil {
 			return out, fmt.Errorf("telemetry: event log line %d: %w", len(out)+1, err)

@@ -77,7 +77,7 @@ func ValidateProm(data string) error {
 
 		name, labels, value, err := parsePromSample(line)
 		if err != nil {
-			return fmt.Errorf("line %d: %v", lineNo, err)
+			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		fam, suffix := promFamilyOf(name, families)
 		f := get(fam)

@@ -89,6 +89,7 @@ func (r *Recorder) Add(s Span) {
 		return
 	}
 	if s.End < s.Start {
+		//rat:allow-panic a backwards span is a causality bug in the emitter, not recoverable input
 		panic(fmt.Sprintf("trace: span ends (%v) before it starts (%v)", s.End, s.Start))
 	}
 	r.spans = append(r.spans, s)

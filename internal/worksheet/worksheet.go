@@ -206,7 +206,8 @@ iterations    = %d
 func EncodeString(p core.Parameters) string {
 	var b strings.Builder
 	if err := Encode(&b, p); err != nil {
-		panic(err) // strings.Builder cannot fail
+		//rat:allow-panic strings.Builder writes cannot fail
+		panic(err)
 	}
 	return b.String()
 }
