@@ -1,0 +1,118 @@
+// Command ratlint enforces the repository's project invariants as
+// static diagnostics: determinism of the search/replay packages,
+// zero-allocation discipline on //rat:hotpath functions, the 0/1/2
+// exit-code contract, %w error wrapping, Prometheus-conformant metric
+// names, and well-formed //rat: directives. See internal/lint and
+// docs/LINT.md.
+//
+// Usage:
+//
+//	ratlint [-checks id,id,...] [-json] [-list] [packages...]
+//
+// Packages default to ./... resolved from the current directory.
+// Exit status follows the repository contract: 0 when the tree is
+// clean, 1 when findings are reported (or the load fails), 2 on a
+// usage error such as an unknown check ID.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/lint"
+)
+
+func main() {
+	err := run(os.Args[1:], ".", os.Stdout, os.Stderr)
+	if code := cli.Code(err); code != 0 {
+		fmt.Fprintf(os.Stderr, "ratlint: %v\n", err)
+		os.Exit(code)
+	}
+}
+
+// errFindings tags the "diagnostics were reported" failure so main
+// prints a summary but the exit code stays 1, not 2.
+type errFindings int
+
+func (e errFindings) Error() string {
+	if e == 1 {
+		return "1 finding"
+	}
+	return fmt.Sprintf("%d findings", int(e))
+}
+
+func run(args []string, dir string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("ratlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	checks := fs.String("checks", "", "comma-separated check IDs to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	list := fs.Bool("list", false, "list the available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: ratlint [-checks id,id,...] [-json] [-list] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapUsage(err)
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	var enabled map[string]bool
+	if *checks != "" {
+		enabled = map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := lint.ByName(name); !ok {
+				return cli.Usagef("unknown check %q (ratlint -list shows the available checks)", name)
+			}
+			enabled[name] = true
+		}
+	}
+
+	patterns := fs.Args()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return err
+	}
+	diags := lint.Run(pkgs, enabled)
+
+	// Report paths relative to the invocation directory, the way
+	// compilers do.
+	base, err := filepath.Abs(dir)
+	if err == nil {
+		for i := range diags {
+			if rel, rerr := filepath.Rel(base, diags[i].File); rerr == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].File = rel
+			}
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if n := len(diags); n > 0 {
+		return errFindings(n)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/lint"
+)
+
+func runLint(t *testing.T, args ...string) (error, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := run(args, "../..", &out, &errOut)
+	return err, out.String(), errOut.String()
+}
+
+func TestListChecks(t *testing.T) {
+	err, out, _ := runLint(t, "-list")
+	if err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+	for _, want := range []string{"directive", "errwrap", "exitcode", "hotpath", "metricname", "nodeterminism"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err, _, _ := runLint(t, "-definitely-not-a-flag"); cli.Code(err) != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", cli.Code(err))
+	}
+	err, _, _ := runLint(t, "-checks", "nope")
+	if cli.Code(err) != 2 {
+		t.Errorf("unknown check: exit %d (%v), want 2", cli.Code(err), err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown-check error does not name the check: %v", err)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	err, out, _ := runLint(t, "-checks", "exitcode", "./internal/lint/testdata/src/exit")
+	if cli.Code(err) != 1 {
+		t.Fatalf("fixture full of violations: exit %d (%v), want 1\n%s", cli.Code(err), err, out)
+	}
+	if !strings.Contains(out, "[exitcode]") || !strings.Contains(out, "os.Exit") {
+		t.Errorf("diagnostics lack the check ID or message:\n%s", out)
+	}
+	// Paths are reported relative to the invocation directory.
+	if !strings.Contains(out, "internal/lint/testdata/src/exit/exit.go:") {
+		t.Errorf("diagnostics are not invocation-relative:\n%s", out)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	if err, out, _ := runLint(t, "./internal/cli"); err != nil {
+		t.Fatalf("internal/cli should be clean: %v\n%s", err, out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	err, out, _ := runLint(t, "-json", "-checks", "errwrap", "./internal/lint/testdata/src/wrap")
+	if cli.Code(err) != 1 {
+		t.Fatalf("exit %d (%v), want 1", cli.Code(err), err)
+	}
+	var diags []lint.Diagnostic
+	if jerr := json.Unmarshal([]byte(out), &diags); jerr != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", jerr, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array for a fixture full of violations")
+	}
+	for _, d := range diags {
+		if d.Check != "errwrap" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}

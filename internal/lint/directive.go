@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //rat: directive namespace. Directives follow the Go toolchain
+// convention: //rat:name immediately after the slashes (no space),
+// optionally followed by an argument. They are the analyzers'
+// configuration surface and escape hatches:
+//
+//	//rat:hotpath                    (func doc) zero-alloc discipline
+//	//rat:deterministic              (package doc) opt into nodeterminism
+//	//rat:allow-wallclock <reason>   suppress one wall-clock finding
+//	//rat:allow-maporder <reason>    suppress one map-order finding
+//	//rat:allow-panic <reason>       suppress one panic finding
+//
+// The allow-* forms require a reason so that every suppression is a
+// reviewable, documented decision, not a silent opt-out.
+
+// DirectivePrefix introduces every rat directive comment.
+const DirectivePrefix = "//rat:"
+
+// Directive names understood by the suite.
+const (
+	DirHotpath        = "hotpath"
+	DirDeterministic  = "deterministic"
+	DirAllowWallclock = "allow-wallclock"
+	DirAllowMaporder  = "allow-maporder"
+	DirAllowPanic     = "allow-panic"
+)
+
+// directiveSpec records each known directive's argument arity.
+var directiveSpec = map[string]struct{ needsReason bool }{
+	DirHotpath:        {false},
+	DirDeterministic:  {false},
+	DirAllowWallclock: {true},
+	DirAllowMaporder:  {true},
+	DirAllowPanic:     {true},
+}
+
+// Directive is one parsed //rat: comment.
+type Directive struct {
+	Name   string
+	Reason string // the argument of allow-* directives
+}
+
+// ParseDirective parses one raw line-comment text (including the
+// leading slashes). ok is false when the comment is not in the //rat:
+// namespace at all; err is non-nil when it is but is malformed — an
+// unknown name, a missing reason on an allow-* form, a stray argument
+// on an arity-0 form, or whitespace between "//rat:" and the name.
+func ParseDirective(comment string) (d Directive, ok bool, err error) {
+	rest, isRat := strings.CutPrefix(comment, DirectivePrefix)
+	if !isRat {
+		// "// rat:" and block comments are prose, not directives.
+		return Directive{}, false, nil
+	}
+	if rest == "" {
+		return Directive{}, true, fmt.Errorf("empty //rat: directive")
+	}
+	if rest[0] == ' ' || rest[0] == '\t' {
+		return Directive{}, true, fmt.Errorf("whitespace between //rat: and the directive name")
+	}
+	name, arg := rest, ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, arg = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	spec, known := directiveSpec[name]
+	if !known {
+		return Directive{}, true, fmt.Errorf("unknown directive //rat:%s", name)
+	}
+	if spec.needsReason && arg == "" {
+		return Directive{}, true, fmt.Errorf("//rat:%s requires a reason", name)
+	}
+	if !spec.needsReason && arg != "" {
+		return Directive{}, true, fmt.Errorf("//rat:%s takes no argument (got %q)", name, arg)
+	}
+	return Directive{Name: name, Reason: arg}, true, nil
+}
+
+// badDirective is a //rat: comment that failed to parse, reported by
+// the directive analyzer.
+type badDirective struct {
+	pos token.Position
+	msg string
+}
+
+// directives indexes a package's parsed //rat: comments by file and
+// line so analyzers can answer "is this finding suppressed here?" in
+// O(1).
+type directives struct {
+	byLine   map[string]map[int][]Directive // file -> line -> directives
+	pkgLevel map[string]bool                // names in any file's package doc
+	bad      []badDirective
+}
+
+// collectDirectives scans every comment in the package once.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	ds := &directives{
+		byLine:   map[string]map[int][]Directive{},
+		pkgLevel: map[string]bool{},
+	}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				d, _, err := ParseDirective(c.Text)
+				if err != nil {
+					ds.bad = append(ds.bad, badDirective{pos: pos, msg: err.Error()})
+					continue
+				}
+				lines := ds.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]Directive{}
+					ds.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				if group == f.Doc {
+					ds.pkgLevel[d.Name] = true
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// allowedAt reports whether a directive with the given name sits on
+// pos's line or the line directly above it — the two conventional
+// placements for a suppression comment.
+func (ds *directives) allowedAt(pos token.Position, name string) bool {
+	lines := ds.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a comment group (typically a FuncDecl
+// doc) carries the named directive.
+func hasDirective(group *ast.CommentGroup, name string) bool {
+	if group == nil {
+		return false
+	}
+	for _, c := range group.List {
+		if d, _, err := ParseDirective(c.Text); err == nil && d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzerDirective reports malformed //rat: comments. A directive
+// that does not parse is worse than no directive: the suppression or
+// annotation the author intended silently does not apply.
+var analyzerDirective = &Analyzer{
+	Name: "directive",
+	Doc:  "every //rat: comment must parse: known name, correct arity, a reason on each allow-* escape hatch",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, bad := range p.dirs.bad {
+			out = append(out, diag("directive", bad.pos, "malformed rat directive: %s", bad.msg))
+		}
+		return out
+	},
+}

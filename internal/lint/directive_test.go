@@ -1,0 +1,123 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/lint"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment string
+		ok      bool
+		wantErr string // "" means parse succeeds (when ok) or is ignored (when !ok)
+		name    string
+		reason  string
+	}{
+		// Valid forms.
+		{comment: "//rat:hotpath", ok: true, name: "hotpath"},
+		{comment: "//rat:deterministic", ok: true, name: "deterministic"},
+		{comment: "//rat:allow-wallclock feeds telemetry only", ok: true, name: "allow-wallclock", reason: "feeds telemetry only"},
+		{comment: "//rat:allow-panic invariant: builder cannot fail", ok: true, name: "allow-panic", reason: "invariant: builder cannot fail"},
+		{comment: "//rat:allow-maporder consumer sorts", ok: true, name: "allow-maporder", reason: "consumer sorts"},
+		{comment: "//rat:allow-panic\ttab separated reason", ok: true, name: "allow-panic", reason: "tab separated reason"},
+
+		// Not directives at all.
+		{comment: "// plain comment", ok: false},
+		{comment: "// rat:hotpath", ok: false},
+		{comment: "//go:generate stringer", ok: false},
+		{comment: "/*rat:hotpath*/", ok: false},
+		{comment: "//RAT:hotpath", ok: false},
+
+		// Malformed.
+		{comment: "//rat:", ok: true, wantErr: "empty"},
+		{comment: "//rat: hotpath", ok: true, wantErr: "whitespace"},
+		{comment: "//rat:\thotpath", ok: true, wantErr: "whitespace"},
+		{comment: "//rat:frobnicate", ok: true, wantErr: "unknown directive"},
+		{comment: "//rat:allow-panic", ok: true, wantErr: "requires a reason"},
+		{comment: "//rat:allow-wallclock", ok: true, wantErr: "requires a reason"},
+		{comment: "//rat:allow-maporder   ", ok: true, wantErr: "requires a reason"},
+		{comment: "//rat:hotpath with an argument", ok: true, wantErr: "takes no argument"},
+		{comment: "//rat:deterministic yes", ok: true, wantErr: "takes no argument"},
+		{comment: "//rat:Hotpath", ok: true, wantErr: "unknown directive"},
+	}
+	for _, tc := range cases {
+		d, ok, err := lint.ParseDirective(tc.comment)
+		if ok != tc.ok {
+			t.Errorf("%q: ok=%v, want %v", tc.comment, ok, tc.ok)
+			continue
+		}
+		if !tc.ok {
+			if err != nil {
+				t.Errorf("%q: non-directive returned error %v", tc.comment, err)
+			}
+			continue
+		}
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("%q: err=%v, want it to mention %q", tc.comment, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", tc.comment, err)
+			continue
+		}
+		if d.Name != tc.name || d.Reason != tc.reason {
+			t.Errorf("%q: parsed (%q, %q), want (%q, %q)", tc.comment, d.Name, d.Reason, tc.name, tc.reason)
+		}
+	}
+}
+
+// FuzzParseDirective pins the parser's total behavior: it never
+// panics, non //rat: comments are never directives and never errors,
+// and a successful parse returns a known name with the arity the spec
+// demands.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"//rat:hotpath",
+		"//rat:allow-wallclock reason",
+		"//rat:allow-panic",
+		"//rat: hotpath",
+		"//rat:",
+		"//rat:\x00",
+		"// rat:deterministic",
+		"//rat:allow-maporder \t ",
+		"//rat:hotpath\nsecond line",
+		strings.Repeat("//rat:", 100),
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := map[string]bool{
+		"hotpath": true, "deterministic": true,
+		"allow-wallclock": true, "allow-panic": true, "allow-maporder": true,
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		d, ok, err := lint.ParseDirective(comment)
+		if !strings.HasPrefix(comment, "//rat:") {
+			if ok || err != nil {
+				t.Fatalf("%q: non-directive input returned ok=%v err=%v", comment, ok, err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("%q: //rat: input not recognized as directive namespace", comment)
+		}
+		if err != nil {
+			return // malformed is a valid outcome; it just must not panic
+		}
+		if !known[d.Name] {
+			t.Fatalf("%q: parsed unknown directive name %q", comment, d.Name)
+		}
+		isAllow := strings.HasPrefix(d.Name, "allow-")
+		if isAllow && d.Reason == "" {
+			t.Fatalf("%q: allow directive parsed without a reason", comment)
+		}
+		if !isAllow && d.Reason != "" {
+			t.Fatalf("%q: arity-0 directive parsed with argument %q", comment, d.Reason)
+		}
+	})
+}

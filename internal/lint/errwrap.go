@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Error values in this repository are sentinel-based: packages export
+// ErrFoo variables, wrap them with %w, and callers branch with
+// errors.Is (internal/cli.Code being the canonical consumer). Two
+// habits silently break that chain: building a new error from an old
+// one with %v/%s (the sentinel is flattened into text and errors.Is
+// stops matching), and comparing errors with == or by their message
+// strings (wrapping breaks both).
+
+var analyzerErrwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "wrap error causes with %w and compare errors with errors.Is, never by == or string matching",
+	Run:  runErrwrap,
+}
+
+// stringMatchFuncs are the strings-package predicates that, applied to
+// err.Error(), amount to matching errors by message text.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true,
+}
+
+func runErrwrap(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, checkErrorfWrap(p, v)...)
+				out = append(out, checkStringMatch(p, v)...)
+			case *ast.BinaryExpr:
+				out = append(out, checkErrCompare(p, v)...)
+			case *ast.SwitchStmt:
+				if v.Tag != nil && isErrorType(p.exprType(v.Tag)) && types.IsInterface(p.exprType(v.Tag)) {
+					out = append(out, diag("errwrap", p.pos(v),
+						"switch on an error value compares with ==; use a switch on errors.Is cases instead"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that receive an error
+// argument but never use %w: the cause's identity is flattened into
+// text and errors.Is can no longer see through it. A format that
+// wraps at least once may still demote secondary causes to %v on
+// purpose, so only the no-%w-at-all case is a finding.
+func checkErrorfWrap(p *Package, call *ast.CallExpr) []Diagnostic {
+	if !p.calleeIsPkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	if formatHasWrapVerb(lit.Value) {
+		return nil
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(p.exprType(arg)) {
+			return []Diagnostic{diag("errwrap", p.pos(call),
+				"fmt.Errorf flattens an error argument without %%w; errors.Is can no longer match the cause")}
+		}
+	}
+	return nil
+}
+
+// formatHasWrapVerb scans a (quoted) format literal for a %w verb,
+// stepping over %% escapes and verb flags/width.
+func formatHasWrapVerb(quoted string) bool {
+	for i := 0; i < len(quoted); i++ {
+		if quoted[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(quoted) && quoted[i] == '%' {
+			continue // literal percent
+		}
+		for i < len(quoted) {
+			c := quoted[i]
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+				if c == 'w' {
+					return true
+				}
+				break
+			}
+			i++ // flag, width, precision
+		}
+	}
+	return false
+}
+
+// checkErrCompare flags ==/!= between two error values (other than
+// nil checks): wrapping breaks identity, errors.Is restores it.
+func checkErrCompare(p *Package, bin *ast.BinaryExpr) []Diagnostic {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return nil
+	}
+	if isNilLiteral(p, bin.X) || isNilLiteral(p, bin.Y) {
+		return nil
+	}
+	if isErrErrorCall(p, bin.X) || isErrErrorCall(p, bin.Y) {
+		return []Diagnostic{diag("errwrap", p.pos(bin),
+			"comparing err.Error() text; use errors.Is (or errors.As) so wrapped sentinels still match")}
+	}
+	tx, ty := p.exprType(bin.X), p.exprType(bin.Y)
+	// Only interface-typed comparisons are sentinel matching; identity
+	// comparison of two concrete values is not an errors.Is use case.
+	if isErrorType(tx) && isErrorType(ty) && (types.IsInterface(tx) || types.IsInterface(ty)) {
+		return []Diagnostic{diag("errwrap", p.pos(bin),
+			"comparing errors with %s; use errors.Is so wrapped sentinels still match", bin.Op)}
+	}
+	return nil
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/... applied to
+// err.Error().
+func checkStringMatch(p *Package, call *ast.CallExpr) []Diagnostic {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchFuncs[fn.Name()] {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if isErrErrorCall(p, arg) {
+			return []Diagnostic{diag("errwrap", p.pos(call),
+				"matching err.Error() text with strings.%s; use errors.Is (or errors.As) so wrapped sentinels still match", fn.Name())}
+		}
+	}
+	return nil
+}
+
+// isErrErrorCall reports whether e is a call of the Error() method on
+// an error value.
+func isErrErrorCall(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(p.exprType(sel.X))
+}
+
+func isNilLiteral(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+var errorIfaceType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is assignable to the error interface
+// (the interface itself, or any concrete implementer).
+func isErrorType(t types.Type) bool {
+	if t == nil || t.Underlying() == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.AssignableTo(t, errorIfaceType)
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// The exit-code contract (internal/cli): 0 success, 1 runtime failure,
+// 2 usage error. Only the binaries' own mains may decide the process
+// exit status — a library that calls os.Exit or log.Fatal* skips every
+// deferred cleanup and steals the decision, and an escaping panic
+// terminates the process with status 2, colliding with "usage error".
+// Invariant panics ("this cannot happen") are permitted when annotated
+// //rat:allow-panic <reason>, which turns each one into a documented,
+// greppable decision.
+
+// exitFatalFuncs are the process-terminating stdlib calls banned
+// outside command packages. log.Panic* is included: it panics by
+// another name.
+var exitFatalFuncs = map[string]map[string]bool{
+	"os":  {"Exit": true},
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+}
+
+var analyzerExitcode = &Analyzer{
+	Name: "exitcode",
+	Doc:  "no os.Exit, log.Fatal*, log.Panic*, or unannotated panic outside cmd/, examples/, and internal/cli",
+	Run:  runExitcode,
+}
+
+// exitcodeExempt reports whether the package owns its process exit:
+// the binaries under cmd/ and examples/, and the exit-contract package
+// itself.
+func exitcodeExempt(rel string) bool {
+	return rel == "internal/cli" ||
+		pkgPathHasPrefix(rel, "cmd") ||
+		pkgPathHasPrefix(rel, "examples")
+}
+
+func runExitcode(p *Package) []Diagnostic {
+	if exitcodeExempt(p.RelPath) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil {
+				if exitFatalFuncs[fn.Pkg().Path()][fn.Name()] {
+					out = append(out, diag("exitcode", p.pos(call),
+						"%s.%s in a library package bypasses the 0/1/2 exit contract; return an error instead", fn.Pkg().Name(), fn.Name()))
+				}
+				return true
+			}
+			if p.calleeBuiltin(call, "panic") {
+				pos := p.pos(call)
+				if p.dirs.allowedAt(pos, DirAllowPanic) {
+					return true
+				}
+				out = append(out, diag("exitcode", pos,
+					"panic in a library package escapes as exit status 2 (the usage-error code); return an error, or annotate //rat:allow-panic <reason> for a true invariant"))
+			}
+			return true
+		})
+	}
+	return out
+}

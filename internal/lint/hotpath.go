@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// sprintfFamily are the fmt functions that format into a fresh
+// allocation. fmt.Errorf and the Fprint family are deliberately
+// absent: error construction is cold-path by convention (it only runs
+// when the request is already failing), and Fprint writes into a
+// caller-owned writer.
+var sprintfFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+var analyzerHotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//rat:hotpath functions may not contain fmt.Sprintf, string concatenation in loops, unhinted append growth in loops, interface boxing of scalars, or escaping closures that capture",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, DirHotpath) {
+				continue
+			}
+			hp := &hotpathFunc{
+				p:              p,
+				name:           fn.Name.Name,
+				fnPos:          fn.Pos(),
+				origins:        sliceOrigins(p, fn.Body),
+				closureEscapes: escapingClosures(fn.Body),
+			}
+			hp.walk(fn.Body, false)
+			out = append(out, hp.out...)
+		}
+	}
+	return out
+}
+
+// hotpathFunc checks one annotated function. The walk carries a
+// "inside a loop" flag because several findings (concatenation, append
+// growth) are only allocation storms when repeated per element.
+type hotpathFunc struct {
+	p              *Package
+	name           string
+	fnPos          token.Pos
+	origins        map[types.Object]sliceOrigin
+	closureEscapes map[*ast.FuncLit]bool
+	out            []Diagnostic
+}
+
+// escapingClosures finds the function literals that leave the
+// enclosing function: passed as a call argument, returned, stored
+// through a selector/index, sent on a channel, or placed in a
+// composite literal. A literal invoked in place or bound to a local
+// variable does not escape by itself.
+func escapingClosures(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	esc := map[*ast.FuncLit]bool{}
+	mark := func(e ast.Expr) {
+		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+			esc[lit] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				mark(arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				mark(res)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) {
+					break
+				}
+				if _, isIdent := ast.Unparen(v.Lhs[i]).(*ast.Ident); !isIdent {
+					mark(rhs)
+				}
+			}
+		case *ast.SendStmt:
+			mark(v.Value)
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					mark(kv.Value)
+				} else {
+					mark(el)
+				}
+			}
+		}
+		return true
+	})
+	return esc
+}
+
+// sliceOrigin classifies how a local slice variable came to be.
+type sliceOrigin int
+
+const (
+	originUnknown  sliceOrigin = iota // parameter, field, pool, call result
+	originHinted                      // make(T, n, cap) — growth is pre-paid
+	originUnhinted                    // var x []T, make(T, n), literal — append reallocs
+)
+
+// sliceOrigins maps every slice variable declared in the function body
+// to how it was initialized.
+func sliceOrigins(p *Package, body *ast.BlockStmt) map[types.Object]sliceOrigin {
+	origins := map[types.Object]sliceOrigin{}
+	classify := func(e ast.Expr) sliceOrigin {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if p.calleeBuiltin(v, "make") {
+				if len(v.Args) >= 3 {
+					return originHinted
+				}
+				return originUnhinted
+			}
+			return originUnknown
+		case *ast.CompositeLit:
+			return originUnhinted
+		default:
+			return originUnknown
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := p.Info.Defs[id]; obj != nil {
+					origins[obj] = classify(st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if i < len(st.Values) {
+					origins[obj] = classify(st.Values[i])
+				} else {
+					origins[obj] = originUnhinted // var x []T: nil slice
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+func (hp *hotpathFunc) report(n ast.Node, format string, args ...any) {
+	hp.out = append(hp.out, diag("hotpath", hp.p.pos(n), format, args...))
+}
+
+func (hp *hotpathFunc) walk(n ast.Node, inLoop bool) {
+	if n == nil {
+		return
+	}
+	switch v := n.(type) {
+	case *ast.ForStmt:
+		hp.walk(v.Init, inLoop)
+		hp.walk(v.Cond, true) // the condition re-evaluates every iteration
+		hp.walk(v.Post, true)
+		hp.walk(v.Body, true)
+		return
+	case *ast.RangeStmt:
+		hp.walk(v.X, inLoop)
+		hp.walk(v.Body, true)
+		return
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD && inLoop && isStringType(hp.p.exprType(v)) {
+			hp.report(v, "%s: string concatenation inside a loop allocates per iteration; use a preallocated []byte or strings.Builder", hp.name)
+		}
+	case *ast.AssignStmt:
+		if v.Tok == token.ADD_ASSIGN && inLoop && len(v.Lhs) == 1 && isStringType(hp.p.exprType(v.Lhs[0])) {
+			hp.report(v, "%s: string += inside a loop allocates per iteration; use a preallocated []byte or strings.Builder", hp.name)
+		}
+		hp.checkBoxedAssign(v)
+	case *ast.CallExpr:
+		hp.checkCall(v, inLoop)
+	case *ast.FuncLit:
+		hp.checkClosure(v)
+		// The literal's body still runs under this function's alloc
+		// budget when invoked from it; keep checking inside.
+		hp.walk(v.Body, inLoop)
+		return
+	}
+	for _, child := range childNodes(n) {
+		hp.walk(child, inLoop)
+	}
+}
+
+func (hp *hotpathFunc) checkCall(call *ast.CallExpr, inLoop bool) {
+	p := hp.p
+	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sprintfFamily[fn.Name()] {
+		hp.report(call, "%s: fmt.%s allocates and reflects on a hot path; preformat or append to a pooled buffer", hp.name, fn.Name())
+	}
+	if p.calleeBuiltin(call, "append") && inLoop && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil && hp.origins[obj] == originUnhinted {
+				hp.report(call, "%s: append grows %q inside a loop without a capacity hint; preallocate with make(..., 0, n)", hp.name, id.Name)
+			}
+		}
+	}
+	hp.checkBoxedArgs(call)
+}
+
+// checkBoxedArgs flags scalar arguments passed to interface-typed
+// parameters: each such call boxes the scalar into a fresh heap
+// allocation. fmt.Errorf is exempt as cold-path error construction.
+func (hp *hotpathFunc) checkBoxedArgs(call *ast.CallExpr) {
+	p := hp.p
+	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin or conversion
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // x... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && isScalarType(p.exprType(arg)) {
+			hp.report(arg, "%s: scalar argument boxed into %s allocates; use a concrete-typed call", hp.name, pt.String())
+		}
+	}
+}
+
+// checkBoxedAssign flags assignments of scalars into interface-typed
+// variables.
+func (hp *hotpathFunc) checkBoxedAssign(asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i := range asg.Lhs {
+		lt := hp.p.exprType(asg.Lhs[i])
+		if asg.Tok == token.DEFINE {
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				if obj := hp.p.Info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		if lt != nil && types.IsInterface(lt) && isScalarType(hp.p.exprType(asg.Rhs[i])) {
+			hp.report(asg.Rhs[i], "%s: scalar assigned into %s boxes and allocates", hp.name, lt.String())
+		}
+	}
+}
+
+// checkClosure flags function literals that capture variables from the
+// enclosing function and escape it (passed to a call, returned, or
+// stored through a selector/index/channel): each instantiation
+// allocates the closure and moves its captures to the heap. A literal
+// that is only invoked in place or held in a local variable stays on
+// the stack.
+func (hp *hotpathFunc) checkClosure(lit *ast.FuncLit) {
+	if !hp.closureEscapes[lit] {
+		return
+	}
+	if name, ok := hp.closureCapture(lit); ok {
+		hp.report(lit, "%s: closure captures %q and escapes; captured variables move to the heap", hp.name, name)
+	}
+}
+
+// closureCapture reports the first variable the literal captures from
+// its enclosing function.
+func (hp *hotpathFunc) closureCapture(lit *ast.FuncLit) (string, bool) {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vr, ok := hp.p.Info.Uses[id].(*types.Var)
+		if !ok || vr.IsField() {
+			return true
+		}
+		// Captured iff declared in this function but outside the literal.
+		if vr.Pos() < lit.Pos() && vr.Pos() > hp.fnPos && !isPkgLevel(vr) {
+			found = vr.Name()
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+func isPkgLevel(vr *types.Var) bool {
+	return vr.Parent() != nil && vr.Parent().Parent() == types.Universe
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isScalarType reports whether t is a basic scalar (bool, numeric,
+// string) — the types whose conversion to an interface allocates.
+// Untyped constants fold into whatever they're assigned to and count
+// too.
+func isScalarType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() != types.UntypedNil && b.Kind() != types.Invalid
+}
+
+// childNodes lists a node's direct children, driving the loop-aware
+// walker.
+func childNodes(n ast.Node) []ast.Node {
+	var kids []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			kids = append(kids, m)
+		}
+		return false
+	})
+	return kids
+}

@@ -1,0 +1,133 @@
+// Package lint is ratlint's engine: a zero-dependency (stdlib go/ast +
+// go/parser + go/types only) analyzer suite that enforces the
+// repository's cross-cutting invariants as compile-time diagnostics —
+// the properties the ROADMAP's "cheap, deterministic, bit-reproducible"
+// promise rests on, which until now were guarded only by runtime tests
+// that each package had to re-invent.
+//
+// The checks, each with a stable ID usable in ratlint -checks:
+//
+//	nodeterminism  no wall-clock reads, math/rand, or map-iteration
+//	               order leaking into returned slices inside the
+//	               deterministic packages (internal/core, explore,
+//	               fault, rcsim, sim, plus any package whose doc
+//	               carries //rat:deterministic)
+//	hotpath        functions annotated //rat:hotpath may not contain
+//	               fmt.Sprintf, string concatenation in loops,
+//	               unhinted append growth in loops, interface boxing
+//	               of scalars, or escaping closures that capture
+//	               (complements the runtime AllocsPerRun gates)
+//	exitcode       no os.Exit / log.Fatal* / log.Panic* / panic
+//	               outside cmd/, examples/ and internal/cli, so the
+//	               shared 0/1/2 exit contract cannot be bypassed
+//	errwrap        sentinel errors are wrapped with %w and compared
+//	               with errors.Is, never by == or string matching
+//	metricname     string literals registered with the telemetry
+//	               registry must satisfy the Prometheus naming
+//	               grammar that telemetry.ValidateProm enforces on
+//	               the scrape side
+//	directive      every //rat: comment parses: known name, correct
+//	               arity, a reason on each allow-* escape hatch
+//
+// Escape hatches are //rat: directives placed on (or immediately
+// above) the offending line: //rat:allow-wallclock <reason>,
+// //rat:allow-maporder <reason>, //rat:allow-panic <reason>. Each
+// requires a stated reason, so every suppression is a documented
+// decision. See docs/LINT.md.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a stable check ID, a position, and a
+// human message. The JSON field names are the ratlint -json contract.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional compiler-style line
+// "file:line:col: message [check]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// diag builds a Diagnostic from a token position.
+func diag(check string, pos token.Position, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Check:   check,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// Analyzer is one invariant checker. Run inspects a loaded,
+// type-checked package and returns its findings; the driver owns
+// ordering and rendering.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerDirective,
+		analyzerErrwrap,
+		analyzerExitcode,
+		analyzerHotpath,
+		analyzerMetricname,
+		analyzerNodeterminism,
+	}
+}
+
+// ByName resolves a check ID to its analyzer.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run applies the enabled analyzers (all of them when enabled is nil)
+// to every package and returns the findings sorted by file, line,
+// column, then check ID — a stable order for golden tests and diffs.
+func Run(pkgs []*Package, enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			if enabled != nil && !enabled[a.Name] {
+				continue
+			}
+			out = append(out, a.Run(p)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

@@ -1,0 +1,170 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/chrec/rat/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current analyzer output")
+
+// fixtures maps each check ID to its fixture package under
+// testdata/src. Loaded once for the whole test binary: Load shells out
+// to the go tool, so one call for all six packages beats six.
+var fixtures = map[string]string{
+	"nodeterminism": "nodet",
+	"hotpath":       "hot",
+	"exitcode":      "exit",
+	"errwrap":       "wrap",
+	"metricname":    "metric",
+	"directive":     "direct",
+}
+
+var (
+	loadOnce sync.Once
+	loaded   []*lint.Package
+	loadErr  error
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func fixturePackages(t *testing.T) []*lint.Package {
+	t.Helper()
+	loadOnce.Do(func() {
+		patterns := make([]string, 0, len(fixtures))
+		for _, pkg := range fixtures {
+			patterns = append(patterns, "./internal/lint/testdata/src/"+pkg)
+		}
+		loaded, loadErr = lint.Load(moduleRoot(t), patterns...)
+	})
+	if loadErr != nil {
+		t.Fatalf("loading fixtures: %v", loadErr)
+	}
+	return loaded
+}
+
+// goldenLines runs exactly one analyzer over one fixture package and
+// renders its findings with fixture-relative paths.
+func goldenLines(t *testing.T, check string) []string {
+	t.Helper()
+	fixture := fixtures[check]
+	var pkgs []*lint.Package
+	for _, p := range fixturePackages(t) {
+		if strings.HasSuffix(p.PkgPath, "/"+fixture) {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture package %q: found %d packages", fixture, len(pkgs))
+	}
+	base := filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "src")
+	diags := lint.Run(pkgs, map[string]bool{check: true})
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		if rel, err := filepath.Rel(base, d.File); err == nil {
+			d.File = filepath.ToSlash(rel)
+		}
+		lines = append(lines, d.String())
+	}
+	return lines
+}
+
+// TestGolden pins each analyzer's diagnostics over its fixture
+// package. Every golden file is non-empty, so disabling (or breaking)
+// an analyzer fails its subtest — the "check cannot silently
+// disappear" guarantee the CI lint gate builds on.
+func TestGolden(t *testing.T) {
+	for check := range fixtures {
+		t.Run(check, func(t *testing.T) {
+			got := strings.Join(goldenLines(t, check), "\n") + "\n"
+			path := filepath.Join("testdata", check+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wantBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			want := string(wantBytes)
+			if strings.TrimSpace(want) == "" {
+				t.Fatalf("golden file %s is empty; each analyzer must have findings to pin", path)
+			}
+			if got != want {
+				t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestDisabledCheckReportsNothing is the inverse pin: with only some
+// other check enabled, a fixture full of violations yields zero
+// findings — -checks selection really disables analyzers.
+func TestDisabledCheckReportsNothing(t *testing.T) {
+	var pkgs []*lint.Package
+	for _, p := range fixturePackages(t) {
+		if strings.HasSuffix(p.PkgPath, "/exit") {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if diags := lint.Run(pkgs, map[string]bool{"metricname": true}); len(diags) != 0 {
+		t.Errorf("exit fixture with only metricname enabled produced %d findings: %v", len(diags), diags)
+	}
+}
+
+// TestAnalyzersRegistry pins the suite's shape: stable IDs, docs, and
+// ByName resolution.
+func TestAnalyzersRegistry(t *testing.T) {
+	want := []string{"directive", "errwrap", "exitcode", "hotpath", "metricname", "nodeterminism"}
+	as := lint.Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(as), len(want))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if got, ok := lint.ByName(a.Name); !ok || got != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if _, ok := lint.ByName("nope"); ok {
+		t.Error("ByName accepted an unknown check")
+	}
+}
+
+// TestDogfoodRepoClean is the suite eating its own cooking: the whole
+// module (testdata is excluded by ./... expansion) must be
+// finding-free, the same invariant the CI lint job gates merges on.
+func TestDogfoodRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool over the full module")
+	}
+	pkgs, err := lint.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags := lint.Run(pkgs, nil)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("ratlint found %d findings in the tree; fix or annotate them", len(diags))
+	}
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string // full import path
+	RelPath string // module-relative path ("" for the module root)
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	dirs *directives
+}
+
+// listedPackage is the slice of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -json=<fields>` in dir and decodes the
+// concatenated JSON stream.
+func goList(dir string, extra []string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves the patterns with the go tool (run from dir), parses
+// the matched packages' sources with comments, and type-checks them
+// against compiler export data for every dependency — the `go list
+// -export` build-cache artifacts, so no dependency source is ever
+// re-checked. The result is one Package per matched package, each
+// carrying full type information and its parsed //rat: directives.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, nil, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps pass supplies export data for the whole dependency
+	// closure, stdlib included.
+	deps, err := goList(dir, []string{"-export", "-deps"}, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Standard || len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+		}
+		rel := t.ImportPath
+		if t.Module != nil {
+			rel = strings.TrimPrefix(strings.TrimPrefix(t.ImportPath, t.Module.Path), "/")
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: t.ImportPath,
+			RelPath: rel,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			dirs:    collectDirectives(fset, files),
+		})
+	}
+	return pkgs, nil
+}
+
+// pos is shorthand for a node's resolved position.
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// when it statically names one (a package function or a method; not a
+// builtin, conversion, or dynamic function value).
+func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIsPkgFunc reports whether call invokes the named function from
+// the package with the given import path (e.g. "time", "Now").
+func (p *Package) calleeIsPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.calleeFunc(call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// calleeBuiltin reports whether call invokes the named builtin
+// (panic, append, ...).
+func (p *Package) calleeBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/lint"
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// TestValidateMetricName pins the lint-side grammar.
+func TestValidateMetricName(t *testing.T) {
+	accept := []string{
+		"rat_inflight",
+		"server.requests",
+		"harness.experiment.pdf1d",
+		"_leading_underscore",
+		"name:with:colons",
+		`rat_requests_total{code="200",endpoint="predict"}`,
+		`rat_stage_seconds{stage="kernel"}`,
+		`escapes{msg="a\"b\\c\nd"}`,
+	}
+	for _, name := range accept {
+		if err := lint.ValidateMetricName(name, true); err != nil {
+			t.Errorf("ValidateMetricName(%q) = %v, want nil", name, err)
+		}
+	}
+	reject := []string{
+		"",
+		"has space",
+		"2leading_digit",
+		".leading_dot",
+		"tab\tname",
+		`{label="x"}`,
+		`m{label=unquoted}`,
+		`m{="v"}`,
+		`m{a="1",a="2"}`,
+		`m{a="1"`,
+		`m{a="1",}`,
+		`m{a="bad\escape"}`,
+		`m{}`,
+		`m{a="1"}trailing`,
+	}
+	for _, name := range reject {
+		if err := lint.ValidateMetricName(name, true); err == nil {
+			t.Errorf("ValidateMetricName(%q) accepted a malformed name", name)
+		}
+	}
+	// A literal prefix of a dynamic name only has its family checked.
+	if err := lint.ValidateMetricName("server.inflight.", false); err != nil {
+		t.Errorf("prefix validation rejected a valid dotted prefix: %v", err)
+	}
+	if err := lint.ValidateMetricName("bad prefix.", false); err == nil {
+		t.Error("prefix validation accepted a space")
+	}
+}
+
+// TestMetricNamesSurviveExposition ties the lint grammar to the
+// scrape-side oracle: every complete name the analyzer accepts must,
+// once registered and rendered, pass telemetry.ValidateProm — the
+// same conformance check a real Prometheus parser mirrors. This is
+// the contract that makes a lint-time pass mean a scrape-time pass.
+func TestMetricNamesSurviveExposition(t *testing.T) {
+	names := []string{
+		"rat_inflight",
+		"server.requests",
+		"server.cache_hits",
+		"harness.experiment.pdf1d",
+		`rat_requests_total{code="200",endpoint="predict"}`,
+		`rat_request_seconds{endpoint="batch"}`,
+		"name:with:colons",
+	}
+	reg := telemetry.NewRegistry()
+	for _, name := range names {
+		if err := lint.ValidateMetricName(name, true); err != nil {
+			t.Fatalf("lint grammar rejected %q: %v", name, err)
+		}
+		if strings.Contains(name, "seconds{") {
+			reg.Histogram(name, []float64{0.1, 1}).Observe(0.5)
+		} else {
+			reg.Counter(name).Inc()
+		}
+	}
+	var buf strings.Builder
+	if err := telemetry.WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if err := telemetry.ValidateProm(buf.String()); err != nil {
+		t.Fatalf("lint-accepted names failed scrape-side validation: %v\n%s", err, buf.String())
+	}
+}

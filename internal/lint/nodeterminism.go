@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The packages whose results must be a pure function of their inputs:
+// the prediction kernel and everything the search/replay paths depend
+// on. Byte-identical replay (rcsim, fault) and order-independent
+// exploration merges both die the moment wall-clock time or iteration
+// order sneaks into a result.
+var deterministicPackages = map[string]bool{
+	"internal/core":    true,
+	"internal/explore": true,
+	"internal/fault":   true,
+	"internal/rcsim":   true,
+	"internal/sim":     true,
+}
+
+// wallClockFuncs are the time package's nondeterminism sources. The
+// time *types* (Duration, Time as data) are fine — simulated time is
+// the whole point of rcsim — only reads of the real clock are banned.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+var analyzerNodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "deterministic packages may not read the wall clock, import math/rand, or leak map iteration order into returned slices",
+	Run:  runNodeterminism,
+}
+
+func runNodeterminism(p *Package) []Diagnostic {
+	if !deterministicPackages[p.RelPath] && !p.dirs.pkgLevel[DirDeterministic] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, diag("nodeterminism", p.pos(imp),
+					"deterministic package imports %s; derive pseudo-randomness from an explicit seed hash instead", path))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pos := p.pos(call)
+			if p.dirs.allowedAt(pos, DirAllowWallclock) {
+				return true
+			}
+			out = append(out, diag("nodeterminism", pos,
+				"wall-clock read time.%s in a deterministic package; annotate //rat:allow-wallclock <reason> if this only feeds telemetry", fn.Name()))
+			return true
+		})
+	}
+	out = append(out, mapOrderLeaks(p)...)
+	return out
+}
+
+// mapOrderLeaks flags `for range <map>` loops that append into a slice
+// the enclosing function returns: the slice's element order then
+// depends on Go's randomized map iteration, so two identical runs can
+// produce different bytes. A sort of that slice after the loop (in the
+// statements that follow it, at any nesting depth) erases the order
+// and clears the finding, as does //rat:allow-maporder.
+func mapOrderLeaks(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var results *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, results = fn.Body, fn.Type.Results
+			case *ast.FuncLit:
+				body, results = fn.Body, fn.Type.Results
+			default:
+				return true
+			}
+			if body == nil || results == nil || results.NumFields() == 0 {
+				return true
+			}
+			out = append(out, mapOrderLeaksInFunc(p, body)...)
+			return true // keep descending: nested FuncLits get their own pass
+		})
+	}
+	return out
+}
+
+func mapOrderLeaksInFunc(p *Package, body *ast.BlockStmt) []Diagnostic {
+	// Objects returned directly from this function. An identifier
+	// buried in a call (len(keys), strings.Join(keys, ...)) is not the
+	// slice itself escaping, so only bare results count.
+	returned := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(returned) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	// Walk statement lists so each range loop can see its successors.
+	var walkStmts func(list []ast.Stmt)
+	walkStmts = func(list []ast.Stmt) {
+		for i, st := range list {
+			rng, ok := st.(*ast.RangeStmt)
+			if ok && isMapType(p.exprType(rng.X)) {
+				for _, obj := range appendTargets(p, rng.Body) {
+					if !returned[obj] {
+						continue
+					}
+					pos := p.pos(rng)
+					if p.dirs.allowedAt(pos, DirAllowMaporder) || sortedAfter(p, list[i+1:], obj) {
+						continue
+					}
+					out = append(out, diag("nodeterminism", pos,
+						"map iteration order leaks into returned slice %q; sort it before returning", obj.Name()))
+				}
+			}
+			// Recurse into every nested statement block.
+			ast.Inspect(st, func(n ast.Node) bool {
+				if blk, ok := n.(*ast.BlockStmt); ok && n != st {
+					walkStmts(blk.List)
+					return false
+				}
+				switch inner := n.(type) {
+				case *ast.ForStmt:
+					walkStmts(inner.Body.List)
+					return false
+				case *ast.RangeStmt:
+					if inner != st {
+						walkStmts(inner.Body.List)
+						return false
+					}
+				case *ast.CaseClause:
+					walkStmts(inner.Body)
+					return false
+				case *ast.CommClause:
+					walkStmts(inner.Body)
+					return false
+				case *ast.FuncLit:
+					return false // analyzed as its own function
+				}
+				return true
+			})
+		}
+	}
+	walkStmts(body.List)
+	return out
+}
+
+// appendTargets returns the objects assigned from an append(...) call
+// inside the block.
+func appendTargets(p *Package, body ast.Node) []types.Object {
+	var objs []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !p.calleeBuiltin(call, "append") || i >= len(asg.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(asg.Lhs[i]).(*ast.Ident); ok {
+				if obj := p.objectOf(id); obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// sortedAfter reports whether any statement in list calls into sort or
+// slices with obj among the arguments — the conventional "erase the
+// map order" step.
+func sortedAfter(p *Package, list []ast.Stmt, obj types.Object) bool {
+	for _, st := range list {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprType returns the static type of an expression, or nil.
+func (p *Package) exprType(e ast.Expr) types.Type {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// objectOf resolves an identifier through both Uses and Defs.
+func (p *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// pkgPathHasPrefix reports whether the module-relative path is the
+// prefix itself or lies underneath it.
+func pkgPathHasPrefix(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}

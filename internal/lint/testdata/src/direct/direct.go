@@ -1,0 +1,38 @@
+// Package direct is the directive fixture: well-formed //rat:
+// comments next to every malformed shape that survives gofmt.
+// (Whitespace-after-colon and bare "//rat:" forms are reflowed into
+// plain comments by gofmt, so those live in the ParseDirective unit
+// tests instead.)
+package direct
+
+// Good is properly annotated: clean.
+//
+//rat:hotpath
+func Good() {}
+
+// Typo uses an unknown directive name.
+//
+//rat:hotpaths
+func Typo() {}
+
+// Split spells a known name with an embedded break, so the parsed
+// name is unknown and the rest is a stray argument.
+//
+//rat:hot path
+func Split() {}
+
+// Bare gives no reason for the escape hatch.
+func Bare() {
+	//rat:allow-panic
+	//rat:allow-wallclock
+	_ = 0
+}
+
+// Extra hands an argument to an arity-0 directive.
+//
+//rat:hotpath because it is fast
+func Extra() {}
+
+// Prose mentions rat: mid-sentence; not a directive, not a finding.
+// See the rat: documentation for details.
+func Prose() {}

@@ -1,0 +1,43 @@
+// Package exit is the exitcode fixture: a library package that tries
+// every way to terminate the process.
+package exit
+
+import (
+	"log"
+	"os"
+)
+
+// Bail exits directly.
+func Bail() {
+	os.Exit(1)
+}
+
+// Fatal exits through the log package.
+func Fatal(err error) {
+	log.Fatalf("giving up: %v", err)
+	log.Panicln("unreachable")
+}
+
+// Explode panics without a justification.
+func Explode() {
+	panic("boom")
+}
+
+// Invariant panics with a documented reason: clean.
+func Invariant(ok bool) {
+	if !ok {
+		//rat:allow-panic caller violated a documented precondition
+		panic("exit: invariant broken")
+	}
+}
+
+// Recovered still panics as far as the contract is concerned; the
+// directive is the only way out.
+func Recovered() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = nil
+		}
+	}()
+	panic("caught") //rat:allow-panic recovered two lines up, never escapes
+}

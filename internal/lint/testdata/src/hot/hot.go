@@ -1,0 +1,113 @@
+// Package hot is the hotpath fixture: annotated functions commit each
+// allocation sin once; unannotated twins stay invisible.
+package hot
+
+import "fmt"
+
+// Sum is annotated and clean: hinted append, no formatting, no boxing.
+//
+//rat:hotpath
+func Sum(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// Format allocates with fmt.Sprintf on the hot path.
+//
+//rat:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Concat builds a string with + inside a loop, twice over.
+//
+//rat:hotpath
+func Concat(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s = s + p
+	}
+	for _, p := range parts {
+		s += p
+	}
+	return s
+}
+
+// Grow appends into an unhinted slice inside a loop.
+//
+//rat:hotpath
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// GrowUnknown appends to a parameter: the origin is the caller's
+// business, not this function's finding.
+//
+//rat:hotpath
+func GrowUnknown(dst, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// Box passes scalars into interface parameters.
+//
+//rat:hotpath
+func Box(n int) {
+	sink(n)
+	sinks("label", n)
+}
+
+// BoxErrorf is exempt: error construction is cold-path by convention.
+//
+//rat:hotpath
+func BoxErrorf(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Escape hands a capturing closure to another function.
+//
+//rat:hotpath
+func Escape(xs []int) int {
+	total := 0
+	each(xs, func(x int) { total += x })
+	return total
+}
+
+// LocalClosure binds a capturing closure to a local and invokes it in
+// place: no escape, no finding.
+//
+//rat:hotpath
+func LocalClosure(xs []int) int {
+	total := 0
+	add := func(x int) { total += x }
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// Cold is unannotated: the same sins draw no findings.
+func Cold(parts []string) string {
+	s := ""
+	for _, p := range parts {
+		s += p
+	}
+	return fmt.Sprintf("%s!", s)
+}
+
+func sink(v any)        { _ = v }
+func sinks(args ...any) { _ = args }
+func each(xs []int, f func(x int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}

@@ -1,0 +1,31 @@
+// Package metric is the metricname fixture: every registration shape
+// the repository uses, valid and broken.
+package metric
+
+import (
+	"fmt"
+
+	"github.com/chrec/rat/internal/telemetry"
+)
+
+// Register exercises the registry constructors.
+func Register(reg *telemetry.Registry, endpoint string, code int) {
+	// Valid shapes.
+	reg.Counter("server.requests")
+	reg.Gauge("rat_inflight")
+	reg.Timer("harness.experiment.pdf1d")
+	reg.Histogram(`rat_request_seconds{endpoint="predict"}`, []float64{1})
+	reg.Counter("server.inflight." + endpoint)
+	reg.Counter(fmt.Sprintf(`rat_requests_total{code="%d",endpoint="%s"}`, code, endpoint))
+	reg.Counter(endpoint) // fully dynamic: not statically checkable
+
+	// Broken shapes.
+	reg.Counter("server requests")
+	reg.Gauge("2fast")
+	reg.Counter("")
+	reg.Histogram(`rat_request_seconds{endpoint=predict}`, []float64{1})
+	reg.Counter(`dup{a="1",a="2"}`)
+	reg.Timer(`open_block{a="1"`)
+	reg.Counter(fmt.Sprintf(`bad name{code="%d"}`, code))
+	reg.Counter("bad prefix." + endpoint)
+}

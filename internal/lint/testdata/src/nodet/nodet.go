@@ -1,0 +1,83 @@
+// Package nodet is the nodeterminism fixture: a package that declares
+// itself deterministic and then violates (and correctly suppresses)
+// each rule.
+//
+//rat:deterministic
+package nodet
+
+import (
+	"math/rand" // want: nondeterministic randomness source
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock twice without a justification.
+func Clock() (time.Time, time.Duration) {
+	start := time.Now()
+	elapsed := time.Since(start)
+	return start, elapsed
+}
+
+// AllowedClock carries the escape hatch on both placements.
+func AllowedClock() time.Duration {
+	//rat:allow-wallclock telemetry only, never reaches results
+	start := time.Now()
+	return time.Since(start) //rat:allow-wallclock telemetry only
+}
+
+// DurationsAreFine shows that time as data is not flagged.
+func DurationsAreFine(d time.Duration) time.Duration { return 2 * d }
+
+// Shuffle drags math/rand in (the import is the finding).
+func Shuffle(n int) int { return rand.Intn(n) }
+
+// LeakOrder returns a slice whose element order is the map's
+// randomized iteration order.
+func LeakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedOrder erases the iteration order before returning: clean.
+func SortedOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LocalOrder appends map keys into a slice that never leaves the
+// function: clean.
+func LocalOrder(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}
+
+// AllowedOrder suppresses the finding with a reason.
+func AllowedOrder(m map[string]int) []string {
+	var keys []string
+	//rat:allow-maporder consumer treats this as a set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// NestedLeak hides the leak one block down.
+func NestedLeak(m map[string]int, cond bool) []string {
+	out := make([]string, 0, len(m))
+	if cond {
+		for k := range m {
+			out = append(out, k)
+		}
+	}
+	return out
+}

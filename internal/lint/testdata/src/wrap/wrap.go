@@ -1,0 +1,72 @@
+// Package wrap is the errwrap fixture: flattened causes, identity
+// comparisons, and string matching, next to their errors.Is-clean
+// twins.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrBudget is the package sentinel.
+var ErrBudget = errors.New("over budget")
+
+// Flatten loses the cause behind %v.
+func Flatten(err error) error {
+	return fmt.Errorf("loading config: %v", err)
+}
+
+// Wrapped preserves the chain: clean.
+func Wrapped(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+// Demoted wraps the sentinel and deliberately flattens the detail:
+// clean (one %w is present).
+func Demoted(err error) error {
+	return fmt.Errorf("%w: %v", ErrBudget, err)
+}
+
+// NoErrArgs formats scalars only: clean.
+func NoErrArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Identity compares sentinels with == and !=.
+func Identity(err error) bool {
+	if err == ErrBudget {
+		return true
+	}
+	return err != io.EOF
+}
+
+// NilChecks are not sentinel comparisons: clean.
+func NilChecks(err error) bool {
+	return err == nil || err != nil
+}
+
+// IsChecks is the sanctioned form: clean.
+func IsChecks(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, io.EOF)
+}
+
+// Text matches the message instead of the chain.
+func Text(err error) bool {
+	if err.Error() == "over budget" {
+		return true
+	}
+	return strings.Contains(err.Error(), "budget")
+}
+
+// SwitchIdentity dispatches on the error value itself.
+func SwitchIdentity(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case io.EOF:
+		return 1
+	}
+	return 2
+}
