@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke
+.PHONY: all build test vet lint race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant analyzers: determinism, hot-path allocations, exit
+# codes, error wrapping, metric names. See docs/LINT.md.
+lint:
+	$(GO) run ./cmd/ratlint ./...
 
 test: vet
 	$(GO) test ./...
