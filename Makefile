@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke
+.PHONY: all build test vet lint race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke tenant-smoke
 
 all: build vet lint test
 
@@ -28,14 +28,16 @@ bench:
 # Refresh the committed micro-benchmark baseline (BENCH_4.json) from
 # the hot-path benchmarks. Run on a quiet machine; commit the result.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$' -benchmem -count=1 . ./internal/server \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$|BenchmarkServerPredictTenanted$$' -benchmem -count=1 . ./internal/server \
 	  | $(GO) run ./cmd/benchcheck -emit BENCH_4.json -note "make bench-baseline"
 
 # Gate the current tree against the committed baseline: fails on a
-# >20% BenchmarkPredict ns/op regression or any allocs/op increase.
+# >20% ns/op regression in the gated benchmarks (the prediction kernel
+# plus the served predict path, tenanted and not — admission must stay
+# free) or any allocs/op increase anywhere.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
-	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$|BenchmarkServerPredictTenanted$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
+	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json -gate BenchmarkPredict,BenchmarkServerPredict,BenchmarkServerPredictTenanted
 
 # Closed-loop load test against a locally built ratd: start the
 # daemon on LOADTEST_ADDR, wait for /healthz, drive it with ratload,
@@ -85,6 +87,44 @@ obs-smoke:
 	  || { echo "obs-smoke: /v1/status does not report the traffic"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "obs-smoke: OK"
+
+# Multi-tenant isolation smoke: start ratd with two configured
+# tenants, run the noisy-neighbor mix (hostile tenant flat out at far
+# above its quota, compliant tenant paced inside its own), and assert
+# from the per-tenant report lines that isolation held: the compliant
+# tenant saw zero 429s while the hostile tenant was shed.
+TENANT_SMOKE_ADDR ?= 127.0.0.1:18082
+tenant-smoke:
+	@set -e; tmp=$$(mktemp -d); pid=""; \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ratd ./cmd/ratd; \
+	$(GO) build -o $$tmp/ratload ./cmd/ratload; \
+	printf '%s' '{"tenants": [' \
+	  '{"name": "compliant", "key": "smoke-ck", "rate_per_sec": 1000, "burst": 1000},' \
+	  '{"name": "hostile", "key": "smoke-hk", "rate_per_sec": 5, "burst": 5, "max_inflight": 2}]}' \
+	  > $$tmp/tenants.json; \
+	"$$tmp/ratd" -addr $(TENANT_SMOKE_ADDR) -tenants $$tmp/tenants.json & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if curl -fs http://$(TENANT_SMOKE_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+	  sleep 0.1; \
+	done; \
+	test $$up = 1 || { echo "tenant-smoke: ratd never became healthy"; exit 1; }; \
+	curl -fs -X POST http://$(TENANT_SMOKE_ADDR)/v1/predict -o /dev/null -w '%{http_code}\n' \
+	  | grep -q 401 || { echo "tenant-smoke: keyless request was not rejected with 401"; exit 1; }; \
+	"$$tmp/ratload" -url http://$(TENANT_SMOKE_ADDR) -mix noisy-neighbor \
+	  -key-compliant smoke-ck -key-hostile smoke-hk \
+	  -c 8 -duration 5s -compliant-qps 20 | tee $$tmp/report; \
+	grep -q '^tenant compliant: .*rejected_429=0 ' $$tmp/report \
+	  || { echo "tenant-smoke: compliant tenant was rejected — isolation failed"; exit 1; }; \
+	grep '^tenant hostile: ' $$tmp/report | grep -vq ' rejected_429=0 ' \
+	  || { echo "tenant-smoke: hostile tenant was never shed — quota not enforced"; exit 1; }; \
+	curl -fs -H 'Accept: text/plain; version=0.0.4' http://$(TENANT_SMOKE_ADDR)/metrics > $$tmp/metrics; \
+	grep -q 'rat_tenant_rejections_total{reason="quota",tenant="hostile"}' $$tmp/metrics \
+	  || { echo "tenant-smoke: /metrics lacks the per-tenant rejection counter"; exit 1; }; \
+	grep -q 'rat_brownout_level' $$tmp/metrics \
+	  || { echo "tenant-smoke: /metrics lacks rat_brownout_level"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "tenant-smoke: OK"
 
 # Regenerate every paper table and figure, side by side with the
 # published values.

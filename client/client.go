@@ -149,6 +149,7 @@ type Client struct {
 	retry   RetryPolicy
 	rnd     func() float64
 	log     *slog.Logger
+	apiKey  string
 }
 
 // Option customizes a Client.
@@ -165,6 +166,11 @@ func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.retry = 
 // line per retry (attempt number, wait, trace_id, the error being
 // retried); nothing is logged on the happy path.
 func WithLogger(l *slog.Logger) Option { return func(c *Client) { c.log = l } }
+
+// WithAPIKey attaches a tenant API key to every request as a bearer
+// token (multi-tenant servers refuse keyless API requests with 401;
+// see docs/TENANCY.md).
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // withJitterSource injects the jitter randomness (tests).
 func withJitterSource(rnd func() float64) Option { return func(c *Client) { c.rnd = rnd } }
@@ -343,6 +349,13 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 					slog.String("trace_id", trace.String()),
 					slog.Any("err", lastErr))
 			}
+			// Honored waits are capped by the request deadline: when
+			// even the server's own Retry-After hint cannot fit before
+			// the context expires, fail now instead of sleeping into a
+			// guaranteed timeout.
+			if deadline, ok := ctx.Deadline(); ok && wait >= time.Until(deadline) {
+				return nil, fmt.Errorf("retry wait %v exceeds the request deadline: %w", wait, lastErr)
+			}
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
@@ -383,6 +396,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	req.Header.Set(obs.TraceHeader, obs.FormatTraceHeader(trace, obs.NewSpanID()))
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -404,12 +420,35 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		} else {
 			apiErr.Message = strings.TrimSpace(string(respBody))
 		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			apiErr.RetryAfter = d
 		}
 		return nil, apiErr
 	}
 	return respBody, nil
+}
+
+// parseRetryAfter parses a Retry-After header in either RFC 9110
+// form: delta-seconds ("5") or an HTTP-date ("Fri, 08 Aug 2026
+// 12:00:00 GMT", evaluated against now — a date already past means
+// retry immediately). Malformed values report !ok and are ignored,
+// leaving the client on its own backoff schedule.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }

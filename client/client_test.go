@@ -19,6 +19,7 @@ import (
 	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/tenant"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
@@ -511,5 +512,129 @@ func TestTraceEndToEnd(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no access log line carries the APIError trace ID %s:\n%s", apiErr.TraceID, logBuf.String())
+	}
+}
+
+// TestParseRetryAfter pins both RFC 9110 forms of the header:
+// delta-seconds and HTTP-date, with malformed values ignored.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"5", 5 * time.Second, true},
+		{"0", 0, true},
+		{"-3", 0, false},
+		{"soon", 0, false},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true},
+		// A date already past means "retry now", never a negative wait.
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in, now)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestClientHonorsHTTPDateRetryAfter: a 429 carrying an HTTP-date
+// Retry-After makes the client wait until that instant before its
+// retry — the same contract as delta-seconds.
+func TestClientHonorsHTTPDateRetryAfter(t *testing.T) {
+	real := server.New(server.Config{}).Handler()
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			// Two seconds out: HTTP-dates truncate to whole seconds, so
+			// a one-second offset can land arbitrarily close to "now" —
+			// two guarantees the honored wait is at least ~1s.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"quota"}`, http.StatusTooManyRequests)
+		default:
+			secondAt = time.Now()
+			real.ServeHTTP(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}))
+	if _, err := c.Predict(context.Background(), paper.PDF1DParams()); err != nil {
+		t.Fatalf("Predict through a 429-then-OK server: %v", err)
+	}
+	// HTTP-date resolution is one second; the honored wait lands
+	// somewhere inside (1s, 2s] rather than at the 1ms backoff.
+	if wait := secondAt.Sub(firstAt); wait < 900*time.Millisecond || wait > 5*time.Second {
+		t.Errorf("retry waited %v; an HTTP-date two seconds out should be honored (not the 1ms backoff)", wait)
+	}
+}
+
+// TestClientCapsRetryWaitAtDeadline: when the server's Retry-After
+// cannot fit inside the request deadline, the client fails fast with
+// the underlying 429 instead of sleeping into a guaranteed timeout.
+func TestClientCapsRetryWaitAtDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"error":"over quota"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxRetries: 5, Backoff: time.Millisecond}))
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, paper.PDF1DParams())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Predict succeeded against a permanent 429")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("err = %v; want it to wrap the 429 APIError", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("client took %v; a 30s Retry-After against a 200ms deadline must fail fast", elapsed)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d calls; the retry could never fit the deadline", n)
+	}
+}
+
+// TestClientAPIKey: WithAPIKey authenticates against a multi-tenant
+// server, and a keyless client is refused with 401.
+func TestClientAPIKey(t *testing.T) {
+	reg, err := tenant.Parse(strings.NewReader(
+		`{"tenants": [{"name": "a", "key": "sekrit", "rate_per_sec": 1000}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{Tenants: reg}
+	keyed, ts := newTestPair(t, cfg, WithAPIKey("sekrit"), WithRetryPolicy(RetryPolicy{}))
+	p := paper.PDF1DParams()
+	want, err := core.Predict(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := keyed.Predict(context.Background(), p)
+	if err != nil {
+		t.Fatalf("keyed Predict: %v", err)
+	}
+	if got != want {
+		t.Error("tenanted prediction differs from core.Predict")
+	}
+
+	keyless := New(ts.URL, WithRetryPolicy(RetryPolicy{}))
+	_, err = keyless.Predict(context.Background(), p)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnauthorized {
+		t.Errorf("keyless Predict err = %v, want a 401 APIError", err)
 	}
 }

@@ -9,6 +9,12 @@
 //	ratd -addr 127.0.0.1:0            # ephemeral port, printed on stdout
 //	ratd -max-batch 32 -linger 1ms -cache-size 4096
 //	ratd -predict-limit 128 -explore-limit 4 -admission-wait 20ms
+//	ratd -tenants tenants.json               # multi-tenant admission
+//
+// With -tenants, every API request must carry a configured key and is
+// admitted against its tenant's token bucket and concurrency cap (see
+// docs/TENANCY.md); SIGHUP reloads the file in place, preserving live
+// bucket state.
 //
 // The daemon prints one line, "ratd: listening on <host:port>", once
 // the listener is up, and drains gracefully on SIGINT/SIGTERM: the
@@ -35,6 +41,7 @@ import (
 
 	"github.com/chrec/rat/internal/cli"
 	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/tenant"
 )
 
 func main() {
@@ -72,6 +79,8 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 	maxCandidates := fs.Uint64("max-explore-candidates", 0, "largest grid a single explore may ask for (0 = default 4Mi)")
 	exploreWorkers := fs.Int("explore-workers", 0, "workers per exploration (0 = one per CPU)")
 	accessLog := fs.String("access-log", "", "JSONL access log path (- for stdout, empty disables)")
+	tenantsFile := fs.String("tenants", "", "tenant config JSON (enables multi-tenant admission; SIGHUP reloads)")
+	exploreCost := fs.Float64("explore-cost", 0, "token-bucket cost of one explore request (0 = default 16)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
@@ -92,6 +101,21 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 		ExploreTimeout:       *exploreTimeout,
 		MaxExploreCandidates: *maxCandidates,
 		ExploreWorkers:       *exploreWorkers,
+		ExploreTokenCost:     *exploreCost,
+	}
+
+	// Multi-tenant admission: keys, quotas and concurrency caps come
+	// from the -tenants JSON file. SIGHUP swaps in an edited file
+	// atomically, preserving live bucket fills; a broken edit is
+	// logged and the running tenant set stays untouched.
+	var tenants *tenant.Registry
+	if *tenantsFile != "" {
+		reg, err := tenant.Load(*tenantsFile)
+		if err != nil {
+			return cli.WrapUsage(fmt.Errorf("tenants: %w", err))
+		}
+		tenants = reg
+		cfg.Tenants = reg
 	}
 
 	// The access log is structured slog JSONL: one "request" record per
@@ -126,6 +150,21 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 	}
 	srv := server.New(cfg)
 	fmt.Fprintf(out, "ratd: listening on %s\n", l.Addr())
+
+	if tenants != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := tenants.ReloadFile(*tenantsFile); err != nil {
+					fmt.Fprintf(out, "ratd: tenants reload failed (keeping previous set): %v\n", err)
+					continue
+				}
+				fmt.Fprintf(out, "ratd: tenants reloaded from %s (%d tenants)\n", *tenantsFile, tenants.Len())
+			}
+		}()
+	}
 
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(l) }()

@@ -11,6 +11,9 @@
 //	ratload -url http://127.0.0.1:8080 -qps 500 -c 16 -duration 30s
 //	ratload -url http://127.0.0.1:8080 -worksheet design.json -devices 2
 //	ratload -url http://127.0.0.1:8080 -n 100 -traces 5
+//	ratload -url http://127.0.0.1:8080 -key K1 -qps 50
+//	ratload -url http://127.0.0.1:8080 -mix noisy-neighbor \
+//	    -key-compliant K1 -key-hostile K2 -duration 10s
 //
 // With -n the run stops after that many requests even if -duration has
 // time left. With -traces N every request carries an X-Rat-Trace header
@@ -18,6 +21,18 @@
 // report then prints the N slowest requests with their trace IDs and
 // stage timings, plus how many trace IDs the server echoed back — a
 // quick end-to-end check that tracing is wired through.
+//
+// With -key every request carries the key as Authorization: Bearer,
+// for servers started with ratd -tenants. With -mix, ratload instead
+// drives two tenants at once — a compliant one paced inside its quota
+// (-compliant-qps) and a hostile one shaped by the mix name: flat-out
+// closed loop far above quota (noisy-neighbor), synchronized bursts on
+// a shared boundary (thundering-herd), or paced right at the bucket's
+// refill rate with periodic doubles probing the edge (quota-edge). The
+// report then adds one stable line per tenant (requests, ok,
+// rejected_429, p50/p99) that CI greps to assert isolation: the
+// compliant tenant must see zero 429s while the hostile one is shed.
+// -n, -qps and -traces apply only to single-tenant runs.
 //
 // Exit codes: 0 when the run completes and every request got an HTTP
 // response (any status), 1 on runtime failure (unreachable server,
@@ -81,6 +96,11 @@ func load(args []string, out io.Writer) error {
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	budget := fs.Int64("n", 0, "total request budget (0 = duration-bound only)")
 	traces := fs.Int("traces", 0, "trace every request, report the N slowest with stage breakdowns (0 disables)")
+	apiKey := fs.String("key", "", "API key sent as Authorization: Bearer (tenanted servers)")
+	mix := fs.String("mix", "", "adversarial two-tenant mix: noisy-neighbor, thundering-herd or quota-edge")
+	keyCompliant := fs.String("key-compliant", "", "compliant tenant's API key (required with -mix)")
+	keyHostile := fs.String("key-hostile", "", "hostile tenant's API key (required with -mix)")
+	compliantQPS := fs.Float64("compliant-qps", 20, "paced request rate of the compliant tenant in a -mix run")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
@@ -104,6 +124,22 @@ func load(args []string, out io.Writer) error {
 	}
 	if _, err := url.ParseRequestURI(*baseURL); err != nil {
 		return cli.Usagef("-url: %v", err)
+	}
+	switch *mix {
+	case "", "noisy-neighbor", "thundering-herd", "quota-edge":
+	default:
+		return cli.Usagef("-mix %q: want noisy-neighbor, thundering-herd or quota-edge", *mix)
+	}
+	if *mix != "" {
+		if *keyCompliant == "" || *keyHostile == "" {
+			return cli.Usagef("-mix requires both -key-compliant and -key-hostile")
+		}
+		if *apiKey != "" {
+			return cli.Usagef("-key and -mix are mutually exclusive")
+		}
+		if *compliantQPS <= 0 {
+			return cli.Usagef("-compliant-qps must be positive (got %v)", *compliantQPS)
+		}
 	}
 
 	var body []byte
@@ -135,6 +171,11 @@ func load(args []string, out io.Writer) error {
 	}
 	if len(q) > 0 {
 		target += "?" + q.Encode()
+	}
+
+	if *mix != "" {
+		return runMix(out, *mix, target, body, *reqTimeout, *duration,
+			*conc, *compliantQPS, *keyCompliant, *keyHostile)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -184,6 +225,9 @@ func load(args []string, out io.Writer) error {
 					return
 				}
 				req.Header.Set("Content-Type", "application/json")
+				if *apiKey != "" {
+					req.Header.Set("Authorization", "Bearer "+*apiKey)
+				}
 				var traceHdr string
 				if sampler != nil {
 					traceHdr = obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
@@ -231,6 +275,171 @@ func load(args []string, out io.Writer) error {
 		return fmt.Errorf("%d transport errors (is ratd up at %s?)", transportErrs.Load(), *baseURL)
 	}
 	return nil
+}
+
+// runMix drives the adversarial two-tenant mixes against a tenanted
+// ratd: a compliant tenant paced inside its quota next to a hostile
+// tenant shaped by the mix name. It exists to prove isolation, not to
+// measure throughput — the per-tenant report lines are the assertion
+// surface (CI greps the compliant tenant's rejected_429 field).
+func runMix(out io.Writer, mode, target string, body []byte,
+	timeout, duration time.Duration, conc int, compliantQPS float64,
+	keyCompliant, keyHostile string) error {
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	client := &http.Client{Timeout: timeout}
+
+	compliant := &tenantLoad{name: "compliant", key: keyCompliant}
+	hostile := &tenantLoad{name: "hostile", key: keyHostile}
+
+	// The compliant tenant shares one ticker across its workers so its
+	// aggregate rate stays at -compliant-qps no matter the worker
+	// count; any 429 it sees is an isolation failure, not shedding.
+	compTick := time.NewTicker(time.Duration(float64(time.Second) / compliantQPS))
+	defer compTick.Stop()
+	compWorkers := conc / 4
+	if compWorkers < 1 {
+		compWorkers = 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < compWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				select {
+				case <-compTick.C:
+				case <-ctx.Done():
+					return
+				}
+				compliant.do(ctx, client, target, body)
+			}
+		}()
+	}
+
+	var hostileTick *time.Ticker
+	if mode == "quota-edge" {
+		// Paced to the compliant rate — presumed at or near the hostile
+		// bucket's refill rate — with a double every fourth request to
+		// probe the boundary accounting from just above.
+		hostileTick = time.NewTicker(time.Duration(float64(time.Second) / compliantQPS))
+		defer hostileTick.Stop()
+	}
+	const herdPeriod = 250 * time.Millisecond
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				switch mode {
+				case "noisy-neighbor":
+					// Flat-out closed loop, far above any sane quota.
+					hostile.do(ctx, client, target, body)
+				case "thundering-herd":
+					// Every worker sleeps to the same period boundary,
+					// then all fire a burst together.
+					d := herdPeriod - time.Since(start)%herdPeriod
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+					for b := 0; b < 4 && ctx.Err() == nil; b++ {
+						hostile.do(ctx, client, target, body)
+					}
+				case "quota-edge":
+					select {
+					case <-hostileTick.C:
+					case <-ctx.Done():
+						return
+					}
+					hostile.do(ctx, client, target, body)
+					if i%4 == 3 {
+						hostile.do(ctx, client, target, body)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "ratload: %s mix, %v, %d hostile + %d compliant workers (compliant paced to %.0f qps)\n",
+		mode, elapsed.Round(time.Millisecond), conc, compWorkers, compliantQPS)
+	compliant.report(out)
+	hostile.report(out)
+	if te := compliant.transport.Load() + hostile.transport.Load(); te > 0 {
+		return fmt.Errorf("%d transport errors (is ratd up?)", te)
+	}
+	return nil
+}
+
+// tenantLoad tallies one tenant's stream in a mix run.
+type tenantLoad struct {
+	name string
+	key  string
+
+	sent, ok, rejected, other, transport atomic.Int64
+
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+// do sends one request under the tenant's key and tallies the outcome.
+func (t *tenantLoad) do(ctx context.Context, client *http.Client, target string, body []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		t.transport.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+t.key)
+	t.sent.Add(1)
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	elapsed := time.Since(t0)
+	if err != nil {
+		if ctx.Err() != nil {
+			t.sent.Add(-1) // cut short by the run deadline, not a sample
+			return
+		}
+		t.transport.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		t.ok.Add(1)
+	case http.StatusTooManyRequests:
+		t.rejected.Add(1)
+	default:
+		t.other.Add(1)
+	}
+	t.mu.Lock()
+	t.lats = append(t.lats, elapsed)
+	t.mu.Unlock()
+}
+
+// report prints the tenant's one-line tally. The field=value format is
+// load-bearing: the CI tenant-smoke job greps "tenant compliant:" and
+// asserts rejected_429=0, so keep the fields stable.
+func (t *tenantLoad) report(out io.Writer) {
+	t.mu.Lock()
+	lats := append([]time.Duration(nil), t.lats...)
+	t.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var p50, p99 time.Duration
+	if n := len(lats); n > 0 {
+		p50 = lats[n/2]
+		p99 = lats[n*99/100]
+	}
+	fmt.Fprintf(out, "tenant %s: requests=%d ok=%d rejected_429=%d other=%d transport=%d p50=%v p99=%v\n",
+		t.name, t.sent.Load(), t.ok.Load(), t.rejected.Load(), t.other.Load(),
+		t.transport.Load(), p50.Round(time.Microsecond), p99.Round(time.Microsecond))
 }
 
 // traceSample is one traced request's outcome: its ID, latency, the

@@ -360,10 +360,29 @@ type Status struct {
 	QPS           float64 `json:"qps"`
 	Draining      bool    `json:"draining"`
 
+	// BrownoutLevel is the server's degradation level: 0 healthy,
+	// 1-3 progressively shedding bulk features (see docs/TENANCY.md).
+	BrownoutLevel int `json:"brownout_level"`
+
 	Endpoints map[string]EndpointStatus `json:"endpoints"`
 	Cache     CacheStatus               `json:"cache"`
 	Batcher   BatcherStatus             `json:"batcher"`
 	Stages    map[string]StageStatus    `json:"stages"`
+
+	// Tenants is present only on multi-tenant servers: one entry per
+	// configured tenant name.
+	Tenants map[string]TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus summarizes one tenant's traffic, rejections and
+// concurrency on a multi-tenant server.
+type TenantStatus struct {
+	Requests            int64   `json:"requests"`
+	RejectedQuota       int64   `json:"rejected_quota"`
+	RejectedConcurrency int64   `json:"rejected_concurrency"`
+	Inflight            int64   `json:"inflight"`
+	PeakInflight        int64   `json:"peak_inflight"`
+	P99Ms               float64 `json:"p99_ms"`
 }
 
 // EndpointStatus summarizes one endpoint's traffic and latency.

@@ -17,9 +17,12 @@ import (
 //	//rat:allow-wallclock <reason>   suppress one wall-clock finding
 //	//rat:allow-maporder <reason>    suppress one map-order finding
 //	//rat:allow-panic <reason>       suppress one panic finding
+//	//rat:bounded-labels <reason>    assert a dynamic metric label
+//	                                 value comes from a bounded set
 //
-// The allow-* forms require a reason so that every suppression is a
-// reviewable, documented decision, not a silent opt-out.
+// The allow-* and bounded-labels forms require a reason so that every
+// suppression is a reviewable, documented decision, not a silent
+// opt-out.
 
 // DirectivePrefix introduces every rat directive comment.
 const DirectivePrefix = "//rat:"
@@ -31,6 +34,7 @@ const (
 	DirAllowWallclock = "allow-wallclock"
 	DirAllowMaporder  = "allow-maporder"
 	DirAllowPanic     = "allow-panic"
+	DirBoundedLabels  = "bounded-labels"
 )
 
 // directiveSpec records each known directive's argument arity.
@@ -40,6 +44,7 @@ var directiveSpec = map[string]struct{ needsReason bool }{
 	DirAllowWallclock: {true},
 	DirAllowMaporder:  {true},
 	DirAllowPanic:     {true},
+	DirBoundedLabels:  {true},
 }
 
 // Directive is one parsed //rat: comment.

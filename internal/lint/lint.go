@@ -25,7 +25,11 @@
 //	metricname     string literals registered with the telemetry
 //	               registry must satisfy the Prometheus naming
 //	               grammar that telemetry.ValidateProm enforces on
-//	               the scrape side
+//	               the scrape side; dynamic label values (a runtime
+//	               value spliced inside a {label="..."} block) must
+//	               carry //rat:bounded-labels <reason> asserting the
+//	               value set is bounded, or they are flagged as a
+//	               label-cardinality hazard
 //	directive      every //rat: comment parses: known name, correct
 //	               arity, a reason on each allow-* escape hatch
 //

@@ -30,6 +30,16 @@ import (
 //
 // Dynamic parts (non-literal operands, %-verbs) are assumed valid;
 // the literal text around them must still parse.
+//
+// A dynamic part inside a {label="..."} block is a second, distinct
+// hazard: a label VALUE spliced in at runtime. Fed request input, that
+// is an unbounded label-cardinality explosion — every distinct value
+// mints a new time series, and a hostile client can mint millions.
+// Such registrations must carry //rat:bounded-labels <reason> on (or
+// directly above) the line, asserting the value set is provably
+// bounded (a fixed enum, a validated config key set — never raw
+// request input). Dynamic parts in the family name, before any '{',
+// are exempt: they vary the metric name, not a label value.
 
 // registryMethods are the telemetry.Registry constructors whose first
 // argument is a metric name.
@@ -62,12 +72,17 @@ func runMetricname(p *Package) []Diagnostic {
 			if !isSig || sig.Recv() == nil || !strings.HasSuffix(sig.Recv().Type().String(), "telemetry.Registry") {
 				return true
 			}
+			pos := p.pos(call.Args[0])
+			if dynamicLabelValue(call.Args[0]) && !p.dirs.allowedAt(pos, DirBoundedLabels) {
+				out = append(out, diag("metricname", pos,
+					"dynamic label value in metric registration: every distinct value mints a time series; annotate with //rat:%s <reason> only if the value set is provably bounded (fixed enum or validated config, never request input)", DirBoundedLabels))
+			}
 			name, complete, ok := literalMetricName(call.Args[0])
 			if !ok {
 				return true // fully dynamic name: nothing to check statically
 			}
 			if err := ValidateMetricName(name, complete); err != nil {
-				out = append(out, diag("metricname", p.pos(call.Args[0]),
+				out = append(out, diag("metricname", pos,
 					"metric name %q will not survive Prometheus exposition: %v", name, err))
 			}
 			return true
@@ -121,6 +136,72 @@ func literalMetricName(e ast.Expr) (name string, complete, ok bool) {
 	default:
 		return "", false, false
 	}
+}
+
+// dynamicLabelValue reports whether a metric-name expression splices a
+// runtime value inside a {label="..."} block — a %-verb after a '{' in
+// a Sprintf format, or a non-literal concat operand once a literal has
+// opened the block. Dynamic parts before any '{' only vary the family
+// name and are not flagged.
+func dynamicLabelValue(e ast.Expr) bool {
+	inBlock := false
+	return scanDynamicLabels(e, &inBlock)
+}
+
+// scanDynamicLabels walks a name expression left to right, tracking
+// whether the literal text seen so far has opened a label block.
+func scanDynamicLabels(e ast.Expr, inBlock *bool) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.STRING {
+			return *inBlock
+		}
+		s, err := strconv.Unquote(v.Value)
+		if err != nil {
+			return false
+		}
+		if strings.IndexByte(s, '{') >= 0 {
+			*inBlock = true
+		}
+		return false
+	case *ast.BinaryExpr:
+		if v.Op != token.ADD {
+			return *inBlock
+		}
+		return scanDynamicLabels(v.X, inBlock) || scanDynamicLabels(v.Y, inBlock)
+	case *ast.CallExpr:
+		if sel, isSel := v.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Sprintf" && len(v.Args) > 0 {
+			if lit, isLit := ast.Unparen(v.Args[0]).(*ast.BasicLit); isLit && lit.Kind == token.STRING {
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					return formatHasLabelVerb(s, inBlock)
+				}
+			}
+		}
+		return *inBlock
+	default:
+		// Any other dynamic operand is a label value iff a block is open.
+		return *inBlock
+	}
+}
+
+// formatHasLabelVerb scans a Sprintf format string and reports a
+// %-verb (other than the literal %%) inside a label block.
+func formatHasLabelVerb(format string, inBlock *bool) bool {
+	for i := 0; i < len(format); i++ {
+		switch format[i] {
+		case '{':
+			*inBlock = true
+		case '%':
+			if i+1 < len(format) && format[i+1] == '%' {
+				i++
+				continue
+			}
+			if *inBlock {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // substituteVerbs replaces %-verbs in a Sprintf format with "0", a

@@ -9,49 +9,125 @@ import (
 	"github.com/chrec/rat/internal/telemetry"
 )
 
-// semaphore is a weighted counting semaphore in the style of
-// golang.org/x/sync/semaphore (reimplemented here: the repository
-// takes no external dependencies). Waiters are served FIFO so a heavy
-// acquisition cannot be starved by a stream of light ones.
-type semaphore struct {
-	mu      sync.Mutex
-	size    int64
-	cur     int64
-	waiters list.List // of *waiter
-}
+// admClass indexes the admission classes sharing the server's
+// capacity pool. Interactive predict outranks the bulk classes;
+// within a class, waiters are served FIFO.
+type admClass int
+
+const (
+	clsPredict admClass = iota // interactive: priority 0
+	clsBatch                   // bulk: priority 1
+	clsExplore                 // bulk: priority 1
+	numClasses
+)
+
+// classPriority orders classes for grants: lower wins. Predict is the
+// interactive tier; batch and explore are peers in the bulk tier.
+var classPriority = [numClasses]int{0, 1, 1}
+
+// grantOrder is the class scan order on release: strictly by
+// priority, ties broken by class index (deterministic).
+var grantOrder = [numClasses]admClass{clsPredict, clsBatch, clsExplore}
 
 type waiter struct {
 	n     int64
 	ready chan struct{} // closed when the weight has been granted
 }
 
-func newSemaphore(n int64) *semaphore { return &semaphore{size: n} }
+// classState is one class's slice of the shared pool: its concurrency
+// limit, current holdings, and FIFO waiter queue.
+type classState struct {
+	limit   int64
+	cur     int64
+	waiters list.List // of *waiter
+}
 
-// tryAcquire takes n units without blocking, reporting success. It
-// fails when waiters are queued, preserving FIFO fairness.
-func (s *semaphore) tryAcquire(n int64) bool {
+// prioritySem is the weighted, class-prioritized semaphore behind
+// admission control. It replaces the per-endpoint FIFO semaphores: one
+// shared total capacity, a per-class limit (the old per-endpoint
+// limit), and strict-priority grants — capacity freed while an
+// interactive waiter is queued on the total is never handed to a bulk
+// waiter. A bulk waiter can still be granted while an interactive
+// waiter is blocked purely on its own class limit, so priority never
+// idles the pool. Within a class, waiters are FIFO: a heavy batch
+// cannot be starved by a stream of light ones.
+type prioritySem struct {
+	mu    sync.Mutex
+	total int64
+	cur   int64
+	cls   [numClasses]classState
+}
+
+// newPrioritySem builds the shared pool. total <= 0 defaults to the
+// sum of the class limits (each endpoint can then always reach its
+// own limit when the others are idle).
+func newPrioritySem(total int64, limits [numClasses]int64) *prioritySem {
+	sum := int64(0)
+	for _, l := range limits {
+		sum += l
+	}
+	if total <= 0 {
+		total = sum
+	}
+	s := &prioritySem{total: total}
+	for c := range s.cls {
+		s.cls[c].limit = limits[c]
+	}
+	return s
+}
+
+// fitsLocked reports whether weight n can be granted to class c right
+// now: class limit, total capacity, FIFO within the class, and no
+// higher-priority class starving behind it.
+func (s *prioritySem) fitsLocked(c admClass, n int64) bool {
+	cs := &s.cls[c]
+	if cs.waiters.Len() > 0 {
+		return false // FIFO within the class
+	}
+	if cs.cur+n > cs.limit || s.cur+n > s.total {
+		return false
+	}
+	for d := admClass(0); d < numClasses; d++ {
+		if classPriority[d] >= classPriority[c] {
+			continue
+		}
+		if front := s.cls[d].waiters.Front(); front != nil {
+			w := front.Value.(*waiter)
+			// A higher-priority waiter held back only by the shared total
+			// has a reservation on freed capacity: never barge past it.
+			// One blocked purely on its own class limit holds nothing.
+			if s.cls[d].cur+w.n <= s.cls[d].limit && s.cur+n+w.n > s.total {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tryAcquire takes n units for class c without blocking.
+func (s *prioritySem) tryAcquire(c admClass, n int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+	if s.fitsLocked(c, n) {
+		s.cls[c].cur += n
 		s.cur += n
 		return true
 	}
 	return false
 }
 
-// acquire takes n units, blocking until they are available or ctx is
-// done. A weight above the semaphore size can never succeed and fails
-// immediately with context.DeadlineExceeded semantics avoided — the
-// caller clamps weights, so this is defensive.
-func (s *semaphore) acquire(ctx context.Context, n int64) error {
+// acquire takes n units for class c, blocking until granted or ctx is
+// done.
+func (s *prioritySem) acquire(ctx context.Context, c admClass, n int64) error {
 	s.mu.Lock()
-	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+	if s.fitsLocked(c, n) {
+		s.cls[c].cur += n
 		s.cur += n
 		s.mu.Unlock()
 		return nil
 	}
 	w := &waiter{n: n, ready: make(chan struct{})}
-	elem := s.waiters.PushBack(w)
+	elem := s.cls[c].waiters.PushBack(w)
 	s.mu.Unlock()
 
 	select {
@@ -67,50 +143,72 @@ func (s *semaphore) acquire(ctx context.Context, n int64) error {
 			return nil
 		default:
 		}
-		s.waiters.Remove(elem)
-		// Removing a waiter can unblock the ones behind it.
+		s.cls[c].waiters.Remove(elem)
+		// Removing a waiter can unblock the ones behind it — in this
+		// class and in lower-priority ones.
 		s.notifyLocked()
 		s.mu.Unlock()
 		return ctx.Err()
 	}
 }
 
-// release returns n units and wakes as many FIFO waiters as now fit.
-func (s *semaphore) release(n int64) {
+// release returns n units held by class c and grants as many queued
+// waiters as now fit, in priority order.
+func (s *prioritySem) release(c admClass, n int64) {
 	s.mu.Lock()
+	s.cls[c].cur -= n
 	s.cur -= n
-	if s.cur < 0 {
+	if s.cls[c].cur < 0 || s.cur < 0 {
 		s.mu.Unlock()
 		//rat:allow-panic a double release corrupts admission accounting for every later request
-		panic("server: semaphore released more than held")
+		panic("server: admission released more than held")
 	}
 	s.notifyLocked()
 	s.mu.Unlock()
 }
 
-func (s *semaphore) notifyLocked() {
-	for {
-		front := s.waiters.Front()
-		if front == nil {
-			return
+// notifyLocked grants queued waiters in strict priority order, FIFO
+// within each class. Once a waiter is blocked on the shared total, no
+// lower-priority waiter may be granted past it (the reservation that
+// makes priority real); a waiter blocked only on its own class limit
+// does not hold lower classes back.
+func (s *prioritySem) notifyLocked() {
+	totalBlocked := false
+	for _, c := range grantOrder {
+		cs := &s.cls[c]
+		for {
+			front := cs.waiters.Front()
+			if front == nil {
+				break
+			}
+			w := front.Value.(*waiter)
+			if totalBlocked || s.cur+w.n > s.total {
+				break
+			}
+			if cs.cur+w.n > cs.limit {
+				break // FIFO within the class: do not reorder past the head
+			}
+			cs.cur += w.n
+			s.cur += w.n
+			cs.waiters.Remove(front)
+			close(w.ready)
 		}
-		w := front.Value.(*waiter)
-		if s.cur+w.n > s.size {
-			return
+		if front := cs.waiters.Front(); front != nil {
+			if w := front.Value.(*waiter).n; s.cur+w > s.total {
+				totalBlocked = true
+			}
 		}
-		s.cur += w.n
-		s.waiters.Remove(front)
-		close(w.ready)
 	}
 }
 
-// admission is the per-endpoint admission controller: a weighted
-// semaphore bounding in-flight work, a bounded queue wait, and
-// telemetry (in-flight gauge, high-water-mark gauge, admitted/rejected
-// counters). Requests that cannot be admitted within the wait bound
-// are rejected — the handler turns that into 429 + Retry-After.
+// admission is one endpoint's view of the shared pool: its class, a
+// bounded queue wait, and telemetry (in-flight gauge, high-water-mark
+// gauge, admitted/rejected counters). Requests that cannot be admitted
+// within the wait bound are rejected — the handler turns that into
+// 429 + Retry-After.
 type admission struct {
-	sem   *semaphore
+	sem   *prioritySem
+	class admClass
 	limit int64
 	wait  time.Duration
 
@@ -124,12 +222,13 @@ type admission struct {
 	rejected *telemetry.Counter
 }
 
-// newAdmission builds a controller for the named endpoint with the
-// given concurrency limit and maximum queue wait.
-func newAdmission(reg *telemetry.Registry, endpoint string, limit int64, wait time.Duration) *admission {
+// newAdmission builds the named endpoint's view of the shared pool
+// with the given maximum queue wait.
+func newAdmission(reg *telemetry.Registry, sem *prioritySem, class admClass, endpoint string, wait time.Duration) *admission {
 	return &admission{
-		sem:      newSemaphore(limit),
-		limit:    limit,
+		sem:      sem,
+		class:    class,
+		limit:    sem.cls[class].limit,
 		wait:     wait,
 		inflight: reg.Gauge("server.inflight." + endpoint),
 		peakG:    reg.Gauge("server.inflight_peak." + endpoint),
@@ -140,8 +239,10 @@ func newAdmission(reg *telemetry.Registry, endpoint string, limit int64, wait ti
 
 // admit asks for weight units of the endpoint's capacity, queueing for
 // at most the controller's wait bound (never beyond the request's own
-// deadline). On success it returns a release function; on saturation
-// it returns ok == false and the caller answers 429.
+// deadline — a request that would be granted after its deadline is
+// abandoned in the queue, not executed late). On success it returns a
+// release function; on saturation it returns ok == false and the
+// caller answers 429.
 func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok bool) {
 	if weight < 1 {
 		weight = 1
@@ -149,13 +250,13 @@ func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok
 	if weight > a.limit {
 		weight = a.limit // one huge request may use the whole endpoint, not more
 	}
-	if !a.sem.tryAcquire(weight) {
+	if !a.sem.tryAcquire(a.class, weight) {
 		if a.wait <= 0 {
 			a.rejected.Inc()
 			return nil, false
 		}
 		waitCtx, cancel := context.WithTimeout(ctx, a.wait)
-		err := a.sem.acquire(waitCtx, weight)
+		err := a.sem.acquire(waitCtx, a.class, weight)
 		cancel()
 		if err != nil {
 			a.rejected.Inc()
@@ -176,6 +277,6 @@ func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok
 		a.cur -= weight
 		a.inflight.Set(float64(a.cur))
 		a.mu.Unlock()
-		a.sem.release(weight)
+		a.sem.release(a.class, weight)
 	}, true
 }

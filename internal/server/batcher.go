@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/chrec/rat/internal/core"
@@ -23,6 +24,10 @@ import (
 type batcher struct {
 	maxBatch int
 	linger   time.Duration
+	// lingerScale widens the linger under brownout (bulk coalesces
+	// harder when the server is shedding load). 1 when healthy; set
+	// by the brownout controller's onChange hook.
+	lingerScale atomic.Int32
 
 	mu      sync.Mutex
 	pending []batchReq
@@ -93,7 +98,11 @@ func (b *batcher) predict(ctx context.Context, p core.Parameters) (core.Predicti
 		b.compute(batch) // the filler computes; no goroutine handoff latency
 	} else {
 		if len(b.pending) == 1 {
-			b.timer = time.AfterFunc(b.linger, b.flush)
+			linger := b.linger
+			if scale := b.lingerScale.Load(); scale > 1 {
+				linger *= time.Duration(scale)
+			}
+			b.timer = time.AfterFunc(linger, b.flush)
 		}
 		b.mu.Unlock()
 	}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/tenant"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
@@ -81,6 +83,48 @@ func BenchmarkServerPredictTraced(b *testing.B) {
 		}
 		if got := rec.Header().Get(obs.TraceHeader); got != hdr {
 			b.Fatalf("trace header did not round-trip: got %q want %q", got, hdr)
+		}
+	}
+}
+
+// BenchmarkServerPredictTenanted is BenchmarkServerPredict through the
+// tenancy layer: key lookup, token-bucket charge, concurrency slot and
+// per-tenant accounting on every request. The tenant member rides on
+// the statusWriter the server already allocates, so the budget over
+// the untenanted path is the bucket/slot bookkeeping, not allocations.
+// Gated in BENCH_4.json like the untenanted path.
+func BenchmarkServerPredictTenanted(b *testing.B) {
+	reg, err := tenant.Parse(strings.NewReader(
+		`{"tenants": [{"name": "bench", "key": "bk", "rate_per_sec": 1e12, "burst": 1e12}]}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(Config{MaxBatch: 1, Tenants: reg})
+	h := srv.Handler()
+	var body bytes.Buffer
+	if err := worksheet.EncodeJSON(&body, paper.PDF1DParams()); err != nil {
+		b.Fatal(err)
+	}
+	payload := body.Bytes()
+	authHeader := http.Header{"Authorization": []string{"Bearer bk"}}
+
+	rec := httptest.NewRecorder()
+	warm := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload))
+	warm.Header = authHeader
+	h.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(payload))
+		req.Header = authHeader
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
 		}
 	}
 }

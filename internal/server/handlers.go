@@ -85,6 +85,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	if err := r.Context().Err(); err != nil {
+		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
+		return
+	}
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	q := r.URL.Query()
@@ -141,7 +145,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.cache.put(key, out)
+	if s.cacheFillAllowed() {
+		s.cache.put(key, out)
+	}
 	setStagesHeader(w, r)
 	writeJSONBytes(w, out)
 }
@@ -171,6 +177,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenancy layer charged 1 token before the body was readable;
+	// top up to 1 per worksheet now that the count is known.
+	if sw, ok := w.(*statusWriter); ok && sw.member != nil && len(docs) > 1 {
+		if ok, retry := sw.member.Bucket().Take(time.Now(), float64(len(docs)-1)); !ok {
+			sw.tstat.rejectQuota.Inc()
+			sw.quotaShed = true
+			writeQuotaExceeded(w, sw.member.Name, retry)
+			return
+		}
+	}
+
 	// Weight admission by worksheet count: a 1000-worksheet batch
 	// holds proportionally more of the endpoint's capacity than a
 	// 2-worksheet one (clamped to the endpoint limit).
@@ -182,6 +199,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	if err := r.Context().Err(); err != nil {
+		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
+		return
+	}
 
 	sl := batchSlabs.Get().(*slab)
 	defer batchSlabs.Put(sl)
@@ -233,6 +254,10 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	if err := r.Context().Err(); err != nil {
+		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
+		return
+	}
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -255,10 +280,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
-	if size := grid.Size(); size > s.cfg.MaxExploreCandidates {
+	// The ceiling is the configured one stepped down by the brownout
+	// level: under sustained overload bulk explorations shrink before
+	// the interactive path is ever touched.
+	if ceiling := s.exploreCeiling(); grid.Size() > ceiling {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("grid asks for %d candidates; this server caps explorations at %d",
-				size, s.cfg.MaxExploreCandidates))
+			fmt.Errorf("grid asks for %d candidates; this server currently caps explorations at %d",
+				grid.Size(), ceiling))
 		return
 	}
 	opts, err := req.Options(s.cfg.ExploreWorkers)

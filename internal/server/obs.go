@@ -80,6 +80,7 @@ func newRedMetrics(reg *telemetry.Registry) *redMetrics {
 	m := &redMetrics{reg: reg, inflight: reg.Gauge("rat_inflight")}
 	for ep := endpointClass(0); ep < numEndpoints; ep++ {
 		m.seconds[ep] = reg.Histogram(
+			//rat:bounded-labels endpoint is a fixed enum label
 			`rat_request_seconds{endpoint="`+ep.label()+`"}`, requestSecondsBounds)
 		m.codes[ep] = make(map[int]*telemetry.Counter, len(redCodes))
 		for _, code := range redCodes {
@@ -90,6 +91,7 @@ func newRedMetrics(reg *telemetry.Registry) *redMetrics {
 }
 
 func (m *redMetrics) counter(ep endpointClass, code int) *telemetry.Counter {
+	//rat:bounded-labels code is an HTTP status, endpoint a fixed enum label
 	return m.reg.Counter(fmt.Sprintf(`rat_requests_total{code="%d",endpoint="%s"}`,
 		code, ep.label()))
 }
@@ -135,6 +137,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: uptime,
 		Requests:      s.requests.Value(),
 		Draining:      s.draining.Load(),
+		BrownoutLevel: int(s.brownout.Level()),
 		Endpoints:     make(map[string]api.EndpointStatus, int(numEndpoints)),
 		Stages:        make(map[string]api.StageStatus, int(obs.NumStages)),
 	}
@@ -177,6 +180,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if bs.Count > 0 {
 		st.Batcher.MeanOccupancy = bs.Sum / float64(bs.Count)
+	}
+	if t := s.tenancy; t != nil {
+		st.Tenants = make(map[string]api.TenantStatus, t.reg.Len())
+		for _, name := range t.reg.Names() {
+			member, ok := t.reg.ByName(name)
+			if !ok {
+				continue
+			}
+			stat := t.stat(name)
+			st.Tenants[name] = api.TenantStatus{
+				Requests:            stat.requests.Value(),
+				RejectedQuota:       stat.rejectQuota.Value(),
+				RejectedConcurrency: stat.rejectConc.Value(),
+				Inflight:            member.Inflight(),
+				PeakInflight:        member.PeakInflight(),
+				P99Ms:               stat.seconds.Stats().Quantile(0.99) * 1e3,
+			}
+		}
 	}
 	for _, stg := range obs.Stages() {
 		hs := s.stages.Histogram(stg)

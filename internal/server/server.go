@@ -26,6 +26,7 @@ import (
 	"github.com/chrec/rat/internal/api"
 	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/tenant"
 )
 
 // Config tunes a Server. The zero value serves with the defaults
@@ -48,6 +49,11 @@ type Config struct {
 	PredictLimit int
 	BatchLimit   int
 	ExploreLimit int
+	// TotalLimit bounds concurrently admitted weight across all three
+	// endpoints — the shared pool the priority semaphore grants from
+	// (interactive predict outranks bulk batch/explore). Default: the
+	// sum of the per-endpoint limits.
+	TotalLimit int
 	// AdmissionWait bounds how long a request may queue for admission
 	// before being answered 429. Default 10ms.
 	AdmissionWait time.Duration
@@ -65,6 +71,30 @@ type Config struct {
 	ExploreWorkers int
 	// MaxBodyBytes caps request bodies. Default 1 MiB.
 	MaxBodyBytes int64
+
+	// Tenants, when non-nil, turns on multi-tenant admission: every
+	// API request must carry a configured key (Authorization: Bearer
+	// or X-Rat-Key), is charged against its tenant's token bucket and
+	// concurrency cap, and is accounted in per-tenant RED metrics. Nil
+	// serves untenanted with a request path byte-identical to the
+	// pre-tenancy server. See docs/TENANCY.md.
+	Tenants *tenant.Registry
+	// ExploreTokenCost is the token-bucket charge for one /v1/explore
+	// request (predict costs 1, batch costs 1 per worksheet). Default
+	// 16.
+	ExploreTokenCost float64
+
+	// BrownoutWindow is the observation window of the brownout
+	// controller; each window ends with at most one level transition.
+	// Default 1s.
+	BrownoutWindow time.Duration
+	// BrownoutShedFraction is the overload-shed fraction within one
+	// window at which the brownout level steps up. Default 0.05.
+	BrownoutShedFraction float64
+	// BrownoutQuiet is how long the server must go without an
+	// overload shed before the brownout level steps back down.
+	// Default 5s.
+	BrownoutQuiet time.Duration
 
 	// Metrics receives the serving metrics; nil allocates a private
 	// registry (exposed at /metrics either way).
@@ -116,6 +146,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.ExploreTokenCost <= 0 {
+		c.ExploreTokenCost = 16
+	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
@@ -135,6 +168,9 @@ type Server struct {
 	admBatch   *admission
 	admExplore *admission
 
+	tenancy  *tenancy
+	brownout *brownout
+
 	handler  http.Handler
 	hs       *http.Server
 	draining atomic.Bool
@@ -151,19 +187,41 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
+	pool := newPrioritySem(int64(cfg.TotalLimit), [numClasses]int64{
+		clsPredict: int64(cfg.PredictLimit),
+		clsBatch:   int64(cfg.BatchLimit),
+		clsExplore: int64(cfg.ExploreLimit),
+	})
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
 		batcher:    newBatcher(reg, cfg.MaxBatch, cfg.Linger),
 		cache:      newResponseCache(reg, cfg.CacheSize),
-		admPredict: newAdmission(reg, "predict", int64(cfg.PredictLimit), cfg.AdmissionWait),
-		admBatch:   newAdmission(reg, "batch", int64(cfg.BatchLimit), cfg.AdmissionWait),
-		admExplore: newAdmission(reg, "explore", int64(cfg.ExploreLimit), cfg.AdmissionWait),
+		admPredict: newAdmission(reg, pool, clsPredict, "predict", cfg.AdmissionWait),
+		admBatch:   newAdmission(reg, pool, clsBatch, "batch", cfg.AdmissionWait),
+		admExplore: newAdmission(reg, pool, clsExplore, "explore", cfg.AdmissionWait),
 		panics:     reg.Counter("server.panics"),
 		requests:   reg.Counter("server.requests"),
 		red:        newRedMetrics(reg),
 		start:      time.Now(),
 	}
+	if cfg.Tenants != nil {
+		s.tenancy = newTenancy(reg, cfg.Tenants, cfg.ExploreTokenCost)
+	}
+	// The brownout controller degrades bulk features under sustained
+	// overload: its onChange hook widens the batcher linger (levels 2+
+	// coalesce harder); the explore ceiling and cache-fill effects are
+	// read per request from the level.
+	s.brownout = newBrownout(reg, cfg.BrownoutWindow, cfg.BrownoutShedFraction, cfg.BrownoutQuiet,
+		func(level int32) {
+			if level < 0 {
+				level = 0
+			}
+			if level > maxBrownoutLevel {
+				level = maxBrownoutLevel
+			}
+			s.batcher.lingerScale.Store(brownoutLingerScale[level])
+		})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.withTimeout(cfg.PredictTimeout, s.handlePredict))
 	mux.HandleFunc("POST /v1/predict/batch", s.withTimeout(cfg.PredictTimeout, s.handleBatch))
@@ -218,6 +276,16 @@ type statusWriter struct {
 	status int
 	bytes  int64
 	tr     obs.Trace
+
+	// member and tstat are set when the tenancy layer admits the
+	// request; the middleware's deferred block releases the slot and
+	// records per-tenant latency through them (on the panic path too).
+	member *tenant.Member
+	tstat  *tenantStat
+	// quotaShed marks a 429 as a per-tenant quota or concurrency
+	// refusal. The brownout controller ignores those: one hostile
+	// tenant being limited is isolation working, not server overload.
+	quotaShed bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -288,6 +356,15 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			}
 			s.red.observe(ep, status, elapsed)
 			s.red.inflight.Add(-1)
+			if sw.member != nil {
+				s.tenancy.finish(sw, elapsed)
+			}
+			if ep < epMeta {
+				// Feed the brownout controller: overload sheds are
+				// capacity 429s, not tenant-quota ones.
+				s.brownout.observe(start.Add(elapsed),
+					status == http.StatusTooManyRequests && !sw.quotaShed)
+			}
 			if s.cfg.AccessLog != nil {
 				s.cfg.AccessLog.Emit(telemetry.Event{
 					Kind:    "http",
@@ -311,6 +388,11 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				)
 			}
 		}()
+		if s.tenancy != nil && ep < epMeta {
+			if !s.tenancy.admit(sw, r, ep, start) {
+				return // response written: 401 or 429 + Retry-After
+			}
+		}
 		next.ServeHTTP(sw, r)
 	})
 }

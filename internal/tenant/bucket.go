@@ -1,0 +1,99 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: capacity Burst tokens,
+// refilled continuously at Rate tokens per second. Take is the only
+// operation; it either debits the cost or reports how long the caller
+// must wait for the bucket to refill enough — the number the server
+// turns into an accurate Retry-After.
+//
+// Time is always supplied by the caller, never read from the wall
+// clock, so bucket behavior is deterministic under test and a single
+// clock source (the admission middleware) serializes the arrow of
+// time per request.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; > 0
+	burst  float64 // bucket capacity; >= 1
+	tokens float64 // current fill, in [0, burst]
+	last   time.Time
+}
+
+// NewBucket builds a bucket that starts full. rate must be positive
+// and burst at least 1; violations are defended by clamping because a
+// mis-set limiter must still limit, not divide by zero.
+func NewBucket(rate, burst float64) *Bucket {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		rate = 1
+	}
+	if burst < 1 || math.IsNaN(burst) || math.IsInf(burst, 0) {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take attempts to debit cost tokens at time now. On success it
+// returns ok == true. On refusal it returns the duration after which
+// a retry of the same cost would succeed, assuming no competing
+// debits — the refill time of the deficit. A cost above the burst can
+// never succeed; it reports the full-bucket refill time and callers
+// are expected to clamp costs to the burst.
+func (b *Bucket) Take(now time.Time, cost float64) (ok bool, retryAfter time.Duration) {
+	if cost <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if cost > b.burst {
+		// Unsatisfiable: report the time to refill the whole bucket so
+		// the hint stays finite and honest about being a long wait.
+		return false, b.refillTime(b.burst - b.tokens)
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	return false, b.refillTime(cost - b.tokens)
+}
+
+// refillLocked advances the bucket to now. Time never runs backwards:
+// a now before the last observation leaves the fill untouched, so
+// out-of-order callers cannot mint tokens.
+func (b *Bucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last)
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += b.rate * dt.Seconds()
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// refillTime converts a token deficit into a wait.
+func (b *Bucket) refillTime(deficit float64) time.Duration {
+	d := time.Duration(deficit / b.rate * float64(time.Second))
+	if d < time.Nanosecond {
+		d = time.Nanosecond // a refusal always implies a non-zero wait
+	}
+	return d
+}
+
+// Tokens reports the fill after advancing to now (observability).
+func (b *Bucket) Tokens(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}

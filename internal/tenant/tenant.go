@@ -1,0 +1,309 @@
+// Package tenant is ratd's identity and quota layer: API-key tenant
+// identity loaded from a JSON config file, per-tenant token-bucket
+// rate limiters with burst, and per-tenant concurrency caps. A
+// Registry holds an immutable snapshot of the configured tenants and
+// supports live reload (ratd wires it to SIGHUP): limiter state
+// survives a reload for tenants whose quota did not change, so a
+// reload never hands every tenant a free burst.
+//
+// The package knows nothing about HTTP; internal/server turns Lookup
+// misses into 401 and bucket refusals into 429 + Retry-After. See
+// docs/TENANCY.md for the config format and quota semantics.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrConfig wraps every configuration-shaped failure (syntax,
+// duplicate keys, invalid quotas) so callers can classify with
+// errors.Is.
+var ErrConfig = errors.New("invalid tenant config")
+
+// Unknown is the reserved tenant name under which requests bearing a
+// missing or unrecognized API key are accounted. It is forbidden in
+// config files so the label set on tenant metrics stays bounded by
+// configuration, never by request input.
+const Unknown = "unknown"
+
+// Config is the tenant config file: a JSON object with one "tenants"
+// array. See docs/TENANCY.md.
+type Config struct {
+	Tenants []Spec `json:"tenants"`
+}
+
+// Spec is one configured tenant.
+type Spec struct {
+	// Name identifies the tenant in metrics, logs and status output.
+	// It must match [a-zA-Z0-9_-]{1,64} — names become Prometheus
+	// label values, so the grammar is deliberately narrow — and must
+	// not be the reserved name "unknown".
+	Name string `json:"name"`
+	// Key is the API key presented as "Authorization: Bearer <key>" or
+	// "X-Rat-Key: <key>". Keys are opaque bytes to the service; they
+	// must be unique across tenants and non-empty.
+	Key string `json:"key"`
+	// RatePerSec is the sustained request budget in tokens per second
+	// (a predict costs 1 token; see docs/TENANCY.md for endpoint
+	// costs). Must be positive.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Burst is the bucket capacity in tokens — how far above the
+	// sustained rate a tenant may momentarily spike. 0 defaults to
+	// max(1, RatePerSec).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInflight caps the tenant's concurrently admitted requests
+	// across all endpoints — its concurrency weight in the shared
+	// admission pool. 0 means uncapped (only endpoint limits apply).
+	MaxInflight int64 `json:"max_inflight,omitempty"`
+}
+
+// validate normalizes and checks one spec.
+func (s *Spec) validate(i int) error {
+	if err := ValidateName(s.Name); err != nil {
+		return fmt.Errorf("%w: tenants[%d]: %v", ErrConfig, i, err)
+	}
+	if s.Key == "" {
+		return fmt.Errorf("%w: tenants[%d] (%s): key must be non-empty", ErrConfig, i, s.Name)
+	}
+	if s.RatePerSec <= 0 {
+		return fmt.Errorf("%w: tenants[%d] (%s): rate_per_sec must be positive (got %v)",
+			ErrConfig, i, s.Name, s.RatePerSec)
+	}
+	if s.Burst < 0 {
+		return fmt.Errorf("%w: tenants[%d] (%s): burst must be non-negative (got %v)",
+			ErrConfig, i, s.Name, s.Burst)
+	}
+	if s.Burst == 0 {
+		s.Burst = s.RatePerSec
+		if s.Burst < 1 {
+			s.Burst = 1
+		}
+	}
+	if s.MaxInflight < 0 {
+		return fmt.Errorf("%w: tenants[%d] (%s): max_inflight must be non-negative (got %d)",
+			ErrConfig, i, s.Name, s.MaxInflight)
+	}
+	return nil
+}
+
+// ValidateName enforces the tenant-name grammar: [a-zA-Z0-9_-]{1,64},
+// not the reserved "unknown". Exported so the lint suite's bounded-
+// label contract can point at one authority.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("name must be non-empty")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("name %q exceeds 64 characters", name)
+	}
+	if name == Unknown {
+		return fmt.Errorf("name %q is reserved for unauthenticated traffic", Unknown)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("name %q: invalid character %q (want [a-zA-Z0-9_-])", name, c)
+		}
+	}
+	return nil
+}
+
+// Member is one live tenant: its spec plus the mutable quota state
+// shared by every request the tenant has in flight.
+type Member struct {
+	Spec
+	bucket *Bucket
+
+	inflight atomic.Int64
+	peak     atomic.Int64
+}
+
+// Bucket returns the tenant's token bucket.
+func (m *Member) Bucket() *Bucket { return m.bucket }
+
+// AcquireSlot claims one concurrency slot, honoring MaxInflight.
+// Callers must ReleaseSlot exactly once per successful acquire.
+func (m *Member) AcquireSlot() bool {
+	n := m.inflight.Add(1)
+	if m.MaxInflight > 0 && n > m.MaxInflight {
+		m.inflight.Add(-1)
+		return false
+	}
+	for {
+		peak := m.peak.Load()
+		if n <= peak || m.peak.CompareAndSwap(peak, n) {
+			return true
+		}
+	}
+}
+
+// ReleaseSlot returns a slot claimed by AcquireSlot.
+func (m *Member) ReleaseSlot() {
+	if m.inflight.Add(-1) < 0 {
+		//rat:allow-panic a double release corrupts the tenant's concurrency accounting for every later request
+		panic("tenant: ReleaseSlot without AcquireSlot")
+	}
+}
+
+// Inflight reports the tenant's currently admitted requests.
+func (m *Member) Inflight() int64 { return m.inflight.Load() }
+
+// PeakInflight reports the high-water mark since the member was
+// created (reloads with an unchanged quota preserve it).
+func (m *Member) PeakInflight() int64 { return m.peak.Load() }
+
+// snapshot is one immutable generation of the tenant set.
+type snapshot struct {
+	byKey  map[string]*Member
+	byName map[string]*Member
+	names  []string // sorted by config order; bounded label set
+}
+
+// Registry resolves API keys to tenants. Lookups are lock-free reads
+// of an atomic snapshot; Reload swaps the snapshot wholesale.
+type Registry struct {
+	mu   sync.Mutex // serializes reloads
+	snap atomic.Pointer[snapshot]
+}
+
+// Parse reads and validates a config, returning a Registry primed
+// with fresh buckets.
+func Parse(r io.Reader) (*Registry, error) {
+	reg := &Registry{}
+	snap, err := buildSnapshot(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	reg.snap.Store(snap)
+	return reg, nil
+}
+
+// Load reads a config file.
+func Load(path string) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config: %w", err)
+	}
+	defer f.Close()
+	reg, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("tenant config %s: %w", path, err)
+	}
+	return reg, nil
+}
+
+// Reload replaces the tenant set from r. Tenants whose name, rate and
+// burst are unchanged keep their bucket fill (fully unchanged specs
+// keep their inflight state too) — a reload is a config swap, not an
+// amnesty. On error the old set stays live.
+func (reg *Registry) Reload(r io.Reader) error {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	snap, err := buildSnapshot(r, reg.snap.Load())
+	if err != nil {
+		return err
+	}
+	reg.snap.Store(snap)
+	return nil
+}
+
+// ReloadFile is Reload from a file path (the SIGHUP handler).
+func (reg *Registry) ReloadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tenant config: %w", err)
+	}
+	defer f.Close()
+	if err := reg.Reload(f); err != nil {
+		return fmt.Errorf("tenant config %s: %w", path, err)
+	}
+	return nil
+}
+
+// buildSnapshot parses, validates and links a config against the
+// previous generation (nil for a first load).
+func buildSnapshot(r io.Reader, prev *snapshot) (*snapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("%w: no tenants configured", ErrConfig)
+	}
+	snap := &snapshot{
+		byKey:  make(map[string]*Member, len(cfg.Tenants)),
+		byName: make(map[string]*Member, len(cfg.Tenants)),
+		names:  make([]string, 0, len(cfg.Tenants)),
+	}
+	for i := range cfg.Tenants {
+		spec := cfg.Tenants[i]
+		if err := spec.validate(i); err != nil {
+			return nil, err
+		}
+		if _, dup := snap.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate tenant name %q", ErrConfig, spec.Name)
+		}
+		if _, dup := snap.byKey[spec.Key]; dup {
+			return nil, fmt.Errorf("%w: duplicate key (tenant %q)", ErrConfig, spec.Name)
+		}
+		m := &Member{Spec: spec}
+		if prev != nil {
+			if old, ok := prev.byName[spec.Name]; ok &&
+				old.RatePerSec == spec.RatePerSec && old.Burst == spec.Burst {
+				if old.Spec == spec {
+					// Fully unchanged: the member carries over wholesale, so
+					// bucket fill, inflight count and peak all survive.
+					m = old
+				} else {
+					// Quota unchanged but key or cap edited: fresh member
+					// (concurrent readers hold the old spec immutably), same
+					// bucket — a reload is a config swap, not an amnesty.
+					m.bucket = old.bucket
+				}
+			}
+		}
+		if m.bucket == nil {
+			m.bucket = NewBucket(spec.RatePerSec, spec.Burst)
+		}
+		snap.byKey[spec.Key] = m
+		snap.byName[spec.Name] = m
+		snap.names = append(snap.names, spec.Name)
+	}
+	return snap, nil
+}
+
+// Lookup resolves an API key. ok is false for unknown (or empty)
+// keys.
+func (reg *Registry) Lookup(key string) (*Member, bool) {
+	if key == "" {
+		return nil, false
+	}
+	m, ok := reg.snap.Load().byKey[key]
+	return m, ok
+}
+
+// ByName resolves a tenant name (status and test surfaces).
+func (reg *Registry) ByName(name string) (*Member, bool) {
+	m, ok := reg.snap.Load().byName[name]
+	return m, ok
+}
+
+// Names returns the configured tenant names in config order. The
+// slice is shared and must not be mutated. Together with the reserved
+// Unknown name this is the complete, bounded set of values the
+// server's tenant metric label may take.
+func (reg *Registry) Names() []string { return reg.snap.Load().names }
+
+// Len reports the number of configured tenants.
+func (reg *Registry) Len() int { return len(reg.snap.Load().names) }

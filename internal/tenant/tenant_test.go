@@ -1,0 +1,299 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestBucketBurstAndRefill pins the token-bucket arithmetic: a full
+// bucket grants exactly its burst at one instant, refuses the next
+// request with a refill-derived wait, and grants again once that wait
+// has elapsed.
+func TestBucketBurstAndRefill(t *testing.T) {
+	b := NewBucket(10, 5) // 10 tokens/s, burst 5
+
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(t0, 1); !ok {
+			t.Fatalf("take %d of burst refused", i)
+		}
+	}
+	ok, retry := b.Take(t0, 1)
+	if ok {
+		t.Fatal("6th take at one instant succeeded; burst is not enforced")
+	}
+	// Deficit is exactly 1 token at 10 tokens/s: 100ms.
+	if want := 100 * time.Millisecond; retry != want {
+		t.Errorf("retryAfter = %v, want %v", retry, want)
+	}
+	// One nanosecond early the bucket must still refuse...
+	if ok, _ := b.Take(t0.Add(retry-time.Nanosecond), 1); ok {
+		t.Error("take succeeded before the advertised retryAfter")
+	}
+	// ...and at the advertised instant it must grant.
+	if ok, _ := b.Take(t0.Add(retry), 1); !ok {
+		t.Error("take refused at the advertised retryAfter")
+	}
+}
+
+// TestBucketRetryAfterScalesWithCost pins that the hint covers the
+// whole deficit, not one token.
+func TestBucketRetryAfterScalesWithCost(t *testing.T) {
+	b := NewBucket(2, 8)
+	if ok, _ := b.Take(t0, 8); !ok {
+		t.Fatal("draining the burst refused")
+	}
+	_, retry := b.Take(t0, 6)
+	if want := 3 * time.Second; retry != want { // 6 tokens at 2/s
+		t.Errorf("retryAfter = %v, want %v", retry, want)
+	}
+}
+
+// TestBucketOverBurstCost pins the unsatisfiable-cost contract: a cost
+// above the burst is refused with the full-bucket refill time.
+func TestBucketOverBurstCost(t *testing.T) {
+	b := NewBucket(1, 4)
+	if ok, _ := b.Take(t0, 2); !ok {
+		t.Fatal("in-burst take refused")
+	}
+	ok, retry := b.Take(t0, 100)
+	if ok {
+		t.Fatal("cost above burst granted")
+	}
+	if want := 2 * time.Second; retry != want { // refill 4-2=2 tokens at 1/s
+		t.Errorf("retryAfter = %v, want %v", retry, want)
+	}
+}
+
+// TestBucketTimeNeverRunsBackwards pins that an out-of-order timestamp
+// cannot mint tokens.
+func TestBucketTimeNeverRunsBackwards(t *testing.T) {
+	b := NewBucket(1000, 2)
+	if ok, _ := b.Take(t0, 2); !ok {
+		t.Fatal("burst refused")
+	}
+	if ok, _ := b.Take(t0.Add(-time.Hour), 1); ok {
+		t.Error("a timestamp in the past minted tokens")
+	}
+}
+
+// TestBucketConcurrentTakes is the -race isolation test: hammered from
+// many goroutines at a single instant, the bucket grants exactly its
+// burst; after one simulated second it grants exactly rate more. Any
+// lost update (or data race, under -race) breaks the exact counts.
+func TestBucketConcurrentTakes(t *testing.T) {
+	const (
+		rate  = 100.0
+		burst = 10.0
+		procs = 8
+		tries = 500
+	)
+	b := NewBucket(rate, burst)
+	granted := func(now time.Time) int64 {
+		var wg sync.WaitGroup
+		var n int64
+		var mu sync.Mutex
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := int64(0)
+				for i := 0; i < tries; i++ {
+					if ok, _ := b.Take(now, 1); ok {
+						local++
+					}
+				}
+				mu.Lock()
+				n += local
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		return n
+	}
+	if got := granted(t0); got != int64(burst) {
+		t.Errorf("grants at t0 = %d, want exactly %v (the burst)", got, burst)
+	}
+	if got := granted(t0.Add(50 * time.Millisecond)); got != 5 {
+		t.Errorf("grants after 50ms = %d, want exactly 5 (50ms of refill)", got)
+	}
+	if got := granted(t0.Add(time.Second)); got != int64(burst) {
+		t.Errorf("grants after 1s = %d, want exactly %v (refill caps at the burst)", got, burst)
+	}
+}
+
+const twoTenants = `{
+  "tenants": [
+    {"name": "alice", "key": "ak_alice", "rate_per_sec": 100, "burst": 200, "max_inflight": 2},
+    {"name": "bob", "key": "ak_bob", "rate_per_sec": 5}
+  ]
+}`
+
+// TestParseAndLookup covers the happy path: keys resolve, defaults
+// fill, names are listed in config order.
+func TestParseAndLookup(t *testing.T) {
+	reg, err := Parse(strings.NewReader(twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, ok := reg.Lookup("ak_alice")
+	if !ok || alice.Name != "alice" || alice.MaxInflight != 2 {
+		t.Fatalf("alice lookup: %+v, %v", alice, ok)
+	}
+	bob, ok := reg.Lookup("ak_bob")
+	if !ok || bob.Burst != 5 { // burst defaults to rate
+		t.Fatalf("bob lookup: %+v, %v (want burst 5)", bob, ok)
+	}
+	if _, ok := reg.Lookup("nope"); ok {
+		t.Error("unknown key resolved")
+	}
+	if _, ok := reg.Lookup(""); ok {
+		t.Error("empty key resolved")
+	}
+	if got := reg.Names(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+// TestParseRejects pins every config-validation failure to ErrConfig.
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"syntax":         `{"tenants": [`,
+		"unknown field":  `{"tenants": [], "extra": 1}`,
+		"empty":          `{"tenants": []}`,
+		"no name":        `{"tenants": [{"key": "k", "rate_per_sec": 1}]}`,
+		"bad name char":  `{"tenants": [{"name": "a b", "key": "k", "rate_per_sec": 1}]}`,
+		"reserved name":  `{"tenants": [{"name": "unknown", "key": "k", "rate_per_sec": 1}]}`,
+		"no key":         `{"tenants": [{"name": "a", "rate_per_sec": 1}]}`,
+		"zero rate":      `{"tenants": [{"name": "a", "key": "k"}]}`,
+		"negative rate":  `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": -1}]}`,
+		"negative burst": `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": 1, "burst": -1}]}`,
+		"negative cap":   `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": 1, "max_inflight": -1}]}`,
+		"dup name":       `{"tenants": [{"name": "a", "key": "k1", "rate_per_sec": 1}, {"name": "a", "key": "k2", "rate_per_sec": 1}]}`,
+		"dup key":        `{"tenants": [{"name": "a", "key": "k", "rate_per_sec": 1}, {"name": "b", "key": "k", "rate_per_sec": 1}]}`,
+	}
+	for name, cfg := range cases {
+		if _, err := Parse(strings.NewReader(cfg)); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: err = %v, want ErrConfig", name, err)
+		}
+	}
+}
+
+// TestReloadPreservesBucketState pins the reload contract: an
+// unchanged quota keeps its bucket fill (no free burst), a changed
+// quota gets a fresh bucket, a bad config leaves the old set live.
+func TestReloadPreservesBucketState(t *testing.T) {
+	reg, err := Parse(strings.NewReader(twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := reg.Lookup("ak_alice")
+	if ok, _ := alice.Bucket().Take(t0, 200); !ok { // drain the whole burst
+		t.Fatal("draining alice's burst refused")
+	}
+
+	// Reload with alice unchanged and bob's rate doubled.
+	edited := strings.Replace(twoTenants, `"rate_per_sec": 5`, `"rate_per_sec": 10`, 1)
+	if err := reg.Reload(strings.NewReader(edited)); err != nil {
+		t.Fatal(err)
+	}
+	alice2, ok := reg.Lookup("ak_alice")
+	if !ok {
+		t.Fatal("alice lost in reload")
+	}
+	if alice2 != alice {
+		t.Error("unchanged tenant did not carry its member across reload")
+	}
+	if ok, _ := alice2.Bucket().Take(t0, 1); ok {
+		t.Error("reload refilled an empty bucket: reloads must not grant amnesty")
+	}
+	bob2, _ := reg.Lookup("ak_bob")
+	if bob2.RatePerSec != 10 {
+		t.Errorf("bob's rate after reload = %v, want 10", bob2.RatePerSec)
+	}
+	if got := bob2.Bucket().Tokens(t0); got != 10 { // fresh bucket at new burst
+		t.Errorf("bob's fresh bucket fill = %v, want 10", got)
+	}
+
+	// A broken reload must not disturb the live set.
+	if err := reg.Reload(strings.NewReader(`{"tenants": []}`)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("bad reload err = %v, want ErrConfig", err)
+	}
+	if _, ok := reg.Lookup("ak_alice"); !ok {
+		t.Error("failed reload dropped the live tenant set")
+	}
+}
+
+// TestReloadKeyRotationKeepsBucket pins that rotating a key (same
+// quota) keeps the bucket fill but resolves only the new key.
+func TestReloadKeyRotationKeepsBucket(t *testing.T) {
+	reg, err := Parse(strings.NewReader(twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := reg.Lookup("ak_alice")
+	alice.Bucket().Take(t0, 200)
+
+	rotated := strings.Replace(twoTenants, `"key": "ak_alice"`, `"key": "ak_alice2"`, 1)
+	if err := reg.Reload(strings.NewReader(rotated)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("ak_alice"); ok {
+		t.Error("rotated-out key still resolves")
+	}
+	alice2, ok := reg.Lookup("ak_alice2")
+	if !ok {
+		t.Fatal("rotated-in key does not resolve")
+	}
+	if ok, _ := alice2.Bucket().Take(t0, 1); ok {
+		t.Error("key rotation refilled the bucket")
+	}
+}
+
+// TestMemberSlots covers the concurrency cap: MaxInflight slots, then
+// refusal; release restores capacity; peak is tracked.
+func TestMemberSlots(t *testing.T) {
+	reg, err := Parse(strings.NewReader(twoTenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := reg.Lookup("ak_alice") // max_inflight 2
+	if !alice.AcquireSlot() || !alice.AcquireSlot() {
+		t.Fatal("in-cap acquires refused")
+	}
+	if alice.AcquireSlot() {
+		t.Fatal("third acquire above max_inflight granted")
+	}
+	alice.ReleaseSlot()
+	if !alice.AcquireSlot() {
+		t.Error("acquire after release refused")
+	}
+	if alice.PeakInflight() != 2 {
+		t.Errorf("peak = %d, want 2", alice.PeakInflight())
+	}
+	bob, _ := reg.Lookup("ak_bob") // uncapped
+	for i := 0; i < 100; i++ {
+		if !bob.AcquireSlot() {
+			t.Fatal("uncapped tenant refused a slot")
+		}
+	}
+}
+
+// TestValidateName pins the name grammar the metric label set rests
+// on.
+func TestValidateName(t *testing.T) {
+	for _, good := range []string{"a", "alice", "team-7", "A_b-9", strings.Repeat("x", 64)} {
+		if err := ValidateName(good); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", good, err)
+		}
+	}
+	for _, bad := range []string{"", "unknown", "a b", "a.b", `a"b`, "é", strings.Repeat("x", 65)} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) accepted", bad)
+		}
+	}
+}
