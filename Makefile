@@ -25,19 +25,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Refresh the committed micro-benchmark baseline (BENCH_4.json) from
+# Refresh the committed micro-benchmark baseline (BENCH_5.json) from
 # the hot-path benchmarks. Run on a quiet machine; commit the result.
+# BenchmarkServerPredict with no anchor matches the whole served-path
+# family: steady-state, Uncached, CachedHit, Binary, Traced, Tenanted.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$|BenchmarkServerPredictTenanted$$' -benchmem -count=1 . ./internal/server \
-	  | $(GO) run ./cmd/benchcheck -emit BENCH_4.json -note "make bench-baseline"
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict' -benchmem -count=1 . ./internal/server \
+	  | $(GO) run ./cmd/benchcheck -emit BENCH_5.json -note "make bench-baseline"
 
 # Gate the current tree against the committed baseline: fails on a
-# >20% ns/op regression in the gated benchmarks (the prediction kernel
-# plus the served predict path, tenanted and not — admission must stay
-# free) or any allocs/op increase anywhere.
+# >20% ns/op or bytes/op regression in the gated benchmarks (the
+# prediction kernel plus the served predict path — steady state,
+# cached hit, binary wire and tenanted, so server overhead stays
+# sub-2µs and the hit path stays at zero allocations) or any allocs/op
+# increase anywhere.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict$$|BenchmarkServerPredictTraced$$|BenchmarkServerPredictTenanted$$' -benchmem -benchtime 0.2s -count=1 . ./internal/server \
-	  | $(GO) run ./cmd/benchcheck -compare BENCH_4.json -gate BenchmarkPredict,BenchmarkServerPredict,BenchmarkServerPredictTenanted
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict$$|BenchmarkPredictBatch|BenchmarkSweepClock|BenchmarkSimulatePDF1D$$|BenchmarkExplore1Worker|BenchmarkServerPredict' -benchmem -benchtime 0.5s -count=1 . ./internal/server \
+	  | $(GO) run ./cmd/benchcheck -compare BENCH_5.json -gate BenchmarkPredict,BenchmarkServerPredict,BenchmarkServerPredictCachedHit,BenchmarkServerPredictBinary,BenchmarkServerPredictTenanted
 
 # Closed-loop load test against a locally built ratd: start the
 # daemon on LOADTEST_ADDR, wait for /healthz, drive it with ratload,

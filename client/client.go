@@ -31,6 +31,7 @@ import (
 	"github.com/chrec/rat/internal/api"
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/obs"
+	"github.com/chrec/rat/internal/wire"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
@@ -141,6 +142,22 @@ func (e *APIError) Temporary() bool {
 	return false
 }
 
+// WireFormat selects the encoding the client uses for prediction
+// requests and responses.
+type WireFormat int
+
+const (
+	// WireJSON is the default worksheet-JSON exchange.
+	WireJSON WireFormat = iota
+	// WireBinary uses the compact application/x-rat-bin frame format
+	// in both directions for Predict, PredictMulti and PredictBatch —
+	// fixed-width fields instead of JSON text, the cheap choice for
+	// bulk traffic. Explore and the meta endpoints stay JSON. The
+	// decoded predictions are bit-for-bit identical either way (pinned
+	// by the server's wire-parity tests); see docs/SERVER.md.
+	WireBinary
+)
+
 // Client talks to one ratd instance. The zero value is not usable;
 // construct with New.
 type Client struct {
@@ -150,6 +167,7 @@ type Client struct {
 	rnd     func() float64
 	log     *slog.Logger
 	apiKey  string
+	wireFmt WireFormat
 }
 
 // Option customizes a Client.
@@ -172,6 +190,10 @@ func WithLogger(l *slog.Logger) Option { return func(c *Client) { c.log = l } }
 // see docs/TENANCY.md).
 func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
+// WithWireFormat selects the prediction wire format (default
+// WireJSON).
+func WithWireFormat(f WireFormat) Option { return func(c *Client) { c.wireFmt = f } }
+
 // withJitterSource injects the jitter randomness (tests).
 func withJitterSource(rnd func() float64) Option { return func(c *Client) { c.rnd = rnd } }
 
@@ -193,23 +215,39 @@ func New(baseURL string, opts ...Option) *Client {
 // bit-for-bit what rat.Predict returns locally for the same
 // parameters.
 func (c *Client) Predict(ctx context.Context, p core.Parameters) (core.Prediction, error) {
+	if c.wireFmt == WireBinary {
+		respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/predict",
+			wire.AppendBinaryWorksheet(nil, p), true)
+		if err != nil {
+			return core.Prediction{}, err
+		}
+		pr, err := wire.DecodeBinaryPrediction(respBody)
+		if err != nil {
+			return core.Prediction{}, err
+		}
+		return pr.Core(), nil
+	}
 	body, err := marshalWorksheet(p)
 	if err != nil {
 		return core.Prediction{}, err
 	}
-	var wire api.Prediction
-	if err := c.do(ctx, "/v1/predict", body, &wire); err != nil {
+	var pr api.Prediction
+	if err := c.do(ctx, "/v1/predict", body, &pr); err != nil {
 		return core.Prediction{}, err
 	}
-	return wire.Core(), nil
+	return pr.Core(), nil
 }
 
 // PredictMulti evaluates one worksheet across a multi-FPGA system,
 // bit-for-bit rat.PredictMulti.
 func (c *Client) PredictMulti(ctx context.Context, p core.Parameters, cfg core.MultiConfig) (core.MultiPrediction, error) {
-	body, err := marshalWorksheet(p)
-	if err != nil {
-		return core.MultiPrediction{}, err
+	var body []byte
+	if c.wireFmt != WireBinary {
+		var err error
+		body, err = marshalWorksheet(p)
+		if err != nil {
+			return core.MultiPrediction{}, err
+		}
 	}
 	q := url.Values{}
 	q.Set("devices", strconv.Itoa(cfg.Devices))
@@ -219,16 +257,44 @@ func (c *Client) PredictMulti(ctx context.Context, p core.Parameters, cfg core.M
 	default:
 		q.Set("topology", "shared")
 	}
-	var wire api.MultiPrediction
-	if err := c.do(ctx, "/v1/predict?"+q.Encode(), body, &wire); err != nil {
+	if c.wireFmt == WireBinary {
+		respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/predict?"+q.Encode(),
+			wire.AppendBinaryWorksheet(nil, p), true)
+		if err != nil {
+			return core.MultiPrediction{}, err
+		}
+		mp, err := wire.DecodeBinaryMultiPrediction(respBody)
+		if err != nil {
+			return core.MultiPrediction{}, err
+		}
+		return mp.Core(), nil
+	}
+	var mp api.MultiPrediction
+	if err := c.do(ctx, "/v1/predict?"+q.Encode(), body, &mp); err != nil {
 		return core.MultiPrediction{}, err
 	}
-	return wire.Core(), nil
+	return mp.Core(), nil
 }
 
 // PredictBatch evaluates many worksheets in one request; element i of
 // the result is bit-for-bit rat.Predict of worksheet i.
 func (c *Client) PredictBatch(ctx context.Context, ps []core.Parameters) ([]core.Prediction, error) {
+	if c.wireFmt == WireBinary {
+		respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/predict/batch",
+			wire.AppendBinaryWorksheets(nil, ps), true)
+		if err != nil {
+			return nil, err
+		}
+		preds, err := wire.DecodeBinaryPredictions(respBody)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]core.Prediction, len(preds))
+		for i := range preds {
+			out[i] = preds[i].Core()
+		}
+		return out, nil
+	}
 	docs := make([]worksheet.Doc, len(ps))
 	for i, p := range ps {
 		docs[i] = worksheet.DocFromParams(p)
@@ -237,13 +303,13 @@ func (c *Client) PredictBatch(ctx context.Context, ps []core.Parameters) ([]core
 	if err != nil {
 		return nil, err
 	}
-	var wire []api.Prediction
-	if err := c.do(ctx, "/v1/predict/batch", body, &wire); err != nil {
+	var preds []api.Prediction
+	if err := c.do(ctx, "/v1/predict/batch", body, &preds); err != nil {
 		return nil, err
 	}
-	out := make([]core.Prediction, len(wire))
-	for i := range wire {
-		out[i] = wire[i].Core()
+	out := make([]core.Prediction, len(preds))
+	for i := range preds {
+		out[i] = preds[i].Core()
 	}
 	return out, nil
 }
@@ -292,7 +358,7 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // and per-stage timing distributions. See docs/OBSERVABILITY.md for
 // the schema.
 func (c *Client) Status(ctx context.Context) (Status, error) {
-	body, err := c.roundTrip(ctx, http.MethodGet, "/v1/status", nil)
+	body, err := c.roundTrip(ctx, http.MethodGet, "/v1/status", nil, false)
 	if err != nil {
 		return Status{}, err
 	}
@@ -315,7 +381,7 @@ func marshalWorksheet(p core.Parameters) ([]byte, error) {
 // response into out. Retrying POSTs is sound here because every
 // endpoint is a pure function of the request.
 func (c *Client) do(ctx context.Context, path string, body []byte, out any) error {
-	respBody, err := c.roundTrip(ctx, http.MethodPost, path, body)
+	respBody, err := c.roundTrip(ctx, http.MethodPost, path, body, false)
 	if err != nil {
 		return err
 	}
@@ -324,11 +390,14 @@ func (c *Client) do(ctx context.Context, path string, body []byte, out any) erro
 
 // get fetches a text endpoint with the same retry discipline.
 func (c *Client) get(ctx context.Context, path string) (string, error) {
-	body, err := c.roundTrip(ctx, http.MethodGet, path, nil)
+	body, err := c.roundTrip(ctx, http.MethodGet, path, nil, false)
 	return string(body), err
 }
 
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+// roundTrip runs one logical request through the retry loop. binary
+// marks a prediction exchange in the x-rat-bin wire format: the body
+// is a binary frame and the response is requested in kind.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, binary bool) ([]byte, error) {
 	// One trace spans the logical request; every attempt under it gets
 	// its own span ID, so a server-side log shows retries as siblings.
 	trace := obs.NewTraceID()
@@ -363,7 +432,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 			}
 		}
 
-		respBody, err := c.attempt(ctx, method, path, body, trace)
+		respBody, err := c.attempt(ctx, method, path, body, binary, trace)
 		if err == nil {
 			return respBody, nil
 		}
@@ -384,7 +453,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, trace obs.TraceID) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, binary bool, trace obs.TraceID) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -394,7 +463,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return nil, err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if binary {
+			req.Header.Set("Content-Type", wire.ContentTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if binary {
+		// Errors still arrive as JSON bodies; only 2xx prediction
+		// responses use the binary frame.
+		req.Header.Set("Accept", wire.ContentTypeBinary)
 	}
 	if c.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.apiKey)

@@ -638,3 +638,74 @@ func TestClientAPIKey(t *testing.T) {
 		t.Errorf("keyless Predict err = %v, want a 401 APIError", err)
 	}
 }
+
+// TestClientWireBinaryBitForBit runs the three prediction calls over
+// the binary wire format and compares every result to the local
+// kernel with != — the format changes the bytes on the wire, never
+// the prediction.
+func TestClientWireBinaryBitForBit(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{}, WithWireFormat(WireBinary))
+	ctx := context.Background()
+
+	for _, cs := range []paper.Case{paper.PDF1D, paper.PDF2D, paper.MD} {
+		p := paper.Params(cs)
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Predict(ctx, p)
+		if err != nil {
+			t.Fatalf("%s: %v", cs, err)
+		}
+		if got != want {
+			t.Errorf("%s: binary-wire prediction differs from core.Predict", cs)
+		}
+	}
+
+	mcfg := core.MultiConfig{Devices: 4, Topology: core.IndependentChannels}
+	wantM, err := core.PredictMulti(paper.MDParams(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := c.PredictMulti(ctx, paper.MDParams(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM != wantM {
+		t.Error("binary-wire multi prediction differs from core.PredictMulti")
+	}
+
+	ps := []core.Parameters{paper.PDF1DParams(), paper.PDF2DParams(), paper.MDParams()}
+	batch, err := c.PredictBatch(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		want, err := core.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Errorf("binary-wire batch element %d differs from core.Predict", i)
+		}
+	}
+}
+
+// TestClientWireBinaryErrors: error responses stay JSON even under
+// the binary format, so APIError carries the server's message.
+func TestClientWireBinaryErrors(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{}, WithWireFormat(WireBinary))
+	p := paper.PDF1DParams()
+	p.Dataset.ElementsIn = -1
+	_, err := c.Predict(context.Background(), p)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("invalid worksheet over binary wire returned %v, want *APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", apiErr.StatusCode)
+	}
+	if apiErr.Message == "" {
+		t.Error("APIError lost the server's JSON error message")
+	}
+}

@@ -8,12 +8,14 @@
 //
 // Emit mode parses benchmark lines from stdin (or -in file) and writes
 // the baseline. Compare mode parses the same format and fails (exit 1)
-// when a gated benchmark's ns/op regresses more than -tolerance
-// (default 20%) over the baseline, or when ANY benchmark present in
-// both runs allocates more per op than it used to — allocation counts
-// are deterministic, so any increase is a real regression, not noise.
-// Benchmarks missing from either side are reported but not fatal
-// (machines differ; the benchmark set grows).
+// when a gated benchmark's ns/op or bytes/op regresses more than
+// -tolerance (default 20%) over the baseline — bytes/op gets an extra
+// 64-byte absolute slack so near-zero baselines aren't gated on
+// rounding — or when ANY benchmark present in both runs allocates more
+// per op than it used to; allocation counts are deterministic, so any
+// increase is a real regression, not noise. Benchmarks missing from
+// either side are reported but not fatal (machines differ; the
+// benchmark set grows).
 //
 // The gated-benchmark list defaults to BenchmarkPredict, the kernel
 // the exploration engine multiplies by millions; -gate adds more,
@@ -56,8 +58,8 @@ func run(args []string, stdin io.Reader, out, errOut io.Writer) int {
 	emit := fs.String("emit", "", "write a baseline JSON file from benchmark output")
 	compare := fs.String("compare", "", "compare benchmark output against a baseline JSON file")
 	in := fs.String("in", "", "read benchmark output from a file instead of stdin")
-	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional ns/op regression for gated benchmarks")
-	gate := fs.String("gate", "BenchmarkPredict", "comma-separated benchmarks whose ns/op is gated")
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional ns/op and bytes/op regression for gated benchmarks")
+	gate := fs.String("gate", "BenchmarkPredict", "comma-separated benchmarks whose ns/op and bytes/op are gated")
 	note := fs.String("note", "", "free-form note stored in an emitted baseline")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -190,12 +192,21 @@ func check(base, got map[string]Entry, gates map[string]bool, tol float64, out i
 		}
 		if gates[n] && b.NsPerOp > 0 {
 			ratio := g.NsPerOp / b.NsPerOp
-			if ratio > 1+tol {
+			// bytes/op tolerates the same fraction plus 64 bytes of
+			// absolute slack: a 0 B baseline must not fail on a stray
+			// rounding byte, only on a real buffer regression.
+			byteBudget := b.BytesPerOp + int64(float64(b.BytesPerOp)*tol) + 64
+			bytesFail := g.BytesPerOp > byteBudget
+			if ratio > 1+tol || bytesFail {
 				status = "FAIL"
 				failures++
 			}
 			fmt.Fprintf(out, "  %-8s %-36s %12.1f ns/op vs %.1f baseline (%+.0f%%, gate %.0f%%)\n",
 				status, n, g.NsPerOp, b.NsPerOp, (ratio-1)*100, tol*100)
+			if bytesFail {
+				fmt.Fprintf(out, "  FAIL     %-36s bytes/op %d -> %d (budget %d)\n",
+					n, b.BytesPerOp, g.BytesPerOp, byteBudget)
+			}
 			continue
 		}
 		fmt.Fprintf(out, "  %-8s %-36s %12.1f ns/op %6d allocs/op\n", status, n, g.NsPerOp, g.AllocsPerOp)

@@ -65,6 +65,39 @@ func TestCompareFailsOnNsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareFailsOnBytesRegression(t *testing.T) {
+	// Give the gated BenchmarkPredict a nonzero byte baseline so the
+	// fractional part of the budget matters too.
+	base := strings.Replace(sampleBench,
+		"53.25 ns/op	       0 B/op",
+		"53.25 ns/op	    1000 B/op", 1)
+	path := emitSample(t, base)
+
+	// +50 bytes sits inside the 20% + 64 B budget: no failure.
+	small := strings.Replace(sampleBench,
+		"53.25 ns/op	       0 B/op",
+		"53.25 ns/op	    1050 B/op", 1)
+	if code, out, _ := runCheck(t, small, "-compare", path); code != 0 {
+		t.Errorf("within-budget bytes growth failed:\n%s", out)
+	}
+
+	// +400 bytes blows the 1000*0.2+64 budget on the gated benchmark.
+	big := strings.Replace(sampleBench,
+		"53.25 ns/op	       0 B/op",
+		"53.25 ns/op	    1400 B/op", 1)
+	code, out, _ := runCheck(t, big, "-compare", path)
+	if code != 1 || !strings.Contains(out, "bytes/op 1000 -> 1400") {
+		t.Errorf("exit %d, want 1 with bytes/op FAIL line:\n%s", code, out)
+	}
+
+	// Ungated benchmarks may grow their bytes freely (allocs still gate).
+	fat := strings.Replace(sampleBench, "297554 B/op", "997554 B/op", 1)
+	path = emitSample(t, sampleBench)
+	if code, out, _ := runCheck(t, fat, "-compare", path); code != 0 {
+		t.Errorf("ungated bytes growth failed:\n%s", out)
+	}
+}
+
 func TestCompareFailsOnAllocIncrease(t *testing.T) {
 	path := emitSample(t, sampleBench)
 	// One extra alloc in the ungated simulator benchmark: still fatal.

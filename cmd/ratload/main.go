@@ -11,6 +11,7 @@
 //	ratload -url http://127.0.0.1:8080 -qps 500 -c 16 -duration 30s
 //	ratload -url http://127.0.0.1:8080 -worksheet design.json -devices 2
 //	ratload -url http://127.0.0.1:8080 -n 100 -traces 5
+//	ratload -url http://127.0.0.1:8080 -wire binary -duration 10s
 //	ratload -url http://127.0.0.1:8080 -key K1 -qps 50
 //	ratload -url http://127.0.0.1:8080 -mix noisy-neighbor \
 //	    -key-compliant K1 -key-hostile K2 -duration 10s
@@ -21,6 +22,12 @@
 // report then prints the N slowest requests with their trace IDs and
 // stage timings, plus how many trace IDs the server echoed back — a
 // quick end-to-end check that tracing is wired through.
+//
+// With -wire binary every request and response uses ratd's compact
+// binary wire format (application/x-rat-bin) instead of JSON. Before
+// the measured run starts, ratload sends the worksheet once in each
+// format and proves the two predictions are bit-for-bit identical,
+// printing a stable "wire parity:" line that CI greps.
 //
 // With -key every request carries the key as Authorization: Bearer,
 // for servers started with ratd -tenants. With -mix, ratload instead
@@ -42,6 +49,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -54,10 +62,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/chrec/rat/internal/api"
 	"github.com/chrec/rat/internal/cli"
+	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/wire"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
@@ -95,6 +106,7 @@ func load(args []string, out io.Writer) error {
 	topology := fs.String("topology", "", "topology query parameter (shared, independent)")
 	reqTimeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	budget := fs.Int64("n", 0, "total request budget (0 = duration-bound only)")
+	wireFmt := fs.String("wire", "json", "wire format: json or binary (application/x-rat-bin)")
 	traces := fs.Int("traces", 0, "trace every request, report the N slowest with stage breakdowns (0 disables)")
 	apiKey := fs.String("key", "", "API key sent as Authorization: Bearer (tenanted servers)")
 	mix := fs.String("mix", "", "adversarial two-tenant mix: noisy-neighbor, thundering-herd or quota-edge")
@@ -125,6 +137,11 @@ func load(args []string, out io.Writer) error {
 	if _, err := url.ParseRequestURI(*baseURL); err != nil {
 		return cli.Usagef("-url: %v", err)
 	}
+	switch *wireFmt {
+	case "json", "binary":
+	default:
+		return cli.Usagef("-wire %q: want json or binary", *wireFmt)
+	}
 	switch *mix {
 	case "", "noisy-neighbor", "thundering-herd", "quota-edge":
 	default:
@@ -143,9 +160,10 @@ func load(args []string, out io.Writer) error {
 	}
 
 	var body []byte
+	params := paper.PDF1DParams()
 	if *worksheetPath == "" {
 		var buf bytes.Buffer
-		if err := worksheet.EncodeJSON(&buf, paper.PDF1DParams()); err != nil {
+		if err := worksheet.EncodeJSON(&buf, params); err != nil {
 			return err
 		}
 		body = buf.Bytes()
@@ -155,10 +173,16 @@ func load(args []string, out io.Writer) error {
 			return err
 		}
 		// Fail fast on a bad worksheet rather than measuring 400s.
-		if _, err := worksheet.DecodeJSON(bytes.NewReader(b)); err != nil {
+		p, err := worksheet.DecodeJSON(bytes.NewReader(b))
+		if err != nil {
 			return fmt.Errorf("worksheet %s: %w", *worksheetPath, err)
 		}
+		params = p
 		body = b
+	}
+	binary := *wireFmt == "binary"
+	if binary {
+		body = wire.AppendBinaryWorksheet(nil, params)
 	}
 
 	target := strings.TrimSuffix(*baseURL, "/") + "/v1/predict"
@@ -174,7 +198,7 @@ func load(args []string, out io.Writer) error {
 	}
 
 	if *mix != "" {
-		return runMix(out, *mix, target, body, *reqTimeout, *duration,
+		return runMix(out, *mix, target, body, binary, *reqTimeout, *duration,
 			*conc, *compliantQPS, *keyCompliant, *keyHostile)
 	}
 
@@ -202,6 +226,15 @@ func load(args []string, out io.Writer) error {
 	defer cancel()
 	client := &http.Client{Timeout: *reqTimeout}
 
+	if binary {
+		// Prove the two wire formats agree before measuring anything:
+		// a binary run whose answers drifted from the JSON path would
+		// be load-testing a bug.
+		if err := wireParity(out, client, target, *apiKey, params, *devices > 1); err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < *conc; w++ {
@@ -224,7 +257,7 @@ func load(args []string, out io.Writer) error {
 					transportErrs.Add(1)
 					return
 				}
-				req.Header.Set("Content-Type", "application/json")
+				setWireHeaders(req, binary)
 				if *apiKey != "" {
 					req.Header.Set("Authorization", "Bearer "+*apiKey)
 				}
@@ -282,7 +315,7 @@ func load(args []string, out io.Writer) error {
 // tenant shaped by the mix name. It exists to prove isolation, not to
 // measure throughput — the per-tenant report lines are the assertion
 // surface (CI greps the compliant tenant's rejected_429 field).
-func runMix(out io.Writer, mode, target string, body []byte,
+func runMix(out io.Writer, mode, target string, body []byte, binary bool,
 	timeout, duration time.Duration, conc int, compliantQPS float64,
 	keyCompliant, keyHostile string) error {
 
@@ -290,8 +323,8 @@ func runMix(out io.Writer, mode, target string, body []byte,
 	defer cancel()
 	client := &http.Client{Timeout: timeout}
 
-	compliant := &tenantLoad{name: "compliant", key: keyCompliant}
-	hostile := &tenantLoad{name: "hostile", key: keyHostile}
+	compliant := &tenantLoad{name: "compliant", key: keyCompliant, binary: binary}
+	hostile := &tenantLoad{name: "hostile", key: keyHostile, binary: binary}
 
 	// The compliant tenant shares one ticker across its workers so its
 	// aggregate rate stays at -compliant-qps no matter the worker
@@ -377,10 +410,96 @@ func runMix(out io.Writer, mode, target string, body []byte,
 	return nil
 }
 
+// setWireHeaders marks the request with the chosen wire format:
+// JSON, or the compact binary frames on both sides of the exchange.
+func setWireHeaders(req *http.Request, binary bool) {
+	if binary {
+		req.Header.Set("Content-Type", wire.ContentTypeBinary)
+		req.Header.Set("Accept", wire.ContentTypeBinary)
+	} else {
+		req.Header.Set("Content-Type", "application/json")
+	}
+}
+
+// wireParity posts the run's worksheet once in each wire format and
+// compares the decoded predictions with != — bit-for-bit, no
+// tolerance. The printed line is stable: the CI server-smoke job
+// greps it to assert the two encodings answer identically.
+func wireParity(out io.Writer, client *http.Client, target, apiKey string,
+	p core.Parameters, multi bool) error {
+
+	var jbuf bytes.Buffer
+	if err := worksheet.EncodeJSON(&jbuf, p); err != nil {
+		return err
+	}
+	jsonBody, err := postOnce(client, target, apiKey, jbuf.Bytes(), false)
+	if err != nil {
+		return fmt.Errorf("wire parity (json): %w", err)
+	}
+	binBody, err := postOnce(client, target, apiKey, wire.AppendBinaryWorksheet(nil, p), true)
+	if err != nil {
+		return fmt.Errorf("wire parity (binary): %w", err)
+	}
+	if multi {
+		var jm api.MultiPrediction
+		if err := json.Unmarshal(jsonBody, &jm); err != nil {
+			return fmt.Errorf("wire parity: decoding JSON response: %w", err)
+		}
+		bm, err := wire.DecodeBinaryMultiPrediction(binBody)
+		if err != nil {
+			return fmt.Errorf("wire parity: decoding binary response: %w", err)
+		}
+		if jm.Core() != bm.Core() {
+			return fmt.Errorf("wire parity: multi predictions differ\n json  %+v\n binary %+v", jm.Core(), bm.Core())
+		}
+	} else {
+		var jp api.Prediction
+		if err := json.Unmarshal(jsonBody, &jp); err != nil {
+			return fmt.Errorf("wire parity: decoding JSON response: %w", err)
+		}
+		bp, err := wire.DecodeBinaryPrediction(binBody)
+		if err != nil {
+			return fmt.Errorf("wire parity: decoding binary response: %w", err)
+		}
+		if jp.Core() != bp.Core() {
+			return fmt.Errorf("wire parity: predictions differ\n json  %+v\n binary %+v", jp.Core(), bp.Core())
+		}
+	}
+	fmt.Fprintln(out, "wire parity: json and binary predictions identical")
+	return nil
+}
+
+// postOnce sends one request outside the measured run and returns the
+// response body, treating anything but 200 as an error.
+func postOnce(client *http.Client, target, apiKey string, body []byte, binary bool) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	setWireHeaders(req, binary)
+	if apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+apiKey)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, b)
+	}
+	return b, nil
+}
+
 // tenantLoad tallies one tenant's stream in a mix run.
 type tenantLoad struct {
-	name string
-	key  string
+	name   string
+	key    string
+	binary bool
 
 	sent, ok, rejected, other, transport atomic.Int64
 
@@ -395,7 +514,7 @@ func (t *tenantLoad) do(ctx context.Context, client *http.Client, target string,
 		t.transport.Add(1)
 		return
 	}
-	req.Header.Set("Content-Type", "application/json")
+	setWireHeaders(req, t.binary)
 	req.Header.Set("Authorization", "Bearer "+t.key)
 	t.sent.Add(1)
 	t0 := time.Now()

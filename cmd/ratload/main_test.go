@@ -91,6 +91,58 @@ func TestLoadWorksheetFile(t *testing.T) {
 	}
 }
 
+// TestLoadWireBinary: -wire binary drives the whole run over the
+// compact frames, printing the pre-flight parity line first. The
+// parity line is the CI server-smoke job's assertion surface, so its
+// exact text is pinned here.
+func TestLoadWireBinary(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "2",
+		"-n", "10",
+		"-duration", "30s",
+		"-wire", "binary",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "wire parity: json and binary predictions identical") {
+		t.Errorf("report lacks the parity line:\n%s", report)
+	}
+	if !strings.Contains(report, "HTTP 200:") {
+		t.Errorf("report lacks HTTP 200 line:\n%s", report)
+	}
+}
+
+// TestLoadWireBinaryMulti: the parity pre-flight also covers the
+// multi-FPGA response shape when devices/topology are set.
+func TestLoadWireBinaryMulti(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-url", ts.URL,
+		"-c", "1",
+		"-n", "4",
+		"-duration", "30s",
+		"-wire", "binary",
+		"-devices", "3",
+		"-topology", "independent",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wire parity: json and binary predictions identical") {
+		t.Errorf("report lacks the parity line:\n%s", out.String())
+	}
+}
+
 // TestLoadUsageErrors: flag mistakes exit 2.
 func TestLoadUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
@@ -100,6 +152,7 @@ func TestLoadUsageErrors(t *testing.T) {
 		{"-duration", "-1s"},
 		{"-qps", "-5"},
 		{"-url", "not a url"},
+		{"-wire", "xml"},
 	} {
 		var out, errOut bytes.Buffer
 		if code := run(args, &out, &errOut); code != 2 {

@@ -16,9 +16,20 @@ var sprintfFamily = map[string]bool{
 	"Appendf": true, "Append": true, "Appendln": true,
 }
 
+// jsonCodecFamily are the encoding/json entry points that reflect over
+// their argument on every call: the package functions plus the
+// Encoder/Decoder constructors and their Encode/Decode methods. The
+// project ships a hand-rolled reflection-free codec (internal/wire)
+// for exactly the paths annotated //rat:hotpath, so any of these
+// inside one is a regression, not a style choice.
+var jsonCodecFamily = map[string]bool{
+	"Marshal": true, "MarshalIndent": true, "Unmarshal": true,
+	"NewEncoder": true, "NewDecoder": true, "Encode": true, "Decode": true,
+}
+
 var analyzerHotpath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "//rat:hotpath functions may not contain fmt.Sprintf, string concatenation in loops, unhinted append growth in loops, interface boxing of scalars, or escaping closures that capture",
+	Doc:  "//rat:hotpath functions may not contain fmt.Sprintf, encoding/json calls, string concatenation in loops, unhinted append growth in loops, interface boxing of scalars, or escaping closures that capture",
 	Run:  runHotpath,
 }
 
@@ -209,8 +220,13 @@ func (hp *hotpathFunc) walk(n ast.Node, inLoop bool) {
 
 func (hp *hotpathFunc) checkCall(call *ast.CallExpr, inLoop bool) {
 	p := hp.p
-	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && sprintfFamily[fn.Name()] {
-		hp.report(call, "%s: fmt.%s allocates and reflects on a hot path; preformat or append to a pooled buffer", hp.name, fn.Name())
+	if fn := p.calleeFunc(call); fn != nil && fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Path() == "fmt" && sprintfFamily[fn.Name()]:
+			hp.report(call, "%s: fmt.%s allocates and reflects on a hot path; preformat or append to a pooled buffer", hp.name, fn.Name())
+		case fn.Pkg().Path() == "encoding/json" && jsonCodecFamily[fn.Name()]:
+			hp.report(call, "%s: encoding/json %s reflects over its argument on a hot path; use the internal/wire codec", hp.name, fn.Name())
+		}
 	}
 	if p.calleeBuiltin(call, "append") && inLoop && len(call.Args) > 0 {
 		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {

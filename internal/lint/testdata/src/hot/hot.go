@@ -2,7 +2,11 @@
 // allocation sin once; unannotated twins stay invisible.
 package hot
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
 
 // Sum is annotated and clean: hinted append, no formatting, no boxing.
 //
@@ -93,6 +97,32 @@ func LocalClosure(xs []int) int {
 		add(x)
 	}
 	return total
+}
+
+// Codec round-trips through encoding/json: reflection on every call.
+//
+//rat:hotpath
+func Codec(v struct{ N int }) ([]byte, error) {
+	if err := json.Unmarshal([]byte(`{"N":1}`), &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// CodecStream reaches encoding/json through the Encoder and Decoder
+// types: the constructors and the Encode/Decode calls all count.
+//
+//rat:hotpath
+func CodecStream(r io.Reader, w io.Writer, v struct{ N int }) error {
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(v)
+}
+
+// ColdCodec is unannotated: encoding/json is fine off the hot path.
+func ColdCodec(v struct{ N int }) ([]byte, error) {
+	return json.Marshal(v)
 }
 
 // Cold is unannotated: the same sins draw no findings.

@@ -240,10 +240,12 @@ func newAdmission(reg *telemetry.Registry, sem *prioritySem, class admClass, end
 // admit asks for weight units of the endpoint's capacity, queueing for
 // at most the controller's wait bound (never beyond the request's own
 // deadline — a request that would be granted after its deadline is
-// abandoned in the queue, not executed late). On success it returns a
-// release function; on saturation it returns ok == false and the
-// caller answers 429.
-func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok bool) {
+// abandoned in the queue, not executed late). On success it returns
+// the granted weight, which the caller must hand back to release
+// (returning the weight instead of a closure keeps the grant off the
+// heap — `defer a.release(granted)` is allocation-free); on saturation
+// it returns ok == false and the caller answers 429.
+func (a *admission) admit(ctx context.Context, weight int64) (granted int64, ok bool) {
 	if weight < 1 {
 		weight = 1
 	}
@@ -253,14 +255,14 @@ func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok
 	if !a.sem.tryAcquire(a.class, weight) {
 		if a.wait <= 0 {
 			a.rejected.Inc()
-			return nil, false
+			return 0, false
 		}
 		waitCtx, cancel := context.WithTimeout(ctx, a.wait)
 		err := a.sem.acquire(waitCtx, a.class, weight)
 		cancel()
 		if err != nil {
 			a.rejected.Inc()
-			return nil, false
+			return 0, false
 		}
 	}
 	a.admitted.Inc()
@@ -272,11 +274,14 @@ func (a *admission) admit(ctx context.Context, weight int64) (release func(), ok
 	}
 	a.inflight.Set(float64(a.cur))
 	a.mu.Unlock()
-	return func() {
-		a.mu.Lock()
-		a.cur -= weight
-		a.inflight.Set(float64(a.cur))
-		a.mu.Unlock()
-		a.sem.release(a.class, weight)
-	}, true
+	return weight, true
+}
+
+// release returns a grant obtained from admit.
+func (a *admission) release(weight int64) {
+	a.mu.Lock()
+	a.cur -= weight
+	a.inflight.Set(float64(a.cur))
+	a.mu.Unlock()
+	a.sem.release(a.class, weight)
 }

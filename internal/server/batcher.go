@@ -78,6 +78,11 @@ func newBatcher(reg *telemetry.Registry, maxBatch int, linger time.Duration) *ba
 	return b
 }
 
+// coalescing reports whether the batcher actually batches. When it
+// does not, handlers skip it entirely — a direct core.Predict needs no
+// context, no channel and no clock reads.
+func (b *batcher) coalescing() bool { return b.maxBatch > 1 }
+
 // predict evaluates one pre-validated worksheet, possibly sharing a
 // batch with concurrent callers. The result is bit-for-bit
 // core.Predict(p). The second return is the kernel's share of the

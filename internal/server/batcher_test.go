@@ -136,16 +136,16 @@ func TestBatcherContextCancel(t *testing.T) {
 func TestCacheLRU(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	c := newResponseCache(reg, 2)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
-	if _, hit := c.get("a"); !hit { // bumps a over b
+	c.put([]byte("a"), nil, []byte("A"))
+	c.put([]byte("b"), nil, []byte("B"))
+	if _, hit := c.get([]byte("a"), nil); !hit { // bumps a over b
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("C")) // evicts b, the LRU
-	if _, hit := c.get("b"); hit {
+	c.put([]byte("c"), nil, []byte("C")) // evicts b, the LRU
+	if _, hit := c.get([]byte("b"), nil); hit {
 		t.Error("b survived eviction; LRU order is wrong")
 	}
-	if body, hit := c.get("a"); !hit || string(body) != "A" {
+	if body, hit := c.get([]byte("a"), nil); !hit || string(body) != "A" {
 		t.Error("a evicted out of order")
 	}
 	snap := reg.Snapshot()
@@ -154,8 +154,8 @@ func TestCacheLRU(t *testing.T) {
 	}
 
 	var disabled *responseCache // nil: caching off
-	disabled.put("k", []byte("v"))
-	if _, hit := disabled.get("k"); hit {
+	disabled.put([]byte("k"), nil, []byte("v"))
+	if _, hit := disabled.get([]byte("k"), nil); hit {
 		t.Error("nil cache returned a hit")
 	}
 }

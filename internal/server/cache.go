@@ -10,48 +10,83 @@ import (
 	"github.com/chrec/rat/internal/telemetry"
 )
 
-// cacheKey builds the canonical byte form of a predict request: every
-// worksheet field in a fixed order at full float64 precision, plus the
-// multi-FPGA configuration. Two requests collide iff they would
-// produce identical predictions, because the key preserves the exact
-// bits the computation consumes (NaN never reaches the cache — it
-// fails validation first).
+// appendCacheKey appends the canonical byte form of a predict request
+// to dst: every worksheet field in a fixed order at full float64
+// precision, the multi-FPGA configuration, and the response wire
+// format. Two requests collide iff they would produce identical
+// response bytes, because the key preserves the exact bits the
+// computation consumes (NaN never reaches the cache — it fails
+// validation first) and keeps the two response encodings apart.
 //
 //rat:hotpath
-func cacheKey(p core.Parameters, cfg core.MultiConfig) string {
-	buf := make([]byte, 0, len(p.Name)+8*12)
-	buf = append(buf, p.Name...)
-	u64 := func(v uint64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		buf = append(buf, b[:]...)
+func appendCacheKey(dst []byte, p *core.Parameters, cfg core.MultiConfig, format byte) []byte {
+	dst = append(dst, p.Name...)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(p.Name))) // disambiguates name bytes from numbers
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Dataset.ElementsIn))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Dataset.ElementsOut))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Dataset.BytesPerElement))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comm.IdealThroughput))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comm.AlphaWrite))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comm.AlphaRead))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comp.OpsPerElement))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comp.ThroughputProc))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Comp.ClockHz))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Soft.TSoft))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Soft.Iterations))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(cfg.Devices)<<1|uint64(cfg.Topology))
+	return append(dst, format)
+}
+
+// Response wire formats, the cache key's final discriminator byte.
+const (
+	formatJSON   = byte(0)
+	formatBinary = byte(1)
+)
+
+// appendRawKey builds the raw-request alias key: both wire-format
+// discriminators (request body encoding and negotiated response
+// encoding), the unparsed query string, and the verbatim body bytes.
+// Two byte-identical requests under the same negotiation always
+// produce byte-identical responses, which is what makes the raw
+// index sound.
+//
+//rat:hotpath
+func appendRawKey(dst, body []byte, rawQuery string, binReq bool, format byte) []byte {
+	req := byte(0)
+	if binReq {
+		req = 1
 	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	u64(uint64(len(p.Name))) // disambiguates name bytes from numbers
-	u64(uint64(p.Dataset.ElementsIn))
-	u64(uint64(p.Dataset.ElementsOut))
-	f64(p.Dataset.BytesPerElement)
-	f64(p.Comm.IdealThroughput)
-	f64(p.Comm.AlphaWrite)
-	f64(p.Comm.AlphaRead)
-	f64(p.Comp.OpsPerElement)
-	f64(p.Comp.ThroughputProc)
-	f64(p.Comp.ClockHz)
-	f64(p.Soft.TSoft)
-	u64(uint64(p.Soft.Iterations))
-	u64(uint64(cfg.Devices)<<1 | uint64(cfg.Topology))
-	return string(buf)
+	dst = append(dst, req, format)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rawQuery)))
+	dst = append(dst, rawQuery...)
+	return append(dst, body...)
+}
+
+// cacheKey is the string form of appendCacheKey for the JSON format —
+// retained for tests that reason about key collisions.
+func cacheKey(p core.Parameters, cfg core.MultiConfig) string {
+	return string(appendCacheKey(make([]byte, 0, len(p.Name)+8*13+1), &p, cfg, formatJSON))
 }
 
 // responseCache is a mutex-guarded LRU of marshalled response bodies.
 // Caching the exact bytes (not the Prediction) guarantees a hit
 // replays a byte-identical response, which is what the bit-for-bit
-// acceptance tests compare.
+// acceptance tests compare. Keys are passed as byte slices so the
+// steady-state lookup compiles to an allocation-free map access; the
+// cache copies the key only when it stores a new entry.
+//
+// Each entry is indexed twice: under the canonical decoded-parameters
+// key (so equivalent worksheets serialized differently share one
+// entry) and under at most one raw-request alias — the verbatim
+// request bytes that last produced or hit the entry. The alias is what
+// makes the steady-state hit fast: a client replaying identical bytes
+// is answered without decoding the worksheet at all.
 type responseCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recent; values are *cacheEntry
 	items map[string]*list.Element
+	raw   map[string]*list.Element // raw-request alias → same element
 
 	hits   *telemetry.Counter
 	misses *telemetry.Counter
@@ -60,8 +95,9 @@ type responseCache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	body []byte
+	key    string
+	rawKey string // at most one alias; "" when none
+	body   []byte
 }
 
 // newResponseCache returns a cache holding up to max entries, or nil
@@ -74,6 +110,7 @@ func newResponseCache(reg *telemetry.Registry, max int) *responseCache {
 		max:    max,
 		ll:     list.New(),
 		items:  make(map[string]*list.Element, max),
+		raw:    make(map[string]*list.Element, max),
 		hits:   reg.Counter("server.cache_hits"),
 		misses: reg.Counter("server.cache_misses"),
 		evicts: reg.Counter("server.cache_evictions"),
@@ -81,16 +118,19 @@ func newResponseCache(reg *telemetry.Registry, max int) *responseCache {
 	}
 }
 
-// get returns the cached body for key, bumping its recency.
-func (c *responseCache) get(key string) ([]byte, bool) {
+// getRaw probes the raw-request alias index. A raw miss is not a cache
+// miss — the canonical lookup still follows — so only hits are
+// counted here. The map index through string(key) does not allocate.
+//
+//rat:hotpath
+func (c *responseCache) getRaw(rawKey []byte) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	elem, ok := c.items[key]
+	elem, ok := c.raw[string(rawKey)]
 	if !ok {
-		c.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(elem)
@@ -98,24 +138,78 @@ func (c *responseCache) get(key string) ([]byte, bool) {
 	return elem.Value.(*cacheEntry).body, true
 }
 
-// put stores body under key, evicting the least recently used entry
-// when full. Bodies are stored as-is; callers must not mutate them.
-func (c *responseCache) put(key string, body []byte) {
+// get returns the cached body for the canonical key, bumping its
+// recency. On a hit the entry's raw alias is repointed at rawKey, so
+// the next replay of these exact request bytes short-circuits in
+// getRaw without decoding.
+//
+//rat:hotpath
+func (c *responseCache) get(key, rawKey []byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.items[string(key)]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(elem)
+	c.aliasLocked(elem, rawKey)
+	c.hits.Inc()
+	return elem.Value.(*cacheEntry).body, true
+}
+
+// aliasLocked points the raw-request alias rawKey at elem, displacing
+// the element's previous alias. One alias per entry bounds the raw
+// index at the entry count.
+func (c *responseCache) aliasLocked(elem *list.Element, rawKey []byte) {
+	if len(rawKey) == 0 {
+		return
+	}
+	e := elem.Value.(*cacheEntry)
+	if e.rawKey == string(rawKey) { // no-alloc comparison
+		return
+	}
+	if prev, ok := c.raw[string(rawKey)]; ok && prev != elem {
+		prev.Value.(*cacheEntry).rawKey = ""
+	}
+	if e.rawKey != "" {
+		delete(c.raw, e.rawKey)
+	}
+	e.rawKey = string(rawKey)
+	c.raw[e.rawKey] = elem
+}
+
+// put stores a copy of body under copies of the canonical key and the
+// raw-request alias, evicting the least recently used entry when full.
+// Copying here (off the measured hit path) is what lets callers hand
+// in pooled buffers.
+func (c *responseCache) put(key, rawKey, body []byte) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if elem, ok := c.items[key]; ok {
+	if elem, ok := c.items[string(key)]; ok {
 		c.ll.MoveToFront(elem)
-		elem.Value.(*cacheEntry).body = body
+		elem.Value.(*cacheEntry).body = append([]byte(nil), body...)
+		c.aliasLocked(elem, rawKey)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	k := string(key)
+	elem := c.ll.PushFront(&cacheEntry{key: k, body: append([]byte(nil), body...)})
+	c.items[k] = elem
+	c.aliasLocked(elem, rawKey)
 	if c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		delete(c.items, e.key)
+		if e.rawKey != "" {
+			delete(c.raw, e.rawKey)
+		}
 		c.evicts.Inc()
 	}
 	c.sizeG.Set(float64(c.ll.Len()))

@@ -45,7 +45,7 @@ func FuzzDecodeWorksheetRequest(f *testing.F) {
 	f.Fuzz(func(t *testing.T, body, devices, topology string) {
 		// Layer 1: the decoder either succeeds or returns a classified
 		// error from the 400 families.
-		_, _, err := decodePredictRequest(strings.NewReader(body), devices, topology)
+		_, _, err := decodePredictRequest([]byte(body), devices, topology)
 		if err != nil &&
 			!errors.Is(err, core.ErrInvalidParameters) &&
 			!errors.Is(err, worksheet.ErrSyntax) {

@@ -17,11 +17,13 @@ import (
 	"github.com/chrec/rat/internal/explore"
 	"github.com/chrec/rat/internal/obs"
 	"github.com/chrec/rat/internal/telemetry"
+	"github.com/chrec/rat/internal/wire"
 	"github.com/chrec/rat/internal/worksheet"
 )
 
-// jsonMarshal is encoding/json.Marshal, named so the wire-writing
-// sites read uniformly.
+// jsonMarshal is encoding/json.Marshal, named so the remaining
+// cold-path wire-writing sites (errors, status, explore) read
+// uniformly. The predict paths use internal/wire instead.
 func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
 
 // httpStatus maps a request-shaped error to its status code: anything
@@ -38,118 +40,328 @@ func httpStatus(err error) int {
 	}
 }
 
-// decodePredictRequest parses the body of POST /v1/predict — the
-// existing worksheet JSON format, nothing more — plus the optional
-// devices/topology query parameters. Every failure wraps
-// core.ErrInvalidParameters or worksheet.ErrSyntax, so hostile bodies
-// always map to 400, never to a panic or 500 (pinned by
-// FuzzDecodeWorksheetRequest).
-func decodePredictRequest(body io.Reader, devicesQ, topologyQ string) (core.Parameters, core.MultiConfig, error) {
-	p, err := worksheet.DecodeJSON(body)
-	if err != nil {
-		return core.Parameters{}, core.MultiConfig{}, err
+// maxInternedNames bounds the per-scratch worksheet-name intern table;
+// a vocabulary churning past it resets the table rather than growing
+// without bound.
+const maxInternedNames = 1024
+
+// scratch is the pooled per-request working set of the predict paths:
+// the body read buffer, the cache-key buffer, the response build
+// buffer and the worksheet-name intern table. One Get covers a whole
+// request; nothing in it survives the handler.
+type scratch struct {
+	body []byte
+	key  []byte
+	raw  []byte
+	out  []byte
+
+	names map[string]string
+	// internFn is the bound method value of intern, created once per
+	// scratch so handing it to the decoder does not allocate a closure
+	// per request.
+	internFn func([]byte) string
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	sc := &scratch{
+		body: make([]byte, 0, 4096),
+		key:  make([]byte, 0, 160),
+		raw:  make([]byte, 0, 1024),
+		out:  make([]byte, 0, 2048),
 	}
+	sc.internFn = sc.intern
+	return sc
+}}
+
+// intern returns the string form of a worksheet name, reusing the
+// previously allocated string for repeat names — the steady-state
+// traffic pattern (the same few worksheets asked about over and over)
+// decodes names with zero allocations.
+func (sc *scratch) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := sc.names[string(b)]; ok { // no-alloc map lookup
+		return s
+	}
+	if sc.names == nil || len(sc.names) >= maxInternedNames {
+		sc.names = make(map[string]string, 8)
+	}
+	s := string(b)
+	sc.names[s] = s
+	return s
+}
+
+// readBody slurps the request body into the pooled buffer, enforcing
+// the configured size cap. Oversized and unreadable bodies are the
+// caller's fault (ErrSyntax maps to 400), matching what
+// http.MaxBytesReader fed to a JSON decoder produced before.
+//
+//rat:hotpath
+func (sc *scratch) readBody(body io.Reader, limit int64) ([]byte, error) {
+	buf := sc.body[:0]
+	for {
+		if int64(len(buf)) > limit {
+			sc.body = buf
+			return nil, fmt.Errorf("%w: request body larger than %d bytes", worksheet.ErrSyntax, limit)
+		}
+		if len(buf) == cap(buf) {
+			next := 2 * cap(buf)
+			if next == 0 {
+				next = 4096
+			}
+			if int64(next) > limit+1 {
+				next = int(limit + 1)
+			}
+			if next <= cap(buf) {
+				next = cap(buf) + 1
+			}
+			grown := make([]byte, len(buf), next)
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			sc.body = buf
+			if errors.Is(err, io.EOF) {
+				if int64(len(buf)) > limit {
+					return nil, fmt.Errorf("%w: request body larger than %d bytes", worksheet.ErrSyntax, limit)
+				}
+				return buf, nil
+			}
+			return nil, fmt.Errorf("%w: reading request body: %v", worksheet.ErrSyntax, err)
+		}
+	}
+}
+
+// multiConfigFromQuery parses the optional devices/topology query
+// parameters. Failures wrap core.ErrInvalidParameters (400).
+func multiConfigFromQuery(devicesQ, topologyQ string) (core.MultiConfig, error) {
 	cfg := core.MultiConfig{Devices: 1, Topology: core.SharedChannel}
 	if devicesQ != "" {
 		n, err := strconv.Atoi(devicesQ)
 		if err != nil || n < 1 {
-			return core.Parameters{}, core.MultiConfig{},
-				fmt.Errorf("%w: devices parameter must be a positive integer (got %q)",
-					core.ErrInvalidParameters, devicesQ)
+			return cfg, fmt.Errorf("%w: devices parameter must be a positive integer (got %q)",
+				core.ErrInvalidParameters, devicesQ)
 		}
 		cfg.Devices = n
 	}
 	if topologyQ != "" {
 		topo, err := api.ParseTopology(topologyQ)
 		if err != nil {
-			return core.Parameters{}, core.MultiConfig{},
-				fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
+			return cfg, fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
 		}
 		cfg.Topology = topo
+	}
+	return cfg, nil
+}
+
+// decodePredictRequest parses the body of POST /v1/predict — the JSON
+// worksheet form — plus the optional devices/topology query
+// parameters. Every failure wraps core.ErrInvalidParameters or
+// worksheet.ErrSyntax, so hostile bodies always map to 400, never to a
+// panic or 500 (pinned by FuzzDecodeWorksheetRequest).
+func decodePredictRequest(body []byte, devicesQ, topologyQ string) (core.Parameters, core.MultiConfig, error) {
+	p, err := wire.DecodeWorksheet(body)
+	if err != nil {
+		return core.Parameters{}, core.MultiConfig{}, err
+	}
+	cfg, err := multiConfigFromQuery(devicesQ, topologyQ)
+	if err != nil {
+		return core.Parameters{}, core.MultiConfig{}, err
 	}
 	return p, cfg, nil
 }
 
 // handlePredict serves POST /v1/predict: one worksheet in, one
 // prediction out — bit-for-bit what rat.Predict (or rat.PredictMulti
-// with ?devices=N) returns for the same worksheet. Each segment of the
-// pipeline records its latency: admission, cache, batch_wait, kernel
-// and encode (a cache hit records only the first two — nothing else
-// ran).
+// with ?devices=N) returns for the same worksheet. Either side of the
+// exchange may independently be JSON (the default) or the binary wire
+// format: Content-Type: application/x-rat-bin marks a binary request
+// body, Accept: application/x-rat-bin asks for a binary response.
+//
+// The whole path runs over pooled buffers through the hand-rolled
+// internal/wire codec: a steady-state cache hit performs zero
+// allocations, and a cache miss only pays the kernel plus the response
+// render. Per-stage clocks (admission, cache, batch_wait, kernel,
+// encode) are read only when the request carries a trace identity;
+// untraced requests skip all stage bookkeeping.
+//
+//rat:hotpath
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	t0 := time.Now()
-	release, ok := s.admPredict.admit(r.Context(), 1)
+	tr := traceOf(w)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	weight, ok := s.admPredict.admit(r.Context(), 1)
 	if !ok {
 		writeTooBusy(w, "/v1/predict")
 		return
 	}
-	defer release()
-	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	defer s.admPredict.release(weight)
+	if tr != nil {
+		s.stageTr(tr, obs.StageAdmission, time.Since(t0))
+	}
 	if err := r.Context().Err(); err != nil {
-		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
+		writeError(w, httpStatus(err), err) // admitted after disconnect: abandon, never execute late
 		return
 	}
 
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	q := r.URL.Query()
-	p, cfg, err := decodePredictRequest(body, q.Get("devices"), q.Get("topology"))
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	body, err := sc.readBody(r.Body, s.cfg.MaxBodyBytes)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
-
-	t0 = time.Now()
-	key := cacheKey(p, cfg)
-	cached, hit := s.cache.get(key)
-	s.stage(r.Context(), obs.StageCache, time.Since(t0))
-	if hit {
-		setStagesHeader(w, r)
-		writeJSONBytes(w, cached)
-		return
+	binReq := r.Header.Get("Content-Type") == wire.ContentTypeBinary
+	binResp := r.Header.Get("Accept") == wire.ContentTypeBinary
+	format := formatJSON
+	if binResp {
+		format = formatBinary
 	}
 
-	var out []byte
-	if cfg.Devices == 1 {
-		t0 = time.Now()
-		pr, kernelNs, err := s.batcher.predict(r.Context(), p)
-		wait := time.Since(t0) - time.Duration(kernelNs)
-		if wait < 0 {
-			wait = 0
+	// Steady-state fast path: a client replaying byte-identical request
+	// bytes is answered from the raw-alias index without decoding the
+	// worksheet at all.
+	if s.cache != nil {
+		if tr != nil {
+			t0 = time.Now()
 		}
-		s.stage(r.Context(), obs.StageBatchWait, wait)
-		s.stage(r.Context(), obs.StageKernel, time.Duration(kernelNs))
+		sc.raw = appendRawKey(sc.raw[:0], body, r.URL.RawQuery, binReq, format)
+		cached, hit := s.cache.getRaw(sc.raw)
+		if hit {
+			if tr != nil {
+				s.stageTr(tr, obs.StageCache, time.Since(t0))
+			}
+			setStagesHeaderTr(w, r, tr)
+			writeBody(w, cached, binResp)
+			return
+		}
+	}
+
+	var p core.Parameters
+	if binReq {
+		p, err = wire.DecodeBinaryWorksheet(body, sc.internFn)
+	} else {
+		p, err = wire.DecodeWorksheetIntern(body, sc.internFn)
+	}
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	cfg := core.MultiConfig{Devices: 1, Topology: core.SharedChannel}
+	if r.URL.RawQuery != "" { // Query() allocates; the common request has no query
+		q := r.URL.Query()
+		cfg, err = multiConfigFromQuery(q.Get("devices"), q.Get("topology"))
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			return
 		}
-		t0 = time.Now()
-		out, err = jsonMarshal(api.PredictionFromCore(pr))
-		s.stage(r.Context(), obs.StageEncode, time.Since(t0))
+	}
+
+	if s.cache != nil {
+		if tr != nil {
+			t0 = time.Now()
+		}
+		sc.key = appendCacheKey(sc.key[:0], &p, cfg, format)
+		cached, hit := s.cache.get(sc.key, sc.raw)
+		if tr != nil {
+			s.stageTr(tr, obs.StageCache, time.Since(t0))
+		}
+		if hit {
+			setStagesHeaderTr(w, r, tr)
+			writeBody(w, cached, binResp)
+			return
+		}
+	}
+
+	sc.out = sc.out[:0]
+	if cfg.Devices == 1 {
+		var pr core.Prediction
+		if s.batcher.coalescing() {
+			// Only the coalescing path can actually wait, so only it
+			// needs a deadline-carrying context.
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PredictTimeout)
+			if tr != nil {
+				t0 = time.Now()
+			}
+			var kernelNs int64
+			pr, kernelNs, err = s.batcher.predict(ctx, p)
+			cancel()
+			if tr != nil {
+				wait := time.Since(t0) - time.Duration(kernelNs)
+				if wait < 0 {
+					wait = 0
+				}
+				s.stageTr(tr, obs.StageBatchWait, wait)
+				s.stageTr(tr, obs.StageKernel, time.Duration(kernelNs))
+			}
+		} else {
+			if tr != nil {
+				t0 = time.Now()
+			}
+			pr, err = core.Predict(p)
+			if tr != nil {
+				s.stageTr(tr, obs.StageKernel, time.Since(t0))
+			}
+		}
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		if tr != nil {
+			t0 = time.Now()
+		}
+		apiPr := api.PredictionFromCore(pr)
+		if binResp {
+			sc.out = wire.AppendBinaryPrediction(sc.out, &apiPr)
+		} else {
+			sc.out, err = wire.AppendPrediction(sc.out, &apiPr)
+		}
+		if tr != nil {
+			s.stageTr(tr, obs.StageEncode, time.Since(t0))
+		}
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 	} else {
-		t0 = time.Now()
-		mp, err := core.PredictMulti(p, cfg)
-		s.stage(r.Context(), obs.StageKernel, time.Since(t0))
-		if err != nil {
-			writeError(w, httpStatus(err), err)
+		if tr != nil {
+			t0 = time.Now()
+		}
+		mp, merr := core.PredictMulti(p, cfg)
+		if tr != nil {
+			s.stageTr(tr, obs.StageKernel, time.Since(t0))
+		}
+		if merr != nil {
+			writeError(w, httpStatus(merr), merr)
 			return
 		}
-		t0 = time.Now()
-		out, err = jsonMarshal(api.MultiPredictionFromCore(mp))
-		s.stage(r.Context(), obs.StageEncode, time.Since(t0))
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+		if tr != nil {
+			t0 = time.Now()
+		}
+		apiMp := api.MultiPredictionFromCore(mp)
+		if binResp {
+			sc.out = wire.AppendBinaryMultiPrediction(sc.out, &apiMp)
+		} else {
+			sc.out, merr = wire.AppendMultiPrediction(sc.out, &apiMp)
+		}
+		if tr != nil {
+			s.stageTr(tr, obs.StageEncode, time.Since(t0))
+		}
+		if merr != nil {
+			writeError(w, http.StatusInternalServerError, merr)
 			return
 		}
 	}
-	if s.cacheFillAllowed() {
-		s.cache.put(key, out)
+	if s.cache != nil && s.cacheFillAllowed() {
+		s.cache.put(sc.key, sc.raw, sc.out)
 	}
-	setStagesHeader(w, r)
-	writeJSONBytes(w, out)
+	setStagesHeaderTr(w, r, tr)
+	writeBody(w, sc.out, binResp)
 }
 
 // batchSlabs pools the parameter/prediction slabs behind
@@ -157,21 +369,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // rather than allocating per request.
 var batchSlabs = sync.Pool{New: func() any { return &slab{} }}
 
-// handleBatch serves POST /v1/predict/batch: a JSON array of
-// worksheets fanned into one core.PredictBatch evaluation over a
-// pooled slab. Response element i is bit-for-bit rat.Predict of
-// worksheet i.
+// handleBatch serves POST /v1/predict/batch: an array of worksheets —
+// JSON by default, one binary frame with Content-Type:
+// application/x-rat-bin — fanned into one core.PredictBatch evaluation
+// over a pooled slab. Response element i is bit-for-bit rat.Predict of
+// worksheet i; Accept: application/x-rat-bin selects the binary
+// response frame, the cheap choice for bulk traffic.
+//
+//rat:hotpath
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	var docs []worksheet.Doc
-	if err := dec.Decode(&docs); err != nil {
-		err = fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	tr := traceOf(w)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	body, err := sc.readBody(r.Body, s.cfg.MaxBodyBytes)
+	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
-	if len(docs) == 0 {
+	sl := batchSlabs.Get().(*slab)
+	defer batchSlabs.Put(sl)
+	sl.ps = sl.ps[:0]
+	if r.Header.Get("Content-Type") == wire.ContentTypeBinary {
+		sl.ps, err = wire.DecodeBinaryWorksheetBatch(body, sl.ps, sc.internFn)
+	} else {
+		sl.ps, err = wire.DecodeWorksheetDocs(body, sl.ps, sc.internFn)
+	}
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if len(sl.ps) == 0 {
 		err := fmt.Errorf("%w: batch is empty", core.ErrInvalidParameters)
 		writeError(w, httpStatus(err), err)
 		return
@@ -179,8 +406,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// The tenancy layer charged 1 token before the body was readable;
 	// top up to 1 per worksheet now that the count is known.
-	if sw, ok := w.(*statusWriter); ok && sw.member != nil && len(docs) > 1 {
-		if ok, retry := sw.member.Bucket().Take(time.Now(), float64(len(docs)-1)); !ok {
+	if sw, ok := w.(*statusWriter); ok && sw.member != nil && len(sl.ps) > 1 {
+		if ok, retry := sw.member.Bucket().Take(time.Now(), float64(len(sl.ps)-1)); !ok {
 			sw.tstat.rejectQuota.Inc()
 			sw.quotaShed = true
 			writeQuotaExceeded(w, sw.member.Name, retry)
@@ -191,25 +418,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Weight admission by worksheet count: a 1000-worksheet batch
 	// holds proportionally more of the endpoint's capacity than a
 	// 2-worksheet one (clamped to the endpoint limit).
-	t0 := time.Now()
-	release, ok := s.admBatch.admit(r.Context(), int64(len(docs)))
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
+	weight, ok := s.admBatch.admit(r.Context(), int64(len(sl.ps)))
 	if !ok {
 		writeTooBusy(w, "/v1/predict/batch")
 		return
 	}
-	defer release()
-	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	defer s.admBatch.release(weight)
+	if tr != nil {
+		s.stageTr(tr, obs.StageAdmission, time.Since(t0))
+	}
 	if err := r.Context().Err(); err != nil {
 		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
 		return
 	}
 
-	sl := batchSlabs.Get().(*slab)
-	defer batchSlabs.Put(sl)
-	sl.ps = sl.ps[:0]
-	for _, doc := range docs {
-		sl.ps = append(sl.ps, doc.Params())
-	}
 	if cap(sl.out) < len(sl.ps) {
 		sl.out = make([]core.Prediction, len(sl.ps))
 	}
@@ -217,26 +443,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// PredictBatch validates every worksheet up front; the error names
 	// the offending index and wraps ErrInvalidParameters.
-	t0 = time.Now()
-	err := core.PredictBatch(sl.ps, sl.out)
-	s.stage(r.Context(), obs.StageKernel, time.Since(t0))
+	if tr != nil {
+		t0 = time.Now()
+	}
+	err = core.PredictBatch(sl.ps, sl.out)
+	if tr != nil {
+		s.stageTr(tr, obs.StageKernel, time.Since(t0))
+	}
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
-	t0 = time.Now()
-	resp := make([]api.Prediction, len(sl.out))
-	for i, pr := range sl.out {
-		resp[i] = api.PredictionFromCore(pr)
+	if tr != nil {
+		t0 = time.Now()
 	}
-	out, err := jsonMarshal(resp)
-	s.stage(r.Context(), obs.StageEncode, time.Since(t0))
+	binResp := r.Header.Get("Accept") == wire.ContentTypeBinary
+	sc.out = sc.out[:0]
+	if binResp {
+		sc.out = wire.AppendBinaryPredictions(sc.out, sl.out)
+	} else {
+		sc.out, err = wire.AppendPredictions(sc.out, sl.out)
+	}
+	if tr != nil {
+		s.stageTr(tr, obs.StageEncode, time.Since(t0))
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	setStagesHeader(w, r)
-	writeJSONBytes(w, out)
+	setStagesHeaderTr(w, r, tr)
+	writeBody(w, sc.out, binResp)
 }
 
 // handleExplore serves POST /v1/explore: a bounded grid search via
@@ -246,14 +482,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // top candidates, then frontier candidates when requested, then a
 // summary line.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(w)
 	t0 := time.Now()
-	release, ok := s.admExplore.admit(r.Context(), 1)
+	weight, ok := s.admExplore.admit(r.Context(), 1)
 	if !ok {
 		writeTooBusy(w, "/v1/explore")
 		return
 	}
-	defer release()
-	s.stage(r.Context(), obs.StageAdmission, time.Since(t0))
+	defer s.admExplore.release(weight)
+	if tr != nil {
+		s.stageTr(tr, obs.StageAdmission, time.Since(t0))
+	}
 	if err := r.Context().Err(); err != nil {
 		writeError(w, httpStatus(err), err) // admitted after the deadline: abandon, never execute late
 		return
@@ -327,28 +566,32 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	// The engine measures its own elapsed time; that is the kernel
 	// stage of an exploration request.
-	s.stage(r.Context(), obs.StageKernel, res.Elapsed)
+	if tr != nil {
+		s.stageTr(tr, obs.StageKernel, res.Elapsed)
+	}
 
 	if stream {
-		s.writeExploreJSONL(w, r, res, req.Frontier, wantSpans)
+		s.writeExploreJSONL(w, r, tr, res, req.Frontier, wantSpans)
 		return
 	}
 	t0 = time.Now()
 	out, err := jsonMarshal(api.ExploreResponseFromCore(res, req.Frontier))
-	s.stage(r.Context(), obs.StageEncode, time.Since(t0))
+	if tr != nil {
+		s.stageTr(tr, obs.StageEncode, time.Since(t0))
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	setStagesHeader(w, r)
+	setStagesHeaderTr(w, r, tr)
 	writeJSONBytes(w, out)
 }
 
 // writeExploreJSONL streams an exploration result as JSONL. Span lines
 // (per-shard engine timing) are emitted only when asked for — older
 // consumers treat unknown line kinds as an error.
-func (s *Server) writeExploreJSONL(w http.ResponseWriter, r *http.Request, res explore.Result, frontier, spans bool) {
-	setStagesHeader(w, r)
+func (s *Server) writeExploreJSONL(w http.ResponseWriter, r *http.Request, tr *obs.Trace, res explore.Result, frontier, spans bool) {
+	setStagesHeaderTr(w, r, tr)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	emit := func(line api.ExploreLine) bool { return enc.Encode(line) == nil }
@@ -436,9 +679,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// writeJSONBytes answers 200 with a pre-marshalled JSON body.
-func writeJSONBytes(w http.ResponseWriter, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+// newline terminates JSON response bodies, kept as a package var so
+// the write does not allocate.
+var newline = []byte("\n")
+
+// writeBody answers 200 with a pre-rendered response body in the
+// negotiated wire format. The Content-Type set is skipped when the
+// header is already present — on a reused recorder that makes the
+// cached-hit write allocation-free, and setting the same value twice
+// is a no-op anyway. JSON bodies keep their historical trailing
+// newline; binary frames are written verbatim.
+//
+//rat:hotpath
+func writeBody(w http.ResponseWriter, body []byte, binary bool) {
+	h := w.Header()
+	if _, ok := h["Content-Type"]; !ok {
+		if binary {
+			h["Content-Type"] = contentTypeBinaryValue
+		} else {
+			h["Content-Type"] = contentTypeJSONValue
+		}
+	}
 	w.Write(body)
-	w.Write([]byte("\n"))
+	if !binary {
+		w.Write(newline)
+	}
 }
+
+// Pre-built header values: assigning a shared slice avoids the
+// per-request []string{v} allocation http.Header.Set performs.
+var (
+	contentTypeJSONValue   = []string{"application/json"}
+	contentTypeBinaryValue = []string{wire.ContentTypeBinary}
+)
+
+// writeJSONBytes answers 200 with a pre-marshalled JSON body.
+func writeJSONBytes(w http.ResponseWriter, body []byte) { writeBody(w, body, false) }

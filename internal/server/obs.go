@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -107,26 +106,36 @@ func (m *redMetrics) observe(ep endpointClass, code int, elapsed time.Duration) 
 	c.Inc()
 }
 
-// stage records one pipeline-stage latency into the server-wide
-// histograms and, when the request is traced, into its Trace. Both
-// sides are allocation-free.
-func (s *Server) stage(ctx context.Context, st obs.Stage, d time.Duration) {
-	s.stages.Observe(st, d)
-	if tr := obs.From(ctx); tr != nil {
-		tr.Add(st, d)
+// traceOf returns the request's Trace when it has an identity (an
+// incoming X-Rat-Trace, or one minted for logging), else nil. Handlers
+// gate ALL per-stage bookkeeping — the time.Now() reads included — on
+// the returned pointer, so an untraced request pays zero clock reads
+// between admission and encode.
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if sw, ok := w.(*statusWriter); ok && sw.tr.Valid() {
+		return &sw.tr
 	}
+	return nil
 }
 
-// setStagesHeader answers the opt-in X-Rat-Stages request header with
-// the per-stage breakdown accumulated so far. Callers invoke it after
-// the last stage is recorded and before the body is written.
-func setStagesHeader(w http.ResponseWriter, r *http.Request) {
-	if r.Header.Get(obs.StagesHeader) == "" {
+// stageTr records one pipeline-stage latency into the server-wide
+// histograms and the request's Trace. Callers only invoke it with a
+// non-nil Trace (see traceOf), so rat_stage_seconds samples traced
+// requests — every request when access logging is on, since logging
+// mints an identity.
+func (s *Server) stageTr(tr *obs.Trace, st obs.Stage, d time.Duration) {
+	s.stages.Observe(st, d)
+	tr.Add(st, d)
+}
+
+// setStagesHeaderTr answers the opt-in X-Rat-Stages request header
+// with the per-stage breakdown accumulated so far. Callers invoke it
+// after the last stage is recorded and before the body is written.
+func setStagesHeaderTr(w http.ResponseWriter, r *http.Request, tr *obs.Trace) {
+	if tr == nil || r.Header.Get(obs.StagesHeader) == "" {
 		return
 	}
-	if tr := obs.From(r.Context()); tr != nil {
-		w.Header().Set(obs.StagesHeader, tr.StagesValue())
-	}
+	w.Header().Set(obs.StagesHeader, tr.StagesValue())
 }
 
 // handleStatus serves GET /v1/status: the live operational snapshot

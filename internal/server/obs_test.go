@@ -217,13 +217,18 @@ func TestMetricsPromConformance(t *testing.T) {
 }
 
 // TestStatusEndpoint checks the /v1/status snapshot after known
-// traffic: request counts, cache ratio, stage counts.
+// traffic: request counts, cache ratio, stage counts. The requests
+// carry a trace header because stage bookkeeping only runs for traced
+// requests (untraced ones skip the clock reads entirely).
 func TestStatusEndpoint(t *testing.T) {
 	srv := New(Config{MaxBatch: 1})
 	h := srv.Handler()
+	hdr := obs.FormatTraceHeader(obs.NewTraceID(), obs.NewSpanID())
 	for i := 0; i < 4; i++ { // 1 miss + 3 hits
 		rec := httptest.NewRecorder()
-		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t))))
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(predictBody(t)))
+		req.Header.Set(obs.TraceHeader, hdr)
+		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("predict status %d", rec.Code)
 		}

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -223,7 +224,11 @@ func New(cfg Config) *Server {
 			s.batcher.lingerScale.Store(brownoutLingerScale[level])
 		})
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", s.withTimeout(cfg.PredictTimeout, s.handlePredict))
+	// handlePredict is registered bare: the interactive path finishes in
+	// microseconds, so it manages its own deadline (a context is built
+	// only when a request actually coalesces into the batcher) instead
+	// of paying WithTimeout's allocations on every call.
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.withTimeout(cfg.PredictTimeout, s.handleBatch))
 	mux.HandleFunc("POST /v1/explore", s.withTimeout(cfg.ExploreTimeout, s.handleExplore))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -269,8 +274,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // statusWriter captures the status code and byte count for logging,
 // and owns the request's Trace. Embedding the Trace by value here puts
-// the whole per-request observability record inside an allocation the
-// server already makes, so tracing adds no allocation of its own.
+// the whole per-request observability record inside one pooled
+// allocation, so tracing adds no allocation of its own. Writers are
+// recycled through swPool — nothing may retain one past the
+// middleware's deferred epilogue.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -311,6 +318,10 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// swPool recycles statusWriters; the reset in middleware clears every
+// field, so a pooled writer carries nothing across requests.
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
 // middleware wraps the mux with panic recovery, request metrics, trace
 // ingress/echo and structured access logging.
 func (s *Server) middleware(next http.Handler) http.Handler {
@@ -321,7 +332,8 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		s.requests.Inc()
 		ep := classifyPath(r.URL.Path)
 		s.red.inflight.Add(1)
-		sw := &statusWriter{ResponseWriter: w}
+		sw := swPool.Get().(*statusWriter)
+		*sw = statusWriter{ResponseWriter: w}
 		// Trace ingress: accept a well-formed X-Rat-Trace and echo the
 		// incoming value back verbatim (the caller's round-trip proof).
 		// Without one, mint an identity only when a log will carry it —
@@ -387,6 +399,7 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 					slog.String("stages_ns", sw.tr.StagesValue()),
 				)
 			}
+			swPool.Put(sw)
 		}()
 		if s.tenancy != nil && ep < epMeta {
 			if !s.tenancy.admit(sw, r, ep, start) {
@@ -398,17 +411,12 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 }
 
 // withTimeout propagates a server-enforced deadline through the
-// request context, and carries the request's Trace alongside it so
-// every stage downstream can record into it. The trace injection is
-// the traced path's single extra context allocation; untraced
-// requests skip it.
+// request context. Handlers reach the request's Trace through the
+// statusWriter (see traceOf), so no context injection is needed.
 func (s *Server) withTimeout(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
-		if sw, ok := w.(*statusWriter); ok && sw.tr.Valid() {
-			ctx = obs.With(ctx, &sw.tr)
-		}
 		h(w, r.WithContext(ctx))
 	}
 }

@@ -1,0 +1,449 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// Binary wire format (application/x-rat-bin), negotiated per request
+// via Content-Type (request body) and Accept (response body). Frames
+// are little-endian and fixed-shape — no tokenizing, no escaping —
+// which makes them the cheap choice for bulk batch traffic:
+//
+//	"RATB" | version (1 byte, currently 1) | kind (1 byte) | payload
+//
+// Worksheet payloads carry the wire units of the JSON form (MB/s,
+// MHz), so a binary request canonicalizes through the exact same
+// Doc.Params() conversion as a JSON one and the two paths feed
+// bit-identical core.Parameters to the kernel. See docs/SERVER.md.
+const (
+	// ContentTypeBinary is the media type of the binary wire format.
+	ContentTypeBinary = "application/x-rat-bin"
+
+	binMagic   = "RATB"
+	binVersion = 1
+
+	// Frame kinds.
+	binKindWorksheet       = 0x01
+	binKindWorksheetBatch  = 0x02
+	binKindPrediction      = 0x11
+	binKindPredictionBatch = 0x12
+	binKindMultiPrediction = 0x13
+
+	binHeaderLen = 6
+
+	// One worksheet payload: u32 name length + 11 fixed 8-byte fields.
+	binWorksheetFixed = 4 + 11*8
+	binPredictionTail = 12 * 8
+	binMultiTail      = 7 * 8
+)
+
+// errShortFrame reports a frame that ends before its payload does.
+var errShortFrame = fmt.Errorf("truncated binary frame")
+
+func appendBinHeader(dst []byte, kind byte) []byte {
+	dst = append(dst, binMagic...)
+	return append(dst, binVersion, kind)
+}
+
+// checkBinHeader validates the magic/version/kind prefix and returns
+// the payload that follows it.
+func checkBinHeader(data []byte, kind byte) ([]byte, error) {
+	if len(data) < binHeaderLen {
+		return nil, errShortFrame
+	}
+	if string(data[:4]) != binMagic {
+		return nil, fmt.Errorf("not a %s frame (bad magic)", ContentTypeBinary)
+	}
+	if data[4] != binVersion {
+		return nil, fmt.Errorf("unsupported binary wire version %d (want %d)", data[4], binVersion)
+	}
+	if data[5] != kind {
+		return nil, fmt.Errorf("unexpected binary frame kind 0x%02x (want 0x%02x)", data[5], kind)
+	}
+	return data[binHeaderLen:], nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+type binReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *binReader) u32() (uint32, error) {
+	if len(r.data)-r.pos < 4 {
+		return 0, errShortFrame
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	if len(r.data)-r.pos < 8 {
+		return 0, errShortFrame
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *binReader) i64() (int64, error) {
+	if len(r.data)-r.pos < 8 {
+		return 0, errShortFrame
+	}
+	v := int64(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *binReader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.data)-r.pos < n {
+		return nil, errShortFrame
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// done errors unless the whole frame has been consumed; trailing bytes
+// in a binary frame are a protocol error (unlike trailing JSON after a
+// top-level object, which json.Decoder ignores).
+func (r *binReader) done() error {
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%d trailing bytes after binary frame", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// appendDocPayload appends the fixed worksheet payload in wire units.
+func appendDocPayload(dst []byte, d *worksheet.Doc) []byte {
+	dst = appendU32(dst, uint32(len(d.Name)))
+	dst = append(dst, d.Name...)
+	dst = appendI64(dst, d.Dataset.ElementsIn)
+	dst = appendI64(dst, d.Dataset.ElementsOut)
+	dst = appendF64(dst, d.Dataset.BytesPerElement)
+	dst = appendF64(dst, d.Comm.IdealThroughputMBps)
+	dst = appendF64(dst, d.Comm.AlphaWrite)
+	dst = appendF64(dst, d.Comm.AlphaRead)
+	dst = appendF64(dst, d.Comp.OpsPerElement)
+	dst = appendF64(dst, d.Comp.ThroughputProc)
+	dst = appendF64(dst, d.Comp.ClockMHz)
+	dst = appendF64(dst, d.Soft.TSoftSeconds)
+	return appendI64(dst, d.Soft.Iterations)
+}
+
+func (r *binReader) docPayload(d *worksheet.Doc, intern func([]byte) string) error {
+	nameLen, err := r.u32()
+	if err != nil {
+		return err
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return err
+	}
+	if len(name) > 0 {
+		if intern != nil {
+			d.Name = intern(name)
+		} else {
+			d.Name = string(name)
+		}
+	}
+	if d.Dataset.ElementsIn, err = r.i64(); err != nil {
+		return err
+	}
+	if d.Dataset.ElementsOut, err = r.i64(); err != nil {
+		return err
+	}
+	if d.Dataset.BytesPerElement, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comm.IdealThroughputMBps, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comm.AlphaWrite, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comm.AlphaRead, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comp.OpsPerElement, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comp.ThroughputProc, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Comp.ClockMHz, err = r.f64(); err != nil {
+		return err
+	}
+	if d.Soft.TSoftSeconds, err = r.f64(); err != nil {
+		return err
+	}
+	d.Soft.Iterations, err = r.i64()
+	return err
+}
+
+// AppendBinaryWorksheet appends one worksheet request frame.
+func AppendBinaryWorksheet(dst []byte, p core.Parameters) []byte {
+	dst = appendBinHeader(dst, binKindWorksheet)
+	d := worksheet.DocFromParams(p)
+	return appendDocPayload(dst, &d)
+}
+
+// DecodeBinaryWorksheet parses and validates one worksheet request
+// frame: the binary counterpart of DecodeWorksheetIntern. Framing
+// errors wrap worksheet.ErrSyntax, validation errors
+// core.ErrInvalidParameters — the same error classes as the JSON path,
+// so the server maps both formats to HTTP statuses identically.
+//
+//rat:hotpath
+func DecodeBinaryWorksheet(data []byte, intern func([]byte) string) (core.Parameters, error) {
+	payload, err := checkBinHeader(data, binKindWorksheet)
+	if err != nil {
+		return core.Parameters{}, fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	}
+	r := binReader{data: payload}
+	var doc worksheet.Doc
+	err = r.docPayload(&doc, intern)
+	if err == nil {
+		err = r.done()
+	}
+	if err != nil {
+		return core.Parameters{}, fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	}
+	p := doc.Params()
+	if err := p.Validate(); err != nil {
+		return core.Parameters{}, err
+	}
+	return p, nil
+}
+
+// AppendBinaryWorksheets appends a worksheet batch request frame.
+func AppendBinaryWorksheets(dst []byte, ps []core.Parameters) []byte {
+	dst = appendBinHeader(dst, binKindWorksheetBatch)
+	dst = appendU32(dst, uint32(len(ps)))
+	for i := range ps {
+		d := worksheet.DocFromParams(ps[i])
+		dst = appendDocPayload(dst, &d)
+	}
+	return dst
+}
+
+// DecodeBinaryWorksheetBatch parses a worksheet batch request frame
+// into unvalidated core.Parameters (validation is deferred to
+// core.PredictBatch, exactly like the JSON batch path). Errors wrap
+// worksheet.ErrSyntax.
+//
+//rat:hotpath
+func DecodeBinaryWorksheetBatch(data []byte, params []core.Parameters, intern func([]byte) string) ([]core.Parameters, error) {
+	payload, err := checkBinHeader(data, binKindWorksheetBatch)
+	if err != nil {
+		return params, fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	}
+	r := binReader{data: payload}
+	count, err := r.u32()
+	if err != nil {
+		return params, fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	}
+	// A worksheet payload is at least binWorksheetFixed bytes, so a
+	// count the remaining bytes cannot hold is a malformed frame — the
+	// check stops a hostile header from forcing a huge allocation.
+	if int64(count)*binWorksheetFixed > int64(len(payload)-4) {
+		return params, fmt.Errorf("%w: frame too short for %d worksheets", worksheet.ErrSyntax, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		var doc worksheet.Doc
+		if err := r.docPayload(&doc, intern); err != nil {
+			return params, fmt.Errorf("%w: worksheet %d: %v", worksheet.ErrSyntax, i, err)
+		}
+		params = append(params, doc.Params())
+	}
+	if err := r.done(); err != nil {
+		return params, fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+	}
+	return params, nil
+}
+
+// AppendBinaryPrediction appends one prediction response frame. The
+// payload is the request worksheet followed by the twelve throughput
+// test outputs in api.Prediction field order.
+//
+//rat:hotpath
+func AppendBinaryPrediction(dst []byte, p *api.Prediction) []byte {
+	dst = appendBinHeader(dst, binKindPrediction)
+	return appendBinPredictionPayload(dst, p)
+}
+
+func appendBinPredictionPayload(dst []byte, p *api.Prediction) []byte {
+	dst = appendDocPayload(dst, &p.Worksheet)
+	dst = appendF64(dst, p.TWriteSeconds)
+	dst = appendF64(dst, p.TReadSeconds)
+	dst = appendF64(dst, p.TCommSeconds)
+	dst = appendF64(dst, p.TCompSeconds)
+	dst = appendF64(dst, p.TRCSingleSeconds)
+	dst = appendF64(dst, p.TRCDoubleSeconds)
+	dst = appendF64(dst, p.SpeedupSingle)
+	dst = appendF64(dst, p.SpeedupDouble)
+	dst = appendF64(dst, p.UtilCompSingle)
+	dst = appendF64(dst, p.UtilCommSingle)
+	dst = appendF64(dst, p.UtilCompDouble)
+	return appendF64(dst, p.UtilCommDouble)
+}
+
+func (r *binReader) predictionPayload(p *api.Prediction) error {
+	if err := r.docPayload(&p.Worksheet, nil); err != nil {
+		return err
+	}
+	fields := [...]*float64{
+		&p.TWriteSeconds, &p.TReadSeconds, &p.TCommSeconds, &p.TCompSeconds,
+		&p.TRCSingleSeconds, &p.TRCDoubleSeconds, &p.SpeedupSingle, &p.SpeedupDouble,
+		&p.UtilCompSingle, &p.UtilCommSingle, &p.UtilCompDouble, &p.UtilCommDouble,
+	}
+	for _, f := range fields {
+		v, err := r.f64()
+		if err != nil {
+			return err
+		}
+		*f = v
+	}
+	return nil
+}
+
+// DecodeBinaryPrediction parses one prediction response frame.
+func DecodeBinaryPrediction(data []byte) (api.Prediction, error) {
+	payload, err := checkBinHeader(data, binKindPrediction)
+	if err != nil {
+		return api.Prediction{}, err
+	}
+	r := binReader{data: payload}
+	var p api.Prediction
+	if err := r.predictionPayload(&p); err != nil {
+		return api.Prediction{}, err
+	}
+	if err := r.done(); err != nil {
+		return api.Prediction{}, err
+	}
+	return p, nil
+}
+
+// AppendBinaryPredictions appends a prediction batch response frame.
+//
+//rat:hotpath
+func AppendBinaryPredictions(dst []byte, prs []core.Prediction) []byte {
+	dst = appendBinHeader(dst, binKindPredictionBatch)
+	dst = appendU32(dst, uint32(len(prs)))
+	for i := range prs {
+		p := api.PredictionFromCore(prs[i])
+		dst = appendBinPredictionPayload(dst, &p)
+	}
+	return dst
+}
+
+// DecodeBinaryPredictions parses a prediction batch response frame.
+func DecodeBinaryPredictions(data []byte) ([]api.Prediction, error) {
+	payload, err := checkBinHeader(data, binKindPredictionBatch)
+	if err != nil {
+		return nil, err
+	}
+	r := binReader{data: payload}
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(count)*(binWorksheetFixed+binPredictionTail) > int64(len(payload)-4) {
+		return nil, fmt.Errorf("frame too short for %d predictions", count)
+	}
+	prs := make([]api.Prediction, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var p api.Prediction
+		if err := r.predictionPayload(&p); err != nil {
+			return nil, fmt.Errorf("prediction %d: %w", i, err)
+		}
+		prs = append(prs, p)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return prs, nil
+}
+
+// AppendBinaryMultiPrediction appends a multi-FPGA prediction response
+// frame: u32 devices + topology byte + the single-device prediction
+// payload + the seven multi-device outputs.
+//
+//rat:hotpath
+func AppendBinaryMultiPrediction(dst []byte, mp *api.MultiPrediction) []byte {
+	dst = appendBinHeader(dst, binKindMultiPrediction)
+	dst = appendU32(dst, uint32(mp.Devices))
+	topo, _ := api.ParseTopology(mp.Topology)
+	dst = append(dst, byte(topo))
+	dst = appendBinPredictionPayload(dst, &mp.Single)
+	dst = appendF64(dst, mp.TCommSeconds)
+	dst = appendF64(dst, mp.TCompSeconds)
+	dst = appendF64(dst, mp.TRCSingleSeconds)
+	dst = appendF64(dst, mp.TRCDoubleSeconds)
+	dst = appendF64(dst, mp.SpeedupSingle)
+	dst = appendF64(dst, mp.SpeedupDouble)
+	return appendF64(dst, mp.ScalingEfficiency)
+}
+
+// DecodeBinaryMultiPrediction parses a multi-FPGA prediction response
+// frame.
+func DecodeBinaryMultiPrediction(data []byte) (api.MultiPrediction, error) {
+	payload, err := checkBinHeader(data, binKindMultiPrediction)
+	if err != nil {
+		return api.MultiPrediction{}, err
+	}
+	r := binReader{data: payload}
+	var mp api.MultiPrediction
+	devices, err := r.u32()
+	if err != nil {
+		return api.MultiPrediction{}, err
+	}
+	mp.Devices = int(devices)
+	topoByte, err := r.bytes(1)
+	if err != nil {
+		return api.MultiPrediction{}, err
+	}
+	switch core.Topology(topoByte[0]) {
+	case core.SharedChannel, core.IndependentChannels:
+		mp.Topology = core.Topology(topoByte[0]).String()
+	default:
+		return api.MultiPrediction{}, fmt.Errorf("unknown topology byte 0x%02x", topoByte[0])
+	}
+	if err := r.predictionPayload(&mp.Single); err != nil {
+		return api.MultiPrediction{}, err
+	}
+	fields := [...]*float64{
+		&mp.TCommSeconds, &mp.TCompSeconds, &mp.TRCSingleSeconds,
+		&mp.TRCDoubleSeconds, &mp.SpeedupSingle, &mp.SpeedupDouble,
+		&mp.ScalingEfficiency,
+	}
+	for _, f := range fields {
+		v, err := r.f64()
+		if err != nil {
+			return api.MultiPrediction{}, err
+		}
+		*f = v
+	}
+	if err := r.done(); err != nil {
+		return api.MultiPrediction{}, err
+	}
+	return mp, nil
+}

@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func TestBinaryWorksheetRoundTrip(t *testing.T) {
+	for _, p := range caseStudies() {
+		frame := AppendBinaryWorksheet(nil, p)
+		got, err := DecodeBinaryWorksheet(frame, nil)
+		if err != nil {
+			t.Fatalf("decode %q: %v", p.Name, err)
+		}
+		if got != p {
+			t.Fatalf("binary round trip changed %q:\n  in:  %+v\n  out: %+v", p.Name, p, got)
+		}
+	}
+}
+
+// TestBinaryJSONSameParameters pins the cross-format invariant the
+// server relies on: a worksheet sent as JSON and the same worksheet
+// sent as a binary frame decode to identical core.Parameters, so both
+// paths feed bit-identical inputs to the kernel.
+func TestBinaryJSONSameParameters(t *testing.T) {
+	for _, p := range caseStudies() {
+		fromJSON, err := DecodeWorksheet(marshalWorksheetJSON(t, p))
+		if err != nil {
+			t.Fatalf("json decode: %v", err)
+		}
+		fromBin, err := DecodeBinaryWorksheet(AppendBinaryWorksheet(nil, p), nil)
+		if err != nil {
+			t.Fatalf("binary decode: %v", err)
+		}
+		if fromJSON != fromBin {
+			t.Fatalf("formats disagree for %q:\n  json:   %+v\n  binary: %+v", p.Name, fromJSON, fromBin)
+		}
+	}
+}
+
+func TestBinaryWorksheetBatchRoundTrip(t *testing.T) {
+	ps := caseStudies()
+	frame := AppendBinaryWorksheets(nil, ps)
+	got, err := DecodeBinaryWorksheetBatch(frame, nil, nil)
+	if err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("count mismatch: %d != %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("element %d changed:\n  in:  %+v\n  out: %+v", i, ps[i], got[i])
+		}
+	}
+
+	empty, err := DecodeBinaryWorksheetBatch(AppendBinaryWorksheets(nil, nil), nil, nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v / %d elements", err, len(empty))
+	}
+}
+
+func TestBinaryPredictionRoundTrip(t *testing.T) {
+	for _, p := range caseStudies() {
+		pr, err := core.Predict(p)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		w := api.PredictionFromCore(pr)
+		got, err := DecodeBinaryPrediction(AppendBinaryPrediction(nil, &w))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != w {
+			t.Fatalf("prediction round trip changed %q:\n  in:  %+v\n  out: %+v", p.Name, w, got)
+		}
+	}
+}
+
+func TestBinaryPredictionBatchRoundTrip(t *testing.T) {
+	ps := caseStudies()
+	prs := make([]core.Prediction, len(ps))
+	for i, p := range ps {
+		pr, err := core.Predict(p)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		prs[i] = pr
+	}
+	got, err := DecodeBinaryPredictions(AppendBinaryPredictions(nil, prs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(prs) {
+		t.Fatalf("count mismatch: %d != %d", len(got), len(prs))
+	}
+	for i := range prs {
+		if got[i] != api.PredictionFromCore(prs[i]) {
+			t.Fatalf("element %d changed", i)
+		}
+	}
+}
+
+func TestBinaryMultiPredictionRoundTrip(t *testing.T) {
+	for _, topo := range []core.Topology{core.SharedChannel, core.IndependentChannels} {
+		mp, err := core.PredictMulti(paper.MDParams(), core.MultiConfig{Devices: 8, Topology: topo})
+		if err != nil {
+			t.Fatalf("predict multi: %v", err)
+		}
+		w := api.MultiPredictionFromCore(mp)
+		got, err := DecodeBinaryMultiPrediction(AppendBinaryMultiPrediction(nil, &w))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != w {
+			t.Fatalf("multi round trip changed (%v):\n  in:  %+v\n  out: %+v", topo, w, got)
+		}
+	}
+}
+
+func TestBinaryWorksheetRejectsMalformedFrames(t *testing.T) {
+	valid := AppendBinaryWorksheet(nil, paper.PDF1DParams())
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short header":    valid[:3],
+		"bad magic":       append([]byte("XATB"), valid[4:]...),
+		"bad version":     append([]byte("RATB\x02"), valid[5:]...),
+		"wrong kind":      append([]byte("RATB\x01\x11"), valid[6:]...),
+		"truncated":       valid[:len(valid)-1],
+		"header only":     valid[:binHeaderLen],
+		"trailing":        append(append([]byte{}, valid...), 0),
+		"huge name":       append([]byte("RATB\x01\x01\xff\xff\xff\xff"), valid[10:]...),
+		"batch as single": AppendBinaryWorksheets(nil, []core.Parameters{paper.PDF1DParams()}),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeBinaryWorksheet(frame, nil); err == nil {
+			t.Errorf("%s: decode accepted a malformed frame", name)
+		} else if !errors.Is(err, worksheet.ErrSyntax) {
+			t.Errorf("%s: error %v does not wrap worksheet.ErrSyntax", name, err)
+		}
+	}
+}
+
+func TestBinaryWorksheetBatchRejectsHostileCount(t *testing.T) {
+	// A frame claiming 2^31 worksheets with no payload must be
+	// rejected before any allocation is attempted.
+	frame := append([]byte("RATB\x01\x02"), 0, 0, 0, 0x80)
+	if _, err := DecodeBinaryWorksheetBatch(frame, nil, nil); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	if _, err := DecodeBinaryPredictions(append([]byte("RATB\x01\x12"), 0xff, 0xff, 0xff, 0xff)); err == nil {
+		t.Fatal("hostile prediction count accepted")
+	}
+}
+
+func TestBinaryWorksheetValidates(t *testing.T) {
+	p := paper.PDF1DParams()
+	p.Dataset.ElementsIn = -1
+	frame := AppendBinaryWorksheet(nil, p)
+	_, err := DecodeBinaryWorksheet(frame, nil)
+	if err == nil {
+		t.Fatal("invalid worksheet accepted")
+	}
+	if errors.Is(err, worksheet.ErrSyntax) {
+		t.Fatalf("validation failure misclassified as syntax: %v", err)
+	}
+}
+
+func TestBinaryMultiPredictionRejectsUnknownTopology(t *testing.T) {
+	mp := api.MultiPredictionFromCore(core.MultiPrediction{
+		Config: core.MultiConfig{Devices: 2, Topology: core.SharedChannel},
+	})
+	frame := AppendBinaryMultiPrediction(nil, &mp)
+	frame[binHeaderLen+4] = 7 // the topology byte follows u32 devices
+	if _, err := DecodeBinaryMultiPrediction(frame); err == nil {
+		t.Fatal("unknown topology byte accepted")
+	}
+}
+
+func TestBinaryFrameSizes(t *testing.T) {
+	p := paper.PDF1DParams()
+	frame := AppendBinaryWorksheet(nil, p)
+	want := binHeaderLen + binWorksheetFixed + len(p.Name)
+	if len(frame) != want {
+		t.Fatalf("worksheet frame is %d bytes, want %d", len(frame), want)
+	}
+	if !bytes.HasPrefix(frame, []byte("RATB\x01\x01")) {
+		t.Fatalf("bad frame prefix % x", frame[:6])
+	}
+}

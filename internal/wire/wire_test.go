@@ -1,0 +1,322 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// caseStudies returns the paper's three validation worksheets.
+func caseStudies() []core.Parameters {
+	return []core.Parameters{paper.PDF1DParams(), paper.PDF2DParams(), paper.MDParams()}
+}
+
+// marshalWorksheetJSON renders p's worksheet document via
+// encoding/json, the reference the hand-rolled decoder must accept.
+func marshalWorksheetJSON(t *testing.T, p core.Parameters) []byte {
+	t.Helper()
+	b, err := json.Marshal(worksheet.DocFromParams(p))
+	if err != nil {
+		t.Fatalf("marshal worksheet: %v", err)
+	}
+	return b
+}
+
+// assertDecodeParity decodes body with both decoders and requires
+// identical accept/reject outcomes, identical error classes, and (on
+// accept) identical parameters.
+func assertDecodeParity(t *testing.T, body []byte) {
+	t.Helper()
+	want, wantErr := worksheet.DecodeJSON(bytes.NewReader(body))
+	got, gotErr := DecodeWorksheet(body)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("accept/reject mismatch on %q:\n  encoding/json: %v\n  wire:          %v", body, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if errors.Is(wantErr, worksheet.ErrSyntax) != errors.Is(gotErr, worksheet.ErrSyntax) {
+			t.Fatalf("error class mismatch on %q:\n  encoding/json: %v\n  wire:          %v", body, wantErr, gotErr)
+		}
+		return
+	}
+	if got != want {
+		t.Fatalf("parameters mismatch on %q:\n  encoding/json: %+v\n  wire:          %+v", body, want, got)
+	}
+}
+
+func TestDecodeParityCaseStudies(t *testing.T) {
+	for _, p := range caseStudies() {
+		assertDecodeParity(t, marshalWorksheetJSON(t, p))
+	}
+}
+
+func TestDecodeParityAdversarial(t *testing.T) {
+	valid := string(marshalWorksheetJSON(t, paper.PDF1DParams()))
+	bodies := []string{
+		// Whitespace, key order, case folding.
+		"  \t\r\n" + valid + "  \n",
+		strings.ToUpper(valid[:1]) + valid[1:],
+		`{"NAME":"x","dataset":{"elements_in":512,"elements_out":1,"bytes_per_element":4},"communication":{"IDEAL_THROUGHPUT_MBPS":1000,"alpha_write":0.37,"alpha_read":0.16},"computation":{"ops_per_element":768,"throughput_proc":20,"clock_mhz":150},"software":{"tsoft_seconds":0.578,"iterations":400}}`,
+		// U+212A KELVIN SIGN folds to 'k' (cloc\u212A_mhz ~ clock_mhz);
+		// U+017F LATIN SMALL LETTER LONG S folds to 's'.
+		`{"dataset":{"element\u017F_in":512},"communication":{},"computation":{"cloc` + "\u212a" + `_mhz":150},"software":{}}`,
+		// Escaped key that still names a field.
+		`{"\u006eame":"escaped key","dataset":{"elements_in":512,"elements_out":1,"bytes_per_element":4},"communication":{"ideal_throughput_mbps":1000,"alpha_write":0.37,"alpha_read":0.16},"computation":{"ops_per_element":768,"throughput_proc":20,"clock_mhz":150},"software":{"tsoft_seconds":0.578,"iterations":400}}`,
+		// Duplicate keys merge, later values win field-wise.
+		`{"dataset":{"elements_in":1,"elements_out":1,"bytes_per_element":4},"dataset":{"elements_in":512},"communication":{"ideal_throughput_mbps":1000,"alpha_write":0.37,"alpha_read":0.16},"computation":{"ops_per_element":768,"throughput_proc":20,"clock_mhz":150},"software":{"tsoft_seconds":0.578,"iterations":400}}`,
+		// Nulls at every level.
+		`null`, `null `, `nullx`, `{"name":null,"dataset":null,"communication":null,"computation":null,"software":null}`,
+		// Trailing data: ignored after an object, an error after null.
+		valid + "x", valid + `{"again":true}`, `{} trailing is fine`,
+		// Structure errors.
+		``, `[`, `[]`, `{`, `{}`, `{,}`, `{"dataset":{,}}`, `true`, `42`, `"str"`,
+		`{"dataset":[1,2]}`, `{"name":{}}`, `{"name":["x"]}`,
+		`{"dataset":{"elements_in":512,}}`, `{"dataset" {"elements_in":512}}`,
+		// Unknown fields at top and nested levels.
+		`{"datasets":{}}`, `{"dataset":{"element_count":512}}`, `{"x":1}`,
+		// Numbers: limits, grammar edges, type mismatches.
+		`{"dataset":{"elements_in":9223372036854775807}}`,
+		`{"dataset":{"elements_in":9223372036854775808}}`,
+		`{"dataset":{"elements_in":-9223372036854775808}}`,
+		`{"dataset":{"elements_in":1.0}}`, `{"dataset":{"elements_in":1e2}}`,
+		`{"dataset":{"bytes_per_element":1e309}}`,
+		`{"dataset":{"bytes_per_element":1e-400}}`,
+		`{"dataset":{"bytes_per_element":-0}}`,
+		`{"dataset":{"bytes_per_element":0.5e+3}}`,
+		`{"dataset":{"bytes_per_element":01}}`, `{"dataset":{"bytes_per_element":.5}}`,
+		`{"dataset":{"bytes_per_element":5.}}`, `{"dataset":{"bytes_per_element":5e}}`,
+		`{"dataset":{"bytes_per_element":+1}}`, `{"dataset":{"bytes_per_element":--1}}`,
+		`{"dataset":{"bytes_per_element":NaN}}`, `{"dataset":{"bytes_per_element":Infinity}}`,
+		// Strings: escapes, surrogates, controls, invalid UTF-8.
+		`{"name":"a\"b\\c\/d\be\ff\ng\rh\ti"}`,
+		`{"name":"\u0041\u00e9\u4e2d"}`,
+		`{"name":"\ud83d\ude00"}`, `{"name":"\ud800"}`, `{"name":"\ud800x"}`,
+		`{"name":"\ud800\ud800"}`, `{"name":"\ude00\ud83d"}`, `{"name":"\ud800\n"}`,
+		`{"name":"\u12"}`, `{"name":"\q"}`, `{"name":"\'"}`,
+		"{\"name\":\"tab\tliteral\"}", "{\"name\":\"\x01\"}",
+		"{\"name\":\"\xff\xfe ok\"}", "{\"name\":\"\xc3\x28\"}",
+		`{"name":"<script>&amp;"}`, "{\"name\":\"line\u2028sep\u2029par\"}",
+		`{"name":"ends with backslash\`,
+		`{"name":"unterminated`,
+		// Validation failures that parse fine (error class must match:
+		// not ErrSyntax on either side).
+		`{"dataset":{"elements_in":-5,"elements_out":1,"bytes_per_element":4},"communication":{"ideal_throughput_mbps":1000,"alpha_write":0.37,"alpha_read":0.16},"computation":{"ops_per_element":768,"throughput_proc":20,"clock_mhz":150},"software":{"tsoft_seconds":0.578,"iterations":400}}`,
+		`{}`,
+	}
+	for _, body := range bodies {
+		assertDecodeParity(t, []byte(body))
+	}
+}
+
+func TestDecodeWorksheetDocsParity(t *testing.T) {
+	valid := string(marshalWorksheetJSON(t, paper.PDF1DParams()))
+	second := string(marshalWorksheetJSON(t, paper.MDParams()))
+	bodies := []string{
+		`[` + valid + `]`,
+		`[` + valid + `,` + second + `]`,
+		` [ ` + valid + ` , ` + second + ` ] `,
+		`[]`, `null`, `[null]`, `[null,` + valid + `]`,
+		`[{}]`, `[{},{}]`,
+		// Errors.
+		``, `[`, `[,]`, `[` + valid + `,]`, `[` + valid + ` ` + second + `]`,
+		`[1]`, `["x"]`, `[[]]`, `{}`, `[{"bogus":1}]`, `nullx`,
+	}
+	for _, body := range bodies {
+		var want []worksheet.Doc
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		wantErr := dec.Decode(&want)
+		got, gotErr := DecodeWorksheetDocs([]byte(body), nil, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject mismatch on %q:\n  encoding/json: %v\n  wire:          %v", body, wantErr, gotErr)
+		}
+		if gotErr != nil {
+			if !errors.Is(gotErr, worksheet.ErrSyntax) {
+				t.Fatalf("batch decode error does not wrap ErrSyntax on %q: %v", body, gotErr)
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("element count mismatch on %q: encoding/json %d, wire %d", body, len(want), len(got))
+		}
+		for i := range got {
+			if got[i] != want[i].Params() {
+				t.Fatalf("element %d mismatch on %q:\n  encoding/json: %+v\n  wire:          %+v", i, body, want[i].Params(), got[i])
+			}
+		}
+	}
+}
+
+func TestDecodeWorksheetIntern(t *testing.T) {
+	interned := "interned"
+	calls := 0
+	intern := func(b []byte) string {
+		calls++
+		if string(b) != "1-D PDF estimation" {
+			t.Fatalf("intern saw %q", b)
+		}
+		return interned
+	}
+	body := marshalWorksheetJSON(t, paper.PDF1DParams())
+	p, err := DecodeWorksheetIntern(body, intern)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if calls != 1 || p.Name != interned {
+		t.Fatalf("intern not used: calls=%d name=%q", calls, p.Name)
+	}
+}
+
+func TestAppendPredictionParity(t *testing.T) {
+	for _, p := range caseStudies() {
+		pr, err := core.Predict(p)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		wire := api.PredictionFromCore(pr)
+		want, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := AppendPrediction(nil, &wire)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("prediction encoding mismatch for %q:\n  json: %s\n  wire: %s", p.Name, want, got)
+		}
+	}
+}
+
+func TestAppendMultiPredictionParity(t *testing.T) {
+	for _, p := range caseStudies() {
+		for _, topo := range []core.Topology{core.SharedChannel, core.IndependentChannels} {
+			mp, err := core.PredictMulti(p, core.MultiConfig{Devices: 4, Topology: topo})
+			if err != nil {
+				t.Fatalf("predict multi: %v", err)
+			}
+			wire := api.MultiPredictionFromCore(mp)
+			want, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			got, err := AppendMultiPrediction(nil, &wire)
+			if err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("multi encoding mismatch for %q/%v:\n  json: %s\n  wire: %s", p.Name, topo, want, got)
+			}
+		}
+	}
+}
+
+func TestAppendPredictionsParity(t *testing.T) {
+	ps := caseStudies()
+	prs := make([]core.Prediction, len(ps))
+	wireForms := make([]api.Prediction, len(ps))
+	for i, p := range ps {
+		pr, err := core.Predict(p)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		prs[i] = pr
+		wireForms[i] = api.PredictionFromCore(pr)
+	}
+	want, err := json.Marshal(wireForms)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := AppendPredictions(nil, prs)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch encoding mismatch:\n  json: %s\n  wire: %s", want, got)
+	}
+
+	for _, empty := range [][]core.Prediction{nil, {}} {
+		got, err := AppendPredictions(nil, empty)
+		if err != nil {
+			t.Fatalf("append empty: %v", err)
+		}
+		if string(got) != "[]" {
+			t.Fatalf("empty batch encodes as %q", got)
+		}
+	}
+}
+
+// TestAppendPredictionHostileStrings drives the string encoder through
+// every escape class via worksheet names.
+func TestAppendPredictionHostileStrings(t *testing.T) {
+	names := []string{
+		"", "plain", `quote " back \ slash`, "new\nline\ttab\rcr", "bell\bform\ffeed",
+		"\x00\x01\x1f\x7f", "<script>&'</script>", "中文 héé",
+		"\u2028line\u2029para", "bad\xff\xfeutf8", "\xc3\x28",
+		"ends\xf0\x9f\x98\x80emoji", strings.Repeat("a&<>\u2028\xff", 37),
+	}
+	for _, name := range names {
+		p := paper.PDF1DParams()
+		p.Name = name
+		wire := api.PredictionFromCore(core.Prediction{Params: p})
+		want, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, err := AppendPrediction(nil, &wire)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("string encoding mismatch for name %q:\n  json: %s\n  wire: %s", name, want, got)
+		}
+	}
+}
+
+// TestAppendFloatParity sweeps the float encoder across format
+// boundaries and shortest-representation edge cases.
+func TestAppendFloatParity(t *testing.T) {
+	values := []float64{
+		0, negZero(), 1, -1, 0.5, 1.0 / 3.0,
+		1e-7, 9.999999e-7, 1e-6, 1.0000001e-6,
+		1e20, 9.999999999999999e20, 1e21, 1.0000000000000001e21,
+		-1e-7, -1e21, 131.072e-6, 0.578, 2.560096153846154,
+		5e-324, 1.7976931348623157e308, 1234567890.12345678,
+	}
+	for _, v := range values {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		got := appendFloat(nil, v)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("float encoding mismatch for %v: json %s, wire %s", v, want, got)
+		}
+	}
+}
+
+func negZero() float64 { return -0.0 }
+
+func TestAppendersRejectNonFinite(t *testing.T) {
+	pr := api.PredictionFromCore(core.Prediction{Params: paper.PDF1DParams()})
+	pr.SpeedupSingle = nan()
+	if _, err := AppendPrediction(nil, &pr); err == nil {
+		t.Fatal("AppendPrediction accepted NaN")
+	}
+	mp := api.MultiPrediction{Single: pr}
+	if _, err := AppendMultiPrediction(nil, &mp); err == nil {
+		t.Fatal("AppendMultiPrediction accepted NaN")
+	}
+	if _, err := AppendPredictions(nil, []core.Prediction{{SpeedupSingle: inf()}}); err == nil {
+		t.Fatal("AppendPredictions accepted Inf")
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+func inf() float64 { var z float64; return 1 / z }
