@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke tenant-smoke
+.PHONY: all build test vet lint race bench bench-baseline bench-check experiments examples cover clean loadtest obs-smoke tenant-smoke cluster-smoke
 
 all: build vet lint test
 
@@ -129,6 +129,65 @@ tenant-smoke:
 	  || { echo "tenant-smoke: /metrics lacks rat_brownout_level"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "tenant-smoke: OK"
+
+# Distributed-explore smoke: boot a three-ratd fleet, shard the same
+# grid across 1, 2 and 3 workers with ratctl, and byte-compare every
+# run's JSONL against a single-node `ratsim explore` — the determinism
+# contract of docs/DISTRIBUTED.md, end to end over real HTTP. Then
+# kill -9 one worker in the middle of a bigger run and assert the
+# merged output is STILL byte-identical, and finish with ratload's
+# repeated-request parity check through the server-side coordinator.
+CLUSTER_SMOKE_PORT1 ?= 18083
+CLUSTER_SMOKE_PORT2 ?= 18084
+CLUSTER_SMOKE_PORT3 ?= 18085
+cluster-smoke:
+	@set -e; tmp=$$(mktemp -d); pid1=""; pid2=""; pid3=""; cpid=""; \
+	trap 'kill $$pid1 $$pid2 $$pid3 $$cpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ratd ./cmd/ratd; \
+	$(GO) build -o $$tmp/ratctl ./cmd/ratctl; \
+	$(GO) build -o $$tmp/ratsim ./cmd/ratsim; \
+	$(GO) build -o $$tmp/ratload ./cmd/ratload; \
+	"$$tmp/ratd" -addr 127.0.0.1:$(CLUSTER_SMOKE_PORT1) & pid1=$$!; \
+	"$$tmp/ratd" -addr 127.0.0.1:$(CLUSTER_SMOKE_PORT2) & pid2=$$!; \
+	"$$tmp/ratd" -addr 127.0.0.1:$(CLUSTER_SMOKE_PORT3) & pid3=$$!; \
+	for port in $(CLUSTER_SMOKE_PORT1) $(CLUSTER_SMOKE_PORT2) $(CLUSTER_SMOKE_PORT3); do \
+	  up=0; for i in $$(seq 1 50); do \
+	    if curl -fs http://127.0.0.1:$$port/healthz >/dev/null 2>&1; then up=1; break; fi; \
+	    sleep 0.1; \
+	  done; \
+	  test $$up = 1 || { echo "cluster-smoke: ratd on $$port never became healthy"; exit 1; }; \
+	done; \
+	W1=http://127.0.0.1:$(CLUSTER_SMOKE_PORT1); \
+	W2=http://127.0.0.1:$(CLUSTER_SMOKE_PORT2); \
+	W3=http://127.0.0.1:$(CLUSTER_SMOKE_PORT3); \
+	"$$tmp/ratctl" status -workers $$W1,$$W2,$$W3 > $$tmp/status; \
+	test "$$(grep -c ': up ' $$tmp/status)" = 3 \
+	  || { echo "cluster-smoke: ratctl status does not see 3 healthy workers"; cat $$tmp/status; exit 1; }; \
+	GRID="-case pdf1d -clocks 75,100,150 -tp 10,20,40 -alphas 0.16,0.37 -blocks 512,2048 -devices 1,4 -topology independent -top 10 -frontier"; \
+	"$$tmp/ratsim" explore $$GRID -jsonl > $$tmp/single.jsonl; \
+	for workers in "$$W1" "$$W1,$$W2" "$$W1,$$W2,$$W3"; do \
+	  "$$tmp/ratctl" explore -workers $$workers -shard-size 7 -jsonl $$GRID > $$tmp/fleet.jsonl 2>/dev/null; \
+	  cmp -s $$tmp/single.jsonl $$tmp/fleet.jsonl \
+	    || { echo "cluster-smoke: fleet ($$workers) output diverges from single-node"; exit 1; }; \
+	done; \
+	echo "cluster-smoke: 1, 2 and 3 workers byte-identical with single-node"; \
+	BIG="-case pdf1d -clocks 25,50,75,100,125,150,175,200 -tp 5,10,20,40 -alphas 0.1,0.16,0.25,0.37 -blocks 512,1024,2048,4096 -devices 1,2,4 -topology independent -top 10 -frontier"; \
+	"$$tmp/ratsim" explore $$BIG -jsonl > $$tmp/single_big.jsonl; \
+	"$$tmp/ratctl" explore -workers $$W1,$$W2,$$W3 -shard-size 4 -jsonl $$BIG \
+	  > $$tmp/fleet_kill.jsonl 2> $$tmp/kill.log & cpid=$$!; \
+	sleep 0.3; kill -9 $$pid3; \
+	wait $$cpid || { echo "cluster-smoke: run did not survive losing a worker"; cat $$tmp/kill.log; exit 1; }; \
+	cpid=""; \
+	cmp -s $$tmp/single_big.jsonl $$tmp/fleet_kill.jsonl \
+	  || { echo "cluster-smoke: output diverged after killing a worker mid-run"; exit 1; }; \
+	grep -q 'explored 3072 candidates' $$tmp/kill.log \
+	  || { echo "cluster-smoke: kill-run summary missing"; cat $$tmp/kill.log; exit 1; }; \
+	echo "cluster-smoke: byte-identical after kill -9 of one worker mid-run"; \
+	"$$tmp/ratload" -url $$W1 -distributed $$W1,$$W2 -rounds 5 -timeout 60s | tee $$tmp/parity; \
+	grep -q 'distributed parity: 5/5 identical responses' $$tmp/parity \
+	  || { echo "cluster-smoke: repeated distributed responses diverged"; exit 1; }; \
+	kill -TERM $$pid1 $$pid2; wait $$pid1 $$pid2; pid1=""; pid2=""; pid3=""; \
+	echo "cluster-smoke: OK"
 
 # Regenerate every paper table and figure, side by side with the
 # published values.

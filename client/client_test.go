@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	. "github.com/chrec/rat/client"
 	"github.com/chrec/rat/internal/core"
 	"github.com/chrec/rat/internal/explore"
 	"github.com/chrec/rat/internal/obs"
@@ -173,7 +174,7 @@ func TestClientRetriesTemporaryErrors(t *testing.T) {
 
 	c := New(flaky.URL,
 		WithRetryPolicy(RetryPolicy{MaxRetries: 3, Backoff: time.Millisecond, Growth: 2, Jitter: 0.2}),
-		withJitterSource(func() float64 { return 0.5 }))
+		WithJitterSourceForTest(func() float64 { return 0.5 }))
 	p := paper.PDF1DParams()
 	want, err := core.Predict(p)
 	if err != nil {
@@ -273,13 +274,13 @@ func TestBackoffPolicyShape(t *testing.T) {
 		{4, 500 * time.Millisecond}, // capped
 		{9, 500 * time.Millisecond},
 	} {
-		if got := p.backoffFor(tc.attempt, noJitter); got != tc.want {
+		if got := p.BackoffForTest(tc.attempt, noJitter); got != tc.want {
 			t.Errorf("backoffFor(%d) = %v, want %v", tc.attempt, got, tc.want)
 		}
 	}
 	jittered := RetryPolicy{Backoff: 100 * time.Millisecond, Growth: 2, Jitter: 0.2}
-	lo := jittered.backoffFor(1, func() float64 { return 0 })
-	hi := jittered.backoffFor(1, func() float64 { return 1 })
+	lo := jittered.BackoffForTest(1, func() float64 { return 0 })
+	hi := jittered.BackoffForTest(1, func() float64 { return 1 })
 	if lo != 80*time.Millisecond || hi != 120*time.Millisecond {
 		t.Errorf("jitter bounds = [%v, %v], want [80ms, 120ms]", lo, hi)
 	}
@@ -348,7 +349,7 @@ func TestClientSendsTrace(t *testing.T) {
 func TestAPIErrorTraceID(t *testing.T) {
 	// A real ratd echoes the header; a 404 from it is terminal.
 	c, _ := newTestPair(t, server.Config{})
-	_, err := c.get(context.Background(), "/v1/nope")
+	_, err := c.GetForTest(context.Background(), "/v1/nope")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) {
 		t.Fatalf("err = %v, want *APIError", err)
@@ -477,7 +478,7 @@ func TestTraceEndToEnd(t *testing.T) {
 		AccessLogger: slog.New(slog.NewJSONHandler(&logBuf, nil)),
 	})
 
-	_, err := c.get(context.Background(), "/v1/predict/nope")
+	_, err := c.GetForTest(context.Background(), "/v1/predict/nope")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.TraceID == "" {
 		t.Fatalf("err = %v, want *APIError with a trace ID", err)
@@ -534,9 +535,9 @@ func TestParseRetryAfter(t *testing.T) {
 		{now.Add(-time.Minute).Format(http.TimeFormat), 0, true},
 	}
 	for _, tc := range cases {
-		got, ok := parseRetryAfter(tc.in, now)
+		got, ok := ParseRetryAfterForTest(tc.in, now)
 		if got != tc.want || ok != tc.ok {
-			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+			t.Errorf("ParseRetryAfterForTest(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
 		}
 	}
 }

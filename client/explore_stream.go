@@ -1,0 +1,122 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+)
+
+// Streaming-explore wire types re-exported for callers outside the
+// module.
+type (
+	// ExploreLine is one line of a streaming explore response.
+	ExploreLine = api.ExploreLine
+	// ExploreSummary is the closing line of a streaming explore
+	// response.
+	ExploreSummary = api.ExploreSummary
+	// DistributedExploreRequest asks a ratd instance to coordinate an
+	// exploration across a fleet of peers.
+	DistributedExploreRequest = api.DistributedExploreRequest
+	// DistributedExploreResponse is the merged fleet result.
+	DistributedExploreResponse = api.DistributedExploreResponse
+)
+
+// maxExploreLine bounds one JSONL line of a streaming explore
+// response. A candidate line is a few hundred bytes; a megabyte means
+// the peer is not speaking the protocol.
+const maxExploreLine = 1 << 20
+
+// ExploreStream runs a bounded grid search on the service in
+// streaming mode (POST /v1/explore?stream=jsonl) and calls fn for
+// every non-summary line — "top" and "frontier" candidates in ranking
+// order, plus "span" lines when the request asked for them — as it
+// arrives. The closing summary line is returned. A non-nil error from
+// fn aborts the stream and is returned verbatim.
+//
+// Streaming is how the distributed coordinator (internal/cluster)
+// consumes shard results: candidates arrive incrementally and the
+// summary's Evaluated count lets the merger prove full coverage of
+// the index range.
+//
+// Retries cover connection setup and pre-body HTTP errors exactly as
+// Explore does; once fn has seen a line the request is past the
+// retry loop, and a mid-stream disconnect surfaces as an error.
+func (c *Client) ExploreStream(ctx context.Context, req ExploreRequest, fn func(ExploreLine) error) (ExploreSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return ExploreSummary{}, err
+	}
+	respBody, err := c.roundTrip(ctx, http.MethodPost, "/v1/explore?stream=jsonl", body, false)
+	if err != nil {
+		return ExploreSummary{}, err
+	}
+	return decodeExploreStream(bytes.NewReader(respBody), fn)
+}
+
+// decodeExploreStream parses a JSONL explore stream, dispatching
+// lines to fn until the terminating summary.
+func decodeExploreStream(r io.Reader, fn func(ExploreLine) error) (ExploreSummary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxExploreLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var el ExploreLine
+		if err := json.Unmarshal(line, &el); err != nil {
+			return ExploreSummary{}, fmt.Errorf("explore stream: bad line %.120q: %w", line, err)
+		}
+		if el.Kind == "summary" {
+			if el.Summary == nil {
+				return ExploreSummary{}, errors.New("explore stream: summary line without summary body")
+			}
+			return *el.Summary, nil
+		}
+		if fn != nil {
+			if err := fn(el); err != nil {
+				return ExploreSummary{}, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ExploreSummary{}, fmt.Errorf("explore stream: %w", err)
+	}
+	return ExploreSummary{}, errors.New("explore stream: truncated (no summary line)")
+}
+
+// ExploreDistributed asks the service to coordinate an exploration
+// across the fleet listed in the request (POST /v1/explore/distributed).
+// The merged result is bit-for-bit what a single node would return
+// for the same embedded explore request.
+func (c *Client) ExploreDistributed(ctx context.Context, req DistributedExploreRequest) (DistributedExploreResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return DistributedExploreResponse{}, err
+	}
+	var resp DistributedExploreResponse
+	if err := c.do(ctx, "/v1/explore/distributed", body, &resp); err != nil {
+		return DistributedExploreResponse{}, err
+	}
+	return resp, nil
+}
+
+// RetryAfter extracts the server's Retry-After hint from an error
+// returned by this package, however deeply wrapped. It reports ok
+// only for a 429 (Too Many Requests) carrying a hint — the signal a
+// coordinator uses to back off one worker without abandoning it.
+func RetryAfter(err error) (time.Duration, bool) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter, true
+	}
+	return 0, false
+}

@@ -1,0 +1,176 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	. "github.com/chrec/rat/client"
+	"github.com/chrec/rat/internal/paper"
+	"github.com/chrec/rat/internal/server"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+func streamRequest() ExploreRequest {
+	return ExploreRequest{
+		Worksheet: worksheet.DocFromParams(paper.PDF1DParams()),
+		ClocksMHz: []float64{75, 100, 150},
+		TopK:      3,
+		Frontier:  true,
+	}
+}
+
+// TestClientExploreStream: the streaming endpoint delivers the same
+// candidates as the one-shot Explore, kind by kind, with the summary
+// arriving last and matching.
+func TestClientExploreStream(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	ctx := context.Background()
+	req := streamRequest()
+
+	whole, err := c.Explore(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var top, front []uint64
+	sum, err := c.ExploreStream(ctx, req, func(line ExploreLine) error {
+		if line.Candidate == nil {
+			return nil
+		}
+		switch line.Kind {
+		case "top":
+			top = append(top, line.Candidate.Index)
+		case "frontier":
+			front = append(front, line.Candidate.Index)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Evaluated != whole.Evaluated || sum.Feasible != whole.Feasible {
+		t.Errorf("stream summary (%d, %d), want (%d, %d)",
+			sum.Evaluated, sum.Feasible, whole.Evaluated, whole.Feasible)
+	}
+	if len(top) != len(whole.Top) || len(front) != len(whole.Frontier) {
+		t.Fatalf("streamed %d top, %d frontier; one-shot returned %d, %d",
+			len(top), len(front), len(whole.Top), len(whole.Frontier))
+	}
+	for i, c := range whole.Top {
+		if top[i] != c.Index {
+			t.Errorf("top[%d] index %d, want %d", i, top[i], c.Index)
+		}
+	}
+	for i, c := range whole.Frontier {
+		if front[i] != c.Index {
+			t.Errorf("frontier[%d] index %d, want %d", i, front[i], c.Index)
+		}
+	}
+}
+
+// TestClientExploreStreamSharded: index_lo/index_hi restrict the
+// stream to one shard of the grid.
+func TestClientExploreStreamSharded(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	req := streamRequest()
+	req.IndexLo, req.IndexHi = 1, 2
+	seen := 0
+	sum, err := c.ExploreStream(context.Background(), req, func(line ExploreLine) error {
+		if line.Candidate != nil {
+			seen++
+			if got := line.Candidate.Index; got != 1 {
+				t.Errorf("shard [1,2) streamed candidate %d", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Evaluated != 1 {
+		t.Errorf("shard summary evaluated %d, want 1", sum.Evaluated)
+	}
+	if seen == 0 {
+		t.Error("shard streamed no candidates")
+	}
+}
+
+// TestClientExploreStreamCallbackError: a callback error aborts the
+// stream and surfaces as the call's error.
+func TestClientExploreStreamCallbackError(t *testing.T) {
+	c, _ := newTestPair(t, server.Config{})
+	boom := errors.New("enough")
+	_, err := c.ExploreStream(context.Background(), streamRequest(), func(ExploreLine) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ExploreStream = %v, want the callback's error", err)
+	}
+}
+
+// TestClientExploreStreamTruncated: a stream that dies before its
+// summary line is an error, never a silently partial result.
+func TestClientExploreStreamTruncated(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"kind":"top","candidate":{"index":0}}` + "\n"))
+	}))
+	t.Cleanup(ts.Close)
+	_, err := New(ts.URL).ExploreStream(context.Background(), streamRequest(), func(ExploreLine) error { return nil })
+	if err == nil {
+		t.Fatal("truncated stream returned nil error")
+	}
+}
+
+// TestRetryAfterSurfacing: RetryAfter exposes a 429's Retry-After
+// hint and nothing else.
+func TestRetryAfterSurfacing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, `{"error":"too busy"}`, http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{})) // no retries: surface the 429 itself
+	_, err := c.Status(context.Background())
+	d, ok := RetryAfter(err)
+	if !ok || d != 2*time.Second {
+		t.Fatalf("RetryAfter(429) = %v, %v; want 2s, true", d, ok)
+	}
+
+	if _, ok := RetryAfter(nil); ok {
+		t.Error("RetryAfter(nil) = true")
+	}
+	if _, ok := RetryAfter(errors.New("plain")); ok {
+		t.Error("RetryAfter(plain error) = true")
+	}
+	if _, ok := RetryAfter(&APIError{StatusCode: 429}); ok {
+		t.Error("RetryAfter(429 without a hint) = true")
+	}
+	if _, ok := RetryAfter(&APIError{StatusCode: 503, RetryAfter: time.Second}); ok {
+		t.Error("RetryAfter(non-429) = true")
+	}
+}
+
+// TestClientExploreDistributed: the typed wrapper round-trips the
+// distributed endpoint against a self-coordinating server.
+func TestClientExploreDistributed(t *testing.T) {
+	c, ts := newTestPair(t, server.Config{})
+	resp, err := c.ExploreDistributed(context.Background(), DistributedExploreRequest{
+		Explore: streamRequest(),
+		Workers: []string{ts.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 clocks x 2 bufferings (the unset axis defaults to both).
+	if resp.Evaluated != 6 || len(resp.Top) != 3 {
+		t.Errorf("distributed evaluated %d with %d top, want 6 and 3", resp.Evaluated, len(resp.Top))
+	}
+	if resp.Cluster.Workers != 1 || resp.Cluster.Dispatched == 0 {
+		t.Errorf("cluster stats %+v, want one worker with dispatches", resp.Cluster)
+	}
+}

@@ -1,0 +1,29 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// Hooks for the external test package. The client's tests live in
+// package client_test so they can stand up a real internal/server —
+// which now imports this package for distributed-explore
+// coordination — without an import cycle in the test binary.
+
+// WithJitterSourceForTest injects the retry jitter randomness.
+func WithJitterSourceForTest(rnd func() float64) Option { return withJitterSource(rnd) }
+
+// ParseRetryAfterForTest exposes the Retry-After header parser.
+func ParseRetryAfterForTest(v string, now time.Time) (time.Duration, bool) {
+	return parseRetryAfter(v, now)
+}
+
+// GetForTest exposes the text-endpoint fetch path.
+func (c *Client) GetForTest(ctx context.Context, path string) (string, error) {
+	return c.get(ctx, path)
+}
+
+// BackoffForTest exposes the jittered backoff schedule.
+func (p RetryPolicy) BackoffForTest(attempt int, rnd func() float64) time.Duration {
+	return p.backoffFor(attempt, rnd)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/chrec/rat/client"
+	"github.com/chrec/rat/internal/cli"
+)
+
+// cmdStatus probes every fleet member's /v1/status and prints one
+// line per worker. It exits non-zero if any worker is unreachable, so
+// scripts can gate a distributed run on fleet health.
+func cmdStatus(args []string, out io.Writer) error {
+	fs := newFlagSet("status")
+	workersFlag := fs.String("workers", "", "comma-separated ratd base URLs (required)")
+	key := fs.String("key", "", "API key sent to every worker (Authorization: Bearer)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-worker probe deadline")
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %w", cli.ErrUsage, err)
+	}
+	urls, err := workerURLs(*workersFlag)
+	if err != nil {
+		return err
+	}
+
+	down := 0
+	for _, u := range urls {
+		opts := []client.Option{}
+		if *key != "" {
+			opts = append(opts, client.WithAPIKey(*key))
+		}
+		c := client.New(u, opts...)
+		//rat:allow-wallclock CLI probe deadline
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		st, err := c.Status(ctx)
+		cancel()
+		if err != nil {
+			down++
+			fmt.Fprintf(out, "%s: DOWN (%v)\n", u, err)
+			continue
+		}
+		fmt.Fprintf(out, "%s: up %s, %d requests, brownout %d, draining %v\n",
+			u, (time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second),
+			st.Requests, st.BrownoutLevel, st.Draining)
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d workers down", down, len(urls))
+	}
+	return nil
+}

@@ -77,6 +77,7 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 	predictTimeout := fs.Duration("predict-timeout", 0, "per-request predict deadline (0 = default 10s)")
 	exploreTimeout := fs.Duration("explore-timeout", 0, "per-request explore deadline (0 = default 2m)")
 	maxCandidates := fs.Uint64("max-explore-candidates", 0, "largest grid a single explore may ask for (0 = default 4Mi)")
+	maxDistributed := fs.Uint64("max-distributed-candidates", 0, "largest candidate span a distributed explore may coordinate (0 = default 1Gi)")
 	exploreWorkers := fs.Int("explore-workers", 0, "workers per exploration (0 = one per CPU)")
 	accessLog := fs.String("access-log", "", "JSONL access log path (- for stdout, empty disables)")
 	tenantsFile := fs.String("tenants", "", "tenant config JSON (enables multi-tenant admission; SIGHUP reloads)")
@@ -90,18 +91,19 @@ func serve(args []string, out io.Writer, sig <-chan os.Signal) error {
 	}
 
 	cfg := server.Config{
-		MaxBatch:             *maxBatch,
-		Linger:               *linger,
-		CacheSize:            *cacheSize,
-		PredictLimit:         *predictLimit,
-		BatchLimit:           *batchLimit,
-		ExploreLimit:         *exploreLimit,
-		AdmissionWait:        *admissionWait,
-		PredictTimeout:       *predictTimeout,
-		ExploreTimeout:       *exploreTimeout,
-		MaxExploreCandidates: *maxCandidates,
-		ExploreWorkers:       *exploreWorkers,
-		ExploreTokenCost:     *exploreCost,
+		MaxBatch:                 *maxBatch,
+		Linger:                   *linger,
+		CacheSize:                *cacheSize,
+		PredictLimit:             *predictLimit,
+		BatchLimit:               *batchLimit,
+		ExploreLimit:             *exploreLimit,
+		AdmissionWait:            *admissionWait,
+		PredictTimeout:           *predictTimeout,
+		ExploreTimeout:           *exploreTimeout,
+		MaxExploreCandidates:     *maxCandidates,
+		MaxDistributedCandidates: *maxDistributed,
+		ExploreWorkers:           *exploreWorkers,
+		ExploreTokenCost:         *exploreCost,
 	}
 
 	// Multi-tenant admission: keys, quotas and concurrency caps come

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// runDistributed exercises POST /v1/explore/distributed on the -url
+// coordinator: -rounds identical requests sharding a fixed grid
+// across the -distributed worker fleet, with every response's
+// deterministic portion (counts and candidates — everything except
+// run telemetry) byte-compared against the first. Distributed explore promises
+// determinism — same grid, same answer, regardless of shard
+// interleaving, worker count or mid-run hiccups — and repeated
+// identical requests under a live fleet are the cheapest way to
+// catch a scheduler-order leak in the merged output.
+//
+// The printed "distributed parity:" line is stable: the CI
+// cluster-smoke job greps it.
+func runDistributed(out io.Writer, baseURL, workersCSV string, rounds int,
+	params core.Parameters, timeout time.Duration, apiKey string) error {
+
+	var urls []string
+	for _, part := range strings.Split(workersCSV, ",") {
+		if u := strings.TrimSpace(part); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	req := api.DistributedExploreRequest{
+		Explore: api.ExploreRequest{
+			Worksheet:       worksheet.DocFromParams(params),
+			ClocksMHz:       []float64{75, 100, 150},
+			ThroughputProcs: []float64{10, 20, 40},
+			Alphas:          []float64{0.16, 0.37},
+			Devices:         []int{1, 2},
+			TopK:            10,
+			Frontier:        true,
+		},
+		Workers: urls,
+		// Small shards so every round exercises real scheduling: more
+		// shards than workers means queueing, stealing and arbitrary
+		// completion interleavings.
+		ShardSize: 8,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+
+	target := strings.TrimSuffix(baseURL, "/") + "/v1/explore/distributed"
+	client := &http.Client{Timeout: timeout}
+
+	var first []byte
+	var last api.DistributedExploreResponse
+	identical := 0
+	for i := 0; i < rounds; i++ {
+		resp, err := postOnce(client, target, apiKey, body, false)
+		if err != nil {
+			return fmt.Errorf("distributed round %d: %w", i+1, err)
+		}
+		canon, dec, err := canonicalDistributed(resp)
+		if err != nil {
+			return fmt.Errorf("distributed round %d: %w", i+1, err)
+		}
+		last = dec
+		if i == 0 {
+			first = canon
+			identical = 1
+			continue
+		}
+		if bytes.Equal(canon, first) {
+			identical++
+		} else {
+			fmt.Fprintf(out, "distributed round %d: response differs from round 1\n", i+1)
+		}
+	}
+	fmt.Fprintf(out, "distributed parity: %d/%d identical responses\n", identical, rounds)
+	fmt.Fprintf(out, "distributed: %d candidates (%d feasible), %d workers, %d shards, %d dispatched, %d re-dispatched, %d duplicate completions, %d worker failures\n",
+		last.Evaluated, last.Feasible, last.Cluster.Workers, last.Cluster.Shards,
+		last.Cluster.Dispatched, last.Cluster.Redispatched, last.Cluster.Duplicates,
+		last.Cluster.Failures)
+	for _, w := range last.Cluster.PerWorker {
+		fmt.Fprintf(out, "  worker %s: shards=%d failures=%d\n", w.Worker, w.Shards, w.Failures)
+	}
+	if identical != rounds {
+		return fmt.Errorf("distributed parity: only %d/%d responses identical — merge is order-dependent", identical, rounds)
+	}
+	return nil
+}
+
+// canonicalDistributed reduces a distributed response body to the
+// bytes the determinism contract covers — counts and candidates.
+// Run-shaped telemetry (elapsed, throughput, per-worker shard tallies)
+// legitimately varies between runs and is stripped before comparison.
+func canonicalDistributed(body []byte) ([]byte, api.DistributedExploreResponse, error) {
+	var resp api.DistributedExploreResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, resp, fmt.Errorf("decoding response: %w", err)
+	}
+	canon, err := json.Marshal(struct {
+		Evaluated uint64          `json:"evaluated"`
+		Feasible  uint64          `json:"feasible"`
+		Top       []api.Candidate `json:"top"`
+		Frontier  []api.Candidate `json:"frontier"`
+	}{resp.Evaluated, resp.Feasible, resp.Top, resp.Frontier})
+	return canon, resp, err
+}

@@ -15,6 +15,8 @@
 //	ratload -url http://127.0.0.1:8080 -key K1 -qps 50
 //	ratload -url http://127.0.0.1:8080 -mix noisy-neighbor \
 //	    -key-compliant K1 -key-hostile K2 -duration 10s
+//	ratload -url http://127.0.0.1:8080 \
+//	    -distributed http://127.0.0.1:8081,http://127.0.0.1:8082 -rounds 5
 //
 // With -n the run stops after that many requests even if -duration has
 // time left. With -traces N every request carries an X-Rat-Trace header
@@ -40,6 +42,16 @@
 // rejected_429, p50/p99) that CI greps to assert isolation: the
 // compliant tenant must see zero 429s while the hostile one is shed.
 // -n, -qps and -traces apply only to single-tenant runs.
+//
+// With -distributed, ratload instead drives the coordinator's
+// POST /v1/explore/distributed: -rounds identical explore requests
+// sharded across the listed worker fleet, every response's counts and
+// candidates byte-compared against the first (run telemetry — elapsed
+// time, per-worker shard tallies — is stripped, since it legitimately
+// varies). The stable "distributed parity:"
+// line is the assertion surface — any divergence means the merge
+// leaked scheduling order, which the determinism contract
+// (docs/DISTRIBUTED.md) forbids.
 //
 // Exit codes: 0 when the run completes and every request got an HTTP
 // response (any status), 1 on runtime failure (unreachable server,
@@ -113,6 +125,8 @@ func load(args []string, out io.Writer) error {
 	keyCompliant := fs.String("key-compliant", "", "compliant tenant's API key (required with -mix)")
 	keyHostile := fs.String("key-hostile", "", "hostile tenant's API key (required with -mix)")
 	compliantQPS := fs.Float64("compliant-qps", 20, "paced request rate of the compliant tenant in a -mix run")
+	distributed := fs.String("distributed", "", "comma-separated worker URLs: repeat a distributed explore via -url's /v1/explore/distributed and byte-compare the responses")
+	rounds := fs.Int("rounds", 5, "identical requests per -distributed parity run")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapUsage(err)
 	}
@@ -158,6 +172,14 @@ func load(args []string, out io.Writer) error {
 			return cli.Usagef("-compliant-qps must be positive (got %v)", *compliantQPS)
 		}
 	}
+	if *distributed != "" {
+		if *mix != "" {
+			return cli.Usagef("-distributed and -mix are mutually exclusive")
+		}
+		if *rounds < 1 {
+			return cli.Usagef("-rounds must be at least 1 (got %d)", *rounds)
+		}
+	}
 
 	var body []byte
 	params := paper.PDF1DParams()
@@ -183,6 +205,10 @@ func load(args []string, out io.Writer) error {
 	binary := *wireFmt == "binary"
 	if binary {
 		body = wire.AppendBinaryWorksheet(nil, params)
+	}
+
+	if *distributed != "" {
+		return runDistributed(out, *baseURL, *distributed, *rounds, params, *reqTimeout, *apiKey)
 	}
 
 	target := strings.TrimSuffix(*baseURL, "/") + "/v1/predict"

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -118,11 +117,11 @@ func cmdExplore(args []string, out io.Writer) error {
 	}
 
 	if *jsonl {
-		if err := writeCandidatesJSONL(out, "top", res.Top); err != nil {
+		if err := explore.WriteJSONL(out, "top", res.Top); err != nil {
 			return err
 		}
 		if *frontier {
-			if err := writeCandidatesJSONL(out, "frontier", res.Frontier); err != nil {
+			if err := explore.WriteJSONL(out, "frontier", res.Frontier); err != nil {
 				return err
 			}
 		}
@@ -231,46 +230,4 @@ func renderCandidates(out io.Writer, title string, cands []explore.Candidate) er
 		)
 	}
 	return tbl.Render(out)
-}
-
-// jsonlCandidate is the JSONL record schema for -jsonl output.
-type jsonlCandidate struct {
-	Set            string  `json:"set"` // "top" or "frontier"
-	Index          uint64  `json:"index"`
-	ClockHz        float64 `json:"clock_hz"`
-	ThroughputProc float64 `json:"throughput_proc"`
-	AlphaWrite     float64 `json:"alpha_write"`
-	AlphaRead      float64 `json:"alpha_read"`
-	ElementsIn     int64   `json:"elements_in"`
-	ElementsOut    int64   `json:"elements_out"`
-	Iterations     int64   `json:"iterations"`
-	Devices        int     `json:"devices"`
-	Buffering      string  `json:"buffering"`
-	TComm          float64 `json:"t_comm"`
-	TComp          float64 `json:"t_comp"`
-	TRC            float64 `json:"t_rc"`
-	Speedup        float64 `json:"speedup"`
-	UtilComm       float64 `json:"util_comm"`
-	UtilComp       float64 `json:"util_comp"`
-}
-
-// writeCandidatesJSONL emits one JSON object per candidate.
-func writeCandidatesJSONL(out io.Writer, set string, cands []explore.Candidate) error {
-	enc := json.NewEncoder(out)
-	for _, c := range cands {
-		rec := jsonlCandidate{
-			Set: set, Index: c.Index, ClockHz: c.ClockHz,
-			ThroughputProc: c.ThroughputProc,
-			AlphaWrite:     c.AlphaWrite, AlphaRead: c.AlphaRead,
-			ElementsIn: c.ElementsIn, ElementsOut: c.ElementsOut,
-			Iterations: c.Iterations, Devices: c.Devices,
-			Buffering: c.Buffering.String(),
-			TComm:     c.TComm, TComp: c.TComp, TRC: c.TRC,
-			Speedup: c.Speedup, UtilComm: c.UtilComm, UtilComp: c.UtilComp,
-		}
-		if err := enc.Encode(rec); err != nil {
-			return err
-		}
-	}
-	return nil
 }

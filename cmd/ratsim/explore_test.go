@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/chrec/rat/internal/explore"
 	"github.com/chrec/rat/internal/paper"
 	"github.com/chrec/rat/internal/worksheet"
 )
@@ -34,7 +35,7 @@ func TestExploreJSONL(t *testing.T) {
 	var tops, fronts int
 	sc := bufio.NewScanner(strings.NewReader(out))
 	for sc.Scan() {
-		var rec jsonlCandidate
+		var rec explore.JSONLCandidate
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
 		}

@@ -180,6 +180,14 @@ type ExploreRequest struct {
 
 	// Frontier asks for the Pareto frontier alongside the top-K.
 	Frontier bool `json:"frontier,omitempty"`
+
+	// IndexLo and IndexHi restrict evaluation to candidate indices
+	// [index_lo, index_hi) — one shard of the grid. Both zero (or
+	// absent) means the whole grid. Shard responses merge
+	// byte-identically with a whole-grid run; internal/cluster and
+	// docs/DISTRIBUTED.md build on this.
+	IndexLo uint64 `json:"index_lo,omitempty"`
+	IndexHi uint64 `json:"index_hi,omitempty"`
 }
 
 // Grid builds the exploration grid the request describes.
@@ -215,6 +223,8 @@ func (r ExploreRequest) Options(workers int) (explore.Options, error) {
 	opts := explore.Options{
 		Workers: workers,
 		TopK:    r.TopK,
+		IndexLo: r.IndexLo,
+		IndexHi: r.IndexHi,
 		Constraints: explore.Constraints{
 			MinSpeedup:  r.MinSpeedup,
 			MaxTRC:      r.MaxTRCSeconds,
@@ -348,6 +358,63 @@ type ExploreSummary struct {
 // Elapsed returns the summary's elapsed time as a duration.
 func (s ExploreSummary) Elapsed() time.Duration {
 	return time.Duration(s.ElapsedSeconds * float64(time.Second))
+}
+
+// DistributedExploreRequest is the body of POST
+// /v1/explore/distributed: the coordinating ratd shards the embedded
+// explore request's candidate-index range across the listed worker
+// base URLs and merges the shard results byte-identically with a
+// single-node run (see internal/cluster and docs/DISTRIBUTED.md).
+type DistributedExploreRequest struct {
+	Explore ExploreRequest `json:"explore"`
+
+	// Workers are the ratd base URLs to shard across, e.g.
+	// ["http://fleet-1:8080", "http://fleet-2:8080"]. The coordinator
+	// may list itself.
+	Workers []string `json:"workers"`
+
+	// ShardSize is the candidate count per shard; 0 derives a size
+	// that oversubscribes the fleet 8x (clamped to [1, 2^20]).
+	ShardSize uint64 `json:"shard_size,omitempty"`
+	// MaxInflight bounds concurrently dispatched shards per worker
+	// (default 2), so a coordinator cannot monopolize a shared
+	// tenant's admission slots.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// ShardTimeoutSeconds is the straggler deadline: a shard still
+	// running after this long is speculatively re-dispatched to
+	// another healthy worker (default 30s).
+	ShardTimeoutSeconds float64 `json:"shard_timeout_seconds,omitempty"`
+}
+
+// WorkerShardStats is one worker's share of a distributed run.
+type WorkerShardStats struct {
+	Worker   string `json:"worker"`
+	Shards   int64  `json:"shards"`
+	Failures int64  `json:"failures"`
+}
+
+// ClusterStats describes how a distributed exploration ran: fleet
+// shape, dispatch/retry/straggler counts and the per-worker split.
+// None of it affects the merged result — determinism holds whatever
+// the fleet did.
+type ClusterStats struct {
+	Workers      int                `json:"workers"`
+	Shards       int                `json:"shards"`
+	Dispatched   int64              `json:"dispatched"`
+	Retried      int64              `json:"retried"`
+	Redispatched int64              `json:"redispatched"`
+	Duplicates   int64              `json:"duplicate_completions"`
+	Failures     int64              `json:"worker_failures"`
+	PerWorker    []WorkerShardStats `json:"per_worker"`
+}
+
+// DistributedExploreResponse is the body of a POST
+// /v1/explore/distributed response: the merged exploration result
+// (bit-for-bit what a single node would have returned for the same
+// request) plus fleet statistics.
+type DistributedExploreResponse struct {
+	ExploreResponse
+	Cluster ClusterStats `json:"cluster"`
 }
 
 // Status is the body of GET /v1/status: a live operational snapshot of

@@ -159,6 +159,13 @@ type Options struct {
 	Objective Objective
 	// Constraints filter candidates before ranking.
 	Constraints Constraints
+	// IndexLo and IndexHi restrict the run to candidate indices
+	// [IndexLo, IndexHi) — one shard of the grid. Both zero means the
+	// whole grid. Because every candidate carries its stable grid
+	// index, shard results merge byte-identically with a whole-grid
+	// run (internal/cluster builds on this).
+	IndexLo uint64
+	IndexHi uint64
 	// Metrics, when non-nil, receives engine telemetry:
 	// explore.candidates and explore.feasible counters, the
 	// explore.shard timer, and explore.candidates_per_sec and
@@ -185,7 +192,8 @@ type ShardSpan struct {
 
 // Result is the outcome of exploring a grid.
 type Result struct {
-	// Evaluated is the total candidate count (the grid size).
+	// Evaluated is the evaluated candidate count: the grid size, or
+	// the span of the index range for a partial (sharded) run.
 	Evaluated uint64
 	// Feasible is how many candidates satisfied the constraints.
 	Feasible uint64
@@ -223,12 +231,27 @@ func Run(g Grid, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	rangeLo, rangeHi := opts.IndexLo, opts.IndexHi
+	if rangeLo == 0 && rangeHi == 0 {
+		rangeHi = c.size
+	}
+	if rangeHi > c.size {
+		return Result{}, errGrid("index range [%d, %d) exceeds grid size %d", rangeLo, rangeHi, c.size)
+	}
+	if rangeLo >= rangeHi {
+		return Result{}, errGrid("index range [%d, %d) is empty", rangeLo, rangeHi)
+	}
+	span := rangeHi - rangeLo
+	// Single-assignment copies for the worker closures: rangeHi is
+	// reassigned above, so capturing it directly would box it on the
+	// heap (one allocation the whole-grid fast path never needed).
+	shardLo, shardHi := rangeLo, rangeHi
 	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
-	if uint64(workers) > c.size {
-		workers = int(c.size)
+	if uint64(workers) > span {
+		workers = int(span)
 	}
 	k := opts.TopK
 	if k <= 0 {
@@ -236,7 +259,7 @@ func Run(g Grid, opts Options) (Result, error) {
 	}
 
 	numShards := uint64(workers * shardsPerWorker)
-	shardSize := (c.size + numShards - 1) / numShards
+	shardSize := (span + numShards - 1) / numShards
 
 	var (
 		next       atomic.Uint64
@@ -260,10 +283,10 @@ func Run(g Grid, opts Options) (Result, error) {
 				if s >= numShards {
 					return
 				}
-				lo := s * shardSize
+				lo := shardLo + s*shardSize
 				hi := lo + shardSize
-				if hi > c.size {
-					hi = c.size
+				if hi > shardHi {
+					hi = shardHi
 				}
 				if lo >= hi {
 					continue
@@ -295,7 +318,7 @@ func Run(g Grid, opts Options) (Result, error) {
 	// Deterministic merge: per-worker results depend only on which
 	// candidates each worker saw, and the global sort erases that
 	// partitioning.
-	res := Result{Evaluated: c.size, Workers: workers, Elapsed: elapsed}
+	res := Result{Evaluated: span, Workers: workers, Elapsed: elapsed}
 	var merged []Candidate
 	var churn int64
 	for i := range states {

@@ -8,11 +8,13 @@ import (
 )
 
 // The packages whose results must be a pure function of their inputs:
-// the prediction kernel and everything the search/replay paths depend
-// on. Byte-identical replay (rcsim, fault) and order-independent
-// exploration merges both die the moment wall-clock time or iteration
-// order sneaks into a result.
+// the prediction kernel and everything the search/replay/merge paths
+// depend on. Byte-identical replay (rcsim, fault), order-independent
+// exploration merges and the distributed shard merge (cluster) all
+// die the moment wall-clock time or iteration order sneaks into a
+// result.
 var deterministicPackages = map[string]bool{
+	"internal/cluster": true,
 	"internal/core":    true,
 	"internal/explore": true,
 	"internal/fault":   true,

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// The deterministic-package set is the lint-enforced boundary of the
+// reproduction's determinism guarantees. Losing a member silently
+// would downgrade an invariant to review lore, so the expected set is
+// pinned here: extend it deliberately, in both places.
+func TestDeterministicPackageSet(t *testing.T) {
+	want := []string{
+		"internal/cluster", // distributed shard merge (docs/DISTRIBUTED.md)
+		"internal/core",
+		"internal/explore",
+		"internal/fault",
+		"internal/rcsim",
+		"internal/sim",
+	}
+	for _, pkg := range want {
+		if !deterministicPackages[pkg] {
+			t.Errorf("deterministicPackages lost %q", pkg)
+		}
+	}
+	if len(deterministicPackages) != len(want) {
+		t.Errorf("deterministicPackages has %d entries, want %d — update this pin alongside the set",
+			len(deterministicPackages), len(want))
+	}
+}

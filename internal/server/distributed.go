@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/chrec/rat/client"
+	"github.com/chrec/rat/internal/api"
+	"github.com/chrec/rat/internal/cluster"
+	"github.com/chrec/rat/internal/core"
+	"github.com/chrec/rat/internal/obs"
+	"github.com/chrec/rat/internal/worksheet"
+)
+
+// maxDistributedWorkers bounds the fleet size one request may name.
+const maxDistributedWorkers = 64
+
+// handleExploreDistributed serves POST /v1/explore/distributed: this
+// instance coordinates the embedded explore request across the listed
+// worker fleet via internal/cluster and answers with the merged
+// result — bit-for-bit what a single node would return — plus fleet
+// statistics. The coordinator may appear in its own worker list; the
+// default ExploreLimit of 2 leaves an admission slot for its own
+// shards, and 429 + Retry-After backs the scheduler off regardless.
+//
+// The caller's API key (if any) is forwarded to the workers, so on a
+// tenanted fleet every shard is charged to the tenant that asked for
+// the exploration.
+func (s *Server) handleExploreDistributed(w http.ResponseWriter, r *http.Request) {
+	tr := traceOf(w)
+	t0 := time.Now()
+	weight, ok := s.admExplore.admit(r.Context(), 1)
+	if !ok {
+		writeTooBusy(w, "/v1/explore/distributed")
+		return
+	}
+	defer s.admExplore.release(weight)
+	if tr != nil {
+		s.stageTr(tr, obs.StageAdmission, time.Since(t0))
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req api.DistributedExploreRequest
+	if err := dec.Decode(&req); err != nil {
+		err = fmt.Errorf("%w: %v", worksheet.ErrSyntax, err)
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if len(req.Workers) == 0 || len(req.Workers) > maxDistributedWorkers {
+		err := fmt.Errorf("%w: workers must list 1..%d ratd base URLs (got %d)",
+			core.ErrInvalidParameters, maxDistributedWorkers, len(req.Workers))
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	grid, err := req.Explore.Grid()
+	if err != nil {
+		if !errors.Is(err, core.ErrInvalidParameters) {
+			err = fmt.Errorf("%w: %v", core.ErrInvalidParameters, err)
+		}
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if err := grid.Validate(); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	// The distributed ceiling is fleet-scale, far above the per-node
+	// one: each shard re-passes the per-node ceiling on its worker.
+	span := grid.Size()
+	if req.Explore.IndexLo != 0 || req.Explore.IndexHi != 0 {
+		if req.Explore.IndexHi > span || req.Explore.IndexLo >= req.Explore.IndexHi {
+			err := fmt.Errorf("%w: invalid index range [%d, %d) for grid size %d",
+				core.ErrInvalidParameters, req.Explore.IndexLo, req.Explore.IndexHi, span)
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		span = req.Explore.IndexHi - req.Explore.IndexLo
+	}
+	if span > s.cfg.MaxDistributedCandidates {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request asks for %d candidates; this server caps distributed explorations at %d",
+				span, s.cfg.MaxDistributedCandidates))
+		return
+	}
+
+	coord, err := s.newCoordinator(req, apiKey(r))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	res, stats, err := coord.Run(r.Context(), req.Explore)
+	if err != nil {
+		writeError(w, distStatus(err), err)
+		return
+	}
+	if tr != nil {
+		s.stageTr(tr, obs.StageKernel, res.Elapsed)
+	}
+
+	t0 = time.Now()
+	resp := api.DistributedExploreResponse{
+		ExploreResponse: api.ExploreResponseFromCore(res, req.Explore.Frontier),
+		Cluster:         stats.API(),
+	}
+	out, err := jsonMarshal(resp)
+	if tr != nil {
+		s.stageTr(tr, obs.StageEncode, time.Since(t0))
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	setStagesHeaderTr(w, r, tr)
+	writeJSONBytes(w, out)
+}
+
+// newCoordinator builds the per-request cluster coordinator: one
+// typed client per worker URL, light retries (the scheduler owns
+// failover), metrics on the server's registry.
+func (s *Server) newCoordinator(req api.DistributedExploreRequest, key string) (*cluster.Coordinator, error) {
+	shardTimeout := time.Duration(req.ShardTimeoutSeconds * float64(time.Second))
+	if shardTimeout <= 0 {
+		shardTimeout = 30 * time.Second
+	}
+	workers := make([]cluster.Remote, 0, len(req.Workers))
+	for _, raw := range req.Workers {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("%w: worker %q is not an http(s) base URL", core.ErrInvalidParameters, raw)
+		}
+		opts := []client.Option{
+			// One quick retry per dispatch; persistent failures go
+			// back to the scheduler, which work-steals onto the rest
+			// of the fleet.
+			client.WithRetryPolicy(client.RetryPolicy{MaxRetries: 1, Backoff: 50 * time.Millisecond}),
+			// The straggler deadline re-dispatches a slow shard; the
+			// transport deadline is the hard stop that frees the
+			// in-flight slot afterwards.
+			client.WithHTTPClient(&http.Client{Timeout: shardTimeout + 30*time.Second}),
+		}
+		if key != "" {
+			opts = append(opts, client.WithAPIKey(key))
+		}
+		workers = append(workers, cluster.Remote{Name: raw, W: client.New(raw, opts...)})
+	}
+	return cluster.New(cluster.Config{
+		Workers:      workers,
+		ShardSize:    req.ShardSize,
+		MaxInflight:  req.MaxInflight,
+		ShardTimeout: shardTimeout,
+		Metrics:      s.reg,
+	})
+}
+
+// distStatus maps a coordinator error to an HTTP status: fleet
+// failures are 502 (the upstream workers misbehaved), everything else
+// follows the ordinary mapping.
+func distStatus(err error) int {
+	if errors.Is(err, cluster.ErrFleet) {
+		return http.StatusBadGateway
+	}
+	return httpStatus(err)
+}

@@ -519,13 +519,27 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, httpStatus(err), err)
 		return
 	}
+	// The ceiling applies to the evaluated span: a sharded request
+	// (index_lo/index_hi set) is charged for its slice, not the whole
+	// grid, so a coordinator can spread a grid far beyond any single
+	// node's ceiling across a fleet.
+	span := grid.Size()
+	if req.IndexLo != 0 || req.IndexHi != 0 {
+		if req.IndexHi > span || req.IndexLo >= req.IndexHi {
+			err := fmt.Errorf("%w: invalid index range [%d, %d) for grid size %d",
+				core.ErrInvalidParameters, req.IndexLo, req.IndexHi, span)
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		span = req.IndexHi - req.IndexLo
+	}
 	// The ceiling is the configured one stepped down by the brownout
 	// level: under sustained overload bulk explorations shrink before
 	// the interactive path is ever touched.
-	if ceiling := s.exploreCeiling(); grid.Size() > ceiling {
+	if ceiling := s.exploreCeiling(); span > ceiling {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("grid asks for %d candidates; this server currently caps explorations at %d",
-				grid.Size(), ceiling))
+			fmt.Errorf("request asks for %d candidates; this server currently caps explorations at %d",
+				span, ceiling))
 		return
 	}
 	opts, err := req.Options(s.cfg.ExploreWorkers)

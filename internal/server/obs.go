@@ -31,7 +31,7 @@ func classifyPath(path string) endpointClass {
 		return epPredict
 	case "/v1/predict/batch":
 		return epBatch
-	case "/v1/explore":
+	case "/v1/explore", "/v1/explore/distributed":
 		return epExplore
 	case "/healthz", "/readyz", "/metrics", "/v1/status":
 		return epMeta

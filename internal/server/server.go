@@ -64,9 +64,15 @@ type Config struct {
 	PredictTimeout time.Duration
 	ExploreTimeout time.Duration
 
-	// MaxExploreCandidates caps the grid size a single /v1/explore may
-	// ask for. Default 4Mi candidates.
+	// MaxExploreCandidates caps the candidate span a single
+	// /v1/explore may ask for (a sharded request is charged for its
+	// index range, not the whole grid). Default 4Mi candidates.
 	MaxExploreCandidates uint64
+	// MaxDistributedCandidates caps the candidate span a
+	// /v1/explore/distributed request may fan out across its fleet.
+	// Fleet-scale, so far above the per-node ceiling; each shard
+	// re-passes the per-node ceiling on its worker. Default 1Gi.
+	MaxDistributedCandidates uint64
 	// ExploreWorkers is the worker-pool size per exploration; 0 uses
 	// one worker per CPU.
 	ExploreWorkers int
@@ -143,6 +149,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxExploreCandidates == 0 {
 		c.MaxExploreCandidates = 4 << 20
+	}
+	if c.MaxDistributedCandidates == 0 {
+		c.MaxDistributedCandidates = 1 << 30
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -231,6 +240,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/predict/batch", s.withTimeout(cfg.PredictTimeout, s.handleBatch))
 	mux.HandleFunc("POST /v1/explore", s.withTimeout(cfg.ExploreTimeout, s.handleExplore))
+	mux.HandleFunc("POST /v1/explore/distributed", s.withTimeout(cfg.ExploreTimeout, s.handleExploreDistributed))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
